@@ -1,0 +1,92 @@
+(* Benchmark harness: regenerates every table and figure of the evaluation
+   suite (see DESIGN.md section 3 and EXPERIMENTS.md), then runs the B1
+   micro-benchmarks measuring the throughput of the substrates.
+
+   Usage: dune exec bench/main.exe [-- --quick]  *)
+
+open Rr_util
+
+let scale =
+  if Array.exists (String.equal "--quick") Sys.argv then Temporal_fairness.Experiments.Quick
+  else Temporal_fairness.Experiments.Full
+
+let run_experiments () =
+  let t0 = Unix.gettimeofday () in
+  List.iter Table.print (Temporal_fairness.Experiments.all scale);
+  Printf.printf "(experiment suite completed in %.1f s)\n\n%!" (Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* B1: micro-benchmarks                                                *)
+(* ------------------------------------------------------------------ *)
+
+let bench_instance =
+  let rng = Prng.create ~seed:42 in
+  Rr_workload.Instance.generate_load ~rng
+    ~sizes:(Rr_workload.Distribution.Exponential { mean = 1. })
+    ~load:0.9 ~machines:1 ~n:1000 ()
+
+let small_instance =
+  let rng = Prng.create ~seed:43 in
+  Rr_workload.Instance.generate_load ~rng
+    ~sizes:(Rr_workload.Distribution.Exponential { mean = 1. })
+    ~load:0.9 ~machines:1 ~n:40 ()
+
+let tests =
+  let open Bechamel in
+  Test.make_grouped ~name:"B1" ~fmt:"%s %s"
+    [
+      Test.make ~name:"rr-simulate-n1000"
+        (Staged.stage (fun () ->
+             ignore
+               (Temporal_fairness.Run.simulate ~speed:2. ~machines:1
+                  Rr_policies.Round_robin.policy bench_instance)));
+      Test.make ~name:"srpt-simulate-n1000"
+        (Staged.stage (fun () ->
+             ignore
+               (Temporal_fairness.Run.simulate ~machines:1 Rr_policies.Srpt.policy
+                  bench_instance)));
+      Test.make ~name:"lp-bound-n40"
+        (Staged.stage (fun () ->
+             ignore
+               (Rr_lp.Lp_bound.opt_power_lower_bound ~k:2 ~machines:1 ~delta:0.5
+                  small_instance)));
+      Test.make ~name:"dualfit-certify-n40"
+        (Staged.stage (fun () ->
+             let res =
+               Temporal_fairness.Run.simulate ~speed:4.4 ~record_trace:true ~machines:1
+                 Rr_policies.Round_robin.policy small_instance
+             in
+             ignore (Rr_dualfit.Certificate.certify ~k:2 res)));
+    ]
+
+let run_microbench () =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let table =
+    Table.create ~title:"B1: substrate micro-benchmarks" ~columns:[ "benchmark"; "time/run" ]
+  in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let cell =
+        match Analyze.OLS.estimates ols_result with
+        | Some (t :: _) ->
+            if t >= 1e9 then Printf.sprintf "%.3f s" (t /. 1e9)
+            else if t >= 1e6 then Printf.sprintf "%.3f ms" (t /. 1e6)
+            else Printf.sprintf "%.1f us" (t /. 1e3)
+        | _ -> "n/a"
+      in
+      Table.add_row table [ name; cell ])
+    results;
+  Table.print table
+
+let () =
+  run_experiments ();
+  run_microbench ()

@@ -1,0 +1,281 @@
+(* Command-line front end for the temporal_fairness library.
+
+   Subcommands:
+     generate    sample an instance and write it as CSV
+     simulate    run one policy on an instance and print flow statistics
+     compare     run several policies on an instance, one table row each
+     certify     build the dual-fitting certificate for RR on an instance
+     lowerbound  certified LP lower bound on the optimal lk norm
+     experiments run the full evaluation suite (DESIGN.md T1-T8/F1-F3)      *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let machines_arg =
+  Arg.(value & opt int 1 & info [ "m"; "machines" ] ~docv:"M" ~doc:"Number of identical machines.")
+
+let speed_arg =
+  Arg.(value & opt float 1. & info [ "s"; "speed" ] ~docv:"S" ~doc:"Resource-augmentation speed.")
+
+let k_arg = Arg.(value & opt int 2 & info [ "k" ] ~docv:"K" ~doc:"Norm index k of the lk objective.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let n_arg = Arg.(value & opt int 100 & info [ "n" ] ~docv:"N" ~doc:"Number of jobs to generate.")
+
+let load_arg =
+  Arg.(value & opt float 0.9 & info [ "load" ] ~docv:"RHO" ~doc:"Offered load for generated instances.")
+
+let file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "f"; "file" ] ~docv:"FILE" ~doc:"Instance CSV (header 'arrival,size'); generated when omitted.")
+
+let dist_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "exp"; m ] -> (
+        match float_of_string_opt m with
+        | Some mean when mean > 0. -> Ok (Rr_workload.Distribution.Exponential { mean })
+        | _ -> Error (`Msg "exp:<mean> needs a positive float"))
+    | [ "det"; p ] -> (
+        match float_of_string_opt p with
+        | Some v when v > 0. -> Ok (Rr_workload.Distribution.Deterministic v)
+        | _ -> Error (`Msg "det:<size> needs a positive float"))
+    | [ "uniform"; lo; hi ] -> (
+        match (float_of_string_opt lo, float_of_string_opt hi) with
+        | Some lo, Some hi when 0. < lo && lo <= hi ->
+            Ok (Rr_workload.Distribution.Uniform { lo; hi })
+        | _ -> Error (`Msg "uniform:<lo>:<hi> needs 0 < lo <= hi"))
+    | [ "bpareto"; a; lo; hi ] -> (
+        match (float_of_string_opt a, float_of_string_opt lo, float_of_string_opt hi) with
+        | Some alpha, Some x_min, Some x_max when alpha > 0. && 0. < x_min && x_min < x_max ->
+            Ok (Rr_workload.Distribution.Bounded_pareto { alpha; x_min; x_max })
+        | _ -> Error (`Msg "bpareto:<alpha>:<min>:<max> malformed"))
+    | _ -> Error (`Msg (Printf.sprintf "unknown size distribution %S" s))
+  in
+  let print ppf d = Format.pp_print_string ppf (Rr_workload.Distribution.name d) in
+  Arg.conv (parse, print)
+
+let sizes_arg =
+  Arg.(
+    value
+    & opt dist_conv (Rr_workload.Distribution.Exponential { mean = 1. })
+    & info [ "sizes" ] ~docv:"DIST"
+        ~doc:"Size distribution: exp:<mean>, det:<size>, uniform:<lo>:<hi>, bpareto:<a>:<min>:<max>.")
+
+let policy_conv =
+  let parse s =
+    match Rr_policies.Registry.find s with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown policy %S (expected one of: %s)" s
+               (String.concat ", " (Rr_policies.Registry.names ()))))
+  in
+  let print ppf (p : Rr_engine.Policy.t) = Format.pp_print_string ppf p.name in
+  Arg.conv (parse, print)
+
+let policy_arg =
+  Arg.(
+    value
+    & opt policy_conv Rr_policies.Round_robin.policy
+    & info [ "p"; "policy" ] ~docv:"POLICY" ~doc:"Scheduling policy (see rr_cli simulate --help).")
+
+let load_instance ~file ~seed ~sizes ~load ~machines ~n =
+  match file with
+  | Some path -> Rr_workload.Trace_io.load ~path
+  | None ->
+      let rng = Rr_util.Prng.create ~seed in
+      Rr_workload.Instance.generate_load ~rng ~sizes ~load ~machines ~n ()
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let generate_cmd =
+  let run seed sizes load machines n out =
+    let rng = Rr_util.Prng.create ~seed in
+    let inst = Rr_workload.Instance.generate_load ~rng ~sizes ~load ~machines ~n () in
+    match out with
+    | Some path ->
+        Rr_workload.Trace_io.save ~path inst;
+        Printf.printf "wrote %d jobs to %s\n" (Rr_workload.Instance.n inst) path
+    | None -> print_string (Rr_workload.Trace_io.to_string inst)
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output CSV path.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Sample a Poisson instance at a target load and print/write it as CSV.")
+    Term.(const run $ seed_arg $ sizes_arg $ load_arg $ machines_arg $ n_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let simulate_cmd =
+  let run policy machines speed k file seed sizes load n =
+    let inst = load_instance ~file ~seed ~sizes ~load ~machines ~n in
+    let res = Temporal_fairness.Run.simulate ~speed ~record_trace:true ~machines policy inst in
+    let flows = Rr_engine.Simulator.flows res in
+    let stats = Rr_metrics.Flow_stats.of_flows flows in
+    Format.printf "%a@." Rr_workload.Instance.pp inst;
+    Format.printf "policy %s at speed %g on %d machine(s): %d events@." policy.Rr_engine.Policy.name
+      speed machines res.events;
+    Format.printf "%a@." Rr_metrics.Flow_stats.pp stats;
+    Format.printf "l%d norm: %g  | time-weighted Jain index: %g@." k
+      (Rr_metrics.Norms.lk ~k flows)
+      (Rr_metrics.Fairness.time_weighted_jain res.trace)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run one policy on an instance and print its flow-time statistics.")
+    Term.(
+      const run $ policy_arg $ machines_arg $ speed_arg $ k_arg $ file_arg $ seed_arg $ sizes_arg
+      $ load_arg $ n_arg)
+
+(* ------------------------------------------------------------------ *)
+(* compare                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let compare_cmd =
+  let run machines speed file seed sizes load n =
+    let inst = load_instance ~file ~seed ~sizes ~load ~machines ~n in
+    let table =
+      Rr_util.Table.create
+        ~title:(Printf.sprintf "policies at speed %g, m = %d" speed machines)
+        ~columns:[ "policy"; "mean"; "max"; "l1"; "l2"; "jain" ]
+    in
+    List.iter
+      (fun policy ->
+        let res = Temporal_fairness.Run.simulate ~speed ~record_trace:true ~machines policy inst in
+        let flows = Rr_engine.Simulator.flows res in
+        let s = Rr_metrics.Flow_stats.of_flows flows in
+        Rr_util.Table.add_row table
+          [
+            policy.Rr_engine.Policy.name;
+            Rr_util.Table.fcell s.mean;
+            Rr_util.Table.fcell s.max;
+            Rr_util.Table.fcell s.l1;
+            Rr_util.Table.fcell s.l2;
+            Rr_util.Table.fcell (Rr_metrics.Fairness.time_weighted_jain res.trace);
+          ])
+      (Rr_policies.Registry.all ());
+    Rr_util.Table.print table
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run every built-in policy on one instance and tabulate the outcomes.")
+    Term.(const run $ machines_arg $ speed_arg $ file_arg $ seed_arg $ sizes_arg $ load_arg $ n_arg)
+
+(* ------------------------------------------------------------------ *)
+(* certify                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let certify_cmd =
+  let run machines k eps file seed sizes load n =
+    let inst = load_instance ~file ~seed ~sizes ~load ~machines ~n in
+    let speed = Rr_dualfit.Certificate.theorem_speed ~k ~eps in
+    let res =
+      Temporal_fairness.Run.simulate ~speed ~record_trace:true ~machines
+        Rr_policies.Round_robin.policy inst
+    in
+    let cert = Rr_dualfit.Certificate.certify ~eps ~k res in
+    Format.printf "%a@.%a@." Rr_workload.Instance.pp inst Rr_dualfit.Certificate.pp cert;
+    if Rr_dualfit.Certificate.is_sound cert then
+      Format.printf "certificate SOUND: RR^%d <= %g x OPT^%d on this instance@." k
+        (2. *. cert.gamma /. cert.certified_ratio)
+        k
+    else Format.printf "certificate NOT sound on this instance@."
+  in
+  let eps_arg =
+    Arg.(value & opt float 0.1 & info [ "eps" ] ~docv:"EPS" ~doc:"Analysis parameter in (0, 1/10].")
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:"Run RR at the Theorem-1 speed and verify the paper's dual-fitting certificate.")
+    Term.(const run $ machines_arg $ k_arg $ eps_arg $ file_arg $ seed_arg $ sizes_arg $ load_arg $ n_arg)
+
+(* ------------------------------------------------------------------ *)
+(* lowerbound                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let lowerbound_cmd =
+  let run machines k delta file seed sizes load n =
+    let inst = load_instance ~file ~seed ~sizes ~load ~machines ~n in
+    let bound = Rr_lp.Lp_bound.opt_norm_lower_bound ~k ~machines ~delta inst in
+    Format.printf "%a@.certified lower bound on the optimal l%d norm: %g@."
+      Rr_workload.Instance.pp inst k bound
+  in
+  let delta_arg =
+    Arg.(value & opt float 0.25 & info [ "delta" ] ~docv:"D" ~doc:"Time-slot width for the LP discretisation.")
+  in
+  Cmd.v
+    (Cmd.info "lowerbound" ~doc:"Certified LP lower bound on the optimal lk norm of flow time.")
+    Term.(const run $ machines_arg $ k_arg $ delta_arg $ file_arg $ seed_arg $ sizes_arg $ load_arg $ n_arg)
+
+(* ------------------------------------------------------------------ *)
+(* gantt                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let gantt_cmd =
+  let run policy machines speed file seed sizes load n width =
+    let inst = load_instance ~file ~seed ~sizes ~load ~machines ~n in
+    let res = Temporal_fairness.Run.simulate ~speed ~record_trace:true ~machines policy inst in
+    let pieces = Rr_engine.Assignment.of_trace ~machines res.trace in
+    (match Rr_engine.Assignment.validate ~machines pieces with
+    | Ok () -> ()
+    | Error e -> prerr_endline ("internal error: infeasible assignment: " ^ e));
+    Format.printf "%a — %s at speed %g@." Rr_workload.Instance.pp inst
+      policy.Rr_engine.Policy.name speed;
+    print_string (Rr_engine.Assignment.render_gantt ~width ~machines pieces)
+  in
+  let width_arg =
+    Arg.(value & opt int 100 & info [ "width" ] ~docv:"COLS" ~doc:"Chart width in characters.")
+  in
+  Cmd.v
+    (Cmd.info "gantt"
+       ~doc:
+         "Render a policy's schedule as an ASCII Gantt chart (rate shares realised by \
+          McNaughton's wrap-around rule).")
+    Term.(
+      const run $ policy_arg $ machines_arg $ speed_arg $ file_arg $ seed_arg $ sizes_arg
+      $ load_arg $ n_arg $ width_arg)
+
+(* ------------------------------------------------------------------ *)
+(* experiments                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let experiments_cmd =
+  let run quick =
+    let scale =
+      if quick then Temporal_fairness.Experiments.Quick else Temporal_fairness.Experiments.Full
+    in
+    List.iter Rr_util.Table.print (Temporal_fairness.Experiments.all scale)
+  in
+  let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced instance sizes.") in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Run the full evaluation suite (tables T1-T8, figures F1-F3).")
+    Term.(const run $ quick_arg)
+
+let () =
+  let info =
+    Cmd.info "rr_cli" ~version:"1.0.0"
+      ~doc:"Round Robin temporal fairness: simulation, LP bounds and dual-fitting certificates."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd;
+            simulate_cmd;
+            compare_cmd;
+            certify_cmd;
+            lowerbound_cmd;
+            gantt_cmd;
+            experiments_cmd;
+          ]))

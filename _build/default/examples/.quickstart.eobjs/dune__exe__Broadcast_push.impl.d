@@ -1,0 +1,1 @@
+examples/broadcast_push.ml: Array Float List Printf Rr_broadcast Rr_metrics Rr_util

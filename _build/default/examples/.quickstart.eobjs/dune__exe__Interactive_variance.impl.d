@@ -1,0 +1,1 @@
+examples/interactive_variance.ml: Format List Rr_engine Rr_metrics Rr_policies Rr_util Rr_workload Temporal_fairness

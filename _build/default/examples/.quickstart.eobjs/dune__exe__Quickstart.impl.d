@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Printf Rr_engine Rr_lp Rr_metrics Rr_policies Rr_workload Temporal_fairness

@@ -1,0 +1,1 @@
+examples/server_farm.ml: Array Format List Rr_engine Rr_metrics Rr_policies Rr_util Rr_workload Temporal_fairness

@@ -1,0 +1,1 @@
+examples/textbook_to_theory.ml: Array Float Format List Printf Rr_engine Rr_metrics Rr_policies Rr_util Rr_workload Temporal_fairness

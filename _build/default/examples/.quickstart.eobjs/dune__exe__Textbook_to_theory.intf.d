@@ -1,0 +1,1 @@
+examples/textbook_to_theory.mli:

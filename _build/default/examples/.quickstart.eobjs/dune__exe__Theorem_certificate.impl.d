@@ -1,0 +1,1 @@
+examples/theorem_certificate.ml: Float Format Printf Rr_dualfit Rr_lp Rr_policies Rr_util Rr_workload Temporal_fairness

@@ -1,0 +1,58 @@
+(* Broadcast push server (the second setting of the paper's §1.3).
+
+   A content server pushes pages over a shared channel; every transmission
+   satisfies ALL clients currently waiting for that page.  Round Robin over
+   outstanding pages keeps every page advancing — the same instantaneous
+   fairness as in CPU scheduling — while Longest Wait First chases the
+   largest accumulated waiting time.  The paper notes RR keeps its l1
+   guarantee in this setting but provably loses the l2 one.
+
+   Run with: dune exec examples/broadcast_push.exe *)
+
+let () =
+  let rng = Rr_util.Prng.create ~seed:2025 in
+  let n_pages = 30 in
+  let sizes = Rr_broadcast.Workgen.uniform_sizes ~rng ~n_pages ~lo:0.5 ~hi:2. in
+  (* Zipf popularity: a few hot pages attract most requests, so
+     aggregation carries a nominal load well above the channel capacity. *)
+  let requests =
+    Rr_broadcast.Workgen.requests ~rng ~n_pages ~exponent:1.2 ~rate:1.8 ~n:1500 ()
+  in
+  let nominal_load =
+    List.fold_left
+      (fun acc (r : Rr_broadcast.Request.t) -> acc +. sizes.(r.page))
+      0. requests
+    /. (List.fold_left
+          (fun acc (r : Rr_broadcast.Request.t) -> Float.max acc r.arrival)
+          0. requests
+       +. 1e-9)
+  in
+  Printf.printf "%d requests over %d pages; nominal (unicast) load %.2f on a unit channel\n\n"
+    (List.length requests) n_pages nominal_load;
+
+  let table =
+    Rr_util.Table.create ~title:"broadcast push server, Zipf(1.2) popularity"
+      ~columns:[ "policy"; "mean flow"; "l2"; "p99"; "max"; "events" ]
+  in
+  List.iter
+    (fun policy ->
+      let r = Rr_broadcast.Bsim.run ~sizes ~policy requests in
+      let s = Rr_metrics.Flow_stats.of_flows r.flows in
+      Rr_util.Table.add_row table
+        [
+          policy.Rr_broadcast.Bsim.name;
+          Rr_util.Table.fcell s.mean;
+          Rr_util.Table.fcell s.l2;
+          Rr_util.Table.fcell s.p99;
+          Rr_util.Table.fcell s.max;
+          string_of_int r.events;
+        ])
+    [ Rr_broadcast.Bsim.broadcast_rr; Rr_broadcast.Bsim.lwf; Rr_broadcast.Bsim.fifo ];
+  Rr_util.Table.print table;
+
+  print_endline
+    "Although the unicast load exceeds the channel, aggregation makes the system\n\
+     stable: one hot-page transmission serves many clients at once.  RR shares the\n\
+     channel over all outstanding pages; LWF and FIFO focus it, trading fairness\n\
+     across cold pages for better norms — the broadcast analogue of the paper's\n\
+     RR-vs-SRPT trade-off."

@@ -1,0 +1,56 @@
+(* Server farm scenario: eight identical servers, heavy-tailed request
+   sizes (mice and elephants), Poisson arrivals at 90% load — the classic
+   setting where the tension between average latency and fairness shows.
+
+   Run with: dune exec examples/server_farm.exe *)
+
+let () =
+  let rng = Rr_util.Prng.create ~seed:2024 in
+  let machines = 8 in
+  let instance =
+    Rr_workload.Instance.generate_load ~rng
+      ~sizes:(Rr_workload.Distribution.Bounded_pareto { alpha = 1.3; x_min = 0.2; x_max = 200. })
+      ~load:0.9 ~machines ~n:3000 ()
+  in
+  Format.printf "%a@.@." Rr_workload.Instance.pp instance;
+
+  let table =
+    Rr_util.Table.create ~title:"server farm: 8 machines, bounded-Pareto sizes, rho = 0.9"
+      ~columns:[ "policy"; "mean"; "p99"; "max"; "l2"; "max slowdown"; "jain" ]
+  in
+  let sizes =
+    Array.of_list
+      (List.map (fun (j : Rr_engine.Job.t) -> j.size) (Rr_workload.Instance.jobs instance))
+  in
+  List.iter
+    (fun policy ->
+      let res =
+        Temporal_fairness.Run.simulate ~record_trace:true ~machines policy instance
+      in
+      let flows = Rr_engine.Simulator.flows res in
+      let s = Rr_metrics.Flow_stats.of_flows flows in
+      Rr_util.Table.add_row table
+        [
+          policy.Rr_engine.Policy.name;
+          Rr_util.Table.fcell s.mean;
+          Rr_util.Table.fcell s.p99;
+          Rr_util.Table.fcell s.max;
+          Rr_util.Table.fcell s.l2;
+          Rr_util.Table.fcell (Rr_metrics.Flow_stats.max_slowdown ~sizes ~flows);
+          Rr_util.Table.fcell (Rr_metrics.Fairness.time_weighted_jain res.trace);
+        ])
+    [
+      Rr_policies.Round_robin.policy;
+      Rr_policies.Srpt.policy;
+      Rr_policies.Sjf.policy;
+      Rr_policies.Setf.policy;
+      Rr_policies.Fcfs.policy;
+    ];
+  Rr_util.Table.print table;
+
+  print_endline
+    "Reading the table: SRPT/SJF win on mean latency but are instantaneously unfair\n\
+     (Jain index well below 1) and can stretch individual requests badly; RR has a\n\
+     Jain index of exactly 1 — every in-flight request always holds an equal share —\n\
+     while staying competitive on the variance-sensitive l2 norm, which is the\n\
+     trade-off the paper quantifies."

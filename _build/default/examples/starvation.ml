@@ -1,0 +1,58 @@
+(* Starvation scenario: one long batch job competes with a steady stream of
+   short interactive requests.  Size-based policies freeze the long job for
+   as long as shorts keep arriving; Round Robin guarantees it a 1/n_t share
+   at every instant — the "instantaneous fairness" the paper formalises.
+
+   Run with: dune exec examples/starvation.exe *)
+
+let () =
+  let instance =
+    Rr_workload.Adversary.long_vs_stream ~long_size:25. ~n_short:400 ~short_size:1.
+  in
+  Format.printf "%a@.@." Rr_workload.Instance.pp instance;
+
+  let table =
+    Rr_util.Table.create ~title:"fate of the long job (id 0) under each policy"
+      ~columns:
+        [ "policy"; "long-job flow"; "served share of its lifetime"; "stream p99 flow" ]
+  in
+  List.iter
+    (fun policy ->
+      let res = Temporal_fairness.Run.simulate ~record_trace:true ~machines:1 policy instance in
+      let flows = Rr_engine.Simulator.flows res in
+      let stream_flows = Array.sub flows 1 (Array.length flows - 1) in
+      Rr_util.Table.add_row table
+        [
+          policy.Rr_engine.Policy.name;
+          Rr_util.Table.fcell flows.(0);
+          Rr_util.Table.fcell (Rr_metrics.Fairness.share_of_job ~job:0 res.trace);
+          Rr_util.Table.fcell (Rr_util.Stats.percentile stream_flows ~p:99.);
+        ])
+    [
+      Rr_policies.Round_robin.policy;
+      Rr_policies.Srpt.policy;
+      Rr_policies.Sjf.policy;
+      Rr_policies.Setf.policy;
+    ];
+  Rr_util.Table.print table;
+
+  (* A fairness time series: sample Jain's index of the allocation while the
+     long job is alive under RR vs SJF. *)
+  let series policy =
+    let res = Temporal_fairness.Run.simulate ~record_trace:true ~machines:1 policy instance in
+    Rr_metrics.Fairness.jain_series ~sample_every:40. res.trace
+  in
+  let rr_series = series Rr_policies.Round_robin.policy in
+  let sjf_series = series Rr_policies.Sjf.policy in
+  print_endline "Jain fairness index over time (sampled every 40 time units):";
+  print_endline "   t      RR     SJF";
+  List.iter2
+    (fun (t, j_rr) (_, j_sjf) -> Printf.printf "%6.0f  %5.3f  %5.3f\n" t j_rr j_sjf)
+    rr_series
+    (List.filteri (fun i _ -> i < List.length rr_series) sjf_series);
+
+  print_endline
+    "\nUnder SRPT/SJF the long job receives no service while any short is in the\n\
+     system (served share near the idle gaps only); under RR it always advances.\n\
+     The price is a modest increase in the stream's flow times — exactly the\n\
+     latency/fairness balance the l2 norm captures."

@@ -1,0 +1,1 @@
+lib/broadcast/bsim.ml: Array Float Hashtbl Int List Option Printf Request Rr_util

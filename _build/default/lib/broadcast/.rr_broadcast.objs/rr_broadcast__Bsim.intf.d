@@ -1,0 +1,1 @@
+lib/broadcast/bsim.mli: Request

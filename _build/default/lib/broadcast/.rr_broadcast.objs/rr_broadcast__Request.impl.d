@@ -1,0 +1,1 @@
+lib/broadcast/request.ml: Array Float List Printf Rr_util

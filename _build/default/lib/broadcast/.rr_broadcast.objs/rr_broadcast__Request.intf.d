@@ -1,0 +1,1 @@
+lib/broadcast/request.mli:

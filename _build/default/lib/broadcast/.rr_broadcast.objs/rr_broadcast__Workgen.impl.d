@@ -1,0 +1,1 @@
+lib/broadcast/workgen.ml: Array Float List Request Rr_util

@@ -1,0 +1,1 @@
+lib/broadcast/workgen.mli: Request Rr_util

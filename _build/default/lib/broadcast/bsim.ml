@@ -1,0 +1,196 @@
+type page_view = {
+  page : int;
+  outstanding : int;
+  oldest_arrival : float;
+  total_wait : float;
+}
+
+type decision = { rates : float array; horizon : float option }
+
+type policy = { name : string; allocate : now:float -> page_view array -> decision }
+
+exception Invalid_allocation of string
+
+type result = { completions : float array; flows : float array; events : int }
+
+let broadcast_rr =
+  {
+    name = "b-rr";
+    allocate =
+      (fun ~now:_ views ->
+        let n = Array.length views in
+        { rates = Array.make n (1. /. Float.of_int (Int.max n 1)); horizon = None });
+  }
+
+let fifo =
+  {
+    name = "b-fifo";
+    allocate =
+      (fun ~now:_ views ->
+        let rates = Array.make (Array.length views) 0. in
+        let best = ref 0 in
+        Array.iteri
+          (fun i v -> if v.oldest_arrival < views.(!best).oldest_arrival then best := i)
+          views;
+        rates.(!best) <- 1.;
+        { rates; horizon = None });
+  }
+
+let lwf =
+  {
+    name = "lwf";
+    allocate =
+      (fun ~now views ->
+        let rates = Array.make (Array.length views) 0. in
+        let best = ref 0 in
+        Array.iteri
+          (fun i v ->
+            if
+              v.total_wait > views.(!best).total_wait +. 1e-12
+              || (Rr_util.Floatx.approx_equal v.total_wait views.(!best).total_wait
+                 && v.page < views.(!best).page)
+            then best := i)
+          views;
+        rates.(!best) <- 1.;
+        (* Waiting times grow linearly at slope [outstanding]; report the
+           first instant a challenger overtakes the current leader. *)
+        let leader = views.(!best) in
+        let horizon = ref None in
+        Array.iter
+          (fun v ->
+            if v.page <> leader.page && v.outstanding > leader.outstanding then begin
+              let gap = Float.max 0. (leader.total_wait -. v.total_wait) in
+              let slope = Float.of_int (v.outstanding - leader.outstanding) in
+              (* A floor on the crossover step keeps ties from generating a
+                 zero-length horizon loop; the approximation is 1e-6 time
+                 units per lead change. *)
+              let delta = Float.max (gap /. slope) 1e-6 in
+              let t = now +. delta in
+              match !horizon with
+              | Some h when h <= t -> ()
+              | _ -> horizon := Some t
+            end)
+          views;
+        { rates; horizon = !horizon });
+  }
+
+type live = { req : Request.t; mutable deficit : float }
+
+let run ?(speed = 1.) ?(max_events = 1_000_000) ~sizes ~policy requests =
+  if not (Float.is_finite speed && speed > 0.) then
+    invalid_arg "Bsim.run: speed must be finite and positive";
+  (match Request.validate_pages ~sizes requests with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Bsim.run: " ^ e));
+  let n = List.length requests in
+  let seen = Array.make (Int.max n 1) false in
+  List.iter
+    (fun (r : Request.t) ->
+      if r.id >= n || seen.(r.id) then
+        invalid_arg "Bsim.run: request ids must be exactly 0 .. n-1, without duplicates";
+      seen.(r.id) <- true)
+    requests;
+  let order = Array.of_list requests in
+  Array.sort
+    (fun (a : Request.t) (b : Request.t) ->
+      match Float.compare a.arrival b.arrival with 0 -> Int.compare a.id b.id | c -> c)
+    order;
+  let arrivals = Array.make n 0. in
+  Array.iter (fun (r : Request.t) -> arrivals.(r.id) <- r.arrival) order;
+  let completions = Array.make n Float.nan in
+  let pending = ref 0 in
+  let alive : live list ref = ref [] in
+  let now = ref (if n > 0 then order.(0).arrival else 0.) in
+  let admit () =
+    while !pending < n && order.(!pending).arrival <= !now do
+      alive := { req = order.(!pending); deficit = sizes.(order.(!pending).page) } :: !alive;
+      incr pending
+    done
+  in
+  admit ();
+  let events = ref 0 in
+  while !alive <> [] || !pending < n do
+    incr events;
+    if !events > max_events then
+      raise (Invalid_allocation (Printf.sprintf "exceeded max_events = %d" max_events));
+    if !alive = [] then begin
+      now := order.(!pending).arrival;
+      admit ()
+    end
+    else begin
+      (* Group outstanding requests per page. *)
+      let by_page = Hashtbl.create 16 in
+      List.iter
+        (fun l ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt by_page l.req.Request.page) in
+          Hashtbl.replace by_page l.req.Request.page (l :: prev))
+        !alive;
+      let views =
+        Hashtbl.fold
+          (fun page group acc ->
+            let outstanding = List.length group in
+            let oldest =
+              List.fold_left (fun m l -> Float.min m l.req.Request.arrival) Float.infinity group
+            in
+            let wait =
+              List.fold_left (fun acc l -> acc +. (!now -. l.req.Request.arrival)) 0. group
+            in
+            { page; outstanding; oldest_arrival = oldest; total_wait = wait } :: acc)
+          by_page []
+        |> List.sort (fun a b -> Int.compare a.page b.page)
+        |> Array.of_list
+      in
+      let decision = policy.allocate ~now:!now views in
+      if Array.length decision.rates <> Array.length views then
+        raise (Invalid_allocation "rate vector length mismatch");
+      let sum = ref 0. in
+      Array.iter
+        (fun r ->
+          if not (Float.is_finite r) || r < -1e-9 || r > 1. +. 1e-9 then
+            raise (Invalid_allocation "rate outside [0, 1]");
+          sum := !sum +. r)
+        decision.rates;
+      if !sum > 1. +. 1e-6 then raise (Invalid_allocation "rates exceed the channel");
+      (match decision.horizon with
+      | Some h when not (h > !now) -> raise (Invalid_allocation "horizon not in the future")
+      | _ -> ());
+      let page_rate = Hashtbl.create 16 in
+      Array.iteri
+        (fun i v -> Hashtbl.replace page_rate v.page (Rr_util.Floatx.clamp ~lo:0. ~hi:1. decision.rates.(i)))
+        views;
+      (* Earliest completion: per page, the request with the least deficit. *)
+      let t_next = ref Float.infinity in
+      List.iter
+        (fun l ->
+          let r = Hashtbl.find page_rate l.req.Request.page *. speed in
+          if r > 0. then begin
+            let t = !now +. (l.deficit /. r) in
+            if t < !t_next then t_next := t
+          end)
+        !alive;
+      if !pending < n && order.(!pending).arrival < !t_next then
+        t_next := order.(!pending).arrival;
+      (match decision.horizon with Some h when h < !t_next -> t_next := h | _ -> ());
+      if not (Float.is_finite !t_next) then
+        raise (Invalid_allocation "no outstanding page is broadcast and nothing is pending");
+      let dt = !t_next -. !now in
+      List.iter
+        (fun l ->
+          let r = Hashtbl.find page_rate l.req.Request.page *. speed in
+          l.deficit <- l.deficit -. (r *. dt))
+        !alive;
+      now := !t_next;
+      alive :=
+        List.filter
+          (fun l ->
+            if l.deficit <= 1e-9 *. (1. +. sizes.(l.req.Request.page)) then begin
+              completions.(l.req.Request.id) <- !now;
+              false
+            end
+            else true)
+          !alive;
+      admit ()
+    end
+  done;
+  let flows = Array.mapi (fun i c -> c -. arrivals.(i)) completions in
+  { completions; flows; events = !events }

@@ -1,0 +1,56 @@
+(** Event-driven broadcast-scheduling simulator and policies.
+
+    The server has one broadcast channel of the given [speed]; a policy
+    splits it fractionally over the pages with outstanding requests.  A
+    request accumulates every unit of its page's broadcast from its arrival
+    and completes when it has accumulated the page size.  Between events
+    (arrivals, request completions, policy horizons) rates are constant,
+    so the simulation is exact. *)
+
+type page_view = {
+  page : int;
+  outstanding : int;  (** Number of unsatisfied requests for the page. *)
+  oldest_arrival : float;  (** Earliest arrival among them. *)
+  total_wait : float;  (** Sum over outstanding requests of (now - r). *)
+}
+
+type decision = {
+  rates : float array;  (** Per page-view channel share in [\[0, 1\]], sum <= 1. *)
+  horizon : float option;  (** As in {!Rr_engine.Policy}. *)
+}
+
+type policy = { name : string; allocate : now:float -> page_view array -> decision }
+
+val broadcast_rr : policy
+(** Round Robin over outstanding pages: every page with at least one
+    outstanding request receives an equal channel share — the algorithm
+    whose broadcast l1 guarantee (but not l2) the paper cites. *)
+
+val fifo : policy
+(** Full channel to the page with the oldest outstanding request. *)
+
+val lwf : policy
+(** Longest Wait First (Chekuri-Im-Moseley): full channel to the page with
+    the largest accumulated waiting time [total_wait].  Waiting times grow
+    linearly between events, so the next lead change among pages is
+    computed exactly and reported as the policy horizon. *)
+
+exception Invalid_allocation of string
+
+type result = {
+  completions : float array;  (** By request id. *)
+  flows : float array;
+  events : int;
+}
+
+val run :
+  ?speed:float ->
+  ?max_events:int ->
+  sizes:float array ->
+  policy:policy ->
+  Request.t list ->
+  result
+(** Simulate until every request is satisfied.
+    @raise Invalid_argument on invalid pages/sizes or non-dense request
+    ids.
+    @raise Invalid_allocation on infeasible policy output or starvation. *)

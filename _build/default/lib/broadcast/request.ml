@@ -1,0 +1,20 @@
+type t = { id : int; arrival : float; page : int }
+
+let make ~id ~arrival ~page =
+  if id < 0 then invalid_arg "Request.make: negative id";
+  if page < 0 then invalid_arg "Request.make: negative page";
+  if not (Rr_util.Floatx.is_finite_nonneg arrival) then
+    invalid_arg "Request.make: arrival must be a finite non-negative float";
+  { id; arrival; page }
+
+let validate_pages ~sizes requests =
+  let bad_size =
+    Array.exists (fun s -> not (Float.is_finite s && s > 0.)) sizes
+  in
+  if bad_size then Error "every page size must be finite and positive"
+  else
+    match
+      List.find_opt (fun r -> r.page >= Array.length sizes) requests
+    with
+    | Some r -> Error (Printf.sprintf "request %d asks for unknown page %d" r.id r.page)
+    | None -> Ok ()

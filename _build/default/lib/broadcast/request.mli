@@ -1,0 +1,23 @@
+(** Broadcast scheduling (the second §1.3 setting).
+
+    A server holds [pages] with transmission lengths; clients issue
+    {e requests} for pages over time.  Broadcasting a page serves {e all}
+    outstanding requests for it simultaneously — the aggregation that makes
+    the setting different from standard scheduling, and in which the paper
+    notes RR is O(1)-speed O(1)-competitive for the l1 norm but {e not for
+    the l2 norm} [15].
+
+    We use the standard fractional (cyclic-transmission) relaxation of the
+    literature: a request issued at [r] for page [p] completes once
+    [int_r^C rate_p(t) dt = size_p]; all requests of a page accumulate from
+    the same broadcast simultaneously, preserving the aggregation benefit. *)
+
+type t = { id : int; arrival : float; page : int }
+
+val make : id:int -> arrival:float -> page:int -> t
+(** @raise Invalid_argument on a negative id or page, or a non-finite or
+    negative arrival. *)
+
+val validate_pages : sizes:float array -> t list -> (unit, string) result
+(** Check that every request's page exists in [sizes] and every page size
+    is finite and positive. *)

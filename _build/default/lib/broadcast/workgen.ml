@@ -1,0 +1,38 @@
+let zipf_weights ~n_pages ~exponent =
+  if n_pages < 1 then invalid_arg "Workgen.zipf_weights: n_pages must be >= 1";
+  if exponent < 0. then invalid_arg "Workgen.zipf_weights: exponent must be non-negative";
+  let raw = Array.init n_pages (fun i -> 1. /. (Float.of_int (i + 1) ** exponent)) in
+  let total = Rr_util.Kahan.sum raw in
+  Array.map (fun w -> w /. total) raw
+
+let sample_page rng cumulative =
+  let u = Rr_util.Prng.float rng in
+  let n = Array.length cumulative in
+  (* First index whose cumulative weight exceeds u. *)
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cumulative.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let requests ~rng ~n_pages ~exponent ~rate ~n () =
+  if rate <= 0. then invalid_arg "Workgen.requests: rate must be positive";
+  if n < 0 then invalid_arg "Workgen.requests: n must be non-negative";
+  let weights = zipf_weights ~n_pages ~exponent in
+  let cumulative = Array.make n_pages 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. w;
+      cumulative.(i) <- !acc)
+    weights;
+  cumulative.(n_pages - 1) <- 1.;
+  let t = ref 0. in
+  List.init n (fun id ->
+      t := !t +. Rr_util.Prng.exponential rng ~rate;
+      Request.make ~id ~arrival:!t ~page:(sample_page rng cumulative))
+
+let uniform_sizes ~rng ~n_pages ~lo ~hi =
+  if not (0. < lo && lo <= hi) then invalid_arg "Workgen.uniform_sizes: need 0 < lo <= hi";
+  Array.init n_pages (fun _ -> Rr_util.Prng.float_range rng ~lo ~hi)

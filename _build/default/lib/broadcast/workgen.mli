@@ -1,0 +1,21 @@
+(** Broadcast workload generation: Zipf-popular pages, Poisson requests. *)
+
+val zipf_weights : n_pages:int -> exponent:float -> float array
+(** Normalised Zipf popularity: page of rank [i] (0-based) has probability
+    proportional to [1 / (i+1)^exponent].
+    @raise Invalid_argument when [n_pages < 1] or [exponent < 0.]. *)
+
+val requests :
+  rng:Rr_util.Prng.t ->
+  n_pages:int ->
+  exponent:float ->
+  rate:float ->
+  n:int ->
+  unit ->
+  Request.t list
+(** [n] requests with Poisson arrivals at [rate], pages sampled from the
+    Zipf distribution; ids are dense in arrival order. *)
+
+val uniform_sizes : rng:Rr_util.Prng.t -> n_pages:int -> lo:float -> hi:float -> float array
+(** Independent uniform page sizes.
+    @raise Invalid_argument unless [0 < lo <= hi]. *)

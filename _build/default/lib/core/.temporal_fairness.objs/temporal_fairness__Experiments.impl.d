@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Float Int Kahan List Prng Ratio Rr_broadcast Rr_dualfit Rr_engine Rr_lp Rr_metrics Rr_policies Rr_queueing Rr_speedup Rr_util Rr_workload Run Sweep Table

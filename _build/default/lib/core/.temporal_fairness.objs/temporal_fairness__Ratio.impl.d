@@ -1,0 +1,1 @@
+lib/core/ratio.ml: Float Rr_lp Rr_policies Run

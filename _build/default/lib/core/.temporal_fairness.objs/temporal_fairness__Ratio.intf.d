@@ -1,0 +1,1 @@
+lib/core/ratio.mli: Rr_engine Rr_workload

@@ -1,0 +1,1 @@
+lib/core/run.ml: Rr_engine Rr_metrics Rr_workload

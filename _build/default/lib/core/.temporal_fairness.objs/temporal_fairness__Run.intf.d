@@ -1,0 +1,1 @@
+lib/core/run.mli: Rr_engine Rr_workload

@@ -1,0 +1,37 @@
+(** Empirical competitive ratios.
+
+    An online algorithm is [c]-competitive for the lk-norm when its norm is
+    at most [c] times the optimal scheduler's on every instance; with
+    [s]-speed augmentation the algorithm runs at speed [s] while the
+    optimum keeps speed 1.  True OPT being unavailable, ratios are measured
+    against two proxies:
+
+    - a baseline policy at speed 1 (usually SRPT, a strong practical
+      stand-in): an {e estimate} of the ratio;
+    - the paper's LP relaxation ({!Rr_lp.Lp_bound}): a certified {e upper
+      bound} on the true ratio, since the LP certifiably lower-bounds OPT. *)
+
+val vs_baseline :
+  ?baseline:Rr_engine.Policy.t ->
+  ?baseline_speed:float ->
+  k:int ->
+  machines:int ->
+  speed:float ->
+  Rr_engine.Policy.t ->
+  Rr_workload.Instance.t ->
+  float
+(** lk-norm of the policy at [speed] divided by the lk-norm of [baseline]
+    (default SRPT) at [baseline_speed] (default 1).  Returns [nan] when
+    the baseline norm is 0 (empty instance). *)
+
+val vs_lp_bound :
+  k:int ->
+  machines:int ->
+  delta:float ->
+  speed:float ->
+  Rr_engine.Policy.t ->
+  Rr_workload.Instance.t ->
+  float
+(** lk-norm of the policy at [speed] divided by the certified LP lower
+    bound on the optimal lk-norm: an upper bound on the policy's true
+    competitive ratio on this instance. *)

@@ -1,0 +1,12 @@
+let simulate ?(speed = 1.) ?(record_trace = false) ~machines policy inst =
+  Rr_engine.Simulator.run ~record_trace ~speed ~machines ~policy
+    (Rr_workload.Instance.jobs inst)
+
+let flows ?speed ~machines policy inst =
+  Rr_engine.Simulator.flows (simulate ?speed ~machines policy inst)
+
+let norm ?speed ~k ~machines policy inst =
+  Rr_metrics.Norms.lk ~k (flows ?speed ~machines policy inst)
+
+let power_sum ?speed ~k ~machines policy inst =
+  Rr_metrics.Norms.power_sum ~k (flows ?speed ~machines policy inst)

@@ -1,0 +1,37 @@
+(** Convenience entry points tying instances, policies and the simulator
+    together.  This is the facade most users of the library need. *)
+
+val simulate :
+  ?speed:float ->
+  ?record_trace:bool ->
+  machines:int ->
+  Rr_engine.Policy.t ->
+  Rr_workload.Instance.t ->
+  Rr_engine.Simulator.result
+(** Run a policy on an instance (speed defaults to 1, no trace). *)
+
+val flows :
+  ?speed:float ->
+  machines:int ->
+  Rr_engine.Policy.t ->
+  Rr_workload.Instance.t ->
+  float array
+(** Flow times by job id. *)
+
+val norm :
+  ?speed:float ->
+  k:int ->
+  machines:int ->
+  Rr_engine.Policy.t ->
+  Rr_workload.Instance.t ->
+  float
+(** The lk-norm of flow time achieved by the policy. *)
+
+val power_sum :
+  ?speed:float ->
+  k:int ->
+  machines:int ->
+  Rr_engine.Policy.t ->
+  Rr_workload.Instance.t ->
+  float
+(** The unrooted [sum_j F_j^k] achieved by the policy. *)

@@ -1,0 +1,18 @@
+let speeds ~lo ~hi ~steps =
+  if steps < 2 then invalid_arg "Sweep.speeds: need at least two steps";
+  if lo >= hi then invalid_arg "Sweep.speeds: need lo < hi";
+  List.init steps (fun i ->
+      lo +. ((hi -. lo) *. Float.of_int i /. Float.of_int (steps - 1)))
+
+let min_speed_for ~f ~threshold ~lo ~hi ~iters =
+  if f hi > threshold then None
+  else begin
+    (* Invariant: f hi' <= threshold; lo' is either below the crossover or
+       equal to the initial lo. *)
+    let lo' = ref lo and hi' = ref hi in
+    for _ = 1 to iters do
+      let mid = (!lo' +. !hi') /. 2. in
+      if f mid <= threshold then hi' := mid else lo' := mid
+    done;
+    Some !hi'
+  end

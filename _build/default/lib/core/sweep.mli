@@ -1,0 +1,18 @@
+(** Parameter sweeps and crossover search. *)
+
+val speeds : lo:float -> hi:float -> steps:int -> float list
+(** [steps] evenly spaced speeds from [lo] to [hi] inclusive.
+    @raise Invalid_argument when [steps < 2] or [lo >= hi]. *)
+
+val min_speed_for :
+  f:(float -> float) ->
+  threshold:float ->
+  lo:float ->
+  hi:float ->
+  iters:int ->
+  float option
+(** Bisection for the smallest speed [s] in [\[lo, hi\]] with
+    [f s <= threshold], assuming [f] is non-increasing in speed (more speed
+    never hurts RR's ratio on a fixed instance).  [None] when even
+    [f hi > threshold].  [iters] bisection steps (the answer is bracketed
+    to [2^-iters * (hi - lo)]). *)

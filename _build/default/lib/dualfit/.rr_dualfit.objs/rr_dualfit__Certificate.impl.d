@@ -1,0 +1,1 @@
+lib/dualfit/certificate.ml: Array Float Format Int Job List Rr_engine Rr_util Simulator Trace

@@ -1,0 +1,1 @@
+lib/dualfit/certificate.mli: Format Rr_engine

@@ -1,0 +1,235 @@
+open Rr_engine
+
+type t = {
+  k : int;
+  eps : float;
+  speed : float;
+  gamma : float;
+  machines : int;
+  n_jobs : int;
+  rr_power : float;
+  alphas : float array;
+  sum_alpha : float;
+  beta_integral_m : float;
+  dual_objective : float;
+  violation_ratio : float;
+  certified_ratio : float;
+  lemma1_ok : bool;
+  lemma2_ok : bool;
+}
+
+let theorem_speed ~k ~eps = 2. *. Float.of_int k *. (1. +. (10. *. eps))
+
+let gamma ~k ~eps = Float.of_int k *. Rr_util.Floatx.powi (Float.of_int k /. eps) k
+
+(* Step evaluator for beta: sum over jobs of F_j^(k-1) weights active on the
+   closed window [r_j, C_j + delta F_j], divided by m.  Starts and ends are
+   kept in sorted arrays with prefix sums so a query costs O(log n). *)
+module Beta = struct
+  type s = {
+    start_times : float array; (* sorted *)
+    start_prefix : float array; (* start_prefix.(i) = sum of weights of the first i starts *)
+    end_times : float array; (* sorted *)
+    end_prefix : float array;
+    inv_m : float;
+    coeff : float; (* 1/2 - 3 eps *)
+  }
+
+  let build ~machines ~eps ~k jobs flows completions =
+    let n = Array.length jobs in
+    let delta = eps in
+    let weight j = Rr_util.Floatx.powi flows.(j) (k - 1) in
+    let starts = Array.init n (fun j -> ((jobs.(j) : Job.t).arrival, weight j)) in
+    let ends = Array.init n (fun j -> (completions.(j) +. (delta *. flows.(j)), weight j)) in
+    let by_time (t1, _) (t2, _) = Float.compare t1 t2 in
+    Array.sort by_time starts;
+    Array.sort by_time ends;
+    let prefix a =
+      let p = Array.make (Array.length a + 1) 0. in
+      let acc = Rr_util.Kahan.create () in
+      Array.iteri
+        (fun i (_, w) ->
+          Rr_util.Kahan.add acc w;
+          p.(i + 1) <- Rr_util.Kahan.total acc)
+        a;
+      p
+    in
+    {
+      start_times = Array.map fst starts;
+      start_prefix = prefix starts;
+      end_times = Array.map fst ends;
+      end_prefix = prefix ends;
+      inv_m = 1. /. Float.of_int machines;
+      coeff = 0.5 -. (3. *. eps);
+    }
+
+  (* Number of entries of [times] that satisfy [pred]: binary search for the
+     boundary of a monotone predicate. *)
+  let count_while times pred =
+    let lo = ref 0 and hi = ref (Array.length times) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if pred times.(mid) then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+  (* beta(t) with closed windows: starts with r <= t count, ends with
+     e < t have expired. *)
+  let at s t =
+    let started = count_while s.start_times (fun x -> x <= t) in
+    let expired = count_while s.end_times (fun x -> x < t) in
+    s.coeff *. s.inv_m *. (s.start_prefix.(started) -. s.end_prefix.(expired))
+end
+
+let certify ?(eps = 0.1) ~k (res : Simulator.result) =
+  if k < 1 then invalid_arg "Certificate.certify: k must be >= 1";
+  if not (eps > 0. && eps <= 0.1) then
+    invalid_arg "Certificate.certify: eps must be in (0, 1/10]";
+  if res.trace = [] then invalid_arg "Certificate.certify: result carries no trace";
+  let n = Array.length res.jobs in
+  if n = 0 then invalid_arg "Certificate.certify: empty instance";
+  let m = res.machines in
+  let delta = eps in
+  let flows = Simulator.flows res in
+  let rr_power =
+    Rr_util.Kahan.sum (Array.map (fun f -> Rr_util.Floatx.powi f k) flows)
+  in
+  (* ---- alpha construction (Section 3.2) ----
+
+     At overloaded times job j is responsible for the rank-normalised age
+     terms of EVERY alive job released no later than itself:
+
+       alpha_j += sum over j' in A(t, r_j) of
+                    k (t - r_j')^(k-1) / |A(t, r_j')|
+
+     (so each term k(t - r_j')^(k-1) / rank_j' ends up counted once per
+     alive job arriving no earlier than j', which is the amortisation the
+     paper's Lemma 1 pairs up).  At underloaded times a job carries only
+     its own full age term.  Alive sets are constant per trace segment, so
+     the time integrals are closed-form per segment. *)
+  let alphas_raw = Array.make n 0. in
+  List.iter
+    (fun (s : Trace.segment) ->
+      let overloaded = Trace.is_overloaded ~machines:m s in
+      if overloaded then begin
+        (* Rank of each alive job in (arrival, id) order: |A(t, r_j)|. *)
+        let sorted = Array.copy s.alive in
+        Array.sort
+          (fun (a : Trace.entry) (b : Trace.entry) ->
+            match Float.compare a.arrival b.arrival with
+            | 0 -> Int.compare a.job b.job
+            | c -> c)
+          sorted;
+        (* prefix.(i) = sum over the i oldest alive jobs of their
+           rank-normalised segment integrals. *)
+        let prefix = ref 0. in
+        Array.iteri
+          (fun rank0 (e : Trace.entry) ->
+            let rank = Float.of_int (rank0 + 1) in
+            let own =
+              (Rr_util.Floatx.powi (s.t1 -. e.arrival) k
+              -. Rr_util.Floatx.powi (s.t0 -. e.arrival) k)
+              /. rank
+            in
+            prefix := !prefix +. own;
+            alphas_raw.(e.job) <- alphas_raw.(e.job) +. !prefix)
+          sorted
+      end
+      else
+        Array.iter
+          (fun (e : Trace.entry) ->
+            let contribution =
+              Rr_util.Floatx.powi (s.t1 -. e.arrival) k
+              -. Rr_util.Floatx.powi (s.t0 -. e.arrival) k
+            in
+            alphas_raw.(e.job) <- alphas_raw.(e.job) +. contribution)
+          s.alive)
+    res.trace;
+  for j = 0 to n - 1 do
+    alphas_raw.(j) <- alphas_raw.(j) -. (eps *. Rr_util.Floatx.powi flows.(j) k)
+  done;
+  (* Dual variables must be non-negative; clipping at 0 preserves
+     feasibility and only raises the objective. *)
+  let alphas = Array.map (fun a -> Float.max 0. a) alphas_raw in
+  let sum_alpha = Rr_util.Kahan.sum alphas in
+  let sum_alpha_raw = Rr_util.Kahan.sum alphas_raw in
+  (* ---- beta construction and its exact integral ---- *)
+  let beta = Beta.build ~machines:m ~eps ~k res.jobs flows res.completions in
+  let beta_integral_m =
+    (* m * int beta dt = (1/2 - 3 eps) * sum_j (1 + delta) F_j * F_j^(k-1). *)
+    let acc = Rr_util.Kahan.create () in
+    Array.iter
+      (fun f -> Rr_util.Kahan.add acc ((1. +. delta) *. Rr_util.Floatx.powi f k))
+      flows;
+    (0.5 -. (3. *. eps)) *. Rr_util.Kahan.total acc
+  in
+  let dual_objective = sum_alpha -. beta_integral_m in
+  (* ---- Lemmas 1 and 2 (on the raw, unclipped construction) ---- *)
+  let tol = 1e-7 *. (1. +. rr_power) in
+  let lemma1_ok = sum_alpha_raw >= ((0.5 -. eps) *. rr_power) -. tol in
+  let lemma2_ok = beta_integral_m <= ((0.5 -. (2. *. eps)) *. rr_power) +. tol in
+  (* ---- dual feasibility at every beta breakpoint ---- *)
+  let g = gamma ~k ~eps in
+  let breakpoints =
+    let pts = Array.make (2 * n) 0. in
+    Array.iteri (fun j (job : Job.t) -> pts.(j) <- job.arrival) res.jobs;
+    Array.iteri
+      (fun j c -> pts.(n + j) <- c +. (delta *. flows.(j)))
+      res.completions;
+    Array.sort Float.compare pts;
+    pts
+  in
+  let violation = ref 0. in
+  let check_point j (job : Job.t) t =
+    if t >= job.arrival then begin
+      let lhs = alphas.(j) /. job.size in
+      let age = t -. job.arrival in
+      let rhs =
+        (g /. job.size *. (Rr_util.Floatx.powi age k +. Rr_util.Floatx.powi job.size k))
+        +. Beta.at beta t
+      in
+      let ratio = lhs /. rhs in
+      if ratio > !violation then violation := ratio
+    end
+  in
+  Array.iteri
+    (fun j (job : Job.t) ->
+      check_point j job job.arrival;
+      Array.iter
+        (fun bp ->
+          check_point j job bp;
+          (* Just after the breakpoint, where an expiring window has
+             dropped out of beta. *)
+          check_point j job (bp +. (1e-9 *. (1. +. Float.abs bp))))
+        breakpoints)
+    res.jobs;
+  let violation_ratio = !violation in
+  let certified_ratio =
+    dual_objective /. Float.max 1. violation_ratio /. rr_power
+  in
+  {
+    k;
+    eps;
+    speed = res.speed;
+    gamma = g;
+    machines = m;
+    n_jobs = n;
+    rr_power;
+    alphas;
+    sum_alpha;
+    beta_integral_m;
+    dual_objective;
+    violation_ratio;
+    certified_ratio;
+    lemma1_ok;
+    lemma2_ok;
+  }
+
+let is_sound t = t.lemma1_ok && t.lemma2_ok && t.certified_ratio > 0.
+
+let pp ppf t =
+  Format.fprintf ppf
+    "certificate k=%d eps=%.3f speed=%.3f m=%d n=%d: RR^k=%.4g dual=%.4g viol=%.4f \
+     certified=%.4f lemma1=%b lemma2=%b"
+    t.k t.eps t.speed t.machines t.n_jobs t.rr_power t.dual_objective t.violation_ratio
+    t.certified_ratio t.lemma1_ok t.lemma2_ok

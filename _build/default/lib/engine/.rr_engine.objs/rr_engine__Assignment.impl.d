@@ -1,0 +1,1 @@
+lib/engine/assignment.ml: Array Buffer Bytes Char Float Int List Printf Rr_util Trace

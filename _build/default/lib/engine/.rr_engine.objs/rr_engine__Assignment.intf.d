@@ -1,0 +1,1 @@
+lib/engine/assignment.mli: Trace

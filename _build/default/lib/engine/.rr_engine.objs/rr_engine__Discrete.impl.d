@@ -1,0 +1,1 @@
+lib/engine/discrete.ml: Array Float Job List Policy Printf Rr_util Simulator

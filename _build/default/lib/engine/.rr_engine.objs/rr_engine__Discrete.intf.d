@@ -1,0 +1,1 @@
+lib/engine/discrete.mli: Job Policy

@@ -1,0 +1,1 @@
+lib/engine/job.ml: Float Format Int Rr_util

@@ -1,0 +1,1 @@
+lib/engine/job.mli: Format

@@ -1,0 +1,1 @@
+lib/engine/simulator.ml: Array Float Int Job List Policy Printf Rr_util Trace

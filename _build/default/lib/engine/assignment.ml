@@ -1,0 +1,109 @@
+type piece = { job : int; machine : int; t0 : float; t1 : float }
+
+(* Quanta shorter than this (relative to the segment) are dropped: they are
+   float dust and would create degenerate zero-length pieces. *)
+let quantum_eps = 1e-12
+
+let of_trace ~machines trace =
+  if machines < 1 then invalid_arg "Assignment.of_trace: machines must be >= 1";
+  let pieces = ref [] in
+  List.iter
+    (fun (s : Trace.segment) ->
+      let dur = Trace.duration s in
+      let total =
+        Array.fold_left (fun acc (e : Trace.entry) -> acc +. (e.rate *. dur)) 0. s.alive
+      in
+      if total > (Float.of_int machines *. dur) +. 1e-6 then
+        invalid_arg "Assignment.of_trace: segment over-allocates the machines";
+      (* McNaughton wrap-around: fill machine 0 from the segment start, and
+         wrap the overflow of each quantum onto the next machine. *)
+      let machine = ref 0 in
+      let offset = ref 0. in
+      Array.iter
+        (fun (e : Trace.entry) ->
+          let quantum = ref (e.rate *. dur) in
+          while !quantum > dur *. quantum_eps do
+            let room = dur -. !offset in
+            let take = Float.min room !quantum in
+            if take > dur *. quantum_eps then
+              pieces :=
+                {
+                  job = e.job;
+                  machine = !machine;
+                  t0 = s.t0 +. !offset;
+                  t1 = s.t0 +. !offset +. take;
+                }
+                :: !pieces;
+            quantum := !quantum -. take;
+            offset := !offset +. take;
+            if !offset >= dur -. (dur *. quantum_eps) then begin
+              offset := 0.;
+              incr machine
+            end
+          done)
+        s.alive)
+    trace;
+  List.rev !pieces
+
+let overlap a_lo a_hi b_lo b_hi = Float.min a_hi b_hi -. Float.max a_lo b_lo > 1e-9
+
+let validate ~machines pieces =
+  let rec check_pairs = function
+    | [] -> Ok ()
+    | p :: rest ->
+        if p.machine < 0 || p.machine >= machines then
+          Error (Printf.sprintf "piece of job %d on invalid machine %d" p.job p.machine)
+        else if not (p.t0 < p.t1) then
+          Error (Printf.sprintf "empty or inverted piece for job %d" p.job)
+        else begin
+          let conflict =
+            List.find_opt
+              (fun q ->
+                overlap p.t0 p.t1 q.t0 q.t1 && (q.machine = p.machine || q.job = p.job))
+              rest
+          in
+          match conflict with
+          | Some q when q.machine = p.machine ->
+              Error
+                (Printf.sprintf "machine %d runs jobs %d and %d simultaneously" p.machine
+                   p.job q.job)
+          | Some q ->
+              Error
+                (Printf.sprintf "job %d runs on machines %d and %d simultaneously" p.job
+                   p.machine q.machine)
+          | None -> check_pairs rest
+        end
+  in
+  check_pairs pieces
+
+let work_of_job ~job pieces =
+  let acc = Rr_util.Kahan.create () in
+  List.iter (fun p -> if p.job = job then Rr_util.Kahan.add acc (p.t1 -. p.t0)) pieces;
+  Rr_util.Kahan.total acc
+
+let render_gantt ?(width = 72) ~machines pieces =
+  match pieces with
+  | [] -> "(empty schedule)\n"
+  | first :: _ ->
+      let t_min, t_max =
+        List.fold_left
+          (fun (lo, hi) p -> (Float.min lo p.t0, Float.max hi p.t1))
+          (first.t0, first.t1) pieces
+      in
+      let span = Float.max 1e-9 (t_max -. t_min) in
+      let rows = Array.init machines (fun _ -> Bytes.make width '.') in
+      let label job = Char.chr (Char.code 'A' + (job mod 26)) in
+      List.iter
+        (fun p ->
+          let c0 = int_of_float (Float.of_int width *. (p.t0 -. t_min) /. span) in
+          let c1 = int_of_float (Float.of_int width *. (p.t1 -. t_min) /. span) in
+          for c = Int.max 0 c0 to Int.min (width - 1) (Int.max c0 (c1 - 1)) do
+            Bytes.set rows.(p.machine) c (label p.job)
+          done)
+        pieces;
+      let buf = Buffer.create (machines * (width + 16)) in
+      Buffer.add_string buf (Printf.sprintf "time %g .. %g\n" t_min t_max);
+      Array.iteri
+        (fun i row -> Buffer.add_string buf (Printf.sprintf "m%-2d |%s|\n" i (Bytes.to_string row)))
+        rows;
+      Buffer.contents buf

@@ -1,0 +1,39 @@
+(** From rate schedules to concrete machine schedules.
+
+    Section 2 of the paper notes that any rate profile [{m_j(t)}] with
+    [m_j(t) in \[0,1\]] and [sum_j m_j(t) <= m] "can be easily translated
+    into a feasible schedule" in which each machine runs at most one job at
+    a time and no job runs on two machines simultaneously.  This module
+    {e implements} that claim: within every trace segment the jobs' work
+    quanta [m_j * duration] are laid out across the [m] machines by
+    McNaughton's wrap-around rule.  A job whose quantum wraps from the end
+    of one machine to the start of the next never overlaps itself because
+    its quantum is at most the segment length ([m_j <= 1]) — the classical
+    argument, executable and checked by {!validate} in the test suite. *)
+
+type piece = {
+  job : int;
+  machine : int;  (** 0-based machine index. *)
+  t0 : float;
+  t1 : float;  (** Execution interval, [t0 < t1]. *)
+}
+
+val of_trace : machines:int -> Trace.t -> piece list
+(** Concrete machine schedule realising the traced rate profile,
+    chronological within each machine.
+    @raise Invalid_argument when [machines < 1] or a segment over-allocates
+    (which a {!Simulator} trace never does). *)
+
+val validate : machines:int -> piece list -> (unit, string) result
+(** Feasibility check: pieces lie on valid machines, no two pieces overlap
+    on one machine, and no job occupies two machines at once. *)
+
+val work_of_job : job:int -> piece list -> float
+(** Total executed time of a job across all pieces (equals its size divided
+    by the speed for completed traces — a conservation test). *)
+
+val render_gantt : ?width:int -> machines:int -> piece list -> string
+(** ASCII Gantt chart, one row per machine, jobs shown as repeating
+    single-character labels ('A' for job 0, ...), '.' for idle.  [width]
+    is the number of character columns (default 72).  Intended for small
+    demonstration instances. *)

@@ -1,0 +1,75 @@
+let run ~dt ?(speed = 1.) ?(max_steps = 10_000_000) ~machines ~(policy : Policy.t) jobs =
+  if dt <= 0. then invalid_arg "Discrete.run: dt must be positive";
+  if machines < 1 then invalid_arg "Discrete.run: machines must be >= 1";
+  if not (Float.is_finite speed && speed > 0.) then
+    invalid_arg "Discrete.run: speed must be finite and positive";
+  let order = Array.of_list jobs in
+  let n = Array.length order in
+  let seen = Array.make n false in
+  Array.iter
+    (fun (j : Job.t) ->
+      if j.id >= n || seen.(j.id) then
+        invalid_arg "Discrete.run: job ids must be exactly 0 .. n-1, without duplicates";
+      seen.(j.id) <- true)
+    order;
+  Array.sort Job.compare_release order;
+  let completions = Array.make n Float.nan in
+  let remaining = Array.make n 0. in
+  let attained = Array.make n 0. in
+  Array.iter (fun (j : Job.t) -> remaining.(j.id) <- j.size) order;
+  let alive : Job.t list ref = ref [] in
+  let pending = ref 0 in
+  let t = ref (if n > 0 then order.(0).arrival else 0.) in
+  let done_count = ref 0 in
+  let steps = ref 0 in
+  while !done_count < n do
+    incr steps;
+    if !steps > max_steps then
+      raise (Simulator.Invalid_allocation (Printf.sprintf "exceeded max_steps = %d" max_steps));
+    while !pending < n && order.(!pending).arrival <= !t do
+      alive := order.(!pending) :: !alive;
+      incr pending
+    done;
+    match !alive with
+    | [] ->
+        (* Idle: jump to the next arrival (grid-aligned stepping is not
+           needed while nothing is running). *)
+        if !pending < n then t := order.(!pending).arrival
+        else assert false (* done_count < n implies alive or pending jobs *)
+    | alive_jobs ->
+        let views =
+          Array.of_list
+            (List.map
+               (fun (j : Job.t) ->
+                 {
+                   Policy.id = j.id;
+                   arrival = j.arrival;
+                   attained = attained.(j.id);
+                   size = (if policy.clairvoyant then Some j.size else None);
+                   remaining = (if policy.clairvoyant then Some remaining.(j.id) else None);
+                 })
+               alive_jobs)
+        in
+        let decision = policy.allocate ~now:!t ~machines ~speed views in
+        if Array.length decision.Policy.rates <> Array.length views then
+          raise (Simulator.Invalid_allocation "rate vector length mismatch");
+        t := !t +. dt;
+        Array.iteri
+          (fun i (v : Policy.view) ->
+            let r = Rr_util.Floatx.clamp ~lo:0. ~hi:1. decision.Policy.rates.(i) in
+            let delta = r *. speed *. dt in
+            remaining.(v.id) <- remaining.(v.id) -. delta;
+            attained.(v.id) <- attained.(v.id) +. delta)
+          views;
+        alive :=
+          List.filter
+            (fun (j : Job.t) ->
+              if remaining.(j.id) <= 1e-9 *. (1. +. j.size) then begin
+                completions.(j.id) <- !t;
+                incr done_count;
+                false
+              end
+              else true)
+            !alive
+  done;
+  completions

@@ -1,0 +1,30 @@
+(** Fixed-step reference simulator.
+
+    A deliberately naive discretisation of the scheduling model: time
+    advances in fixed steps of [dt], the policy is re-consulted at every
+    step, and completions are detected at step boundaries.  Its only
+    purpose is to cross-validate the exact event-driven {!Simulator}: for
+    every policy the two must agree on all completion times up to
+    [O(dt)] (a property test in the suite), which guards the event
+    simulator's analytic clock-advance logic against algebra bugs.
+
+    Do not use this for experiments — it is both slower and less exact. *)
+
+val run :
+  dt:float ->
+  ?speed:float ->
+  ?max_steps:int ->
+  machines:int ->
+  policy:Policy.t ->
+  Job.t list ->
+  float array
+(** [run ~dt ~machines ~policy jobs] returns completion times indexed by
+    job id.  Completion is reported at the end of the step in which the
+    remaining work reaches zero, so reported times over-estimate the exact
+    ones by at most [dt] (plus accumulated allocation drift for policies
+    with continuous priorities).
+
+    @param max_steps safety bound, default [10_000_000].
+    @raise Invalid_argument on [dt <= 0.] or the same conditions as
+      {!Simulator.run}.
+    @raise Simulator.Invalid_allocation as the exact simulator would. *)

@@ -1,0 +1,14 @@
+type t = { id : int; arrival : float; size : float }
+
+let make ~id ~arrival ~size =
+  if id < 0 then invalid_arg "Job.make: negative id";
+  if not (Rr_util.Floatx.is_finite_nonneg arrival) then
+    invalid_arg "Job.make: arrival must be a finite non-negative float";
+  if not (Float.is_finite size && size > 0.) then
+    invalid_arg "Job.make: size must be finite and positive";
+  { id; arrival; size }
+
+let compare_release a b =
+  match Float.compare a.arrival b.arrival with 0 -> Int.compare a.id b.id | c -> c
+
+let pp ppf j = Format.fprintf ppf "job#%d(r=%g, p=%g)" j.id j.arrival j.size

@@ -1,0 +1,19 @@
+(** Jobs of the online scheduling model of Section 2 of the paper.
+
+    A job [j] has a release (arrival) time [r_j], the first instant the
+    online scheduler learns of its existence, and a processing requirement
+    (size) [p_j].  Identifiers are dense non-negative integers and double
+    as array indices throughout the repository. *)
+
+type t = private { id : int; arrival : float; size : float }
+
+val make : id:int -> arrival:float -> size:float -> t
+(** @raise Invalid_argument when [id < 0], [arrival] is not a finite
+    non-negative float, or [size] is not finite and strictly positive. *)
+
+val compare_release : t -> t -> int
+(** Order by [(arrival, id)].  This is the tie-broken arrival order used by
+    the paper's rank [|A(t, r_j)|]: the job with the smaller identifier is
+    deemed to have arrived first among simultaneous arrivals. *)
+
+val pp : Format.formatter -> t -> unit

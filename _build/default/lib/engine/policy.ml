@@ -1,0 +1,27 @@
+type view = {
+  id : int;
+  arrival : float;
+  attained : float;
+  size : float option;
+  remaining : float option;
+}
+
+type decision = { rates : float array; horizon : float option }
+
+type t = {
+  name : string;
+  clairvoyant : bool;
+  allocate : now:float -> machines:int -> speed:float -> view array -> decision;
+}
+
+let age ~now v = now -. v.arrival
+
+let size_exn v =
+  match v.size with
+  | Some p -> p
+  | None -> invalid_arg "Policy.size_exn: size hidden from a non-clairvoyant policy"
+
+let remaining_exn v =
+  match v.remaining with
+  | Some p -> p
+  | None -> invalid_arg "Policy.remaining_exn: remaining hidden from a non-clairvoyant policy"

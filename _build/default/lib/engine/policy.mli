@@ -1,0 +1,56 @@
+(** The scheduling-policy interface.
+
+    Following Section 2 of the paper, a feasible schedule on [m] identical
+    machines is characterised by rates [{m_j(t)}] over the alive jobs with
+    [sum_j m_j(t) <= m] and [m_j(t) in \[0, 1\]].  A policy is a function
+    from the current system state to such a rate vector, optionally together
+    with a {e horizon}: an absolute time before which the allocation must be
+    recomputed even if no arrival or completion occurs (used by policies
+    whose internal priorities drift continuously, such as SETF group
+    catch-up or age-weighted Round Robin).
+
+    Resource augmentation: rates are expressed {e before} the speed-up; the
+    simulator multiplies them by its [speed] parameter, so an [s]-speed
+    policy processes job [j] at rate [s * m_j(t)], exactly as in the
+    resource-augmentation model of Kalyanasundaram and Pruhs the paper
+    adopts.
+
+    Non-clairvoyance: the [size] and [remaining] fields of a job view are
+    [None] unless the policy declares itself [clairvoyant].  Round Robin
+    never looks at them, reproducing the paper's remark that RR "does not
+    need to know job's size until its completion". *)
+
+type view = {
+  id : int;  (** Job identifier. *)
+  arrival : float;  (** Release time [r_j]. *)
+  attained : float;  (** Work received so far (at unit speed scale). *)
+  size : float option;  (** [p_j]; [None] for non-clairvoyant policies. *)
+  remaining : float option;  (** [p_j] minus attained; [None] likewise. *)
+}
+
+type decision = {
+  rates : float array;
+      (** [rates.(i)] is the machine share of [views.(i)], in [\[0, 1\]];
+          the shares must sum to at most the number of machines. *)
+  horizon : float option;
+      (** If [Some t], the allocation is only valid up to absolute time [t];
+          the simulator re-invokes the policy no later than [t]. *)
+}
+
+type t = {
+  name : string;
+  clairvoyant : bool;
+  allocate : now:float -> machines:int -> speed:float -> view array -> decision;
+}
+
+val age : now:float -> view -> float
+(** [age ~now v = now - v.arrival]: the current age of an alive job. *)
+
+val size_exn : view -> float
+(** Size of a job as seen by a clairvoyant policy.
+    @raise Invalid_argument when the view was built for a non-clairvoyant
+    policy. *)
+
+val remaining_exn : view -> float
+(** Remaining work as seen by a clairvoyant policy.
+    @raise Invalid_argument when hidden. *)

@@ -1,0 +1,171 @@
+exception Invalid_allocation of string
+
+type live = { job : Job.t; mutable remaining : float; mutable attained : float }
+
+type result = {
+  jobs : Job.t array;
+  completions : float array;
+  trace : Trace.t;
+  machines : int;
+  speed : float;
+  events : int;
+}
+
+let validate_jobs jobs =
+  let n = List.length jobs in
+  let seen = Array.make n false in
+  List.iter
+    (fun (j : Job.t) ->
+      if j.id >= n || seen.(j.id) then
+        invalid_arg "Simulator.run: job ids must be exactly 0 .. n-1, without duplicates";
+      seen.(j.id) <- true)
+    jobs;
+  n
+
+(* A job counts as complete when its residual work is negligible relative to
+   its size; the threshold absorbs the rounding of the analytic advance. *)
+let done_threshold (l : live) = 1e-9 *. (1. +. l.job.size)
+
+let validate_decision ~machines ~now ~n_alive (d : Policy.decision) =
+  if Array.length d.rates <> n_alive then
+    raise (Invalid_allocation "rate vector length differs from the number of alive jobs");
+  let sum = ref 0. in
+  Array.iteri
+    (fun i r ->
+      if not (Float.is_finite r) then raise (Invalid_allocation "non-finite rate");
+      if r < -1e-9 || r > 1. +. 1e-9 then
+        raise (Invalid_allocation (Printf.sprintf "rate %g outside [0, 1]" r));
+      d.rates.(i) <- Rr_util.Floatx.clamp ~lo:0. ~hi:1. r;
+      sum := !sum +. d.rates.(i))
+    d.rates;
+  if !sum > Float.of_int machines +. 1e-6 then
+    raise
+      (Invalid_allocation
+         (Printf.sprintf "rates sum to %g > %d machines" !sum machines));
+  match d.horizon with
+  | Some h when not (h > now) ->
+      raise (Invalid_allocation (Printf.sprintf "horizon %g not after now = %g" h now))
+  | _ -> ()
+
+let run ?(record_trace = false) ?(speed = 1.) ?(max_events = 10_000_000) ~machines
+    ~(policy : Policy.t) jobs =
+  if machines < 1 then invalid_arg "Simulator.run: machines must be >= 1";
+  if not (Float.is_finite speed && speed > 0.) then
+    invalid_arg "Simulator.run: speed must be finite and positive";
+  let n = validate_jobs jobs in
+  let jobs_by_id = Array.make n None in
+  List.iter (fun (j : Job.t) -> jobs_by_id.(j.id) <- Some j) jobs;
+  let jobs_arr =
+    Array.map (function Some j -> j | None -> assert false) jobs_by_id
+  in
+  let order = Array.of_list jobs in
+  Array.sort Job.compare_release order;
+  let completions = Array.make n Float.nan in
+  let pending = ref 0 in
+  (* Alive jobs in a swap-remove vector; policy views follow this order. *)
+  let alive : live array ref = ref [||] in
+  let n_alive = ref 0 in
+  let push_alive (j : Job.t) =
+    let l = { job = j; remaining = j.size; attained = 0. } in
+    let cap = Array.length !alive in
+    if !n_alive = cap then begin
+      let na = Array.make (Int.max 8 (2 * cap)) l in
+      Array.blit !alive 0 na 0 !n_alive;
+      alive := na
+    end;
+    !alive.(!n_alive) <- l;
+    incr n_alive
+  in
+  let remove_alive i =
+    decr n_alive;
+    !alive.(i) <- !alive.(!n_alive)
+  in
+  let admit_upto now =
+    while !pending < n && order.(!pending).arrival <= now do
+      push_alive order.(!pending);
+      incr pending
+    done
+  in
+  let view_of (l : live) : Policy.view =
+    {
+      id = l.job.id;
+      arrival = l.job.arrival;
+      attained = l.attained;
+      size = (if policy.clairvoyant then Some l.job.size else None);
+      remaining = (if policy.clairvoyant then Some l.remaining else None);
+    }
+  in
+  let trace_rev = ref [] in
+  let events = ref 0 in
+  let now = ref (if n > 0 then order.(0).arrival else 0.) in
+  admit_upto !now;
+  while !n_alive > 0 || !pending < n do
+    incr events;
+    if !events > max_events then
+      raise (Invalid_allocation (Printf.sprintf "exceeded max_events = %d" max_events));
+    if !n_alive = 0 then begin
+      (* Idle period: jump straight to the next arrival. *)
+      now := order.(!pending).arrival;
+      admit_upto !now
+    end
+    else begin
+      let views = Array.init !n_alive (fun i -> view_of !alive.(i)) in
+      let decision = policy.allocate ~now:!now ~machines ~speed views in
+      validate_decision ~machines ~now:!now ~n_alive:!n_alive decision;
+      let rates = decision.rates in
+      let next_arrival = if !pending < n then Some order.(!pending).arrival else None in
+      (* Earliest analytic completion under the current constant rates. *)
+      let completion_at = Array.make !n_alive Float.infinity in
+      for i = 0 to !n_alive - 1 do
+        let l = !alive.(i) in
+        let v = rates.(i) *. speed in
+        if v > 0. then completion_at.(i) <- !now +. (l.remaining /. v)
+      done;
+      let t_next = ref Float.infinity in
+      Array.iter (fun t -> if t < !t_next then t_next := t) completion_at;
+      (match next_arrival with Some a when a < !t_next -> t_next := a | _ -> ());
+      (match decision.horizon with Some h when h < !t_next -> t_next := h | _ -> ());
+      if not (Float.is_finite !t_next) then
+        raise
+          (Invalid_allocation
+             "alive jobs receive no service and no arrival or horizon is pending");
+      let dt = !t_next -. !now in
+      assert (dt > 0.);
+      if record_trace then begin
+        let entries =
+          Array.init !n_alive (fun i ->
+              let l = !alive.(i) in
+              { Trace.job = l.job.id; arrival = l.job.arrival; rate = rates.(i) })
+        in
+        trace_rev := { Trace.t0 = !now; t1 = !t_next; alive = entries } :: !trace_rev
+      end;
+      for i = 0 to !n_alive - 1 do
+        let l = !alive.(i) in
+        let delta = rates.(i) *. speed *. dt in
+        l.remaining <- l.remaining -. delta;
+        l.attained <- l.attained +. delta
+      done;
+      now := !t_next;
+      (* Retire finished jobs; iterate downwards because of swap-remove. *)
+      for i = !n_alive - 1 downto 0 do
+        let l = !alive.(i) in
+        if l.remaining <= done_threshold l then begin
+          completions.(l.job.id) <- !now;
+          remove_alive i
+        end
+      done;
+      admit_upto !now
+    end
+  done;
+  {
+    jobs = jobs_arr;
+    completions;
+    trace = List.rev !trace_rev;
+    machines;
+    speed;
+    events = !events;
+  }
+
+let flows r = Array.mapi (fun i c -> c -. r.jobs.(i).Job.arrival) r.completions
+
+let total_flow r = Rr_util.Kahan.sum (flows r)

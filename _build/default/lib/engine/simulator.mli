@@ -1,0 +1,51 @@
+(** Exact event-driven simulation of rate-based schedules.
+
+    The simulator advances continuous time from event to event: job
+    arrivals, job completions, and policy-requested horizons.  Because all
+    supported policies keep their allocation constant between events, the
+    evolution of every job's remaining work is linear within a segment and
+    the clock can be advanced analytically — completion times are exact up
+    to floating-point rounding, with no time-step discretisation error.
+
+    Speed augmentation: a policy rate [m_j(t) in \[0,1\]] results in
+    processing at rate [speed * m_j(t)], matching the [s]-speed analysis of
+    the paper (RR is given [eta = 2k(1 + 10 eps)] speed in Theorem 1). *)
+
+exception Invalid_allocation of string
+(** Raised when a policy emits rates outside [\[0, 1\]], rates summing to
+    more than the machine count, a horizon not in the future, or an
+    allocation under which alive jobs can never make progress again. *)
+
+type result = {
+  jobs : Job.t array;  (** All jobs, indexed by job id. *)
+  completions : float array;  (** Completion time [C_j], indexed by job id. *)
+  trace : Trace.t;  (** Piecewise-constant trace; [\[\]] unless recorded. *)
+  machines : int;
+  speed : float;
+  events : int;  (** Number of simulation events processed. *)
+}
+
+val run :
+  ?record_trace:bool ->
+  ?speed:float ->
+  ?max_events:int ->
+  machines:int ->
+  policy:Policy.t ->
+  Job.t list ->
+  result
+(** [run ~machines ~policy jobs] simulates [policy] on [jobs] until every
+    job completes.
+
+    @param record_trace keep the full segment trace (default [false]; the
+      dual-fitting verifier and fairness time series need it).
+    @param speed resource augmentation factor, default [1.].
+    @param max_events safety bound on the number of events (default
+      [10_000_000]); exceeding it raises [Invalid_allocation].
+    @raise Invalid_argument when job ids are not exactly [0 .. n-1], when
+      [machines < 1], or when [speed] is not finite and positive. *)
+
+val flows : result -> float array
+(** Flow times [F_j = C_j - r_j], indexed by job id. *)
+
+val total_flow : result -> float
+(** Compensated sum of all flow times (the l1 objective, unrooted). *)

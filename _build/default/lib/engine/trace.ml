@@ -1,0 +1,24 @@
+type entry = { job : int; arrival : float; rate : float }
+
+type segment = { t0 : float; t1 : float; alive : entry array }
+
+type t = segment list
+
+let duration s = s.t1 -. s.t0
+
+let num_alive s = Array.length s.alive
+
+let is_overloaded ~machines s = num_alive s >= machines
+
+let total_work ~speed trace =
+  let acc = Rr_util.Kahan.create () in
+  List.iter
+    (fun s ->
+      Array.iter (fun e -> Rr_util.Kahan.add acc (e.rate *. speed *. duration s)) s.alive)
+    trace;
+  Rr_util.Kahan.total acc
+
+let fold f init trace = List.fold_left f init trace
+
+let end_time trace =
+  match List.rev trace with [] -> 0. | last :: _ -> last.t1

@@ -1,0 +1,40 @@
+(** Piecewise-constant execution traces.
+
+    Between consecutive simulator events every policy in this repository
+    keeps its rate allocation constant, so a run decomposes exactly into
+    segments [\[t0, t1)] carrying the alive set and its rates.  The
+    dual-fitting verifier ({!Rr_dualfit}) and the fairness time series of
+    {!Rr_metrics} consume this representation; all integrals over the trace
+    are closed-form per segment. *)
+
+type entry = {
+  job : int;  (** Job identifier. *)
+  arrival : float;  (** Release time of the job (denormalises {!Rr_engine.Job.t}). *)
+  rate : float;  (** Machine share in [\[0,1\]], {e excluding} the speed factor. *)
+}
+
+type segment = {
+  t0 : float;
+  t1 : float;  (** [t0 < t1]. *)
+  alive : entry array;  (** Every alive job, including those allocated rate 0. *)
+}
+
+type t = segment list
+(** Chronological, gap-free over the busy periods of the schedule. *)
+
+val duration : segment -> float
+
+val num_alive : segment -> int
+
+val is_overloaded : machines:int -> segment -> bool
+(** The paper's overloaded times [T_o = {t : |A(t)| >= m}]; the complement
+    is the underloaded set [T_u]. *)
+
+val total_work : speed:float -> t -> float
+(** Work processed over the whole trace: [speed * sum rate * duration].
+    Equals the total size of completed jobs (work conservation). *)
+
+val fold : ('acc -> segment -> 'acc) -> 'acc -> t -> 'acc
+
+val end_time : t -> float
+(** [t1] of the last segment; 0. for the empty trace. *)

@@ -1,0 +1,1 @@
+lib/flow/mcmf.ml: Array Float List Rr_util

@@ -1,0 +1,158 @@
+type t = {
+  n : int;
+  (* Edge-array representation: edge 2i is a forward edge, 2i+1 its
+     residual twin.  [head.(e)] is the target of edge [e]. *)
+  mutable head : int array;
+  mutable cap : float array;
+  mutable cost : float array;
+  mutable n_edges : int;
+  adj : int list array; (* outgoing edge indices per node, reversed order *)
+  mutable max_cap_seen : float;
+}
+
+type outcome = { flow : float; cost : float }
+
+let create ~n_nodes =
+  if n_nodes < 1 then invalid_arg "Mcmf.create: need at least one node";
+  {
+    n = n_nodes;
+    head = Array.make 16 0;
+    cap = Array.make 16 0.;
+    cost = Array.make 16 0.;
+    n_edges = 0;
+    adj = Array.make n_nodes [];
+    max_cap_seen = 0.;
+  }
+
+let ensure_capacity t =
+  let cap = Array.length t.head in
+  if t.n_edges + 2 > cap then begin
+    let ncap = 2 * cap in
+    let grow a fill =
+      let na = Array.make ncap fill in
+      Array.blit a 0 na 0 t.n_edges;
+      na
+    in
+    t.head <- grow t.head 0;
+    t.cap <- grow t.cap 0.;
+    t.cost <- grow t.cost 0.
+  end
+
+let add_edge t ~src ~dst ~capacity ~cost =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Mcmf.add_edge: endpoint out of range";
+  if not (Float.is_finite capacity && capacity >= 0.) then
+    invalid_arg "Mcmf.add_edge: capacity must be finite and non-negative";
+  if not (Float.is_finite cost && cost >= 0.) then
+    invalid_arg "Mcmf.add_edge: cost must be finite and non-negative";
+  ensure_capacity t;
+  let e = t.n_edges in
+  t.head.(e) <- dst;
+  t.cap.(e) <- capacity;
+  t.cost.(e) <- cost;
+  t.head.(e + 1) <- src;
+  t.cap.(e + 1) <- 0.;
+  t.cost.(e + 1) <- -.cost;
+  t.adj.(src) <- e :: t.adj.(src);
+  t.adj.(dst) <- (e + 1) :: t.adj.(dst);
+  t.n_edges <- t.n_edges + 2;
+  if capacity > t.max_cap_seen then t.max_cap_seen <- capacity;
+  e
+
+let solve ?(max_flow = Float.infinity) t ~source ~sink =
+  if source = sink then invalid_arg "Mcmf.solve: source equals sink";
+  if source < 0 || source >= t.n || sink < 0 || sink >= t.n then
+    invalid_arg "Mcmf.solve: node out of range";
+  (* Residual capacities below this threshold count as saturated, which
+     bounds the number of augmentations in floating point. *)
+  let eps = 1e-12 *. Float.max 1. t.max_cap_seen in
+  let pot = Array.make t.n 0. in
+  let dist = Array.make t.n Float.infinity in
+  let prev_edge = Array.make t.n (-1) in
+  let total_flow = ref 0. in
+  let total_cost = Rr_util.Kahan.create () in
+  let continue = ref true in
+  while !continue && !total_flow < max_flow do
+    Array.fill dist 0 t.n Float.infinity;
+    Array.fill prev_edge 0 t.n (-1);
+    dist.(source) <- 0.;
+    let heap = Rr_util.Heap.create ~cmp:(fun (d1, _) (d2, _) -> Float.compare d1 d2) () in
+    Rr_util.Heap.add heap (0., source);
+    let rec dijkstra () =
+      match Rr_util.Heap.pop heap with
+      | None -> ()
+      | Some (d, u) ->
+          if d <= dist.(u) then begin
+            List.iter
+              (fun e ->
+                if t.cap.(e) > eps then begin
+                  let v = t.head.(e) in
+                  (* Reduced cost is non-negative by the potential invariant;
+                     clamp tiny negative rounding noise. *)
+                  let rc = Float.max 0. (t.cost.(e) +. pot.(u) -. pot.(v)) in
+                  let nd = d +. rc in
+                  if nd < dist.(v) then begin
+                    dist.(v) <- nd;
+                    prev_edge.(v) <- e;
+                    Rr_util.Heap.add heap (nd, v)
+                  end
+                end)
+              t.adj.(u);
+            dijkstra ()
+          end
+          else dijkstra ()
+    in
+    dijkstra ();
+    if not (Float.is_finite dist.(sink)) then continue := false
+    else begin
+      for v = 0 to t.n - 1 do
+        if Float.is_finite dist.(v) then pot.(v) <- pot.(v) +. dist.(v)
+      done;
+      (* Bottleneck along the augmenting path. *)
+      let bottleneck = ref (max_flow -. !total_flow) in
+      let v = ref sink in
+      while !v <> source do
+        let e = prev_edge.(!v) in
+        if t.cap.(e) < !bottleneck then bottleneck := t.cap.(e);
+        v := t.head.(e lxor 1)
+      done;
+      let b = !bottleneck in
+      let v = ref sink in
+      while !v <> source do
+        let e = prev_edge.(!v) in
+        t.cap.(e) <- t.cap.(e) -. b;
+        t.cap.(e lxor 1) <- t.cap.(e lxor 1) +. b;
+        Rr_util.Kahan.add total_cost (b *. t.cost.(e));
+        v := t.head.(e lxor 1)
+      done;
+      total_flow := !total_flow +. b
+    end
+  done;
+  { flow = !total_flow; cost = Rr_util.Kahan.total total_cost }
+
+let flow_on t e =
+  if e < 0 || e >= t.n_edges || e land 1 = 1 then invalid_arg "Mcmf.flow_on: bad edge handle";
+  (* Flow on a forward edge equals the residual capacity of its twin. *)
+  t.cap.(e + 1)
+
+let no_negative_cycle t =
+  let eps = 1e-12 *. Float.max 1. t.max_cap_seen in
+  let cost_eps = 1e-7 in
+  (* Bellman-Ford with all distances 0 detects any reachable negative
+     cycle among residual edges. *)
+  let dist = Array.make t.n 0. in
+  let relax_once () =
+    let changed = ref false in
+    for e = 0 to t.n_edges - 1 do
+      if t.cap.(e) > eps then begin
+        let u = t.head.(e lxor 1) and v = t.head.(e) in
+        if dist.(u) +. t.cost.(e) < dist.(v) -. cost_eps then begin
+          dist.(v) <- dist.(u) +. t.cost.(e);
+          changed := true
+        end
+      end
+    done;
+    !changed
+  in
+  let rec loop i = if i = 0 then true else if relax_once () then loop (i - 1) else true in
+  if loop t.n then not (relax_once ()) else false

@@ -1,0 +1,1 @@
+lib/lp/brute.ml: Array Float Fun Hashtbl Int List Rr_util

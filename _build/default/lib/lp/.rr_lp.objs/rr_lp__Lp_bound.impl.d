@@ -1,0 +1,1 @@
+lib/lp/lp_bound.ml: Array Float List Printf Rr_engine Rr_flow Rr_util Rr_workload

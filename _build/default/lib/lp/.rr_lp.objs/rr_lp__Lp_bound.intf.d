@@ -1,0 +1,1 @@
+lib/lp/lp_bound.mli: Rr_workload

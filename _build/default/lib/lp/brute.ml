@@ -1,0 +1,66 @@
+let optimal_power_sum ~k ~machines jobs =
+  if k < 1 then invalid_arg "Brute.optimal_power_sum: k must be >= 1";
+  if machines < 1 then invalid_arg "Brute.optimal_power_sum: machines must be >= 1";
+  List.iter
+    (fun (r, p) ->
+      if r < 0 || p <= 0 then
+        invalid_arg "Brute.optimal_power_sum: need arrival >= 0 and size > 0")
+    jobs;
+  let n = List.length jobs in
+  let total = List.fold_left (fun acc (_, p) -> acc + p) 0 jobs in
+  if n > 8 || total > 64 then invalid_arg "Brute.optimal_power_sum: instance too large";
+  if n = 0 then 0.
+  else begin
+    let arrival = Array.of_list (List.map fst jobs) in
+    let size = Array.of_list (List.map snd jobs) in
+    let max_arrival = Array.fold_left Int.max 0 arrival in
+    let horizon = max_arrival + total in
+    let memo : (int * int list, float) Hashtbl.t = Hashtbl.create 4096 in
+    (* Enumerate subsets of [candidates] of exactly [want] elements. *)
+    let rec subsets want = function
+      | [] -> if want = 0 then [ [] ] else []
+      | x :: rest ->
+          let without = subsets want rest in
+          if want = 0 then without
+          else List.map (fun s -> x :: s) (subsets (want - 1) rest) @ without
+    in
+    let rec best t remaining =
+      if Array.for_all (fun r -> r = 0) remaining then 0.
+      else begin
+        assert (t < horizon);
+        let key = (t, Array.to_list remaining) in
+        match Hashtbl.find_opt memo key with
+        | Some v -> v
+        | None ->
+            let alive =
+              List.filter
+                (fun i -> remaining.(i) > 0 && arrival.(i) <= t)
+                (List.init n Fun.id)
+            in
+            let v =
+              if alive = [] then best (t + 1) remaining
+              else begin
+                let want = Int.min machines (List.length alive) in
+                let choices = subsets want alive in
+                List.fold_left
+                  (fun acc chosen ->
+                    let rem' = Array.copy remaining in
+                    let finished_cost = ref 0. in
+                    List.iter
+                      (fun i ->
+                        rem'.(i) <- rem'.(i) - 1;
+                        if rem'.(i) = 0 then
+                          finished_cost :=
+                            !finished_cost
+                            +. Rr_util.Floatx.powi (Float.of_int (t + 1 - arrival.(i))) k)
+                      chosen;
+                    Float.min acc (!finished_cost +. best (t + 1) rem'))
+                  Float.infinity choices
+              end
+            in
+            Hashtbl.add memo key v;
+            v
+      end
+    in
+    best 0 (Array.copy size)
+  end

@@ -1,0 +1,20 @@
+(** Exhaustive optimal preemptive schedules on an integer time grid.
+
+    For instances with integer release times and sizes, enumerates every
+    migratory preemptive schedule that processes [min(machines, alive)]
+    distinct alive jobs in each unit slot, with memoisation on
+    [(slot, remaining-work vector)].  Work-conserving schedules dominate
+    for flow-time objectives, so the result is the true optimum over
+    integer-aligned schedules; it upper-bounds the continuous OPT and is
+    used to sandwich the LP relaxation in tests and experiment T8.
+
+    Complexity is exponential; intended for instances of at most ~6 jobs
+    and ~20 total work. *)
+
+val optimal_power_sum : k:int -> machines:int -> (int * int) list -> float
+(** [optimal_power_sum ~k ~machines jobs] with [jobs] a list of
+    [(arrival, size)] pairs returns the minimum of [sum_j (C_j - r_j)^k]
+    over integral preemptive schedules.
+    @raise Invalid_argument on negative arrivals, non-positive sizes,
+    [k < 1], [machines < 1], or instances large enough to be intractable
+    (more than 8 jobs or more than 64 total work). *)

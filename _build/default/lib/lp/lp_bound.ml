@@ -1,0 +1,101 @@
+type mode = Slot_start | Slot_end
+
+type solution = {
+  value : float;
+  delta : float;
+  allocation : (float * float) list array;
+}
+
+(* Build the transportation network for LP_primal and solve it; returns the
+   objective together with the per-(job, slot) arc handles so the optimal
+   fractional schedule can be read back. *)
+let solve_network ~mode ~gamma ~k ~machines ~delta inst =
+  if k < 1 then invalid_arg "Lp_bound.value: k must be >= 1";
+  if machines < 1 then invalid_arg "Lp_bound.value: machines must be >= 1";
+  if delta <= 0. then invalid_arg "Lp_bound.value: delta must be positive";
+  let jobs = Array.of_list (Rr_workload.Instance.jobs inst) in
+  let n = Array.length jobs in
+  if n = 0 then (0., None, [])
+  else begin
+    let total_work = Rr_workload.Instance.total_work inst in
+    let max_arrival =
+      Array.fold_left (fun acc (j : Rr_engine.Job.t) -> Float.max acc j.arrival) 0. jobs
+    in
+    (* Slots cover [0, horizon); capacity after the last arrival suffices to
+       absorb all remaining work, so the transportation problem is feasible. *)
+    let horizon = max_arrival +. (total_work /. Float.of_int machines) +. (2. *. delta) in
+    let n_slots = int_of_float (Float.ceil (horizon /. delta)) in
+    if n_slots > 200_000 then
+      invalid_arg
+        (Printf.sprintf "Lp_bound.value: %d slots needed; coarsen delta" n_slots);
+    (* Nodes: 0 = source, 1..n = jobs, n+1..n+n_slots = slots, last = sink. *)
+    let source = 0 in
+    let sink = n + n_slots + 1 in
+    let net = Rr_flow.Mcmf.create ~n_nodes:(sink + 1) in
+    let m_cap = Float.of_int machines *. delta in
+    Array.iteri
+      (fun ji (j : Rr_engine.Job.t) ->
+        ignore (Rr_flow.Mcmf.add_edge net ~src:source ~dst:(1 + ji) ~capacity:j.size ~cost:0.))
+      jobs;
+    for s = 0 to n_slots - 1 do
+      ignore
+        (Rr_flow.Mcmf.add_edge net ~src:(n + 1 + s) ~dst:sink ~capacity:m_cap ~cost:0.)
+    done;
+    let arcs = ref [] in
+    Array.iteri
+      (fun ji (j : Rr_engine.Job.t) ->
+        let pk = Rr_util.Floatx.powi j.size k in
+        for s = 0 to n_slots - 1 do
+          let slot_start = Float.of_int s *. delta in
+          let slot_end = slot_start +. delta in
+          if slot_end > j.arrival then begin
+            (* Work of job ji routed into slot s runs inside
+               [max(r_j, slot_start), slot_end). *)
+            let window_start = Float.max j.arrival slot_start in
+            let cap = Float.of_int machines *. (slot_end -. window_start) in
+            let t_eval = match mode with Slot_start -> window_start | Slot_end -> slot_end in
+            let age = t_eval -. j.arrival in
+            let cost = gamma /. j.size *. (Rr_util.Floatx.powi age k +. pk) in
+            let e = Rr_flow.Mcmf.add_edge net ~src:(1 + ji) ~dst:(n + 1 + s) ~capacity:cap ~cost in
+            arcs := (ji, slot_start, e) :: !arcs
+          end
+        done)
+      jobs;
+    let { Rr_flow.Mcmf.flow; cost } = Rr_flow.Mcmf.solve net ~source ~sink in
+    if flow < total_work *. (1. -. 1e-6) then
+      failwith
+        (Printf.sprintf "Lp_bound.value: routed only %g of %g work (internal horizon bug)"
+           flow total_work);
+    (cost, Some net, List.rev !arcs)
+  end
+
+let value ?(mode = Slot_start) ?(gamma = 1.) ~k ~machines ~delta inst =
+  let v, _, _ = solve_network ~mode ~gamma ~k ~machines ~delta inst in
+  v
+
+let solve ?(mode = Slot_start) ?(gamma = 1.) ~k ~machines ~delta inst =
+  let v, net, arcs = solve_network ~mode ~gamma ~k ~machines ~delta inst in
+  let allocation = Array.make (Rr_workload.Instance.n inst) [] in
+  (match net with
+  | None -> ()
+  | Some net ->
+      List.iter
+        (fun (ji, slot_start, e) ->
+          let f = Rr_flow.Mcmf.flow_on net e in
+          if f > 1e-12 then allocation.(ji) <- (slot_start, f) :: allocation.(ji))
+        arcs;
+      Array.iteri (fun i l -> allocation.(i) <- List.rev l) allocation);
+  { value = v; delta; allocation }
+
+let completion_profile sol ~job =
+  if job < 0 || job >= Array.length sol.allocation then
+    invalid_arg "Lp_bound.completion_profile: unknown job";
+  match List.rev sol.allocation.(job) with
+  | [] -> Float.nan
+  | (slot_start, _) :: _ -> slot_start +. sol.delta
+
+let opt_power_lower_bound ~k ~machines ~delta inst =
+  value ~mode:Slot_start ~gamma:1. ~k ~machines ~delta inst /. 2.
+
+let opt_norm_lower_bound ~k ~machines ~delta inst =
+  opt_power_lower_bound ~k ~machines ~delta inst ** (1. /. Float.of_int k)

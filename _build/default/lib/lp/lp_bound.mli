@@ -1,0 +1,76 @@
+(** The paper's LP relaxation (Section 3.1), solved exactly.
+
+    LP_primal:
+    {v
+      min   sum_j sum_{t >= r_j} gamma * (x_jt / p_j) * ((t - r_j)^k + p_j^k)
+      s.t.  sum_t x_jt >= p_j          for every job j
+            sum_j x_jt <= m            for every time t
+            x_jt >= 0
+    v}
+
+    After discretising time into slots of width [delta] this is a
+    transportation problem between jobs and slots, solved exactly by the
+    min-cost-flow substrate {!Rr_flow.Mcmf}.  The per-unit-work cost of a
+    job inside a slot can be evaluated at the earliest instant the job may
+    run in that slot ([`Slot_start], which only lowers the objective, so
+    the discrete value {e lower-bounds} the continuous LP) or at the slot
+    end ([`Slot_end], which upper-bounds the continuous LP).  The paper
+    shows LP <= 2 gamma OPT^k, so with [gamma = 1]
+    [`Slot_start]-value / 2 is a certified lower bound on OPT's sum of
+    k-th powers of flow time — the quantity competitive ratios in the
+    benchmark suite are measured against. *)
+
+type mode = Slot_start | Slot_end
+
+val value :
+  ?mode:mode ->
+  ?gamma:float ->
+  k:int ->
+  machines:int ->
+  delta:float ->
+  Rr_workload.Instance.t ->
+  float
+(** LP optimum under the given discretisation (default [mode = Slot_start],
+    [gamma = 1.]).  The slot horizon is chosen large enough that the
+    transportation problem is always feasible.
+    @raise Invalid_argument when [k < 1], [machines < 1], [delta <= 0.],
+    or the discretisation would need more than 200_000 slots.
+    @raise Failure if the solver cannot route all work (horizon bug — this
+    indicates an internal error, not bad input). *)
+
+val opt_power_lower_bound :
+  k:int -> machines:int -> delta:float -> Rr_workload.Instance.t -> float
+(** [value ~mode:Slot_start ~gamma:1.] divided by 2: a certified lower
+    bound on [min_schedules sum_j (C_j - r_j)^k].  Returns 0. for the
+    empty instance. *)
+
+val opt_norm_lower_bound :
+  k:int -> machines:int -> delta:float -> Rr_workload.Instance.t -> float
+(** k-th root of {!opt_power_lower_bound}: a lower bound on the optimal
+    lk-norm of flow time. *)
+
+type solution = {
+  value : float;  (** LP objective, as from {!value}. *)
+  delta : float;  (** Slot width the solution is expressed in. *)
+  allocation : (float * float) list array;
+      (** Per job id: [(slot_start, work)] pairs with positive work,
+          chronological. *)
+}
+
+val solve :
+  ?mode:mode ->
+  ?gamma:float ->
+  k:int ->
+  machines:int ->
+  delta:float ->
+  Rr_workload.Instance.t ->
+  solution
+(** Like {!value} but also extracts the optimal fractional schedule from
+    the flow network — how the LP chooses to spread each job's work over
+    time.  The test suite checks the LP-feasibility invariants on it
+    (release times respected, all work scheduled, slot capacity obeyed). *)
+
+val completion_profile : solution -> job:int -> float
+(** The fractional completion time of a job in the LP solution: the end of
+    the last slot carrying any of its work.  Lower-bounds nothing by
+    itself but shows where the relaxation finishes each job. *)

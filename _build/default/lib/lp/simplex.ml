@@ -1,0 +1,185 @@
+type kind = Le | Ge | Eq
+
+type problem = { objective : float array; rows : (float array * kind * float) list }
+
+type answer = Optimal of { x : float array; objective : float } | Infeasible | Unbounded
+
+let eps = 1e-9
+
+(* Tableau layout: [m] constraint rows over columns
+   [original | slack/surplus | artificial | rhs], followed by the objective
+   row under elimination.  Basis.(r) is the variable basic in row r. *)
+type tableau = {
+  a : float array array; (* m x (cols + 1), last column is the rhs *)
+  basis : int array;
+  cols : int;
+}
+
+let pivot tab ~row ~col =
+  let m = Array.length tab.a in
+  let piv = tab.a.(row).(col) in
+  let arow = tab.a.(row) in
+  for j = 0 to tab.cols do
+    arow.(j) <- arow.(j) /. piv
+  done;
+  for i = 0 to m - 1 do
+    if i <> row then begin
+      let f = tab.a.(i).(col) in
+      if Float.abs f > 0. then
+        for j = 0 to tab.cols do
+          tab.a.(i).(j) <- tab.a.(i).(j) -. (f *. arow.(j))
+        done
+    end
+  done;
+  tab.basis.(row) <- col
+
+(* Minimise [obj . x] over the tableau rows (Bland's rule); [obj] is given
+   as a full row over the tableau columns and reduced in place.  Returns
+   [None] if unbounded. *)
+let optimize tab obj ~allowed =
+  (* Reduce the objective row against the current basis. *)
+  let m = Array.length tab.a in
+  for r = 0 to m - 1 do
+    let f = obj.(tab.basis.(r)) in
+    if Float.abs f > 0. then
+      for j = 0 to tab.cols do
+        obj.(j) <- obj.(j) -. (f *. tab.a.(r).(j))
+      done
+  done;
+  let rec iterate () =
+    (* Bland: entering variable is the lowest-index column with a negative
+       reduced cost. *)
+    let entering = ref (-1) in
+    (try
+       for j = 0 to tab.cols - 1 do
+         if allowed j && obj.(j) < -.eps then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then Some ()
+    else begin
+      let col = !entering in
+      (* Ratio test, ties broken by the lowest basis index (Bland). *)
+      let row = ref (-1) in
+      let best = ref Float.infinity in
+      for i = 0 to m - 1 do
+        if tab.a.(i).(col) > eps then begin
+          let ratio = tab.a.(i).(tab.cols) /. tab.a.(i).(col) in
+          if
+            ratio < !best -. eps
+            || (Float.abs (ratio -. !best) <= eps
+               && (!row < 0 || tab.basis.(i) < tab.basis.(!row)))
+          then begin
+            best := ratio;
+            row := i
+          end
+        end
+      done;
+      if !row < 0 then None
+      else begin
+        pivot tab ~row:!row ~col;
+        (* Keep the objective row reduced. *)
+        let f = obj.(col) in
+        if Float.abs f > 0. then
+          for j = 0 to tab.cols do
+            obj.(j) <- obj.(j) -. (f *. tab.a.(!row).(j))
+          done;
+        iterate ()
+      end
+    end
+  in
+  iterate ()
+
+let phase2 tab n n_slack objective =
+  let cols = tab.cols in
+  (* Artificials may never re-enter the basis. *)
+  let allowed j = j < n + n_slack in
+  (* Drive any residual artificial basic variables out where possible. *)
+  Array.iteri
+    (fun r b ->
+      if b >= n + n_slack then begin
+        let col = ref (-1) in
+        (try
+           for j = 0 to (n + n_slack) - 1 do
+             if Float.abs tab.a.(r).(j) > eps then begin
+               col := j;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !col >= 0 then pivot tab ~row:r ~col:!col
+      end)
+    tab.basis;
+  let obj = Array.make (cols + 1) 0. in
+  Array.blit objective 0 obj 0 n;
+  match optimize tab obj ~allowed with
+  | None -> Unbounded
+  | Some () ->
+      let x = Array.make n 0. in
+      Array.iteri (fun r b -> if b < n then x.(b) <- tab.a.(r).(cols)) tab.basis;
+      (* The reduced objective row carries -(optimal value) in the rhs. *)
+      Optimal { x; objective = -.obj.(cols) }
+
+
+let solve { objective; rows } =
+  let n = Array.length objective in
+  if n = 0 then invalid_arg "Simplex.solve: empty objective";
+  List.iter
+    (fun (a, _, _) ->
+      if Array.length a <> n then invalid_arg "Simplex.solve: ragged constraint row")
+    rows;
+  (* Normalise to b >= 0. *)
+  let rows =
+    List.map
+      (fun (a, kind, b) ->
+        if b < 0. then
+          ( Array.map (fun x -> -.x) a,
+            (match kind with Le -> Ge | Ge -> Le | Eq -> Eq),
+            -.b )
+        else (a, kind, b))
+      rows
+  in
+  let m = List.length rows in
+  let n_slack = List.length (List.filter (fun (_, k, _) -> k <> Eq) rows) in
+  let n_art =
+    List.length (List.filter (fun (_, k, _) -> match k with Ge | Eq -> true | Le -> false) rows)
+  in
+  let cols = n + n_slack + n_art in
+  let a = Array.init m (fun _ -> Array.make (cols + 1) 0.) in
+  let basis = Array.make m (-1) in
+  let slack_at = ref n and art_at = ref (n + n_slack) in
+  List.iteri
+    (fun i (row, kind, b) ->
+      Array.blit row 0 a.(i) 0 n;
+      a.(i).(cols) <- b;
+      (match kind with
+      | Le ->
+          a.(i).(!slack_at) <- 1.;
+          basis.(i) <- !slack_at;
+          incr slack_at
+      | Ge ->
+          a.(i).(!slack_at) <- -1.;
+          incr slack_at;
+          a.(i).(!art_at) <- 1.;
+          basis.(i) <- !art_at;
+          incr art_at
+      | Eq ->
+          a.(i).(!art_at) <- 1.;
+          basis.(i) <- !art_at;
+          incr art_at))
+    rows;
+  let tab = { a; basis; cols } in
+  (* Phase 1: minimise the sum of artificial variables. *)
+  if n_art > 0 then begin
+    let phase1 = Array.make (cols + 1) 0. in
+    for j = n + n_slack to cols - 1 do
+      phase1.(j) <- 1.
+    done;
+    match optimize tab phase1 ~allowed:(fun _ -> true) with
+    | None -> Infeasible (* cannot happen: phase-1 objective is bounded below by 0 *)
+    | Some () ->
+        if phase1.(cols) < -.eps *. 100. then Infeasible else phase2 tab n n_slack objective
+  end
+  else phase2 tab n n_slack objective

@@ -1,0 +1,24 @@
+(** Dense two-phase primal simplex for small linear programs.
+
+    Solves [min c . x] subject to linear constraints and [x >= 0] using a
+    tableau with Bland's anti-cycling rule.  This solver is deliberately
+    simple and is used to cross-check the min-cost-flow formulation of the
+    paper's LP relaxation on small instances (experiment T8) and in unit
+    tests; the flow solver remains the production path. *)
+
+type kind = Le | Ge | Eq
+
+type problem = {
+  objective : float array;  (** Cost vector [c]. *)
+  rows : (float array * kind * float) list;
+      (** Each row [(a, kind, b)] encodes [a . x kind b]; all [a] must have
+          the same length as [objective]. *)
+}
+
+type answer =
+  | Optimal of { x : float array; objective : float }
+  | Infeasible
+  | Unbounded
+
+val solve : problem -> answer
+(** @raise Invalid_argument on ragged rows or an empty objective. *)

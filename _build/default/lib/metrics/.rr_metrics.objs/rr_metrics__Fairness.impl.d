@@ -1,0 +1,1 @@
+lib/metrics/fairness.ml: Array List Rr_engine Rr_util Trace

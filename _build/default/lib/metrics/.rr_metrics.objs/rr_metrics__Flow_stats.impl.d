@@ -1,0 +1,1 @@
+lib/metrics/flow_stats.ml: Array Format Norms Rr_util

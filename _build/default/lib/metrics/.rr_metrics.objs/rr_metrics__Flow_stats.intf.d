@@ -1,0 +1,1 @@
+lib/metrics/flow_stats.mli: Format

@@ -1,0 +1,1 @@
+lib/metrics/fractional.ml: Array Float Hashtbl Job List Printf Rr_engine Rr_util Simulator Trace

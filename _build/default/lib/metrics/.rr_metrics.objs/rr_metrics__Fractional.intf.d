@@ -1,0 +1,1 @@
+lib/metrics/fractional.mli: Rr_engine

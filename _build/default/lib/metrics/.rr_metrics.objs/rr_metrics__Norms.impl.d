@@ -1,0 +1,1 @@
+lib/metrics/norms.ml: Array Float Rr_util

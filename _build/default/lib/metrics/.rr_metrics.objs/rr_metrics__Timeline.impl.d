@@ -1,0 +1,1 @@
+lib/metrics/timeline.ml: Float Int List Rr_engine Rr_util Trace

@@ -1,0 +1,49 @@
+open Rr_engine
+
+let segment_jain (s : Trace.segment) =
+  if Array.length s.alive <= 1 then 1.
+  else Rr_util.Stats.jain_index (Array.map (fun (e : Trace.entry) -> e.rate) s.alive)
+
+let time_weighted_jain ?(min_alive = 2) trace =
+  let num = Rr_util.Kahan.create () and den = Rr_util.Kahan.create () in
+  List.iter
+    (fun (s : Trace.segment) ->
+      if Trace.num_alive s >= min_alive then begin
+        let d = Trace.duration s in
+        Rr_util.Kahan.add num (d *. segment_jain s);
+        Rr_util.Kahan.add den d
+      end)
+    trace;
+  let d = Rr_util.Kahan.total den in
+  if d <= 0. then 1. else Rr_util.Kahan.total num /. d
+
+let jain_series ~sample_every trace =
+  if sample_every <= 0. then invalid_arg "Fairness.jain_series: sample_every must be positive";
+  let t_end = Trace.end_time trace in
+  let rec walk segs t acc =
+    if t > t_end then List.rev acc
+    else
+      match segs with
+      | [] -> List.rev acc
+      | (s : Trace.segment) :: rest ->
+          if t < s.t0 then walk segs (t +. sample_every) acc
+          else if t >= s.t1 then walk rest t acc
+          else walk segs (t +. sample_every) ((t, segment_jain s) :: acc)
+  in
+  walk trace 0. []
+
+let share_of_job ~job trace =
+  let served = Rr_util.Kahan.create () and alive = Rr_util.Kahan.create () in
+  List.iter
+    (fun (s : Trace.segment) ->
+      Array.iter
+        (fun (e : Trace.entry) ->
+          if e.job = job then begin
+            let d = Trace.duration s in
+            Rr_util.Kahan.add alive d;
+            if e.rate > 0. then Rr_util.Kahan.add served d
+          end)
+        s.alive)
+    trace;
+  let a = Rr_util.Kahan.total alive in
+  if a <= 0. then 1. else Rr_util.Kahan.total served /. a

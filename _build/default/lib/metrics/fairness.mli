@@ -1,0 +1,29 @@
+(** Instantaneous fairness measures over execution traces.
+
+    The paper distinguishes instantaneous fairness — equal machine shares
+    at every moment, the property RR has by construction — from temporal
+    fairness measured by lk-norms.  This module quantifies the former:
+    Jain's index of the rate allocation over time.  RR scores exactly 1.0
+    whenever at least as many jobs as machines are alive; priority policies
+    like SRPT score near [m / n_t]. *)
+
+val segment_jain : Rr_engine.Trace.segment -> float
+(** Jain index of the rate vector of one segment (1.0 when at most one job
+    is alive). *)
+
+val time_weighted_jain : ?min_alive:int -> Rr_engine.Trace.t -> float
+(** Duration-weighted average of {!segment_jain} over all segments with at
+    least [min_alive] alive jobs (default 2; with a single alive job every
+    policy is trivially fair).  Returns 1.0 when no segment qualifies. *)
+
+val jain_series :
+  sample_every:float -> Rr_engine.Trace.t -> (float * float) list
+(** Sampled time series [(t, jain_t)] for plotting; samples falling into
+    gaps between segments are skipped.
+    @raise Invalid_argument when [sample_every <= 0.]. *)
+
+val share_of_job : job:int -> Rr_engine.Trace.t -> float
+(** Fraction of the job's alive time during which it received a non-zero
+    rate; 1.0 for RR (never starves anyone), potentially ~0 for the long
+    job under SRPT in the starvation scenario.  Returns 1.0 for a job
+    absent from the trace. *)

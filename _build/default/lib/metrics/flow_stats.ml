@@ -1,0 +1,50 @@
+type t = {
+  n : int;
+  mean : float;
+  variance : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  l1 : float;
+  l2 : float;
+  l3 : float;
+}
+
+let of_flows flows =
+  if Array.length flows = 0 then invalid_arg "Flow_stats.of_flows: empty array";
+  let w = Rr_util.Welford.of_array flows in
+  {
+    n = Array.length flows;
+    mean = Rr_util.Welford.mean w;
+    variance = Rr_util.Welford.variance w;
+    stddev = Rr_util.Welford.stddev w;
+    min = Rr_util.Welford.min w;
+    max = Rr_util.Welford.max w;
+    p50 = Rr_util.Stats.percentile flows ~p:50.;
+    p90 = Rr_util.Stats.percentile flows ~p:90.;
+    p99 = Rr_util.Stats.percentile flows ~p:99.;
+    l1 = Norms.power_sum ~k:1 flows;
+    l2 = Norms.lk ~k:2 flows;
+    l3 = Norms.lk ~k:3 flows;
+  }
+
+let slowdowns ~sizes ~flows =
+  if Array.length sizes <> Array.length flows then
+    invalid_arg "Flow_stats.slowdowns: length mismatch";
+  Array.map2
+    (fun p f ->
+      if p <= 0. then invalid_arg "Flow_stats.slowdowns: non-positive size";
+      f /. p)
+    sizes flows
+
+let max_slowdown ~sizes ~flows =
+  let s = slowdowns ~sizes ~flows in
+  if Array.length s = 0 then 0. else Rr_util.Floatx.max_arr s
+
+let pp ppf t =
+  Format.fprintf ppf
+    "n=%d mean=%.4f sd=%.4f max=%.4f p50=%.4f p99=%.4f l1=%.4f l2=%.4f l3=%.4f" t.n t.mean
+    t.stddev t.max t.p50 t.p99 t.l1 t.l2 t.l3

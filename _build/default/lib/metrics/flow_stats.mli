@@ -1,0 +1,33 @@
+(** One-stop descriptive summary of a schedule's flow times.
+
+    Captures both the latency view (mean, percentiles) and the temporal
+    fairness view (variance, maximum, l2/l3 norms) that the paper's
+    introduction contrasts, plus slowdown (flow divided by size), the
+    per-job stretch measure common in the systems literature. *)
+
+type t = {
+  n : int;
+  mean : float;
+  variance : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  l1 : float;  (** Total flow time. *)
+  l2 : float;  (** l2-norm of flow time. *)
+  l3 : float;  (** l3-norm of flow time. *)
+}
+
+val of_flows : float array -> t
+(** @raise Invalid_argument on an empty array or negative flows. *)
+
+val slowdowns : sizes:float array -> flows:float array -> float array
+(** Per-job stretch [F_j / p_j].
+    @raise Invalid_argument on mismatched lengths or non-positive sizes. *)
+
+val max_slowdown : sizes:float array -> flows:float array -> float
+(** The starvation measure: the worst stretch over all jobs. *)
+
+val pp : Format.formatter -> t -> unit

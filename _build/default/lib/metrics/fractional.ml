@@ -1,0 +1,34 @@
+open Rr_engine
+
+let of_trace ~speed ~sizes trace =
+  if speed <= 0. then invalid_arg "Fractional.of_trace: speed must be positive";
+  let n = Array.length sizes in
+  let remaining = Hashtbl.create 64 in
+  let get_remaining job =
+    match Hashtbl.find_opt remaining job with
+    | Some r -> r
+    | None ->
+        if job < 0 || job >= n then
+          invalid_arg (Printf.sprintf "Fractional.of_trace: no size for job %d" job);
+        sizes.(job)
+  in
+  let acc = Rr_util.Kahan.create () in
+  List.iter
+    (fun (s : Trace.segment) ->
+      let dur = Trace.duration s in
+      Array.iter
+        (fun (e : Trace.entry) ->
+          let rem0 = get_remaining e.job in
+          let rem1 = Float.max 0. (rem0 -. (e.rate *. speed *. dur)) in
+          (* Linear decline: the exact integral is the trapezoid. *)
+          Rr_util.Kahan.add acc (dur *. (rem0 +. rem1) /. (2. *. sizes.(e.job)));
+          Hashtbl.replace remaining e.job rem1)
+        s.alive)
+    trace;
+  Rr_util.Kahan.total acc
+
+let of_result (res : Simulator.result) =
+  if res.trace = [] && Array.length res.jobs > 0 then
+    invalid_arg "Fractional.of_result: result carries no trace";
+  let sizes = Array.map (fun (j : Job.t) -> j.size) res.jobs in
+  of_trace ~speed:res.speed ~sizes res.trace

@@ -1,0 +1,21 @@
+(** Fractional flow time.
+
+    The fractional flow of job [j] is [int (remaining_j(t) / p_j) dt] from
+    release to completion: the job counts only by its unfinished fraction.
+    It lower-bounds the (integral) flow time and is the natural objective
+    of LP relaxations like the paper's LP_primal; comparing the two
+    quantifies how much of a schedule's flow time is spent on
+    nearly-finished jobs — large gaps are the signature of equal-share
+    policies like RR, which keep many almost-done jobs alive. *)
+
+val of_trace : speed:float -> sizes:float array -> Rr_engine.Trace.t -> float
+(** Total fractional flow time of the traced schedule.  [sizes] is indexed
+    by job id; [speed] must match the simulation.  Remaining work declines
+    linearly within a segment, so each segment contributes its exact
+    trapezoid.
+    @raise Invalid_argument when a traced job id has no size or
+    [speed <= 0.]. *)
+
+val of_result : Rr_engine.Simulator.result -> float
+(** Convenience wrapper reading sizes and speed from a simulation result
+    (which must carry a trace). *)

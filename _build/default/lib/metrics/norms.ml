@@ -1,0 +1,36 @@
+let power_sum ~k flows =
+  if k < 1 then invalid_arg "Norms.power_sum: k must be >= 1";
+  let acc = Rr_util.Kahan.create () in
+  Array.iter
+    (fun f ->
+      if f < 0. then invalid_arg "Norms.power_sum: negative flow time";
+      Rr_util.Kahan.add acc (Rr_util.Floatx.powi f k))
+    flows;
+  Rr_util.Kahan.total acc
+
+let lk ~k flows =
+  if Array.length flows = 0 then 0.
+  else power_sum ~k flows ** (1. /. Float.of_int k)
+
+let linf flows = if Array.length flows = 0 then 0. else Rr_util.Floatx.max_arr flows
+
+let normalized_lk ~k flows =
+  let n = Array.length flows in
+  if n = 0 then 0. else (power_sum ~k flows /. Float.of_int n) ** (1. /. Float.of_int k)
+
+let weighted_power_sum ~k ~weights flows =
+  if k < 1 then invalid_arg "Norms.weighted_power_sum: k must be >= 1";
+  if Array.length weights <> Array.length flows then
+    invalid_arg "Norms.weighted_power_sum: length mismatch";
+  let acc = Rr_util.Kahan.create () in
+  Array.iteri
+    (fun i f ->
+      if f < 0. then invalid_arg "Norms.weighted_power_sum: negative flow time";
+      if weights.(i) < 0. then invalid_arg "Norms.weighted_power_sum: negative weight";
+      Rr_util.Kahan.add acc (weights.(i) *. Rr_util.Floatx.powi f k))
+    flows;
+  Rr_util.Kahan.total acc
+
+let weighted_lk ~k ~weights flows =
+  if Array.length flows = 0 then 0.
+  else weighted_power_sum ~k ~weights flows ** (1. /. Float.of_int k)

@@ -1,0 +1,32 @@
+(** lk-norms of flow time — the paper's objective family.
+
+    For flow times [F_1 .. F_n] the lk-norm is [(sum_j F_j^k)^(1/k)];
+    [k = 1] is total (average) flow time, [k = 2] the variance-sensitive
+    norm Theorem 1 highlights, and [k = infinity] the maximum flow time.
+    The paper's analysis works with the unrooted k-th power sum, exposed
+    separately because competitive ratios for it differ from norm ratios
+    by the k-th root. *)
+
+val power_sum : k:int -> float array -> float
+(** [power_sum ~k flows = sum_j flows.(j)^k], compensated summation.
+    @raise Invalid_argument when [k < 1] or any flow is negative. *)
+
+val lk : k:int -> float array -> float
+(** [lk ~k flows = (power_sum ~k flows)^(1/k)]; 0. on the empty array. *)
+
+val linf : float array -> float
+(** Maximum flow time; 0. on the empty array. *)
+
+val normalized_lk : k:int -> float array -> float
+(** [(power_sum / n)^(1/k)], the per-job (mean-like) lk norm; 0. on the
+    empty array.  Non-decreasing in [k] by the power-mean inequality —
+    a property-test invariant. *)
+
+val weighted_power_sum : k:int -> weights:float array -> float array -> float
+(** [sum_j w_j F_j^k] — the weighted flow-time objective of the
+    dual-fitting literature the paper builds on.
+    @raise Invalid_argument on mismatched lengths, [k < 1], negative
+    weights, or negative flows. *)
+
+val weighted_lk : k:int -> weights:float array -> float array -> float
+(** k-th root of {!weighted_power_sum}; 0. on empty input. *)

@@ -1,0 +1,33 @@
+open Rr_engine
+
+let alive_integral trace =
+  let acc = Rr_util.Kahan.create () in
+  List.iter
+    (fun (s : Trace.segment) ->
+      Rr_util.Kahan.add acc (Float.of_int (Trace.num_alive s) *. Trace.duration s))
+    trace;
+  Rr_util.Kahan.total acc
+
+let peak_alive trace =
+  List.fold_left (fun acc (s : Trace.segment) -> Int.max acc (Trace.num_alive s)) 0 trace
+
+let mean_alive trace =
+  let busy = Rr_util.Kahan.create () in
+  List.iter (fun (s : Trace.segment) -> Rr_util.Kahan.add busy (Trace.duration s)) trace;
+  let d = Rr_util.Kahan.total busy in
+  if d <= 0. then 0. else alive_integral trace /. d
+
+let alive_series ~sample_every trace =
+  if sample_every <= 0. then invalid_arg "Timeline.alive_series: sample_every must be positive";
+  let t_end = Trace.end_time trace in
+  let rec walk segs t acc =
+    if t > t_end then List.rev acc
+    else
+      match segs with
+      | [] -> List.rev acc
+      | (s : Trace.segment) :: rest ->
+          if t < s.t0 then walk segs (t +. sample_every) acc
+          else if t >= s.t1 then walk rest t acc
+          else walk segs (t +. sample_every) ((t, Trace.num_alive s) :: acc)
+  in
+  walk trace 0. []

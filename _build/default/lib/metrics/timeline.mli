@@ -1,0 +1,24 @@
+(** System-occupancy view of a trace.
+
+    The number of alive jobs [n(t)] is the derivative of the total-flow
+    objective: integrating the alive count over time gives exactly the sum
+    of flow times (every alive job accrues flow at rate 1).  This identity
+    is used both as a cross-check of the simulator (property test) and for
+    occupancy statistics: RR's behaviour is governed by [n_t] through its
+    share [min(1, m/n_t)]. *)
+
+val alive_integral : Rr_engine.Trace.t -> float
+(** [int n(t) dt] over the trace — equals the total flow time of the
+    schedule up to float rounding (jobs are alive exactly from release to
+    completion). *)
+
+val peak_alive : Rr_engine.Trace.t -> int
+(** Maximum number of simultaneously alive jobs; 0 for the empty trace. *)
+
+val mean_alive : Rr_engine.Trace.t -> float
+(** Time-average alive count over the busy periods covered by the trace;
+    0. for the empty trace. *)
+
+val alive_series : sample_every:float -> Rr_engine.Trace.t -> (float * int) list
+(** Sampled [(t, n(t))] series; samples in idle gaps are skipped.
+    @raise Invalid_argument when [sample_every <= 0.]. *)

@@ -1,0 +1,1 @@
+lib/policies/fcfs.ml: Rr_engine Srpt

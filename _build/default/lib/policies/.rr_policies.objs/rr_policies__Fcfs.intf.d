@@ -1,0 +1,1 @@
+lib/policies/fcfs.mli: Rr_engine

@@ -1,0 +1,1 @@
+lib/policies/hdf.ml: Float Policy Printf Rr_engine Srpt

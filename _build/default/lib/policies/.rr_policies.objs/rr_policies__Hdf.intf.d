@@ -1,0 +1,1 @@
+lib/policies/hdf.mli: Rr_engine

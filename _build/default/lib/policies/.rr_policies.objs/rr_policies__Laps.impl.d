@@ -1,0 +1,1 @@
+lib/policies/laps.ml: Array Float Fun Int Policy Printf Rr_engine

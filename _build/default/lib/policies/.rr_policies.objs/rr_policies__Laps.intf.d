@@ -1,0 +1,1 @@
+lib/policies/laps.mli: Rr_engine

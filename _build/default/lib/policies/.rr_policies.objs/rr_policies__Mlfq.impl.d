@@ -1,0 +1,1 @@
+lib/policies/mlfq.ml: Array Float Fun Int Policy Printf Rr_engine

@@ -1,0 +1,1 @@
+lib/policies/mlfq.mli: Rr_engine

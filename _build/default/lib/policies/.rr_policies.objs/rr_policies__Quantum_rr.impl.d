@@ -1,0 +1,1 @@
+lib/policies/quantum_rr.ml: Array Float Hashtbl Int List Policy Printf Queue Rr_engine

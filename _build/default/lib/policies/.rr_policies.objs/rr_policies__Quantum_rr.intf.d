@@ -1,0 +1,1 @@
+lib/policies/quantum_rr.mli: Rr_engine

@@ -1,0 +1,1 @@
+lib/policies/registry.ml: Fcfs Laps Mlfq Quantum_rr Round_robin Setf Sjf Srpt String Wrr_age

@@ -1,0 +1,1 @@
+lib/policies/round_robin.ml: Array Float Int Rr_engine

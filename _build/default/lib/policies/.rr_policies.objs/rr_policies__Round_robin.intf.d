@@ -1,0 +1,1 @@
+lib/policies/round_robin.mli: Rr_engine

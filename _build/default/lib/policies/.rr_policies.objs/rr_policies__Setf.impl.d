@@ -1,0 +1,1 @@
+lib/policies/setf.ml: Array Float Fun Int List Policy Rr_engine

@@ -1,0 +1,1 @@
+lib/policies/setf.mli: Rr_engine

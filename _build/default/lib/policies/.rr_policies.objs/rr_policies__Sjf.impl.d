@@ -1,0 +1,1 @@
+lib/policies/sjf.ml: Rr_engine Srpt

@@ -1,0 +1,1 @@
+lib/policies/sjf.mli: Rr_engine

@@ -1,0 +1,1 @@
+lib/policies/srpt.ml: Array Float Fun Int Policy Rr_engine

@@ -1,0 +1,1 @@
+lib/policies/srpt.mli: Rr_engine

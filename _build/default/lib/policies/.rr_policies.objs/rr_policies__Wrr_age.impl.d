@@ -1,0 +1,1 @@
+lib/policies/wrr_age.ml: Array Float Fun Policy Printf Rr_engine Rr_util

@@ -1,0 +1,1 @@
+lib/policies/wrr_age.mli: Rr_engine

@@ -1,0 +1,1 @@
+lib/policies/wrr_static.ml: Array Float Policy Printf Rr_engine Wrr_age

@@ -1,0 +1,1 @@
+lib/policies/wrr_static.mli: Rr_engine

@@ -1,0 +1,4 @@
+let allocate ~now:_ ~machines ~speed:_ views =
+  Srpt.top_m_by (fun (v : Rr_engine.Policy.view) -> v.arrival) ~machines views
+
+let policy = { Rr_engine.Policy.name = "fcfs"; clairvoyant = false; allocate }

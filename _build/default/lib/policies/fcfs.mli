@@ -1,0 +1,9 @@
+(** First-Come First-Served.
+
+    The [m] earliest-arrived alive jobs each occupy one machine.  Because
+    priorities never change after arrival this coincides with
+    non-preemptive FCFS.  Non-clairvoyant; included as the classic
+    variance-friendly but latency-poor baseline of the operating-systems
+    motivation in Section 1. *)
+
+val policy : Rr_engine.Policy.t

@@ -1,0 +1,15 @@
+open Rr_engine
+
+let policy ~weight_of () =
+  let allocate ~now:_ ~machines ~speed:_ (views : Policy.view array) =
+    (* Negated density so the shared smallest-first helper serves the
+       densest jobs. *)
+    let key (v : Policy.view) =
+      let w = weight_of v.Policy.id in
+      if not (Float.is_finite w && w > 0.) then
+        invalid_arg (Printf.sprintf "Hdf: weight of job %d must be positive" v.id);
+      -.(w /. Policy.size_exn v)
+    in
+    Srpt.top_m_by key ~machines views
+  in
+  { Policy.name = "hdf"; clairvoyant = true; allocate }

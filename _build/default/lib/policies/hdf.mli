@@ -1,0 +1,11 @@
+(** Highest Density First — the clairvoyant baseline for weighted flow.
+
+    Serves the [m] alive jobs with the largest density [w_j / p_j]
+    (weight over original size), the weighted analogue of SJF used
+    throughout the weighted flow-time literature the paper builds on.
+    With unit weights it coincides with SJF. *)
+
+val policy : weight_of:(int -> float) -> unit -> Rr_engine.Policy.t
+(** [policy ~weight_of ()] reads each job's weight from its id; weights
+    must be positive and finite ([Invalid_argument] at allocation time
+    otherwise). *)

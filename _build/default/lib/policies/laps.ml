@@ -1,0 +1,24 @@
+open Rr_engine
+
+let policy ~beta =
+  if not (beta > 0. && beta <= 1.) then invalid_arg "Laps.policy: beta must be in (0, 1]";
+  let allocate ~now:_ ~machines ~speed:_ (views : Policy.view array) =
+    let n = Array.length views in
+    let share_count = Int.max 1 (int_of_float (Float.ceil (beta *. Float.of_int n))) in
+    let idx = Array.init n Fun.id in
+    (* Latest arrivals first; ties broken towards the larger id, i.e. the
+       job considered to have arrived last. *)
+    Array.sort
+      (fun a b ->
+        match Float.compare views.(b).Policy.arrival views.(a).Policy.arrival with
+        | 0 -> Int.compare views.(b).Policy.id views.(a).Policy.id
+        | c -> c)
+      idx;
+    let rates = Array.make n 0. in
+    let share = Float.min 1. (Float.of_int machines /. Float.of_int share_count) in
+    for rank = 0 to share_count - 1 do
+      rates.(idx.(rank)) <- share
+    done;
+    { Policy.rates; horizon = None }
+  in
+  { Policy.name = Printf.sprintf "laps(%.2f)" beta; clairvoyant = false; allocate }

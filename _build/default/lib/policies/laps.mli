@@ -1,0 +1,10 @@
+(** Latest Arrival Processor Sharing, LAPS(beta).
+
+    The ceil(beta * n_t) most recently arrived alive jobs share the
+    machines Round-Robin style; older jobs wait.  LAPS is the scalable
+    non-clairvoyant algorithm of Edmonds and Pruhs for total flow time and
+    serves as an ablation point between RR (beta = 1) and recency-biased
+    sharing. *)
+
+val policy : beta:float -> Rr_engine.Policy.t
+(** @raise Invalid_argument unless [0 < beta <= 1]. *)

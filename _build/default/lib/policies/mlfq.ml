@@ -1,0 +1,82 @@
+open Rr_engine
+
+(* Cumulative demotion thresholds: T_0 = q, T_1 = q + q f, ...; a job sits
+   in the first level whose threshold its attained service has not reached,
+   and stays in the last level forever once past all thresholds. *)
+let level_of_attained ~base_quantum ~factor ~levels attained =
+  let rec go level threshold quantum =
+    if level >= levels - 1 || attained < threshold then level
+    else go (level + 1) (threshold +. (quantum *. factor)) (quantum *. factor)
+  in
+  go 0 base_quantum base_quantum
+
+let threshold_of_level ~base_quantum ~factor level =
+  (* Sum of the first (level+1) quanta. *)
+  let rec go l acc quantum =
+    if l > level then acc else go (l + 1) (acc +. quantum) (quantum *. factor)
+  in
+  go 0 0. base_quantum
+
+let policy ?(base_quantum = 0.5) ?(factor = 2.) ?(levels = 24) () =
+  if base_quantum <= 0. then invalid_arg "Mlfq.policy: base_quantum must be positive";
+  if factor < 1. then invalid_arg "Mlfq.policy: factor must be >= 1";
+  if levels < 1 then invalid_arg "Mlfq.policy: levels must be >= 1";
+  let allocate ~now ~machines ~speed (views : Policy.view array) =
+    let n = Array.length views in
+    let level =
+      Array.map
+        (fun (v : Policy.view) ->
+          level_of_attained ~base_quantum ~factor ~levels v.Policy.attained)
+        views
+    in
+    (* Serve levels lowest-first; jobs within a served level share what the
+       level receives, one machine per job at most. *)
+    let idx = Array.init n Fun.id in
+    Array.sort
+      (fun a b ->
+        match Int.compare level.(a) level.(b) with
+        | 0 -> Int.compare views.(a).Policy.id views.(b).Policy.id
+        | c -> c)
+      idx;
+    let rates = Array.make n 0. in
+    let left = ref (Float.of_int machines) in
+    let pos = ref 0 in
+    while !pos < n && !left > 1e-12 do
+      (* The maximal block of sorted indices sharing one level. *)
+      let lvl = level.(idx.(!pos)) in
+      let stop = ref !pos in
+      while !stop < n && level.(idx.(!stop)) = lvl do
+        incr stop
+      done;
+      let count = Float.of_int (!stop - !pos) in
+      let share = Float.min 1. (!left /. count) in
+      for i = !pos to !stop - 1 do
+        rates.(idx.(i)) <- share
+      done;
+      left := !left -. (share *. count);
+      pos := !stop
+    done;
+    (* Horizon: the earliest instant a served job crosses its demotion
+       threshold. *)
+    let horizon = ref None in
+    Array.iteri
+      (fun i (v : Policy.view) ->
+        let l = level.(i) in
+        if rates.(i) > 0. && l < levels - 1 then begin
+          let next = threshold_of_level ~base_quantum ~factor l in
+          let gap = next -. v.Policy.attained in
+          if gap > 1e-12 then begin
+            let t = now +. (gap /. (rates.(i) *. speed)) in
+            match !horizon with
+            | Some h when h <= t -> ()
+            | _ -> horizon := Some t
+          end
+        end)
+      views;
+    { Policy.rates; horizon = !horizon }
+  in
+  {
+    Policy.name = Printf.sprintf "mlfq(q=%g,f=%g)" base_quantum factor;
+    clairvoyant = false;
+    allocate;
+  }

@@ -1,0 +1,22 @@
+(** Fluid Multi-Level Feedback Queue.
+
+    The classic operating-systems approximation of SETF: jobs start in the
+    highest-priority level and are demoted after consuming geometrically
+    growing amounts of service ([base_quantum], [base_quantum * factor],
+    ...).  Machines go to the lowest-index non-empty level; jobs within a
+    level share equally, Round-Robin style.  Like SETF, each level change
+    is reported as a policy horizon, so the event-driven simulation stays
+    exact; as [base_quantum -> 0] the policy converges to SETF, and with a
+    single huge quantum it degenerates to FCFS-within-RR.
+
+    Non-clairvoyant: levels depend only on attained service. *)
+
+val policy : ?base_quantum:float -> ?factor:float -> ?levels:int -> unit -> Rr_engine.Policy.t
+(** [policy ()] with defaults [base_quantum = 0.5], [factor = 2.],
+    [levels = 24] (jobs past the last threshold stay in the final level).
+    @raise Invalid_argument when [base_quantum <= 0.], [factor < 1.] or
+    [levels < 1]. *)
+
+val level_of_attained : base_quantum:float -> factor:float -> levels:int -> float -> int
+(** The level a job with the given attained service occupies; exposed for
+    testing. *)

@@ -1,0 +1,89 @@
+open Rr_engine
+
+type state = {
+  known : (int, unit) Hashtbl.t;  (* every job id ever admitted *)
+  ready : int Queue.t;  (* jobs waiting for a machine, FIFO *)
+  mutable slots : (int * float) option array;  (* per machine: (job, quantum deadline) *)
+  mutable last_now : float;
+}
+
+let policy ?(quantum = 1.0) () =
+  if quantum <= 0. then invalid_arg "Quantum_rr.policy: quantum must be positive";
+  let state =
+    { known = Hashtbl.create 64; ready = Queue.create (); slots = [||]; last_now = Float.neg_infinity }
+  in
+  let allocate ~now ~machines ~speed:_ (views : Policy.view array) =
+    (* Time running backwards means the policy value is being reused for a
+       fresh simulation: start from a clean ready queue. *)
+    if now < state.last_now then begin
+      Hashtbl.reset state.known;
+      Queue.clear state.ready;
+      state.slots <- [||]
+    end;
+    state.last_now <- now;
+    if Array.length state.slots <> machines then state.slots <- Array.make machines None;
+    let alive = Hashtbl.create (Array.length views) in
+    Array.iteri (fun i (v : Policy.view) -> Hashtbl.replace alive v.id i) views;
+    (* Retire completed jobs from the machine slots. *)
+    Array.iteri
+      (fun s slot ->
+        match slot with
+        | Some (j, _) when not (Hashtbl.mem alive j) -> state.slots.(s) <- None
+        | _ -> ())
+      state.slots;
+    (* Admit newly arrived jobs in (arrival, id) order. *)
+    let fresh =
+      Array.to_list views
+      |> List.filter (fun (v : Policy.view) -> not (Hashtbl.mem state.known v.id))
+      |> List.sort (fun (a : Policy.view) (b : Policy.view) ->
+             match Float.compare a.arrival b.arrival with
+             | 0 -> Int.compare a.id b.id
+             | c -> c)
+    in
+    List.iter
+      (fun (v : Policy.view) ->
+        Hashtbl.replace state.known v.id ();
+        Queue.push v.id state.ready)
+      fresh;
+    (* Expire quanta: the incumbent goes to the back of the ready queue. *)
+    Array.iteri
+      (fun s slot ->
+        match slot with
+        | Some (j, deadline) when now >= deadline -. 1e-12 ->
+            Queue.push j state.ready;
+            state.slots.(s) <- None
+        | _ -> ())
+      state.slots;
+    (* Refill idle machines from the ready queue, skipping stale entries of
+       jobs that completed while queued. *)
+    let rec next_ready () =
+      match Queue.take_opt state.ready with
+      | None -> None
+      | Some j -> if Hashtbl.mem alive j then Some j else next_ready ()
+    in
+    Array.iteri
+      (fun s slot ->
+        if slot = None then
+          match next_ready () with
+          | Some j -> state.slots.(s) <- Some (j, now +. quantum)
+          | None -> ())
+      state.slots;
+    let rates = Array.make (Array.length views) 0. in
+    let horizon = ref None in
+    Array.iter
+      (fun slot ->
+        match slot with
+        | Some (j, deadline) ->
+            rates.(Hashtbl.find alive j) <- 1.;
+            (match !horizon with
+            | Some h when h <= deadline -> ()
+            | _ -> horizon := Some deadline)
+        | None -> ())
+      state.slots;
+    { Policy.rates; horizon = !horizon }
+  in
+  {
+    Policy.name = Printf.sprintf "quantum-rr(q=%g)" quantum;
+    clairvoyant = false;
+    allocate;
+  }

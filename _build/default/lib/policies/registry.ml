@@ -1,0 +1,43 @@
+let all () =
+  [
+    Round_robin.policy;
+    Srpt.policy;
+    Sjf.policy;
+    Setf.policy;
+    Fcfs.policy;
+    Laps.policy ~beta:0.5;
+    Wrr_age.policy ~k:2 ();
+    Quantum_rr.policy ();
+    Mlfq.policy ();
+  ]
+
+let find name =
+  match String.split_on_char ':' name with
+  | [ "rr" ] -> Some Round_robin.policy
+  | [ "srpt" ] -> Some Srpt.policy
+  | [ "sjf" ] -> Some Sjf.policy
+  | [ "setf" ] -> Some Setf.policy
+  | [ "fcfs" ] -> Some Fcfs.policy
+  | [ "laps" ] -> Some (Laps.policy ~beta:0.5)
+  | [ "laps"; b ] -> (
+      match float_of_string_opt b with
+      | Some beta when beta > 0. && beta <= 1. -> Some (Laps.policy ~beta)
+      | _ -> None)
+  | [ "quantum-rr" ] -> Some (Quantum_rr.policy ())
+  | [ "quantum-rr"; q ] -> (
+      match float_of_string_opt q with
+      | Some quantum when quantum > 0. -> Some (Quantum_rr.policy ~quantum ())
+      | _ -> None)
+  | [ "mlfq" ] -> Some (Mlfq.policy ())
+  | [ "mlfq"; q ] -> (
+      match float_of_string_opt q with
+      | Some base_quantum when base_quantum > 0. -> Some (Mlfq.policy ~base_quantum ())
+      | _ -> None)
+  | [ "wrr-age" ] -> Some (Wrr_age.policy ~k:2 ())
+  | [ "wrr-age"; k ] -> (
+      match int_of_string_opt k with
+      | Some k when k >= 1 -> Some (Wrr_age.policy ~k ())
+      | _ -> None)
+  | _ -> None
+
+let names () = [ "rr"; "srpt"; "sjf"; "setf"; "fcfs"; "laps[:beta]"; "wrr-age[:k]"; "quantum-rr[:q]"; "mlfq[:q]" ]

@@ -1,0 +1,17 @@
+(** Name-indexed registry of the built-in policies, for the CLI and the
+    experiment harness. *)
+
+val all : unit -> Rr_engine.Policy.t list
+(** Every built-in policy with its default parameters:
+    rr, srpt, sjf, setf, fcfs, laps (beta = 0.5), wrr-age (k = 2),
+    quantum-rr (q = 1), mlfq (q = 0.5, f = 2). *)
+
+val find : string -> Rr_engine.Policy.t option
+(** Look a policy up by name, e.g. ["rr"], ["srpt"], ["sjf"], ["setf"],
+    ["fcfs"], ["laps"], ["wrr-age"] or ["wrr-age:3"] (age-weighted RR for
+    the l3 norm), ["laps:0.25"] (explicit beta), ["quantum-rr:0.5"]
+    (time-sliced RR with an explicit quantum), ["mlfq:0.25"] (multi-level
+    feedback queue with an explicit base quantum). *)
+
+val names : unit -> string list
+(** Accepted names for {!find}, for help messages. *)

@@ -1,0 +1,9 @@
+(** Round Robin on identical machines — the algorithm analysed by the paper.
+
+    At any time with [n_t] alive jobs on [m] machines, every alive job is
+    processed at rate [min{1, m / n_t}] (Section 2): when there are more
+    jobs than machines the machines are split equally; otherwise each job
+    runs on a machine of its own.  RR is non-clairvoyant and
+    instantaneously fair: all alive jobs always receive identical shares. *)
+
+val policy : Rr_engine.Policy.t

@@ -1,0 +1,63 @@
+open Rr_engine
+
+(* Jobs whose attained service differs by at most this (relative) tolerance
+   form one sharing group; catch-up events make attained values meet only
+   approximately in floating point. *)
+let same_group a b = Float.abs (a -. b) <= 1e-9 *. (1. +. Float.max a b)
+
+let allocate ~now ~machines ~speed (views : Policy.view array) =
+  let n = Array.length views in
+  let idx = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      match Float.compare views.(a).Policy.attained views.(b).Policy.attained with
+      | 0 -> Int.compare views.(a).Policy.id views.(b).Policy.id
+      | c -> c)
+    idx;
+  (* Partition the sorted views into maximal groups of equal attained. *)
+  let groups = ref [] in
+  let start = ref 0 in
+  for i = 1 to n do
+    if
+      i = n
+      || not (same_group views.(idx.(i)).Policy.attained views.(idx.(!start)).Policy.attained)
+    then begin
+      groups := (!start, i - 1) :: !groups;
+      start := i
+    end
+  done;
+  let groups = Array.of_list (List.rev !groups) in
+  (* Water-filling: earlier (less-attained) groups saturate at rate 1 while
+     machines remain; the first unsaturated group splits the leftover. *)
+  let rates = Array.make n 0. in
+  let group_rate = Array.make (Array.length groups) 0. in
+  let left = ref (Float.of_int machines) in
+  Array.iteri
+    (fun g (lo, hi) ->
+      let count = Float.of_int (hi - lo + 1) in
+      let r = Float.min 1. (!left /. count) in
+      if r > 0. then begin
+        group_rate.(g) <- r;
+        for j = lo to hi do
+          rates.(idx.(j)) <- r
+        done;
+        left := !left -. (r *. count)
+      end)
+    groups;
+  (* Horizon: the earliest instant a faster group reaches the attained level
+     of the next group.  Only adjacent groups can meet first. *)
+  let horizon = ref None in
+  for g = 0 to Array.length groups - 2 do
+    let lo_g, _ = groups.(g) and lo_h, _ = groups.(g + 1) in
+    let gap = views.(idx.(lo_h)).Policy.attained -. views.(idx.(lo_g)).Policy.attained in
+    let closing = (group_rate.(g) -. group_rate.(g + 1)) *. speed in
+    if closing > 0. && gap > 0. then begin
+      let t = now +. (gap /. closing) in
+      match !horizon with
+      | Some h when h <= t -> ()
+      | _ -> horizon := Some t
+    end
+  done;
+  { Policy.rates; horizon = !horizon }
+
+let policy = { Policy.name = "setf"; clairvoyant = false; allocate }

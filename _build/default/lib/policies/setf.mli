@@ -1,0 +1,14 @@
+(** Shortest Elapsed Time First.
+
+    Machines are devoted to the alive jobs with the least attained service;
+    jobs tied at the minimum share equally.  SETF is non-clairvoyant and
+    scalable for lk-norms on a single machine (Bansal-Pruhs), which is why
+    Section 1.3 contrasts it with RR.
+
+    Exactness: groups of equal attained service run at a common rate, and a
+    faster (less-attained) group catches up with the next group in finite
+    time; the policy reports that catch-up instant as its {e horizon} so the
+    simulator re-evaluates exactly there.  The simulation therefore remains
+    event-exact for SETF as well. *)
+
+val policy : Rr_engine.Policy.t

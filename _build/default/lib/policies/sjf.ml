@@ -1,0 +1,4 @@
+let allocate ~now:_ ~machines ~speed:_ views =
+  Srpt.top_m_by Rr_engine.Policy.size_exn ~machines views
+
+let policy = { Rr_engine.Policy.name = "sjf"; clairvoyant = true; allocate }

@@ -1,0 +1,7 @@
+(** (Preemptive) Shortest Job First.
+
+    The [m] alive jobs with the smallest {e original} size each occupy one
+    machine.  Clairvoyant; one of the algorithms Bansal and Pruhs showed
+    scalable for lk-norms of flow time, cited throughout Section 1. *)
+
+val policy : Rr_engine.Policy.t

@@ -1,0 +1,23 @@
+open Rr_engine
+
+(* Give one full machine to each of the [machines] jobs ranked first by
+   [key]; shared by SRPT / SJF / FCFS which differ only in the key. *)
+let top_m_by key ~machines (views : Policy.view array) =
+  let n = Array.length views in
+  let idx = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      match Float.compare (key views.(a)) (key views.(b)) with
+      | 0 -> Int.compare views.(a).Policy.id views.(b).Policy.id
+      | c -> c)
+    idx;
+  let rates = Array.make n 0. in
+  for rank = 0 to Int.min machines n - 1 do
+    rates.(idx.(rank)) <- 1.
+  done;
+  { Policy.rates; horizon = None }
+
+let allocate ~now:_ ~machines ~speed:_ views =
+  top_m_by Policy.remaining_exn ~machines views
+
+let policy = { Policy.name = "srpt"; clairvoyant = true; allocate }

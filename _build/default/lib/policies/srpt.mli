@@ -1,0 +1,19 @@
+(** Shortest Remaining Processing Time first.
+
+    The [m] alive jobs with the least remaining work each occupy one
+    machine (ties broken by job id).  SRPT is clairvoyant, optimal for
+    total flow time on a single machine, and the standard strong baseline
+    the paper compares against; we use SRPT at speed 1 as the practical
+    stand-in for OPT in ratio experiments. *)
+
+val policy : Rr_engine.Policy.t
+
+val top_m_by :
+  (Rr_engine.Policy.view -> float) ->
+  machines:int ->
+  Rr_engine.Policy.view array ->
+  Rr_engine.Policy.decision
+(** [top_m_by key ~machines views] gives one full machine to each of the
+    [machines] views ranked smallest by [key] (ties by job id) and rate 0
+    to the rest.  Shared by the fixed-priority policies SRPT, SJF and
+    FCFS, which differ only in the key. *)

@@ -1,0 +1,28 @@
+(** Age-weighted Round Robin (the weighted variant of Section 1.2).
+
+    Machines are distributed in proportion to [(age + offset)^(k-1)],
+    capped at one machine per job; for the l2-norm ([k = 2]) this is the
+    "machines in proportion to ages" algorithm that Edmonds, Im and
+    Moseley showed O(1)-speed O(1)-competitive, and which the paper
+    contrasts with oblivious RR.  [k = 1] degenerates to plain RR.
+
+    Because the weights drift continuously with job ages, the allocation is
+    refreshed on a relative-time horizon; the refresh coefficient bounds
+    the drift error.  Non-clairvoyant. *)
+
+val policy : ?refresh:float -> ?offset:float -> k:int -> unit -> Rr_engine.Policy.t
+(** [policy ~k ()] builds the variant for the lk-norm.
+
+    @param refresh fraction of the youngest job's age used as the
+      re-evaluation horizon (default [0.25]; smaller is more accurate but
+      generates proportionally more simulation events).
+    @param offset additive age offset so that freshly arrived jobs have
+      non-zero weight (default [0.1]).
+    @raise Invalid_argument when [k < 1], [refresh <= 0.] or
+      [offset <= 0.]. *)
+
+val proportional_rates : machines:int -> float array -> float array
+(** [proportional_rates ~machines weights] solves the capped proportional
+    allocation: rates [r_i = min(1, theta * w_i)] with the largest [theta]
+    such that [sum r_i <= machines] (all rates 1 when the job count is at
+    most [machines]).  Exposed for testing. *)

@@ -1,0 +1,16 @@
+open Rr_engine
+
+let policy ~weight_of () =
+  let allocate ~now:_ ~machines ~speed:_ (views : Policy.view array) =
+    let weights =
+      Array.map
+        (fun (v : Policy.view) ->
+          let w = weight_of v.Policy.id in
+          if not (Float.is_finite w && w > 0.) then
+            invalid_arg (Printf.sprintf "Wrr_static: weight of job %d must be positive" v.id);
+          w)
+        views
+    in
+    { Policy.rates = Wrr_age.proportional_rates ~machines weights; horizon = None }
+  in
+  { Policy.name = "wrr-static"; clairvoyant = false; allocate }

@@ -1,0 +1,14 @@
+(** Statically weighted Round Robin.
+
+    Machines are split in proportion to fixed per-job weights (capped at
+    one machine per job) — the natural generalisation of RR towards
+    {e weighted} flow time, the objective of the dual-fitting literature
+    the paper builds on (Anand-Garg-Kumar).  With all weights equal it
+    coincides with plain RR; the weighted-norm experiment uses it to show
+    that weighted shares buy proportionally better flow for heavy jobs
+    while preserving RR's never-starve property. *)
+
+val policy : weight_of:(int -> float) -> unit -> Rr_engine.Policy.t
+(** [policy ~weight_of ()] reads the weight of each alive job from its id
+    via [weight_of] (weights must be positive and finite; violations raise
+    [Invalid_argument] at allocation time). *)

@@ -1,0 +1,1 @@
+lib/queueing/mg1.ml: Float Rr_util Rr_workload

@@ -1,0 +1,44 @@
+let check_stable ~lambda ~es =
+  if not (lambda > 0. && es > 0.) then invalid_arg "Mg1: need lambda > 0 and es > 0";
+  let rho = lambda *. es in
+  if rho >= 1. then invalid_arg "Mg1: unstable queue (rho >= 1)";
+  rho
+
+let mean_wait_fcfs ~lambda ~es ~es2 =
+  let rho = check_stable ~lambda ~es in
+  if es2 < es *. es then invalid_arg "Mg1.mean_wait_fcfs: es2 below es^2";
+  lambda *. es2 /. (2. *. (1. -. rho))
+
+let mean_flow_fcfs ~lambda ~es ~es2 = mean_wait_fcfs ~lambda ~es ~es2 +. es
+
+let mean_flow_ps ~lambda ~es =
+  let rho = check_stable ~lambda ~es in
+  es /. (1. -. rho)
+
+let conditional_flow_ps ~lambda ~es ~size =
+  let rho = check_stable ~lambda ~es in
+  if size <= 0. then invalid_arg "Mg1.conditional_flow_ps: size must be positive";
+  size /. (1. -. rho)
+
+let second_moment (d : Rr_workload.Distribution.t) =
+  (match Rr_workload.Distribution.validate d with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Mg1.second_moment: " ^ m));
+  match d with
+  | Deterministic p -> p *. p
+  | Uniform { lo; hi } ->
+      if hi = lo then lo *. lo else ((hi ** 3.) -. (lo ** 3.)) /. (3. *. (hi -. lo))
+  | Exponential { mean } -> 2. *. mean *. mean
+  | Pareto { alpha; x_min } ->
+      if alpha <= 2. then Float.infinity
+      else alpha *. x_min *. x_min /. (alpha -. 2.)
+  | Bounded_pareto { alpha; x_min; x_max } ->
+      (* E[X^2] of the bounded Pareto; the alpha = 2 case is the log limit. *)
+      let l = x_min and h = x_max in
+      let la = l ** alpha in
+      let norm = la /. (1. -. ((l /. h) ** alpha)) in
+      if Rr_util.Floatx.approx_equal alpha 2. then norm *. 2. *. log (h /. l)
+      else
+        norm *. alpha /. (2. -. alpha) *. ((h ** (2. -. alpha)) -. (l ** (2. -. alpha)))
+  | Bimodal { small; large; prob_large } ->
+      ((1. -. prob_large) *. small *. small) +. (prob_large *. large *. large)

@@ -1,0 +1,37 @@
+(** Closed-form results for the M/G/1 queue.
+
+    Poisson arrivals at rate [lambda]; i.i.d. service times from a general
+    distribution with mean [es] and second moment [es2]; single server;
+    [rho = lambda * es < 1].
+
+    The FCFS waiting time follows the Pollaczek-Khinchine formula; the
+    processor-sharing (= idealised Round Robin) response time depends on
+    the service distribution only through its mean — the classical
+    insensitivity property, which the simulator must and does reproduce
+    (experiment T10 compares exponential against bounded-Pareto sizes with
+    equal means). *)
+
+val mean_wait_fcfs : lambda:float -> es:float -> es2:float -> float
+(** Pollaczek-Khinchine mean waiting time
+    [W = lambda * es2 / (2 (1 - rho))].
+    @raise Invalid_argument unless [lambda > 0], [es > 0], [es2 >= es^2]
+    and [rho < 1]. *)
+
+val mean_flow_fcfs : lambda:float -> es:float -> es2:float -> float
+(** [W + es]. *)
+
+val mean_flow_ps : lambda:float -> es:float -> float
+(** Insensitive PS mean response time [es / (1 - rho)].
+    @raise Invalid_argument unless [lambda > 0], [es > 0] and [rho < 1]. *)
+
+val conditional_flow_ps : lambda:float -> es:float -> size:float -> float
+(** Mean response time of a job of exactly [size] under PS:
+    [size / (1 - rho)] — linear in the size, i.e. a constant expected
+    slowdown for every job size. *)
+
+val second_moment : Rr_workload.Distribution.t -> float
+(** Analytic second moment of a size distribution, for feeding
+    {!mean_wait_fcfs}.  Defined for Deterministic, Uniform, Exponential,
+    Bounded_pareto and Bimodal; [infinity] for heavy-tailed unbounded
+    Pareto with [alpha <= 2].
+    @raise Invalid_argument on invalid distribution parameters. *)

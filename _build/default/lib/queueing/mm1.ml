@@ -1,0 +1,28 @@
+let validate ~lambda ~mu =
+  if not (lambda > 0. && mu > 0. && lambda < mu) then
+    invalid_arg "Mm1: need 0 < lambda < mu"
+
+let utilization ~lambda ~mu =
+  validate ~lambda ~mu;
+  lambda /. mu
+
+let mean_jobs_in_system ~lambda ~mu =
+  let rho = utilization ~lambda ~mu in
+  rho /. (1. -. rho)
+
+let mean_flow_fcfs ~lambda ~mu =
+  validate ~lambda ~mu;
+  1. /. (mu -. lambda)
+
+let variance_flow_fcfs ~lambda ~mu =
+  validate ~lambda ~mu;
+  1. /. ((mu -. lambda) ** 2.)
+
+let mean_flow_ps = mean_flow_fcfs
+
+let mean_slowdown_ps ~lambda ~mu ~size =
+  validate ~lambda ~mu;
+  if size <= 0. then invalid_arg "Mm1.mean_slowdown_ps: size must be positive";
+  let rho = lambda /. mu in
+  ignore size;
+  1. /. (1. -. rho)

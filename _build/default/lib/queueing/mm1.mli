@@ -1,0 +1,32 @@
+(** Closed-form results for the M/M/1 queue.
+
+    Poisson arrivals at rate [lambda], exponential service with mean
+    [1/mu], single server, [rho = lambda/mu < 1].  These formulas calibrate
+    the simulator: a long simulated Poisson/exponential instance must match
+    them within sampling error (see test_queueing and experiment T10).
+
+    All functions
+    @raise Invalid_argument unless [lambda > 0], [mu > 0] and
+    [lambda < mu]. *)
+
+val utilization : lambda:float -> mu:float -> float
+(** [rho = lambda / mu]. *)
+
+val mean_jobs_in_system : lambda:float -> mu:float -> float
+(** [L = rho / (1 - rho)] (identical under FCFS and PS). *)
+
+val mean_flow_fcfs : lambda:float -> mu:float -> float
+(** Mean response time under FCFS: [1 / (mu - lambda)]. *)
+
+val variance_flow_fcfs : lambda:float -> mu:float -> float
+(** The M/M/1-FCFS response time is exponential with rate [mu - lambda],
+    so the variance is [1 / (mu - lambda)^2]. *)
+
+val mean_flow_ps : lambda:float -> mu:float -> float
+(** Mean response time under processor sharing; equals the FCFS value
+    [1 / (mu - lambda)] for exponential service. *)
+
+val mean_slowdown_ps : lambda:float -> mu:float -> size:float -> float
+(** Conditional mean response time of a size-[size] job under PS is
+    [size / (1 - rho)]; the mean slowdown is therefore [1 / (1 - rho)],
+    independent of the size — the "fair stretch" property of PS/RR. *)

@@ -1,0 +1,1 @@
+lib/speedup/equi_sim.ml: Array Float Fun Int List Printf Sjob

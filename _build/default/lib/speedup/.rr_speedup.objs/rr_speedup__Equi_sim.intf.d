@@ -1,0 +1,1 @@
+lib/speedup/equi_sim.mli: Sjob

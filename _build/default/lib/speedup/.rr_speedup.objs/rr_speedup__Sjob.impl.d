@@ -1,0 +1,1 @@
+lib/speedup/sjob.ml: Float List Rr_util

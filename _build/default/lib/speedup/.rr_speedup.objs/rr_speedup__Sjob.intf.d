@@ -1,0 +1,1 @@
+lib/speedup/sjob.mli:

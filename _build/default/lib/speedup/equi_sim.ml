@@ -1,0 +1,178 @@
+type view = { id : int; arrival : float; phase_lo : float option; phase_hi : float option }
+
+type policy = {
+  name : string;
+  sees_phases : bool;
+  allocate : machines:int -> view array -> float array;
+}
+
+exception Invalid_allocation of string
+
+type result = { completions : float array; flows : float array; events : int }
+
+let equi =
+  {
+    name = "equi";
+    sees_phases = false;
+    allocate =
+      (fun ~machines views ->
+        let n = Array.length views in
+        Array.make n (Float.of_int machines /. Float.of_int (Int.max n 1)));
+  }
+
+(* Max-min shares with per-job caps: fill the smallest caps first, then
+   split what remains equally among the uncapped. *)
+let max_min_with_caps ~budget caps =
+  let n = Array.length caps in
+  let idx = Array.init n Fun.id in
+  Array.sort (fun a b -> Float.compare caps.(a) caps.(b)) idx;
+  let shares = Array.make n 0. in
+  let remaining = ref budget in
+  Array.iteri
+    (fun pos i ->
+      let left = n - pos in
+      let fair = !remaining /. Float.of_int left in
+      let s = Float.min caps.(i) fair in
+      shares.(i) <- s;
+      remaining := !remaining -. s)
+    idx;
+  shares
+
+let cap_equi =
+  {
+    name = "cap-equi";
+    sees_phases = true;
+    allocate =
+      (fun ~machines views ->
+        let caps =
+          Array.map
+            (fun v ->
+              match (v.phase_lo, v.phase_hi) with
+              | Some lo, Some hi ->
+                  (* Machines only help between lo and hi; a phase with
+                     lo = hi advances on its own, so giving it anything is
+                     waste. *)
+                  if hi <= lo then 0. else hi
+              | _ -> invalid_arg "cap_equi: phase information hidden")
+            views
+        in
+        max_min_with_caps ~budget:(Float.of_int machines) caps);
+  }
+
+type live = {
+  job : Sjob.t;
+  mutable phases_left : Sjob.phase list;  (* head = current phase *)
+  mutable phase_remaining : float;
+}
+
+let run ?(speed = 1.) ?(max_events = 1_000_000) ~machines ~policy jobs =
+  if machines < 1 then invalid_arg "Equi_sim.run: machines must be >= 1";
+  if not (Float.is_finite speed && speed > 0.) then
+    invalid_arg "Equi_sim.run: speed must be finite and positive";
+  let n = List.length jobs in
+  let seen = Array.make (Int.max n 1) false in
+  List.iter
+    (fun (j : Sjob.t) ->
+      if j.id >= n || seen.(j.id) then
+        invalid_arg "Equi_sim.run: job ids must be exactly 0 .. n-1, without duplicates";
+      seen.(j.id) <- true)
+    jobs;
+  let order = Array.of_list jobs in
+  Array.sort
+    (fun (a : Sjob.t) (b : Sjob.t) ->
+      match Float.compare a.arrival b.arrival with 0 -> Int.compare a.id b.id | c -> c)
+    order;
+  let completions = Array.make n Float.nan in
+  let arrivals = Array.make n 0. in
+  Array.iter (fun (j : Sjob.t) -> arrivals.(j.id) <- j.arrival) order;
+  let pending = ref 0 in
+  let alive : live list ref = ref [] in
+  let now = ref (if n > 0 then order.(0).arrival else 0.) in
+  let admit () =
+    while !pending < n && order.(!pending).arrival <= !now do
+      let j = order.(!pending) in
+      (match j.phases with
+      | first :: rest ->
+          alive := { job = j; phases_left = first :: rest; phase_remaining = first.work } :: !alive
+      | [] -> assert false);
+      incr pending
+    done
+  in
+  admit ();
+  let events = ref 0 in
+  while !alive <> [] || !pending < n do
+    incr events;
+    if !events > max_events then
+      raise (Invalid_allocation (Printf.sprintf "exceeded max_events = %d" max_events));
+    if !alive = [] then begin
+      now := order.(!pending).arrival;
+      admit ()
+    end
+    else begin
+      let live_arr = Array.of_list !alive in
+      let views =
+        Array.map
+          (fun l ->
+            let p = List.hd l.phases_left in
+            {
+              id = l.job.id;
+              arrival = l.job.arrival;
+              phase_lo = (if policy.sees_phases then Some p.Sjob.lo else None);
+              phase_hi = (if policy.sees_phases then Some p.Sjob.hi else None);
+            })
+          live_arr
+      in
+      let shares = policy.allocate ~machines views in
+      if Array.length shares <> Array.length live_arr then
+        raise (Invalid_allocation "share vector length mismatch");
+      let sum = Array.fold_left ( +. ) 0. shares in
+      if sum > Float.of_int machines +. 1e-6 then
+        raise (Invalid_allocation (Printf.sprintf "shares sum to %g > %d machines" sum machines));
+      Array.iter
+        (fun s ->
+          if not (Float.is_finite s) || s < -1e-9 then
+            raise (Invalid_allocation "non-finite or negative share"))
+        shares;
+      (* Time to the next phase boundary under the current constant rates. *)
+      let t_next = ref Float.infinity in
+      let rates = Array.make (Array.length live_arr) 0. in
+      Array.iteri
+        (fun i l ->
+          let p = List.hd l.phases_left in
+          let r = Sjob.rate p ~machines:(Float.max 0. shares.(i)) *. speed in
+          rates.(i) <- r;
+          if r > 0. then begin
+            let t = !now +. (l.phase_remaining /. r) in
+            if t < !t_next then t_next := t
+          end)
+        live_arr;
+      if !pending < n && order.(!pending).arrival < !t_next then
+        t_next := order.(!pending).arrival;
+      if not (Float.is_finite !t_next) then
+        raise (Invalid_allocation "no job makes progress and no arrival is pending");
+      let dt = !t_next -. !now in
+      Array.iteri
+        (fun i l -> l.phase_remaining <- l.phase_remaining -. (rates.(i) *. dt))
+        live_arr;
+      now := !t_next;
+      (* Cross phase boundaries; completing the last phase retires the job. *)
+      alive :=
+        List.filter
+          (fun l ->
+            if l.phase_remaining <= 1e-9 *. (1. +. Sjob.total_work l.job) then begin
+              match l.phases_left with
+              | _ :: (next :: _ as rest) ->
+                  l.phases_left <- rest;
+                  l.phase_remaining <- next.Sjob.work;
+                  true
+              | [ _ ] | [] ->
+                  completions.(l.job.id) <- !now;
+                  false
+            end
+            else true)
+          !alive;
+      admit ()
+    end
+  done;
+  let flows = Array.mapi (fun i c -> c -. arrivals.(i)) completions in
+  { completions; flows; events = !events }

@@ -1,0 +1,52 @@
+(** Event-driven simulator and allocation policies for the speed-up curves
+    setting.
+
+    Allocations here assign a {e fractional number of machines} [x_j >= 0]
+    with [sum x_j <= m] (a job may use several machines, unlike the
+    standard setting); a phase progresses at [Sjob.rate phase x * speed].
+    Between arrivals and phase boundaries allocations are constant, so the
+    simulation is exact, mirroring {!Rr_engine.Simulator}. *)
+
+type view = {
+  id : int;
+  arrival : float;
+  phase_lo : float option;  (** Current phase's [lo]; [None] when hidden. *)
+  phase_hi : float option;  (** Current phase's [hi]; [None] when hidden. *)
+}
+
+type policy = {
+  name : string;
+  sees_phases : bool;
+      (** Clairvoyance about the current phase's speed-up curve; EQUI is
+          oblivious and receives [None] fields. *)
+  allocate : machines:int -> view array -> float array;
+}
+
+val equi : policy
+(** EQUI = Round Robin in this setting: every alive job receives an equal
+    [m / n_t] share of the machines, oblivious to parallelizability. *)
+
+val cap_equi : policy
+(** Parallelizability-aware EQUI: jobs whose current phase cannot benefit
+    from machines ([lo = hi], e.g. sequential phases) receive nothing, and
+    the machines are split max-min among the rest, capped at each phase's
+    [hi].  The comparison point showing what EQUI wastes. *)
+
+val max_min_with_caps : budget:float -> float array -> float array
+(** Max-min fair shares of [budget] under per-entry caps (the allocation
+    rule of {!cap_equi}); exposed for testing. *)
+
+exception Invalid_allocation of string
+
+type result = {
+  completions : float array;  (** By job id. *)
+  flows : float array;
+  events : int;
+}
+
+val run :
+  ?speed:float -> ?max_events:int -> machines:int -> policy:policy -> Sjob.t list -> result
+(** Simulate to completion of all jobs.
+    @raise Invalid_argument on invalid parameters or non-dense job ids.
+    @raise Invalid_allocation when the policy over-allocates or the system
+    cannot make progress. *)

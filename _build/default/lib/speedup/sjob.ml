@@ -1,0 +1,24 @@
+type phase = { work : float; lo : float; hi : float }
+
+type t = { id : int; arrival : float; phases : phase list }
+
+let phase ?(lo = 0.) ?(hi = Float.infinity) ~work () =
+  if not (Float.is_finite work && work > 0.) then
+    invalid_arg "Sjob.phase: work must be finite and positive";
+  if not (0. <= lo && lo <= hi) then invalid_arg "Sjob.phase: need 0 <= lo <= hi";
+  { work; lo; hi }
+
+let parallel ~work = phase ~work ()
+
+let sequential ~work = phase ~lo:1. ~hi:1. ~work ()
+
+let make ~id ~arrival ~phases =
+  if id < 0 then invalid_arg "Sjob.make: negative id";
+  if not (Rr_util.Floatx.is_finite_nonneg arrival) then
+    invalid_arg "Sjob.make: arrival must be a finite non-negative float";
+  if phases = [] then invalid_arg "Sjob.make: a job needs at least one phase";
+  { id; arrival; phases }
+
+let rate p ~machines = Rr_util.Floatx.clamp ~lo:p.lo ~hi:p.hi machines
+
+let total_work t = Rr_util.Kahan.sum_list (List.map (fun p -> p.work) t.phases)

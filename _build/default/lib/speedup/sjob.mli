@@ -1,0 +1,43 @@
+(** Jobs with arbitrary speed-up curves (the Edmonds model of §1.3).
+
+    The paper contrasts its result with the {e arbitrary speed-up curves}
+    setting, where "each job can be sped up by being assigned more
+    machines, and can have a different degree of parallelizability", and
+    where RR (there called EQUI) is O(1)-speed O(1)-competitive for the l1
+    norm but {e provably not} for the l2 norm [15].  This library models
+    that setting so the contrast can be demonstrated (experiment F4).
+
+    A job is a sequence of {e phases}; a phase processed with [x] machines
+    progresses at rate [clamp(x, lo, hi)]:
+
+    - fully parallelizable phase: [lo = 0, hi = infinity] (rate [x]);
+    - bounded-parallel phase: [lo = 0, hi = c] (cannot use more than [c]
+      machines);
+    - sequential phase: [lo = hi = 1] (progresses at unit rate no matter
+      what is allocated — allocating machines to it is pure waste, the
+      trap EQUI falls into). *)
+
+type phase = { work : float; lo : float; hi : float }
+
+type t = { id : int; arrival : float; phases : phase list }
+
+val phase : ?lo:float -> ?hi:float -> work:float -> unit -> phase
+(** Build a phase (defaults [lo = 0.], [hi = infinity] — fully
+    parallelizable).
+    @raise Invalid_argument unless [work > 0.] and [0. <= lo <= hi]. *)
+
+val parallel : work:float -> phase
+(** Fully parallelizable phase. *)
+
+val sequential : work:float -> phase
+(** Sequential phase ([lo = hi = 1]). *)
+
+val make : id:int -> arrival:float -> phases:phase list -> t
+(** @raise Invalid_argument on a negative id, non-finite or negative
+    arrival, or an empty phase list. *)
+
+val rate : phase -> machines:float -> float
+(** Progress rate of the phase under an allocation of [machines]
+    (fractional allowed): [clamp(machines, lo, hi)]. *)
+
+val total_work : t -> float

@@ -1,0 +1,22 @@
+let approx_equal ?(rtol = 1e-9) ?(atol = 1e-12) a b =
+  Float.abs (a -. b) <= atol +. (rtol *. Float.max (Float.abs a) (Float.abs b))
+
+let rec powi x k =
+  assert (k >= 0);
+  if k = 0 then 1.
+  else if k land 1 = 1 then x *. powi x (k - 1)
+  else
+    let h = powi x (k / 2) in
+    h *. h
+
+let clamp ~lo ~hi x = Float.min hi (Float.max lo x)
+
+let is_finite_nonneg x = Float.is_finite x && x >= 0.
+
+let min_arr a =
+  if Array.length a = 0 then invalid_arg "Floatx.min_arr: empty array";
+  Array.fold_left Float.min a.(0) a
+
+let max_arr a =
+  if Array.length a = 0 then invalid_arg "Floatx.max_arr: empty array";
+  Array.fold_left Float.max a.(0) a

@@ -1,0 +1,28 @@
+type t = { mutable total : float; mutable comp : float }
+
+let create () = { total = 0.; comp = 0. }
+
+(* Neumaier's variant: the compensation also covers the case where the
+   incoming summand dominates the running total. *)
+let add t x =
+  let sum = t.total +. x in
+  if Float.abs t.total >= Float.abs x then t.comp <- t.comp +. ((t.total -. sum) +. x)
+  else t.comp <- t.comp +. ((x -. sum) +. t.total);
+  t.total <- sum
+
+let total t = t.total +. t.comp
+
+let sum a =
+  let t = create () in
+  Array.iter (add t) a;
+  total t
+
+let sum_list l =
+  let t = create () in
+  List.iter (add t) l;
+  total t
+
+let sum_by f a =
+  let t = create () in
+  Array.iter (fun x -> add t (f x)) a;
+  total t

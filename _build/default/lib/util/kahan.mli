@@ -1,0 +1,27 @@
+(** Compensated (Kahan-Babuska-Neumaier) floating-point summation.
+
+    Flow-time objectives raise job flow times to the [k]-th power, which
+    produces summands spanning many orders of magnitude; naive accumulation
+    loses enough precision to perturb competitive-ratio estimates.  All
+    objective values in the repository are accumulated through this module. *)
+
+type t
+(** Mutable accumulator. *)
+
+val create : unit -> t
+(** Fresh accumulator holding 0. *)
+
+val add : t -> float -> unit
+(** Accumulate one summand. *)
+
+val total : t -> float
+(** Current compensated total. *)
+
+val sum : float array -> float
+(** One-shot compensated sum of an array. *)
+
+val sum_list : float list -> float
+(** One-shot compensated sum of a list. *)
+
+val sum_by : ('a -> float) -> 'a array -> float
+(** [sum_by f a] is the compensated sum of [f a.(i)] over all [i]. *)

@@ -1,0 +1,90 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* SplitMix64 step, used only to expand the seed into the Xoshiro state and
+   to derive split streams. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let of_seed64 seed64 =
+  let s = ref seed64 in
+  let s0 = splitmix64 s in
+  let s1 = splitmix64 s in
+  let s2 = splitmix64 s in
+  let s3 = splitmix64 s in
+  { s0; s1; s2; s3 }
+
+let create ~seed = of_seed64 (Int64.of_int seed)
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = add (rotl (add t.s0 t.s3) 23) t.s0 in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = of_seed64 (bits64 t)
+
+let float t =
+  (* Top 53 bits give a uniform dyadic rational in [0, 1). *)
+  let x = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float x *. 0x1p-53
+
+let float_range t ~lo ~hi =
+  assert (lo <= hi);
+  lo +. ((hi -. lo) *. float t)
+
+let int t ~bound =
+  assert (bound > 0);
+  (* Rejection sampling over the low bits to avoid modulo bias. *)
+  let b = Int64.of_int bound in
+  let mask =
+    let rec widen m = if Int64.unsigned_compare m b >= 0 then m else widen Int64.(add (shift_left m 1) 1L) in
+    widen 1L
+  in
+  let rec draw () =
+    let x = Int64.logand (bits64 t) mask in
+    if Int64.unsigned_compare x b < 0 then Int64.to_int x else draw ()
+  in
+  draw ()
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let exponential t ~rate =
+  assert (rate > 0.);
+  let u = 1. -. float t in
+  -.log u /. rate
+
+let pareto t ~alpha ~x_min =
+  assert (alpha > 0. && x_min > 0.);
+  let u = 1. -. float t in
+  x_min /. (u ** (1. /. alpha))
+
+let bounded_pareto t ~alpha ~x_min ~x_max =
+  assert (alpha > 0. && 0. < x_min && x_min < x_max);
+  let u = float t in
+  let l = x_min ** alpha and h = x_max ** alpha in
+  (* Inverse CDF of the bounded Pareto distribution. *)
+  ((-.(u *. h) +. (u *. l) +. h) /. (h *. l)) ** (-1. /. alpha)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t ~bound:(i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

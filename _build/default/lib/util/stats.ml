@@ -1,0 +1,28 @@
+let percentile a ~p =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy a in
+  Array.sort Float.compare sorted;
+  let rank = p /. 100. *. Float.of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = rank -. Float.of_int lo in
+    ((1. -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
+
+let median a = percentile a ~p:50.
+
+let jain_index a =
+  let n = Array.length a in
+  if n = 0 then 1.
+  else
+    let s = Kahan.sum a in
+    let s2 = Kahan.sum_by (fun x -> x *. x) a in
+    if s2 <= 0. then 1. else s *. s /. (Float.of_int n *. s2)
+
+let coefficient_of_variation a =
+  let w = Welford.of_array a in
+  let m = Welford.mean w in
+  if m = 0. then 0. else Welford.stddev w /. m

@@ -1,0 +1,19 @@
+(** Order statistics and simple descriptive statistics on float arrays. *)
+
+val percentile : float array -> p:float -> float
+(** [percentile a ~p] with [p] in [\[0, 100\]], linear interpolation between
+    order statistics (the common "type 7" estimator).  The input is not
+    modified.  @raise Invalid_argument on an empty array or [p] outside
+    the range. *)
+
+val median : float array -> float
+(** [median a = percentile a ~p:50.]. *)
+
+val jain_index : float array -> float
+(** Jain's fairness index [(sum x)^2 / (n * sum x^2)] of a non-negative
+    allocation vector: 1.0 for perfectly equal shares, approaching [1/n]
+    when one element receives everything.  Returns 1.0 for empty or
+    all-zero input (an empty system is trivially fair). *)
+
+val coefficient_of_variation : float array -> float
+(** Standard deviation divided by mean; 0. when the mean is 0. *)

@@ -1,0 +1,28 @@
+(** Aligned plain-text tables for experiment output.
+
+    Every benchmark table and figure series in the repository is rendered
+    through this module so that the output of [bench/main.exe] is uniform
+    and diffable. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** A table with a title row and the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; the row must have as many cells as there are columns.
+    @raise Invalid_argument otherwise. *)
+
+val add_rowf : t -> ('a -> string) -> 'a list -> unit
+(** [add_rowf t f cells] appends [List.map f cells]. *)
+
+val fcell : float -> string
+(** Standard numeric cell formatting: fixed point with four significant
+    decimals for moderate magnitudes, scientific notation otherwise. *)
+
+val render : t -> string
+(** Render with column alignment, a title line and a separator. *)
+
+val print : t -> unit
+(** [print t] writes [render t] to standard output followed by a blank
+    line. *)

@@ -1,0 +1,34 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let create () = { n = 0; mean = 0.; m2 = 0.; min = Float.infinity; max = Float.neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. Float.of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x
+
+let count t = t.n
+
+let mean t = if t.n = 0 then 0. else t.mean
+
+let variance t = if t.n < 2 then 0. else t.m2 /. Float.of_int t.n
+
+let stddev t = sqrt (variance t)
+
+let min t = if t.n = 0 then invalid_arg "Welford.min: empty" else t.min
+
+let max t = if t.n = 0 then invalid_arg "Welford.max: empty" else t.max
+
+let of_array a =
+  let t = create () in
+  Array.iter (add t) a;
+  t

@@ -1,0 +1,28 @@
+(** Numerically stable running moments (Welford's online algorithm).
+
+    Collects count, mean, variance, min and max in one pass; used for the
+    flow-time summaries of {!Rr_metrics}. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val mean : t -> float
+(** 0. when empty. *)
+
+val variance : t -> float
+(** Population variance; 0. when fewer than two samples. *)
+
+val stddev : t -> float
+
+val min : t -> float
+(** @raise Invalid_argument when empty. *)
+
+val max : t -> float
+(** @raise Invalid_argument when empty. *)
+
+val of_array : float array -> t

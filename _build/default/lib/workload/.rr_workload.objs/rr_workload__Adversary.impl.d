@@ -1,0 +1,1 @@
+lib/workload/adversary.ml: Float Fun Instance List Printf Rr_util

@@ -1,0 +1,1 @@
+lib/workload/distribution.ml: Float Printf Rr_util

@@ -1,0 +1,1 @@
+lib/workload/instance.ml: Array Arrivals Distribution Float Format List Printf Rr_engine Rr_util

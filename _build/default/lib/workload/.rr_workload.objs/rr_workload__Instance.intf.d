@@ -1,0 +1,1 @@
+lib/workload/instance.mli: Arrivals Distribution Format Rr_engine Rr_util

@@ -1,0 +1,1 @@
+lib/workload/trace_io.ml: Buffer Filename Fun Instance List Printf Rr_engine String

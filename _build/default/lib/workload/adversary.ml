@@ -1,0 +1,41 @@
+let batch_plus_stream ~batch ~stream_load ~horizon_factor =
+  if batch < 1 then invalid_arg "Adversary.batch_plus_stream: batch must be >= 1";
+  if stream_load <= 0. then invalid_arg "Adversary.batch_plus_stream: stream_load must be positive";
+  if horizon_factor <= 0. then
+    invalid_arg "Adversary.batch_plus_stream: horizon_factor must be positive";
+  let horizon = horizon_factor *. Float.of_int (batch * batch) in
+  let interval = 1. /. stream_load in
+  let n_stream = int_of_float (horizon /. interval) in
+  let batch_jobs = List.init batch (fun _ -> (0., 1.)) in
+  let stream_jobs =
+    List.init n_stream (fun i -> (Float.of_int (i + 1) *. interval, 1.))
+  in
+  Instance.of_jobs
+    ~label:(Printf.sprintf "batch+stream(B=%d,rho=%.2f)" batch stream_load)
+    (batch_jobs @ stream_jobs)
+
+let long_vs_stream ~long_size ~n_short ~short_size =
+  if long_size <= 0. || short_size <= 0. then
+    invalid_arg "Adversary.long_vs_stream: sizes must be positive";
+  if n_short < 1 then invalid_arg "Adversary.long_vs_stream: n_short must be >= 1";
+  let shorts =
+    List.init n_short (fun i -> (Float.of_int i *. short_size, short_size))
+  in
+  Instance.of_jobs
+    ~label:(Printf.sprintf "long+stream(P=%g,n=%d,s=%g)" long_size n_short short_size)
+    ((0., long_size) :: shorts)
+
+let geometric_batch ~levels ~k =
+  if levels < 1 then invalid_arg "Adversary.geometric_batch: levels must be >= 1";
+  if k < 1 then invalid_arg "Adversary.geometric_batch: k must be >= 1";
+  let count l = int_of_float (Float.of_int 2 ** Float.of_int (k * l)) in
+  let total = List.fold_left (fun acc l -> acc + count l) 0 (List.init levels Fun.id) in
+  if total > 1_000_000 then invalid_arg "Adversary.geometric_batch: too many jobs";
+  let jobs =
+    List.concat_map
+      (fun l ->
+        let size = Rr_util.Floatx.powi 0.5 l in
+        List.init (count l) (fun _ -> (0., size)))
+      (List.init levels Fun.id)
+  in
+  Instance.of_jobs ~label:(Printf.sprintf "geometric(L=%d,k=%d)" levels k) jobs

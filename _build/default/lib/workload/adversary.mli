@@ -1,0 +1,43 @@
+(** Adversarial instance families for Round Robin.
+
+    Section 1.1 of the paper recalls that RR is [Omega(n^{2 eps_p})]-
+    competitive for the l2 norm when given only [(1 + eps)] speed — in
+    particular not O(1)-competitive with speed below 3/2 — while Theorem 1
+    gives O(1)-competitiveness at speed [4 + eps].  The families below
+    stress exactly the mechanism behind those bounds: RR's obliviousness to
+    remaining work makes backlogs of equal-share jobs linger, inflating the
+    flow of everything that arrives while the backlog drains.
+
+    The [batch_plus_stream] family is the growth probe used by figure F1:
+    at speed 1 the backlog of [batch] jobs never drains against a load-1
+    stream and the measured l2 ratio grows with the instance size; at
+    speeds past the theorem threshold the ratio stays flat.  (The
+    asymptotic separation for every fixed speed in (1, 3/2) needs fully
+    adaptive adversaries; this fixed family is an empirical probe, see
+    EXPERIMENTS.md.) *)
+
+val batch_plus_stream :
+  batch:int -> stream_load:float -> horizon_factor:float -> Instance.t
+(** [batch_plus_stream ~batch ~stream_load ~horizon_factor]: [batch] unit
+    jobs released at time 0, followed by a periodic stream of unit jobs at
+    rate [stream_load] lasting [horizon_factor * batch^2] time units.
+    Offered load tends to [stream_load]; the initial batch is the transient
+    RR cannot clear without speed.
+    @raise Invalid_argument when [batch < 1], [stream_load <= 0.] or
+    [horizon_factor <= 0.]. *)
+
+val long_vs_stream :
+  long_size:float -> n_short:int -> short_size:float -> Instance.t
+(** One long job released at time 0 into a full-load periodic stream of
+    short jobs.  Under clairvoyant policies the long job starves (worst
+    max-flow) while RR guarantees it a [1/n_t] share throughout — the
+    instantaneous-fairness demonstration, and the family used for the
+    crossover experiment T7. *)
+
+val geometric_batch : levels:int -> k:int -> Instance.t
+(** Batch release of [2^(k l)] jobs of size [2^(-l)] for each level
+    [l = 0 .. levels-1], so that every size scale contributes equally to
+    the lk objective of an optimal schedule.  Exercises RR's
+    smallest-first completion order on batches.
+    @raise Invalid_argument when [levels < 1], [k < 1], or the level
+    counts would exceed a million jobs. *)

@@ -1,0 +1,90 @@
+type t =
+  | Poisson of { rate : float }
+  | Periodic of { interval : float }
+  | Batched of { batch : int; interval : float }
+  | Bursty of { rate_low : float; rate_high : float; mean_dwell : float }
+  | Diurnal of { base_rate : float; amplitude : float; period : float }
+
+let validate = function
+  | Poisson { rate } when rate > 0. -> Ok ()
+  | Poisson _ -> Error "Poisson: rate must be positive"
+  | Periodic { interval } when interval > 0. -> Ok ()
+  | Periodic _ -> Error "Periodic: interval must be positive"
+  | Batched { batch; interval } when batch > 0 && interval > 0. -> Ok ()
+  | Batched _ -> Error "Batched: need batch > 0 and interval > 0"
+  | Bursty { rate_low; rate_high; mean_dwell }
+    when 0. < rate_low && rate_low <= rate_high && mean_dwell > 0. ->
+      Ok ()
+  | Bursty _ -> Error "Bursty: need 0 < rate_low <= rate_high and mean_dwell > 0"
+  | Diurnal { base_rate; amplitude; period }
+    when base_rate > 0. && 0. <= amplitude && amplitude < 1. && period > 0. ->
+      Ok ()
+  | Diurnal _ -> Error "Diurnal: need base_rate > 0, 0 <= amplitude < 1, period > 0"
+
+let check p = match validate p with Ok () -> () | Error msg -> invalid_arg ("Arrivals: " ^ msg)
+
+let generate rng p ~n =
+  check p;
+  if n < 0 then invalid_arg "Arrivals.generate: n must be non-negative";
+  match p with
+  | Poisson { rate } ->
+      let t = ref 0. in
+      Array.init n (fun _ ->
+          t := !t +. Rr_util.Prng.exponential rng ~rate;
+          !t)
+  | Periodic { interval } -> Array.init n (fun i -> Float.of_int i *. interval)
+  | Batched { batch; interval } -> Array.init n (fun i -> Float.of_int (i / batch) *. interval)
+  | Bursty { rate_low; rate_high; mean_dwell } ->
+      let t = ref 0. in
+      let high = ref false in
+      (* Remaining dwell time in the current modulating state. *)
+      let dwell = ref (Rr_util.Prng.exponential rng ~rate:(1. /. mean_dwell)) in
+      Array.init n (fun _ ->
+          let rec step () =
+            let rate = if !high then rate_high else rate_low in
+            let gap = Rr_util.Prng.exponential rng ~rate in
+            if gap <= !dwell then begin
+              dwell := !dwell -. gap;
+              t := !t +. gap
+            end
+            else begin
+              (* State flips before the candidate arrival: discard it (the
+                 exponential is memoryless) and continue in the new state. *)
+              t := !t +. !dwell;
+              high := not !high;
+              dwell := Rr_util.Prng.exponential rng ~rate:(1. /. mean_dwell);
+              step ()
+            end
+          in
+          step ();
+          !t)
+  | Diurnal { base_rate; amplitude; period } ->
+      (* Thinning: candidates at the peak rate, accepted with probability
+         intensity(t) / peak. *)
+      let peak = base_rate *. (1. +. amplitude) in
+      let intensity t =
+        base_rate *. (1. +. (amplitude *. sin (2. *. Float.pi *. t /. period)))
+      in
+      let t = ref 0. in
+      Array.init n (fun _ ->
+          let rec draw () =
+            t := !t +. Rr_util.Prng.exponential rng ~rate:peak;
+            if Rr_util.Prng.float rng <= intensity !t /. peak then !t else draw ()
+          in
+          draw ())
+
+let mean_rate = function
+  | Poisson { rate } -> rate
+  | Periodic { interval } -> 1. /. interval
+  | Batched { batch; interval } -> Float.of_int batch /. interval
+  | Bursty { rate_low; rate_high; mean_dwell = _ } -> (rate_low +. rate_high) /. 2.
+  | Diurnal { base_rate; _ } -> base_rate
+
+let name = function
+  | Poisson { rate } -> Printf.sprintf "poisson(%g)" rate
+  | Periodic { interval } -> Printf.sprintf "periodic(%g)" interval
+  | Batched { batch; interval } -> Printf.sprintf "batched(%d,%g)" batch interval
+  | Bursty { rate_low; rate_high; mean_dwell } ->
+      Printf.sprintf "bursty(%g,%g,%g)" rate_low rate_high mean_dwell
+  | Diurnal { base_rate; amplitude; period } ->
+      Printf.sprintf "diurnal(%g,%g,%g)" base_rate amplitude period

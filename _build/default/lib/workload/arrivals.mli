@@ -1,0 +1,27 @@
+(** Arrival processes: sequences of release times for online instances. *)
+
+type t =
+  | Poisson of { rate : float }  (** Memoryless arrivals at the given rate. *)
+  | Periodic of { interval : float }  (** Deterministic, evenly spaced. *)
+  | Batched of { batch : int; interval : float }
+      (** [batch] simultaneous arrivals every [interval]. *)
+  | Bursty of { rate_low : float; rate_high : float; mean_dwell : float }
+      (** Two-state Markov-modulated Poisson process: arrival rate
+          alternates between [rate_low] and [rate_high], dwelling in each
+          state for an exponential time of mean [mean_dwell]. *)
+  | Diurnal of { base_rate : float; amplitude : float; period : float }
+      (** Non-homogeneous Poisson process with the sinusoidal intensity
+          [base_rate * (1 + amplitude * sin(2 pi t / period))] — the
+          day/night load pattern of server workloads; sampled by
+          thinning.  Requires [0 <= amplitude < 1]. *)
+
+val validate : t -> (unit, string) result
+
+val generate : Rr_util.Prng.t -> t -> n:int -> float array
+(** [generate rng p ~n] returns [n] non-decreasing release times starting
+    at 0.  @raise Invalid_argument on invalid parameters or [n < 0]. *)
+
+val mean_rate : t -> float
+(** Long-run arrival rate (jobs per unit time). *)
+
+val name : t -> string

@@ -1,0 +1,67 @@
+type t =
+  | Deterministic of float
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float }
+  | Pareto of { alpha : float; x_min : float }
+  | Bounded_pareto of { alpha : float; x_min : float; x_max : float }
+  | Bimodal of { small : float; large : float; prob_large : float }
+
+let validate = function
+  | Deterministic p when p > 0. -> Ok ()
+  | Deterministic _ -> Error "Deterministic: size must be positive"
+  | Uniform { lo; hi } when 0. < lo && lo <= hi -> Ok ()
+  | Uniform _ -> Error "Uniform: need 0 < lo <= hi"
+  | Exponential { mean } when mean > 0. -> Ok ()
+  | Exponential _ -> Error "Exponential: mean must be positive"
+  | Pareto { alpha; x_min } when alpha > 0. && x_min > 0. -> Ok ()
+  | Pareto _ -> Error "Pareto: alpha and x_min must be positive"
+  | Bounded_pareto { alpha; x_min; x_max } when alpha > 0. && 0. < x_min && x_min < x_max ->
+      Ok ()
+  | Bounded_pareto _ -> Error "Bounded_pareto: need alpha > 0 and 0 < x_min < x_max"
+  | Bimodal { small; large; prob_large }
+    when 0. < small && small <= large && 0. <= prob_large && prob_large <= 1. ->
+      Ok ()
+  | Bimodal _ -> Error "Bimodal: need 0 < small <= large and prob_large in [0,1]"
+
+let check d = match validate d with Ok () -> () | Error msg -> invalid_arg ("Distribution: " ^ msg)
+
+let sample rng d =
+  check d;
+  match d with
+  | Deterministic p -> p
+  | Uniform { lo; hi } -> Rr_util.Prng.float_range rng ~lo ~hi
+  | Exponential { mean } -> Rr_util.Prng.exponential rng ~rate:(1. /. mean)
+  | Pareto { alpha; x_min } -> Rr_util.Prng.pareto rng ~alpha ~x_min
+  | Bounded_pareto { alpha; x_min; x_max } ->
+      Rr_util.Prng.bounded_pareto rng ~alpha ~x_min ~x_max
+  | Bimodal { small; large; prob_large } ->
+      if Rr_util.Prng.float rng < prob_large then large else small
+
+let mean = function
+  | Deterministic p -> p
+  | Uniform { lo; hi } -> (lo +. hi) /. 2.
+  | Exponential { mean } -> mean
+  | Pareto { alpha; x_min } ->
+      if alpha <= 1. then Float.infinity else alpha *. x_min /. (alpha -. 1.)
+  | Bounded_pareto { alpha; x_min; x_max } ->
+      if Rr_util.Floatx.approx_equal alpha 1. then
+        (* alpha = 1 limit of the general formula. *)
+        log (x_max /. x_min) /. ((1. /. x_min) -. (1. /. x_max))
+      else
+        let l = x_min and h = x_max in
+        let la = l ** alpha in
+        la /. (1. -. ((l /. h) ** alpha))
+        *. (alpha /. (alpha -. 1.))
+        *. ((1. /. (l ** (alpha -. 1.))) -. (1. /. (h ** (alpha -. 1.))))
+  | Bimodal { small; large; prob_large } ->
+      (prob_large *. large) +. ((1. -. prob_large) *. small)
+
+let name = function
+  | Deterministic p -> Printf.sprintf "det(%g)" p
+  | Uniform { lo; hi } -> Printf.sprintf "unif(%g,%g)" lo hi
+  | Exponential { mean } -> Printf.sprintf "exp(%g)" mean
+  | Pareto { alpha; x_min } -> Printf.sprintf "pareto(%g,%g)" alpha x_min
+  | Bounded_pareto { alpha; x_min; x_max } ->
+      Printf.sprintf "bpareto(%g,%g,%g)" alpha x_min x_max
+  | Bimodal { small; large; prob_large } ->
+      Printf.sprintf "bimodal(%g,%g,p=%g)" small large prob_large

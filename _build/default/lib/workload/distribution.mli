@@ -1,0 +1,30 @@
+(** Job-size distributions.
+
+    The paper's motivation spans operating systems and data networks, whose
+    service-time distributions range from near-deterministic to heavy
+    tailed; the evaluation suite uses the standard spread below.  All
+    sampling is inverse-transform over the repository PRNG, so instances
+    are reproducible from a seed. *)
+
+type t =
+  | Deterministic of float  (** Every job has exactly this size. *)
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float }
+  | Pareto of { alpha : float; x_min : float }
+      (** Unbounded Pareto; infinite variance when [alpha <= 2]. *)
+  | Bounded_pareto of { alpha : float; x_min : float; x_max : float }
+      (** The classic heavy-tail model for computing workloads. *)
+  | Bimodal of { small : float; large : float; prob_large : float }
+      (** Mice-and-elephants mix. *)
+
+val validate : t -> (unit, string) result
+(** Check parameter sanity (positivity, ordering, probability range). *)
+
+val sample : Rr_util.Prng.t -> t -> float
+(** Draw one size.  @raise Invalid_argument on invalid parameters. *)
+
+val mean : t -> float
+(** Analytic mean; [infinity] for [Pareto] with [alpha <= 1]. *)
+
+val name : t -> string
+(** Short label for tables, e.g. ["exp(1)"], ["bpareto(1.5)"]. *)

@@ -1,0 +1,53 @@
+type t = { jobs : Rr_engine.Job.t list; label : string }
+
+let of_jobs ?(label = "custom") pairs =
+  let sorted =
+    List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) pairs
+  in
+  let jobs =
+    List.mapi (fun id (arrival, size) -> Rr_engine.Job.make ~id ~arrival ~size) sorted
+  in
+  { jobs; label }
+
+let generate ~rng ~arrivals ~sizes ~n () =
+  let times = Arrivals.generate rng arrivals ~n in
+  let pairs =
+    Array.to_list (Array.map (fun t -> (t, Distribution.sample rng sizes)) times)
+  in
+  of_jobs
+    ~label:(Printf.sprintf "%s/%s/n=%d" (Arrivals.name arrivals) (Distribution.name sizes) n)
+    pairs
+
+let generate_load ~rng ~sizes ~load ~machines ~n () =
+  if load <= 0. then invalid_arg "Instance.generate_load: load must be positive";
+  let mu = Distribution.mean sizes in
+  if not (Float.is_finite mu && mu > 0.) then
+    invalid_arg "Instance.generate_load: size distribution must have a finite positive mean";
+  let rate = load *. Float.of_int machines /. mu in
+  let inst = generate ~rng ~arrivals:(Arrivals.Poisson { rate }) ~sizes ~n () in
+  { inst with label = Printf.sprintf "%s/rho=%.2f/m=%d/n=%d" (Distribution.name sizes) load machines n }
+
+let n t = List.length t.jobs
+
+let total_work t = Rr_util.Kahan.sum_list (List.map (fun (j : Rr_engine.Job.t) -> j.size) t.jobs)
+
+let span t =
+  match t.jobs with
+  | [] | [ _ ] -> 0.
+  | first :: rest ->
+      let last = List.fold_left (fun _ j -> j) first rest in
+      last.Rr_engine.Job.arrival -. first.Rr_engine.Job.arrival
+
+let offered_load ~machines t =
+  let s = span t in
+  let w = total_work t in
+  if s <= 0. then if w > 0. then Float.infinity else 0.
+  else w /. (Float.of_int machines *. s)
+
+let jobs t = t.jobs
+
+let relabel label t = { t with label }
+
+let pp ppf t =
+  Format.fprintf ppf "instance %s: %d jobs, work %.3f, span %.3f" t.label (n t) (total_work t)
+    (span t)

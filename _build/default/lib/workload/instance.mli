@@ -1,0 +1,56 @@
+(** Problem instances: finite sets of jobs with validation and generators.
+
+    An instance is the input of the online problem of Section 2: each job
+    has a release time and a size; the online scheduler sees a job only
+    from its release time.  Instances always carry dense job identifiers
+    [0 .. n-1] ordered by [(arrival, id)]. *)
+
+type t = private { jobs : Rr_engine.Job.t list; label : string }
+
+val of_jobs : ?label:string -> (float * float) list -> t
+(** [of_jobs pairs] builds an instance from [(arrival, size)] pairs,
+    assigning ids in non-decreasing arrival order.
+    @raise Invalid_argument when any arrival is negative or non-finite, or
+    any size is non-positive or non-finite. *)
+
+val generate :
+  rng:Rr_util.Prng.t ->
+  arrivals:Arrivals.t ->
+  sizes:Distribution.t ->
+  n:int ->
+  unit ->
+  t
+(** Sample [n] release times from [arrivals] and sizes i.i.d. from
+    [sizes]. *)
+
+val generate_load :
+  rng:Rr_util.Prng.t ->
+  sizes:Distribution.t ->
+  load:float ->
+  machines:int ->
+  n:int ->
+  unit ->
+  t
+(** Poisson instance tuned so that the offered load
+    [lambda * E(size) / machines] equals [load]; the standard way the
+    evaluation parameterises stochastic workloads.
+    @raise Invalid_argument when [load <= 0.] or the size distribution has
+    a non-finite mean. *)
+
+val n : t -> int
+
+val total_work : t -> float
+(** Sum of all job sizes. *)
+
+val span : t -> float
+(** Latest arrival minus earliest arrival; 0. for fewer than two jobs. *)
+
+val offered_load : machines:int -> t -> float
+(** Empirical load: [total_work / (machines * span)]; [infinity] when the
+    span is 0 but work is positive. *)
+
+val jobs : t -> Rr_engine.Job.t list
+
+val relabel : string -> t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+exception Parse_error of { line : int; message : string }
+
+let to_string inst =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "arrival,size\n";
+  List.iter
+    (fun (j : Rr_engine.Job.t) -> Buffer.add_string buf (Printf.sprintf "%.17g,%.17g\n" j.arrival j.size))
+    (Instance.jobs inst);
+  Buffer.contents buf
+
+let of_string ?(label = "loaded") s =
+  let lines = String.split_on_char '\n' s in
+  let parse_line lineno l =
+    match String.split_on_char ',' (String.trim l) with
+    | [ a; p ] -> (
+        match (float_of_string_opt a, float_of_string_opt p) with
+        | Some arrival, Some size -> (arrival, size)
+        | _ -> raise (Parse_error { line = lineno; message = "expected two floats: " ^ l }))
+    | _ -> raise (Parse_error { line = lineno; message = "expected 'arrival,size': " ^ l })
+  in
+  let rec collect lineno acc = function
+    | [] -> List.rev acc
+    | l :: rest when String.trim l = "" -> collect (lineno + 1) acc rest
+    | l :: rest -> collect (lineno + 1) (parse_line lineno l :: acc) rest
+  in
+  match lines with
+  | header :: rest when String.trim header = "arrival,size" ->
+      let pairs = collect 2 [] rest in
+      (try Instance.of_jobs ~label pairs
+       with Invalid_argument m -> raise (Parse_error { line = 0; message = m }))
+  | _ -> raise (Parse_error { line = 1; message = "missing 'arrival,size' header" })
+
+let save ~path inst =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string inst))
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      of_string ~label:(Filename.basename path) s)

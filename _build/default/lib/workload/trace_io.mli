@@ -1,0 +1,20 @@
+(** Plain-text persistence of instances, one job per line.
+
+    Format: a header line [arrival,size] followed by comma-separated
+    records.  Identifiers are assigned on load in arrival order, so a
+    round-trip through disk preserves the instance up to relabelling. *)
+
+exception Parse_error of { line : int; message : string }
+
+val save : path:string -> Instance.t -> unit
+(** Write the instance to [path], overwriting. *)
+
+val load : path:string -> Instance.t
+(** Read an instance back.
+    @raise Parse_error on malformed content (with a 1-based line number).
+    @raise Sys_error when the file cannot be read. *)
+
+val to_string : Instance.t -> string
+
+val of_string : ?label:string -> string -> Instance.t
+(** @raise Parse_error on malformed content. *)

@@ -1,0 +1,1 @@
+test/test_broadcast.ml: Alcotest Array Bsim Float Fun List Printf QCheck2 QCheck_alcotest Request Rr_broadcast Rr_engine Rr_policies Rr_util Workgen

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Experiments Float List Ratio Rr_lp Rr_policies Rr_util Rr_workload Run String Sweep Temporal_fairness

@@ -1,0 +1,1 @@
+test/test_dualfit.ml: Alcotest Array Float Job List QCheck2 QCheck_alcotest Rr_dualfit Rr_engine Rr_lp Rr_policies Rr_util Rr_workload Simulator

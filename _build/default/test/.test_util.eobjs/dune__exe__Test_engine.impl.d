@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Assignment Discrete Float Fun Job List Policy Printf QCheck2 QCheck_alcotest Rr_engine Rr_metrics Rr_policies Rr_util Simulator String Trace

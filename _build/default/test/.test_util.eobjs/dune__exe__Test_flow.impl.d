@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Float List Mcmf QCheck2 QCheck_alcotest Rr_flow Rr_lp

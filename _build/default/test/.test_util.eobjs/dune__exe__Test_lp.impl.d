@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Brute Float Hashtbl List Lp_bound Option QCheck2 QCheck_alcotest Rr_engine Rr_lp Rr_policies Rr_workload Simplex Temporal_fairness

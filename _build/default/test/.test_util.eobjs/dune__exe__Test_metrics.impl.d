@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Fairness Float Flow_stats Fractional List Norms QCheck2 QCheck_alcotest Rr_engine Rr_metrics Rr_policies

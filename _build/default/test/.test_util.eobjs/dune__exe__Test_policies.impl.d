@@ -1,0 +1,1 @@
+test/test_policies.ml: Alcotest Array Float Job List Policy QCheck2 QCheck_alcotest Rr_engine Rr_lp Rr_policies Simulator

@@ -1,0 +1,1 @@
+test/test_queueing.ml: Alcotest Array Float List Rr_policies Rr_queueing Rr_util Rr_workload Temporal_fairness

@@ -1,0 +1,1 @@
+test/test_speedup.ml: Alcotest Array Equi_sim Float List Printf QCheck2 QCheck_alcotest Rr_speedup Rr_util Sjob

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Floatx Fun Heap Int Int64 Kahan List Printf Prng QCheck2 QCheck_alcotest Rr_util Stats String Table Welford

@@ -1,0 +1,1 @@
+test/test_workload.ml: Adversary Alcotest Array Arrivals Distribution Filename Float Fun Instance List QCheck2 QCheck_alcotest Rr_engine Rr_util Rr_workload Sys Trace_io

@@ -1,0 +1,221 @@
+(* Tests for the broadcast scheduling substrate. *)
+
+open Rr_broadcast
+
+let check_close ?(tol = 1e-9) msg a b = Alcotest.(check (float tol)) msg a b
+let req ~id ~arrival ~page = Request.make ~id ~arrival ~page
+
+(* ------------------------------------------------------------------ *)
+(* Requests and validation                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_request_validation () =
+  List.iter
+    (fun f ->
+      match f () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected request validation failure")
+    [
+      (fun () -> ignore (req ~id:(-1) ~arrival:0. ~page:0));
+      (fun () -> ignore (req ~id:0 ~arrival:(-1.) ~page:0));
+      (fun () -> ignore (req ~id:0 ~arrival:0. ~page:(-1)));
+    ]
+
+let test_validate_pages () =
+  (match Request.validate_pages ~sizes:[| 1.; 2. |] [ req ~id:0 ~arrival:0. ~page:1 ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Request.validate_pages ~sizes:[| 1. |] [ req ~id:0 ~arrival:0. ~page:3 ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unknown page accepted");
+  match Request.validate_pages ~sizes:[| 0. |] [] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "zero page size accepted"
+
+(* ------------------------------------------------------------------ *)
+(* The aggregation benefit                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Two simultaneous requests for one page of size 2 are served by a single
+   transmission: both complete at t = 2 (standard scheduling would need 4
+   units of work). *)
+let test_broadcast_aggregates () =
+  let requests = [ req ~id:0 ~arrival:0. ~page:0; req ~id:1 ~arrival:0. ~page:0 ] in
+  let r = Bsim.run ~sizes:[| 2. |] ~policy:Bsim.broadcast_rr requests in
+  check_close "first" 2. r.completions.(0);
+  check_close "second rides along" 2. r.completions.(1)
+
+(* A late joiner accumulates only from its own arrival. *)
+let test_late_joiner () =
+  let requests = [ req ~id:0 ~arrival:0. ~page:0; req ~id:1 ~arrival:1. ~page:0 ] in
+  let r = Bsim.run ~sizes:[| 2. |] ~policy:Bsim.broadcast_rr requests in
+  check_close "early" 2. r.completions.(0);
+  check_close "late joiner needs a full cycle" 3. r.completions.(1)
+
+let test_rr_splits_channel () =
+  let requests = [ req ~id:0 ~arrival:0. ~page:0; req ~id:1 ~arrival:0. ~page:1 ] in
+  let r = Bsim.run ~sizes:[| 1.; 1. |] ~policy:Bsim.broadcast_rr requests in
+  check_close "page 0 at half rate" 2. r.completions.(0);
+  check_close "page 1 at half rate" 2. r.completions.(1)
+
+let test_fifo_serves_oldest () =
+  let requests = [ req ~id:0 ~arrival:0. ~page:0; req ~id:1 ~arrival:0.5 ~page:1 ] in
+  let r = Bsim.run ~sizes:[| 1.; 1. |] ~policy:Bsim.fifo requests in
+  check_close "oldest page first" 1. r.completions.(0);
+  check_close "then the next" 2. r.completions.(1)
+
+(* LWF lead-change, hand computed: page 0 has one request from t = 0, page 1
+   gets two requests at t = 4 (sizes 10 each).  Waits tie at t = 8 and page
+   1 then grows faster, so LWF switches: page 1 completes both requests at
+   t = 18, page 0 at t = 20. *)
+let test_lwf_lead_change () =
+  let requests =
+    [ req ~id:0 ~arrival:0. ~page:0; req ~id:1 ~arrival:4. ~page:1; req ~id:2 ~arrival:4. ~page:1 ]
+  in
+  let r = Bsim.run ~sizes:[| 10.; 10. |] ~policy:Bsim.lwf requests in
+  check_close ~tol:1e-3 "page 1 pair" 18. r.completions.(1);
+  check_close ~tol:1e-3 "page 1 pair'" 18. r.completions.(2);
+  check_close ~tol:1e-3 "page 0 preempted" 20. r.completions.(0)
+
+let test_speed_scales () =
+  let requests = [ req ~id:0 ~arrival:0. ~page:0 ] in
+  let r = Bsim.run ~speed:2. ~sizes:[| 3. |] ~policy:Bsim.broadcast_rr requests in
+  check_close "double speed" 1.5 r.completions.(0)
+
+let test_run_validation () =
+  List.iter
+    (fun f ->
+      match f () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected run validation failure")
+    [
+      (fun () -> ignore (Bsim.run ~speed:0. ~sizes:[| 1. |] ~policy:Bsim.broadcast_rr []));
+      (fun () ->
+        ignore (Bsim.run ~sizes:[| 1. |] ~policy:Bsim.broadcast_rr [ req ~id:7 ~arrival:0. ~page:0 ]));
+      (fun () ->
+        ignore (Bsim.run ~sizes:[| 1. |] ~policy:Bsim.broadcast_rr [ req ~id:0 ~arrival:0. ~page:5 ]));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Workload generation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_zipf_weights () =
+  let w = Workgen.zipf_weights ~n_pages:3 ~exponent:1. in
+  check_close ~tol:1e-12 "normalised" 1. (Rr_util.Kahan.sum w);
+  Alcotest.(check bool) "rank order" true (w.(0) > w.(1) && w.(1) > w.(2));
+  check_close ~tol:1e-12 "ratio" 2. (w.(0) /. w.(1))
+
+let test_zipf_uniform_case () =
+  let w = Workgen.zipf_weights ~n_pages:4 ~exponent:0. in
+  Array.iter (fun x -> check_close "uniform at exponent 0" 0.25 x) w
+
+let test_requests_shape () =
+  let rng = Rr_util.Prng.create ~seed:5 in
+  let reqs = Workgen.requests ~rng ~n_pages:10 ~exponent:1.2 ~rate:2. ~n:500 () in
+  Alcotest.(check int) "count" 500 (List.length reqs);
+  let sorted = List.for_all2 (fun (a : Request.t) id -> a.id = id) reqs (List.init 500 Fun.id) in
+  Alcotest.(check bool) "dense ids" true sorted;
+  List.iter
+    (fun (r : Request.t) ->
+      if r.page < 0 || r.page >= 10 then Alcotest.failf "page out of range: %d" r.page)
+    reqs
+
+let test_zipf_popularity_empirical () =
+  let rng = Rr_util.Prng.create ~seed:6 in
+  let reqs = Workgen.requests ~rng ~n_pages:5 ~exponent:1. ~rate:1. ~n:50_000 () in
+  let counts = Array.make 5 0 in
+  List.iter (fun (r : Request.t) -> counts.(r.page) <- counts.(r.page) + 1) reqs;
+  let w = Workgen.zipf_weights ~n_pages:5 ~exponent:1. in
+  Array.iteri
+    (fun i c ->
+      let emp = Float.of_int c /. 50_000. in
+      if Float.abs (emp -. w.(i)) > 0.02 then
+        Alcotest.failf "page %d: empirical %g vs zipf %g" i emp w.(i))
+    counts
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let random_broadcast_gen =
+  QCheck2.Gen.(
+    let* n_pages = int_range 1 6 in
+    let* n = int_range 1 40 in
+    let* seed = int_range 0 10_000 in
+    return (n_pages, n, seed))
+
+let build (n_pages, n, seed) =
+  let rng = Rr_util.Prng.create ~seed in
+  let sizes = Workgen.uniform_sizes ~rng ~n_pages ~lo:0.5 ~hi:3. in
+  let reqs = Workgen.requests ~rng ~n_pages ~exponent:1. ~rate:1. ~n () in
+  (sizes, reqs)
+
+let prop_all_requests_complete policy =
+  QCheck2.Test.make
+    ~name:(Printf.sprintf "every request completes (%s)" policy.Bsim.name)
+    ~count:80 random_broadcast_gen
+    (fun params ->
+      let sizes, reqs = build params in
+      let r = Bsim.run ~sizes ~policy reqs in
+      Array.for_all Float.is_finite r.completions
+      && List.for_all
+           (fun (q : Request.t) -> r.flows.(q.id) >= sizes.(q.page) -. 1e-6)
+           reqs)
+
+let prop_aggregation_beats_unicast =
+  (* Serving requests as a broadcast never takes longer than the same
+     requests under standard single-machine RR where each request is an
+     independent job (aggregation only helps). *)
+  QCheck2.Test.make ~name:"broadcast RR total flow <= unicast RR total flow" ~count:60
+    random_broadcast_gen
+    (fun params ->
+      let sizes, reqs = build params in
+      let b = Bsim.run ~sizes ~policy:Bsim.broadcast_rr reqs in
+      let jobs =
+        List.map
+          (fun (q : Request.t) ->
+            Rr_engine.Job.make ~id:q.id ~arrival:q.arrival ~size:sizes.(q.page))
+          reqs
+      in
+      let u =
+        Rr_engine.Simulator.run ~machines:1 ~policy:Rr_policies.Round_robin.policy jobs
+      in
+      Rr_util.Kahan.sum b.flows <= Rr_engine.Simulator.total_flow u +. 1e-6)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_all_requests_complete Bsim.broadcast_rr;
+      prop_all_requests_complete Bsim.fifo;
+      prop_all_requests_complete Bsim.lwf;
+      prop_aggregation_beats_unicast;
+    ]
+
+let () =
+  Alcotest.run "rr_broadcast"
+    [
+      ( "requests",
+        [
+          Alcotest.test_case "validation" `Quick test_request_validation;
+          Alcotest.test_case "page validation" `Quick test_validate_pages;
+        ] );
+      ( "simulation",
+        [
+          Alcotest.test_case "aggregation" `Quick test_broadcast_aggregates;
+          Alcotest.test_case "late joiner" `Quick test_late_joiner;
+          Alcotest.test_case "rr splits" `Quick test_rr_splits_channel;
+          Alcotest.test_case "fifo oldest" `Quick test_fifo_serves_oldest;
+          Alcotest.test_case "lwf lead change" `Quick test_lwf_lead_change;
+          Alcotest.test_case "speed" `Quick test_speed_scales;
+          Alcotest.test_case "validation" `Quick test_run_validation;
+        ] );
+      ( "workgen",
+        [
+          Alcotest.test_case "zipf weights" `Quick test_zipf_weights;
+          Alcotest.test_case "zipf uniform" `Quick test_zipf_uniform_case;
+          Alcotest.test_case "requests" `Quick test_requests_shape;
+          Alcotest.test_case "zipf empirical" `Quick test_zipf_popularity_empirical;
+        ] );
+      ("properties", qsuite);
+    ]

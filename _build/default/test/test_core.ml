@@ -1,0 +1,148 @@
+(* Integration tests for the temporal_fairness facade: run/ratio/sweep and
+   the full experiment suite at Quick scale. *)
+
+open Temporal_fairness
+
+let check_close ?(tol = 1e-9) msg a b = Alcotest.(check (float tol)) msg a b
+
+let rr = Rr_policies.Round_robin.policy
+let srpt = Rr_policies.Srpt.policy
+
+let two_jobs = Rr_workload.Instance.of_jobs [ (0., 1.); (0., 2.) ]
+
+(* ------------------------------------------------------------------ *)
+(* Run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_run_norm () =
+  (* RR on sizes {1,2}: flows 2 and 3 -> l1 = 5, l2 = sqrt 13. *)
+  check_close "l1" 5. (Run.norm ~k:1 ~machines:1 rr two_jobs);
+  check_close "l2" (sqrt 13.) (Run.norm ~k:2 ~machines:1 rr two_jobs);
+  check_close "power sum" 13. (Run.power_sum ~k:2 ~machines:1 rr two_jobs)
+
+let test_run_flows_order () =
+  let flows = Run.flows ~machines:1 srpt two_jobs in
+  check_close "small job flow" 1. flows.(0);
+  check_close "large job flow" 3. flows.(1)
+
+let test_run_speed () =
+  check_close "speed halves flows" 2.5 (Run.norm ~speed:2. ~k:1 ~machines:1 rr two_jobs)
+
+(* ------------------------------------------------------------------ *)
+(* Ratio                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_ratio_vs_baseline () =
+  (* RR l1 = 5 vs SRPT l1 = 4. *)
+  check_close "ratio" 1.25 (Ratio.vs_baseline ~k:1 ~machines:1 ~speed:1. rr two_jobs)
+
+let test_ratio_identity () =
+  check_close "policy vs itself" 1. (Ratio.vs_baseline ~baseline:rr ~k:2 ~machines:1 ~speed:1. rr two_jobs)
+
+let test_ratio_vs_lp_at_least_implied () =
+  (* The LP bound is a genuine lower bound on OPT, so the measured ratio
+     against it must be at least the ratio against brute-force OPT. *)
+  let inst = Rr_workload.Instance.of_jobs [ (0., 1.); (0., 3.); (1., 2.) ] in
+  let lp_ratio = Ratio.vs_lp_bound ~k:2 ~machines:1 ~delta:0.25 ~speed:1. rr inst in
+  let brute = Rr_lp.Brute.optimal_power_sum ~k:2 ~machines:1 [ (0, 1); (0, 3); (1, 2) ] in
+  let true_ratio = Run.norm ~k:2 ~machines:1 rr inst /. sqrt brute in
+  Alcotest.(check bool) "lp ratio dominates true ratio" true (lp_ratio >= true_ratio -. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Sweep                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_speeds_grid () =
+  Alcotest.(check (list (float 1e-12))) "grid" [ 1.; 1.5; 2. ] (Sweep.speeds ~lo:1. ~hi:2. ~steps:3);
+  match Sweep.speeds ~lo:2. ~hi:1. ~steps:3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected lo < hi validation"
+
+let test_min_speed_for () =
+  (* f(s) = 10 / s: threshold 2 crossed at s = 5. *)
+  (match Sweep.min_speed_for ~f:(fun s -> 10. /. s) ~threshold:2. ~lo:1. ~hi:8. ~iters:30 with
+  | Some s -> check_close ~tol:1e-6 "bisection" 5. s
+  | None -> Alcotest.fail "expected crossover");
+  match Sweep.min_speed_for ~f:(fun _ -> 100.) ~threshold:2. ~lo:1. ~hi:8. ~iters:5 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected None when unreachable"
+
+(* ------------------------------------------------------------------ *)
+(* Experiment suite at Quick scale                                     *)
+(* ------------------------------------------------------------------ *)
+
+let row_count table =
+  (* Rendered table: title + header + separator + rows. *)
+  List.length (String.split_on_char '\n' (Rr_util.Table.render table)) - 4
+
+let test_all_experiments_produce_rows () =
+  List.iter
+    (fun table ->
+      Alcotest.(check bool) "has rows" true (row_count table > 0))
+    (Experiments.all Experiments.Quick)
+
+let test_t8_all_sound () =
+  let rendered = Rr_util.Table.render (Experiments.t8_lp_soundness Experiments.Quick) in
+  Alcotest.(check bool) "no NO cells" false
+    (List.exists
+       (fun line -> List.mem "NO" (String.split_on_char ' ' line))
+       (String.split_on_char '\n' rendered))
+
+let test_t3_certificates_sound () =
+  let rendered = Rr_util.Table.render (Experiments.t3_dual_certificates Experiments.Quick) in
+  Alcotest.(check bool) "no NO cells" false
+    (List.exists
+       (fun line -> List.mem "NO" (String.split_on_char ' ' line))
+       (String.split_on_char '\n' rendered))
+
+let test_theorem_shape_l2 () =
+  (* The headline claim, end to end: on a stochastic instance the l2 ratio
+     of RR at the Theorem-1 speed against the *certified* LP lower bound is
+     a small constant (far below the 2 gamma / eps the proof guarantees). *)
+  let rng = Rr_util.Prng.create ~seed:3 in
+  let inst =
+    Rr_workload.Instance.generate_load ~rng
+      ~sizes:(Rr_workload.Distribution.Exponential { mean = 1. })
+      ~load:0.9 ~machines:1 ~n:30 ()
+  in
+  let ratio = Ratio.vs_lp_bound ~k:2 ~machines:1 ~delta:0.25 ~speed:8. rr inst in
+  Alcotest.(check bool) "bounded" true (Float.is_finite ratio && ratio < 4.)
+
+let test_rr_beats_srpt_on_l2_sometimes () =
+  (* Temporal fairness in action: a batch of equal jobs where SRPT's serial
+     order loses to RR... actually SRPT staggers completions and wins on l1;
+     the check here is the reverse-direction sanity that ratios are finite
+     and positive across policies. *)
+  let inst = Rr_workload.Instance.of_jobs (List.init 6 (fun _ -> (0., 1.))) in
+  let r = Ratio.vs_baseline ~k:2 ~machines:1 ~speed:1. rr inst in
+  Alcotest.(check bool) "finite positive" true (Float.is_finite r && r > 0.)
+
+let () =
+  Alcotest.run "temporal_fairness"
+    [
+      ( "run",
+        [
+          Alcotest.test_case "norms" `Quick test_run_norm;
+          Alcotest.test_case "flows order" `Quick test_run_flows_order;
+          Alcotest.test_case "speed" `Quick test_run_speed;
+        ] );
+      ( "ratio",
+        [
+          Alcotest.test_case "vs baseline" `Quick test_ratio_vs_baseline;
+          Alcotest.test_case "identity" `Quick test_ratio_identity;
+          Alcotest.test_case "lp dominates brute" `Quick test_ratio_vs_lp_at_least_implied;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "grid" `Quick test_speeds_grid;
+          Alcotest.test_case "bisection" `Quick test_min_speed_for;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "all quick tables" `Slow test_all_experiments_produce_rows;
+          Alcotest.test_case "t8 sound" `Quick test_t8_all_sound;
+          Alcotest.test_case "t3 sound" `Quick test_t3_certificates_sound;
+          Alcotest.test_case "theorem shape" `Quick test_theorem_shape_l2;
+          Alcotest.test_case "ratios sane" `Quick test_rr_beats_srpt_on_l2_sometimes;
+        ] );
+    ]

@@ -1,0 +1,230 @@
+(* Tests for the dual-fitting certificate: constants, hand-checked alpha
+   construction, lemma verification, and property tests on random
+   instances (the executable core of the paper's Sections 3.2-3.4). *)
+
+open Rr_engine
+
+let rr = Rr_policies.Round_robin.policy
+let check_close ?(tol = 1e-9) msg a b = Alcotest.(check (float tol)) msg a b
+
+let job ~id ~arrival ~size = Job.make ~id ~arrival ~size
+
+let certify_instance ?(eps = 0.1) ~k ~machines ~speed jobs =
+  let res = Simulator.run ~record_trace:true ~speed ~machines ~policy:rr jobs in
+  (res, Rr_dualfit.Certificate.certify ~eps ~k res)
+
+(* ------------------------------------------------------------------ *)
+(* Constants                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_theorem_speed () =
+  check_close "k=2, eps=0.1: 2k(1+10eps) = 8" 8.
+    (Rr_dualfit.Certificate.theorem_speed ~k:2 ~eps:0.1);
+  check_close "k=1, eps=0.05: 3" 3. (Rr_dualfit.Certificate.theorem_speed ~k:1 ~eps:0.05)
+
+let test_gamma () =
+  check_close "k=2, eps=0.1: 2 * 20^2 = 800" 800. (Rr_dualfit.Certificate.gamma ~k:2 ~eps:0.1);
+  check_close "k=1, eps=0.1: 1 * 10" 10. (Rr_dualfit.Certificate.gamma ~k:1 ~eps:0.1)
+
+(* ------------------------------------------------------------------ *)
+(* Hand-checked alpha on a single job                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_alpha_single_job () =
+  (* One job of size p at speed eta on one machine: the whole lifetime
+     [0, p/eta] is overloaded (|A| = 1 >= m = 1) with rank 1, so
+     alpha = F^k - eps F^k with F = p / eta. *)
+  let eps = 0.1 and k = 2 and speed = 8. in
+  let _, cert = certify_instance ~eps ~k ~machines:1 ~speed [ job ~id:0 ~arrival:0. ~size:4. ] in
+  let f = 4. /. speed in
+  check_close ~tol:1e-9 "alpha = (1 - eps) F^k" ((1. -. eps) *. f *. f) cert.alphas.(0);
+  check_close ~tol:1e-9 "rr power" (f *. f) cert.rr_power;
+  Alcotest.(check bool) "sound" true (Rr_dualfit.Certificate.is_sound cert)
+
+let test_alpha_two_jobs_ranks () =
+  (* Two identical jobs released together at speed 2, one machine; both
+     share rate 1 (speed 2 * share 1/2) and finish at t = 1 with F = 1.
+     Overloaded throughout.  Ranks (by arrival, then id): job0 -> 1,
+     job1 -> 2 during the whole interval.  Job 0 carries only its own
+     rank-normalised term (integral 1); job 1 carries job 0's term plus
+     its own halved one (1 + 1/2):
+       alpha_0 = 1 - eps,  alpha_1 = 3/2 - eps. *)
+  let eps = 0.1 and k = 2 in
+  let jobs = [ job ~id:0 ~arrival:0. ~size:1.; job ~id:1 ~arrival:0. ~size:1. ] in
+  let _, cert = certify_instance ~eps ~k ~machines:1 ~speed:2. jobs in
+  check_close ~tol:1e-9 "alpha_0" 0.9 cert.alphas.(0);
+  check_close ~tol:1e-9 "alpha_1" 1.4 cert.alphas.(1)
+
+(* The regression that exposed the missing inner sum: on a batch-heavy
+   adversarial instance with large alive sets, Lemma 1 fails for the
+   "own term only" construction but holds for the paper's.  Feasibility
+   must hold at the Theorem-1 speed and break at speed 1, where the
+   analysis genuinely needs the resource augmentation. *)
+let test_adversarial_batch_certificate () =
+  let inst =
+    Rr_workload.Adversary.batch_plus_stream ~batch:20 ~stream_load:1.0 ~horizon_factor:1.0
+  in
+  let certify_at speed =
+    let res =
+      Simulator.run ~record_trace:true ~speed ~machines:1 ~policy:rr
+        (Rr_workload.Instance.jobs inst)
+    in
+    Rr_dualfit.Certificate.certify ~eps:0.1 ~k:2 res
+  in
+  let at_theorem = certify_at 8. in
+  Alcotest.(check bool) "lemma 1 at theorem speed" true at_theorem.lemma1_ok;
+  Alcotest.(check bool) "lemma 2 at theorem speed" true at_theorem.lemma2_ok;
+  Alcotest.(check bool) "feasible at theorem speed" true
+    (at_theorem.violation_ratio <= 1. +. 1e-6);
+  Alcotest.(check bool) "sound" true (Rr_dualfit.Certificate.is_sound at_theorem);
+  let at_one = certify_at 1. in
+  Alcotest.(check bool) "lemmas are speed-independent identities" true
+    (at_one.lemma1_ok && at_one.lemma2_ok);
+  Alcotest.(check bool) "feasibility needs the speed" true (at_one.violation_ratio > 1.)
+
+let test_underloaded_times_have_no_rank_divisor () =
+  (* One job on two machines is underloaded (|A| = 1 < m = 2): the
+     underloaded branch contributes the full F^k, minus eps F^k. *)
+  let eps = 0.1 and k = 3 in
+  let _, cert = certify_instance ~eps ~k ~machines:2 ~speed:6.6 [ job ~id:0 ~arrival:0. ~size:2. ] in
+  let f = 2. /. 6.6 in
+  check_close ~tol:1e-12 "alpha underloaded" ((1. -. eps) *. (f ** 3.)) cert.alphas.(0)
+
+(* ------------------------------------------------------------------ *)
+(* Certificate structure                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_requires_trace () =
+  let res = Simulator.run ~machines:1 ~policy:rr [ job ~id:0 ~arrival:0. ~size:1. ] in
+  match Rr_dualfit.Certificate.certify ~k:2 res with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected trace requirement"
+
+let test_param_validation () =
+  let res =
+    Simulator.run ~record_trace:true ~machines:1 ~policy:rr [ job ~id:0 ~arrival:0. ~size:1. ]
+  in
+  List.iter
+    (fun f ->
+      match f () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected parameter rejection")
+    [
+      (fun () -> ignore (Rr_dualfit.Certificate.certify ~k:0 res));
+      (fun () -> ignore (Rr_dualfit.Certificate.certify ~eps:0. ~k:2 res));
+      (fun () -> ignore (Rr_dualfit.Certificate.certify ~eps:0.2 ~k:2 res));
+    ]
+
+let test_dual_objective_decomposition () =
+  let jobs = List.init 10 (fun id -> job ~id ~arrival:(Float.of_int id *. 0.2) ~size:1.) in
+  let _, cert = certify_instance ~k:2 ~machines:1 ~speed:8. jobs in
+  check_close ~tol:1e-9 "objective = sum alpha - m int beta"
+    (cert.sum_alpha -. cert.beta_integral_m)
+    cert.dual_objective
+
+let test_beta_integral_closed_form () =
+  (* m * int beta = (1/2 - 3 eps)(1 + eps) sum F^k, independent of m. *)
+  let eps = 0.1 and k = 2 in
+  let jobs = [ job ~id:0 ~arrival:0. ~size:1.; job ~id:1 ~arrival:0.5 ~size:2. ] in
+  let res, cert = certify_instance ~eps ~k ~machines:1 ~speed:8. jobs in
+  let flows = Simulator.flows res in
+  let expected =
+    (0.5 -. (3. *. eps))
+    *. (1. +. eps)
+    *. ((flows.(0) ** 2.) +. (flows.(1) ** 2.))
+  in
+  check_close ~tol:1e-9 "beta integral" expected cert.beta_integral_m
+
+(* ------------------------------------------------------------------ *)
+(* Properties: the paper's analysis holds on random instances           *)
+(* ------------------------------------------------------------------ *)
+
+let random_instance_gen =
+  QCheck2.Gen.(
+    let* n = int_range 2 40 in
+    let* machines = int_range 1 3 in
+    let* k = int_range 1 3 in
+    let* seed = int_range 0 10_000 in
+    return (n, machines, k, seed))
+
+let build (n, machines, k, seed) =
+  let rng = Rr_util.Prng.create ~seed in
+  let inst =
+    Rr_workload.Instance.generate_load ~rng
+      ~sizes:(Rr_workload.Distribution.Exponential { mean = 1. })
+      ~load:0.9 ~machines ~n ()
+  in
+  let eps = 0.1 in
+  let speed = Rr_dualfit.Certificate.theorem_speed ~k ~eps in
+  let res =
+    Simulator.run ~record_trace:true ~speed ~machines ~policy:rr
+      (Rr_workload.Instance.jobs inst)
+  in
+  (inst, Rr_dualfit.Certificate.certify ~eps ~k res)
+
+let prop_lemmas_hold =
+  QCheck2.Test.make ~name:"Lemmas 1 and 2 hold on random instances" ~count:60
+    random_instance_gen
+    (fun params ->
+      let _, cert = build params in
+      cert.lemma1_ok && cert.lemma2_ok)
+
+let prop_construction_feasible =
+  QCheck2.Test.make ~name:"dual construction feasible (violation <= 1)" ~count:60
+    random_instance_gen
+    (fun params ->
+      let _, cert = build params in
+      cert.violation_ratio <= 1. +. 1e-6)
+
+let prop_certified_ratio_positive =
+  QCheck2.Test.make ~name:"certified ratio at least eps" ~count:60 random_instance_gen
+    (fun params ->
+      let _, cert = build params in
+      (* The accounting in Section 3.3 guarantees at least
+         (3/2) eps + 3 eps^2 = 0.18 at eps = 0.1; require the weaker eps. *)
+      cert.certified_ratio >= cert.eps)
+
+let prop_weak_duality =
+  QCheck2.Test.make ~name:"dual objective below the LP optimum" ~count:25
+    QCheck2.Gen.(
+      let* n = int_range 2 20 in
+      let* k = int_range 1 2 in
+      let* seed = int_range 0 1_000 in
+      return (n, 1, k, seed))
+    (fun params ->
+      let inst, cert = build params in
+      let lp_hi =
+        Rr_lp.Lp_bound.value ~mode:Rr_lp.Lp_bound.Slot_end ~gamma:cert.gamma ~k:cert.k
+          ~machines:1 ~delta:0.25 inst
+      in
+      let scaled = cert.dual_objective /. Float.max 1. cert.violation_ratio in
+      scaled <= lp_hi *. (1. +. 1e-6))
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_lemmas_hold; prop_construction_feasible; prop_certified_ratio_positive; prop_weak_duality ]
+
+let () =
+  Alcotest.run "rr_dualfit"
+    [
+      ( "constants",
+        [
+          Alcotest.test_case "theorem speed" `Quick test_theorem_speed;
+          Alcotest.test_case "gamma" `Quick test_gamma;
+        ] );
+      ( "alpha construction",
+        [
+          Alcotest.test_case "single job" `Quick test_alpha_single_job;
+          Alcotest.test_case "two-job ranks" `Quick test_alpha_two_jobs_ranks;
+          Alcotest.test_case "adversarial batch" `Quick test_adversarial_batch_certificate;
+          Alcotest.test_case "underloaded branch" `Quick test_underloaded_times_have_no_rank_divisor;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "requires trace" `Quick test_requires_trace;
+          Alcotest.test_case "param validation" `Quick test_param_validation;
+          Alcotest.test_case "objective decomposition" `Quick test_dual_objective_decomposition;
+          Alcotest.test_case "beta closed form" `Quick test_beta_integral_closed_form;
+        ] );
+      ("properties", qsuite);
+    ]

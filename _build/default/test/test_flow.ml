@@ -1,0 +1,188 @@
+(* Tests for the min-cost max-flow solver, including randomized
+   cross-checks against the dense simplex on transportation problems. *)
+
+open Rr_flow
+
+let check_close ?(tol = 1e-6) msg a b = Alcotest.(check (float tol)) msg a b
+
+(* ------------------------------------------------------------------ *)
+(* Hand networks                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_single_edge () =
+  let net = Mcmf.create ~n_nodes:2 in
+  let e = Mcmf.add_edge net ~src:0 ~dst:1 ~capacity:3. ~cost:2. in
+  let { Mcmf.flow; cost } = Mcmf.solve net ~source:0 ~sink:1 in
+  check_close "flow" 3. flow;
+  check_close "cost" 6. cost;
+  check_close "edge flow" 3. (Mcmf.flow_on net e)
+
+let test_two_paths_prefers_cheap () =
+  (* Two parallel 0->1 edges: cheap (cap 2, cost 1) and dear (cap 5, cost 10).
+     Pushing 4 units: 2 cheap + 2 dear = 22. *)
+  let net = Mcmf.create ~n_nodes:2 in
+  let cheap = Mcmf.add_edge net ~src:0 ~dst:1 ~capacity:2. ~cost:1. in
+  let dear = Mcmf.add_edge net ~src:0 ~dst:1 ~capacity:5. ~cost:10. in
+  let { Mcmf.flow; cost } = Mcmf.solve ~max_flow:4. net ~source:0 ~sink:1 in
+  check_close "flow" 4. flow;
+  check_close "cost" 22. cost;
+  check_close "cheap saturated" 2. (Mcmf.flow_on net cheap);
+  check_close "dear partial" 2. (Mcmf.flow_on net dear)
+
+let test_rerouting_via_residual () =
+  (* Classic residual test: diamond where the greedy first path must be
+     partially undone.  Nodes 0 (s), 1, 2, 3 (t).
+     0->1 cap 1 cost 1, 0->2 cap 1 cost 2, 1->3 cap 1 cost 2,
+     2->3 cap 1 cost 1, 1->2 cap 1 cost 0.
+     Max flow 2 with min cost: 0->1->3 (3) + 0->2->3 (3) = 6. *)
+  let net = Mcmf.create ~n_nodes:4 in
+  ignore (Mcmf.add_edge net ~src:0 ~dst:1 ~capacity:1. ~cost:1.);
+  ignore (Mcmf.add_edge net ~src:0 ~dst:2 ~capacity:1. ~cost:2.);
+  ignore (Mcmf.add_edge net ~src:1 ~dst:3 ~capacity:1. ~cost:2.);
+  ignore (Mcmf.add_edge net ~src:2 ~dst:3 ~capacity:1. ~cost:1.);
+  ignore (Mcmf.add_edge net ~src:1 ~dst:2 ~capacity:1. ~cost:0.);
+  let { Mcmf.flow; cost } = Mcmf.solve net ~source:0 ~sink:3 in
+  check_close "flow" 2. flow;
+  check_close "cost" 6. cost;
+  Alcotest.(check bool) "optimality certificate" true (Mcmf.no_negative_cycle net)
+
+let test_disconnected () =
+  let net = Mcmf.create ~n_nodes:3 in
+  ignore (Mcmf.add_edge net ~src:0 ~dst:1 ~capacity:1. ~cost:1.);
+  let { Mcmf.flow; cost } = Mcmf.solve net ~source:0 ~sink:2 in
+  check_close "no flow" 0. flow;
+  check_close "no cost" 0. cost
+
+let test_max_flow_cap () =
+  let net = Mcmf.create ~n_nodes:2 in
+  ignore (Mcmf.add_edge net ~src:0 ~dst:1 ~capacity:10. ~cost:1.);
+  let { Mcmf.flow; _ } = Mcmf.solve ~max_flow:4. net ~source:0 ~sink:1 in
+  check_close "respects max_flow" 4. flow
+
+let test_validation () =
+  let net = Mcmf.create ~n_nodes:2 in
+  List.iter
+    (fun f ->
+      match f () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected rejection")
+    [
+      (fun () -> ignore (Mcmf.create ~n_nodes:0));
+      (fun () -> ignore (Mcmf.add_edge net ~src:0 ~dst:5 ~capacity:1. ~cost:1.));
+      (fun () -> ignore (Mcmf.add_edge net ~src:0 ~dst:1 ~capacity:(-1.) ~cost:1.));
+      (fun () -> ignore (Mcmf.add_edge net ~src:0 ~dst:1 ~capacity:1. ~cost:(-1.)));
+      (fun () -> ignore (Mcmf.add_edge net ~src:0 ~dst:1 ~capacity:Float.nan ~cost:1.));
+      (fun () -> ignore (Mcmf.solve net ~source:0 ~sink:0));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Cross-check against the simplex on random transportation problems   *)
+(* ------------------------------------------------------------------ *)
+
+(* Random transportation instance: [supplies] at sources, [demands] at
+   sinks with total demand >= total supply, full bipartite cost matrix. *)
+let transportation_gen =
+  QCheck2.Gen.(
+    let* ns = int_range 1 4 in
+    let* nd = int_range 1 4 in
+    let* supplies = list_repeat ns (float_range 0.5 5.) in
+    let* caps = list_repeat nd (float_range 1. 10.) in
+    let* costs = list_repeat (ns * nd) (float_range 0. 9.) in
+    return (supplies, caps, costs))
+
+let solve_by_mcmf (supplies, caps, costs) =
+  let ns = List.length supplies and nd = List.length caps in
+  let total_supply = List.fold_left ( +. ) 0. supplies in
+  let total_caps = List.fold_left ( +. ) 0. caps in
+  if total_caps < total_supply then None
+  else begin
+    let net = Mcmf.create ~n_nodes:(ns + nd + 2) in
+    let source = 0 and sink = ns + nd + 1 in
+    List.iteri
+      (fun i s -> ignore (Mcmf.add_edge net ~src:source ~dst:(1 + i) ~capacity:s ~cost:0.))
+      supplies;
+    List.iteri
+      (fun j c ->
+        ignore (Mcmf.add_edge net ~src:(1 + ns + j) ~dst:sink ~capacity:c ~cost:0.))
+      caps;
+    let costs = Array.of_list costs in
+    for i = 0 to ns - 1 do
+      for j = 0 to nd - 1 do
+        ignore
+          (Mcmf.add_edge net ~src:(1 + i) ~dst:(1 + ns + j) ~capacity:1e9
+             ~cost:costs.((i * nd) + j))
+      done
+    done;
+    let { Mcmf.flow; cost } = Mcmf.solve net ~source ~sink in
+    if not (Mcmf.no_negative_cycle net) then None
+    else if flow < total_supply -. 1e-6 then None
+    else Some cost
+  end
+
+let solve_by_simplex (supplies, caps, costs) =
+  let ns = List.length supplies and nd = List.length caps in
+  let nvars = ns * nd in
+  let objective = Array.of_list costs in
+  let rows = ref [] in
+  List.iteri
+    (fun i s ->
+      let row = Array.make nvars 0. in
+      for j = 0 to nd - 1 do
+        row.((i * nd) + j) <- 1.
+      done;
+      rows := (row, Rr_lp.Simplex.Ge, s) :: !rows)
+    supplies;
+  List.iteri
+    (fun j c ->
+      let row = Array.make nvars 0. in
+      for i = 0 to ns - 1 do
+        row.((i * nd) + j) <- 1.
+      done;
+      rows := (row, Rr_lp.Simplex.Le, c) :: !rows)
+    caps;
+  match Rr_lp.Simplex.solve { objective; rows = !rows } with
+  | Rr_lp.Simplex.Optimal { objective; _ } -> Some objective
+  | Rr_lp.Simplex.Infeasible | Rr_lp.Simplex.Unbounded -> None
+
+let prop_mcmf_matches_simplex =
+  QCheck2.Test.make ~name:"mcmf = simplex on transportation problems" ~count:150
+    transportation_gen
+    (fun inst ->
+      match (solve_by_mcmf inst, solve_by_simplex inst) with
+      | Some a, Some b -> Float.abs (a -. b) <= 1e-5 *. (1. +. Float.abs a)
+      | None, None -> true
+      | Some _, None | None, Some _ -> false)
+
+let prop_flow_bounded_by_capacity =
+  QCheck2.Test.make ~name:"per-edge flow within capacity" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 10) (float_range 0.1 5.))
+    (fun caps ->
+      let n = List.length caps in
+      let net = Mcmf.create ~n_nodes:(n + 2) in
+      let handles =
+        List.mapi
+          (fun i c ->
+            ignore (Mcmf.add_edge net ~src:0 ~dst:(1 + i) ~capacity:c ~cost:(Float.of_int i));
+            (Mcmf.add_edge net ~src:(1 + i) ~dst:(n + 1) ~capacity:c ~cost:0., c))
+          caps
+      in
+      ignore (Mcmf.solve net ~source:0 ~sink:(n + 1));
+      List.for_all (fun (e, c) -> Mcmf.flow_on net e <= c +. 1e-9) handles)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest [ prop_mcmf_matches_simplex; prop_flow_bounded_by_capacity ]
+
+let () =
+  Alcotest.run "rr_flow"
+    [
+      ( "hand networks",
+        [
+          Alcotest.test_case "single edge" `Quick test_single_edge;
+          Alcotest.test_case "prefers cheap" `Quick test_two_paths_prefers_cheap;
+          Alcotest.test_case "residual rerouting" `Quick test_rerouting_via_residual;
+          Alcotest.test_case "disconnected" `Quick test_disconnected;
+          Alcotest.test_case "max flow cap" `Quick test_max_flow_cap;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ("properties", qsuite);
+    ]

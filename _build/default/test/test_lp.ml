@@ -1,0 +1,279 @@
+(* Tests for the LP layer: simplex on known programs, brute-force optima,
+   and the soundness sandwich of the paper's LP relaxation. *)
+
+open Rr_lp
+
+let check_close ?(tol = 1e-6) msg a b = Alcotest.(check (float tol)) msg a b
+
+(* ------------------------------------------------------------------ *)
+(* Simplex                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_simplex_basic_le () =
+  (* min -x - y s.t. x + y <= 4, x <= 2 -> x = 2, y = 2, obj = -4. *)
+  let p =
+    {
+      Simplex.objective = [| -1.; -1. |];
+      rows = [ ([| 1.; 1. |], Simplex.Le, 4.); ([| 1.; 0. |], Simplex.Le, 2.) ];
+    }
+  in
+  match Simplex.solve p with
+  | Simplex.Optimal { objective; x } ->
+      check_close "objective" (-4.) objective;
+      check_close "x" 2. x.(0);
+      check_close "y" 2. x.(1)
+  | _ -> Alcotest.fail "expected optimum"
+
+let test_simplex_ge_eq () =
+  (* min 2x + 3y s.t. x + y >= 4, x = 1 -> y = 3, obj = 11. *)
+  let p =
+    {
+      Simplex.objective = [| 2.; 3. |];
+      rows = [ ([| 1.; 1. |], Simplex.Ge, 4.); ([| 1.; 0. |], Simplex.Eq, 1.) ];
+    }
+  in
+  match Simplex.solve p with
+  | Simplex.Optimal { objective; x } ->
+      check_close "objective" 11. objective;
+      check_close "x" 1. x.(0);
+      check_close "y" 3. x.(1)
+  | _ -> Alcotest.fail "expected optimum"
+
+let test_simplex_infeasible () =
+  let p =
+    {
+      Simplex.objective = [| 1. |];
+      rows = [ ([| 1. |], Simplex.Ge, 5.); ([| 1. |], Simplex.Le, 1.) ];
+    }
+  in
+  match Simplex.solve p with
+  | Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_simplex_unbounded () =
+  (* min -x with only x >= 0: unbounded below. *)
+  let p = { Simplex.objective = [| -1. |]; rows = [ ([| 1. |], Simplex.Ge, 0.) ] } in
+  match Simplex.solve p with
+  | Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_simplex_negative_rhs () =
+  (* min x s.t. -x <= -3 (i.e. x >= 3). *)
+  let p = { Simplex.objective = [| 1. |]; rows = [ ([| -1. |], Simplex.Le, -3.) ] } in
+  match Simplex.solve p with
+  | Simplex.Optimal { objective; _ } -> check_close "x = 3" 3. objective
+  | _ -> Alcotest.fail "expected optimum"
+
+let test_simplex_validation () =
+  (match Simplex.solve { Simplex.objective = [||]; rows = [] } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty objective");
+  match
+    Simplex.solve { Simplex.objective = [| 1. |]; rows = [ ([| 1.; 2. |], Simplex.Le, 1.) ] }
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "ragged row"
+
+(* ------------------------------------------------------------------ *)
+(* Brute force                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_brute_single_job () =
+  check_close "one job flow = size" 3. (Brute.optimal_power_sum ~k:1 ~machines:1 [ (0, 3) ]);
+  check_close "squared" 9. (Brute.optimal_power_sum ~k:2 ~machines:1 [ (0, 3) ])
+
+let test_brute_two_jobs_srpt_order () =
+  (* Sizes 1 and 3 at t = 0 on one machine: optimal l1 = 1 + 4 = 5. *)
+  check_close "l1" 5. (Brute.optimal_power_sum ~k:1 ~machines:1 [ (0, 1); (0, 3) ]);
+  (* l2 power: 1 + 16 = 17. *)
+  check_close "l2 power" 17. (Brute.optimal_power_sum ~k:2 ~machines:1 [ (0, 1); (0, 3) ])
+
+let test_brute_uses_both_machines () =
+  (* Two unit jobs, two machines: both finish at time 1. *)
+  check_close "parallel" 2. (Brute.optimal_power_sum ~k:1 ~machines:2 [ (0, 1); (0, 1) ])
+
+let test_brute_respects_release () =
+  (* A job cannot start before its arrival. *)
+  check_close "release" 1. (Brute.optimal_power_sum ~k:1 ~machines:1 [ (5, 1) ])
+
+let test_brute_validation () =
+  List.iter
+    (fun f ->
+      match f () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected brute validation failure")
+    [
+      (fun () -> Brute.optimal_power_sum ~k:0 ~machines:1 [ (0, 1) ]);
+      (fun () -> Brute.optimal_power_sum ~k:1 ~machines:0 [ (0, 1) ]);
+      (fun () -> Brute.optimal_power_sum ~k:1 ~machines:1 [ (-1, 1) ]);
+      (fun () -> Brute.optimal_power_sum ~k:1 ~machines:1 [ (0, 0) ]);
+      (fun () -> Brute.optimal_power_sum ~k:1 ~machines:1 (List.init 9 (fun i -> (i, 1))));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* LP bound                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let inst_of_ints jobs =
+  Rr_workload.Instance.of_jobs
+    (List.map (fun (r, p) -> (Float.of_int r, Float.of_int p)) jobs)
+
+let test_lp_single_job_value () =
+  (* One job, size 1, released at 0, k = 1, delta = 1: the LP routes the
+     unit of work into slot [0,1) at slot-start cost (0 + 1)/1 = 1. *)
+  let inst = inst_of_ints [ (0, 1) ] in
+  check_close "slot-start value" 1. (Lp_bound.value ~k:1 ~machines:1 ~delta:1. inst);
+  (* Slot-end evaluation prices the same slot at (1 + 1)/1 = 2. *)
+  check_close "slot-end value" 2.
+    (Lp_bound.value ~mode:Lp_bound.Slot_end ~k:1 ~machines:1 ~delta:1. inst)
+
+let test_lp_gamma_scales () =
+  let inst = inst_of_ints [ (0, 1); (1, 2) ] in
+  let v1 = Lp_bound.value ~k:2 ~machines:1 ~delta:0.5 inst in
+  let v3 = Lp_bound.value ~gamma:3. ~k:2 ~machines:1 ~delta:0.5 inst in
+  check_close "gamma multiplies the objective" (3. *. v1) v3
+
+let test_lp_validation () =
+  let inst = inst_of_ints [ (0, 1) ] in
+  List.iter
+    (fun f ->
+      match f () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected lp validation failure")
+    [
+      (fun () -> ignore (Lp_bound.value ~k:0 ~machines:1 ~delta:1. inst));
+      (fun () -> ignore (Lp_bound.value ~k:1 ~machines:0 ~delta:1. inst));
+      (fun () -> ignore (Lp_bound.value ~k:1 ~machines:1 ~delta:0. inst));
+    ]
+
+let test_lp_empty_instance () =
+  check_close "empty" 0. (Lp_bound.value ~k:2 ~machines:1 ~delta:1. (Rr_workload.Instance.of_jobs []))
+
+(* Random small integer instances. *)
+let tiny_instance_gen =
+  QCheck2.Gen.(
+    let* n = int_range 1 4 in
+    let* jobs = list_repeat n (pair (int_range 0 4) (int_range 1 4)) in
+    let* machines = int_range 1 2 in
+    let* k = int_range 1 2 in
+    return (jobs, machines, k))
+
+let prop_lp_sandwich =
+  QCheck2.Test.make ~name:"LP_lo <= LP_hi and LP_lo <= 2 OPT^k" ~count:60 tiny_instance_gen
+    (fun (jobs, machines, k) ->
+      let total = List.fold_left (fun a (_, p) -> a + p) 0 jobs in
+      QCheck2.assume (total <= 12);
+      let inst = inst_of_ints jobs in
+      let lo = Lp_bound.value ~k ~machines ~delta:0.25 inst in
+      let hi = Lp_bound.value ~mode:Lp_bound.Slot_end ~k ~machines ~delta:0.25 inst in
+      let opt = Brute.optimal_power_sum ~k ~machines jobs in
+      lo <= hi +. 1e-6 && lo /. 2. <= opt +. 1e-6)
+
+let prop_lp_finer_delta_monotone_feasible =
+  (* Halving delta refines the relaxation; both stay below the continuous
+     LP, and the coarse Slot_start value never exceeds the fine Slot_end
+     value. *)
+  QCheck2.Test.make ~name:"coarse lower mode <= fine upper mode" ~count:40 tiny_instance_gen
+    (fun (jobs, machines, k) ->
+      let total = List.fold_left (fun a (_, p) -> a + p) 0 jobs in
+      QCheck2.assume (total <= 12);
+      let inst = inst_of_ints jobs in
+      let lo_coarse = Lp_bound.value ~k ~machines ~delta:0.5 inst in
+      let hi_fine = Lp_bound.value ~mode:Lp_bound.Slot_end ~k ~machines ~delta:0.125 inst in
+      lo_coarse <= hi_fine +. 1e-6)
+
+let prop_srpt_upper_bounds_opt =
+  QCheck2.Test.make ~name:"brute OPT <= SRPT power sum" ~count:60 tiny_instance_gen
+    (fun (jobs, machines, k) ->
+      let total = List.fold_left (fun a (_, p) -> a + p) 0 jobs in
+      QCheck2.assume (total <= 12);
+      let inst = inst_of_ints jobs in
+      let opt = Brute.optimal_power_sum ~k ~machines jobs in
+      let srpt =
+        Temporal_fairness.Run.power_sum ~k ~machines Rr_policies.Srpt.policy inst
+      in
+      opt <= srpt +. 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* LP solution extraction                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_solution_single_job () =
+  let inst = inst_of_ints [ (0, 2) ] in
+  let sol = Lp_bound.solve ~k:1 ~machines:1 ~delta:1. inst in
+  (* Cheapest placement: one unit in each of the first two slots. *)
+  Alcotest.(check (float 1e-9)) "matches value" (Lp_bound.value ~k:1 ~machines:1 ~delta:1. inst) sol.value;
+  Alcotest.(check (float 1e-9)) "all work scheduled" 2.
+    (List.fold_left (fun a (_, w) -> a +. w) 0. sol.allocation.(0));
+  Alcotest.(check (float 1e-9)) "completes at slot 2" 2. (Lp_bound.completion_profile sol ~job:0)
+
+let prop_solution_feasible =
+  QCheck2.Test.make ~name:"LP solution is release-respecting and capacity-feasible" ~count:40
+    tiny_instance_gen
+    (fun (jobs, machines, k) ->
+      let total = List.fold_left (fun a (_, p) -> a + p) 0 jobs in
+      QCheck2.assume (total <= 12);
+      let inst = inst_of_ints jobs in
+      let delta = 0.5 in
+      let sol = Lp_bound.solve ~k ~machines ~delta inst in
+      let js = Array.of_list (Rr_workload.Instance.jobs inst) in
+      let slot_load = Hashtbl.create 16 in
+      let ok = ref true in
+      Array.iteri
+        (fun ji alloc ->
+          let j = js.(ji) in
+          let scheduled = List.fold_left (fun a (_, w) -> a +. w) 0. alloc in
+          if Float.abs (scheduled -. j.Rr_engine.Job.size) > 1e-6 then ok := false;
+          List.iter
+            (fun (slot_start, w) ->
+              (* Work may start inside the slot but never before release. *)
+              if slot_start +. delta <= j.Rr_engine.Job.arrival +. 1e-9 then ok := false;
+              if w < -1e-9 then ok := false;
+              let prev = Option.value ~default:0. (Hashtbl.find_opt slot_load slot_start) in
+              Hashtbl.replace slot_load slot_start (prev +. w))
+            alloc)
+        sol.allocation;
+      Hashtbl.iter
+        (fun _ load -> if load > (Float.of_int machines *. delta) +. 1e-6 then ok := false)
+        slot_load;
+      !ok)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_lp_sandwich;
+      prop_lp_finer_delta_monotone_feasible;
+      prop_srpt_upper_bounds_opt;
+      prop_solution_feasible;
+    ]
+
+let () =
+  Alcotest.run "rr_lp"
+    [
+      ( "simplex",
+        [
+          Alcotest.test_case "basic le" `Quick test_simplex_basic_le;
+          Alcotest.test_case "ge and eq" `Quick test_simplex_ge_eq;
+          Alcotest.test_case "infeasible" `Quick test_simplex_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
+          Alcotest.test_case "negative rhs" `Quick test_simplex_negative_rhs;
+          Alcotest.test_case "validation" `Quick test_simplex_validation;
+        ] );
+      ( "brute",
+        [
+          Alcotest.test_case "single job" `Quick test_brute_single_job;
+          Alcotest.test_case "two jobs" `Quick test_brute_two_jobs_srpt_order;
+          Alcotest.test_case "two machines" `Quick test_brute_uses_both_machines;
+          Alcotest.test_case "release times" `Quick test_brute_respects_release;
+          Alcotest.test_case "validation" `Quick test_brute_validation;
+        ] );
+      ( "lp bound",
+        [
+          Alcotest.test_case "single job value" `Quick test_lp_single_job_value;
+          Alcotest.test_case "gamma scales" `Quick test_lp_gamma_scales;
+          Alcotest.test_case "validation" `Quick test_lp_validation;
+          Alcotest.test_case "empty" `Quick test_lp_empty_instance;
+          Alcotest.test_case "solution extraction" `Quick test_solution_single_job;
+        ] );
+      ("properties", qsuite);
+    ]

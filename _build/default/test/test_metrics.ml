@@ -1,0 +1,246 @@
+(* Tests for norms, flow statistics and fairness measures. *)
+
+open Rr_metrics
+
+let check_close ?(tol = 1e-9) msg a b = Alcotest.(check (float tol)) msg a b
+let job ~id ~arrival ~size = Rr_engine.Job.make ~id ~arrival ~size
+
+(* ------------------------------------------------------------------ *)
+(* Norms                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_power_sum () =
+  check_close "k=1" 6. (Norms.power_sum ~k:1 [| 1.; 2.; 3. |]);
+  check_close "k=2" 14. (Norms.power_sum ~k:2 [| 1.; 2.; 3. |]);
+  check_close "k=3" 36. (Norms.power_sum ~k:3 [| 1.; 2.; 3. |])
+
+let test_lk () =
+  check_close "l1" 6. (Norms.lk ~k:1 [| 1.; 2.; 3. |]);
+  check_close "l2" (sqrt 14.) (Norms.lk ~k:2 [| 1.; 2.; 3. |]);
+  check_close "empty" 0. (Norms.lk ~k:2 [||])
+
+let test_linf () =
+  check_close "max" 3. (Norms.linf [| 1.; 3.; 2. |]);
+  check_close "empty" 0. (Norms.linf [||])
+
+let test_norms_validation () =
+  (match Norms.power_sum ~k:0 [| 1. |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "k >= 1 required");
+  match Norms.power_sum ~k:2 [| -1. |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative flows rejected"
+
+let prop_normalized_monotone_in_k =
+  QCheck2.Test.make ~name:"normalized lk norm non-decreasing in k (power mean)" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 30) (float_range 0. 100.))
+    (fun xs ->
+      let a = Array.of_list xs in
+      let n1 = Norms.normalized_lk ~k:1 a in
+      let n2 = Norms.normalized_lk ~k:2 a in
+      let n3 = Norms.normalized_lk ~k:3 a in
+      n1 <= n2 +. 1e-9 && n2 <= n3 +. 1e-9)
+
+let prop_lk_below_linf_times_count =
+  QCheck2.Test.make ~name:"lk norm between linf and n^(1/k) linf" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 30) (float_range 0. 100.))
+    (fun xs ->
+      let a = Array.of_list xs in
+      let linf = Norms.linf a in
+      let l2 = Norms.lk ~k:2 a in
+      let n = Float.of_int (Array.length a) in
+      l2 >= linf -. 1e-9 && l2 <= (sqrt n *. linf) +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Flow stats                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_flow_stats () =
+  let s = Flow_stats.of_flows [| 1.; 2.; 3.; 4. |] in
+  check_close "mean" 2.5 s.mean;
+  check_close "variance" 1.25 s.variance;
+  check_close "min" 1. s.min;
+  check_close "max" 4. s.max;
+  check_close "l1" 10. s.l1;
+  check_close "l2" (sqrt 30.) s.l2;
+  Alcotest.(check int) "n" 4 s.n
+
+let test_flow_stats_empty () =
+  match Flow_stats.of_flows [||] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty rejected"
+
+let test_slowdowns () =
+  let s = Flow_stats.slowdowns ~sizes:[| 1.; 2. |] ~flows:[| 3.; 3. |] in
+  Alcotest.(check (array (float 1e-12))) "stretch" [| 3.; 1.5 |] s;
+  check_close "max slowdown" 3. (Flow_stats.max_slowdown ~sizes:[| 1.; 2. |] ~flows:[| 3.; 3. |])
+
+let test_slowdowns_validation () =
+  (match Flow_stats.slowdowns ~sizes:[| 1. |] ~flows:[| 1.; 2. |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "length mismatch");
+  match Flow_stats.slowdowns ~sizes:[| 0. |] ~flows:[| 1. |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero size"
+
+(* ------------------------------------------------------------------ *)
+(* Fairness                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_traced policy jobs =
+  Rr_engine.Simulator.run ~record_trace:true ~machines:1 ~policy jobs
+
+let overloaded_jobs =
+  List.init 6 (fun id -> job ~id ~arrival:(Float.of_int id *. 0.25) ~size:2.)
+
+let test_rr_perfectly_fair () =
+  let res = run_traced Rr_policies.Round_robin.policy overloaded_jobs in
+  check_close "jain = 1 for RR" 1. (Fairness.time_weighted_jain res.trace)
+
+let test_srpt_unfair () =
+  let res = run_traced Rr_policies.Srpt.policy overloaded_jobs in
+  Alcotest.(check bool) "jain < 1 for SRPT" true (Fairness.time_weighted_jain res.trace < 0.9)
+
+let test_jain_series_samples () =
+  let res = run_traced Rr_policies.Round_robin.policy overloaded_jobs in
+  let series = Fairness.jain_series ~sample_every:0.5 res.trace in
+  Alcotest.(check bool) "non-empty" true (List.length series > 3);
+  List.iter (fun (_, j) -> check_close "rr always 1" 1. j) series
+
+let test_jain_series_validation () =
+  match Fairness.jain_series ~sample_every:0. [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "sample_every must be positive"
+
+let test_share_of_job () =
+  (* Under SRPT the long job waits while shorts run: its served share of
+     alive time is small.  Under RR it is always served. *)
+  let jobs =
+    job ~id:0 ~arrival:0. ~size:10.
+    :: List.init 10 (fun i -> job ~id:(i + 1) ~arrival:(Float.of_int i) ~size:1.)
+  in
+  let srpt_res = run_traced Rr_policies.Srpt.policy jobs in
+  let rr_res = run_traced Rr_policies.Round_robin.policy jobs in
+  Alcotest.(check bool) "srpt starves the long job" true
+    (Fairness.share_of_job ~job:0 srpt_res.trace < 0.6);
+  check_close "rr never starves" 1. (Fairness.share_of_job ~job:0 rr_res.trace)
+
+let test_segment_jain_single_job () =
+  let seg =
+    { Rr_engine.Trace.t0 = 0.; t1 = 1.; alive = [| { Rr_engine.Trace.job = 0; arrival = 0.; rate = 1. } |] }
+  in
+  check_close "single job trivially fair" 1. (Fairness.segment_jain seg)
+
+(* ------------------------------------------------------------------ *)
+(* Weighted norms                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_weighted_power_sum () =
+  check_close "weighted" 19.
+    (Norms.weighted_power_sum ~k:2 ~weights:[| 1.; 2. |] [| 1.; 3. |]);
+  check_close "unit weights match unweighted" (Norms.power_sum ~k:2 [| 1.; 3. |])
+    (Norms.weighted_power_sum ~k:2 ~weights:[| 1.; 1. |] [| 1.; 3. |]);
+  check_close "weighted lk" (sqrt 19.)
+    (Norms.weighted_lk ~k:2 ~weights:[| 1.; 2. |] [| 1.; 3. |])
+
+let test_weighted_validation () =
+  List.iter
+    (fun f ->
+      match f () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected weighted-norm rejection")
+    [
+      (fun () -> ignore (Norms.weighted_power_sum ~k:2 ~weights:[| 1. |] [| 1.; 2. |]));
+      (fun () -> ignore (Norms.weighted_power_sum ~k:2 ~weights:[| -1.; 1. |] [| 1.; 2. |]));
+      (fun () -> ignore (Norms.weighted_power_sum ~k:0 ~weights:[| 1. |] [| 1. |]));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Fractional flow                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_fractional_single_job () =
+  (* A lone job of size p served at rate 1 has remaining fraction
+     (1 - t/p): integral = p/2. *)
+  let res =
+    Rr_engine.Simulator.run ~record_trace:true ~machines:1
+      ~policy:Rr_policies.Round_robin.policy
+      [ job ~id:0 ~arrival:0. ~size:4. ]
+  in
+  check_close ~tol:1e-9 "p/2" 2. (Fractional.of_result res)
+
+let test_fractional_below_integral () =
+  let jobs = List.init 8 (fun id -> job ~id ~arrival:(Float.of_int id *. 0.4) ~size:1.) in
+  let res =
+    Rr_engine.Simulator.run ~record_trace:true ~machines:1
+      ~policy:Rr_policies.Round_robin.policy jobs
+  in
+  let frac = Fractional.of_result res in
+  let total = Rr_engine.Simulator.total_flow res in
+  Alcotest.(check bool) "fractional <= integral" true (frac <= total +. 1e-9);
+  Alcotest.(check bool) "positive" true (frac > 0.)
+
+let test_fractional_requires_trace () =
+  let res =
+    Rr_engine.Simulator.run ~machines:1 ~policy:Rr_policies.Round_robin.policy
+      [ job ~id:0 ~arrival:0. ~size:1. ]
+  in
+  match Fractional.of_result res with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected trace requirement"
+
+let prop_fractional_below_integral =
+  QCheck2.Test.make ~name:"fractional flow <= integral flow" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 20) (pair (float_range 0. 10.) (float_range 0.1 4.)))
+    (fun pairs ->
+      let sorted = List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) pairs in
+      let jobs = List.mapi (fun id (arrival, size) -> job ~id ~arrival ~size) sorted in
+      let res =
+        Rr_engine.Simulator.run ~record_trace:true ~speed:1.5 ~machines:2
+          ~policy:Rr_policies.Setf.policy jobs
+      in
+      Fractional.of_result res <= Rr_engine.Simulator.total_flow res +. 1e-6)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_normalized_monotone_in_k; prop_lk_below_linf_times_count; prop_fractional_below_integral ]
+
+let () =
+  Alcotest.run "rr_metrics"
+    [
+      ( "norms",
+        [
+          Alcotest.test_case "power sum" `Quick test_power_sum;
+          Alcotest.test_case "lk" `Quick test_lk;
+          Alcotest.test_case "linf" `Quick test_linf;
+          Alcotest.test_case "validation" `Quick test_norms_validation;
+        ] );
+      ( "flow stats",
+        [
+          Alcotest.test_case "summary" `Quick test_flow_stats;
+          Alcotest.test_case "empty" `Quick test_flow_stats_empty;
+          Alcotest.test_case "slowdowns" `Quick test_slowdowns;
+          Alcotest.test_case "slowdown validation" `Quick test_slowdowns_validation;
+        ] );
+      ( "weighted norms",
+        [
+          Alcotest.test_case "values" `Quick test_weighted_power_sum;
+          Alcotest.test_case "validation" `Quick test_weighted_validation;
+        ] );
+      ( "fractional flow",
+        [
+          Alcotest.test_case "single job" `Quick test_fractional_single_job;
+          Alcotest.test_case "below integral" `Quick test_fractional_below_integral;
+          Alcotest.test_case "requires trace" `Quick test_fractional_requires_trace;
+        ] );
+      ( "fairness",
+        [
+          Alcotest.test_case "rr fair" `Quick test_rr_perfectly_fair;
+          Alcotest.test_case "srpt unfair" `Quick test_srpt_unfair;
+          Alcotest.test_case "series" `Quick test_jain_series_samples;
+          Alcotest.test_case "series validation" `Quick test_jain_series_validation;
+          Alcotest.test_case "share of job" `Quick test_share_of_job;
+          Alcotest.test_case "segment single" `Quick test_segment_jain_single_job;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,182 @@
+(* Tests for the closed-form queueing results and their agreement with the
+   simulator (the T10 calibration, at test scale). *)
+
+let check_close ?(tol = 1e-9) msg a b = Alcotest.(check (float tol)) msg a b
+
+(* ------------------------------------------------------------------ *)
+(* M/M/1 formulas                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_mm1_values () =
+  check_close "rho" 0.8 (Rr_queueing.Mm1.utilization ~lambda:0.8 ~mu:1.);
+  check_close "L" 4. (Rr_queueing.Mm1.mean_jobs_in_system ~lambda:0.8 ~mu:1.);
+  check_close "FCFS mean flow" 5. (Rr_queueing.Mm1.mean_flow_fcfs ~lambda:0.8 ~mu:1.);
+  check_close "FCFS flow variance" 25. (Rr_queueing.Mm1.variance_flow_fcfs ~lambda:0.8 ~mu:1.);
+  check_close "PS mean flow" 5. (Rr_queueing.Mm1.mean_flow_ps ~lambda:0.8 ~mu:1.);
+  check_close "PS slowdown" 5. (Rr_queueing.Mm1.mean_slowdown_ps ~lambda:0.8 ~mu:1. ~size:3.)
+
+let test_mm1_littles_law () =
+  (* L = lambda W. *)
+  let lambda = 0.6 and mu = 1.3 in
+  check_close "Little's law"
+    (Rr_queueing.Mm1.mean_jobs_in_system ~lambda ~mu)
+    (lambda *. Rr_queueing.Mm1.mean_flow_fcfs ~lambda ~mu)
+
+let test_mm1_validation () =
+  List.iter
+    (fun (lambda, mu) ->
+      match Rr_queueing.Mm1.mean_flow_fcfs ~lambda ~mu with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "expected rejection of lambda=%g mu=%g" lambda mu)
+    [ (0., 1.); (1., 1.); (1.5, 1.); (-1., 1.); (0.5, 0.) ]
+
+(* ------------------------------------------------------------------ *)
+(* M/G/1 formulas                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_mg1_reduces_to_mm1 () =
+  (* Exponential service: es2 = 2 es^2, and PK reduces to 1/(mu - lambda). *)
+  let lambda = 0.7 and mu = 1. in
+  let es = 1. /. mu in
+  let es2 = 2. *. es *. es in
+  check_close "PK = M/M/1"
+    (Rr_queueing.Mm1.mean_flow_fcfs ~lambda ~mu)
+    (Rr_queueing.Mg1.mean_flow_fcfs ~lambda ~es ~es2)
+
+let test_mg1_deterministic_halves_wait () =
+  (* M/D/1 waiting time is half the M/M/1 waiting time. *)
+  let lambda = 0.5 and es = 1. in
+  let wait_d = Rr_queueing.Mg1.mean_wait_fcfs ~lambda ~es ~es2:(es *. es) in
+  let wait_m = Rr_queueing.Mg1.mean_wait_fcfs ~lambda ~es ~es2:(2. *. es *. es) in
+  check_close "M/D/1 = M/M/1 / 2" (wait_m /. 2.) wait_d
+
+let test_mg1_ps_insensitive () =
+  check_close "PS mean flow depends only on the mean" 5.
+    (Rr_queueing.Mg1.mean_flow_ps ~lambda:0.8 ~es:1.);
+  check_close "conditional PS flow is linear" 10.
+    (Rr_queueing.Mg1.conditional_flow_ps ~lambda:0.8 ~es:1. ~size:2.)
+
+let test_second_moments () =
+  check_close "deterministic" 4. (Rr_queueing.Mg1.second_moment (Rr_workload.Distribution.Deterministic 2.));
+  check_close "exponential" 2. (Rr_queueing.Mg1.second_moment (Rr_workload.Distribution.Exponential { mean = 1. }));
+  (* Uniform on [0.5, 1.5]: E[X^2] = (1.5^3 - 0.5^3)/3 = 3.25/3. *)
+  check_close "uniform" (3.25 /. 3.)
+    (Rr_queueing.Mg1.second_moment (Rr_workload.Distribution.Uniform { lo = 0.5; hi = 1.5 }));
+  check_close "bimodal" (0.9 *. 0.25 +. 0.1 *. 30.25)
+    (Rr_queueing.Mg1.second_moment
+       (Rr_workload.Distribution.Bimodal { small = 0.5; large = 5.5; prob_large = 0.1 }));
+  check_close "heavy pareto is infinite" Float.infinity
+    (Rr_queueing.Mg1.second_moment (Rr_workload.Distribution.Pareto { alpha = 1.5; x_min = 1. }))
+
+let test_second_moment_empirical () =
+  (* Bounded-Pareto second moment against a Monte-Carlo estimate. *)
+  let d = Rr_workload.Distribution.Bounded_pareto { alpha = 1.5; x_min = 0.5; x_max = 20. } in
+  let analytic = Rr_queueing.Mg1.second_moment d in
+  let rng = Rr_util.Prng.create ~seed:17 in
+  let n = 400_000 in
+  let acc = Rr_util.Kahan.create () in
+  for _ = 1 to n do
+    let x = Rr_workload.Distribution.sample rng d in
+    Rr_util.Kahan.add acc (x *. x)
+  done;
+  let emp = Rr_util.Kahan.total acc /. Float.of_int n in
+  if Float.abs (emp -. analytic) > 0.1 *. analytic then
+    Alcotest.failf "second moment: analytic %g vs empirical %g" analytic emp
+
+let test_mg1_validation () =
+  List.iter
+    (fun f ->
+      match f () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected Mg1 validation failure")
+    [
+      (fun () -> ignore (Rr_queueing.Mg1.mean_flow_ps ~lambda:1.2 ~es:1.));
+      (fun () -> ignore (Rr_queueing.Mg1.mean_wait_fcfs ~lambda:0.5 ~es:1. ~es2:0.5));
+      (fun () -> ignore (Rr_queueing.Mg1.conditional_flow_ps ~lambda:0.5 ~es:1. ~size:0.));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Simulator agreement (coarse: small n, loose tolerance)              *)
+(* ------------------------------------------------------------------ *)
+
+let simulated_mean policy sizes ~lambda ~n ~seeds =
+  let one seed =
+    let rng = Rr_util.Prng.create ~seed in
+    let inst =
+      Rr_workload.Instance.generate ~rng
+        ~arrivals:(Rr_workload.Arrivals.Poisson { rate = lambda })
+        ~sizes ~n ()
+    in
+    let flows = Temporal_fairness.Run.flows ~machines:1 policy inst in
+    (* middle 80% to reduce warm-up/drain bias *)
+    let lo = n / 10 and hi = n - (n / 10) in
+    let acc = Rr_util.Kahan.create () in
+    for i = lo to hi - 1 do
+      Rr_util.Kahan.add acc flows.(i)
+    done;
+    Rr_util.Kahan.total acc /. Float.of_int (hi - lo)
+  in
+  let vals = List.map one seeds in
+  Rr_util.Kahan.sum_list vals /. Float.of_int (List.length vals)
+
+let test_simulated_mm1_fcfs () =
+  let sim =
+    simulated_mean Rr_policies.Fcfs.policy (Rr_workload.Distribution.Exponential { mean = 1. })
+      ~lambda:0.7 ~n:8000 ~seeds:[ 1; 2; 3 ]
+  in
+  let analytic = Rr_queueing.Mm1.mean_flow_fcfs ~lambda:0.7 ~mu:1. in
+  if Float.abs (sim -. analytic) > 0.15 *. analytic then
+    Alcotest.failf "M/M/1 FCFS: simulated %g vs analytic %g" sim analytic
+
+let test_simulated_mm1_ps () =
+  let sim =
+    simulated_mean Rr_policies.Round_robin.policy
+      (Rr_workload.Distribution.Exponential { mean = 1. })
+      ~lambda:0.7 ~n:8000 ~seeds:[ 1; 2; 3 ]
+  in
+  let analytic = Rr_queueing.Mm1.mean_flow_ps ~lambda:0.7 ~mu:1. in
+  if Float.abs (sim -. analytic) > 0.15 *. analytic then
+    Alcotest.failf "M/M/1 PS: simulated %g vs analytic %g" sim analytic
+
+let test_simulated_ps_insensitivity () =
+  (* RR's mean flow should match for exponential and bimodal sizes of the
+     same mean, despite very different variance. *)
+  let lambda = 0.7 in
+  let exp_mean =
+    simulated_mean Rr_policies.Round_robin.policy
+      (Rr_workload.Distribution.Exponential { mean = 1. })
+      ~lambda ~n:8000 ~seeds:[ 4; 5; 6 ]
+  in
+  let bim_mean =
+    simulated_mean Rr_policies.Round_robin.policy
+      (Rr_workload.Distribution.Bimodal { small = 0.5; large = 5.5; prob_large = 0.1 })
+      ~lambda ~n:8000 ~seeds:[ 4; 5; 6 ]
+  in
+  if Float.abs (exp_mean -. bim_mean) > 0.2 *. exp_mean then
+    Alcotest.failf "PS insensitivity violated: %g vs %g" exp_mean bim_mean
+
+let () =
+  Alcotest.run "rr_queueing"
+    [
+      ( "mm1",
+        [
+          Alcotest.test_case "values" `Quick test_mm1_values;
+          Alcotest.test_case "little's law" `Quick test_mm1_littles_law;
+          Alcotest.test_case "validation" `Quick test_mm1_validation;
+        ] );
+      ( "mg1",
+        [
+          Alcotest.test_case "reduces to mm1" `Quick test_mg1_reduces_to_mm1;
+          Alcotest.test_case "m/d/1 halves wait" `Quick test_mg1_deterministic_halves_wait;
+          Alcotest.test_case "ps insensitive" `Quick test_mg1_ps_insensitive;
+          Alcotest.test_case "second moments" `Quick test_second_moments;
+          Alcotest.test_case "second moment empirical" `Quick test_second_moment_empirical;
+          Alcotest.test_case "validation" `Quick test_mg1_validation;
+        ] );
+      ( "simulator agreement",
+        [
+          Alcotest.test_case "m/m/1 fcfs" `Slow test_simulated_mm1_fcfs;
+          Alcotest.test_case "m/m/1 ps" `Slow test_simulated_mm1_ps;
+          Alcotest.test_case "ps insensitivity" `Slow test_simulated_ps_insensitivity;
+        ] );
+    ]

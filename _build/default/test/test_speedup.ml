@@ -1,0 +1,218 @@
+(* Tests for the speed-up curves substrate (the §1.3 setting). *)
+
+open Rr_speedup
+
+let check_close ?(tol = 1e-9) msg a b = Alcotest.(check (float tol)) msg a b
+
+(* ------------------------------------------------------------------ *)
+(* Phases and jobs                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_phase_validation () =
+  List.iter
+    (fun f ->
+      match f () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected phase validation failure")
+    [
+      (fun () -> ignore (Sjob.phase ~work:0. ()));
+      (fun () -> ignore (Sjob.phase ~lo:(-1.) ~work:1. ()));
+      (fun () -> ignore (Sjob.phase ~lo:2. ~hi:1. ~work:1. ()));
+      (fun () -> ignore (Sjob.make ~id:0 ~arrival:0. ~phases:[]));
+      (fun () -> ignore (Sjob.make ~id:(-1) ~arrival:0. ~phases:[ Sjob.parallel ~work:1. ]));
+    ]
+
+let test_rate_clamp () =
+  let par = Sjob.parallel ~work:1. in
+  check_close "parallel uses all machines" 3.5 (Sjob.rate par ~machines:3.5);
+  let seq = Sjob.sequential ~work:1. in
+  check_close "sequential at zero machines" 1. (Sjob.rate seq ~machines:0.);
+  check_close "sequential at many machines" 1. (Sjob.rate seq ~machines:8.);
+  let capped = Sjob.phase ~hi:2. ~work:1. () in
+  check_close "capped" 2. (Sjob.rate capped ~machines:5.)
+
+let test_total_work () =
+  let j =
+    Sjob.make ~id:0 ~arrival:0.
+      ~phases:[ Sjob.parallel ~work:2.; Sjob.sequential ~work:3. ]
+  in
+  check_close "sum of phase works" 5. (Sjob.total_work j)
+
+(* ------------------------------------------------------------------ *)
+(* Max-min with caps                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_max_min_uncapped () =
+  let s = Equi_sim.max_min_with_caps ~budget:4. [| Float.infinity; Float.infinity |] in
+  Alcotest.(check (array (float 1e-9))) "even split" [| 2.; 2. |] s
+
+let test_max_min_small_cap_redistributes () =
+  let s = Equi_sim.max_min_with_caps ~budget:4. [| 0.5; Float.infinity |] in
+  Alcotest.(check (array (float 1e-9))) "cap then rest" [| 0.5; 3.5 |] s
+
+let test_max_min_zero_caps () =
+  let s = Equi_sim.max_min_with_caps ~budget:4. [| 0.; 0.; 1. |] in
+  Alcotest.(check (array (float 1e-9))) "zeros excluded" [| 0.; 0.; 1. |] s
+
+let prop_max_min_feasible =
+  QCheck2.Test.make ~name:"max-min shares respect caps and budget" ~count:300
+    QCheck2.Gen.(
+      pair (float_range 0.5 10.) (list_size (int_range 1 12) (float_range 0. 5.)))
+    (fun (budget, caps) ->
+      let caps = Array.of_list caps in
+      let s = Equi_sim.max_min_with_caps ~budget caps in
+      let sum = Array.fold_left ( +. ) 0. s in
+      sum <= budget +. 1e-9
+      && Array.for_all2 (fun x c -> x <= c +. 1e-9 && x >= -1e-12) s caps)
+
+(* ------------------------------------------------------------------ *)
+(* Simulation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_single_parallel_job_uses_all_machines () =
+  let jobs = [ Sjob.make ~id:0 ~arrival:0. ~phases:[ Sjob.parallel ~work:8. ] ] in
+  let r = Equi_sim.run ~machines:4 ~policy:Equi_sim.equi jobs in
+  check_close "rate m" 2. r.completions.(0)
+
+let test_sequential_job_ignores_machines () =
+  let jobs = [ Sjob.make ~id:0 ~arrival:0. ~phases:[ Sjob.sequential ~work:3. ] ] in
+  let r = Equi_sim.run ~machines:8 ~policy:Equi_sim.equi jobs in
+  check_close "unit rate" 3. r.completions.(0)
+
+let test_phase_transition () =
+  (* parallel 4 then sequential 1, alone on 2 machines: 2 + 1 = 3. *)
+  let jobs =
+    [
+      Sjob.make ~id:0 ~arrival:0.
+        ~phases:[ Sjob.parallel ~work:4.; Sjob.sequential ~work:1. ];
+    ]
+  in
+  let r = Equi_sim.run ~machines:2 ~policy:Equi_sim.equi jobs in
+  check_close "two phases" 3. r.completions.(0)
+
+(* Sequential + parallel job on 2 machines: EQUI gives each 1 machine, so
+   the parallel job runs at rate 1 until the sequential one leaves at t = 2
+   and at rate 2 afterwards: 2 + 2/2 = 3.  CAP-EQUI gives the sequential
+   job nothing and the parallel one both machines from the start: done at
+   2.  The sequential job finishes at 2 either way. *)
+let test_equi_wastes_cap_equi_does_not () =
+  let jobs =
+    [
+      Sjob.make ~id:0 ~arrival:0. ~phases:[ Sjob.sequential ~work:2. ];
+      Sjob.make ~id:1 ~arrival:0. ~phases:[ Sjob.parallel ~work:4. ];
+    ]
+  in
+  let equi = Equi_sim.run ~machines:2 ~policy:Equi_sim.equi jobs in
+  check_close "equi sequential" 2. equi.completions.(0);
+  check_close "equi parallel wasted" 3. equi.completions.(1);
+  let cap = Equi_sim.run ~machines:2 ~policy:Equi_sim.cap_equi jobs in
+  check_close "cap sequential" 2. cap.completions.(0);
+  check_close "cap parallel" 2. cap.completions.(1)
+
+let test_speed_scales_parallel () =
+  let jobs = [ Sjob.make ~id:0 ~arrival:0. ~phases:[ Sjob.parallel ~work:4. ] ] in
+  let r = Equi_sim.run ~speed:2. ~machines:2 ~policy:Equi_sim.equi jobs in
+  check_close "speed doubles rate" 1. r.completions.(0)
+
+let test_arrival_staggering () =
+  let jobs =
+    [
+      Sjob.make ~id:0 ~arrival:0. ~phases:[ Sjob.parallel ~work:2. ];
+      Sjob.make ~id:1 ~arrival:10. ~phases:[ Sjob.parallel ~work:2. ];
+    ]
+  in
+  let r = Equi_sim.run ~machines:1 ~policy:Equi_sim.equi jobs in
+  check_close "idle gap respected" 12. r.completions.(1);
+  check_close "flow of second" 2. r.flows.(1)
+
+let test_run_validation () =
+  List.iter
+    (fun f ->
+      match f () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected run validation failure")
+    [
+      (fun () ->
+        ignore (Equi_sim.run ~machines:0 ~policy:Equi_sim.equi []));
+      (fun () ->
+        ignore
+          (Equi_sim.run ~machines:1 ~policy:Equi_sim.equi
+             [ Sjob.make ~id:5 ~arrival:0. ~phases:[ Sjob.parallel ~work:1. ] ]));
+      (fun () ->
+        ignore
+          (Equi_sim.run ~speed:0. ~machines:1 ~policy:Equi_sim.equi
+             [ Sjob.make ~id:0 ~arrival:0. ~phases:[ Sjob.parallel ~work:1. ] ]));
+    ]
+
+let random_sjobs_gen =
+  QCheck2.Gen.(
+    let* n = int_range 1 12 in
+    let phase_gen =
+      let* kind = int_range 0 2 in
+      let* work = float_range 0.2 3. in
+      return
+        (match kind with
+        | 0 -> Sjob.parallel ~work
+        | 1 -> Sjob.sequential ~work
+        | _ -> Sjob.phase ~hi:2. ~work ())
+    in
+    let* specs = list_repeat n (pair (float_range 0. 10.) (list_size (int_range 1 3) phase_gen)) in
+    return
+      (List.mapi (fun id (arrival, phases) -> Sjob.make ~id ~arrival ~phases) specs))
+
+let prop_all_complete policy =
+  QCheck2.Test.make
+    ~name:(Printf.sprintf "every speedup job completes (%s)" policy.Equi_sim.name)
+    ~count:100 random_sjobs_gen
+    (fun jobs ->
+      let r = Equi_sim.run ~machines:3 ~policy jobs in
+      Array.for_all Float.is_finite r.completions
+      && Array.for_all (fun f -> f >= -1e-9) r.flows)
+
+let prop_cap_equi_dominates_on_l1 =
+  (* Redirecting shares wasted on sequential phases can only help the
+     total flow time on these single-run workloads (not a theorem in
+     general, but holds on this generator and guards the allocator). *)
+  QCheck2.Test.make ~name:"cap-equi total flow <= equi total flow" ~count:100
+    random_sjobs_gen
+    (fun jobs ->
+      let e = Equi_sim.run ~machines:3 ~policy:Equi_sim.equi jobs in
+      let c = Equi_sim.run ~machines:3 ~policy:Equi_sim.cap_equi jobs in
+      Rr_util.Kahan.sum c.flows <= Rr_util.Kahan.sum e.flows +. 1e-6)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_max_min_feasible;
+      prop_all_complete Equi_sim.equi;
+      prop_all_complete Equi_sim.cap_equi;
+      prop_cap_equi_dominates_on_l1;
+    ]
+
+let () =
+  Alcotest.run "rr_speedup"
+    [
+      ( "phases",
+        [
+          Alcotest.test_case "validation" `Quick test_phase_validation;
+          Alcotest.test_case "rate clamp" `Quick test_rate_clamp;
+          Alcotest.test_case "total work" `Quick test_total_work;
+        ] );
+      ( "max-min",
+        [
+          Alcotest.test_case "uncapped" `Quick test_max_min_uncapped;
+          Alcotest.test_case "redistribution" `Quick test_max_min_small_cap_redistributes;
+          Alcotest.test_case "zero caps" `Quick test_max_min_zero_caps;
+        ] );
+      ( "simulation",
+        [
+          Alcotest.test_case "single parallel" `Quick test_single_parallel_job_uses_all_machines;
+          Alcotest.test_case "sequential" `Quick test_sequential_job_ignores_machines;
+          Alcotest.test_case "phase transition" `Quick test_phase_transition;
+          Alcotest.test_case "equi waste" `Quick test_equi_wastes_cap_equi_does_not;
+          Alcotest.test_case "speed" `Quick test_speed_scales_parallel;
+          Alcotest.test_case "staggering" `Quick test_arrival_staggering;
+          Alcotest.test_case "validation" `Quick test_run_validation;
+        ] );
+      ("properties", qsuite);
+    ]
