@@ -1,19 +1,42 @@
 (* Benchmark harness: regenerates every table and figure of the evaluation
-   suite (see DESIGN.md section 3 and EXPERIMENTS.md), then runs the B1
-   micro-benchmarks measuring the throughput of the substrates.
+   suite (see DESIGN.md section 3 and EXPERIMENTS.md) on a domain pool,
+   then runs the B1 micro-benchmarks measuring the throughput of the
+   substrates and the B2 parallel-executor benchmark comparing a
+   sequential sweep against Run.batch on the pool.
 
-   Usage: dune exec bench/main.exe [-- --quick]  *)
+   Usage: dune exec bench/main.exe [-- --quick] [-- --jobs N]
+   (RR_JOBS is honoured when --jobs is absent; default: all cores.)  *)
 
 open Rr_util
+module Pool = Temporal_fairness.Pool
+module Run = Temporal_fairness.Run
 
 let scale =
   if Array.exists (String.equal "--quick") Sys.argv then Temporal_fairness.Experiments.Quick
   else Temporal_fairness.Experiments.Full
 
-let run_experiments () =
+let domains =
+  let from_argv =
+    let n = Array.length Sys.argv in
+    let rec find i =
+      if i >= n - 1 then None
+      else if String.equal Sys.argv.(i) "--jobs" then int_of_string_opt Sys.argv.(i + 1)
+      else find (i + 1)
+    in
+    find 0
+  in
+  match from_argv with
+  | Some j when j >= 1 -> j
+  | Some _ -> Pool.recommended_domains ()
+  | None -> (
+      match Pool.env_domains () with Some j -> j | None -> Pool.recommended_domains ())
+
+let run_experiments pool =
   let t0 = Unix.gettimeofday () in
-  List.iter Table.print (Temporal_fairness.Experiments.all scale);
-  Printf.printf "(experiment suite completed in %.1f s)\n\n%!" (Unix.gettimeofday () -. t0)
+  List.iter Table.print (Temporal_fairness.Experiments.all ~pool scale);
+  Printf.printf "(experiment suite completed in %.1f s on %d domain(s))\n\n%!"
+    (Unix.gettimeofday () -. t0)
+    (Pool.size pool)
 
 (* ------------------------------------------------------------------ *)
 (* B1: micro-benchmarks                                                *)
@@ -38,13 +61,11 @@ let tests =
       Test.make ~name:"rr-simulate-n1000"
         (Staged.stage (fun () ->
              ignore
-               (Temporal_fairness.Run.simulate ~speed:2. ~machines:1
-                  Rr_policies.Round_robin.policy bench_instance)));
+               (Run.simulate (Run.config ~speed:2. ()) Rr_policies.Round_robin.policy
+                  bench_instance)));
       Test.make ~name:"srpt-simulate-n1000"
         (Staged.stage (fun () ->
-             ignore
-               (Temporal_fairness.Run.simulate ~machines:1 Rr_policies.Srpt.policy
-                  bench_instance)));
+             ignore (Run.simulate Run.default Rr_policies.Srpt.policy bench_instance)));
       Test.make ~name:"lp-bound-n40"
         (Staged.stage (fun () ->
              ignore
@@ -53,7 +74,8 @@ let tests =
       Test.make ~name:"dualfit-certify-n40"
         (Staged.stage (fun () ->
              let res =
-               Temporal_fairness.Run.simulate ~speed:4.4 ~record_trace:true ~machines:1
+               Run.simulate
+                 (Run.config ~speed:4.4 ~record_trace:true ())
                  Rr_policies.Round_robin.policy small_instance
              in
              ignore (Rr_dualfit.Certificate.certify ~k:2 res)));
@@ -87,6 +109,53 @@ let run_microbench () =
     results;
   Table.print table
 
+(* ------------------------------------------------------------------ *)
+(* B2: parallel experiment executor                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A speed-sweep-shaped workload — many independent (policy, instance)
+   simulate-and-measure tasks — run once sequentially and once through
+   Run.batch on the pool.  The comparison both measures the wall-clock
+   speedup and machine-checks the determinism guarantee: the parallel
+   results must be bit-identical to the sequential ones. *)
+let run_parallel_bench pool =
+  let n = match scale with Temporal_fairness.Experiments.Quick -> 400 | Full -> 1200 in
+  let n_insts = 24 in
+  let policies =
+    [ Rr_policies.Round_robin.policy; Rr_policies.Srpt.policy; Rr_policies.Fcfs.policy ]
+  in
+  let insts =
+    List.init n_insts (fun i ->
+        let rng = Prng.create ~seed:(200 + i) in
+        Rr_workload.Instance.generate_load ~rng
+          ~sizes:(Rr_workload.Distribution.Exponential { mean = 1. })
+          ~load:0.9 ~machines:1 ~n ())
+  in
+  let tasks = List.concat_map (fun inst -> List.map (fun p -> (p, inst)) policies) insts in
+  let cfg = Run.config ~speed:2. () in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let seq, t_seq = time (fun () -> List.map (fun (p, i) -> Run.measure cfg p i) tasks) in
+  let par, t_par = time (fun () -> Run.batch pool cfg tasks) in
+  let identical =
+    List.for_all2
+      (fun (a : Run.result) (b : Run.result) ->
+        a.flows = b.flows && a.norm = b.norm && a.power_sum = b.power_sum
+        && a.events = b.events)
+      seq par
+  in
+  Printf.printf
+    "B2: Run.batch over %d (policy x instance) tasks on %d domain(s):\n\
+    \    sequential %.3f s | parallel %.3f s | speedup %.2fx | bit-identical: %s\n%!"
+    (List.length tasks) (Pool.size pool) t_seq t_par
+    (t_seq /. Float.max 1e-9 t_par)
+    (if identical then "yes" else "NO")
+
 let () =
-  run_experiments ();
-  run_microbench ()
+  Pool.with_pool ~domains (fun pool ->
+      run_experiments pool;
+      run_microbench ();
+      run_parallel_bench pool)

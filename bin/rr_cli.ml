@@ -6,9 +6,16 @@
      compare     run several policies on an instance, one table row each
      certify     build the dual-fitting certificate for RR on an instance
      lowerbound  certified LP lower bound on the optimal lk norm
-     experiments run the full evaluation suite (DESIGN.md T1-T8/F1-F3)      *)
+     crossover   bracket search for the minimal competitive RR speed
+     experiments run the full evaluation suite (DESIGN.md T1-T8/F1-F3)
+
+   Parallelism: --jobs N (or the RR_JOBS environment variable) runs the
+   embarrassingly parallel subcommands on a Temporal_fairness.Pool of N
+   domains; results are bit-identical to a sequential run.               *)
 
 open Cmdliner
+module Pool = Temporal_fairness.Pool
+module Run = Temporal_fairness.Run
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
@@ -34,6 +41,28 @@ let file_arg =
     value
     & opt (some string) None
     & info [ "f"; "file" ] ~docv:"FILE" ~doc:"Instance CSV (header 'arrival,size'); generated when omitted.")
+
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some j when j >= 0 -> Ok j
+    | _ -> Error (`Msg "JOBS must be a non-negative integer (0 = all recommended cores)")
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt jobs_conv 1
+    & info [ "j"; "jobs" ] ~docv:"JOBS"
+        ~env:(Cmd.Env.info "RR_JOBS" ~doc:"Default worker-domain count for $(b,--jobs).")
+        ~doc:
+          "Worker domains to run independent simulations on (0 means all recommended cores). \
+           Results are bit-identical to a sequential run.")
+
+let with_jobs jobs f =
+  let domains = if jobs = 0 then Pool.recommended_domains () else jobs in
+  Pool.with_pool ~domains f
 
 let dist_conv =
   let parse s =
@@ -68,15 +97,14 @@ let sizes_arg =
     & info [ "sizes" ] ~docv:"DIST"
         ~doc:"Size distribution: exp:<mean>, det:<size>, uniform:<lo>:<hi>, bpareto:<a>:<min>:<max>.")
 
+(* The typed registry parses the policy syntax and reports exactly what
+   was malformed; the valid forms are enumerated from the registry so the
+   help text cannot drift. *)
 let policy_conv =
   let parse s =
-    match Rr_policies.Registry.find s with
-    | Some p -> Ok p
-    | None ->
-        Error
-          (`Msg
-            (Printf.sprintf "unknown policy %S (expected one of: %s)" s
-               (String.concat ", " (Rr_policies.Registry.names ()))))
+    match Rr_policies.Registry.spec_of_string s with
+    | Ok spec -> Ok (Rr_policies.Registry.make spec)
+    | Error msg -> Error (`Msg msg)
   in
   let print ppf (p : Rr_engine.Policy.t) = Format.pp_print_string ppf p.name in
   Arg.conv (parse, print)
@@ -85,7 +113,10 @@ let policy_arg =
   Arg.(
     value
     & opt policy_conv Rr_policies.Round_robin.policy
-    & info [ "p"; "policy" ] ~docv:"POLICY" ~doc:"Scheduling policy (see rr_cli simulate --help).")
+    & info [ "p"; "policy" ] ~docv:"POLICY"
+        ~doc:
+          (Printf.sprintf "Scheduling policy, one of: %s."
+             (String.concat ", " (Rr_policies.Registry.names ()))))
 
 let load_instance ~file ~seed ~sizes ~load ~machines ~n =
   match file with
@@ -122,7 +153,7 @@ let generate_cmd =
 let simulate_cmd =
   let run policy machines speed k file seed sizes load n =
     let inst = load_instance ~file ~seed ~sizes ~load ~machines ~n in
-    let res = Temporal_fairness.Run.simulate ~speed ~record_trace:true ~machines policy inst in
+    let res = Run.simulate (Run.config ~machines ~speed ~k ~record_trace:true ()) policy inst in
     let flows = Rr_engine.Simulator.flows res in
     let stats = Rr_metrics.Flow_stats.of_flows flows in
     Format.printf "%a@." Rr_workload.Instance.pp inst;
@@ -144,33 +175,39 @@ let simulate_cmd =
 (* ------------------------------------------------------------------ *)
 
 let compare_cmd =
-  let run machines speed file seed sizes load n =
+  let run machines speed file seed sizes load n jobs =
     let inst = load_instance ~file ~seed ~sizes ~load ~machines ~n in
     let table =
       Rr_util.Table.create
         ~title:(Printf.sprintf "policies at speed %g, m = %d" speed machines)
         ~columns:[ "policy"; "mean"; "max"; "l1"; "l2"; "jain" ]
     in
-    List.iter
-      (fun policy ->
-        let res = Temporal_fairness.Run.simulate ~speed ~record_trace:true ~machines policy inst in
-        let flows = Rr_engine.Simulator.flows res in
-        let s = Rr_metrics.Flow_stats.of_flows flows in
-        Rr_util.Table.add_row table
-          [
-            policy.Rr_engine.Policy.name;
-            Rr_util.Table.fcell s.mean;
-            Rr_util.Table.fcell s.max;
-            Rr_util.Table.fcell s.l1;
-            Rr_util.Table.fcell s.l2;
-            Rr_util.Table.fcell (Rr_metrics.Fairness.time_weighted_jain res.trace);
-          ])
-      (Rr_policies.Registry.all ());
+    let cfg = Run.config ~machines ~speed ~record_trace:true () in
+    let rows =
+      with_jobs jobs (fun pool ->
+          Pool.map pool
+            (fun (policy : Rr_engine.Policy.t) ->
+              let res = Run.simulate cfg policy inst in
+              let flows = Rr_engine.Simulator.flows res in
+              let s = Rr_metrics.Flow_stats.of_flows flows in
+              [
+                policy.name;
+                Rr_util.Table.fcell s.mean;
+                Rr_util.Table.fcell s.max;
+                Rr_util.Table.fcell s.l1;
+                Rr_util.Table.fcell s.l2;
+                Rr_util.Table.fcell (Rr_metrics.Fairness.time_weighted_jain res.trace);
+              ])
+            (Rr_policies.Registry.all ()))
+    in
+    List.iter (Rr_util.Table.add_row table) rows;
     Rr_util.Table.print table
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Run every built-in policy on one instance and tabulate the outcomes.")
-    Term.(const run $ machines_arg $ speed_arg $ file_arg $ seed_arg $ sizes_arg $ load_arg $ n_arg)
+    Term.(
+      const run $ machines_arg $ speed_arg $ file_arg $ seed_arg $ sizes_arg $ load_arg $ n_arg
+      $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* certify                                                             *)
@@ -181,7 +218,8 @@ let certify_cmd =
     let inst = load_instance ~file ~seed ~sizes ~load ~machines ~n in
     let speed = Rr_dualfit.Certificate.theorem_speed ~k ~eps in
     let res =
-      Temporal_fairness.Run.simulate ~speed ~record_trace:true ~machines
+      Run.simulate
+        (Run.config ~machines ~speed ~k ~record_trace:true ())
         Rr_policies.Round_robin.policy inst
     in
     let cert = Rr_dualfit.Certificate.certify ~eps ~k res in
@@ -219,13 +257,56 @@ let lowerbound_cmd =
     Term.(const run $ machines_arg $ k_arg $ delta_arg $ file_arg $ seed_arg $ sizes_arg $ load_arg $ n_arg)
 
 (* ------------------------------------------------------------------ *)
+(* crossover                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let crossover_cmd =
+  let run machines k theta lo hi iters file seed sizes load n jobs =
+    let inst = load_instance ~file ~seed ~sizes ~load ~machines ~n in
+    let f speed =
+      Temporal_fairness.Ratio.vs_baseline
+        (Run.config ~machines ~k ~speed ())
+        Rr_policies.Round_robin.policy inst
+    in
+    let result =
+      with_jobs jobs (fun pool -> Temporal_fairness.Sweep.min_speed_for ~pool ~f ~threshold:theta ~lo ~hi ~iters ())
+    in
+    Format.printf "%a@." Rr_workload.Instance.pp inst;
+    match result with
+    | Ok s ->
+        Format.printf "minimal RR speed with l%d norm <= %g x SRPT@1: %g@." k theta s
+    | Error `Above_hi ->
+        Format.printf "no crossover at or below speed %g (RR's l%d ratio stays above %g)@." hi k
+          theta
+    | Error (`Bad_bracket msg) ->
+        Format.eprintf "invalid bracket: %s@." msg;
+        exit 2
+  in
+  let theta_arg =
+    Arg.(value & opt float 1.0 & info [ "theta" ] ~docv:"T" ~doc:"Target ratio against SRPT@1.")
+  in
+  let lo_arg = Arg.(value & opt float 1.0 & info [ "lo" ] ~docv:"LO" ~doc:"Bracket lower end.") in
+  let hi_arg = Arg.(value & opt float 8.0 & info [ "hi" ] ~docv:"HI" ~doc:"Bracket upper end.") in
+  let iters_arg =
+    Arg.(value & opt int 12 & info [ "iters" ] ~docv:"I" ~doc:"Bracket-narrowing rounds.")
+  in
+  Cmd.v
+    (Cmd.info "crossover"
+       ~doc:
+         "Bracket search for the smallest RR speed whose lk norm is within theta of SRPT@1 \
+          (probes within a round run on the --jobs pool).")
+    Term.(
+      const run $ machines_arg $ k_arg $ theta_arg $ lo_arg $ hi_arg $ iters_arg $ file_arg
+      $ seed_arg $ sizes_arg $ load_arg $ n_arg $ jobs_arg)
+
+(* ------------------------------------------------------------------ *)
 (* gantt                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let gantt_cmd =
   let run policy machines speed file seed sizes load n width =
     let inst = load_instance ~file ~seed ~sizes ~load ~machines ~n in
-    let res = Temporal_fairness.Run.simulate ~speed ~record_trace:true ~machines policy inst in
+    let res = Run.simulate (Run.config ~machines ~speed ~record_trace:true ()) policy inst in
     let pieces = Rr_engine.Assignment.of_trace ~machines res.trace in
     (match Rr_engine.Assignment.validate ~machines pieces with
     | Ok () -> ()
@@ -251,16 +332,17 @@ let gantt_cmd =
 (* ------------------------------------------------------------------ *)
 
 let experiments_cmd =
-  let run quick =
+  let run quick jobs =
     let scale =
       if quick then Temporal_fairness.Experiments.Quick else Temporal_fairness.Experiments.Full
     in
-    List.iter Rr_util.Table.print (Temporal_fairness.Experiments.all scale)
+    with_jobs jobs (fun pool ->
+        List.iter Rr_util.Table.print (Temporal_fairness.Experiments.all ~pool scale))
   in
   let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced instance sizes.") in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Run the full evaluation suite (tables T1-T8, figures F1-F3).")
-    Term.(const run $ quick_arg)
+    Term.(const run $ quick_arg $ jobs_arg)
 
 let () =
   let info =
@@ -276,6 +358,7 @@ let () =
             compare_cmd;
             certify_cmd;
             lowerbound_cmd;
+            crossover_cmd;
             gantt_cmd;
             experiments_cmd;
           ]))

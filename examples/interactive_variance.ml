@@ -24,7 +24,7 @@ let () =
   in
   List.iter
     (fun policy ->
-      let flows = Temporal_fairness.Run.flows ~machines:1 policy instance in
+      let flows = Temporal_fairness.Run.flows Temporal_fairness.Run.default policy instance in
       let s = Rr_metrics.Flow_stats.of_flows flows in
       Rr_util.Table.add_row table
         [

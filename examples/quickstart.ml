@@ -8,8 +8,8 @@ let () =
   let instance = Rr_workload.Instance.of_jobs [ (0., 4.); (1., 1.); (2., 2.) ] in
 
   (* Simulate each policy on a single machine at speed 1. *)
-  let rr_flows = Temporal_fairness.Run.flows ~machines:1 Rr_policies.Round_robin.policy instance in
-  let srpt_flows = Temporal_fairness.Run.flows ~machines:1 Rr_policies.Srpt.policy instance in
+  let rr_flows = Temporal_fairness.Run.flows Temporal_fairness.Run.default Rr_policies.Round_robin.policy instance in
+  let srpt_flows = Temporal_fairness.Run.flows Temporal_fairness.Run.default Rr_policies.Srpt.policy instance in
 
   Printf.printf "job   RR flow   SRPT flow\n";
   Array.iteri
@@ -33,7 +33,7 @@ let () =
   (* RR's equal shares turned into a concrete single-machine schedule by
      McNaughton's wrap-around rule (Section 2 of the paper). *)
   let res =
-    Temporal_fairness.Run.simulate ~record_trace:true ~machines:1
+    Temporal_fairness.Run.simulate (Temporal_fairness.Run.config ~record_trace:true ())
       Rr_policies.Round_robin.policy instance
   in
   let pieces = Rr_engine.Assignment.of_trace ~machines:1 res.trace in

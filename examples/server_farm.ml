@@ -25,7 +25,7 @@ let () =
   List.iter
     (fun policy ->
       let res =
-        Temporal_fairness.Run.simulate ~record_trace:true ~machines policy instance
+        Temporal_fairness.Run.simulate (Temporal_fairness.Run.config ~machines ~record_trace:true ()) policy instance
       in
       let flows = Rr_engine.Simulator.flows res in
       let s = Rr_metrics.Flow_stats.of_flows flows in

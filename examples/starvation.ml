@@ -18,7 +18,7 @@ let () =
   in
   List.iter
     (fun policy ->
-      let res = Temporal_fairness.Run.simulate ~record_trace:true ~machines:1 policy instance in
+      let res = Temporal_fairness.Run.simulate (Temporal_fairness.Run.config ~record_trace:true ()) policy instance in
       let flows = Rr_engine.Simulator.flows res in
       let stream_flows = Array.sub flows 1 (Array.length flows - 1) in
       Rr_util.Table.add_row table
@@ -39,7 +39,7 @@ let () =
   (* A fairness time series: sample Jain's index of the allocation while the
      long job is alive under RR vs SJF. *)
   let series policy =
-    let res = Temporal_fairness.Run.simulate ~record_trace:true ~machines:1 policy instance in
+    let res = Temporal_fairness.Run.simulate (Temporal_fairness.Run.config ~record_trace:true ()) policy instance in
     Rr_metrics.Fairness.jain_series ~sample_every:40. res.trace
   in
   let rr_series = series Rr_policies.Round_robin.policy in

@@ -17,16 +17,16 @@ let () =
   in
   Format.printf "%a@.@." Rr_workload.Instance.pp instance;
 
-  let fluid_flows = Temporal_fairness.Run.flows ~machines:1 Rr_policies.Round_robin.policy instance in
+  let fluid_flows = Temporal_fairness.Run.flows Temporal_fairness.Run.default Rr_policies.Round_robin.policy instance in
   let fluid_l2 = Rr_metrics.Norms.lk ~k:2 fluid_flows in
 
   let table =
     Rr_util.Table.create ~title:"quantum RR converging to the fluid RR of the paper"
       ~columns:[ "policy"; "l2 norm"; "l2 / fluid-RR l2"; "mean |completion diff|" ]
   in
-  let fluid_res = Temporal_fairness.Run.simulate ~machines:1 Rr_policies.Round_robin.policy instance in
+  let fluid_res = Temporal_fairness.Run.simulate Temporal_fairness.Run.default Rr_policies.Round_robin.policy instance in
   let add_row name policy =
-    let res = Temporal_fairness.Run.simulate ~machines:1 policy instance in
+    let res = Temporal_fairness.Run.simulate Temporal_fairness.Run.default policy instance in
     let flows = Rr_engine.Simulator.flows res in
     let diff =
       Rr_util.Kahan.sum

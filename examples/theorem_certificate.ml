@@ -22,7 +22,8 @@ let () =
   let speed = Rr_dualfit.Certificate.theorem_speed ~k ~eps in
   Printf.printf "running RR at the Theorem-1 speed eta = 2k(1+10eps) = %g\n" speed;
   let res =
-    Temporal_fairness.Run.simulate ~speed ~record_trace:true ~machines
+    Temporal_fairness.Run.simulate
+      (Temporal_fairness.Run.config ~machines ~speed ~record_trace:true ())
       Rr_policies.Round_robin.policy instance
   in
   let cert = Rr_dualfit.Certificate.certify ~eps ~k res in

@@ -25,11 +25,22 @@ let srpt = Rr_policies.Srpt.policy
 
 let b3 b = if b then "yes" else "NO"
 
+(* Row-level parallelism: every experiment builds its row descriptors
+   first, maps them to rendered cells — on the pool when one is given —
+   and only then appends to the table, so row order (and, without
+   data-dependent scheduling, content) is identical for any domain count.
+   Tasks share instances and stateless policy values freely (both are
+   immutable from the simulator's point of view); policies with per-run
+   state (quantum-rr) are constructed inside the task that runs them. *)
+let pmap pool f xs = match pool with None -> List.map f xs | Some p -> Pool.map p f xs
+
+let add_rows table rows = List.iter (Table.add_row table) rows
+
 (* ------------------------------------------------------------------ *)
 (* T1: Theorem 1 at k = 2 — speed sweep                                *)
 (* ------------------------------------------------------------------ *)
 
-let t1_l2_speed_sweep scale =
+let t1_l2_speed_sweep ?pool scale =
   let table =
     Table.create ~title:"T1: RR l2-norm competitive ratio vs speed (Theorem 1, k=2, m=1)"
       ~columns:
@@ -38,61 +49,64 @@ let t1_l2_speed_sweep scale =
   let n = n_large scale in
   let n_small = match scale with Quick -> 20 | Full -> 40 in
   let speed_list = [ 1.0; 1.25; 1.5; 2.0; 3.0; 4.4 ] in
-  List.iter
-    (fun sizes ->
-      let insts =
-        List.map (fun seed -> stochastic ~seed ~sizes ~load:0.9 ~machines:1 ~n) (seeds scale)
-      in
-      let small = stochastic ~seed:7 ~sizes ~load:0.9 ~machines:1 ~n:n_small in
-      List.iter
-        (fun speed ->
-          let ratio =
-            mean
-              (List.map (fun i -> Ratio.vs_baseline ~k:2 ~machines:1 ~speed rr i) insts)
-          in
-          let lp_ratio = Ratio.vs_lp_bound ~k:2 ~machines:1 ~delta:0.25 ~speed rr small in
-          Table.add_row table
-            [
-              Rr_workload.Distribution.name sizes;
-              Table.fcell speed;
-              Table.fcell ratio;
-              Table.fcell lp_ratio;
-            ])
-        speed_list)
-    [ exp_sizes; heavy_sizes ];
+  let tasks =
+    List.concat_map
+      (fun sizes ->
+        let insts =
+          List.map (fun seed -> stochastic ~seed ~sizes ~load:0.9 ~machines:1 ~n) (seeds scale)
+        in
+        let small = stochastic ~seed:7 ~sizes ~load:0.9 ~machines:1 ~n:n_small in
+        List.map (fun speed -> (sizes, insts, small, speed)) speed_list)
+      [ exp_sizes; heavy_sizes ]
+  in
+  add_rows table
+    (pmap pool
+       (fun (sizes, insts, small, speed) ->
+         let cfg = Run.config ~speed () in
+         let ratio = mean (List.map (fun i -> Ratio.vs_baseline cfg rr i) insts) in
+         let lp_ratio = Ratio.vs_lp_bound ~delta:0.25 cfg rr small in
+         [
+           Rr_workload.Distribution.name sizes;
+           Table.fcell speed;
+           Table.fcell ratio;
+           Table.fcell lp_ratio;
+         ])
+       tasks);
   table
 
 (* ------------------------------------------------------------------ *)
 (* T2: Theorem 1 at the theorem speed for k = 1, 2, 3                  *)
 (* ------------------------------------------------------------------ *)
 
-let t2_lk_theorem_speed scale =
+let t2_lk_theorem_speed ?pool scale =
   let table =
     Table.create
       ~title:"T2: RR at the Theorem-1 speed 2k(1+10eps), eps=0.1 (lk ratio vs SRPT@1, m=1)"
       ~columns:[ "sizes"; "k"; "speed"; "lk ratio" ]
   in
   let n = n_large scale in
-  List.iter
-    (fun sizes ->
-      let insts =
-        List.map (fun seed -> stochastic ~seed ~sizes ~load:0.9 ~machines:1 ~n) (seeds scale)
-      in
-      List.iter
-        (fun k ->
-          let speed = Rr_dualfit.Certificate.theorem_speed ~k ~eps:0.1 in
-          let ratio =
-            mean (List.map (fun i -> Ratio.vs_baseline ~k ~machines:1 ~speed rr i) insts)
-          in
-          Table.add_row table
-            [
-              Rr_workload.Distribution.name sizes;
-              string_of_int k;
-              Table.fcell speed;
-              Table.fcell ratio;
-            ])
-        [ 1; 2; 3 ])
-    [ exp_sizes; heavy_sizes ];
+  let tasks =
+    List.concat_map
+      (fun sizes ->
+        let insts =
+          List.map (fun seed -> stochastic ~seed ~sizes ~load:0.9 ~machines:1 ~n) (seeds scale)
+        in
+        List.map (fun k -> (sizes, insts, k)) [ 1; 2; 3 ])
+      [ exp_sizes; heavy_sizes ]
+  in
+  add_rows table
+    (pmap pool
+       (fun (sizes, insts, k) ->
+         let speed = Rr_dualfit.Certificate.theorem_speed ~k ~eps:0.1 in
+         let cfg = Run.config ~k ~speed () in
+         let ratio = mean (List.map (fun i -> Ratio.vs_baseline cfg rr i) insts) in
+         [
+           Rr_workload.Distribution.name sizes;
+           string_of_int k;
+           Table.fcell speed;
+           Table.fcell ratio;
+         ])
+       tasks);
   table
 
 (* ------------------------------------------------------------------ *)
@@ -106,7 +120,7 @@ let t2_lk_theorem_speed scale =
    EXPERIMENTS.md).  What is reproducible is the speed response: on
    adversarial transients RR's ratio is largest at speed 1 and decays to a
    small constant well before the Theorem-1 speed of 4 + eps. *)
-let f1_lower_bound_growth scale =
+let f1_lower_bound_growth ?pool scale =
   let table =
     Table.create
       ~title:
@@ -127,23 +141,29 @@ let f1_lower_bound_growth scale =
         Rr_workload.Adversary.geometric_batch ~levels:3 ~k:2 );
     ]
   in
-  List.iter
-    (fun (label, inst, small) ->
-      List.iter
-        (fun speed ->
-          let r = Ratio.vs_baseline ~k:2 ~machines:1 ~speed rr inst in
-          let r_lp = Ratio.vs_lp_bound ~k:2 ~machines:1 ~delta:0.125 ~speed rr small in
-          Table.add_row table
-            [ label; Table.fcell speed; Table.fcell r; Table.fcell r_lp ])
-        [ 1.0; 1.1; 1.25; 1.5; 2.0; 3.0; 4.4 ])
-    families;
+  let tasks =
+    List.concat_map
+      (fun (label, inst, small) ->
+        List.map
+          (fun speed -> (label, inst, small, speed))
+          [ 1.0; 1.1; 1.25; 1.5; 2.0; 3.0; 4.4 ])
+      families
+  in
+  add_rows table
+    (pmap pool
+       (fun (label, inst, small, speed) ->
+         let cfg = Run.config ~speed () in
+         let r = Ratio.vs_baseline cfg rr inst in
+         let r_lp = Ratio.vs_lp_bound ~delta:0.125 cfg rr small in
+         [ label; Table.fcell speed; Table.fcell r; Table.fcell r_lp ])
+       tasks);
   table
 
 (* ------------------------------------------------------------------ *)
 (* T3: dual-fitting certificates                                       *)
 (* ------------------------------------------------------------------ *)
 
-let t3_dual_certificates scale =
+let t3_dual_certificates ?pool scale =
   let table =
     Table.create
       ~title:"T3: dual-fitting certificates for RR at speed 2k(1+10eps), eps=0.1"
@@ -156,80 +176,77 @@ let t3_dual_certificates scale =
     | Full -> [ (60, 1); (60, 3); (120, 1) ]
   in
   let eps = 0.1 in
-  List.iter
-    (fun (n, machines) ->
-      List.iter
-        (fun k ->
-          let inst = stochastic ~seed:(100 + n + machines) ~sizes:exp_sizes ~load:0.9 ~machines ~n in
-          let speed = Rr_dualfit.Certificate.theorem_speed ~k ~eps in
-          let res = Run.simulate ~speed ~record_trace:true ~machines rr inst in
-          let cert = Rr_dualfit.Certificate.certify ~eps ~k res in
-          let gamma = cert.gamma in
-          let lp_hi =
-            Rr_lp.Lp_bound.value ~mode:Rr_lp.Lp_bound.Slot_end ~gamma ~k ~machines ~delta:0.25
-              inst
-          in
-          let scaled_dual =
-            cert.dual_objective /. Float.max 1. cert.violation_ratio
-          in
-          let weak_ok = scaled_dual <= lp_hi *. (1. +. 1e-6) in
-          Table.add_row table
-            [
-              string_of_int n;
-              string_of_int machines;
-              string_of_int k;
-              Table.fcell cert.violation_ratio;
-              Table.fcell cert.certified_ratio;
-              b3 cert.lemma1_ok;
-              b3 cert.lemma2_ok;
-              b3 weak_ok;
-            ])
-        [ 2; 3 ])
-    cases;
+  let tasks =
+    List.concat_map (fun (n, machines) -> List.map (fun k -> (n, machines, k)) [ 2; 3 ]) cases
+  in
+  add_rows table
+    (pmap pool
+       (fun (n, machines, k) ->
+         let inst = stochastic ~seed:(100 + n + machines) ~sizes:exp_sizes ~load:0.9 ~machines ~n in
+         let speed = Rr_dualfit.Certificate.theorem_speed ~k ~eps in
+         let res = Run.simulate (Run.config ~machines ~speed ~record_trace:true ()) rr inst in
+         let cert = Rr_dualfit.Certificate.certify ~eps ~k res in
+         let gamma = cert.gamma in
+         let lp_hi =
+           Rr_lp.Lp_bound.value ~mode:Rr_lp.Lp_bound.Slot_end ~gamma ~k ~machines ~delta:0.25
+             inst
+         in
+         let scaled_dual = cert.dual_objective /. Float.max 1. cert.violation_ratio in
+         let weak_ok = scaled_dual <= lp_hi *. (1. +. 1e-6) in
+         [
+           string_of_int n;
+           string_of_int machines;
+           string_of_int k;
+           Table.fcell cert.violation_ratio;
+           Table.fcell cert.certified_ratio;
+           b3 cert.lemma1_ok;
+           b3 cert.lemma2_ok;
+           b3 weak_ok;
+         ])
+       tasks);
   table
 
 (* ------------------------------------------------------------------ *)
 (* T4: the classical l1 guarantee                                      *)
 (* ------------------------------------------------------------------ *)
 
-let t4_l1_flow scale =
+let t4_l1_flow ?pool scale =
   let table =
     Table.create ~title:"T4: RR total flow time (l1) ratio vs SRPT@1"
       ~columns:[ "sizes"; "m"; "RR speed"; "l1 ratio" ]
   in
   let n = n_large scale in
-  List.iter
-    (fun sizes ->
-      List.iter
-        (fun machines ->
-          let insts =
-            List.map
-              (fun seed -> stochastic ~seed ~sizes ~load:0.9 ~machines ~n)
-              (seeds scale)
-          in
-          List.iter
-            (fun speed ->
-              let ratio =
-                mean
-                  (List.map (fun i -> Ratio.vs_baseline ~k:1 ~machines ~speed rr i) insts)
-              in
-              Table.add_row table
-                [
-                  Rr_workload.Distribution.name sizes;
-                  string_of_int machines;
-                  Table.fcell speed;
-                  Table.fcell ratio;
-                ])
-            [ 2.0; 3.0 ])
-        [ 1; 4 ])
-    [ exp_sizes; heavy_sizes ];
+  let tasks =
+    List.concat_map
+      (fun sizes ->
+        List.concat_map
+          (fun machines ->
+            let insts =
+              List.map (fun seed -> stochastic ~seed ~sizes ~load:0.9 ~machines ~n) (seeds scale)
+            in
+            List.map (fun speed -> (sizes, machines, insts, speed)) [ 2.0; 3.0 ])
+          [ 1; 4 ])
+      [ exp_sizes; heavy_sizes ]
+  in
+  add_rows table
+    (pmap pool
+       (fun (sizes, machines, insts, speed) ->
+         let cfg = Run.config ~machines ~k:1 ~speed () in
+         let ratio = mean (List.map (fun i -> Ratio.vs_baseline cfg rr i) insts) in
+         [
+           Rr_workload.Distribution.name sizes;
+           string_of_int machines;
+           Table.fcell speed;
+           Table.fcell ratio;
+         ])
+       tasks);
   table
 
 (* ------------------------------------------------------------------ *)
 (* T5: instantaneous fairness                                          *)
 (* ------------------------------------------------------------------ *)
 
-let t5_instantaneous_fairness scale =
+let t5_instantaneous_fairness ?pool scale =
   let table =
     Table.create
       ~title:"T5: instantaneous fairness under transient overload (rho = 1.2)"
@@ -239,32 +256,35 @@ let t5_instantaneous_fairness scale =
   let policies =
     [ rr; srpt; Rr_policies.Sjf.policy; Rr_policies.Setf.policy; Rr_policies.Fcfs.policy ]
   in
-  List.iter
-    (fun machines ->
-      let inst = stochastic ~seed:5 ~sizes:exp_sizes ~load:1.2 ~machines ~n in
-      let sizes =
-        Array.of_list
-          (List.map (fun (j : Rr_engine.Job.t) -> j.size) (Rr_workload.Instance.jobs inst))
-      in
-      List.iter
-        (fun policy ->
-          let res = Run.simulate ~record_trace:true ~machines policy inst in
-          let jain = Rr_metrics.Fairness.time_weighted_jain res.trace in
-          let flows = Rr_engine.Simulator.flows res in
-          (* Sizes indexed by id: instance ids are assigned in arrival order,
-             matching the jobs list order. *)
-          let slow = Rr_metrics.Flow_stats.max_slowdown ~sizes ~flows in
-          Table.add_row table
-            [ string_of_int machines; policy.name; Table.fcell jain; Table.fcell slow ])
-        policies)
-    [ 1; 4 ];
+  let tasks =
+    List.concat_map
+      (fun machines ->
+        let inst = stochastic ~seed:5 ~sizes:exp_sizes ~load:1.2 ~machines ~n in
+        let sizes =
+          Array.of_list
+            (List.map (fun (j : Rr_engine.Job.t) -> j.size) (Rr_workload.Instance.jobs inst))
+        in
+        List.map (fun policy -> (machines, inst, sizes, policy)) policies)
+      [ 1; 4 ]
+  in
+  add_rows table
+    (pmap pool
+       (fun (machines, inst, sizes, (policy : Rr_engine.Policy.t)) ->
+         let res = Run.simulate (Run.config ~machines ~record_trace:true ()) policy inst in
+         let jain = Rr_metrics.Fairness.time_weighted_jain res.trace in
+         let flows = Rr_engine.Simulator.flows res in
+         (* Sizes indexed by id: instance ids are assigned in arrival order,
+            matching the jobs list order. *)
+         let slow = Rr_metrics.Flow_stats.max_slowdown ~sizes ~flows in
+         [ string_of_int machines; policy.name; Table.fcell jain; Table.fcell slow ])
+       tasks);
   table
 
 (* ------------------------------------------------------------------ *)
 (* F2: variance vs average                                             *)
 (* ------------------------------------------------------------------ *)
 
-let f2_variance_vs_average scale =
+let f2_variance_vs_average ?pool scale =
   let table =
     Table.create
       ~title:
@@ -276,56 +296,52 @@ let f2_variance_vs_average scale =
   let policies =
     [ rr; srpt; Rr_policies.Sjf.policy; Rr_policies.Setf.policy; Rr_policies.Fcfs.policy ]
   in
-  List.iter
-    (fun policy ->
-      let flows = Run.flows ~machines:1 policy inst in
-      let s = Rr_metrics.Flow_stats.of_flows flows in
-      Table.add_row table
-        [
-          policy.Rr_engine.Policy.name;
-          Table.fcell s.mean;
-          Table.fcell s.stddev;
-          Table.fcell s.p99;
-          Table.fcell s.max;
-          Table.fcell s.l2;
-        ])
-    policies;
+  add_rows table
+    (pmap pool
+       (fun (policy : Rr_engine.Policy.t) ->
+         let flows = Run.flows Run.default policy inst in
+         let s = Rr_metrics.Flow_stats.of_flows flows in
+         [
+           policy.name;
+           Table.fcell s.mean;
+           Table.fcell s.stddev;
+           Table.fcell s.p99;
+           Table.fcell s.max;
+           Table.fcell s.l2;
+         ])
+       policies);
   table
 
 (* ------------------------------------------------------------------ *)
 (* T6: multiple machines                                               *)
 (* ------------------------------------------------------------------ *)
 
-let t6_multiple_machines scale =
+let t6_multiple_machines ?pool scale =
   let table =
     Table.create ~title:"T6: RR@4.4 l2 ratio vs SRPT@1 across machine counts (rho = 0.9)"
       ~columns:[ "m"; "l2 ratio"; "RR events" ]
   in
   let n = n_large scale in
-  List.iter
-    (fun machines ->
-      let insts =
-        List.map
-          (fun seed -> stochastic ~seed ~sizes:exp_sizes ~load:0.9 ~machines ~n)
-          (seeds scale)
-      in
-      let ratio =
-        mean
-          (List.map
-             (fun i -> Ratio.vs_baseline ~k:2 ~machines ~speed:4.4 rr i)
-             insts)
-      in
-      let events = (Run.simulate ~speed:4.4 ~machines rr (List.hd insts)).events in
-      Table.add_row table
-        [ string_of_int machines; Table.fcell ratio; string_of_int events ])
-    [ 1; 2; 4; 8 ];
+  add_rows table
+    (pmap pool
+       (fun machines ->
+         let insts =
+           List.map
+             (fun seed -> stochastic ~seed ~sizes:exp_sizes ~load:0.9 ~machines ~n)
+             (seeds scale)
+         in
+         let cfg = Run.config ~machines ~speed:4.4 () in
+         let ratio = mean (List.map (fun i -> Ratio.vs_baseline cfg rr i) insts) in
+         let events = (Run.simulate cfg rr (List.hd insts)).events in
+         [ string_of_int machines; Table.fcell ratio; string_of_int events ])
+       [ 1; 2; 4; 8 ]);
   table
 
 (* ------------------------------------------------------------------ *)
 (* F3: ablation against weighted RR and friends                        *)
 (* ------------------------------------------------------------------ *)
 
-let f3_weighted_rr_ablation scale =
+let f3_weighted_rr_ablation ?pool scale =
   let table =
     Table.create
       ~title:"F3: l2 ratio vs SRPT@1 — RR vs age-weighted RR vs SETF vs LAPS vs MLFQ vs quantum-RR (m=1)"
@@ -333,24 +349,24 @@ let f3_weighted_rr_ablation scale =
   in
   let n = match scale with Quick -> 150 | Full -> 1000 in
   let inst = stochastic ~seed:31 ~sizes:exp_sizes ~load:0.9 ~machines:1 ~n in
-  let policies =
+  (* Policies are built inside each task: quantum-rr owns per-run queue
+     state, and a fresh value per speed keeps tasks self-contained. *)
+  let mk_policies : (unit -> Rr_engine.Policy.t) list =
     [
-      rr;
-      Rr_policies.Wrr_age.policy ~k:2 ();
-      Rr_policies.Setf.policy;
-      Rr_policies.Laps.policy ~beta:0.5;
-      Rr_policies.Mlfq.policy ();
-      Rr_policies.Quantum_rr.policy ();
+      (fun () -> rr);
+      (fun () -> Rr_policies.Wrr_age.policy ~k:2 ());
+      (fun () -> Rr_policies.Setf.policy);
+      (fun () -> Rr_policies.Laps.policy ~beta:0.5);
+      (fun () -> Rr_policies.Mlfq.policy ());
+      (fun () -> Rr_policies.Quantum_rr.policy ());
     ]
   in
-  List.iter
-    (fun policy ->
-      let cell speed =
-        Table.fcell (Ratio.vs_baseline ~k:2 ~machines:1 ~speed policy inst)
-      in
-      Table.add_row table
-        [ policy.Rr_engine.Policy.name; cell 1.5; cell 2.0; cell 3.0 ])
-    policies;
+  add_rows table
+    (pmap pool
+       (fun mk ->
+         let cell speed = Table.fcell (Ratio.vs_baseline (Run.config ~speed ()) (mk ()) inst) in
+         [ (mk ()).Rr_engine.Policy.name; cell 1.5; cell 2.0; cell 3.0 ])
+       mk_policies);
   table
 
 (* ------------------------------------------------------------------ *)
@@ -360,8 +376,9 @@ let f3_weighted_rr_ablation scale =
 (* The price of fairness in speed: the smallest speed augmentation at which
    RR's l2 norm matches (a fraction of) clairvoyant SRPT at speed 1 —
    bracketing the theory's [3/2, 4 + eps] window for when RR becomes
-   competitive. *)
-let t7_crossover_speed scale =
+   competitive.  The pool goes into {!Sweep.min_speed_for}'s bracket
+   probes, so more domains buy bracket precision, not different rows. *)
+let t7_crossover_speed ?pool scale =
   let table =
     Table.create
       ~title:"T7: minimal RR speed with l2 norm <= theta * SRPT@1 (bisection)"
@@ -383,13 +400,16 @@ let t7_crossover_speed scale =
     (fun (label, inst) ->
       List.iter
         (fun theta ->
-          let f speed = Ratio.vs_baseline ~k:2 ~machines:1 ~speed rr inst in
-          let cross = Sweep.min_speed_for ~f ~threshold:theta ~lo:1.0 ~hi:8.0 ~iters in
+          let f speed = Ratio.vs_baseline (Run.config ~speed ()) rr inst in
+          let cross = Sweep.min_speed_for ?pool ~f ~threshold:theta ~lo:1.0 ~hi:8.0 ~iters () in
           Table.add_row table
             [
               label;
               Table.fcell theta;
-              (match cross with None -> "> 8" | Some s -> Table.fcell s);
+              (match cross with
+              | Ok s -> Table.fcell s
+              | Error `Above_hi -> "> 8"
+              | Error (`Bad_bracket msg) -> "bracket error: " ^ msg);
             ])
         [ 1.0; 0.5; 0.25 ])
     families;
@@ -399,7 +419,7 @@ let t7_crossover_speed scale =
 (* T8: LP soundness sandwich                                           *)
 (* ------------------------------------------------------------------ *)
 
-let t8_lp_soundness _scale =
+let t8_lp_soundness ?pool _scale =
   let table =
     Table.create
       ~title:"T8: LP relaxation sandwich on tiny instances (LP/2 <= OPT^k <= SRPT^k)"
@@ -413,43 +433,45 @@ let t8_lp_soundness _scale =
       ("C", [ (0, 2); (0, 1); (1, 2); (3, 1) ], 2);
     ]
   in
-  List.iter
-    (fun (label, jobs, machines) ->
-      let inst =
-        Rr_workload.Instance.of_jobs ~label
-          (List.map (fun (r, p) -> (Float.of_int r, Float.of_int p)) jobs)
-      in
-      List.iter
-        (fun k ->
-          let brute = Rr_lp.Brute.optimal_power_sum ~k ~machines jobs in
-          let srpt_pow = Run.power_sum ~k ~machines srpt inst in
-          let lp_lo = Rr_lp.Lp_bound.value ~mode:Rr_lp.Lp_bound.Slot_start ~k ~machines ~delta:0.25 inst in
-          let lp_hi = Rr_lp.Lp_bound.value ~mode:Rr_lp.Lp_bound.Slot_end ~k ~machines ~delta:0.25 inst in
-          let sound =
-            lp_lo <= lp_hi +. 1e-6
-            && lp_lo /. 2. <= brute +. 1e-6
-            && brute <= srpt_pow +. 1e-6
-          in
-          Table.add_row table
-            [
-              label;
-              string_of_int machines;
-              string_of_int k;
-              Table.fcell lp_lo;
-              Table.fcell lp_hi;
-              Table.fcell brute;
-              Table.fcell srpt_pow;
-              b3 sound;
-            ])
-        [ 1; 2 ])
-    cases;
+  let tasks =
+    List.concat_map
+      (fun (label, jobs, machines) -> List.map (fun k -> (label, jobs, machines, k)) [ 1; 2 ])
+      cases
+  in
+  add_rows table
+    (pmap pool
+       (fun (label, jobs, machines, k) ->
+         let inst =
+           Rr_workload.Instance.of_jobs ~label
+             (List.map (fun (r, p) -> (Float.of_int r, Float.of_int p)) jobs)
+         in
+         let brute = Rr_lp.Brute.optimal_power_sum ~k ~machines jobs in
+         let srpt_pow = Run.power_sum (Run.config ~machines ~k ()) srpt inst in
+         let lp_lo = Rr_lp.Lp_bound.value ~mode:Rr_lp.Lp_bound.Slot_start ~k ~machines ~delta:0.25 inst in
+         let lp_hi = Rr_lp.Lp_bound.value ~mode:Rr_lp.Lp_bound.Slot_end ~k ~machines ~delta:0.25 inst in
+         let sound =
+           lp_lo <= lp_hi +. 1e-6
+           && lp_lo /. 2. <= brute +. 1e-6
+           && brute <= srpt_pow +. 1e-6
+         in
+         [
+           label;
+           string_of_int machines;
+           string_of_int k;
+           Table.fcell lp_lo;
+           Table.fcell lp_hi;
+           Table.fcell brute;
+           Table.fcell srpt_pow;
+           b3 sound;
+         ])
+       tasks);
   table
 
 (* ------------------------------------------------------------------ *)
 (* T9: quantum Round Robin converges to the paper's fluid RR           *)
 (* ------------------------------------------------------------------ *)
 
-let t9_quantum_convergence scale =
+let t9_quantum_convergence ?pool scale =
   let table =
     Table.create
       ~title:
@@ -459,29 +481,29 @@ let t9_quantum_convergence scale =
   in
   let n = match scale with Quick -> 100 | Full -> 500 in
   let inst = stochastic ~seed:41 ~sizes:exp_sizes ~load:0.9 ~machines:1 ~n in
-  let fluid = Run.flows ~machines:1 rr inst in
+  let fluid = Run.flows Run.default rr inst in
   let fluid_l1 = Rr_metrics.Norms.lk ~k:1 fluid in
   let fluid_l2 = Rr_metrics.Norms.lk ~k:2 fluid in
-  List.iter
-    (fun quantum ->
-      let policy = Rr_policies.Quantum_rr.policy ~quantum () in
-      let res = Run.simulate ~machines:1 policy inst in
-      let flows = Rr_engine.Simulator.flows res in
-      Table.add_row table
-        [
-          Table.fcell quantum;
-          Table.fcell (Rr_metrics.Norms.lk ~k:1 flows /. fluid_l1);
-          Table.fcell (Rr_metrics.Norms.lk ~k:2 flows /. fluid_l2);
-          string_of_int res.events;
-        ])
-    [ 4.0; 2.0; 1.0; 0.5; 0.25; 0.1 ];
+  add_rows table
+    (pmap pool
+       (fun quantum ->
+         let policy = Rr_policies.Quantum_rr.policy ~quantum () in
+         let res = Run.simulate Run.default policy inst in
+         let flows = Rr_engine.Simulator.flows res in
+         [
+           Table.fcell quantum;
+           Table.fcell (Rr_metrics.Norms.lk ~k:1 flows /. fluid_l1);
+           Table.fcell (Rr_metrics.Norms.lk ~k:2 flows /. fluid_l2);
+           string_of_int res.events;
+         ])
+       [ 4.0; 2.0; 1.0; 0.5; 0.25; 0.1 ]);
   table
 
 (* ------------------------------------------------------------------ *)
 (* T10: simulator vs closed-form queueing theory                       *)
 (* ------------------------------------------------------------------ *)
 
-let t10_queueing_validation scale =
+let t10_queueing_validation ?pool scale =
   let table =
     Table.create
       ~title:
@@ -502,55 +524,64 @@ let t10_queueing_validation scale =
     done;
     Kahan.total acc /. Float.of_int (hi - lo)
   in
-  let row ~model ~policy_label policy sizes analytic =
-    (* Average several independent runs: at rho = 0.8 the queue's busy-period
-       autocorrelation makes a single finite run noisy. *)
-    let sim =
-      mean
-        (List.map
-           (fun seed ->
-             let rng = Prng.create ~seed in
-             let inst =
-               Rr_workload.Instance.generate ~rng
-                 ~arrivals:(Rr_workload.Arrivals.Poisson { rate = lambda })
-                 ~sizes ~n ()
-             in
-             steady_mean (Run.flows ~machines:1 policy inst))
-           [ 53; 54; 55; 56; 57 ])
-    in
-    Table.add_row table
-      [
-        model;
-        policy_label;
-        Table.fcell sim;
-        Table.fcell analytic;
-        Table.fcell (Float.abs (sim -. analytic) /. analytic);
-      ]
-  in
   let exp1 = Rr_workload.Distribution.Exponential { mean = 1. } in
-  (* M/M/1: mu = 1, lambda = 0.8. *)
-  row ~model:"M/M/1" ~policy_label:"fcfs" Rr_policies.Fcfs.policy exp1
-    (Rr_queueing.Mm1.mean_flow_fcfs ~lambda ~mu:1.);
-  row ~model:"M/M/1" ~policy_label:"rr (PS)" rr exp1 (Rr_queueing.Mm1.mean_flow_ps ~lambda ~mu:1.);
-  (* M/G/1 with a high-variance size distribution of mean 1. *)
   let hyper =
     Rr_workload.Distribution.Bimodal { small = 0.5; large = 5.5; prob_large = 0.1 }
   in
   let es = Rr_workload.Distribution.mean hyper in
   let es2 = Rr_queueing.Mg1.second_moment hyper in
-  row ~model:"M/G/1 (bimodal)" ~policy_label:"fcfs" Rr_policies.Fcfs.policy hyper
-    (Rr_queueing.Mg1.mean_flow_fcfs ~lambda ~es ~es2);
-  (* PS insensitivity: same mean flow as the exponential case despite the
-     much heavier size variability. *)
-  row ~model:"M/G/1 (bimodal)" ~policy_label:"rr (PS)" rr hyper
-    (Rr_queueing.Mg1.mean_flow_ps ~lambda ~es);
+  (* M/M/1: mu = 1, lambda = 0.8; M/G/1 with a high-variance size
+     distribution of mean 1, where PS insensitivity gives the same mean
+     flow as the exponential case. *)
+  let rows =
+    [
+      ("M/M/1", "fcfs", Rr_policies.Fcfs.policy, exp1, Rr_queueing.Mm1.mean_flow_fcfs ~lambda ~mu:1.);
+      ("M/M/1", "rr (PS)", rr, exp1, Rr_queueing.Mm1.mean_flow_ps ~lambda ~mu:1.);
+      ( "M/G/1 (bimodal)",
+        "fcfs",
+        Rr_policies.Fcfs.policy,
+        hyper,
+        Rr_queueing.Mg1.mean_flow_fcfs ~lambda ~es ~es2 );
+      ("M/G/1 (bimodal)", "rr (PS)", rr, hyper, Rr_queueing.Mg1.mean_flow_ps ~lambda ~es);
+    ]
+  in
+  (* Average several independent runs: at rho = 0.8 the queue's busy-period
+     autocorrelation makes a single finite run noisy.  The (row, seed)
+     grid is flattened so replicates parallelise too. *)
+  let run_seeds = [ 53; 54; 55; 56; 57 ] in
+  let tasks = List.concat_map (fun row -> List.map (fun seed -> (row, seed)) run_seeds) rows in
+  let sims =
+    pmap pool
+      (fun ((_, _, policy, sizes, _), seed) ->
+        let rng = Prng.create ~seed in
+        let inst =
+          Rr_workload.Instance.generate ~rng
+            ~arrivals:(Rr_workload.Arrivals.Poisson { rate = lambda })
+            ~sizes ~n ()
+        in
+        steady_mean (Run.flows Run.default policy inst))
+      tasks
+  in
+  let replicates = List.length run_seeds in
+  List.iteri
+    (fun i (model, policy_label, _, _, analytic) ->
+      let sim = mean (List.filteri (fun j _ -> j / replicates = i) sims) in
+      Table.add_row table
+        [
+          model;
+          policy_label;
+          Table.fcell sim;
+          Table.fcell analytic;
+          Table.fcell (Float.abs (sim -. analytic) /. analytic);
+        ])
+    rows;
   table
 
 (* ------------------------------------------------------------------ *)
 (* F4: the speed-up curves contrast of Section 1.3                     *)
 (* ------------------------------------------------------------------ *)
 
-let f4_speedup_curves scale =
+let f4_speedup_curves ?pool scale =
   let table =
     Table.create
       ~title:
@@ -562,8 +593,9 @@ let f4_speedup_curves scale =
   let n = match scale with Quick -> 20 | Full -> 60 in
   (* Each job alternates parallelizable work with a sequential phase that
      machines cannot accelerate; EQUI keeps granting the sequential phase
-     its equal share, which is pure waste. *)
-  let jobs =
+     its equal share, which is pure waste.  Jobs are rebuilt inside each
+     task so no mutable phase state crosses domains. *)
+  let make_jobs () =
     List.init n (fun id ->
         Rr_speedup.Sjob.make ~id
           ~arrival:(Float.of_int id *. 1.1)
@@ -574,32 +606,32 @@ let f4_speedup_curves scale =
               Rr_speedup.Sjob.parallel ~work:2.;
             ])
   in
-  List.iter
-    (fun speed ->
-      let run policy = Rr_speedup.Equi_sim.run ~speed ~machines:4 ~policy jobs in
-      let e = run Rr_speedup.Equi_sim.equi in
-      let c = run Rr_speedup.Equi_sim.cap_equi in
-      let norm ~k flows = Rr_metrics.Norms.lk ~k flows in
-      let e1 = norm ~k:1 e.flows and c1 = norm ~k:1 c.flows in
-      let e2 = norm ~k:2 e.flows and c2 = norm ~k:2 c.flows in
-      Table.add_row table
-        [
-          Table.fcell speed;
-          Table.fcell e1;
-          Table.fcell c1;
-          Table.fcell (e1 /. c1);
-          Table.fcell e2;
-          Table.fcell c2;
-          Table.fcell (e2 /. c2);
-        ])
-    [ 1.0; 1.5; 2.0; 3.0 ];
+  add_rows table
+    (pmap pool
+       (fun speed ->
+         let run policy = Rr_speedup.Equi_sim.run ~speed ~machines:4 ~policy (make_jobs ()) in
+         let e = run Rr_speedup.Equi_sim.equi in
+         let c = run Rr_speedup.Equi_sim.cap_equi in
+         let norm ~k flows = Rr_metrics.Norms.lk ~k flows in
+         let e1 = norm ~k:1 e.flows and c1 = norm ~k:1 c.flows in
+         let e2 = norm ~k:2 e.flows and c2 = norm ~k:2 c.flows in
+         [
+           Table.fcell speed;
+           Table.fcell e1;
+           Table.fcell c1;
+           Table.fcell (e1 /. c1);
+           Table.fcell e2;
+           Table.fcell c2;
+           Table.fcell (e2 /. c2);
+         ])
+       [ 1.0; 1.5; 2.0; 3.0 ]);
   table
 
 (* ------------------------------------------------------------------ *)
 (* T11: weighted flow time via statically weighted RR                  *)
 (* ------------------------------------------------------------------ *)
 
-let t11_weighted_rr scale =
+let t11_weighted_rr ?pool scale =
   let table =
     Table.create
       ~title:
@@ -623,25 +655,25 @@ let t11_weighted_rr scale =
       flows;
     Kahan.total acc /. Float.of_int (Int.max 1 !count)
   in
-  List.iter
-    (fun policy ->
-      let flows = Run.flows ~machines:1 policy inst in
-      Table.add_row table
-        [
-          policy.Rr_engine.Policy.name;
-          Table.fcell (Rr_metrics.Norms.weighted_lk ~k:1 ~weights flows);
-          Table.fcell (Rr_metrics.Norms.weighted_lk ~k:2 ~weights flows);
-          Table.fcell (class_mean flows (fun i -> i mod 4 = 0));
-          Table.fcell (class_mean flows (fun i -> i mod 4 <> 0));
-        ])
-    [ rr; Rr_policies.Wrr_static.policy ~weight_of (); srpt; Rr_policies.Hdf.policy ~weight_of () ];
+  add_rows table
+    (pmap pool
+       (fun (policy : Rr_engine.Policy.t) ->
+         let flows = Run.flows Run.default policy inst in
+         [
+           policy.name;
+           Table.fcell (Rr_metrics.Norms.weighted_lk ~k:1 ~weights flows);
+           Table.fcell (Rr_metrics.Norms.weighted_lk ~k:2 ~weights flows);
+           Table.fcell (class_mean flows (fun i -> i mod 4 = 0));
+           Table.fcell (class_mean flows (fun i -> i mod 4 <> 0));
+         ])
+       [ rr; Rr_policies.Wrr_static.policy ~weight_of (); srpt; Rr_policies.Hdf.policy ~weight_of () ]);
   table
 
 (* ------------------------------------------------------------------ *)
 (* F5: broadcast scheduling (the other §1.3 setting)                   *)
 (* ------------------------------------------------------------------ *)
 
-let f5_broadcast scale =
+let f5_broadcast ?pool scale =
   let table =
     Table.create
       ~title:
@@ -657,28 +689,33 @@ let f5_broadcast scale =
   let requests =
     Rr_broadcast.Workgen.requests ~rng ~n_pages ~exponent:1.1 ~rate:1.6 ~n ()
   in
-  List.iter
-    (fun speed ->
-      List.iter
-        (fun policy ->
-          let r = Rr_broadcast.Bsim.run ~speed ~sizes ~policy requests in
-          Table.add_row table
-            [
-              Table.fcell speed;
-              policy.Rr_broadcast.Bsim.name;
-              Table.fcell (Rr_metrics.Norms.lk ~k:1 r.flows);
-              Table.fcell (Rr_metrics.Norms.lk ~k:2 r.flows);
-              Table.fcell (Rr_metrics.Norms.linf r.flows);
-            ])
-        [ Rr_broadcast.Bsim.broadcast_rr; Rr_broadcast.Bsim.lwf; Rr_broadcast.Bsim.fifo ])
-    [ 1.0; 2.0 ];
+  let tasks =
+    List.concat_map
+      (fun speed ->
+        List.map
+          (fun policy -> (speed, policy))
+          [ Rr_broadcast.Bsim.broadcast_rr; Rr_broadcast.Bsim.lwf; Rr_broadcast.Bsim.fifo ])
+      [ 1.0; 2.0 ]
+  in
+  add_rows table
+    (pmap pool
+       (fun (speed, policy) ->
+         let r = Rr_broadcast.Bsim.run ~speed ~sizes ~policy requests in
+         [
+           Table.fcell speed;
+           policy.Rr_broadcast.Bsim.name;
+           Table.fcell (Rr_metrics.Norms.lk ~k:1 r.flows);
+           Table.fcell (Rr_metrics.Norms.lk ~k:2 r.flows);
+           Table.fcell (Rr_metrics.Norms.linf r.flows);
+         ])
+       tasks);
   table
 
 (* ------------------------------------------------------------------ *)
 (* T12: the k = infinity end of the norm family                        *)
 (* ------------------------------------------------------------------ *)
 
-let t12_linf scale =
+let t12_linf ?pool scale =
   let table =
     Table.create
       ~title:
@@ -691,38 +728,38 @@ let t12_linf scale =
     Array.of_list
       (List.map (fun (j : Rr_engine.Job.t) -> j.size) (Rr_workload.Instance.jobs inst))
   in
-  List.iter
-    (fun policy ->
-      let flows = Run.flows ~machines:1 policy inst in
-      let s = Rr_metrics.Flow_stats.of_flows flows in
-      Table.add_row table
-        [
-          policy.Rr_engine.Policy.name;
-          Table.fcell (Rr_metrics.Norms.linf flows);
-          Table.fcell (Rr_metrics.Flow_stats.max_slowdown ~sizes ~flows);
-          Table.fcell s.l3;
-          Table.fcell s.mean;
-        ])
-    [ rr; srpt; Rr_policies.Sjf.policy; Rr_policies.Fcfs.policy; Rr_policies.Setf.policy ];
+  add_rows table
+    (pmap pool
+       (fun (policy : Rr_engine.Policy.t) ->
+         let flows = Run.flows Run.default policy inst in
+         let s = Rr_metrics.Flow_stats.of_flows flows in
+         [
+           policy.name;
+           Table.fcell (Rr_metrics.Norms.linf flows);
+           Table.fcell (Rr_metrics.Flow_stats.max_slowdown ~sizes ~flows);
+           Table.fcell s.l3;
+           Table.fcell s.mean;
+         ])
+       [ rr; srpt; Rr_policies.Sjf.policy; Rr_policies.Fcfs.policy; Rr_policies.Setf.policy ]);
   table
 
-let all scale =
+let all ?pool scale =
   [
-    t1_l2_speed_sweep scale;
-    t2_lk_theorem_speed scale;
-    f1_lower_bound_growth scale;
-    t3_dual_certificates scale;
-    t4_l1_flow scale;
-    t5_instantaneous_fairness scale;
-    f2_variance_vs_average scale;
-    t6_multiple_machines scale;
-    f3_weighted_rr_ablation scale;
-    t7_crossover_speed scale;
-    t8_lp_soundness scale;
-    t9_quantum_convergence scale;
-    t10_queueing_validation scale;
-    f4_speedup_curves scale;
-    t11_weighted_rr scale;
-    f5_broadcast scale;
-    t12_linf scale;
+    t1_l2_speed_sweep ?pool scale;
+    t2_lk_theorem_speed ?pool scale;
+    f1_lower_bound_growth ?pool scale;
+    t3_dual_certificates ?pool scale;
+    t4_l1_flow ?pool scale;
+    t5_instantaneous_fairness ?pool scale;
+    f2_variance_vs_average ?pool scale;
+    t6_multiple_machines ?pool scale;
+    f3_weighted_rr_ablation ?pool scale;
+    t7_crossover_speed ?pool scale;
+    t8_lp_soundness ?pool scale;
+    t9_quantum_convergence ?pool scale;
+    t10_queueing_validation ?pool scale;
+    f4_speedup_curves ?pool scale;
+    t11_weighted_rr ?pool scale;
+    f5_broadcast ?pool scale;
+    t12_linf ?pool scale;
   ]

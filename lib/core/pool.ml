@@ -1,0 +1,249 @@
+(* Work-stealing domain pool.  See pool.mli for the user-facing contract.
+
+   Batch execution: the task indices [0, n) are split into one contiguous
+   slice per participant, each held as a packed (lo, hi) pair inside a
+   single atomic int (lo in the high bits, hi in the low 31).  A
+   participant pops from the lo end of its own slice and steals from the
+   hi end of other slices, so owner and thieves contend on one CAS and
+   every transition linearises.  Slices only ever shrink, so a participant
+   that completes a full pop-then-scan without finding work can retire:
+   any task it did not see claimed is being executed synchronously inside
+   another participant's loop.  The batch is over when every participant
+   has retired, which the submitting caller awaits under the pool mutex —
+   that lock handoff is also what makes the workers' writes to the result
+   array visible to the caller. *)
+
+exception Task_error of int * exn
+
+let () =
+  Printexc.register_printer (function
+    | Task_error (i, e) ->
+        Some (Printf.sprintf "Pool.Task_error (task %d: %s)" i (Printexc.to_string e))
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Packed index ranges                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let mask31 = (1 lsl 31) - 1
+let pack ~lo ~hi = (lo lsl 31) lor hi
+let unpack r = (r lsr 31, r land mask31)
+
+let try_pop slice =
+  let rec go () =
+    let r = Atomic.get slice in
+    let lo, hi = unpack r in
+    if lo >= hi then None
+    else if Atomic.compare_and_set slice r (pack ~lo:(lo + 1) ~hi) then Some lo
+    else go ()
+  in
+  go ()
+
+let try_steal slice =
+  let rec go () =
+    let r = Atomic.get slice in
+    let lo, hi = unpack r in
+    if lo >= hi then None
+    else if Atomic.compare_and_set slice r (pack ~lo ~hi:(hi - 1)) then Some (hi - 1)
+    else go ()
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Pool and batch state                                                *)
+(* ------------------------------------------------------------------ *)
+
+type batch = {
+  run : int -> unit;
+  slices : int Atomic.t array;
+  stop : bool Atomic.t;
+  failure : (int * exn) option Atomic.t;
+  mutable unfinished : int;  (* participants still working; under the pool mutex *)
+}
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  batch_done : Condition.t;
+  mutable current : batch option;
+  mutable generation : int;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+  mutable busy : bool;
+}
+
+(* Keep the lowest-index failure so that single-fault batches report
+   deterministically whichever domain hit the fault. *)
+let record_failure b i e =
+  let rec go () =
+    match Atomic.get b.failure with
+    | Some (j, _) when j <= i -> ()
+    | cur -> if not (Atomic.compare_and_set b.failure cur (Some (i, e))) then go ()
+  in
+  go ();
+  Atomic.set b.stop true
+
+let work b p =
+  let participants = Array.length b.slices in
+  let claim () =
+    if Atomic.get b.stop then None
+    else
+      match try_pop b.slices.(p) with
+      | Some _ as s -> s
+      | None ->
+          let rec scan k =
+            if k = participants then None
+            else
+              match try_steal b.slices.((p + k) mod participants) with
+              | Some _ as s -> s
+              | None -> scan (k + 1)
+          in
+          scan 1
+  in
+  let rec go () =
+    match claim () with
+    | None -> ()
+    | Some i ->
+        (try b.run i with e -> record_failure b i e);
+        go ()
+  in
+  go ()
+
+(* Retire from the current batch; the last participant out wakes the
+   submitter. *)
+let retire pool b =
+  Mutex.lock pool.mutex;
+  b.unfinished <- b.unfinished - 1;
+  if b.unfinished = 0 then Condition.broadcast pool.batch_done;
+  Mutex.unlock pool.mutex
+
+let rec worker_loop pool p seen =
+  Mutex.lock pool.mutex;
+  while (not pool.stopping) && pool.generation = seen do
+    Condition.wait pool.work_ready pool.mutex
+  done;
+  if pool.stopping then Mutex.unlock pool.mutex
+  else begin
+    let gen = pool.generation in
+    let b = match pool.current with Some b -> b | None -> assert false in
+    Mutex.unlock pool.mutex;
+    work b p;
+    retire pool b;
+    worker_loop pool p gen
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  let pool =
+    {
+      size = domains;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      batch_done = Condition.create ();
+      current = None;
+      generation = 0;
+      stopping = false;
+      workers = [];
+      busy = false;
+    }
+  in
+  pool.workers <-
+    List.init (domains - 1) (fun i -> Domain.spawn (fun () -> worker_loop pool (i + 1) 0));
+  pool
+
+let size pool = pool.size
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  if pool.stopping then Mutex.unlock pool.mutex
+  else begin
+    pool.stopping <- true;
+    Condition.broadcast pool.work_ready;
+    Mutex.unlock pool.mutex;
+    List.iter Domain.join pool.workers;
+    pool.workers <- []
+  end
+
+let with_pool ~domains f =
+  let pool = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* ------------------------------------------------------------------ *)
+(* Batch submission                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_batch pool ~n run =
+  if n < 0 || n > mask31 then invalid_arg "Pool: task count out of range";
+  if n = 0 then ()
+  else begin
+    let slices =
+      Array.init pool.size (fun p ->
+          Atomic.make (pack ~lo:(p * n / pool.size) ~hi:((p + 1) * n / pool.size)))
+    in
+    let b =
+      {
+        run;
+        slices;
+        stop = Atomic.make false;
+        failure = Atomic.make None;
+        unfinished = pool.size;
+      }
+    in
+    Mutex.lock pool.mutex;
+    if pool.stopping then begin
+      Mutex.unlock pool.mutex;
+      invalid_arg "Pool: map on a shut-down pool"
+    end;
+    if pool.busy then begin
+      Mutex.unlock pool.mutex;
+      invalid_arg "Pool: concurrent map calls on the same pool"
+    end;
+    pool.busy <- true;
+    pool.current <- Some b;
+    pool.generation <- pool.generation + 1;
+    Condition.broadcast pool.work_ready;
+    Mutex.unlock pool.mutex;
+    work b 0;
+    Mutex.lock pool.mutex;
+    b.unfinished <- b.unfinished - 1;
+    while b.unfinished > 0 do
+      Condition.wait pool.batch_done pool.mutex
+    done;
+    pool.current <- None;
+    pool.busy <- false;
+    Mutex.unlock pool.mutex;
+    match Atomic.get b.failure with
+    | Some (i, e) -> raise (Task_error (i, e))
+    | None -> ()
+  end
+
+let map_array pool f xs =
+  let n = Array.length xs in
+  let res = Array.make n None in
+  run_batch pool ~n (fun i -> res.(i) <- Some (f xs.(i)));
+  Array.map (function Some y -> y | None -> assert false) res
+
+let map pool f xs = Array.to_list (map_array pool f (Array.of_list xs))
+
+let map_reduce pool ~map:f ~reduce ~init xs =
+  Array.fold_left reduce init (map_array pool f (Array.of_list xs))
+
+(* ------------------------------------------------------------------ *)
+(* Sizing helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let recommended_domains () = Int.max 1 (Domain.recommended_domain_count ())
+
+let env_domains () =
+  match Sys.getenv_opt "RR_JOBS" with
+  | None | Some "" -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some 0 -> Some (recommended_domains ())
+      | Some j when j > 0 -> Some j
+      | _ -> None)

@@ -1,0 +1,74 @@
+(** Work-stealing pool of OCaml 5 domains for embarrassingly parallel
+    experiment sweeps.
+
+    A pool owns [domains - 1] long-lived worker domains; the calling domain
+    participates in every batch, so [create ~domains:1] spawns nothing and
+    executes inline.  Tasks of a batch are indexed [0 .. n-1]; every worker
+    starts on a contiguous slice of the index range and, once its slice is
+    exhausted, steals single tasks from the tail of the busiest-looking
+    victim.  Scheduling is therefore non-deterministic, but the {e results}
+    are not:
+
+    - [map] returns results ordered by task index, regardless of which
+      domain computed what;
+    - [map_reduce] folds the mapped results in task-index order, so even a
+      non-associative/non-commutative [reduce] (e.g. float addition) gives
+      bit-identical output for any number of domains;
+    - tasks must not share mutable state — in particular each task that
+      needs randomness must own its generator, seeded from the task index
+      or derived by splitting a parent {!Rr_util.Prng.t} {e before}
+      submission, never drawn from a generator shared across tasks.
+
+    Under that discipline, running on [n] domains is bit-identical to
+    running sequentially.
+
+    A pool is single-owner: concurrent or re-entrant [map] calls on the
+    same pool raise [Invalid_argument]. *)
+
+type t
+
+exception Task_error of int * exn
+(** [Task_error (index, exn)] is raised at the submitting caller when the
+    task numbered [index] raised [exn] in a worker.  The first failure
+    wins; remaining unstarted tasks are abandoned. *)
+
+val create : domains:int -> t
+(** [create ~domains] starts a pool of [domains] total participants
+    ([domains - 1] spawned worker domains plus the caller).
+    @raise Invalid_argument when [domains < 1]. *)
+
+val size : t -> int
+(** Total participant count, as given to {!create}. *)
+
+val shutdown : t -> unit
+(** Graceful teardown: signals every worker domain to exit and joins it.
+    Idempotent.  Any later {!map} on the pool raises [Invalid_argument]. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [with_pool ~domains f] runs [f] on a fresh pool and shuts it down on
+    both normal return and exception. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] computes [List.map f xs] with the pool's domains.
+    Results are ordered by task index; on one domain this {e is}
+    [List.map f xs] (same order of evaluation, same result).
+    @raise Task_error on the first task failure. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Array counterpart of {!map}. *)
+
+val map_reduce : t -> map:('a -> 'b) -> reduce:('c -> 'b -> 'c) -> init:'c -> 'a list -> 'c
+(** [map_reduce pool ~map ~reduce ~init xs] maps in parallel and folds the
+    results left-to-right in task-index order:
+    [reduce (... (reduce init y0) ...) y_{n-1}].  The fold itself runs on
+    the calling domain, so [reduce] needs no thread safety and no
+    associativity. *)
+
+val env_domains : unit -> int option
+(** The domain count requested by the [RR_JOBS] environment variable:
+    [Some n] for a positive integer value, [None] when unset, empty, or
+    unparseable.  [RR_JOBS=0] means "all recommended cores" and resolves
+    through {!recommended_domains}. *)
+
+val recommended_domains : unit -> int
+(** The runtime's recommended domain count for this machine, at least 1. *)

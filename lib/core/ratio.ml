@@ -1,10 +1,12 @@
-let vs_baseline ?(baseline = Rr_policies.Srpt.policy) ?(baseline_speed = 1.) ~k ~machines
-    ~speed policy inst =
-  let num = Run.norm ~speed ~k ~machines policy inst in
-  let den = Run.norm ~speed:baseline_speed ~k ~machines baseline inst in
+let vs_baseline ?(baseline = Rr_policies.Srpt.policy) ?(baseline_speed = 1.) (cfg : Run.config)
+    policy inst =
+  let num = Run.norm cfg policy inst in
+  let den = Run.norm { cfg with speed = baseline_speed; record_trace = false } baseline inst in
   if den <= 0. then Float.nan else num /. den
 
-let vs_lp_bound ~k ~machines ~delta ~speed policy inst =
-  let num = Run.norm ~speed ~k ~machines policy inst in
-  let den = Rr_lp.Lp_bound.opt_norm_lower_bound ~k ~machines ~delta inst in
+let vs_lp_bound ~delta (cfg : Run.config) policy inst =
+  let num = Run.norm cfg policy inst in
+  let den =
+    Rr_lp.Lp_bound.opt_norm_lower_bound ~k:cfg.k ~machines:cfg.machines ~delta inst
+  in
   if den <= 0. then Float.nan else num /. den

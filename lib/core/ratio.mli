@@ -9,29 +9,26 @@
     - a baseline policy at speed 1 (usually SRPT, a strong practical
       stand-in): an {e estimate} of the ratio;
     - the paper's LP relaxation ({!Rr_lp.Lp_bound}): a certified {e upper
-      bound} on the true ratio, since the LP certifiably lower-bounds OPT. *)
+      bound} on the true ratio, since the LP certifiably lower-bounds OPT.
+
+    Both take the policy's context as a {!Run.config} ([machines], [speed]
+    and [k] are read from it); the baseline always runs trace-free at
+    [baseline_speed]. *)
 
 val vs_baseline :
   ?baseline:Rr_engine.Policy.t ->
   ?baseline_speed:float ->
-  k:int ->
-  machines:int ->
-  speed:float ->
+  Run.config ->
   Rr_engine.Policy.t ->
   Rr_workload.Instance.t ->
   float
-(** lk-norm of the policy at [speed] divided by the lk-norm of [baseline]
-    (default SRPT) at [baseline_speed] (default 1).  Returns [nan] when
-    the baseline norm is 0 (empty instance). *)
+(** lk-norm of the policy under the config divided by the lk-norm of
+    [baseline] (default SRPT) at [baseline_speed] (default 1).  Returns
+    [nan] when the baseline norm is 0 (empty instance). *)
 
 val vs_lp_bound :
-  k:int ->
-  machines:int ->
-  delta:float ->
-  speed:float ->
-  Rr_engine.Policy.t ->
-  Rr_workload.Instance.t ->
-  float
-(** lk-norm of the policy at [speed] divided by the certified LP lower
-    bound on the optimal lk-norm: an upper bound on the policy's true
-    competitive ratio on this instance. *)
+  delta:float -> Run.config -> Rr_engine.Policy.t -> Rr_workload.Instance.t -> float
+(** lk-norm of the policy under the config divided by the certified LP
+    lower bound on the optimal lk-norm ([delta] is the LP discretisation
+    width): an upper bound on the policy's true competitive ratio on this
+    instance. *)

@@ -1,12 +1,39 @@
-let simulate ?(speed = 1.) ?(record_trace = false) ~machines policy inst =
-  Rr_engine.Simulator.run ~record_trace ~speed ~machines ~policy
+type config = { machines : int; speed : float; k : int; record_trace : bool }
+
+let default = { machines = 1; speed = 1.; k = 2; record_trace = false }
+
+let config ?(machines = default.machines) ?(speed = default.speed) ?(k = default.k)
+    ?(record_trace = default.record_trace) () =
+  { machines; speed; k; record_trace }
+
+let simulate cfg policy inst =
+  Rr_engine.Simulator.run ~record_trace:cfg.record_trace ~speed:cfg.speed
+    ~machines:cfg.machines ~policy
     (Rr_workload.Instance.jobs inst)
 
-let flows ?speed ~machines policy inst =
-  Rr_engine.Simulator.flows (simulate ?speed ~machines policy inst)
+let flows cfg policy inst = Rr_engine.Simulator.flows (simulate cfg policy inst)
+let norm cfg policy inst = Rr_metrics.Norms.lk ~k:cfg.k (flows cfg policy inst)
+let power_sum cfg policy inst = Rr_metrics.Norms.power_sum ~k:cfg.k (flows cfg policy inst)
 
-let norm ?speed ~k ~machines policy inst =
-  Rr_metrics.Norms.lk ~k (flows ?speed ~machines policy inst)
+type result = {
+  policy_name : string;
+  instance_label : string;
+  flows : float array;
+  norm : float;
+  power_sum : float;
+  events : int;
+}
 
-let power_sum ?speed ~k ~machines policy inst =
-  Rr_metrics.Norms.power_sum ~k (flows ?speed ~machines policy inst)
+let measure cfg (policy : Rr_engine.Policy.t) inst =
+  let res = simulate cfg policy inst in
+  let flows = Rr_engine.Simulator.flows res in
+  {
+    policy_name = policy.name;
+    instance_label = (inst : Rr_workload.Instance.t).label;
+    flows;
+    norm = Rr_metrics.Norms.lk ~k:cfg.k flows;
+    power_sum = Rr_metrics.Norms.power_sum ~k:cfg.k flows;
+    events = res.events;
+  }
+
+let batch pool cfg tasks = Pool.map pool (fun (policy, inst) -> measure cfg policy inst) tasks

@@ -1,37 +1,59 @@
-(** Convenience entry points tying instances, policies and the simulator
-    together.  This is the facade most users of the library need. *)
+(** The facade tying instances, policies and the simulator together.
 
-val simulate :
-  ?speed:float ->
-  ?record_trace:bool ->
-  machines:int ->
-  Rr_engine.Policy.t ->
-  Rr_workload.Instance.t ->
-  Rr_engine.Simulator.result
-(** Run a policy on an instance (speed defaults to 1, no trace). *)
+    A {!config} names the full simulation context once — machine count,
+    resource-augmentation speed, norm index [k], trace recording — and
+    every entry point takes it first, so sweeps build one record and vary
+    only the field under study ([{ cfg with speed }]).  {!batch} evaluates
+    many (policy, instance) pairs on a {!Pool}; because simulation is
+    deterministic given its inputs and every task is independent, the
+    batch results are bit-identical to the sequential ones for any number
+    of domains. *)
 
-val flows :
-  ?speed:float ->
-  machines:int ->
-  Rr_engine.Policy.t ->
-  Rr_workload.Instance.t ->
-  float array
+type config = {
+  machines : int;  (** Identical machines; default 1. *)
+  speed : float;  (** Resource-augmentation speed; default 1. *)
+  k : int;  (** Norm index of the lk objective; default 2. *)
+  record_trace : bool;  (** Keep the full segment trace; default false. *)
+}
+
+val default : config
+(** [{ machines = 1; speed = 1.; k = 2; record_trace = false }]. *)
+
+val config : ?machines:int -> ?speed:float -> ?k:int -> ?record_trace:bool -> unit -> config
+(** {!default} with the given fields overridden. *)
+
+val simulate : config -> Rr_engine.Policy.t -> Rr_workload.Instance.t -> Rr_engine.Simulator.result
+(** Run a policy on an instance under [config]. *)
+
+val flows : config -> Rr_engine.Policy.t -> Rr_workload.Instance.t -> float array
 (** Flow times by job id. *)
 
-val norm :
-  ?speed:float ->
-  k:int ->
-  machines:int ->
-  Rr_engine.Policy.t ->
-  Rr_workload.Instance.t ->
-  float
-(** The lk-norm of flow time achieved by the policy. *)
+val norm : config -> Rr_engine.Policy.t -> Rr_workload.Instance.t -> float
+(** The lk-norm of flow time achieved by the policy ([k] from the
+    config). *)
 
-val power_sum :
-  ?speed:float ->
-  k:int ->
-  machines:int ->
-  Rr_engine.Policy.t ->
-  Rr_workload.Instance.t ->
-  float
+val power_sum : config -> Rr_engine.Policy.t -> Rr_workload.Instance.t -> float
 (** The unrooted [sum_j F_j^k] achieved by the policy. *)
+
+type result = {
+  policy_name : string;
+  instance_label : string;
+  flows : float array;  (** Flow times by job id. *)
+  norm : float;  (** lk-norm at the config's [k]. *)
+  power_sum : float;  (** Unrooted [sum_j F_j^k]. *)
+  events : int;  (** Simulation events processed. *)
+}
+(** One completed measurement of {!batch}: the flow vector plus the derived
+    norms, without the trace (record a trace with {!simulate} when the
+    dual-fitting verifier or the fairness time series needs it). *)
+
+val measure : config -> Rr_engine.Policy.t -> Rr_workload.Instance.t -> result
+(** One simulate-and-measure step — what {!batch} runs per task. *)
+
+val batch : Pool.t -> config -> (Rr_engine.Policy.t * Rr_workload.Instance.t) list -> result list
+(** [batch pool cfg tasks] measures every (policy, instance) pair on the
+    pool.  Results are ordered like [tasks] and bit-identical to
+    [List.map (measure cfg) tasks] for any pool size.  Policy values that
+    carry per-run mutable state (e.g. {!Rr_policies.Quantum_rr}) must be
+    fresh per task — build them with {!Rr_policies.Registry.make}.
+    @raise Pool.Task_error when a simulation raises. *)

@@ -4,15 +4,37 @@ let speeds ~lo ~hi ~steps =
   List.init steps (fun i ->
       lo +. ((hi -. lo) *. Float.of_int i /. Float.of_int (steps - 1)))
 
-let min_speed_for ~f ~threshold ~lo ~hi ~iters =
-  if f hi > threshold then None
+let min_speed_for ?pool ~f ~threshold ~lo ~hi ~iters () =
+  if not (Float.is_finite lo && Float.is_finite hi) then
+    Error (`Bad_bracket (Printf.sprintf "non-finite bracket [%g, %g]" lo hi))
+  else if lo >= hi then
+    Error (`Bad_bracket (Printf.sprintf "need lo < hi, got [%g, %g]" lo hi))
+  else if iters < 1 then Error (`Bad_bracket (Printf.sprintf "need iters >= 1, got %d" iters))
+  else if f hi > threshold then Error `Above_hi
   else begin
-    (* Invariant: f hi' <= threshold; lo' is either below the crossover or
-       equal to the initial lo. *)
-    let lo' = ref lo and hi' = ref hi in
+    let p = match pool with None -> 1 | Some pl -> Pool.size pl in
+    let eval xs = match pool with Some pl when p > 1 -> Pool.map pl f xs | _ -> List.map f xs in
+    let lo = ref lo and hi = ref hi in
     for _ = 1 to iters do
-      let mid = (!lo' +. !hi') /. 2. in
-      if f mid <= threshold then hi' := mid else lo' := mid
+      let width = !hi -. !lo in
+      let probes =
+        List.init p (fun i ->
+            !lo +. (width *. Float.of_int (i + 1) /. Float.of_int (p + 1)))
+      in
+      let ys = eval probes in
+      (* The leftmost satisfying probe bounds the crossover above; its left
+         neighbour (or the current lo) bounds it below.  When no probe
+         satisfies, the crossover lies in (last probe, hi]. *)
+      let rec narrow prev = function
+        | [] -> lo := prev
+        | (x, y) :: rest ->
+            if y <= threshold then begin
+              lo := prev;
+              hi := x
+            end
+            else narrow x rest
+      in
+      narrow !lo (List.combine probes ys)
     done;
-    Some !hi'
+    Ok !hi
   end

@@ -5,14 +5,33 @@ val speeds : lo:float -> hi:float -> steps:int -> float list
     @raise Invalid_argument when [steps < 2] or [lo >= hi]. *)
 
 val min_speed_for :
+  ?pool:Pool.t ->
   f:(float -> float) ->
   threshold:float ->
   lo:float ->
   hi:float ->
   iters:int ->
-  float option
-(** Bisection for the smallest speed [s] in [\[lo, hi\]] with
+  unit ->
+  (float, [ `Above_hi | `Bad_bracket of string ]) result
+(** Bracket search for the smallest speed [s] in [\[lo, hi\]] with
     [f s <= threshold], assuming [f] is non-increasing in speed (more speed
-    never hurts RR's ratio on a fixed instance).  [None] when even
-    [f hi > threshold].  [iters] bisection steps (the answer is bracketed
-    to [2^-iters * (hi - lo)]). *)
+    never hurts RR's ratio on a fixed instance).
+
+    Each of the [iters] rounds evaluates [p] interior points splitting the
+    bracket into [p + 1] equal parts and keeps the leftmost satisfying
+    sub-bracket, shrinking it by a factor of [p + 1]; without a [pool] (or
+    on a one-domain pool) [p = 1] and this is classical bisection.  With a
+    [pool] the [p = Pool.size pool] probes of a round are evaluated in
+    parallel — same wall-clock per round, [log (p+1) / log 2] times the
+    precision.  The probe grid depends only on the bracket and [p], so the
+    result is deterministic for a fixed domain count.
+
+    Errors distinguish misuse from absence of a crossover:
+    - [Error (`Bad_bracket msg)] when [lo >= hi], a bound is non-finite,
+      or [iters < 1] — the search never ran;
+    - [Error `Above_hi] when even [f hi > threshold]: no crossover at or
+      below [hi].
+
+    On [Ok s], [s] is the upper end of the final bracket, so
+    [f s <= threshold] and the answer is bracketed to
+    [(hi - lo) / (p + 1) ^ iters]. *)

@@ -1,43 +1,100 @@
-let all () =
-  [
-    Round_robin.policy;
-    Srpt.policy;
-    Sjf.policy;
-    Setf.policy;
-    Fcfs.policy;
-    Laps.policy ~beta:0.5;
-    Wrr_age.policy ~k:2 ();
-    Quantum_rr.policy ();
-    Mlfq.policy ();
-  ]
+type spec =
+  | Rr
+  | Srpt
+  | Sjf
+  | Setf
+  | Fcfs
+  | Laps of float
+  | Wrr_age of int
+  | Quantum_rr of float
+  | Mlfq of float
 
-let find name =
-  match String.split_on_char ':' name with
-  | [ "rr" ] -> Some Round_robin.policy
-  | [ "srpt" ] -> Some Srpt.policy
-  | [ "sjf" ] -> Some Sjf.policy
-  | [ "setf" ] -> Some Setf.policy
-  | [ "fcfs" ] -> Some Fcfs.policy
-  | [ "laps" ] -> Some (Laps.policy ~beta:0.5)
-  | [ "laps"; b ] -> (
-      match float_of_string_opt b with
-      | Some beta when beta > 0. && beta <= 1. -> Some (Laps.policy ~beta)
-      | _ -> None)
-  | [ "quantum-rr" ] -> Some (Quantum_rr.policy ())
-  | [ "quantum-rr"; q ] -> (
-      match float_of_string_opt q with
-      | Some quantum when quantum > 0. -> Some (Quantum_rr.policy ~quantum ())
-      | _ -> None)
-  | [ "mlfq" ] -> Some (Mlfq.policy ())
-  | [ "mlfq"; q ] -> (
-      match float_of_string_opt q with
-      | Some base_quantum when base_quantum > 0. -> Some (Mlfq.policy ~base_quantum ())
-      | _ -> None)
-  | [ "wrr-age" ] -> Some (Wrr_age.policy ~k:2 ())
+let validate spec =
+  match spec with
+  | Rr | Srpt | Sjf | Setf | Fcfs -> Ok spec
+  | Laps beta ->
+      if beta > 0. && beta <= 1. then Ok spec
+      else Error (Printf.sprintf "laps needs beta in (0, 1], got %g" beta)
+  | Wrr_age k ->
+      if k >= 1 then Ok spec else Error (Printf.sprintf "wrr-age needs k >= 1, got %d" k)
+  | Quantum_rr q ->
+      if q > 0. then Ok spec
+      else Error (Printf.sprintf "quantum-rr needs a positive quantum, got %g" q)
+  | Mlfq q ->
+      if q > 0. then Ok spec
+      else Error (Printf.sprintf "mlfq needs a positive base quantum, got %g" q)
+
+let make spec =
+  (match validate spec with Ok _ -> () | Error msg -> invalid_arg ("Registry.make: " ^ msg));
+  match spec with
+  | Rr -> Round_robin.policy
+  | Srpt -> Srpt.policy
+  | Sjf -> Sjf.policy
+  | Setf -> Setf.policy
+  | Fcfs -> Fcfs.policy
+  | Laps beta -> Laps.policy ~beta
+  | Wrr_age k -> Wrr_age.policy ~k ()
+  | Quantum_rr quantum -> Quantum_rr.policy ~quantum ()
+  | Mlfq base_quantum -> Mlfq.policy ~base_quantum ()
+
+let spec_to_string = function
+  | Rr -> "rr"
+  | Srpt -> "srpt"
+  | Sjf -> "sjf"
+  | Setf -> "setf"
+  | Fcfs -> "fcfs"
+  | Laps beta -> Printf.sprintf "laps:%g" beta
+  | Wrr_age k -> Printf.sprintf "wrr-age:%d" k
+  | Quantum_rr q -> Printf.sprintf "quantum-rr:%g" q
+  | Mlfq q -> Printf.sprintf "mlfq:%g" q
+
+let names () =
+  [ "rr"; "srpt"; "sjf"; "setf"; "fcfs"; "laps[:beta]"; "wrr-age[:k]"; "quantum-rr[:q]"; "mlfq[:q]" ]
+
+let spec_of_string s =
+  let float_param ~form ~what ~check arg of_float =
+    match float_of_string_opt arg with
+    | Some v when check v -> Ok (of_float v)
+    | Some _ | None -> Error (Printf.sprintf "%s needs %s, got %S" form what arg)
+  in
+  match String.split_on_char ':' s with
+  | [ "rr" ] -> Ok Rr
+  | [ "srpt" ] -> Ok Srpt
+  | [ "sjf" ] -> Ok Sjf
+  | [ "setf" ] -> Ok Setf
+  | [ "fcfs" ] -> Ok Fcfs
+  | [ "laps" ] -> Ok (Laps 0.5)
+  | [ "laps"; b ] ->
+      float_param ~form:"laps:<beta>" ~what:"beta in (0, 1]"
+        ~check:(fun v -> v > 0. && v <= 1.)
+        b
+        (fun v -> Laps v)
+  | [ "wrr-age" ] -> Ok (Wrr_age 2)
   | [ "wrr-age"; k ] -> (
       match int_of_string_opt k with
-      | Some k when k >= 1 -> Some (Wrr_age.policy ~k ())
-      | _ -> None)
-  | _ -> None
+      | Some v when v >= 1 -> Ok (Wrr_age v)
+      | Some _ | None ->
+          Error (Printf.sprintf "wrr-age:<k> needs an integer k >= 1, got %S" k))
+  | [ "quantum-rr" ] -> Ok (Quantum_rr 1.)
+  | [ "quantum-rr"; q ] ->
+      float_param ~form:"quantum-rr:<q>" ~what:"a positive quantum"
+        ~check:(fun v -> v > 0.)
+        q
+        (fun v -> Quantum_rr v)
+  | [ "mlfq" ] -> Ok (Mlfq 0.5)
+  | [ "mlfq"; q ] ->
+      float_param ~form:"mlfq:<q>" ~what:"a positive base quantum"
+        ~check:(fun v -> v > 0.)
+        q
+        (fun v -> Mlfq v)
+  | _ ->
+      Error
+        (Printf.sprintf "unknown policy %S (expected one of: %s)" s
+           (String.concat ", " (names ())))
 
-let names () = [ "rr"; "srpt"; "sjf"; "setf"; "fcfs"; "laps[:beta]"; "wrr-age[:k]"; "quantum-rr[:q]"; "mlfq[:q]" ]
+let default_specs () =
+  [ Rr; Srpt; Sjf; Setf; Fcfs; Laps 0.5; Wrr_age 2; Quantum_rr 1.; Mlfq 0.5 ]
+
+let all () = List.map make (default_specs ())
+
+let find s = Result.to_option (Result.map make (spec_of_string s))

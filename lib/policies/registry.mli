@@ -1,17 +1,58 @@
-(** Name-indexed registry of the built-in policies, for the CLI and the
-    experiment harness. *)
+(** Typed registry of the built-in policies, for the CLI and the
+    experiment harness.
+
+    A {!spec} is the value-level description of a policy and its
+    parameters.  {!make} turns a spec into a fresh policy value — fresh
+    matters for stateful policies like quantum-RR, whose closure owns the
+    ready queue of one simulation run — and {!spec_of_string} parses the
+    CLI surface syntax with a structured error message on failure. *)
+
+type spec =
+  | Rr
+  | Srpt
+  | Sjf
+  | Setf
+  | Fcfs
+  | Laps of float  (** [Laps beta] with [beta] in (0, 1]. *)
+  | Wrr_age of int  (** [Wrr_age k] with [k >= 1]: age-weighted RR for the lk norm. *)
+  | Quantum_rr of float  (** [Quantum_rr q] with quantum [q > 0]. *)
+  | Mlfq of float  (** [Mlfq q] with base quantum [q > 0]. *)
+
+val validate : spec -> (spec, string) result
+(** [Ok spec] when the parameters are in range, [Error msg] otherwise
+    (e.g. [Laps 2.] or [Wrr_age 0]). *)
+
+val make : spec -> Rr_engine.Policy.t
+(** A fresh policy value for the spec.  Build one spec per concurrent
+    simulation when the policy is stateful.
+    @raise Invalid_argument on out-of-range parameters (see {!validate}). *)
+
+val spec_to_string : spec -> string
+(** The canonical surface syntax, e.g. ["laps:0.25"]; a fixed point of
+    {!spec_of_string}. *)
+
+val spec_of_string : string -> (spec, string) result
+(** Parse the surface syntax: a policy name, optionally followed by
+    [:parameter].  [Error msg] pinpoints what was wrong: unknown name,
+    malformed parameter, or parameter out of range — e.g.
+    ["laps:2.0" -> Error "laps:<beta> needs beta in (0, 1], got \"2.0\""].
+    Defaults match {!default_specs}: [laps -> Laps 0.5],
+    [wrr-age -> Wrr_age 2], [quantum-rr -> Quantum_rr 1.],
+    [mlfq -> Mlfq 0.5]. *)
+
+val default_specs : unit -> spec list
+(** Every built-in policy with its default parameters, in presentation
+    order. *)
 
 val all : unit -> Rr_engine.Policy.t list
-(** Every built-in policy with its default parameters:
-    rr, srpt, sjf, setf, fcfs, laps (beta = 0.5), wrr-age (k = 2),
-    quantum-rr (q = 1), mlfq (q = 0.5, f = 2). *)
+(** [List.map make (default_specs ())]: fresh policy values for every
+    built-in. *)
 
 val find : string -> Rr_engine.Policy.t option
-(** Look a policy up by name, e.g. ["rr"], ["srpt"], ["sjf"], ["setf"],
-    ["fcfs"], ["laps"], ["wrr-age"] or ["wrr-age:3"] (age-weighted RR for
-    the l3 norm), ["laps:0.25"] (explicit beta), ["quantum-rr:0.5"]
-    (time-sliced RR with an explicit quantum), ["mlfq:0.25"] (multi-level
-    feedback queue with an explicit base quantum). *)
+(** Deprecated compatibility wrapper:
+    [Result.to_option (Result.map make (spec_of_string s))], discarding
+    the structured error.  New code should call {!spec_of_string} and
+    {!make} directly. *)
 
 val names : unit -> string list
-(** Accepted names for {!find}, for help messages. *)
+(** Accepted surface forms for {!spec_of_string}, for help messages. *)

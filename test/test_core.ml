@@ -16,17 +16,32 @@ let two_jobs = Rr_workload.Instance.of_jobs [ (0., 1.); (0., 2.) ]
 
 let test_run_norm () =
   (* RR on sizes {1,2}: flows 2 and 3 -> l1 = 5, l2 = sqrt 13. *)
-  check_close "l1" 5. (Run.norm ~k:1 ~machines:1 rr two_jobs);
-  check_close "l2" (sqrt 13.) (Run.norm ~k:2 ~machines:1 rr two_jobs);
-  check_close "power sum" 13. (Run.power_sum ~k:2 ~machines:1 rr two_jobs)
+  check_close "l1" 5. (Run.norm (Run.config ~k:1 ()) rr two_jobs);
+  check_close "l2" (sqrt 13.) (Run.norm Run.default rr two_jobs);
+  check_close "power sum" 13. (Run.power_sum Run.default rr two_jobs)
 
 let test_run_flows_order () =
-  let flows = Run.flows ~machines:1 srpt two_jobs in
+  let flows = Run.flows Run.default srpt two_jobs in
   check_close "small job flow" 1. flows.(0);
   check_close "large job flow" 3. flows.(1)
 
 let test_run_speed () =
-  check_close "speed halves flows" 2.5 (Run.norm ~speed:2. ~k:1 ~machines:1 rr two_jobs)
+  check_close "speed halves flows" 2.5 (Run.norm (Run.config ~speed:2. ~k:1 ()) rr two_jobs)
+
+let test_run_config_defaults () =
+  (* Run.config () is Run.default, and overrides apply field-wise. *)
+  Alcotest.(check bool) "default" true (Run.config () = Run.default);
+  let cfg = Run.config ~machines:4 ~k:3 () in
+  Alcotest.(check int) "machines" 4 cfg.Run.machines;
+  Alcotest.(check int) "k" 3 cfg.Run.k;
+  check_close "speed" 1. cfg.Run.speed
+
+let test_run_measure () =
+  let r = Run.measure (Run.config ~k:1 ()) rr two_jobs in
+  check_close "norm" 5. r.Run.norm;
+  check_close "power sum" 5. r.Run.power_sum;
+  Alcotest.(check string) "policy name" "rr" r.Run.policy_name;
+  check_close "flow 0" 2. r.Run.flows.(0)
 
 (* ------------------------------------------------------------------ *)
 (* Ratio                                                               *)
@@ -34,18 +49,18 @@ let test_run_speed () =
 
 let test_ratio_vs_baseline () =
   (* RR l1 = 5 vs SRPT l1 = 4. *)
-  check_close "ratio" 1.25 (Ratio.vs_baseline ~k:1 ~machines:1 ~speed:1. rr two_jobs)
+  check_close "ratio" 1.25 (Ratio.vs_baseline (Run.config ~k:1 ()) rr two_jobs)
 
 let test_ratio_identity () =
-  check_close "policy vs itself" 1. (Ratio.vs_baseline ~baseline:rr ~k:2 ~machines:1 ~speed:1. rr two_jobs)
+  check_close "policy vs itself" 1. (Ratio.vs_baseline ~baseline:rr Run.default rr two_jobs)
 
 let test_ratio_vs_lp_at_least_implied () =
   (* The LP bound is a genuine lower bound on OPT, so the measured ratio
      against it must be at least the ratio against brute-force OPT. *)
   let inst = Rr_workload.Instance.of_jobs [ (0., 1.); (0., 3.); (1., 2.) ] in
-  let lp_ratio = Ratio.vs_lp_bound ~k:2 ~machines:1 ~delta:0.25 ~speed:1. rr inst in
+  let lp_ratio = Ratio.vs_lp_bound ~delta:0.25 Run.default rr inst in
   let brute = Rr_lp.Brute.optimal_power_sum ~k:2 ~machines:1 [ (0, 1); (0, 3); (1, 2) ] in
-  let true_ratio = Run.norm ~k:2 ~machines:1 rr inst /. sqrt brute in
+  let true_ratio = Run.norm Run.default rr inst /. sqrt brute in
   Alcotest.(check bool) "lp ratio dominates true ratio" true (lp_ratio >= true_ratio -. 1e-9)
 
 (* ------------------------------------------------------------------ *)
@@ -60,12 +75,31 @@ let test_speeds_grid () =
 
 let test_min_speed_for () =
   (* f(s) = 10 / s: threshold 2 crossed at s = 5. *)
-  (match Sweep.min_speed_for ~f:(fun s -> 10. /. s) ~threshold:2. ~lo:1. ~hi:8. ~iters:30 with
-  | Some s -> check_close ~tol:1e-6 "bisection" 5. s
-  | None -> Alcotest.fail "expected crossover");
-  match Sweep.min_speed_for ~f:(fun _ -> 100.) ~threshold:2. ~lo:1. ~hi:8. ~iters:5 with
-  | None -> ()
-  | Some _ -> Alcotest.fail "expected None when unreachable"
+  (match Sweep.min_speed_for ~f:(fun s -> 10. /. s) ~threshold:2. ~lo:1. ~hi:8. ~iters:30 () with
+  | Ok s -> check_close ~tol:1e-6 "bisection" 5. s
+  | Error _ -> Alcotest.fail "expected crossover");
+  match Sweep.min_speed_for ~f:(fun _ -> 100.) ~threshold:2. ~lo:1. ~hi:8. ~iters:5 () with
+  | Error `Above_hi -> ()
+  | Ok _ | Error (`Bad_bracket _) -> Alcotest.fail "expected Above_hi when unreachable"
+
+let test_min_speed_for_bad_bracket () =
+  (* Misuse is distinguished from a missing crossover. *)
+  (match Sweep.min_speed_for ~f:(fun _ -> 0.) ~threshold:2. ~lo:8. ~hi:1. ~iters:5 () with
+  | Error (`Bad_bracket _) -> ()
+  | Ok _ | Error `Above_hi -> Alcotest.fail "expected Bad_bracket for lo >= hi");
+  match Sweep.min_speed_for ~f:(fun _ -> 0.) ~threshold:2. ~lo:1. ~hi:8. ~iters:0 () with
+  | Error (`Bad_bracket _) -> ()
+  | Ok _ | Error `Above_hi -> Alcotest.fail "expected Bad_bracket for iters < 1"
+
+let test_min_speed_for_parallel_brackets () =
+  (* A multi-domain pool narrows by (p+1)^iters instead of 2^iters, but
+     converges to the same crossover. *)
+  Temporal_fairness.Pool.with_pool ~domains:3 (fun pool ->
+      match
+        Sweep.min_speed_for ~pool ~f:(fun s -> 10. /. s) ~threshold:2. ~lo:1. ~hi:8. ~iters:15 ()
+      with
+      | Ok s -> check_close ~tol:1e-6 "parallel brackets" 5. s
+      | Error _ -> Alcotest.fail "expected crossover")
 
 (* ------------------------------------------------------------------ *)
 (* Experiment suite at Quick scale                                     *)
@@ -105,7 +139,7 @@ let test_theorem_shape_l2 () =
       ~sizes:(Rr_workload.Distribution.Exponential { mean = 1. })
       ~load:0.9 ~machines:1 ~n:30 ()
   in
-  let ratio = Ratio.vs_lp_bound ~k:2 ~machines:1 ~delta:0.25 ~speed:8. rr inst in
+  let ratio = Ratio.vs_lp_bound ~delta:0.25 (Run.config ~speed:8. ()) rr inst in
   Alcotest.(check bool) "bounded" true (Float.is_finite ratio && ratio < 4.)
 
 let test_rr_beats_srpt_on_l2_sometimes () =
@@ -114,7 +148,7 @@ let test_rr_beats_srpt_on_l2_sometimes () =
      the check here is the reverse-direction sanity that ratios are finite
      and positive across policies. *)
   let inst = Rr_workload.Instance.of_jobs (List.init 6 (fun _ -> (0., 1.))) in
-  let r = Ratio.vs_baseline ~k:2 ~machines:1 ~speed:1. rr inst in
+  let r = Ratio.vs_baseline Run.default rr inst in
   Alcotest.(check bool) "finite positive" true (Float.is_finite r && r > 0.)
 
 let () =
@@ -125,6 +159,8 @@ let () =
           Alcotest.test_case "norms" `Quick test_run_norm;
           Alcotest.test_case "flows order" `Quick test_run_flows_order;
           Alcotest.test_case "speed" `Quick test_run_speed;
+          Alcotest.test_case "config defaults" `Quick test_run_config_defaults;
+          Alcotest.test_case "measure" `Quick test_run_measure;
         ] );
       ( "ratio",
         [
@@ -136,6 +172,8 @@ let () =
         [
           Alcotest.test_case "grid" `Quick test_speeds_grid;
           Alcotest.test_case "bisection" `Quick test_min_speed_for;
+          Alcotest.test_case "bad bracket" `Quick test_min_speed_for_bad_bracket;
+          Alcotest.test_case "parallel brackets" `Quick test_min_speed_for_parallel_brackets;
         ] );
       ( "experiments",
         [

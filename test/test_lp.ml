@@ -190,7 +190,9 @@ let prop_srpt_upper_bounds_opt =
       let inst = inst_of_ints jobs in
       let opt = Brute.optimal_power_sum ~k ~machines jobs in
       let srpt =
-        Temporal_fairness.Run.power_sum ~k ~machines Rr_policies.Srpt.policy inst
+        Temporal_fairness.Run.power_sum
+          (Temporal_fairness.Run.config ~machines ~k ())
+          Rr_policies.Srpt.policy inst
       in
       opt <= srpt +. 1e-6)
 

@@ -399,6 +399,64 @@ let test_registry_find () =
       | Some _ -> Alcotest.failf "registry should reject %s" name)
     [ "nope"; "laps:2.0"; "laps:x"; "wrr-age:0"; "quantum-rr:0" ]
 
+let test_registry_spec_of_string () =
+  let module R = Rr_policies.Registry in
+  List.iter
+    (fun (name, expected) ->
+      match R.spec_of_string name with
+      | Ok spec when spec = expected -> ()
+      | Ok spec -> Alcotest.failf "%s parsed to %s" name (R.spec_to_string spec)
+      | Error e -> Alcotest.failf "%s rejected: %s" name e)
+    [
+      ("rr", R.Rr); ("srpt", R.Srpt); ("sjf", R.Sjf); ("setf", R.Setf); ("fcfs", R.Fcfs);
+      ("laps", R.Laps 0.5); ("laps:0.25", R.Laps 0.25);
+      ("wrr-age", R.Wrr_age 2); ("wrr-age:3", R.Wrr_age 3);
+      ("quantum-rr", R.Quantum_rr 1.); ("quantum-rr:0.5", R.Quantum_rr 0.5);
+      ("mlfq", R.Mlfq 0.5); ("mlfq:2.0", R.Mlfq 2.0);
+    ]
+
+let test_registry_spec_errors () =
+  let module R = Rr_policies.Registry in
+  List.iter
+    (fun name ->
+      match R.spec_of_string name with
+      | Error msg -> Alcotest.(check bool) (name ^ " has message") true (String.length msg > 0)
+      | Ok spec -> Alcotest.failf "%s should be rejected, parsed to %s" name (R.spec_to_string spec))
+    [ "nope"; "laps:2.0"; "laps:x"; "wrr-age:0"; "quantum-rr:0"; "mlfq:0"; "rr:1" ];
+  (* the unknown-policy error enumerates the valid names *)
+  let contains ~sub s =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  match R.spec_of_string "nope" with
+  | Error msg ->
+      List.iter
+        (fun n -> Alcotest.(check bool) ("error mentions " ^ n) true (contains ~sub:n msg))
+        (R.names ())
+  | Ok _ -> Alcotest.fail "nope should be rejected"
+
+let test_registry_spec_round_trip () =
+  let module R = Rr_policies.Registry in
+  List.iter
+    (fun spec ->
+      match R.spec_of_string (R.spec_to_string spec) with
+      | Ok spec' when spec' = spec -> ()
+      | Ok spec' ->
+          Alcotest.failf "%s round-tripped to %s" (R.spec_to_string spec) (R.spec_to_string spec')
+      | Error e -> Alcotest.failf "%s rejected on round trip: %s" (R.spec_to_string spec) e)
+    (R.default_specs ())
+
+let test_registry_make_fresh () =
+  (* make returns a fresh closure each time: two quantum-rr policies must not
+     share scheduling state. *)
+  let module R = Rr_policies.Registry in
+  let p1 = R.make (R.Quantum_rr 1.) and p2 = R.make (R.Quantum_rr 1.) in
+  Alcotest.(check bool) "distinct closures" false (p1 == p2);
+  match R.make (R.Laps 7.) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "make should reject invalid params"
+
 let test_registry_all_run () =
   let jobs = List.init 8 (fun id -> job ~id ~arrival:(Float.of_int id *. 0.5) ~size:1.) in
   List.iter
@@ -475,6 +533,10 @@ let () =
       ( "registry",
         [
           Alcotest.test_case "find" `Quick test_registry_find;
+          Alcotest.test_case "spec of string" `Quick test_registry_spec_of_string;
+          Alcotest.test_case "spec errors" `Quick test_registry_spec_errors;
+          Alcotest.test_case "spec round trip" `Quick test_registry_spec_round_trip;
+          Alcotest.test_case "make fresh" `Quick test_registry_make_fresh;
           Alcotest.test_case "all run" `Quick test_registry_all_run;
         ] );
       ("properties", qsuite);

@@ -1,0 +1,189 @@
+(* Tests for the work-stealing domain pool (Rr_core.Pool) and the batch
+   executor built on it.  The load-bearing property is determinism: the
+   parallel schedule may interleave arbitrarily, but the *results* must be
+   bit-identical to a sequential run, in task-index order. *)
+
+open Temporal_fairness
+
+let squares = List.init 100 (fun i -> i)
+
+(* ------------------------------------------------------------------ *)
+(* Pool.map semantics                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_one_domain_is_list_map () =
+  Pool.with_pool ~domains:1 (fun pool ->
+      let f x = (x * x) + 1 in
+      Alcotest.(check (list int)) "1 domain = List.map" (List.map f squares)
+        (Pool.map pool f squares))
+
+let test_map_many_domains_is_list_map () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let f x = (x * 7) mod 13 in
+      Alcotest.(check (list int)) "4 domains = List.map" (List.map f squares)
+        (Pool.map pool f squares);
+      (* repeated batches on the same pool stay correct *)
+      for _ = 1 to 5 do
+        Alcotest.(check (list int)) "repeat" (List.map f squares) (Pool.map pool f squares)
+      done)
+
+let test_map_edge_sizes () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      Alcotest.(check (list int)) "empty" [] (Pool.map pool (fun x -> x) []);
+      Alcotest.(check (list int)) "singleton" [ 42 ] (Pool.map pool (fun x -> x + 1) [ 41 ]);
+      (* fewer tasks than domains *)
+      Alcotest.(check (list int)) "2 tasks on 4 domains" [ 1; 2 ]
+        (Pool.map pool (fun x -> x + 1) [ 0; 1 ]))
+
+let test_map_reduce () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      let total =
+        Pool.map_reduce pool ~map:(fun x -> x * x) ~reduce:( + ) ~init:0 squares
+      in
+      Alcotest.(check int) "sum of squares"
+        (List.fold_left (fun acc x -> acc + (x * x)) 0 squares)
+        total;
+      (* the fold is sequential over task-index order, so non-commutative
+         reductions are well defined *)
+      let concat =
+        Pool.map_reduce pool ~map:string_of_int
+          ~reduce:(fun acc s -> acc ^ "," ^ s)
+          ~init:"" [ 1; 2; 3; 4; 5 ]
+      in
+      Alcotest.(check string) "ordered fold" ",1,2,3,4,5" concat)
+
+(* ------------------------------------------------------------------ *)
+(* Exception propagation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_worker_exception_carries_index () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      (match
+         Pool.map pool
+           (fun i -> if i = 37 then failwith "boom" else i)
+           (List.init 100 (fun i -> i))
+       with
+      | exception Pool.Task_error (37, Failure msg) when msg = "boom" -> ()
+      | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+      | _ -> Alcotest.fail "expected Task_error");
+      (* when several tasks fail, the lowest index wins deterministically *)
+      match
+        Pool.map pool
+          (fun i -> if i mod 10 = 3 then failwith "multi" else i)
+          (List.init 100 (fun i -> i))
+      with
+      | exception Pool.Task_error (3, Failure msg) when msg = "multi" -> ()
+      | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+      | _ -> Alcotest.fail "expected Task_error")
+
+let test_pool_survives_failure () =
+  (* a failed batch must not poison the pool for subsequent batches *)
+  Pool.with_pool ~domains:2 (fun pool ->
+      (try ignore (Pool.map pool (fun _ -> failwith "x") [ 1; 2; 3 ]) with Pool.Task_error _ -> ());
+      Alcotest.(check (list int)) "pool still works" [ 2; 4; 6 ]
+        (Pool.map pool (fun x -> 2 * x) [ 1; 2; 3 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_shutdown_idempotent_and_rejects_use () =
+  let pool = Pool.create ~domains:2 in
+  Alcotest.(check int) "size" 2 (Pool.size pool);
+  Alcotest.(check (list int)) "works" [ 1 ] (Pool.map pool (fun x -> x) [ 1 ]);
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  match Pool.map pool (fun x -> x) [ 1 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection after shutdown"
+
+let test_create_validation () =
+  match Pool.create ~domains:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of domains = 0"
+
+(* ------------------------------------------------------------------ *)
+(* Determinism of Run.batch                                            *)
+(* ------------------------------------------------------------------ *)
+
+let batch_tasks =
+  (* 200 (policy, instance) tasks: rr/srpt/fcfs over seeded random
+     workloads, mixing sizes so task costs are uneven. *)
+  let policies =
+    [| Rr_policies.Round_robin.policy; Rr_policies.Srpt.policy; Rr_policies.Fcfs.policy |]
+  in
+  List.init 200 (fun i ->
+      let rng = Rr_util.Prng.create ~seed:(1000 + i) in
+      let inst =
+        Rr_workload.Instance.generate_load ~rng
+          ~sizes:(Rr_workload.Distribution.Exponential { mean = 1. })
+          ~load:0.85 ~machines:1
+          ~n:(20 + (i mod 7 * 10))
+          ()
+      in
+      (policies.(i mod 3), inst))
+
+let test_batch_parallel_equals_sequential () =
+  let cfg = Run.config ~speed:2. () in
+  let seq = List.map (fun (p, i) -> Run.measure cfg p i) batch_tasks in
+  Pool.with_pool ~domains:4 (fun pool ->
+      let par = Run.batch pool cfg batch_tasks in
+      Alcotest.(check int) "same length" (List.length seq) (List.length par);
+      List.iteri
+        (fun i ((a : Run.result), (b : Run.result)) ->
+          Alcotest.(check string) (Printf.sprintf "task %d policy" i) a.policy_name b.policy_name;
+          Alcotest.(check bool)
+            (Printf.sprintf "task %d flows bit-identical" i)
+            true (a.flows = b.flows);
+          Alcotest.(check bool)
+            (Printf.sprintf "task %d norm bit-identical" i)
+            true
+            (Int64.equal (Int64.bits_of_float a.norm) (Int64.bits_of_float b.norm));
+          Alcotest.(check bool)
+            (Printf.sprintf "task %d power sum bit-identical" i)
+            true
+            (Int64.equal (Int64.bits_of_float a.power_sum) (Int64.bits_of_float b.power_sum));
+          Alcotest.(check int) (Printf.sprintf "task %d events" i) a.events b.events)
+        (List.combine seq par))
+
+let test_batch_domain_count_invariance () =
+  (* results must not depend on the number of domains *)
+  let cfg = Run.default in
+  let tasks = List.filteri (fun i _ -> i < 30) batch_tasks in
+  let on n = Pool.with_pool ~domains:n (fun pool -> Run.batch pool cfg tasks) in
+  let r1 = on 1 and r2 = on 2 and r4 = on 4 in
+  List.iter
+    (fun (a, b) ->
+      List.iter2
+        (fun (x : Run.result) (y : Run.result) ->
+          Alcotest.(check bool) "invariant" true
+            (x.flows = y.flows && x.norm = y.norm && x.power_sum = y.power_sum))
+        a b)
+    [ (r1, r2); (r1, r4) ]
+
+let () =
+  Alcotest.run "rr_pool"
+    [
+      ( "map",
+        [
+          Alcotest.test_case "1 domain = List.map" `Quick test_map_one_domain_is_list_map;
+          Alcotest.test_case "4 domains = List.map" `Quick test_map_many_domains_is_list_map;
+          Alcotest.test_case "edge sizes" `Quick test_map_edge_sizes;
+          Alcotest.test_case "map_reduce" `Quick test_map_reduce;
+        ] );
+      ( "exceptions",
+        [
+          Alcotest.test_case "task index" `Quick test_worker_exception_carries_index;
+          Alcotest.test_case "pool survives" `Quick test_pool_survives_failure;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "shutdown" `Quick test_shutdown_idempotent_and_rejects_use;
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+        ] );
+      ( "batch determinism",
+        [
+          Alcotest.test_case "4 domains = sequential" `Quick test_batch_parallel_equals_sequential;
+          Alcotest.test_case "domain count invariance" `Quick test_batch_domain_count_invariance;
+        ] );
+    ]

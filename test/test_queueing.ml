@@ -107,7 +107,7 @@ let simulated_mean policy sizes ~lambda ~n ~seeds =
         ~arrivals:(Rr_workload.Arrivals.Poisson { rate = lambda })
         ~sizes ~n ()
     in
-    let flows = Temporal_fairness.Run.flows ~machines:1 policy inst in
+    let flows = Temporal_fairness.Run.flows Temporal_fairness.Run.default policy inst in
     (* middle 80% to reduce warm-up/drain bias *)
     let lo = n / 10 and hi = n - (n / 10) in
     let acc = Rr_util.Kahan.create () in
