@@ -1,8 +1,15 @@
 (* Benchmark harness: regenerates every table and figure of the evaluation
    suite (see DESIGN.md section 3 and EXPERIMENTS.md) on a domain pool,
    then runs the B1 micro-benchmarks measuring the throughput of the
-   substrates and the B2 parallel-executor benchmark comparing a
-   sequential sweep against Run.batch on the pool.
+   substrates, the B2 parallel-executor benchmark comparing a sequential
+   sweep against Run.batch on the pool, and the B3 simulation-core
+   benchmark comparing the general event loop against the closed-form
+   equal-share engine and a cold sweep against a cached one.
+
+   Machine-readable results land in BENCH_simcore.json next to the text
+   report.  The process exits non-zero when B3's differential check — the
+   two engines must agree on every flow time — fails, so CI can gate on
+   it.
 
    Usage: dune exec bench/main.exe [-- --quick] [-- --jobs N]
    (RR_JOBS is honoured when --jobs is absent; default: all cores.)  *)
@@ -10,10 +17,16 @@
 open Rr_util
 module Pool = Temporal_fairness.Pool
 module Run = Temporal_fairness.Run
+module Cache = Temporal_fairness.Cache
+module Sweep = Temporal_fairness.Sweep
+module Ratio = Temporal_fairness.Ratio
+module Simulator = Rr_engine.Simulator
 
 let scale =
   if Array.exists (String.equal "--quick") Sys.argv then Temporal_fairness.Experiments.Quick
   else Temporal_fairness.Experiments.Full
+
+let quick = match scale with Temporal_fairness.Experiments.Quick -> true | Full -> false
 
 let domains =
   let from_argv =
@@ -81,6 +94,7 @@ let tests =
              ignore (Rr_dualfit.Certificate.certify ~k:2 res)));
     ]
 
+(* Returns (name, ns/run) rows for the JSON report. *)
 let run_microbench () =
   let open Bechamel in
   let ols =
@@ -92,34 +106,59 @@ let run_microbench () =
   in
   let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let ns =
+          match Analyze.OLS.estimates ols_result with Some (t :: _) -> Some t | _ -> None
+        in
+        (name, ns) :: acc)
+      results []
+    (* Hashtbl.fold order is unspecified; sort so the table (and the JSON)
+       is stable run to run. *)
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
   let table =
     Table.create ~title:"B1: substrate micro-benchmarks" ~columns:[ "benchmark"; "time/run" ]
   in
-  Hashtbl.iter
-    (fun name ols_result ->
+  List.iter
+    (fun (name, ns) ->
       let cell =
-        match Analyze.OLS.estimates ols_result with
-        | Some (t :: _) ->
+        match ns with
+        | Some t ->
             if t >= 1e9 then Printf.sprintf "%.3f s" (t /. 1e9)
             else if t >= 1e6 then Printf.sprintf "%.3f ms" (t /. 1e6)
             else Printf.sprintf "%.1f us" (t /. 1e3)
-        | _ -> "n/a"
+        | None -> "n/a"
       in
       Table.add_row table [ name; cell ])
-    results;
-  Table.print table
+    rows;
+  Table.print table;
+  rows
 
 (* ------------------------------------------------------------------ *)
 (* B2: parallel experiment executor                                    *)
 (* ------------------------------------------------------------------ *)
 
+type b2_report = {
+  b2_tasks : int;
+  b2_domains : int;
+  b2_seq_s : float;
+  b2_par_s : float;
+  b2_identical : bool;
+}
+
 (* A speed-sweep-shaped workload — many independent (policy, instance)
    simulate-and-measure tasks — run once sequentially and once through
    Run.batch on the pool.  The comparison both measures the wall-clock
    speedup and machine-checks the determinism guarantee: the parallel
-   results must be bit-identical to the sequential ones. *)
+   results must be bit-identical to the sequential ones.  Caching and the
+   equal-share fast path are both off: the sequential pass would otherwise
+   hand the parallel pass its results for free, and the point here is the
+   pool's scaling on the general event loop (B3 measures the fast
+   engine). *)
 let run_parallel_bench pool =
-  let n = match scale with Temporal_fairness.Experiments.Quick -> 400 | Full -> 1200 in
+  let n = if quick then 400 else 1200 in
   let n_insts = 24 in
   let policies =
     [ Rr_policies.Round_robin.policy; Rr_policies.Srpt.policy; Rr_policies.Fcfs.policy ]
@@ -132,7 +171,7 @@ let run_parallel_bench pool =
           ~load:0.9 ~machines:1 ~n ())
   in
   let tasks = List.concat_map (fun inst -> List.map (fun p -> (p, inst)) policies) insts in
-  let cfg = Run.config ~speed:2. () in
+  let cfg = Run.config ~speed:2. ~cache:false ~fast_path:false () in
   let time f =
     let t0 = Unix.gettimeofday () in
     let r = f () in
@@ -152,10 +191,191 @@ let run_parallel_bench pool =
     \    sequential %.3f s | parallel %.3f s | speedup %.2fx | bit-identical: %s\n%!"
     (List.length tasks) (Pool.size pool) t_seq t_par
     (t_seq /. Float.max 1e-9 t_par)
-    (if identical then "yes" else "NO")
+    (if identical then "yes" else "NO");
+  {
+    b2_tasks = List.length tasks;
+    b2_domains = Pool.size pool;
+    b2_seq_s = t_seq;
+    b2_par_s = t_par;
+    b2_identical = identical;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* B3: simulation core — fast path and result cache                    *)
+(* ------------------------------------------------------------------ *)
+
+type b3_report = {
+  sim_general_ns : float;
+  sim_fast_ns : float;
+  sim_max_rel_diff : float;
+  sim_rtol : float;
+  sim_agree : bool;
+  sweep_probes : int;
+  sweep_cold_s : float;
+  sweep_opt_s : float;
+  sweep_hits : int;
+  sweep_misses : int;
+  sweep_same_answer : bool;
+}
+
+(* The two engines must produce the same flow times up to rounding.  The
+   tolerance is deliberately tight: the engines compute identical
+   event-by-event trajectories in different arithmetic orders, so anything
+   beyond accumulated rounding is a real divergence. *)
+let diff_rtol = 1e-9
+
+let time_per_run reps f =
+  for _ = 1 to 3 do
+    f ()
+  done;
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    f ()
+  done;
+  (Unix.gettimeofday () -. t0) *. 1e9 /. Float.of_int reps
+
+let run_simcore_bench () =
+  let jobs = Rr_workload.Instance.jobs bench_instance in
+  (* Speed 1.0 is the regime the fast path exists for: heavy traffic, large
+     alive sets, many events.  (At speed 2 the system drains and both
+     engines are cheap.) *)
+  let general () = Simulator.run ~machines:1 ~policy:Rr_policies.Round_robin.policy jobs in
+  let fast () = Simulator.run_equal_share ~machines:1 jobs in
+  let fg = Simulator.flows (general ()) and ff = Simulator.flows (fast ()) in
+  let max_rel = ref 0. in
+  Array.iteri
+    (fun i g -> max_rel := Float.max !max_rel (Float.abs (g -. ff.(i)) /. Float.abs g))
+    fg;
+  let agree = Array.length fg = Array.length ff && !max_rel <= diff_rtol in
+  let reps = if quick then 30 else 200 in
+  let general_ns = time_per_run reps (fun () -> ignore (general ())) in
+  let fast_ns = time_per_run reps (fun () -> ignore (fast ())) in
+  Printf.printf
+    "B3: rr-simulate-n1000 (speed 1.0): general %.3f ms | equal-share %.3f ms | speedup \
+     %.1fx\n\
+    \    differential: max relative flow diff %.2e (rtol %.0e) -> %s\n%!"
+    (general_ns /. 1e6) (fast_ns /. 1e6)
+    (general_ns /. Float.max 1. fast_ns)
+    !max_rel diff_rtol
+    (if agree then "agree" else "DISAGREE");
+  (* A 20-probe crossover search, the workload the cache exists for: every
+     probe re-measures the SRPT baseline (identical across probes) and the
+     optimized config additionally runs RR on the equal-share engine.  Both
+     searches start from a cold cache. *)
+  let iters = 20 in
+  let search cfg =
+    Sweep.min_speed_for
+      ~f:(fun speed -> Ratio.vs_baseline { cfg with Run.speed } Rr_policies.Round_robin.policy bench_instance)
+      ~threshold:1.5 ~lo:1. ~hi:8. ~iters ()
+  in
+  let timed cfg =
+    Cache.clear ();
+    let t0 = Unix.gettimeofday () in
+    let r = search cfg in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let r_cold, t_cold = timed (Run.config ~fast_path:false ~cache:false ()) in
+  let r_opt, t_opt = timed (Run.config ()) in
+  let st = Cache.stats () in
+  let same_answer =
+    match (r_cold, r_opt) with
+    | Ok a, Ok b -> Float.abs (a -. b) <= 1e-6 *. Float.max 1. (Float.abs a)
+    | Error _, Error _ -> true
+    | _ -> false
+  in
+  let hit_rate =
+    let total = st.hits + st.misses in
+    if total = 0 then 0. else Float.of_int st.hits /. Float.of_int total
+  in
+  Printf.printf
+    "B3: min_speed_for, %d probes: general+uncached %.3f s | equal-share+cached %.3f s | \
+     speedup %.1fx\n\
+    \    cache: %d hits / %d misses (hit rate %.0f%%) | same crossover: %s\n%!"
+    iters t_cold t_opt
+    (t_cold /. Float.max 1e-9 t_opt)
+    st.hits st.misses (100. *. hit_rate)
+    (if same_answer then "yes" else "NO");
+  {
+    sim_general_ns = general_ns;
+    sim_fast_ns = fast_ns;
+    sim_max_rel_diff = !max_rel;
+    sim_rtol = diff_rtol;
+    sim_agree = agree;
+    sweep_probes = iters;
+    sweep_cold_s = t_cold;
+    sweep_opt_s = t_opt;
+    sweep_hits = st.hits;
+    sweep_misses = st.misses;
+    sweep_same_answer = same_answer;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable report                                             *)
+(* ------------------------------------------------------------------ *)
+
+let json_file = "BENCH_simcore.json"
+
+let write_json b1 (b2 : b2_report) (b3 : b3_report) =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"schema\": \"bench_simcore/v1\",\n";
+  add "  \"scale\": %S,\n" (if quick then "quick" else "full");
+  add "  \"b1\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      add "    {\"name\": %S, \"ns_per_run\": %s}%s\n" name
+        (match ns with Some t -> Printf.sprintf "%.1f" t | None -> "null")
+        (if i = List.length b1 - 1 then "" else ","))
+    b1;
+  add "  ],\n";
+  add
+    "  \"b2\": {\"tasks\": %d, \"domains\": %d, \"sequential_s\": %.6f, \"parallel_s\": \
+     %.6f, \"speedup\": %.3f, \"bit_identical\": %b},\n"
+    b2.b2_tasks b2.b2_domains b2.b2_seq_s b2.b2_par_s
+    (b2.b2_seq_s /. Float.max 1e-9 b2.b2_par_s)
+    b2.b2_identical;
+  add "  \"b3\": {\n";
+  add
+    "    \"simulate\": {\"name\": \"rr-simulate-n1000\", \"speed\": 1.0, \"general_ns\": \
+     %.1f, \"equal_share_ns\": %.1f, \"speedup\": %.3f, \"max_rel_flow_diff\": %.3e, \
+     \"rtol\": %.0e, \"agree\": %b},\n"
+    b3.sim_general_ns b3.sim_fast_ns
+    (b3.sim_general_ns /. Float.max 1. b3.sim_fast_ns)
+    b3.sim_max_rel_diff b3.sim_rtol b3.sim_agree;
+  add
+    "    \"sweep\": {\"probes\": %d, \"cold_s\": %.6f, \"optimized_s\": %.6f, \"speedup\": \
+     %.3f, \"cache_hits\": %d, \"cache_misses\": %d, \"cache_hit_rate\": %.4f, \
+     \"same_crossover\": %b}\n"
+    b3.sweep_probes b3.sweep_cold_s b3.sweep_opt_s
+    (b3.sweep_cold_s /. Float.max 1e-9 b3.sweep_opt_s)
+    b3.sweep_hits b3.sweep_misses
+    (let total = b3.sweep_hits + b3.sweep_misses in
+     if total = 0 then 0. else Float.of_int b3.sweep_hits /. Float.of_int total)
+    b3.sweep_same_answer;
+  add "  }\n";
+  add "}\n";
+  let oc = open_out json_file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "(wrote %s)\n%!" json_file
 
 let () =
-  Pool.with_pool ~domains (fun pool ->
-      run_experiments pool;
-      run_microbench ();
-      run_parallel_bench pool)
+  let b2, b1 =
+    Pool.with_pool ~domains (fun pool ->
+        run_experiments pool;
+        let b1 = run_microbench () in
+        (run_parallel_bench pool, b1))
+  in
+  let b3 = run_simcore_bench () in
+  write_json b1 b2 b3;
+  if not (b3.sim_agree && b3.sweep_same_answer) then begin
+    prerr_endline
+      "B3 FAILED: the equal-share engine disagrees with the general engine; see \
+       BENCH_simcore.json";
+    exit 1
+  end;
+  if not b2.b2_identical then begin
+    prerr_endline "B2 FAILED: parallel batch results differ from sequential";
+    exit 1
+  end

@@ -64,6 +64,23 @@ let with_jobs jobs f =
   let domains = if jobs = 0 then Pool.recommended_domains () else jobs in
   Pool.with_pool ~domains f
 
+let no_fast_path_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "no-fast-path" ]
+        ~doc:
+          "Always run the general event loop, even for round robin (by default RR dispatches \
+           to the closed-form equal-share engine, which agrees to ~1e-12 relative flow \
+           time).")
+
+let no_cache_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "no-cache" ]
+        ~doc:"Do not memoise simulation measurements in the process-wide result cache.")
+
 let dist_conv =
   let parse s =
     match String.split_on_char ':' s with
@@ -151,9 +168,13 @@ let generate_cmd =
 (* ------------------------------------------------------------------ *)
 
 let simulate_cmd =
-  let run policy machines speed k file seed sizes load n =
+  let run policy machines speed k file seed sizes load n no_fast_path =
     let inst = load_instance ~file ~seed ~sizes ~load ~machines ~n in
-    let res = Run.simulate (Run.config ~machines ~speed ~k ~record_trace:true ()) policy inst in
+    let res =
+      Run.simulate
+        (Run.config ~machines ~speed ~k ~record_trace:true ~fast_path:(not no_fast_path) ())
+        policy inst
+    in
     let flows = Rr_engine.Simulator.flows res in
     let stats = Rr_metrics.Flow_stats.of_flows flows in
     Format.printf "%a@." Rr_workload.Instance.pp inst;
@@ -168,21 +189,23 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run one policy on an instance and print its flow-time statistics.")
     Term.(
       const run $ policy_arg $ machines_arg $ speed_arg $ k_arg $ file_arg $ seed_arg $ sizes_arg
-      $ load_arg $ n_arg)
+      $ load_arg $ n_arg $ no_fast_path_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let compare_cmd =
-  let run machines speed file seed sizes load n jobs =
+  let run machines speed file seed sizes load n jobs no_fast_path =
     let inst = load_instance ~file ~seed ~sizes ~load ~machines ~n in
     let table =
       Rr_util.Table.create
         ~title:(Printf.sprintf "policies at speed %g, m = %d" speed machines)
         ~columns:[ "policy"; "mean"; "max"; "l1"; "l2"; "jain" ]
     in
-    let cfg = Run.config ~machines ~speed ~record_trace:true () in
+    let cfg =
+      Run.config ~machines ~speed ~record_trace:true ~fast_path:(not no_fast_path) ()
+    in
     let rows =
       with_jobs jobs (fun pool ->
           Pool.map pool
@@ -207,7 +230,7 @@ let compare_cmd =
     (Cmd.info "compare" ~doc:"Run every built-in policy on one instance and tabulate the outcomes.")
     Term.(
       const run $ machines_arg $ speed_arg $ file_arg $ seed_arg $ sizes_arg $ load_arg $ n_arg
-      $ jobs_arg)
+      $ jobs_arg $ no_fast_path_arg)
 
 (* ------------------------------------------------------------------ *)
 (* certify                                                             *)
@@ -261,11 +284,11 @@ let lowerbound_cmd =
 (* ------------------------------------------------------------------ *)
 
 let crossover_cmd =
-  let run machines k theta lo hi iters file seed sizes load n jobs =
+  let run machines k theta lo hi iters file seed sizes load n jobs no_fast_path no_cache =
     let inst = load_instance ~file ~seed ~sizes ~load ~machines ~n in
     let f speed =
       Temporal_fairness.Ratio.vs_baseline
-        (Run.config ~machines ~k ~speed ())
+        (Run.config ~machines ~k ~speed ~fast_path:(not no_fast_path) ~cache:(not no_cache) ())
         Rr_policies.Round_robin.policy inst
     in
     let result =
@@ -297,7 +320,7 @@ let crossover_cmd =
           (probes within a round run on the --jobs pool).")
     Term.(
       const run $ machines_arg $ k_arg $ theta_arg $ lo_arg $ hi_arg $ iters_arg $ file_arg
-      $ seed_arg $ sizes_arg $ load_arg $ n_arg $ jobs_arg)
+      $ seed_arg $ sizes_arg $ load_arg $ n_arg $ jobs_arg $ no_fast_path_arg $ no_cache_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gantt                                                               *)
@@ -349,16 +372,36 @@ let () =
     Cmd.info "rr_cli" ~version:"1.0.0"
       ~doc:"Round Robin temporal fairness: simulation, LP bounds and dual-fitting certificates."
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            generate_cmd;
-            simulate_cmd;
-            compare_cmd;
-            certify_cmd;
-            lowerbound_cmd;
-            crossover_cmd;
-            gantt_cmd;
-            experiments_cmd;
-          ]))
+  let group =
+    Cmd.group info
+      [
+        generate_cmd;
+        simulate_cmd;
+        compare_cmd;
+        certify_cmd;
+        lowerbound_cmd;
+        crossover_cmd;
+        gantt_cmd;
+        experiments_cmd;
+      ]
+  in
+  (* Distinguish the two simulator failure modes from generic crashes:
+     an exhausted event budget (exit 3) usually means a degenerate
+     instance or a livelocked policy, an invalid allocation (exit 4) a
+     broken policy implementation. *)
+  let code =
+    try Cmd.eval ~catch:false group with
+    | Rr_engine.Simulator.Event_limit_exceeded { limit; now } ->
+        Printf.eprintf
+          "rr_cli: event budget exhausted: %d events processed by t = %g; the instance may \
+           be degenerate or the policy livelocked\n"
+          limit now;
+        3
+    | Rr_engine.Simulator.Invalid_allocation msg ->
+        Printf.eprintf "rr_cli: policy produced an invalid allocation: %s\n" msg;
+        4
+    | e ->
+        Printf.eprintf "rr_cli: internal error: %s\n" (Printexc.to_string e);
+        125
+  in
+  exit code

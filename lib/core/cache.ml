@@ -1,0 +1,72 @@
+type key = {
+  policy : string;
+  machines : int;
+  speed : float;
+  k : int;
+  fast_path : bool;
+  digest : int64;
+}
+
+type entry = { flows : float array; norm : float; power_sum : float; events : int }
+
+type stats = { hits : int; misses : int; size : int; capacity : int }
+
+let default_capacity = 4096
+
+type state = {
+  mutable table : (key, entry) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable capacity : int;
+  lock : Mutex.t;
+}
+
+let state =
+  { table = Hashtbl.create 256; hits = 0; misses = 0; capacity = default_capacity;
+    lock = Mutex.create () }
+
+let with_lock f =
+  Mutex.lock state.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock state.lock) f
+
+(* The stored arrays are never handed out directly: a caller mutating its
+   flow vector (sorting it, say) must not corrupt later lookups. *)
+let copy_out e = { e with flows = Array.copy e.flows }
+
+let find_or_compute key compute =
+  let cached =
+    with_lock (fun () ->
+        match Hashtbl.find_opt state.table key with
+        | Some e ->
+            state.hits <- state.hits + 1;
+            Some (copy_out e)
+        | None ->
+            state.misses <- state.misses + 1;
+            None)
+  in
+  match cached with
+  | Some e -> e
+  | None ->
+      (* Compute outside the lock: simulations are long and idempotent, so a
+         rare duplicate computation under a race beats serialising every
+         domain of a Pool behind one simulation. *)
+      let e = compute () in
+      with_lock (fun () ->
+          if (not (Hashtbl.mem state.table key)) && Hashtbl.length state.table < state.capacity
+          then Hashtbl.add state.table key (copy_out e));
+      e
+
+let clear () =
+  with_lock (fun () ->
+      Hashtbl.reset state.table;
+      state.hits <- 0;
+      state.misses <- 0)
+
+let set_capacity capacity =
+  if capacity < 0 then invalid_arg "Cache.set_capacity: capacity must be non-negative";
+  with_lock (fun () -> state.capacity <- capacity)
+
+let stats () =
+  with_lock (fun () ->
+      { hits = state.hits; misses = state.misses; size = Hashtbl.length state.table;
+        capacity = state.capacity })

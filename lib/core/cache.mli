@@ -1,0 +1,64 @@
+(** Process-wide memo of simulation measurements.
+
+    Sweeps and ratio experiments re-simulate the same (policy, instance,
+    config) triple many times over — every probe of
+    {!Sweep.min_speed_for} re-runs the baseline policy, every point of a
+    speed sweep re-measures the same instance.  This cache remembers the
+    outcome of {!Run.measure} keyed by the policy's name, the scalar
+    config fields, and the instance's structural {!Rr_workload.Instance}
+    digest, so repeated measurements cost a hash lookup instead of a
+    simulation.
+
+    Correctness rests on two properties of the repo: simulation is
+    deterministic given its inputs, and a policy's [name] determines its
+    behaviour (parameterised policies such as [laps(0.25)] or
+    [quantum-rr(q=2)] embed their parameters in the name).  A custom
+    policy that violates the latter must be run with caching off
+    ([Run.config ~cache:false]).
+
+    All operations are domain-safe: a {!Pool} of workers may share the
+    cache.  Entries are computed outside the lock (duplicate computation
+    under a race is possible and harmless), and flow arrays are copied on
+    both insertion and lookup so no caller can corrupt a cached entry. *)
+
+type key = {
+  policy : string;  (** [Policy.t.name]; must determine behaviour. *)
+  machines : int;
+  speed : float;
+  k : int;
+  fast_path : bool;
+      (** Whether the closed-form equal-share engine produced the entry.
+          Kept in the key so fast and general results never alias — they
+          agree to ~1e-12 relative, not to the bit. *)
+  digest : int64;  (** {!Rr_workload.Instance.digest} of the instance. *)
+}
+
+type entry = {
+  flows : float array;  (** Flow times by job id. *)
+  norm : float;  (** lk-norm at the key's [k]. *)
+  power_sum : float;  (** Unrooted [sum_j F_j^k]. *)
+  events : int;  (** Simulation events processed. *)
+}
+
+val find_or_compute : key -> (unit -> entry) -> entry
+(** [find_or_compute key compute] returns the cached entry for [key], or
+    runs [compute], stores the result (unless the cache is at capacity),
+    and returns it.  The returned entry's flow array is always a private
+    copy. *)
+
+val clear : unit -> unit
+(** Drop every entry and zero the hit/miss counters. *)
+
+val set_capacity : int -> unit
+(** Maximum number of entries; inserts are refused (not evicted) beyond
+    it.  Existing entries are kept even if above the new capacity.
+    @raise Invalid_argument when negative. *)
+
+val default_capacity : int
+(** 4096 entries. *)
+
+type stats = { hits : int; misses : int; size : int; capacity : int }
+
+val stats : unit -> stats
+(** Counters since the last {!clear}.  Exact under sequential use; under
+    concurrent use a racing miss may be double-counted. *)

@@ -1,3 +1,6 @@
+(* Both norms go through Run.measure, so with cfg.cache set the baseline —
+   identical across every probe of a speed sweep — is simulated once and
+   found in the Cache thereafter. *)
 let vs_baseline ?(baseline = Rr_policies.Srpt.policy) ?(baseline_speed = 1.) (cfg : Run.config)
     policy inst =
   let num = Run.norm cfg policy inst in

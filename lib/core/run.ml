@@ -1,19 +1,35 @@
-type config = { machines : int; speed : float; k : int; record_trace : bool }
+type config = {
+  machines : int;
+  speed : float;
+  k : int;
+  record_trace : bool;
+  fast_path : bool;
+  cache : bool;
+}
 
-let default = { machines = 1; speed = 1.; k = 2; record_trace = false }
+let default =
+  { machines = 1; speed = 1.; k = 2; record_trace = false; fast_path = true; cache = true }
 
 let config ?(machines = default.machines) ?(speed = default.speed) ?(k = default.k)
-    ?(record_trace = default.record_trace) () =
-  { machines; speed; k; record_trace }
+    ?(record_trace = default.record_trace) ?(fast_path = default.fast_path)
+    ?(cache = default.cache) () =
+  { machines; speed; k; record_trace; fast_path; cache }
+
+(* Round robin is exactly processor sharing, so the closed-form equal-share
+   engine applies whenever the policy *is* the shared Round_robin.policy
+   value (Registry.make Rr returns that same value, so CLI runs dispatch
+   too).  Physical equality is the point: a custom policy that happens to
+   be named "rr" but allocates differently must not be fast-pathed. *)
+let fast_pathable cfg policy = cfg.fast_path && policy == Rr_policies.Round_robin.policy
 
 let simulate cfg policy inst =
-  Rr_engine.Simulator.run ~record_trace:cfg.record_trace ~speed:cfg.speed
-    ~machines:cfg.machines ~policy
-    (Rr_workload.Instance.jobs inst)
-
-let flows cfg policy inst = Rr_engine.Simulator.flows (simulate cfg policy inst)
-let norm cfg policy inst = Rr_metrics.Norms.lk ~k:cfg.k (flows cfg policy inst)
-let power_sum cfg policy inst = Rr_metrics.Norms.power_sum ~k:cfg.k (flows cfg policy inst)
+  let jobs = Rr_workload.Instance.jobs inst in
+  if fast_pathable cfg policy then
+    Rr_engine.Simulator.run_equal_share ~record_trace:cfg.record_trace ~speed:cfg.speed
+      ~machines:cfg.machines jobs
+  else
+    Rr_engine.Simulator.run ~record_trace:cfg.record_trace ~speed:cfg.speed
+      ~machines:cfg.machines ~policy jobs
 
 type result = {
   policy_name : string;
@@ -25,15 +41,44 @@ type result = {
 }
 
 let measure cfg (policy : Rr_engine.Policy.t) inst =
-  let res = simulate cfg policy inst in
-  let flows = Rr_engine.Simulator.flows res in
+  let compute () =
+    (* The measurement never needs the trace; forcing it off keeps cached
+       and uncached runs of the same config identical in cost and lets a
+       record_trace config share cache entries with a plain one. *)
+    let res = simulate { cfg with record_trace = false } policy inst in
+    let flows = Rr_engine.Simulator.flows res in
+    {
+      Cache.flows;
+      norm = Rr_metrics.Norms.lk ~k:cfg.k flows;
+      power_sum = Rr_metrics.Norms.power_sum ~k:cfg.k flows;
+      events = res.Rr_engine.Simulator.events;
+    }
+  in
+  let entry =
+    if cfg.cache then
+      Cache.find_or_compute
+        {
+          Cache.policy = policy.name;
+          machines = cfg.machines;
+          speed = cfg.speed;
+          k = cfg.k;
+          fast_path = fast_pathable cfg policy;
+          digest = Rr_workload.Instance.digest inst;
+        }
+        compute
+    else compute ()
+  in
   {
     policy_name = policy.name;
     instance_label = (inst : Rr_workload.Instance.t).label;
-    flows;
-    norm = Rr_metrics.Norms.lk ~k:cfg.k flows;
-    power_sum = Rr_metrics.Norms.power_sum ~k:cfg.k flows;
-    events = res.events;
+    flows = entry.Cache.flows;
+    norm = entry.Cache.norm;
+    power_sum = entry.Cache.power_sum;
+    events = entry.Cache.events;
   }
+
+let flows cfg policy inst = (measure cfg policy inst).flows
+let norm cfg policy inst = (measure cfg policy inst).norm
+let power_sum cfg policy inst = (measure cfg policy inst).power_sum
 
 let batch pool cfg tasks = Pool.map pool (fun (policy, inst) -> measure cfg policy inst) tasks

@@ -1,32 +1,64 @@
 (** The facade tying instances, policies and the simulator together.
 
     A {!config} names the full simulation context once — machine count,
-    resource-augmentation speed, norm index [k], trace recording — and
-    every entry point takes it first, so sweeps build one record and vary
-    only the field under study ([{ cfg with speed }]).  {!batch} evaluates
-    many (policy, instance) pairs on a {!Pool}; because simulation is
-    deterministic given its inputs and every task is independent, the
-    batch results are bit-identical to the sequential ones for any number
-    of domains. *)
+    resource-augmentation speed, norm index [k], trace recording, the two
+    performance switches — and every entry point takes it first, so sweeps
+    build one record and vary only the field under study
+    ([{ cfg with speed }]).  {!batch} evaluates many (policy, instance)
+    pairs on a {!Pool}; because simulation is deterministic given its
+    inputs and every task is independent, the batch results are
+    bit-identical to the sequential ones for any number of domains.
+
+    Two optimisations are on by default and individually defeasible:
+
+    - [fast_path]: runs of the shared {!Rr_policies.Round_robin.policy}
+      value dispatch to the closed-form equal-share engine
+      {!Rr_engine.Simulator.run_equal_share}, which agrees with the
+      general engine to ~1e-12 relative flow time but is several times
+      faster in heavy traffic.  Set [fast_path:false] to force the
+      general event loop (e.g. to reproduce bit-exact historical
+      numbers).
+    - [cache]: {!measure} (and everything built on it — {!norm},
+      {!flows}, {!batch}, {!Ratio.vs_baseline}, sweeps) consults the
+      process-wide {!Cache}, so re-measuring the same (policy, config,
+      instance) triple costs a hash lookup.  Set [cache:false] for
+      benchmarking or for custom policies whose [name] does not determine
+      their behaviour. *)
 
 type config = {
   machines : int;  (** Identical machines; default 1. *)
   speed : float;  (** Resource-augmentation speed; default 1. *)
   k : int;  (** Norm index of the lk objective; default 2. *)
   record_trace : bool;  (** Keep the full segment trace; default false. *)
+  fast_path : bool;
+      (** Use the closed-form equal-share engine for round robin;
+          default true. *)
+  cache : bool;  (** Memoise {!measure} results in {!Cache}; default true. *)
 }
 
 val default : config
-(** [{ machines = 1; speed = 1.; k = 2; record_trace = false }]. *)
+(** [{ machines = 1; speed = 1.; k = 2; record_trace = false;
+      fast_path = true; cache = true }]. *)
 
-val config : ?machines:int -> ?speed:float -> ?k:int -> ?record_trace:bool -> unit -> config
+val config :
+  ?machines:int ->
+  ?speed:float ->
+  ?k:int ->
+  ?record_trace:bool ->
+  ?fast_path:bool ->
+  ?cache:bool ->
+  unit ->
+  config
 (** {!default} with the given fields overridden. *)
 
 val simulate : config -> Rr_engine.Policy.t -> Rr_workload.Instance.t -> Rr_engine.Simulator.result
-(** Run a policy on an instance under [config]. *)
+(** Run a policy on an instance under [config].  Never cached (the cache
+    stores measurements, not traces); dispatches to the equal-share
+    engine when [fast_path] is set and the policy is physically
+    {!Rr_policies.Round_robin.policy}. *)
 
 val flows : config -> Rr_engine.Policy.t -> Rr_workload.Instance.t -> float array
-(** Flow times by job id. *)
+(** Flow times by job id.  The array is the caller's own copy. *)
 
 val norm : config -> Rr_engine.Policy.t -> Rr_workload.Instance.t -> float
 (** The lk-norm of flow time achieved by the policy ([k] from the
@@ -48,12 +80,17 @@ type result = {
     dual-fitting verifier or the fairness time series needs it). *)
 
 val measure : config -> Rr_engine.Policy.t -> Rr_workload.Instance.t -> result
-(** One simulate-and-measure step — what {!batch} runs per task. *)
+(** One simulate-and-measure step — what {!batch} runs per task.  Cached
+    when [cfg.cache] is set; [record_trace] is ignored here (measurements
+    never need the trace), so traced and untraced configs share cache
+    entries. *)
 
 val batch : Pool.t -> config -> (Rr_engine.Policy.t * Rr_workload.Instance.t) list -> result list
 (** [batch pool cfg tasks] measures every (policy, instance) pair on the
     pool.  Results are ordered like [tasks] and bit-identical to
-    [List.map (measure cfg) tasks] for any pool size.  Policy values that
-    carry per-run mutable state (e.g. {!Rr_policies.Quantum_rr}) must be
-    fresh per task — build them with {!Rr_policies.Registry.make}.
+    [List.map (measure cfg) tasks] for any pool size (the shared {!Cache}
+    is domain-safe and simulation deterministic, so caching does not
+    perturb results).  Policy values that carry per-run mutable state
+    (e.g. {!Rr_policies.Quantum_rr}) must be fresh per task — build them
+    with {!Rr_policies.Registry.make}.
     @raise Pool.Task_error when a simulation raises. *)

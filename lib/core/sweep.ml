@@ -10,31 +10,52 @@ let min_speed_for ?pool ~f ~threshold ~lo ~hi ~iters () =
   else if lo >= hi then
     Error (`Bad_bracket (Printf.sprintf "need lo < hi, got [%g, %g]" lo hi))
   else if iters < 1 then Error (`Bad_bracket (Printf.sprintf "need iters >= 1, got %d" iters))
-  else if f hi > threshold then Error `Above_hi
   else begin
     let p = match pool with None -> 1 | Some pl -> Pool.size pl in
-    let eval xs = match pool with Some pl when p > 1 -> Pool.map pl f xs | _ -> List.map f xs in
-    let lo = ref lo and hi = ref hi in
-    for _ = 1 to iters do
-      let width = !hi -. !lo in
-      let probes =
-        List.init p (fun i ->
-            !lo +. (width *. Float.of_int (i + 1) /. Float.of_int (p + 1)))
+    (* Probe memo: each probe is typically a full simulate-and-measure, and
+       once the bracket is narrow a probe can collide with an endpoint (or,
+       with several probes per round, with a sibling).  Memoising f here
+       guarantees no speed is ever evaluated twice within one search,
+       independently of whether the caller's f consults the result
+       Cache. *)
+    let memo : (float, float) Hashtbl.t = Hashtbl.create 64 in
+    let eval xs =
+      let missing =
+        List.sort_uniq Float.compare (List.filter (fun x -> not (Hashtbl.mem memo x)) xs)
       in
-      let ys = eval probes in
-      (* The leftmost satisfying probe bounds the crossover above; its left
-         neighbour (or the current lo) bounds it below.  When no probe
-         satisfies, the crossover lies in (last probe, hi]. *)
-      let rec narrow prev = function
-        | [] -> lo := prev
-        | (x, y) :: rest ->
-            if y <= threshold then begin
-              lo := prev;
-              hi := x
-            end
-            else narrow x rest
+      let ys =
+        match pool with
+        | Some pl when p > 1 && List.compare_length_with missing 1 > 0 ->
+            Pool.map pl f missing
+        | _ -> List.map f missing
       in
-      narrow !lo (List.combine probes ys)
-    done;
-    Ok !hi
+      List.iter2 (Hashtbl.replace memo) missing ys;
+      List.map (Hashtbl.find memo) xs
+    in
+    match eval [ hi ] with
+    | [ y_hi ] when y_hi > threshold -> Error `Above_hi
+    | _ ->
+        let lo = ref lo and hi = ref hi in
+        for _ = 1 to iters do
+          let width = !hi -. !lo in
+          let probes =
+            List.init p (fun i ->
+                !lo +. (width *. Float.of_int (i + 1) /. Float.of_int (p + 1)))
+          in
+          let ys = eval probes in
+          (* The leftmost satisfying probe bounds the crossover above; its left
+             neighbour (or the current lo) bounds it below.  When no probe
+             satisfies, the crossover lies in (last probe, hi]. *)
+          let rec narrow prev = function
+            | [] -> lo := prev
+            | (x, y) :: rest ->
+                if y <= threshold then begin
+                  lo := prev;
+                  hi := x
+                end
+                else narrow x rest
+          in
+          narrow !lo (List.combine probes ys)
+        done;
+        Ok !hi
   end

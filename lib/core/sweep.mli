@@ -34,4 +34,11 @@ val min_speed_for :
 
     On [Ok s], [s] is the upper end of the final bracket, so
     [f s <= threshold] and the answer is bracketed to
-    [(hi - lo) / (p + 1) ^ iters]. *)
+    [(hi - lo) / (p + 1) ^ iters].
+
+    [f] is never called twice on the same speed within one search: probes
+    are memoised for the duration of the call, so with [p = 1] a search
+    costs at most [iters + 1] evaluations.  Searches whose [f] measures
+    via {!Run.measure} additionally share the cross-call result {!Cache}
+    (the baseline run of {!Ratio.vs_baseline}, identical across probes,
+    is simulated once). *)

@@ -1,9 +1,9 @@
 type view = {
   id : int;
   arrival : float;
-  attained : float;
+  mutable attained : float;
   size : float option;
-  remaining : float option;
+  mutable remaining : float option;
 }
 
 type decision = { rates : float array; horizon : float option }

@@ -23,10 +23,15 @@
 type view = {
   id : int;  (** Job identifier. *)
   arrival : float;  (** Release time [r_j]. *)
-  attained : float;  (** Work received so far (at unit speed scale). *)
+  mutable attained : float;  (** Work received so far (at unit speed scale). *)
   size : float option;  (** [p_j]; [None] for non-clairvoyant policies. *)
-  remaining : float option;  (** [p_j] minus attained; [None] likewise. *)
+  mutable remaining : float option;  (** [p_j] minus attained; [None] likewise. *)
 }
+(** The mutable fields belong to the simulator: it keeps one view per
+    alive job and updates it in place between events instead of
+    reallocating the whole view array (the zero-allocation event loop).
+    Policies must treat views as read-only, and must not retain a view
+    (or the array) beyond the [allocate] call that received it. *)
 
 type decision = {
   rates : float array;

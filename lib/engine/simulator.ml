@@ -1,6 +1,21 @@
 exception Invalid_allocation of string
 
-type live = { job : Job.t; mutable remaining : float; mutable attained : float }
+exception Event_limit_exceeded of { limit : int; now : float }
+
+let () =
+  Printexc.register_printer (function
+    | Event_limit_exceeded { limit; now } ->
+        Some
+          (Printf.sprintf
+             "Rr_engine.Simulator.Event_limit_exceeded (budget %d exhausted at t = %g)" limit now)
+    | _ -> None)
+
+type live = {
+  job : Job.t;
+  mutable remaining : float;
+  mutable attained : float;
+  view : Policy.view;  (* persistent; mutable fields refreshed in place *)
+}
 
 type result = {
   jobs : Job.t array;
@@ -24,7 +39,26 @@ let validate_jobs jobs =
 
 (* A job counts as complete when its residual work is negligible relative to
    its size; the threshold absorbs the rounding of the analytic advance. *)
-let done_threshold (l : live) = 1e-9 *. (1. +. l.job.size)
+let completion_threshold size = 1e-9 *. (1. +. size)
+
+let done_threshold (l : live) = completion_threshold l.job.size
+
+let jobs_by_id jobs n =
+  let slots = Array.make n None in
+  List.iter (fun (j : Job.t) -> slots.(j.id) <- Some j) jobs;
+  Array.map (function Some j -> j | None -> assert false) slots
+
+(* Instances hand their jobs over already ordered by (arrival, id); detect
+   that in one linear pass and skip the O(n log n) sort — for short
+   simulations the sort is a large slice of the whole run. *)
+let release_order jobs n =
+  let order = Array.of_list jobs in
+  let sorted = ref true in
+  for i = 0 to n - 2 do
+    if Job.compare_release order.(i) order.(i + 1) > 0 then sorted := false
+  done;
+  if not !sorted then Array.sort Job.compare_release order;
+  order
 
 let validate_decision ~machines ~now ~n_alive (d : Policy.decision) =
   if Array.length d.rates <> n_alive then
@@ -53,32 +87,29 @@ let run ?(record_trace = false) ?(speed = 1.) ?(max_events = 10_000_000) ~machin
   if not (Float.is_finite speed && speed > 0.) then
     invalid_arg "Simulator.run: speed must be finite and positive";
   let n = validate_jobs jobs in
-  let jobs_by_id = Array.make n None in
-  List.iter (fun (j : Job.t) -> jobs_by_id.(j.id) <- Some j) jobs;
-  let jobs_arr =
-    Array.map (function Some j -> j | None -> assert false) jobs_by_id
-  in
-  let order = Array.of_list jobs in
-  Array.sort Job.compare_release order;
+  let jobs_arr = jobs_by_id jobs n in
+  let order = release_order jobs n in
   let completions = Array.make n Float.nan in
   let pending = ref 0 in
-  (* Alive jobs in a swap-remove vector; policy views follow this order. *)
-  let alive : live array ref = ref [||] in
-  let n_alive = ref 0 in
+  let clairvoyant = policy.clairvoyant in
+  (* Alive jobs in a swap-remove vector; policy views follow this order.
+     Each live job owns one view record for its whole lifetime: only the
+     mutable fields change between events, so the steady-state loop
+     allocates no views.  (For clairvoyant policies the [remaining] option
+     cell is still reboxed per job per event — two words, against the
+     seven-word view record plus two option cells it replaces.) *)
+  let alive : live Rr_util.Vec.t = Rr_util.Vec.create () in
   let push_alive (j : Job.t) =
-    let l = { job = j; remaining = j.size; attained = 0. } in
-    let cap = Array.length !alive in
-    if !n_alive = cap then begin
-      let na = Array.make (Int.max 8 (2 * cap)) l in
-      Array.blit !alive 0 na 0 !n_alive;
-      alive := na
-    end;
-    !alive.(!n_alive) <- l;
-    incr n_alive
-  in
-  let remove_alive i =
-    decr n_alive;
-    !alive.(i) <- !alive.(!n_alive)
+    let view =
+      {
+        Policy.id = j.id;
+        arrival = j.arrival;
+        attained = 0.;
+        size = (if clairvoyant then Some j.size else None);
+        remaining = (if clairvoyant then Some j.size else None);
+      }
+    in
+    Rr_util.Vec.push alive { job = j; remaining = j.size; attained = 0.; view }
   in
   let admit_upto now =
     while !pending < n && order.(!pending).arrival <= now do
@@ -86,43 +117,63 @@ let run ?(record_trace = false) ?(speed = 1.) ?(max_events = 10_000_000) ~machin
       incr pending
     done
   in
-  let view_of (l : live) : Policy.view =
-    {
-      id = l.job.id;
-      arrival = l.job.arrival;
-      attained = l.attained;
-      size = (if policy.clairvoyant then Some l.job.size else None);
-      remaining = (if policy.clairvoyant then Some l.remaining else None);
-    }
+  (* Scratch array handed to the policy.  It must have length exactly
+     [n_alive] (policies measure it), so it is reallocated only when the
+     alive count changes; otherwise the persistent view records are
+     re-pointed into it — a copy, not an allocation. *)
+  let views_scratch = ref [||] in
+  let sync_views n_alive =
+    if Array.length !views_scratch <> n_alive then
+      views_scratch := Array.init n_alive (fun i -> (Rr_util.Vec.get alive i).view)
+    else begin
+      let vs = !views_scratch in
+      for i = 0 to n_alive - 1 do
+        vs.(i) <- (Rr_util.Vec.get alive i).view
+      done
+    end;
+    !views_scratch
   in
-  let trace_rev = ref [] in
+  (* Trace arena: segments accumulate in a growable buffer and are flushed
+     to the list representation once, instead of cons-and-reverse. *)
+  let trace_arena : Trace.segment Rr_util.Vec.t = Rr_util.Vec.create () in
   let events = ref 0 in
   let now = ref (if n > 0 then order.(0).arrival else 0.) in
   admit_upto !now;
-  while !n_alive > 0 || !pending < n do
+  while Rr_util.Vec.length alive > 0 || !pending < n do
     incr events;
     if !events > max_events then
-      raise (Invalid_allocation (Printf.sprintf "exceeded max_events = %d" max_events));
-    if !n_alive = 0 then begin
+      raise (Event_limit_exceeded { limit = max_events; now = !now });
+    if Rr_util.Vec.length alive = 0 then begin
       (* Idle period: jump straight to the next arrival. *)
       now := order.(!pending).arrival;
       admit_upto !now
     end
     else begin
-      let views = Array.init !n_alive (fun i -> view_of !alive.(i)) in
+      let n_alive = Rr_util.Vec.length alive in
+      for i = 0 to n_alive - 1 do
+        let l = Rr_util.Vec.get alive i in
+        let v = l.view in
+        v.attained <- l.attained;
+        if clairvoyant then v.remaining <- Some l.remaining
+      done;
+      let views = sync_views n_alive in
       let decision = policy.allocate ~now:!now ~machines ~speed views in
-      validate_decision ~machines ~now:!now ~n_alive:!n_alive decision;
+      validate_decision ~machines ~now:!now ~n_alive decision;
       let rates = decision.rates in
       let next_arrival = if !pending < n then Some order.(!pending).arrival else None in
-      (* Earliest analytic completion under the current constant rates. *)
-      let completion_at = Array.make !n_alive Float.infinity in
-      for i = 0 to !n_alive - 1 do
-        let l = !alive.(i) in
-        let v = rates.(i) *. speed in
-        if v > 0. then completion_at.(i) <- !now +. (l.remaining /. v)
-      done;
+      (* Earliest analytic completion under the current constant rates,
+         folded inline.  Rates are fresh every event, so any heap over
+         completion times would be rebuilt from scratch per event and lose
+         to this single O(alive) pass; the heap-ordered cascade lives in
+         {!run_equal_share}, where rates are a function of the count alone. *)
       let t_next = ref Float.infinity in
-      Array.iter (fun t -> if t < !t_next then t_next := t) completion_at;
+      for i = 0 to n_alive - 1 do
+        let v = rates.(i) *. speed in
+        if v > 0. then begin
+          let c = !now +. ((Rr_util.Vec.get alive i).remaining /. v) in
+          if c < !t_next then t_next := c
+        end
+      done;
       (match next_arrival with Some a when a < !t_next -> t_next := a | _ -> ());
       (match decision.horizon with Some h when h < !t_next -> t_next := h | _ -> ());
       if not (Float.is_finite !t_next) then
@@ -133,25 +184,25 @@ let run ?(record_trace = false) ?(speed = 1.) ?(max_events = 10_000_000) ~machin
       assert (dt > 0.);
       if record_trace then begin
         let entries =
-          Array.init !n_alive (fun i ->
-              let l = !alive.(i) in
+          Array.init n_alive (fun i ->
+              let l = Rr_util.Vec.get alive i in
               { Trace.job = l.job.id; arrival = l.job.arrival; rate = rates.(i) })
         in
-        trace_rev := { Trace.t0 = !now; t1 = !t_next; alive = entries } :: !trace_rev
+        Rr_util.Vec.push trace_arena { Trace.t0 = !now; t1 = !t_next; alive = entries }
       end;
-      for i = 0 to !n_alive - 1 do
-        let l = !alive.(i) in
+      for i = 0 to n_alive - 1 do
+        let l = Rr_util.Vec.get alive i in
         let delta = rates.(i) *. speed *. dt in
         l.remaining <- l.remaining -. delta;
         l.attained <- l.attained +. delta
       done;
       now := !t_next;
       (* Retire finished jobs; iterate downwards because of swap-remove. *)
-      for i = !n_alive - 1 downto 0 do
-        let l = !alive.(i) in
+      for i = n_alive - 1 downto 0 do
+        let l = Rr_util.Vec.get alive i in
         if l.remaining <= done_threshold l then begin
           completions.(l.job.id) <- !now;
-          remove_alive i
+          Rr_util.Vec.swap_remove alive i
         end
       done;
       admit_upto !now
@@ -160,7 +211,130 @@ let run ?(record_trace = false) ?(speed = 1.) ?(max_events = 10_000_000) ~machin
   {
     jobs = jobs_arr;
     completions;
-    trace = List.rev !trace_rev;
+    trace = Rr_util.Vec.to_list trace_arena;
+    machines;
+    speed;
+    events = !events;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Closed-form equal-share (processor-sharing) engine                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Under an equal-share policy every alive job is served at the same
+   instantaneous rate [min(1, m/n) * speed], a function of the alive count
+   alone.  Let V(t) be the cumulative service each alive job has received
+   ("virtual service"): a job admitted when the clock read [V_a] completes
+   exactly when V reaches its deadline [V_a + size].  Jobs therefore
+   complete in deadline order, so a single binary heap of deadlines
+   ({!Rr_util.Heap.Scalar}, keyed on the deadline with the job id as
+   payload) replaces the per-event policy invocation and O(alive) scans of
+   the general engine: each arrival or completion costs O(log alive), the
+   whole run O((n + events) log alive), with no allocation per event. *)
+
+let run_equal_share ?(record_trace = false) ?(speed = 1.) ?(max_events = 10_000_000)
+    ~machines jobs =
+  if machines < 1 then invalid_arg "Simulator.run_equal_share: machines must be >= 1";
+  if not (Float.is_finite speed && speed > 0.) then
+    invalid_arg "Simulator.run_equal_share: speed must be finite and positive";
+  let n = validate_jobs jobs in
+  let jobs_arr = jobs_by_id jobs n in
+  let order = release_order jobs n in
+  let completions = Array.make n Float.nan in
+  let pending = ref 0 in
+  let heap = Rr_util.Heap.Scalar.create () in
+  let vsrv = ref 0. in
+  (* Roster of alive jobs, maintained only for trace recording; [pos]
+     tracks each job's slot so completions remove in O(1). *)
+  let roster : Job.t Rr_util.Vec.t = Rr_util.Vec.create () in
+  let pos = if record_trace then Array.make (Int.max n 1) (-1) else [||] in
+  let admit (j : Job.t) =
+    Rr_util.Heap.Scalar.add heap ~key:(!vsrv +. j.size) j.id;
+    if record_trace then begin
+      pos.(j.id) <- Rr_util.Vec.length roster;
+      Rr_util.Vec.push roster j
+    end
+  in
+  let drop id =
+    if record_trace then begin
+      let i = pos.(id) in
+      let last = Rr_util.Vec.length roster - 1 in
+      let moved = Rr_util.Vec.get roster last in
+      Rr_util.Vec.swap_remove roster i;
+      if i < last then pos.(moved.id) <- i;
+      pos.(id) <- -1
+    end
+  in
+  let admit_upto now =
+    while !pending < n && order.(!pending).arrival <= now do
+      admit order.(!pending);
+      incr pending
+    done
+  in
+  let trace_arena : Trace.segment Rr_util.Vec.t = Rr_util.Vec.create () in
+  let events = ref 0 in
+  let now = ref (if n > 0 then order.(0).arrival else 0.) in
+  admit_upto !now;
+  while Rr_util.Heap.Scalar.length heap > 0 || !pending < n do
+    incr events;
+    if !events > max_events then
+      raise (Event_limit_exceeded { limit = max_events; now = !now });
+    if Rr_util.Heap.Scalar.is_empty heap then begin
+      now := order.(!pending).arrival;
+      admit_upto !now
+    end
+    else begin
+      let n_alive = Rr_util.Heap.Scalar.length heap in
+      let share = Float.min 1. (Float.of_int machines /. Float.of_int n_alive) in
+      let rate = share *. speed in
+      let t_complete =
+        !now +. ((Rr_util.Heap.Scalar.min_key_exn heap -. !vsrv) /. rate)
+      in
+      (* Completion wins a tie with an arrival, exactly like the general
+         engine's [a < t_next] guard. *)
+      let next_arrival = if !pending < n then order.(!pending).arrival else Float.infinity in
+      let is_completion = not (next_arrival < t_complete) in
+      let t_next = if is_completion then t_complete else next_arrival in
+      let dt = t_next -. !now in
+      assert (dt > 0.);
+      if record_trace then begin
+        let entries =
+          Array.init (Rr_util.Vec.length roster) (fun i ->
+              let j = Rr_util.Vec.get roster i in
+              { Trace.job = j.id; arrival = j.arrival; rate = share })
+        in
+        Rr_util.Vec.push trace_arena { Trace.t0 = !now; t1 = t_next; alive = entries }
+      end;
+      vsrv := !vsrv +. (rate *. dt);
+      now := t_next;
+      if is_completion then begin
+        (* The head's deadline defined this event time; retire it even if
+           rounding left [vsrv] an ulp short of the deadline. *)
+        let id = Rr_util.Heap.Scalar.pop_exn heap in
+        completions.(id) <- !now;
+        drop id
+      end;
+      (* Cascade every job whose residual virtual service is within the
+         completion threshold of this instant (simultaneous completions,
+         and arrivals landing exactly on a completion). *)
+      while
+        (not (Rr_util.Heap.Scalar.is_empty heap))
+        &&
+        let id = Rr_util.Heap.Scalar.min_val_exn heap in
+        Rr_util.Heap.Scalar.min_key_exn heap -. !vsrv
+        <= completion_threshold jobs_arr.(id).size
+      do
+        let id = Rr_util.Heap.Scalar.pop_exn heap in
+        completions.(id) <- !now;
+        drop id
+      done;
+      admit_upto !now
+    end
+  done;
+  {
+    jobs = jobs_arr;
+    completions;
+    trace = Rr_util.Vec.to_list trace_arena;
     machines;
     speed;
     events = !events;

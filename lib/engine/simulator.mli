@@ -7,6 +7,20 @@
     the clock can be advanced analytically — completion times are exact up
     to floating-point rounding, with no time-step discretisation error.
 
+    Two engines share the event semantics:
+
+    - {!run} is the general engine: it invokes the policy at every event.
+      Its loop is allocation-free in steady state — per-job views, the view
+      array handed to the policy, and the trace arena are persistent
+      buffers reused across events.
+    - {!run_equal_share} is a closed-form engine for equal-share
+      (processor-sharing) allocations, the paper's Round Robin: jobs
+      complete in order of remaining work, tracked by a binary heap of
+      virtual-service deadlines, with no policy invocation at all.  It
+      agrees with [run ~policy:Round_robin.policy] up to floating-point
+      rounding (within the completion-threshold semantics both engines
+      share).
+
     Speed augmentation: a policy rate [m_j(t) in \[0,1\]] results in
     processing at rate [speed * m_j(t)], matching the [s]-speed analysis of
     the paper (RR is given [eta = 2k(1 + 10 eps)] speed in Theorem 1). *)
@@ -14,7 +28,14 @@
 exception Invalid_allocation of string
 (** Raised when a policy emits rates outside [\[0, 1\]], rates summing to
     more than the machine count, a horizon not in the future, or an
-    allocation under which alive jobs can never make progress again. *)
+    allocation under which alive jobs can never make progress again — all
+    genuine policy bugs. *)
+
+exception Event_limit_exceeded of { limit : int; now : float }
+(** Raised when a simulation exhausts its [max_events] budget at simulated
+    time [now].  Distinct from {!Invalid_allocation}: the schedule was
+    legal, the budget was just too small for the instance (or a policy
+    emits pathologically short horizons). *)
 
 type result = {
   jobs : Job.t array;  (** All jobs, indexed by job id. *)
@@ -40,9 +61,23 @@ val run :
       dual-fitting verifier and fairness time series need it).
     @param speed resource augmentation factor, default [1.].
     @param max_events safety bound on the number of events (default
-      [10_000_000]); exceeding it raises [Invalid_allocation].
+      [10_000_000]); exceeding it raises {!Event_limit_exceeded}.
     @raise Invalid_argument when job ids are not exactly [0 .. n-1], when
       [machines < 1], or when [speed] is not finite and positive. *)
+
+val run_equal_share :
+  ?record_trace:bool ->
+  ?speed:float ->
+  ?max_events:int ->
+  machines:int ->
+  Job.t list ->
+  result
+(** [run_equal_share ~machines jobs] simulates the equal-share allocation
+    [min(1, machines/alive)] — Round Robin's fluid schedule — computing the
+    full cascade of completions analytically in O((n + events) log alive).
+    Flow times agree with [run ~policy:Rr_policies.Round_robin.policy] up
+    to floating-point rounding; traces carry the same segments (entry order
+    within a segment may differ).  Parameters and errors as in {!run}. *)
 
 val flows : result -> float array
 (** Flow times [F_j = C_j - r_j], indexed by job id. *)

@@ -29,3 +29,37 @@ val pop_exn : 'a t -> 'a
 
 val drain : 'a t -> 'a list
 (** Pop everything, smallest first. *)
+
+(** Specialised min-heap with unboxed float keys and int payloads.
+
+    Every operation is allocation-free (outside capacity doubling) and
+    compares keys with primitive float comparison instead of a closure —
+    the event loop of {!Rr_engine.Simulator}'s equal-share engine pays one
+    heap operation per event, so the constant factor matters.  Ties on the
+    key pop in increasing payload order. *)
+module Scalar : sig
+  type t
+
+  val create : unit -> t
+
+  val length : t -> int
+
+  val is_empty : t -> bool
+
+  val clear : t -> unit
+  (** Forget all elements, keeping the backing capacity. *)
+
+  val add : t -> key:float -> int -> unit
+  (** O(log n) insertion. *)
+
+  val min_key_exn : t -> float
+  (** Smallest key. @raise Invalid_argument on an empty heap. *)
+
+  val min_val_exn : t -> int
+  (** Payload of the smallest key. @raise Invalid_argument on an empty
+      heap. *)
+
+  val pop_exn : t -> int
+  (** Remove the smallest key and return its payload.
+      @raise Invalid_argument on an empty heap. *)
+end

@@ -1,0 +1,41 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.get: index out of bounds";
+  Array.unsafe_get t.data i
+
+let set t i x =
+  if i < 0 || i >= t.len then invalid_arg "Vec.set: index out of bounds";
+  Array.unsafe_set t.data i x
+
+let push t x =
+  let cap = Array.length t.data in
+  if t.len = cap then begin
+    let nd = Array.make (Int.max 8 (2 * cap)) x in
+    Array.blit t.data 0 nd 0 t.len;
+    t.data <- nd
+  end;
+  Array.unsafe_set t.data t.len x;
+  t.len <- t.len + 1
+
+let swap_remove t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.swap_remove: index out of bounds";
+  t.len <- t.len - 1;
+  Array.unsafe_set t.data i (Array.unsafe_get t.data t.len)
+
+let clear t = t.len <- 0
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (Array.unsafe_get t.data i)
+  done
+
+let to_list t = List.init t.len (fun i -> Array.unsafe_get t.data i)
+
+let to_array t = Array.sub t.data 0 t.len

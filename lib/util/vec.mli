@@ -1,0 +1,42 @@
+(** Growable vector (amortised O(1) push, O(1) swap-remove).
+
+    The simulator's hot loop keeps its alive set and its trace arena in
+    these: buffers persist across events, so steady-state simulation
+    allocates nothing per event beyond what policies return.  Capacity
+    never shrinks; {!clear} keeps the backing store (and therefore keeps
+    the dropped elements reachable until overwritten — don't park huge
+    structures in a long-lived cleared vector). *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** Empty vector; the backing array is allocated lazily on first push. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument when the index is outside [0, length). *)
+
+val set : 'a t -> int -> 'a -> unit
+(** @raise Invalid_argument when the index is outside [0, length). *)
+
+val push : 'a t -> 'a -> unit
+(** Append, doubling the capacity when full. *)
+
+val swap_remove : 'a t -> int -> unit
+(** Remove index [i] in O(1) by moving the last element into its slot.
+    Order is not preserved.
+    @raise Invalid_argument when the index is outside [0, length). *)
+
+val clear : 'a t -> unit
+(** Reset the length to 0, keeping the backing capacity. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Elements in index order. *)
+
+val to_array : 'a t -> 'a array
+(** Fresh array of the live prefix, in index order. *)

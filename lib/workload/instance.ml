@@ -46,6 +46,22 @@ let offered_load ~machines t =
 
 let jobs t = t.jobs
 
+(* FNV-1a over the job count and the bit patterns of every (arrival, size)
+   pair.  The label is deliberately excluded: it is presentation-only, and
+   two instances with identical jobs are interchangeable for simulation —
+   exactly the equivalence the result cache wants. *)
+let digest t =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  let mix bits = h := Int64.mul (Int64.logxor !h bits) prime in
+  mix (Int64.of_int (List.length t.jobs));
+  List.iter
+    (fun (j : Rr_engine.Job.t) ->
+      mix (Int64.bits_of_float j.arrival);
+      mix (Int64.bits_of_float j.size))
+    t.jobs;
+  !h
+
 let relabel label t = { t with label }
 
 let pp ppf t =

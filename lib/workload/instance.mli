@@ -51,6 +51,12 @@ val offered_load : machines:int -> t -> float
 
 val jobs : t -> Rr_engine.Job.t list
 
+val digest : t -> int64
+(** Cheap structural digest (FNV-1a over the job count and every
+    (arrival, size) bit pattern, in id order).  Instances with identical
+    jobs share a digest regardless of label; the memoizing result cache
+    ({!Rr_core} [Cache]) uses it as its instance key.  O(n) per call. *)
+
 val relabel : string -> t -> t
 
 val pp : Format.formatter -> t -> unit

@@ -234,9 +234,14 @@ let test_stale_horizon_detected () =
 
 let test_max_events () =
   let jobs = List.init 10 (fun id -> job ~id ~arrival:(Float.of_int id) ~size:1.) in
-  match Simulator.run ~max_events:2 ~machines:1 ~policy:rr jobs with
-  | exception Simulator.Invalid_allocation _ -> ()
-  | _ -> Alcotest.fail "expected max_events to trip"
+  (match Simulator.run ~max_events:2 ~machines:1 ~policy:rr jobs with
+  | exception Simulator.Event_limit_exceeded { limit = 2; now } ->
+      Alcotest.(check bool) "progress recorded" true (now >= 0.)
+  | _ -> Alcotest.fail "expected max_events to trip");
+  (* the equal-share engine enforces the same budget *)
+  match Simulator.run_equal_share ~max_events:2 ~machines:1 jobs with
+  | exception Simulator.Event_limit_exceeded { limit = 2; _ } -> ()
+  | _ -> Alcotest.fail "expected max_events to trip in run_equal_share"
 
 (* ------------------------------------------------------------------ *)
 (* Trace invariants                                                    *)

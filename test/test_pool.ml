@@ -124,7 +124,10 @@ let batch_tasks =
       (policies.(i mod 3), inst))
 
 let test_batch_parallel_equals_sequential () =
-  let cfg = Run.config ~speed:2. () in
+  (* cache:false so the parallel batch actually re-simulates instead of
+     replaying the sequential run's cache entries — the property under
+     test is determinism of the simulations themselves. *)
+  let cfg = Run.config ~speed:2. ~cache:false () in
   let seq = List.map (fun (p, i) -> Run.measure cfg p i) batch_tasks in
   Pool.with_pool ~domains:4 (fun pool ->
       let par = Run.batch pool cfg batch_tasks in
@@ -148,7 +151,7 @@ let test_batch_parallel_equals_sequential () =
 
 let test_batch_domain_count_invariance () =
   (* results must not depend on the number of domains *)
-  let cfg = Run.default in
+  let cfg = Run.config ~cache:false () in
   let tasks = List.filteri (fun i _ -> i < 30) batch_tasks in
   let on n = Pool.with_pool ~domains:n (fun pool -> Run.batch pool cfg tasks) in
   let r1 = on 1 and r2 = on 2 and r4 = on 4 in

@@ -1,0 +1,251 @@
+(* Tests for the fast simulation core: the closed-form equal-share engine
+   (differential against the general event loop), the Run dispatch that
+   selects it, and the memoizing result cache. *)
+
+open Temporal_fairness
+module Simulator = Rr_engine.Simulator
+module Instance = Rr_workload.Instance
+
+let rr = Rr_policies.Round_robin.policy
+
+(* The engines compute the same trajectory in different arithmetic orders,
+   so flows agree only up to accumulated rounding. *)
+let flow_rtol = 1e-9
+
+let rel_diff a b = Float.abs (a -. b) /. Float.max 1e-12 (Float.max (Float.abs a) (Float.abs b))
+
+let instance_of_pairs pairs = Instance.of_jobs pairs
+
+(* ------------------------------------------------------------------ *)
+(* Differential: equal-share engine vs general event loop              *)
+(* ------------------------------------------------------------------ *)
+
+let diff_gen =
+  QCheck2.Gen.(
+    let pairs = list_size (int_range 1 40) (pair (float_range 0. 30.) (float_range 0.05 5.)) in
+    let machines = oneofl [ 1; 2; 4 ] in
+    let speed = oneofl [ 1.; 1.5; 4.4 ] in
+    triple pairs machines speed)
+
+let prop_equal_share_matches_general =
+  QCheck2.Test.make ~name:"equal-share engine matches general RR (flows)" ~count:250 diff_gen
+    (fun (pairs, machines, speed) ->
+      let jobs = Instance.jobs (instance_of_pairs pairs) in
+      let general = Simulator.run ~machines ~speed ~policy:rr jobs in
+      let fast = Simulator.run_equal_share ~machines ~speed jobs in
+      let fg = Simulator.flows general and ff = Simulator.flows fast in
+      Array.length fg = Array.length ff
+      && Array.for_all2 (fun a b -> rel_diff a b <= flow_rtol) fg ff)
+
+let prop_run_dispatch_matches_general =
+  (* Same property one layer up: Run.simulate with the fast path on vs
+     forced off, exercising the dispatch itself. *)
+  QCheck2.Test.make ~name:"Run.simulate fast path matches general RR" ~count:100 diff_gen
+    (fun (pairs, machines, speed) ->
+      let inst = instance_of_pairs pairs in
+      let on = Run.simulate (Run.config ~machines ~speed ()) rr inst in
+      let off = Run.simulate (Run.config ~machines ~speed ~fast_path:false ()) rr inst in
+      Array.for_all2
+        (fun a b -> rel_diff a b <= flow_rtol)
+        (Simulator.flows on) (Simulator.flows off))
+
+let prop_fast_path_inert_for_other_policies =
+  (* The dispatch keys on physical equality with Round_robin.policy; any
+     other policy must be bit-identically unaffected by the flag. *)
+  QCheck2.Test.make ~name:"fast path never fires for LAPS" ~count:50 diff_gen
+    (fun (pairs, machines, speed) ->
+      let inst = instance_of_pairs pairs in
+      let laps = Rr_policies.Registry.make (Rr_policies.Registry.Laps 0.5) in
+      let on = Run.simulate (Run.config ~machines ~speed ()) laps inst in
+      let off = Run.simulate (Run.config ~machines ~speed ~fast_path:false ()) laps inst in
+      Simulator.flows on = Simulator.flows off)
+
+let test_equal_share_trace () =
+  (* The fast engine's optional trace must describe the same schedule: same
+     time-weighted Jain index, same total work. *)
+  let inst =
+    Instance.generate_load
+      ~rng:(Rr_util.Prng.create ~seed:7)
+      ~sizes:(Rr_workload.Distribution.Exponential { mean = 1. })
+      ~load:0.9 ~machines:1 ~n:60 ()
+  in
+  let jobs = Instance.jobs inst in
+  let general = Simulator.run ~record_trace:true ~machines:1 ~policy:rr jobs in
+  let fast = Simulator.run_equal_share ~record_trace:true ~machines:1 jobs in
+  let work trace = Rr_engine.Trace.total_work ~speed:1. trace in
+  let close what a b =
+    if rel_diff a b > 1e-6 then Alcotest.failf "%s differ: %g vs %g" what a b
+  in
+  close "trace work" (work general.trace) (work fast.trace);
+  close "jain index"
+    (Rr_metrics.Fairness.time_weighted_jain general.trace)
+    (Rr_metrics.Fairness.time_weighted_jain fast.trace)
+
+(* ------------------------------------------------------------------ *)
+(* Instance digest                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_digest () =
+  let pairs = [ (0., 1.); (0.5, 2.); (1., 0.25) ] in
+  let a = Instance.of_jobs ~label:"a" pairs in
+  let b = Instance.of_jobs ~label:"b" pairs in
+  Alcotest.(check bool) "label-independent" true (Int64.equal (Instance.digest a) (Instance.digest b));
+  let c = Instance.of_jobs ~label:"a" [ (0., 1.); (0.5, 2.); (1., 0.250001) ] in
+  Alcotest.(check bool) "size-sensitive" false (Int64.equal (Instance.digest a) (Instance.digest c));
+  let d = Instance.of_jobs [ (0., 1.); (0.5, 2.) ] in
+  Alcotest.(check bool) "count-sensitive" false (Int64.equal (Instance.digest a) (Instance.digest d))
+
+(* ------------------------------------------------------------------ *)
+(* Result cache                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let small_inst =
+  Instance.generate_load
+    ~rng:(Rr_util.Prng.create ~seed:11)
+    ~sizes:(Rr_workload.Distribution.Exponential { mean = 1. })
+    ~load:0.8 ~machines:1 ~n:30 ()
+
+let test_cache_hit_miss () =
+  Cache.clear ();
+  let cfg = Run.config () in
+  let r1 = Run.measure cfg rr small_inst in
+  let s1 = Cache.stats () in
+  Alcotest.(check int) "first is a miss" 1 s1.misses;
+  Alcotest.(check int) "no hit yet" 0 s1.hits;
+  let r2 = Run.measure cfg rr small_inst in
+  let s2 = Cache.stats () in
+  Alcotest.(check int) "second is a hit" 1 s2.hits;
+  Alcotest.(check int) "still one miss" 1 s2.misses;
+  Alcotest.(check int) "one entry" 1 s2.size;
+  Alcotest.(check bool) "bit-identical flows" true (r1.Run.flows = r2.Run.flows);
+  Alcotest.(check bool) "same norm" true
+    (Int64.equal (Int64.bits_of_float r1.Run.norm) (Int64.bits_of_float r2.Run.norm))
+
+let test_cache_config_sensitivity () =
+  (* Every field that changes the measurement must miss, and the result
+     must come from a fresh simulation, never a stale entry. *)
+  Cache.clear ();
+  let base = Run.config () in
+  let r_base = Run.measure base rr small_inst in
+  let r_k3 = Run.measure (Run.config ~k:3 ()) rr small_inst in
+  let r_speed = Run.measure (Run.config ~speed:2. ()) rr small_inst in
+  let r_slow = Run.measure (Run.config ~fast_path:false ()) rr small_inst in
+  let s = Cache.stats () in
+  Alcotest.(check int) "four distinct keys" 4 s.misses;
+  Alcotest.(check int) "no spurious hits" 0 s.hits;
+  Alcotest.(check bool) "k changes power sum" true (r_k3.Run.power_sum <> r_base.Run.power_sum);
+  Alcotest.(check bool) "speed changes norm" true (r_speed.Run.norm < r_base.Run.norm);
+  (* fast and general RR agree to rounding but live under different keys *)
+  Alcotest.(check bool) "engines agree" true
+    (rel_diff r_slow.Run.norm r_base.Run.norm <= flow_rtol);
+  (* record_trace is normalised out of the key: a traced config hits *)
+  let (_ : Run.result) = Run.measure (Run.config ~record_trace:true ()) rr small_inst in
+  Alcotest.(check int) "trace flag shares the entry" 1 (Cache.stats ()).hits
+
+let test_cache_disabled () =
+  Cache.clear ();
+  let cfg = Run.config ~cache:false () in
+  let r1 = Run.measure cfg rr small_inst in
+  let r2 = Run.measure cfg rr small_inst in
+  let s = Cache.stats () in
+  Alcotest.(check int) "no misses recorded" 0 s.misses;
+  Alcotest.(check int) "no hits recorded" 0 s.hits;
+  Alcotest.(check int) "nothing stored" 0 s.size;
+  Alcotest.(check bool) "still deterministic" true (r1.Run.flows = r2.Run.flows)
+
+let test_cache_copy_safety () =
+  Cache.clear ();
+  let cfg = Run.config () in
+  let r1 = Run.measure cfg rr small_inst in
+  let expected = Array.copy r1.Run.flows in
+  (* A caller sorting or scaling its flow vector must not corrupt the
+     cached entry. *)
+  Array.fill r1.Run.flows 0 (Array.length r1.Run.flows) Float.nan;
+  let r2 = Run.measure cfg rr small_inst in
+  Alcotest.(check bool) "cached entry unharmed" true (r2.Run.flows = expected)
+
+let test_cache_capacity () =
+  Cache.clear ();
+  Fun.protect
+    ~finally:(fun () -> Cache.set_capacity Cache.default_capacity)
+    (fun () ->
+      Cache.set_capacity 0;
+      let (_ : Run.result) = Run.measure (Run.config ()) rr small_inst in
+      Alcotest.(check int) "insert refused at capacity" 0 (Cache.stats ()).size;
+      let (_ : Run.result) = Run.measure (Run.config ()) rr small_inst in
+      Alcotest.(check int) "recompute counts as a miss" 2 (Cache.stats ()).misses)
+
+let test_cache_under_pool () =
+  (* Many domains hammering the same few keys: results must equal the
+     sequential ones and the cache must end up consistent. *)
+  Cache.clear ();
+  let cfg = Run.config () in
+  let policies = [ rr; Rr_policies.Srpt.policy; Rr_policies.Fcfs.policy ] in
+  let tasks = List.concat (List.init 20 (fun _ -> List.map (fun p -> (p, small_inst)) policies)) in
+  let seq = List.map (fun (p, i) -> Run.measure (Run.config ~cache:false ()) p i) tasks in
+  let par = Pool.with_pool ~domains:4 (fun pool -> Run.batch pool cfg tasks) in
+  List.iter2
+    (fun (a : Run.result) (b : Run.result) ->
+      Alcotest.(check bool) "parallel cached = sequential uncached" true
+        (a.flows = b.flows && a.norm = b.norm && a.events = b.events))
+    seq par;
+  let s = Cache.stats () in
+  Alcotest.(check int) "three keys" 3 s.size;
+  (* Racing domains may duplicate a computation, but hits + misses always
+     add up to one count per lookup. *)
+  Alcotest.(check int) "every lookup counted" (List.length tasks) (s.hits + s.misses)
+
+(* ------------------------------------------------------------------ *)
+(* Sweep probe memo                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_sweep_probe_memo () =
+  let calls = ref 0 in
+  let f s =
+    incr calls;
+    10. /. s
+  in
+  let iters = 16 in
+  (match Sweep.min_speed_for ~f ~threshold:2.5 ~lo:1. ~hi:8. ~iters () with
+  | Ok s -> Alcotest.(check bool) "crossover near 4" true (Float.abs (s -. 4.) < 0.01)
+  | Error _ -> Alcotest.fail "expected a crossover");
+  Alcotest.(check bool)
+    (Printf.sprintf "at most iters+1 evaluations (got %d)" !calls)
+    true
+    (!calls <= iters + 1)
+
+let test_run_config_new_defaults () =
+  Alcotest.(check bool) "fast path on by default" true Run.default.Run.fast_path;
+  Alcotest.(check bool) "cache on by default" true Run.default.Run.cache;
+  let cfg = Run.config ~fast_path:false ~cache:false () in
+  Alcotest.(check bool) "fast path off" false cfg.Run.fast_path;
+  Alcotest.(check bool) "cache off" false cfg.Run.cache
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_equal_share_matches_general;
+      prop_run_dispatch_matches_general;
+      prop_fast_path_inert_for_other_policies;
+    ]
+
+let () =
+  Alcotest.run "rr_simcore"
+    [
+      ("differential", qsuite @ [ Alcotest.test_case "trace equivalence" `Quick test_equal_share_trace ]);
+      ("digest", [ Alcotest.test_case "structural" `Quick test_digest ]);
+      ( "cache",
+        [
+          Alcotest.test_case "hit/miss accounting" `Quick test_cache_hit_miss;
+          Alcotest.test_case "config sensitivity" `Quick test_cache_config_sensitivity;
+          Alcotest.test_case "disabled" `Quick test_cache_disabled;
+          Alcotest.test_case "copy safety" `Quick test_cache_copy_safety;
+          Alcotest.test_case "capacity" `Quick test_cache_capacity;
+          Alcotest.test_case "under pool" `Quick test_cache_under_pool;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "sweep probe memo" `Quick test_sweep_probe_memo;
+          Alcotest.test_case "defaults" `Quick test_run_config_new_defaults;
+        ] );
+    ]
