@@ -2,14 +2,17 @@
    suite (see DESIGN.md section 3 and EXPERIMENTS.md) on a domain pool,
    then runs the B1 micro-benchmarks measuring the throughput of the
    substrates, the B2 parallel-executor benchmark comparing a sequential
-   sweep against Run.batch on the pool, and the B3 simulation-core
-   benchmark comparing the general event loop against the closed-form
-   equal-share engine and a cold sweep against a cached one.
+   sweep against Run.batch on the pool, the B3 simulation-core benchmark
+   comparing the general event loop against the closed-form equal-share
+   engine and a cold sweep against a cached one, and the B4 streaming
+   benchmark comparing the sink pipeline against materialize-and-measure
+   (jobs/sec, allocated words, peak live heap).
 
-   Machine-readable results land in BENCH_simcore.json next to the text
-   report.  The process exits non-zero when B3's differential check — the
-   two engines must agree on every flow time — fails, so CI can gate on
-   it.
+   Machine-readable results land in BENCH_simcore.json and
+   BENCH_stream.json next to the text report.  The process exits non-zero
+   when B3's differential check — the two engines must agree on every
+   flow time — fails, or when B4's allocation/peak-heap/agreement gates
+   fail, so CI can gate on them.
 
    Usage: dune exec bench/main.exe [-- --quick] [-- --jobs N]
    (RR_JOBS is honoured when --jobs is absent; default: all cores.)  *)
@@ -182,8 +185,8 @@ let run_parallel_bench pool =
   let identical =
     List.for_all2
       (fun (a : Run.result) (b : Run.result) ->
-        a.flows = b.flows && a.norm = b.norm && a.power_sum = b.power_sum
-        && a.events = b.events)
+        a.norm = b.norm && a.power_sum = b.power_sum && a.mean_flow = b.mean_flow
+        && a.max_flow = b.max_flow && a.n = b.n && a.events = b.events)
       seq par
   in
   Printf.printf
@@ -310,6 +313,202 @@ let run_simcore_bench () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* B4: streaming pipeline — throughput and memory vs materialized       *)
+(* ------------------------------------------------------------------ *)
+
+type b4_point = {
+  b4_n : int;
+  b4_stream_s : float;
+  b4_stream_alloc_words : float;
+  b4_stream_peak_words : int;
+  (* (seconds, allocated words, heap growth words, l2 norm) of the
+     materialize-then-measure pipeline; None when n is streamed-only. *)
+  b4_mat : (float * float * int * float) option;
+  b4_rel_diff : float option;
+}
+
+type b4_report = { b4_points : b4_point list; b4_failures : string list }
+
+(* The streamed pipeline must stay O(alive): bounded allocation per job
+   (the per-job Job.t, its Some wrapper, and the boxed floats crossing
+   closure boundaries are inherent; anything past ~256 words/job means a
+   per-job data structure leaked back in) and a peak live heap an order of
+   magnitude under the materialized pipeline's at the largest size. *)
+let b4_max_words_per_job = 256.
+let b4_min_peak_ratio = 10.
+let b4_rtol = 1e-9
+
+(* Growth ratios divide by the streamed growth, which on a warm heap can
+   legitimately be ~0 (the run fits in space freed by earlier phases); the
+   floor keeps the ratio finite without hiding real growth. *)
+let b4_growth_floor = 4096
+
+let run_stream_bench () =
+  let sizes =
+    (* (n, also run the materialized pipeline?) — the largest full-scale
+       point is streamed-only: ten million materialized jobs is exactly
+       the allocation this pipeline exists to avoid. *)
+    if quick then [ (10_000, true); (100_000, true) ]
+    else [ (100_000, true); (1_000_000, true); (10_000_000, false) ]
+  in
+  let cfg = Run.config ~speed:2. ~cache:false () in
+  let rr = Rr_policies.Round_robin.policy in
+  let heap_words () = (Gc.quick_stat ()).Gc.heap_words in
+  let point (n, mat_too) =
+    let stream =
+      Rr_workload.Instance.Stream.generate_load ~seed:77
+        ~sizes:(Rr_workload.Distribution.Exponential { mean = 1. })
+        ~load:0.9 ~machines:1 ~n ()
+    in
+    (* Peaks are measured as heap *growth* above a post-collection
+       baseline: Gc.compact is a no-op on this runtime (OCaml < 5.2), so
+       absolute heap_words carries every earlier phase's high-water mark.
+       Two full majors settle the baseline. *)
+    let phase_base () =
+      Gc.full_major ();
+      Gc.full_major ();
+      heap_words ()
+    in
+    let base = phase_base () in
+    let peak = ref 0 in
+    let completions = ref 0 in
+    let lk = Rr_metrics.Sink.lk ~k:2 () in
+    let sink ~id:_ ~arrival:_ ~flow =
+      Rr_metrics.Sink.push lk flow;
+      incr completions;
+      (* Sample the major heap as the run progresses; quick_stat does not
+         walk the heap, so the probe is cheap at 1/4096 completions. *)
+      if !completions land 4095 = 0 then peak := Int.max !peak (heap_words () - base)
+    in
+    let bytes0 = Gc.allocated_bytes () in
+    let t0 = Unix.gettimeofday () in
+    let (_ : Simulator.summary) = Run.simulate_stream cfg rr stream ~sink in
+    let t_stream = Unix.gettimeofday () -. t0 in
+    let alloc_stream = (Gc.allocated_bytes () -. bytes0) /. 8. in
+    peak := Int.max !peak (heap_words () - base);
+    let norm_stream = Rr_metrics.Sink.value lk in
+    let peak_stream = !peak in
+    let mat =
+      if not mat_too then None
+      else begin
+        let base = phase_base () in
+        let bytes0 = Gc.allocated_bytes () in
+        let t0 = Unix.gettimeofday () in
+        let inst = Rr_workload.Instance.Stream.materialize stream in
+        let r = Run.measure cfg rr inst in
+        let t_mat = Unix.gettimeofday () -. t0 in
+        let alloc_mat = (Gc.allocated_bytes () -. bytes0) /. 8. in
+        let peak_mat = heap_words () - base in
+        ignore (Sys.opaque_identity inst);
+        Some (t_mat, alloc_mat, peak_mat, r.Run.norm)
+      end
+    in
+    {
+      b4_n = n;
+      b4_stream_s = t_stream;
+      b4_stream_alloc_words = alloc_stream;
+      b4_stream_peak_words = peak_stream;
+      b4_mat = mat;
+      b4_rel_diff =
+        Option.map
+          (fun (_, _, _, norm_mat) ->
+            Float.abs (norm_stream -. norm_mat) /. Float.max 1e-300 (Float.abs norm_mat))
+          mat;
+    }
+  in
+  let points = List.map point sizes in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  List.iter
+    (fun p ->
+      let wpj = p.b4_stream_alloc_words /. Float.of_int (Int.max 1 p.b4_n) in
+      if wpj > b4_max_words_per_job then
+        fail "n=%d: streamed allocation %.1f words/job exceeds %.0f" p.b4_n wpj
+          b4_max_words_per_job;
+      (match p.b4_rel_diff with
+      | Some d when d > b4_rtol ->
+          fail "n=%d: streamed and materialized norms differ by %.2e (rtol %.0e)" p.b4_n d
+            b4_rtol
+      | _ -> ());
+      Printf.printf
+        "B4: n=%-9d streamed %8.0f jobs/s, %6.1f words/job, heap growth %9d words | %s\n%!"
+        p.b4_n
+        (Float.of_int p.b4_n /. Float.max 1e-9 p.b4_stream_s)
+        wpj p.b4_stream_peak_words
+        (match p.b4_mat with
+        | None -> "materialized: skipped (streamed-only point)"
+        | Some (t, alloc, peak, _) ->
+            Printf.sprintf
+              "materialized %8.0f jobs/s, %6.1f words/job, heap growth %9d words (%.1fx)"
+              (Float.of_int p.b4_n /. Float.max 1e-9 t)
+              (alloc /. Float.of_int (Int.max 1 p.b4_n))
+              peak
+              (Float.of_int peak
+              /. Float.of_int (Int.max b4_growth_floor p.b4_stream_peak_words))))
+    points;
+  (* The memory argument must hold where it matters most: at the largest
+     size both pipelines ran, the streamed heap growth must be >= 10x
+     smaller than the materialized one. *)
+  (match
+     List.fold_left
+       (fun acc p -> match p.b4_mat with Some _ -> Some p | None -> acc)
+       None points
+   with
+  | Some ({ b4_mat = Some (_, _, peak_mat, _); _ } as p) ->
+      let ratio =
+        Float.of_int peak_mat /. Float.of_int (Int.max b4_growth_floor p.b4_stream_peak_words)
+      in
+      if ratio < b4_min_peak_ratio then
+        fail "n=%d: materialized heap growth only %.1fx the streamed one (gate %.0fx)" p.b4_n
+          ratio b4_min_peak_ratio
+  | _ -> ());
+  { b4_points = points; b4_failures = List.rev !failures }
+
+let stream_json_file = "BENCH_stream.json"
+
+let write_stream_json (b4 : b4_report) =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"schema\": \"bench_stream/v1\",\n";
+  add "  \"scale\": %S,\n" (if quick then "quick" else "full");
+  add "  \"gates\": {\"max_words_per_job\": %.0f, \"min_peak_ratio\": %.0f, \"rtol\": %.0e},\n"
+    b4_max_words_per_job b4_min_peak_ratio b4_rtol;
+  add "  \"points\": [\n";
+  List.iteri
+    (fun i p ->
+      add
+        "    {\"n\": %d, \"stream\": {\"s\": %.6f, \"jobs_per_s\": %.1f, \"alloc_words\": \
+         %.0f, \"words_per_job\": %.2f, \"heap_growth_words\": %d}, \"materialized\": %s, \
+         \"rel_norm_diff\": %s}%s\n"
+        p.b4_n p.b4_stream_s
+        (Float.of_int p.b4_n /. Float.max 1e-9 p.b4_stream_s)
+        p.b4_stream_alloc_words
+        (p.b4_stream_alloc_words /. Float.of_int (Int.max 1 p.b4_n))
+        p.b4_stream_peak_words
+        (match p.b4_mat with
+        | None -> "null"
+        | Some (t, alloc, peak, _) ->
+            Printf.sprintf
+              "{\"s\": %.6f, \"jobs_per_s\": %.1f, \"alloc_words\": %.0f, \
+               \"heap_growth_words\": %d}"
+              t
+              (Float.of_int p.b4_n /. Float.max 1e-9 t)
+              alloc peak)
+        (match p.b4_rel_diff with None -> "null" | Some d -> Printf.sprintf "%.3e" d)
+        (if i = List.length b4.b4_points - 1 then "" else ","))
+    b4.b4_points;
+  add "  ],\n";
+  add "  \"failures\": [%s],\n"
+    (String.concat ", " (List.map (Printf.sprintf "%S") b4.b4_failures));
+  add "  \"ok\": %b\n" (b4.b4_failures = []);
+  add "}\n";
+  let oc = open_out stream_json_file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "(wrote %s)\n%!" stream_json_file
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable report                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -368,7 +567,9 @@ let () =
         (run_parallel_bench pool, b1))
   in
   let b3 = run_simcore_bench () in
+  let b4 = run_stream_bench () in
   write_json b1 b2 b3;
+  write_stream_json b4;
   if not (b3.sim_agree && b3.sweep_same_answer) then begin
     prerr_endline
       "B3 FAILED: the equal-share engine disagrees with the general engine; see \
@@ -377,5 +578,10 @@ let () =
   end;
   if not b2.b2_identical then begin
     prerr_endline "B2 FAILED: parallel batch results differ from sequential";
+    exit 1
+  end;
+  if b4.b4_failures <> [] then begin
+    List.iter (fun m -> prerr_endline ("B4 FAILED: " ^ m)) b4.b4_failures;
+    prerr_endline "B4 FAILED: streaming pipeline gate; see BENCH_stream.json";
     exit 1
   end

@@ -167,29 +167,95 @@ let generate_cmd =
 (* simulate                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* Peak resident set from the kernel's accounting, when the platform
+   exposes it (Linux). *)
+let vmhwm_kb () =
+  match In_channel.with_open_text "/proc/self/status" In_channel.input_all with
+  | exception _ -> None
+  | txt ->
+      List.find_map
+        (fun line ->
+          match String.split_on_char ':' line with
+          | [ "VmHWM"; rest ] -> (
+              match String.split_on_char ' ' (String.trim rest) with
+              | kb :: _ -> int_of_string_opt kb
+              | [] -> None)
+          | _ -> None)
+        (String.split_on_char '\n' txt)
+
+let simulate_streamed ~policy ~machines ~speed ~k ~seed ~sizes ~load ~n ~no_fast_path =
+  let stream = Rr_workload.Instance.Stream.generate_load ~seed ~sizes ~load ~machines ~n () in
+  let cfg = Run.config ~machines ~speed ~k ~fast_path:(not no_fast_path) () in
+  let agg = Rr_metrics.Sink.pair (Rr_metrics.Flow_stats.sink ()) (Rr_metrics.Sink.lk ~k ()) in
+  let bytes_before = Gc.allocated_bytes () in
+  let summary = Run.simulate_stream cfg policy stream ~sink:(Rr_metrics.Sink.feed agg) in
+  let allocated_words = (Gc.allocated_bytes () -. bytes_before) /. 8. in
+  Format.printf "stream %s (never materialized)@." (Rr_workload.Instance.Stream.label stream);
+  Format.printf
+    "policy %s at speed %g on %d machine(s): %d jobs, %d events, makespan %g, peak alive %d@."
+    policy.Rr_engine.Policy.name speed machines summary.Rr_engine.Simulator.n
+    summary.Rr_engine.Simulator.events summary.Rr_engine.Simulator.makespan
+    summary.Rr_engine.Simulator.max_alive;
+  if summary.Rr_engine.Simulator.n > 0 then begin
+    let stats, norm = Rr_metrics.Sink.value agg in
+    Format.printf "%a  (p50/p90/p99 are P-squared sketch estimates)@." Rr_metrics.Flow_stats.pp
+      stats;
+    Format.printf "l%d norm: %g@." k norm
+  end;
+  let heap_words = (Gc.quick_stat ()).Gc.top_heap_words in
+  Format.printf "memory: %.3g words allocated (%.1f words/job), top heap %d words%s@."
+    allocated_words
+    (if n = 0 then 0. else allocated_words /. Float.of_int n)
+    heap_words
+    (match vmhwm_kb () with
+    | Some kb -> Printf.sprintf ", peak RSS %d kB" kb
+    | None -> "")
+
 let simulate_cmd =
-  let run policy machines speed k file seed sizes load n no_fast_path =
-    let inst = load_instance ~file ~seed ~sizes ~load ~machines ~n in
-    let res =
-      Run.simulate
-        (Run.config ~machines ~speed ~k ~record_trace:true ~fast_path:(not no_fast_path) ())
-        policy inst
-    in
-    let flows = Rr_engine.Simulator.flows res in
-    let stats = Rr_metrics.Flow_stats.of_flows flows in
-    Format.printf "%a@." Rr_workload.Instance.pp inst;
-    Format.printf "policy %s at speed %g on %d machine(s): %d events@." policy.Rr_engine.Policy.name
-      speed machines res.events;
-    Format.printf "%a@." Rr_metrics.Flow_stats.pp stats;
-    Format.printf "l%d norm: %g  | time-weighted Jain index: %g@." k
-      (Rr_metrics.Norms.lk ~k flows)
-      (Rr_metrics.Fairness.time_weighted_jain res.trace)
+  let run policy machines speed k file seed sizes load n no_fast_path stream =
+    if stream then begin
+      if Option.is_some file then begin
+        prerr_endline
+          "rr_cli: --stream generates its workload lazily; it cannot be combined with --file";
+        exit 2
+      end;
+      simulate_streamed ~policy ~machines ~speed ~k ~seed ~sizes ~load ~n ~no_fast_path
+    end
+    else begin
+      let inst = load_instance ~file ~seed ~sizes ~load ~machines ~n in
+      let res =
+        Run.simulate
+          (Run.config ~machines ~speed ~k ~record_trace:true ~fast_path:(not no_fast_path) ())
+          policy inst
+      in
+      let flows = Rr_engine.Simulator.flows res in
+      let stats = Rr_metrics.Flow_stats.of_flows flows in
+      Format.printf "%a@." Rr_workload.Instance.pp inst;
+      Format.printf "policy %s at speed %g on %d machine(s): %d events@."
+        policy.Rr_engine.Policy.name speed machines res.events;
+      Format.printf "%a@." Rr_metrics.Flow_stats.pp stats;
+      Format.printf "l%d norm: %g  | time-weighted Jain index: %g@." k
+        (Rr_metrics.Norms.lk ~k flows)
+        (Rr_metrics.Fairness.time_weighted_jain res.trace)
+    end
+  in
+  let stream_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "stream" ]
+          ~doc:
+            "Generate the workload lazily and measure through the O(alive)-memory streaming \
+             pipeline: no job list or flow vector is ever materialized, so -n 10000000 runs \
+             in a near-constant heap.  Percentiles become P-squared sketch estimates; a \
+             words-allocated / peak-heap / peak-RSS report is appended.  Incompatible with \
+             $(b,--file).")
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run one policy on an instance and print its flow-time statistics.")
     Term.(
       const run $ policy_arg $ machines_arg $ speed_arg $ k_arg $ file_arg $ seed_arg $ sizes_arg
-      $ load_arg $ n_arg $ no_fast_path_arg)
+      $ load_arg $ n_arg $ no_fast_path_arg $ stream_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                             *)

@@ -4,10 +4,18 @@ type key = {
   speed : float;
   k : int;
   fast_path : bool;
+  streamed : bool;
   digest : int64;
 }
 
-type entry = { flows : float array; norm : float; power_sum : float; events : int }
+type entry = {
+  n : int;
+  norm : float;
+  power_sum : float;
+  mean_flow : float;
+  max_flow : float;
+  events : int;
+}
 
 type stats = { hits : int; misses : int; size : int; capacity : int }
 
@@ -29,17 +37,13 @@ let with_lock f =
   Mutex.lock state.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock state.lock) f
 
-(* The stored arrays are never handed out directly: a caller mutating its
-   flow vector (sorting it, say) must not corrupt later lookups. *)
-let copy_out e = { e with flows = Array.copy e.flows }
-
 let find_or_compute key compute =
   let cached =
     with_lock (fun () ->
         match Hashtbl.find_opt state.table key with
         | Some e ->
             state.hits <- state.hits + 1;
-            Some (copy_out e)
+            Some e
         | None ->
             state.misses <- state.misses + 1;
             None)
@@ -53,7 +57,7 @@ let find_or_compute key compute =
       let e = compute () in
       with_lock (fun () ->
           if (not (Hashtbl.mem state.table key)) && Hashtbl.length state.table < state.capacity
-          then Hashtbl.add state.table key (copy_out e));
+          then Hashtbl.add state.table key e);
       e
 
 let clear () =

@@ -4,10 +4,15 @@
     config) triple many times over — every probe of
     {!Sweep.min_speed_for} re-runs the baseline policy, every point of a
     speed sweep re-measures the same instance.  This cache remembers the
-    outcome of {!Run.measure} keyed by the policy's name, the scalar
-    config fields, and the instance's structural {!Rr_workload.Instance}
-    digest, so repeated measurements cost a hash lookup instead of a
-    simulation.
+    outcome of {!Run.measure} / {!Run.measure_stream} keyed by the
+    policy's name, the scalar config fields, and the instance's
+    structural {!Rr_workload.Instance} digest, so repeated measurements
+    cost a hash lookup instead of a simulation.
+
+    Entries are O(1) scalar aggregates — no flow vector is retained, so
+    the cache stays small even when the instances it remembers have
+    millions of jobs (fetch a flow vector with {!Run.flows}, which is
+    deliberately uncached).
 
     Correctness rests on two properties of the repo: simulation is
     deterministic given its inputs, and a policy's [name] determines its
@@ -18,8 +23,8 @@
 
     All operations are domain-safe: a {!Pool} of workers may share the
     cache.  Entries are computed outside the lock (duplicate computation
-    under a race is possible and harmless), and flow arrays are copied on
-    both insertion and lookup so no caller can corrupt a cached entry. *)
+    under a race is possible and harmless) and are immutable once
+    stored. *)
 
 type key = {
   policy : string;  (** [Policy.t.name]; must determine behaviour. *)
@@ -30,21 +35,28 @@ type key = {
       (** Whether the closed-form equal-share engine produced the entry.
           Kept in the key so fast and general results never alias — they
           agree to ~1e-12 relative, not to the bit. *)
+  streamed : bool;
+      (** Whether the entry came from the streaming sink path.  Streamed
+          folds accumulate in completion order, materialized ones in job-id
+          order, so the two agree to ~1e-9 relative, not to the bit; the
+          flag keeps them from aliasing, for the same reason as
+          [fast_path]. *)
   digest : int64;  (** {!Rr_workload.Instance.digest} of the instance. *)
 }
 
 type entry = {
-  flows : float array;  (** Flow times by job id. *)
+  n : int;  (** Jobs completed. *)
   norm : float;  (** lk-norm at the key's [k]. *)
   power_sum : float;  (** Unrooted [sum_j F_j^k]. *)
+  mean_flow : float;  (** Average flow time; [0.] when [n = 0]. *)
+  max_flow : float;  (** Maximum flow time; [0.] when [n = 0]. *)
   events : int;  (** Simulation events processed. *)
 }
 
 val find_or_compute : key -> (unit -> entry) -> entry
 (** [find_or_compute key compute] returns the cached entry for [key], or
     runs [compute], stores the result (unless the cache is at capacity),
-    and returns it.  The returned entry's flow array is always a private
-    copy. *)
+    and returns it. *)
 
 val clear : unit -> unit
 (** Drop every entry and zero the hit/miss counters. *)

@@ -7,6 +7,16 @@ let vs_baseline ?(baseline = Rr_policies.Srpt.policy) ?(baseline_speed = 1.) (cf
   let den = Run.norm { cfg with speed = baseline_speed; record_trace = false } baseline inst in
   if den <= 0. then Float.nan else num /. den
 
+let vs_baseline_stream ?(baseline = Rr_policies.Srpt.policy) ?(baseline_speed = 1.)
+    (cfg : Run.config) policy stream =
+  let num = (Run.measure_stream cfg policy stream).Run.norm in
+  let den =
+    (Run.measure_stream { cfg with speed = baseline_speed; record_trace = false } baseline
+       stream)
+      .Run.norm
+  in
+  if den <= 0. then Float.nan else num /. den
+
 let vs_lp_bound ~delta (cfg : Run.config) policy inst =
   let num = Run.norm cfg policy inst in
   let den =

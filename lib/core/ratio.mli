@@ -26,6 +26,20 @@ val vs_baseline :
     [baseline] (default SRPT) at [baseline_speed] (default 1).  Returns
     [nan] when the baseline norm is 0 (empty instance). *)
 
+val vs_baseline_stream :
+  ?baseline:Rr_engine.Policy.t ->
+  ?baseline_speed:float ->
+  Run.config ->
+  Rr_engine.Policy.t ->
+  Rr_workload.Instance.Stream.t ->
+  float
+(** {!vs_baseline} over a lazy stream: both the policy and the baseline
+    measure through {!Run.measure_stream}, so the ratio of a
+    million-job workload costs O(alive jobs) memory.  With [cfg.cache]
+    set, the baseline is simulated once per (config, stream digest) and
+    found in the cache on every subsequent probe, exactly as in the
+    materialized path. *)
+
 val vs_lp_bound :
   delta:float -> Run.config -> Rr_engine.Policy.t -> Rr_workload.Instance.t -> float
 (** lk-norm of the policy under the config divided by the certified LP

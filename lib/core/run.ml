@@ -31,14 +31,52 @@ let simulate cfg policy inst =
     Rr_engine.Simulator.run ~record_trace:cfg.record_trace ~speed:cfg.speed
       ~machines:cfg.machines ~policy jobs
 
+let simulate_stream cfg policy stream ~sink =
+  let pull = Rr_workload.Instance.Stream.start stream in
+  (* The engine's default 10M-event livelock guard would trip on perfectly
+     healthy multi-million-job streams (>= 2 events per job); the stream
+     knows its size, so scale the budget with it instead of uncapping. *)
+  let max_events = Int.max 10_000_000 (64 * Rr_workload.Instance.Stream.n stream) in
+  if fast_pathable cfg policy then
+    Rr_engine.Simulator.run_equal_share_stream ~speed:cfg.speed ~max_events
+      ~machines:cfg.machines ~sink pull
+  else
+    Rr_engine.Simulator.run_stream ~speed:cfg.speed ~max_events ~machines:cfg.machines ~policy
+      ~sink pull
+
 type result = {
   policy_name : string;
   instance_label : string;
-  flows : float array;
+  n : int;
   norm : float;
   power_sum : float;
+  mean_flow : float;
+  max_flow : float;
   events : int;
 }
+
+let key cfg (policy : Rr_engine.Policy.t) ~streamed ~digest =
+  {
+    Cache.policy = policy.name;
+    machines = cfg.machines;
+    speed = cfg.speed;
+    k = cfg.k;
+    fast_path = fast_pathable cfg policy;
+    streamed;
+    digest;
+  }
+
+let result_of_entry (policy : Rr_engine.Policy.t) ~instance_label (e : Cache.entry) =
+  {
+    policy_name = policy.name;
+    instance_label;
+    n = e.Cache.n;
+    norm = e.Cache.norm;
+    power_sum = e.Cache.power_sum;
+    mean_flow = e.Cache.mean_flow;
+    max_flow = e.Cache.max_flow;
+    events = e.Cache.events;
+  }
 
 let measure cfg (policy : Rr_engine.Policy.t) inst =
   let compute () =
@@ -47,38 +85,68 @@ let measure cfg (policy : Rr_engine.Policy.t) inst =
        record_trace config share cache entries with a plain one. *)
     let res = simulate { cfg with record_trace = false } policy inst in
     let flows = Rr_engine.Simulator.flows res in
+    let n = Array.length flows in
     {
-      Cache.flows;
+      Cache.n;
       norm = Rr_metrics.Norms.lk ~k:cfg.k flows;
       power_sum = Rr_metrics.Norms.power_sum ~k:cfg.k flows;
+      mean_flow = (if n = 0 then 0. else Rr_util.Welford.mean (Rr_util.Welford.of_array flows));
+      max_flow = Rr_metrics.Norms.linf flows;
       events = res.Rr_engine.Simulator.events;
     }
   in
   let entry =
     if cfg.cache then
       Cache.find_or_compute
-        {
-          Cache.policy = policy.name;
-          machines = cfg.machines;
-          speed = cfg.speed;
-          k = cfg.k;
-          fast_path = fast_pathable cfg policy;
-          digest = Rr_workload.Instance.digest inst;
-        }
+        (key cfg policy ~streamed:false ~digest:(Rr_workload.Instance.digest inst))
         compute
     else compute ()
   in
-  {
-    policy_name = policy.name;
-    instance_label = (inst : Rr_workload.Instance.t).label;
-    flows = entry.Cache.flows;
-    norm = entry.Cache.norm;
-    power_sum = entry.Cache.power_sum;
-    events = entry.Cache.events;
-  }
+  result_of_entry policy ~instance_label:(inst : Rr_workload.Instance.t).label entry
 
-let flows cfg policy inst = (measure cfg policy inst).flows
+let measure_stream cfg (policy : Rr_engine.Policy.t) stream =
+  let compute () =
+    (* One pass: the engine pushes each completion into the incremental
+       folds and discards it — nothing per-job survives the run. *)
+    let ps = Rr_metrics.Sink.power_sum ~k:cfg.k () in
+    let w = Rr_metrics.Sink.moments () in
+    let sink ~id:_ ~arrival:_ ~flow:f =
+      Rr_metrics.Sink.push ps f;
+      Rr_metrics.Sink.push w f
+    in
+    let summary = simulate_stream { cfg with record_trace = false } policy stream ~sink in
+    let wv = Rr_metrics.Sink.value w in
+    let power_sum = Rr_metrics.Sink.value ps in
+    let n = summary.Rr_engine.Simulator.n in
+    {
+      Cache.n;
+      norm = (if n = 0 then 0. else power_sum ** (1. /. Float.of_int cfg.k));
+      power_sum;
+      mean_flow = Rr_util.Welford.mean wv;
+      max_flow = (if n = 0 then 0. else Rr_util.Welford.max wv);
+      events = summary.Rr_engine.Simulator.events;
+    }
+  in
+  let entry =
+    if cfg.cache then
+      Cache.find_or_compute
+        (key cfg policy ~streamed:true ~digest:(Rr_workload.Instance.Stream.digest stream))
+        compute
+    else compute ()
+  in
+  result_of_entry policy
+    ~instance_label:(Rr_workload.Instance.Stream.label stream)
+    entry
+
+(* Uncached by design: the cache stores O(1) aggregates, never flow
+   vectors, so asking for the vector always re-simulates. *)
+let flows cfg policy inst =
+  Rr_engine.Simulator.flows (simulate { cfg with record_trace = false } policy inst)
+
 let norm cfg policy inst = (measure cfg policy inst).norm
 let power_sum cfg policy inst = (measure cfg policy inst).power_sum
 
 let batch pool cfg tasks = Pool.map pool (fun (policy, inst) -> measure cfg policy inst) tasks
+
+let batch_stream pool cfg tasks =
+  Pool.map pool (fun (policy, stream) -> measure_stream cfg policy stream) tasks

@@ -9,6 +9,18 @@
     inputs and every task is independent, the batch results are
     bit-identical to the sequential ones for any number of domains.
 
+    Measurements come in two shapes:
+
+    - {e materialized}: {!measure} takes an {!Rr_workload.Instance.t}
+      (a job list in memory) and folds the flow vector the simulator
+      returns;
+    - {e streaming}: {!measure_stream} takes an
+      {!Rr_workload.Instance.Stream.t} and pushes every completion through
+      the incremental folds of [Rr_metrics.Sink] as it happens — live
+      memory is O(alive jobs), so ten-million-job workloads measure in a
+      constant-size heap.  The two paths agree to ~1e-9 relative (they sum
+      in different orders) and never alias in the cache.
+
     Two optimisations are on by default and individually defeasible:
 
     - [fast_path]: runs of the shared {!Rr_policies.Round_robin.policy}
@@ -18,8 +30,8 @@
       faster in heavy traffic.  Set [fast_path:false] to force the
       general event loop (e.g. to reproduce bit-exact historical
       numbers).
-    - [cache]: {!measure} (and everything built on it — {!norm},
-      {!flows}, {!batch}, {!Ratio.vs_baseline}, sweeps) consults the
+    - [cache]: {!measure} and {!measure_stream} (and everything built on
+      them — {!norm}, {!batch}, {!Ratio.vs_baseline}, sweeps) consult the
       process-wide {!Cache}, so re-measuring the same (policy, config,
       instance) triple costs a hash lookup.  Set [cache:false] for
       benchmarking or for custom policies whose [name] does not determine
@@ -49,6 +61,7 @@ val config :
   ?cache:bool ->
   unit ->
   config
+
 (** {!default} with the given fields overridden. *)
 
 val simulate : config -> Rr_engine.Policy.t -> Rr_workload.Instance.t -> Rr_engine.Simulator.result
@@ -57,8 +70,21 @@ val simulate : config -> Rr_engine.Policy.t -> Rr_workload.Instance.t -> Rr_engi
     engine when [fast_path] is set and the policy is physically
     {!Rr_policies.Round_robin.policy}. *)
 
+val simulate_stream :
+  config ->
+  Rr_engine.Policy.t ->
+  Rr_workload.Instance.Stream.t ->
+  sink:Rr_engine.Simulator.sink ->
+  Rr_engine.Simulator.summary
+(** Streaming counterpart of {!simulate}: starts a fresh cursor on the
+    stream, pushes every completion into [sink], returns the O(1)
+    {!Rr_engine.Simulator.summary}.  Never cached; [record_trace] is
+    ignored (streaming runs keep no trace).  Same fast-path dispatch as
+    {!simulate}. *)
+
 val flows : config -> Rr_engine.Policy.t -> Rr_workload.Instance.t -> float array
-(** Flow times by job id.  The array is the caller's own copy. *)
+(** Flow times by job id.  Always re-simulates (the cache stores O(1)
+    aggregates, never flow vectors); the array is the caller's own. *)
 
 val norm : config -> Rr_engine.Policy.t -> Rr_workload.Instance.t -> float
 (** The lk-norm of flow time achieved by the policy ([k] from the
@@ -70,20 +96,31 @@ val power_sum : config -> Rr_engine.Policy.t -> Rr_workload.Instance.t -> float
 type result = {
   policy_name : string;
   instance_label : string;
-  flows : float array;  (** Flow times by job id. *)
+  n : int;  (** Jobs completed. *)
   norm : float;  (** lk-norm at the config's [k]. *)
   power_sum : float;  (** Unrooted [sum_j F_j^k]. *)
+  mean_flow : float;  (** Average flow time; [0.] when [n = 0]. *)
+  max_flow : float;  (** Maximum flow time (the l-infinity norm). *)
   events : int;  (** Simulation events processed. *)
 }
-(** One completed measurement of {!batch}: the flow vector plus the derived
-    norms, without the trace (record a trace with {!simulate} when the
-    dual-fitting verifier or the fairness time series needs it). *)
+(** One completed measurement: O(1) aggregates only, so results from
+    {!measure} and {!measure_stream} are interchangeable and cheap to keep
+    in bulk.  Need the per-job flow vector?  {!flows} (materialized) or a
+    custom sink via {!simulate_stream}. *)
 
 val measure : config -> Rr_engine.Policy.t -> Rr_workload.Instance.t -> result
 (** One simulate-and-measure step — what {!batch} runs per task.  Cached
     when [cfg.cache] is set; [record_trace] is ignored here (measurements
     never need the trace), so traced and untraced configs share cache
     entries. *)
+
+val measure_stream : config -> Rr_engine.Policy.t -> Rr_workload.Instance.Stream.t -> result
+(** {!measure} over a lazy stream: one O(alive)-memory pass pushing
+    completions through incremental folds.  Cached when [cfg.cache] is
+    set, keyed on the stream's digest with [streamed = true] (streamed
+    folds sum in completion order, materialized in id order; the two agree
+    to ~1e-9 relative and never share entries).  Replays the stream from
+    its seed — the stream value itself is not consumed. *)
 
 val batch : Pool.t -> config -> (Rr_engine.Policy.t * Rr_workload.Instance.t) list -> result list
 (** [batch pool cfg tasks] measures every (policy, instance) pair on the
@@ -94,3 +131,9 @@ val batch : Pool.t -> config -> (Rr_engine.Policy.t * Rr_workload.Instance.t) li
     (e.g. {!Rr_policies.Quantum_rr}) must be fresh per task — build them
     with {!Rr_policies.Registry.make}.
     @raise Pool.Task_error when a simulation raises. *)
+
+val batch_stream :
+  Pool.t -> config -> (Rr_engine.Policy.t * Rr_workload.Instance.Stream.t) list -> result list
+(** {!batch} over streamed tasks.  Streams are seed-replayable, so the
+    same stream value may appear in several tasks (and on several domains)
+    safely — each measurement starts its own cursor. *)

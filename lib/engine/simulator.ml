@@ -10,6 +10,71 @@ let () =
              "Rr_engine.Simulator.Event_limit_exceeded (budget %d exhausted at t = %g)" limit now)
     | _ -> None)
 
+type sink = id:int -> arrival:float -> flow:float -> unit
+
+(* ------------------------------------------------------------------ *)
+(* Arrival sources                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Both engines consume arrivals through this one-job-lookahead interface:
+   the sorted-array path of {!run}/{!run_equal_share} and the lazy
+   generators of {!Rr_workload} [Instance.Stream] implement the same pull
+   function, so "how many jobs exist" is independent of the event loop.
+   Monotonicity is enforced at the boundary — a source that emits a job
+   released before its predecessor is a bug in the producer, caught here
+   rather than as silent time travel inside the loop. *)
+module Source = struct
+  type t = {
+    pull : unit -> Job.t option;
+    mutable head : Job.t option;  (* one-job lookahead buffer *)
+    mutable last_arrival : float;
+    mutable drained : bool;
+  }
+
+  let of_fn pull = { pull; head = None; last_arrival = Float.neg_infinity; drained = false }
+
+  let of_array jobs =
+    let i = ref 0 in
+    of_fn (fun () ->
+        if !i >= Array.length jobs then None
+        else begin
+          let j = jobs.(!i) in
+          incr i;
+          Some j
+        end)
+
+  let peek t =
+    match t.head with
+    | Some _ as h -> h
+    | None ->
+        if t.drained then None
+        else begin
+          (match t.pull () with
+          | None -> t.drained <- true
+          | Some j as h ->
+              if j.Job.arrival < t.last_arrival then
+                invalid_arg
+                  (Printf.sprintf
+                     "Simulator.Source: arrivals must be non-decreasing (job #%d at %g after \
+                      %g)"
+                     j.Job.id j.Job.arrival t.last_arrival);
+              t.last_arrival <- j.Job.arrival;
+              t.head <- h);
+          t.head
+        end
+
+  let next t =
+    match peek t with
+    | None -> None
+    | Some _ as h ->
+        t.head <- None;
+        h
+
+  let next_arrival t = match peek t with Some j -> j.Job.arrival | None -> Float.infinity
+
+  let has_more t = peek t <> None
+end
+
 type live = {
   job : Job.t;
   mutable remaining : float;
@@ -24,6 +89,15 @@ type result = {
   machines : int;
   speed : float;
   events : int;
+}
+
+type summary = {
+  n : int;
+  events : int;
+  machines : int;
+  speed : float;
+  makespan : float;
+  max_alive : int;
 }
 
 let validate_jobs jobs =
@@ -81,16 +155,20 @@ let validate_decision ~machines ~now ~n_alive (d : Policy.decision) =
       raise (Invalid_allocation (Printf.sprintf "horizon %g not after now = %g" h now))
   | _ -> ()
 
-let run ?(record_trace = false) ?(speed = 1.) ?(max_events = 10_000_000) ~machines
-    ~(policy : Policy.t) jobs =
+(* ------------------------------------------------------------------ *)
+(* General engine: one policy invocation per event                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The core loop is shared by the materialized and the streaming entry
+   points: it never sees the job count, only the source's one-job
+   lookahead, and reports each completion through [complete].  Live state
+   is O(alive): the swap-remove vector of live jobs, the views scratch
+   array, and (only when requested) the trace arena. *)
+let general_core ~record_trace ~speed ~max_events ~machines ~(policy : Policy.t)
+    ~(source : Source.t) ~(complete : Job.t -> float -> unit) =
   if machines < 1 then invalid_arg "Simulator.run: machines must be >= 1";
   if not (Float.is_finite speed && speed > 0.) then
     invalid_arg "Simulator.run: speed must be finite and positive";
-  let n = validate_jobs jobs in
-  let jobs_arr = jobs_by_id jobs n in
-  let order = release_order jobs n in
-  let completions = Array.make n Float.nan in
-  let pending = ref 0 in
   let clairvoyant = policy.clairvoyant in
   (* Alive jobs in a swap-remove vector; policy views follow this order.
      Each live job owns one view record for its whole lifetime: only the
@@ -99,6 +177,9 @@ let run ?(record_trace = false) ?(speed = 1.) ?(max_events = 10_000_000) ~machin
      cell is still reboxed per job per event — two words, against the
      seven-word view record plus two option cells it replaces.) *)
   let alive : live Rr_util.Vec.t = Rr_util.Vec.create () in
+  let completed = ref 0 in
+  let max_alive = ref 0 in
+  let makespan = ref 0. in
   let push_alive (j : Job.t) =
     let view =
       {
@@ -109,12 +190,17 @@ let run ?(record_trace = false) ?(speed = 1.) ?(max_events = 10_000_000) ~machin
         remaining = (if clairvoyant then Some j.size else None);
       }
     in
-    Rr_util.Vec.push alive { job = j; remaining = j.size; attained = 0.; view }
+    Rr_util.Vec.push alive { job = j; remaining = j.size; attained = 0.; view };
+    if Rr_util.Vec.length alive > !max_alive then max_alive := Rr_util.Vec.length alive
   in
   let admit_upto now =
-    while !pending < n && order.(!pending).arrival <= now do
-      push_alive order.(!pending);
-      incr pending
+    let continue = ref true in
+    while !continue do
+      match Source.peek source with
+      | Some j when j.Job.arrival <= now ->
+          ignore (Source.next source);
+          push_alive j
+      | _ -> continue := false
     done
   in
   (* Scratch array handed to the policy.  It must have length exactly
@@ -137,15 +223,15 @@ let run ?(record_trace = false) ?(speed = 1.) ?(max_events = 10_000_000) ~machin
      to the list representation once, instead of cons-and-reverse. *)
   let trace_arena : Trace.segment Rr_util.Vec.t = Rr_util.Vec.create () in
   let events = ref 0 in
-  let now = ref (if n > 0 then order.(0).arrival else 0.) in
+  let now = ref (match Source.peek source with Some j -> j.Job.arrival | None -> 0.) in
   admit_upto !now;
-  while Rr_util.Vec.length alive > 0 || !pending < n do
+  while Rr_util.Vec.length alive > 0 || Source.has_more source do
     incr events;
     if !events > max_events then
       raise (Event_limit_exceeded { limit = max_events; now = !now });
     if Rr_util.Vec.length alive = 0 then begin
       (* Idle period: jump straight to the next arrival. *)
-      now := order.(!pending).arrival;
+      now := Source.next_arrival source;
       admit_upto !now
     end
     else begin
@@ -160,7 +246,7 @@ let run ?(record_trace = false) ?(speed = 1.) ?(max_events = 10_000_000) ~machin
       let decision = policy.allocate ~now:!now ~machines ~speed views in
       validate_decision ~machines ~now:!now ~n_alive decision;
       let rates = decision.rates in
-      let next_arrival = if !pending < n then Some order.(!pending).arrival else None in
+      let next_arrival = Source.next_arrival source in
       (* Earliest analytic completion under the current constant rates,
          folded inline.  Rates are fresh every event, so any heap over
          completion times would be rebuilt from scratch per event and lose
@@ -174,7 +260,7 @@ let run ?(record_trace = false) ?(speed = 1.) ?(max_events = 10_000_000) ~machin
           if c < !t_next then t_next := c
         end
       done;
-      (match next_arrival with Some a when a < !t_next -> t_next := a | _ -> ());
+      if next_arrival < !t_next then t_next := next_arrival;
       (match decision.horizon with Some h when h < !t_next -> t_next := h | _ -> ());
       if not (Float.is_finite !t_next) then
         raise
@@ -201,24 +287,55 @@ let run ?(record_trace = false) ?(speed = 1.) ?(max_events = 10_000_000) ~machin
       for i = n_alive - 1 downto 0 do
         let l = Rr_util.Vec.get alive i in
         if l.remaining <= done_threshold l then begin
-          completions.(l.job.id) <- !now;
+          complete l.job !now;
+          incr completed;
+          makespan := !now;
           Rr_util.Vec.swap_remove alive i
         end
       done;
       admit_upto !now
     end
   done;
-  {
-    jobs = jobs_arr;
-    completions;
-    trace = Rr_util.Vec.to_list trace_arena;
-    machines;
-    speed;
-    events = !events;
-  }
+  let trace = Rr_util.Vec.to_list trace_arena in
+  ( {
+      n = !completed;
+      events = !events;
+      machines;
+      speed;
+      makespan = !makespan;
+      max_alive = !max_alive;
+    },
+    trace )
+
+let no_sink : sink = fun ~id:_ ~arrival:_ ~flow:_ -> ()
+
+let run ?(record_trace = false) ?(speed = 1.) ?(max_events = 10_000_000) ?(sink = no_sink)
+    ~machines ~(policy : Policy.t) jobs =
+  let n = validate_jobs jobs in
+  let jobs_arr = jobs_by_id jobs n in
+  let order = release_order jobs n in
+  let completions = Array.make n Float.nan in
+  let complete (j : Job.t) now =
+    completions.(j.id) <- now;
+    sink ~id:j.id ~arrival:j.arrival ~flow:(now -. j.arrival)
+  in
+  let summary, trace =
+    general_core ~record_trace ~speed ~max_events ~machines ~policy
+      ~source:(Source.of_array order) ~complete
+  in
+  { jobs = jobs_arr; completions; trace; machines; speed; events = summary.events }
+
+let run_stream ?(speed = 1.) ?(max_events = 10_000_000) ~machines ~(policy : Policy.t) ~sink
+    pull =
+  let complete (j : Job.t) now = sink ~id:j.id ~arrival:j.arrival ~flow:(now -. j.arrival) in
+  let summary, _trace =
+    general_core ~record_trace:false ~speed ~max_events ~machines ~policy
+      ~source:(Source.of_fn pull) ~complete
+  in
+  summary
 
 (* ------------------------------------------------------------------ *)
-(* Closed-form equal-share (processor-sharing) engine                  *)
+(* Closed-form equal-share (RR) engine                                 *)
 (* ------------------------------------------------------------------ *)
 
 (* Under an equal-share policy every alive job is served at the same
@@ -227,72 +344,91 @@ let run ?(record_trace = false) ?(speed = 1.) ?(max_events = 10_000_000) ~machin
    ("virtual service"): a job admitted when the clock read [V_a] completes
    exactly when V reaches its deadline [V_a + size].  Jobs therefore
    complete in deadline order, so a single binary heap of deadlines
-   ({!Rr_util.Heap.Scalar}, keyed on the deadline with the job id as
-   payload) replaces the per-event policy invocation and O(alive) scans of
-   the general engine: each arrival or completion costs O(log alive), the
-   whole run O((n + events) log alive), with no allocation per event. *)
+   ({!Rr_util.Heap.Scalar2}, keyed on the deadline with the job id as
+   payload and the arrival and size as satellites) replaces the per-event
+   policy invocation and O(alive) scans of the general engine: each arrival
+   or completion costs O(log alive), the whole run O((n + events) log
+   alive), with no allocation per event and no O(n) side table — the heap
+   IS the whole live state, so the same core drives both the materialized
+   and the streaming entry point. *)
 
-let run_equal_share ?(record_trace = false) ?(speed = 1.) ?(max_events = 10_000_000)
-    ~machines jobs =
+let equal_share_core ~record_trace ~speed ~max_events ~machines ~(source : Source.t)
+    ~(complete : int -> float -> float -> unit) =
   if machines < 1 then invalid_arg "Simulator.run_equal_share: machines must be >= 1";
   if not (Float.is_finite speed && speed > 0.) then
     invalid_arg "Simulator.run_equal_share: speed must be finite and positive";
-  let n = validate_jobs jobs in
-  let jobs_arr = jobs_by_id jobs n in
-  let order = release_order jobs n in
-  let completions = Array.make n Float.nan in
-  let pending = ref 0 in
-  let heap = Rr_util.Heap.Scalar.create () in
+  let heap = Rr_util.Heap.Scalar2.create () in
   let vsrv = ref 0. in
+  let completed = ref 0 in
+  let max_alive = ref 0 in
+  let makespan = ref 0. in
   (* Roster of alive jobs, maintained only for trace recording; [pos]
-     tracks each job's slot so completions remove in O(1). *)
+     tracks each job's slot so completions remove in O(1).  The pos table
+     grows with the largest id seen, which the streaming entry point never
+     exercises (it passes record_trace:false). *)
   let roster : Job.t Rr_util.Vec.t = Rr_util.Vec.create () in
-  let pos = if record_trace then Array.make (Int.max n 1) (-1) else [||] in
+  let pos = ref [||] in
+  let ensure_pos id =
+    let cap = Array.length !pos in
+    if id >= cap then begin
+      let ncap = Int.max 8 (Int.max (2 * cap) (id + 1)) in
+      let np = Array.make ncap (-1) in
+      Array.blit !pos 0 np 0 cap;
+      pos := np
+    end
+  in
   let admit (j : Job.t) =
-    Rr_util.Heap.Scalar.add heap ~key:(!vsrv +. j.size) j.id;
+    Rr_util.Heap.Scalar2.add heap ~key:(!vsrv +. j.size) ~aux1:j.arrival ~aux2:j.size j.id;
+    if Rr_util.Heap.Scalar2.length heap > !max_alive then
+      max_alive := Rr_util.Heap.Scalar2.length heap;
     if record_trace then begin
-      pos.(j.id) <- Rr_util.Vec.length roster;
+      ensure_pos j.id;
+      !pos.(j.id) <- Rr_util.Vec.length roster;
       Rr_util.Vec.push roster j
     end
   in
   let drop id =
     if record_trace then begin
-      let i = pos.(id) in
+      let i = !pos.(id) in
       let last = Rr_util.Vec.length roster - 1 in
       let moved = Rr_util.Vec.get roster last in
       Rr_util.Vec.swap_remove roster i;
-      if i < last then pos.(moved.id) <- i;
-      pos.(id) <- -1
+      if i < last then !pos.(moved.id) <- i;
+      !pos.(id) <- -1
     end
   in
   let admit_upto now =
-    while !pending < n && order.(!pending).arrival <= now do
-      admit order.(!pending);
-      incr pending
+    let continue = ref true in
+    while !continue do
+      match Source.peek source with
+      | Some j when j.Job.arrival <= now ->
+          ignore (Source.next source);
+          admit j
+      | _ -> continue := false
     done
   in
   let trace_arena : Trace.segment Rr_util.Vec.t = Rr_util.Vec.create () in
   let events = ref 0 in
-  let now = ref (if n > 0 then order.(0).arrival else 0.) in
+  let now = ref (match Source.peek source with Some j -> j.Job.arrival | None -> 0.) in
   admit_upto !now;
-  while Rr_util.Heap.Scalar.length heap > 0 || !pending < n do
+  while Rr_util.Heap.Scalar2.length heap > 0 || Source.has_more source do
     incr events;
     if !events > max_events then
       raise (Event_limit_exceeded { limit = max_events; now = !now });
-    if Rr_util.Heap.Scalar.is_empty heap then begin
-      now := order.(!pending).arrival;
+    if Rr_util.Heap.Scalar2.is_empty heap then begin
+      now := Source.next_arrival source;
       admit_upto !now
     end
     else begin
-      let n_alive = Rr_util.Heap.Scalar.length heap in
+      let n_alive = Rr_util.Heap.Scalar2.length heap in
       let share = Float.min 1. (Float.of_int machines /. Float.of_int n_alive) in
       let rate = share *. speed in
       let t_complete =
-        !now +. ((Rr_util.Heap.Scalar.min_key_exn heap -. !vsrv) /. rate)
+        !now +. ((Rr_util.Heap.Scalar2.min_key_exn heap -. !vsrv) /. rate)
       in
       (* Completion wins a tie with an arrival, exactly like the general
          engine's [a < t_next] guard. *)
-      let next_arrival = if !pending < n then order.(!pending).arrival else Float.infinity in
+      let next_arrival = Source.next_arrival source in
       let is_completion = not (next_arrival < t_complete) in
       let t_next = if is_completion then t_complete else next_arrival in
       let dt = t_next -. !now in
@@ -307,38 +443,66 @@ let run_equal_share ?(record_trace = false) ?(speed = 1.) ?(max_events = 10_000_
       end;
       vsrv := !vsrv +. (rate *. dt);
       now := t_next;
-      if is_completion then begin
+      let retire () =
+        let id = Rr_util.Heap.Scalar2.min_val_exn heap in
+        let arrival = Rr_util.Heap.Scalar2.min_aux1_exn heap in
+        ignore (Rr_util.Heap.Scalar2.pop_exn heap : int);
+        complete id arrival !now;
+        incr completed;
+        makespan := !now;
+        drop id
+      in
+      if is_completion then
         (* The head's deadline defined this event time; retire it even if
            rounding left [vsrv] an ulp short of the deadline. *)
-        let id = Rr_util.Heap.Scalar.pop_exn heap in
-        completions.(id) <- !now;
-        drop id
-      end;
+        retire ();
       (* Cascade every job whose residual virtual service is within the
          completion threshold of this instant (simultaneous completions,
          and arrivals landing exactly on a completion). *)
       while
-        (not (Rr_util.Heap.Scalar.is_empty heap))
-        &&
-        let id = Rr_util.Heap.Scalar.min_val_exn heap in
-        Rr_util.Heap.Scalar.min_key_exn heap -. !vsrv
-        <= completion_threshold jobs_arr.(id).size
+        (not (Rr_util.Heap.Scalar2.is_empty heap))
+        && Rr_util.Heap.Scalar2.min_key_exn heap -. !vsrv
+           <= completion_threshold (Rr_util.Heap.Scalar2.min_aux2_exn heap)
       do
-        let id = Rr_util.Heap.Scalar.pop_exn heap in
-        completions.(id) <- !now;
-        drop id
+        retire ()
       done;
       admit_upto !now
     end
   done;
-  {
-    jobs = jobs_arr;
-    completions;
-    trace = Rr_util.Vec.to_list trace_arena;
-    machines;
-    speed;
-    events = !events;
-  }
+  let trace = Rr_util.Vec.to_list trace_arena in
+  ( {
+      n = !completed;
+      events = !events;
+      machines;
+      speed;
+      makespan = !makespan;
+      max_alive = !max_alive;
+    },
+    trace )
+
+let run_equal_share ?(record_trace = false) ?(speed = 1.) ?(max_events = 10_000_000)
+    ?(sink = no_sink) ~machines jobs =
+  let n = validate_jobs jobs in
+  let jobs_arr = jobs_by_id jobs n in
+  let order = release_order jobs n in
+  let completions = Array.make n Float.nan in
+  let complete id arrival now =
+    completions.(id) <- now;
+    sink ~id ~arrival ~flow:(now -. arrival)
+  in
+  let summary, trace =
+    equal_share_core ~record_trace ~speed ~max_events ~machines
+      ~source:(Source.of_array order) ~complete
+  in
+  { jobs = jobs_arr; completions; trace; machines; speed; events = summary.events }
+
+let run_equal_share_stream ?(speed = 1.) ?(max_events = 10_000_000) ~machines ~sink pull =
+  let complete id arrival now = sink ~id ~arrival ~flow:(now -. arrival) in
+  let summary, _trace =
+    equal_share_core ~record_trace:false ~speed ~max_events ~machines
+      ~source:(Source.of_fn pull) ~complete
+  in
+  summary
 
 let flows r = Array.mapi (fun i c -> c -. r.jobs.(i).Job.arrival) r.completions
 

@@ -21,6 +21,20 @@
       rounding (within the completion-threshold semantics both engines
       share).
 
+    Both engines consume arrivals through the peekable {!Source} interface
+    and report completions through a {!sink}, so the same event loops
+    drive two shapes of entry point:
+
+    - the {e materialized} entry points ({!run}, {!run_equal_share}) take a
+      job list, return the full {!result} with per-job completion times,
+      and additionally feed an optional [?sink];
+    - the {e streaming} entry points ({!run_stream},
+      {!run_equal_share_stream}) take a pull function, feed every
+      completion to a mandatory [~sink], and return only a {!summary} —
+      live memory is O(alive jobs), independent of how many jobs the
+      source produces, so million- to ten-million-job instances run in a
+      constant-size heap.
+
     Speed augmentation: a policy rate [m_j(t) in \[0,1\]] results in
     processing at rate [speed * m_j(t)], matching the [s]-speed analysis of
     the paper (RR is given [eta = 2k(1 + 10 eps)] speed in Theorem 1). *)
@@ -37,6 +51,42 @@ exception Event_limit_exceeded of { limit : int; now : float }
     legal, the budget was just too small for the instance (or a policy
     emits pathologically short horizons). *)
 
+type sink = id:int -> arrival:float -> flow:float -> unit
+(** A completion consumer: called once per job, at the simulated moment the
+    job completes (so in non-decreasing completion-time order), with the
+    job's id, release time, and flow time.  The flow vector of the
+    materialized API is just one possible sink; the incremental folds of
+    [Rr_metrics.Sink] are others. *)
+
+(** Peekable arrival streams — the one interface both engines pull jobs
+    through.  {!Source.of_array} adapts the sorted-array path of the
+    materialized entry points; lazy generators ([Rr_workload]
+    [Instance.Stream]) provide the same pull function without ever
+    materializing a job list.  Jobs must be produced in non-decreasing
+    arrival order (checked; [Invalid_argument] otherwise) with distinct
+    ids (trusted). *)
+module Source : sig
+  type t
+
+  val of_fn : (unit -> Job.t option) -> t
+  (** Wrap a pull function; [None] means the stream is exhausted (and is
+      then never pulled again). *)
+
+  val of_array : Job.t array -> t
+  (** Stream an array in index order (the caller sorts by release). *)
+
+  val peek : t -> Job.t option
+  (** Next job without consuming it. *)
+
+  val next : t -> Job.t option
+  (** Consume and return the next job. *)
+
+  val next_arrival : t -> float
+  (** Arrival time of {!peek}'s job; [infinity] when exhausted. *)
+
+  val has_more : t -> bool
+end
+
 type result = {
   jobs : Job.t array;  (** All jobs, indexed by job id. *)
   completions : float array;  (** Completion time [C_j], indexed by job id. *)
@@ -46,10 +96,23 @@ type result = {
   events : int;  (** Number of simulation events processed. *)
 }
 
+type summary = {
+  n : int;  (** Jobs completed. *)
+  events : int;  (** Simulation events processed. *)
+  machines : int;
+  speed : float;
+  makespan : float;  (** Last completion time; [0.] when no job completed. *)
+  max_alive : int;  (** Peak number of simultaneously alive jobs. *)
+}
+(** What a streaming run returns: everything per-job went through the sink,
+    so only O(1) aggregates remain.  [max_alive] documents the live-memory
+    high-water mark — streaming runs allocate O(max_alive), not O(n). *)
+
 val run :
   ?record_trace:bool ->
   ?speed:float ->
   ?max_events:int ->
+  ?sink:sink ->
   machines:int ->
   policy:Policy.t ->
   Job.t list ->
@@ -62,13 +125,30 @@ val run :
     @param speed resource augmentation factor, default [1.].
     @param max_events safety bound on the number of events (default
       [10_000_000]); exceeding it raises {!Event_limit_exceeded}.
+    @param sink additionally receives every completion as it happens
+      (default: none).
     @raise Invalid_argument when job ids are not exactly [0 .. n-1], when
       [machines < 1], or when [speed] is not finite and positive. *)
+
+val run_stream :
+  ?speed:float ->
+  ?max_events:int ->
+  machines:int ->
+  policy:Policy.t ->
+  sink:sink ->
+  (unit -> Job.t option) ->
+  summary
+(** [run_stream ~machines ~policy ~sink pull] simulates [policy] on the
+    jobs produced by [pull], feeding each completion to [sink]; live
+    memory is O(alive), independent of the total job count.  [pull] must
+    produce jobs in non-decreasing arrival order with distinct ids.
+    Parameters and errors as in {!run} (no trace in streaming mode). *)
 
 val run_equal_share :
   ?record_trace:bool ->
   ?speed:float ->
   ?max_events:int ->
+  ?sink:sink ->
   machines:int ->
   Job.t list ->
   result
@@ -78,6 +158,18 @@ val run_equal_share :
     Flow times agree with [run ~policy:Rr_policies.Round_robin.policy] up
     to floating-point rounding; traces carry the same segments (entry order
     within a segment may differ).  Parameters and errors as in {!run}. *)
+
+val run_equal_share_stream :
+  ?speed:float ->
+  ?max_events:int ->
+  machines:int ->
+  sink:sink ->
+  (unit -> Job.t option) ->
+  summary
+(** Streaming counterpart of {!run_equal_share}: the deadline heap (with
+    each job's arrival and size as satellites) is the {e entire} live
+    state, so a 10M-job instance runs in O(max alive) heap.  [pull] as in
+    {!run_stream}. *)
 
 val flows : result -> float array
 (** Flow times [F_j = C_j - r_j], indexed by job id. *)

@@ -13,23 +13,59 @@ type t = {
   l3 : float;
 }
 
-let of_flows flows =
-  if Array.length flows = 0 then invalid_arg "Flow_stats.of_flows: empty array";
-  let w = Rr_util.Welford.of_array flows in
+(* The moment and norm fields come from the same incremental folds the
+   streaming sink uses, fed in array order; only the percentiles differ
+   between the two constructors (exact sort here, P² sketch there). *)
+let of_welford ~norms ~quantiles w =
+  let l1, l2, l3 = norms in
+  let p50, p90, p99 = quantiles in
   {
-    n = Array.length flows;
+    n = Rr_util.Welford.count w;
     mean = Rr_util.Welford.mean w;
     variance = Rr_util.Welford.variance w;
     stddev = Rr_util.Welford.stddev w;
     min = Rr_util.Welford.min w;
     max = Rr_util.Welford.max w;
-    p50 = Rr_util.Stats.percentile flows ~p:50.;
-    p90 = Rr_util.Stats.percentile flows ~p:90.;
-    p99 = Rr_util.Stats.percentile flows ~p:99.;
-    l1 = Norms.power_sum ~k:1 flows;
-    l2 = Norms.lk ~k:2 flows;
-    l3 = Norms.lk ~k:3 flows;
+    p50;
+    p90;
+    p99;
+    l1;
+    l2;
+    l3;
   }
+
+let of_flows flows =
+  if Array.length flows = 0 then invalid_arg "Flow_stats.of_flows: empty array";
+  let w = Rr_util.Welford.of_array flows in
+  of_welford
+    ~norms:(Norms.power_sum ~k:1 flows, Norms.lk ~k:2 flows, Norms.lk ~k:3 flows)
+    ~quantiles:
+      ( Rr_util.Stats.percentile flows ~p:50.,
+        Rr_util.Stats.percentile flows ~p:90.,
+        Rr_util.Stats.percentile flows ~p:99. )
+    w
+
+let sink () =
+  let w = Sink.moments () in
+  let l1 = Sink.power_sum ~k:1 () in
+  let l2 = Sink.lk ~k:2 () in
+  let l3 = Sink.lk ~k:3 () in
+  let p50 = Sink.quantile ~p:0.5 () in
+  let p90 = Sink.quantile ~p:0.9 () in
+  let p99 = Sink.quantile ~p:0.99 () in
+  let parts = Sink.all [ l1; l2; l3; p50; p90; p99 ] in
+  Sink.make
+    ~push:(fun f ->
+      Sink.push w f;
+      Sink.push parts f)
+    ~value:(fun () ->
+      let wv = Sink.value w in
+      if Rr_util.Welford.count wv = 0 then
+        invalid_arg "Flow_stats.sink: no observations";
+      match Sink.value parts with
+      | [ l1; l2; l3; p50; p90; p99 ] ->
+          of_welford ~norms:(l1, l2, l3) ~quantiles:(p50, p90, p99) wv
+      | _ -> assert false)
 
 let slowdowns ~sizes ~flows =
   if Array.length sizes <> Array.length flows then

@@ -23,6 +23,15 @@ type t = {
 val of_flows : float array -> t
 (** @raise Invalid_argument on an empty array or negative flows. *)
 
+val sink : unit -> t Sink.t
+(** Streaming counterpart of {!of_flows}: one O(1)-memory fold producing
+    the same record from pushed observations.  The moments and l1/l2/l3
+    norms are the same incremental folds {!of_flows} uses (so they differ
+    from the array values only by observation order); the percentiles are
+    P-squared sketch estimates ({!Sink.quantile}) rather than exact order
+    statistics — the price of never materializing the flow vector.
+    Reading the value before any observation raises [Invalid_argument]. *)
+
 val slowdowns : sizes:float array -> flows:float array -> float array
 (** Per-job stretch [F_j / p_j].
     @raise Invalid_argument on mismatched lengths or non-positive sizes. *)

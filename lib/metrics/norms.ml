@@ -1,22 +1,16 @@
-let power_sum ~k flows =
-  if k < 1 then invalid_arg "Norms.power_sum: k must be >= 1";
-  let acc = Rr_util.Kahan.create () in
-  Array.iter
-    (fun f ->
-      if f < 0. then invalid_arg "Norms.power_sum: negative flow time";
-      Rr_util.Kahan.add acc (Rr_util.Floatx.powi f k))
-    flows;
-  Rr_util.Kahan.total acc
+(* Array adapters over the incremental folds of {!Sink}: the fold order
+   (index order) and arithmetic (Kahan over [Floatx.powi]) are exactly the
+   pre-streaming implementations', so every value here is bit-identical to
+   what the array-only code produced — the streaming pipeline and the
+   materialized one share a single definition of each norm. *)
 
-let lk ~k flows =
-  if Array.length flows = 0 then 0.
-  else power_sum ~k flows ** (1. /. Float.of_int k)
+let power_sum ~k flows = Sink.of_array (Sink.power_sum ~k ()) flows
 
-let linf flows = if Array.length flows = 0 then 0. else Rr_util.Floatx.max_arr flows
+let lk ~k flows = Sink.of_array (Sink.lk ~k ()) flows
 
-let normalized_lk ~k flows =
-  let n = Array.length flows in
-  if n = 0 then 0. else (power_sum ~k flows /. Float.of_int n) ** (1. /. Float.of_int k)
+let linf flows = Sink.of_array (Sink.linf ()) flows
+
+let normalized_lk ~k flows = Sink.of_array (Sink.normalized_lk ~k ()) flows
 
 let weighted_power_sum ~k ~weights flows =
   if k < 1 then invalid_arg "Norms.weighted_power_sum: k must be >= 1";

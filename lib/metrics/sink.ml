@@ -1,0 +1,212 @@
+type 'a t = { push : float -> unit; value : unit -> 'a }
+
+let make ~push ~value = { push; value }
+
+let push t x = t.push x
+
+let value t = t.value ()
+
+let feed t ~id:_ ~arrival:_ ~flow = t.push flow
+
+let of_array t flows =
+  Array.iter t.push flows;
+  t.value ()
+
+(* ------------------------------------------------------------------ *)
+(* Combinators                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let map f t = { push = t.push; value = (fun () -> f (t.value ())) }
+
+let pair a b =
+  {
+    push =
+      (fun x ->
+        a.push x;
+        b.push x);
+    value = (fun () -> (a.value (), b.value ()));
+  }
+
+let all ts =
+  {
+    push = (fun x -> List.iter (fun t -> t.push x) ts);
+    value = (fun () -> List.map (fun t -> t.value ()) ts);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Counting and moments                                                *)
+(* ------------------------------------------------------------------ *)
+
+let count () =
+  let n = ref 0 in
+  { push = (fun _ -> incr n); value = (fun () -> !n) }
+
+let moments () =
+  let w = Rr_util.Welford.create () in
+  { push = Rr_util.Welford.add w; value = (fun () -> w) }
+
+(* ------------------------------------------------------------------ *)
+(* lk norms                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* These folds are THE definition of the array functions in {!Norms}:
+   [Norms.power_sum ~k flows = of_array (power_sum ~k ()) flows], so the
+   streaming and the materialized measurement pipelines share one
+   arithmetic (Kahan-compensated sums of [Floatx.powi]), and array values
+   are bit-identical to what the pre-streaming implementation produced. *)
+
+let power_sum ~k () =
+  if k < 1 then invalid_arg "Sink.power_sum: k must be >= 1";
+  let acc = Rr_util.Kahan.create () in
+  {
+    push =
+      (fun f ->
+        if f < 0. then invalid_arg "Sink.power_sum: negative flow time";
+        Rr_util.Kahan.add acc (Rr_util.Floatx.powi f k));
+    value = (fun () -> Rr_util.Kahan.total acc);
+  }
+
+let lk ~k () =
+  let n = ref 0 in
+  let ps = power_sum ~k () in
+  {
+    push =
+      (fun f ->
+        incr n;
+        ps.push f);
+    value = (fun () -> if !n = 0 then 0. else ps.value () ** (1. /. Float.of_int k));
+  }
+
+let normalized_lk ~k () =
+  let n = ref 0 in
+  let ps = power_sum ~k () in
+  {
+    push =
+      (fun f ->
+        incr n;
+        ps.push f);
+    value =
+      (fun () ->
+        if !n = 0 then 0.
+        else (ps.value () /. Float.of_int !n) ** (1. /. Float.of_int k));
+  }
+
+let linf () =
+  let n = ref 0 in
+  let m = ref Float.neg_infinity in
+  {
+    push =
+      (fun f ->
+        incr n;
+        if f > !m then m := f);
+    value = (fun () -> if !n = 0 then 0. else !m);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Streaming quantiles: the P-squared sketch                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Jain & Chlamtac's P² algorithm (CACM 1985): five markers track the
+   minimum, the p/2, p and (1+p)/2 quantiles, and the maximum; marker
+   heights move by piecewise-parabolic interpolation as observations
+   stream past.  O(1) memory and O(1) per observation, no buffering —
+   exactly what the fairness tables need at n = 10^7, where sorting a flow
+   vector is no longer an option.  Estimates converge to the true quantile
+   for i.i.d. inputs; for the first four observations the estimate is
+   exact (order statistics of the buffered sample). *)
+
+let quantile ~p () =
+  if not (p > 0. && p < 1.) then invalid_arg "Sink.quantile: p must be in (0, 1)";
+  let q = Array.make 5 0. in
+  (* marker heights *)
+  let np = Array.make 5 0. in
+  (* desired positions *)
+  let pos = [| 1.; 2.; 3.; 4.; 5. |] in
+  (* actual positions (1-based) *)
+  let dnp = [| 0.; p /. 2.; p; (1. +. p) /. 2.; 1. |] in
+  let count = ref 0 in
+  let parabolic i d =
+    q.(i)
+    +. d
+       /. (pos.(i + 1) -. pos.(i - 1))
+       *. (((pos.(i) -. pos.(i - 1) +. d) *. (q.(i + 1) -. q.(i)) /. (pos.(i + 1) -. pos.(i)))
+          +. ((pos.(i + 1) -. pos.(i) -. d) *. (q.(i) -. q.(i - 1)) /. (pos.(i) -. pos.(i - 1)))
+          )
+  in
+  let linear i d =
+    let j = i + int_of_float d in
+    q.(i) +. (d *. (q.(j) -. q.(i)) /. (pos.(j) -. pos.(i)))
+  in
+  let push x =
+    incr count;
+    if !count <= 5 then begin
+      q.(!count - 1) <- x;
+      if !count = 5 then begin
+        Array.sort Float.compare q;
+        for i = 0 to 4 do
+          np.(i) <- 1. +. (4. *. dnp.(i))
+        done
+      end
+    end
+    else begin
+      (* Locate the cell and bump the extreme markers. *)
+      let k =
+        if x < q.(0) then begin
+          q.(0) <- x;
+          0
+        end
+        else if x >= q.(4) then begin
+          q.(4) <- Float.max q.(4) x;
+          3
+        end
+        else begin
+          let k = ref 0 in
+          for i = 1 to 3 do
+            if x >= q.(i) then k := i
+          done;
+          !k
+        end
+      in
+      for i = k + 1 to 4 do
+        pos.(i) <- pos.(i) +. 1.
+      done;
+      for i = 0 to 4 do
+        np.(i) <- np.(i) +. dnp.(i)
+      done;
+      (* Adjust the three interior markers towards their desired spots. *)
+      for i = 1 to 3 do
+        let d = np.(i) -. pos.(i) in
+        if
+          (d >= 1. && pos.(i + 1) -. pos.(i) > 1.)
+          || (d <= -1. && pos.(i - 1) -. pos.(i) < -1.)
+        then begin
+          let d = if d >= 0. then 1. else -1. in
+          let candidate = parabolic i d in
+          let h =
+            if q.(i - 1) < candidate && candidate < q.(i + 1) then candidate else linear i d
+          in
+          q.(i) <- h;
+          pos.(i) <- pos.(i) +. d
+        end
+      done
+    end
+  in
+  let value () =
+    let n = !count in
+    if n = 0 then 0.
+    else if n <= 5 then begin
+      (* Exact small-sample quantile, interpolated like Stats.percentile. *)
+      let sorted = Array.sub q 0 n in
+      Array.sort Float.compare sorted;
+      let rank = p *. Float.of_int (n - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = int_of_float (Float.ceil rank) in
+      if lo = hi then sorted.(lo)
+      else begin
+        let frac = rank -. Float.of_int lo in
+        ((1. -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
+      end
+    end
+    else q.(2)
+  in
+  { push; value }

@@ -1,0 +1,77 @@
+(** Incremental, O(1)-memory folds over streamed flow times.
+
+    A sink consumes one flow-time observation at a time and can produce
+    its value at any point; it is the metric half of the streaming
+    pipeline — {!Rr_engine.Simulator}'s streaming entry points push each
+    completion into one (or a combination) of these, so what is computed
+    per job is independent of how many jobs exist.
+
+    The array functions of {!Norms} are defined as {!of_array} adapters
+    over these same folds, so array results are bit-identical to the
+    pre-streaming implementations, and a streamed fold differs from the
+    array fold only by summation order (completion order vs id order) —
+    within ~1e-9 relative for the power sums, exactly equal for order
+    statistics like {!linf}. *)
+
+type 'a t
+(** A fold producing an ['a]: push observations in, read the value out.
+    Values may be read mid-stream (they are snapshots, not finalisers). *)
+
+val make : push:(float -> unit) -> value:(unit -> 'a) -> 'a t
+(** Build a custom sink from its two operations. *)
+
+val push : 'a t -> float -> unit
+
+val value : 'a t -> 'a
+
+val feed : 'a t -> Rr_engine.Simulator.sink
+(** Adapt a sink to the engine's completion-event shape (the id and
+    arrival are dropped; only the flow is folded). *)
+
+val of_array : 'a t -> float array -> 'a
+(** Push every element in index order, then read the value — the bridge
+    back to the materialized API. *)
+
+(** {1 Combinators} *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val pair : 'a t -> 'b t -> ('a * 'b) t
+(** One pass feeding both sinks. *)
+
+val all : 'a t list -> 'a list t
+(** One pass feeding every sink in the list. *)
+
+(** {1 Counting and moments} *)
+
+val count : unit -> int t
+
+val moments : unit -> Rr_util.Welford.t t
+(** Running count/mean/variance/min/max via {!Rr_util.Welford}; the value
+    is the live accumulator (not a copy). *)
+
+(** {1 lk norms (Kahan-compensated)} *)
+
+val power_sum : k:int -> unit -> float t
+(** Incremental [sum_j F_j^k].
+    @raise Invalid_argument at creation when [k < 1], at push on a
+    negative flow. *)
+
+val lk : k:int -> unit -> float t
+(** [power_sum^(1/k)]; 0. before the first observation. *)
+
+val normalized_lk : k:int -> unit -> float t
+(** [(power_sum / n)^(1/k)]; 0. before the first observation. *)
+
+val linf : unit -> float t
+(** Running maximum; 0. before the first observation. *)
+
+(** {1 Streaming quantiles} *)
+
+val quantile : p:float -> unit -> float t
+(** P-squared (Jain–Chlamtac) streaming quantile estimate for [p] in
+    (0, 1): five markers, O(1) memory, no buffering.  Exact for the first
+    five observations, a converging estimate afterwards — the streaming
+    fairness tables trade exact percentiles for the ability to run at
+    n = 10^7.
+    @raise Invalid_argument when [p] is outside (0, 1). *)

@@ -96,5 +96,3 @@ let default_specs () =
   [ Rr; Srpt; Sjf; Setf; Fcfs; Laps 0.5; Wrr_age 2; Quantum_rr 1.; Mlfq 0.5 ]
 
 let all () = List.map make (default_specs ())
-
-let find s = Result.to_option (Result.map make (spec_of_string s))

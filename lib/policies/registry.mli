@@ -48,11 +48,5 @@ val all : unit -> Rr_engine.Policy.t list
 (** [List.map make (default_specs ())]: fresh policy values for every
     built-in. *)
 
-val find : string -> Rr_engine.Policy.t option
-(** Deprecated compatibility wrapper:
-    [Result.to_option (Result.map make (spec_of_string s))], discarding
-    the structured error.  New code should call {!spec_of_string} and
-    {!make} directly. *)
-
 val names : unit -> string list
 (** Accepted surface forms for {!spec_of_string}, for help messages. *)

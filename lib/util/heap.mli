@@ -63,3 +63,46 @@ module Scalar : sig
   (** Remove the smallest key and return its payload.
       @raise Invalid_argument on an empty heap. *)
 end
+
+(** {!Scalar} with two unboxed float satellite fields per element.
+
+    The streaming equal-share engine keeps (virtual deadline, job id,
+    arrival, size) per alive job in one heap, so a completion can be
+    emitted — and the cascade threshold evaluated — without any O(n)
+    side table of jobs.  Read the head's satellites with
+    {!Scalar2.min_aux1_exn}/{!Scalar2.min_aux2_exn} before popping. *)
+module Scalar2 : sig
+  type t
+
+  val create : unit -> t
+
+  val length : t -> int
+
+  val is_empty : t -> bool
+
+  val clear : t -> unit
+  (** Forget all elements, keeping the backing capacity. *)
+
+  val add : t -> key:float -> aux1:float -> aux2:float -> int -> unit
+  (** O(log n) insertion of (key, payload, satellites). *)
+
+  val min_key_exn : t -> float
+  (** Smallest key. @raise Invalid_argument on an empty heap. *)
+
+  val min_val_exn : t -> int
+  (** Payload of the smallest key. @raise Invalid_argument on an empty
+      heap. *)
+
+  val min_aux1_exn : t -> float
+  (** First satellite of the smallest key.
+      @raise Invalid_argument on an empty heap. *)
+
+  val min_aux2_exn : t -> float
+  (** Second satellite of the smallest key.
+      @raise Invalid_argument on an empty heap. *)
+
+  val pop_exn : t -> int
+  (** Remove the smallest key and return its payload (satellites are
+      discarded — read them first). @raise Invalid_argument on an empty
+      heap. *)
+end

@@ -23,41 +23,56 @@ let validate = function
 
 let check p = match validate p with Ok () -> () | Error msg -> invalid_arg ("Arrivals: " ^ msg)
 
-let generate rng p ~n =
+(* One release time per call, O(1) state between calls — the streaming
+   workload pipeline ([Instance.Stream]) draws arrivals through this, so a
+   10M-job process never holds more than the generator's own state.
+   {!generate} is the array adapter over the same closures, calling them
+   in ascending index order, so materialized and streamed instances built
+   from the same generator state are identical job for job. *)
+let sampler rng p =
   check p;
-  if n < 0 then invalid_arg "Arrivals.generate: n must be non-negative";
   match p with
   | Poisson { rate } ->
       let t = ref 0. in
-      Array.init n (fun _ ->
-          t := !t +. Rr_util.Prng.exponential rng ~rate;
-          !t)
-  | Periodic { interval } -> Array.init n (fun i -> Float.of_int i *. interval)
-  | Batched { batch; interval } -> Array.init n (fun i -> Float.of_int (i / batch) *. interval)
+      fun () ->
+        t := !t +. Rr_util.Prng.exponential rng ~rate;
+        !t
+  | Periodic { interval } ->
+      let i = ref 0 in
+      fun () ->
+        let v = Float.of_int !i *. interval in
+        incr i;
+        v
+  | Batched { batch; interval } ->
+      let i = ref 0 in
+      fun () ->
+        let v = Float.of_int (!i / batch) *. interval in
+        incr i;
+        v
   | Bursty { rate_low; rate_high; mean_dwell } ->
       let t = ref 0. in
       let high = ref false in
       (* Remaining dwell time in the current modulating state. *)
       let dwell = ref (Rr_util.Prng.exponential rng ~rate:(1. /. mean_dwell)) in
-      Array.init n (fun _ ->
-          let rec step () =
-            let rate = if !high then rate_high else rate_low in
-            let gap = Rr_util.Prng.exponential rng ~rate in
-            if gap <= !dwell then begin
-              dwell := !dwell -. gap;
-              t := !t +. gap
-            end
-            else begin
-              (* State flips before the candidate arrival: discard it (the
-                 exponential is memoryless) and continue in the new state. *)
-              t := !t +. !dwell;
-              high := not !high;
-              dwell := Rr_util.Prng.exponential rng ~rate:(1. /. mean_dwell);
-              step ()
-            end
-          in
-          step ();
-          !t)
+      fun () ->
+        let rec step () =
+          let rate = if !high then rate_high else rate_low in
+          let gap = Rr_util.Prng.exponential rng ~rate in
+          if gap <= !dwell then begin
+            dwell := !dwell -. gap;
+            t := !t +. gap
+          end
+          else begin
+            (* State flips before the candidate arrival: discard it (the
+               exponential is memoryless) and continue in the new state. *)
+            t := !t +. !dwell;
+            high := not !high;
+            dwell := Rr_util.Prng.exponential rng ~rate:(1. /. mean_dwell);
+            step ()
+          end
+        in
+        step ();
+        !t
   | Diurnal { base_rate; amplitude; period } ->
       (* Thinning: candidates at the peak rate, accepted with probability
          intensity(t) / peak. *)
@@ -66,12 +81,21 @@ let generate rng p ~n =
         base_rate *. (1. +. (amplitude *. sin (2. *. Float.pi *. t /. period)))
       in
       let t = ref 0. in
-      Array.init n (fun _ ->
-          let rec draw () =
-            t := !t +. Rr_util.Prng.exponential rng ~rate:peak;
-            if Rr_util.Prng.float rng <= intensity !t /. peak then !t else draw ()
-          in
-          draw ())
+      fun () ->
+        let rec draw () =
+          t := !t +. Rr_util.Prng.exponential rng ~rate:peak;
+          if Rr_util.Prng.float rng <= intensity !t /. peak then !t else draw ()
+        in
+        draw ()
+
+let generate rng p ~n =
+  if n < 0 then invalid_arg "Arrivals.generate: n must be non-negative";
+  let next = sampler rng p in
+  let times = Array.make n 0. in
+  for i = 0 to n - 1 do
+    times.(i) <- next ()
+  done;
+  times
 
 let mean_rate = function
   | Poisson { rate } -> rate

@@ -17,9 +17,16 @@ type t =
 
 val validate : t -> (unit, string) result
 
+val sampler : Rr_util.Prng.t -> t -> unit -> float
+(** [sampler rng p] is an incremental generator: each call returns the
+    next release time of the process, in non-decreasing order, with O(1)
+    state — the pull half of the streaming workload pipeline.
+    @raise Invalid_argument on invalid parameters. *)
+
 val generate : Rr_util.Prng.t -> t -> n:int -> float array
 (** [generate rng p ~n] returns [n] non-decreasing release times starting
-    at 0.  @raise Invalid_argument on invalid parameters or [n < 0]. *)
+    at 0 — {!sampler} called [n] times in index order.
+    @raise Invalid_argument on invalid parameters or [n < 0]. *)
 
 val mean_rate : t -> float
 (** Long-run arrival rate (jobs per unit time). *)

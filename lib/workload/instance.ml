@@ -1,4 +1,4 @@
-type t = { jobs : Rr_engine.Job.t list; label : string }
+type t = { jobs : Rr_engine.Job.t list; label : string; digest_memo : int64 option ref }
 
 let of_jobs ?(label = "custom") pairs =
   let sorted =
@@ -7,7 +7,7 @@ let of_jobs ?(label = "custom") pairs =
   let jobs =
     List.mapi (fun id (arrival, size) -> Rr_engine.Job.make ~id ~arrival ~size) sorted
   in
-  { jobs; label }
+  { jobs; label; digest_memo = ref None }
 
 let generate ~rng ~arrivals ~sizes ~n () =
   let times = Arrivals.generate rng arrivals ~n in
@@ -18,14 +18,21 @@ let generate ~rng ~arrivals ~sizes ~n () =
     ~label:(Printf.sprintf "%s/%s/n=%d" (Arrivals.name arrivals) (Distribution.name sizes) n)
     pairs
 
-let generate_load ~rng ~sizes ~load ~machines ~n () =
+let load_rate ~sizes ~load ~machines =
   if load <= 0. then invalid_arg "Instance.generate_load: load must be positive";
   let mu = Distribution.mean sizes in
   if not (Float.is_finite mu && mu > 0.) then
     invalid_arg "Instance.generate_load: size distribution must have a finite positive mean";
-  let rate = load *. Float.of_int machines /. mu in
+  load *. Float.of_int machines /. mu
+
+let load_label ~sizes ~load ~machines ~n =
+  Printf.sprintf "%s/rho=%.2f/m=%d/n=%d" (Distribution.name sizes) load machines n
+
+let generate_load ~rng ~sizes ~load ~machines ~n () =
+  let rate = load_rate ~sizes ~load ~machines in
   let inst = generate ~rng ~arrivals:(Arrivals.Poisson { rate }) ~sizes ~n () in
-  { inst with label = Printf.sprintf "%s/rho=%.2f/m=%d/n=%d" (Distribution.name sizes) load machines n }
+  (* The digest ignores the label, so the memo survives the relabel. *)
+  { inst with label = load_label ~sizes ~load ~machines ~n }
 
 let n t = List.length t.jobs
 
@@ -49,21 +56,125 @@ let jobs t = t.jobs
 (* FNV-1a over the job count and the bit patterns of every (arrival, size)
    pair.  The label is deliberately excluded: it is presentation-only, and
    two instances with identical jobs are interchangeable for simulation —
-   exactly the equivalence the result cache wants. *)
+   exactly the equivalence the result cache wants.  [Stream.digest] folds
+   the same mix over generated jobs without materializing them, so a
+   stream and its materialization always share a digest. *)
+let fnv_prime = 0x100000001b3L
+let fnv_basis = 0xcbf29ce484222325L
+
 let digest t =
-  let prime = 0x100000001b3L in
-  let h = ref 0xcbf29ce484222325L in
-  let mix bits = h := Int64.mul (Int64.logxor !h bits) prime in
-  mix (Int64.of_int (List.length t.jobs));
-  List.iter
-    (fun (j : Rr_engine.Job.t) ->
-      mix (Int64.bits_of_float j.arrival);
-      mix (Int64.bits_of_float j.size))
-    t.jobs;
-  !h
+  match !(t.digest_memo) with
+  | Some d -> d
+  | None ->
+      let h = ref fnv_basis in
+      let mix bits = h := Int64.mul (Int64.logxor !h bits) fnv_prime in
+      mix (Int64.of_int (List.length t.jobs));
+      List.iter
+        (fun (j : Rr_engine.Job.t) ->
+          mix (Int64.bits_of_float j.arrival);
+          mix (Int64.bits_of_float j.size))
+        t.jobs;
+      t.digest_memo := Some !h;
+      !h
 
 let relabel label t = { t with label }
 
 let pp ppf t =
   Format.fprintf ppf "instance %s: %d jobs, work %.3f, span %.3f" t.label (n t) (total_work t)
     (span t)
+
+module Stream = struct
+  type instance = t
+
+  type source =
+    | Generated of { arrivals : Arrivals.t; sizes : Distribution.t; seed : int }
+    | Materialized of Rr_engine.Job.t list
+
+  type t = { source : source; n : int; label : string; digest_memo : int64 option ref }
+
+  let generate ~seed ~arrivals ~sizes ~n () =
+    if n < 0 then invalid_arg "Instance.Stream.generate: n must be non-negative";
+    (match Arrivals.validate arrivals with
+    | Ok () -> ()
+    | Error msg -> invalid_arg ("Instance.Stream.generate: " ^ msg));
+    {
+      source = Generated { arrivals; sizes; seed };
+      n;
+      label =
+        Printf.sprintf "%s/%s/n=%d" (Arrivals.name arrivals) (Distribution.name sizes) n;
+      digest_memo = ref None;
+    }
+
+  let generate_load ~seed ~sizes ~load ~machines ~n () =
+    let rate = load_rate ~sizes ~load ~machines in
+    let s = generate ~seed ~arrivals:(Arrivals.Poisson { rate }) ~sizes ~n () in
+    { s with label = load_label ~sizes ~load ~machines ~n }
+
+  let of_instance inst =
+    {
+      source = Materialized inst.jobs;
+      n = List.length inst.jobs;
+      label = inst.label;
+      digest_memo = inst.digest_memo (* shared: same jobs, same digest *);
+    }
+
+  let n s = s.n
+  let label s = s.label
+  let relabel label s = { s with label }
+
+  let start s =
+    match s.source with
+    | Materialized jobs ->
+        let rest = ref jobs in
+        fun () ->
+          (match !rest with
+          | [] -> None
+          | j :: tl ->
+              rest := tl;
+              Some j)
+    | Generated { arrivals; sizes; seed } ->
+        (* A fresh cursor per [start]: replayable from the seed alone, so
+           digesting, simulating, and re-simulating (possibly on another
+           domain) all see the identical job sequence. *)
+        let rng = Rr_util.Prng.create ~seed in
+        let next_arrival = Arrivals.sampler rng arrivals in
+        let id = ref 0 in
+        fun () ->
+          if !id >= s.n then None
+          else begin
+            let arrival = next_arrival () in
+            let size = Distribution.sample rng sizes in
+            let j = Rr_engine.Job.make ~id:!id ~arrival ~size in
+            incr id;
+            Some j
+          end
+
+  let digest s =
+    match !(s.digest_memo) with
+    | Some d -> d
+    | None ->
+        let h = ref fnv_basis in
+        let mix bits = h := Int64.mul (Int64.logxor !h bits) fnv_prime in
+        mix (Int64.of_int s.n);
+        let pull = start s in
+        let rec loop () =
+          match pull () with
+          | None -> ()
+          | Some (j : Rr_engine.Job.t) ->
+              mix (Int64.bits_of_float j.arrival);
+              mix (Int64.bits_of_float j.size);
+              loop ()
+        in
+        loop ();
+        s.digest_memo := Some !h;
+        !h
+
+  let materialize s =
+    let pull = start s in
+    let rec collect acc =
+      match pull () with None -> List.rev acc | Some j -> collect (j :: acc)
+    in
+    (* Jobs come out sorted with dense ids already, so no re-sort; the memo
+       ref is shared because stream and materialization digest equal. *)
+    ({ jobs = collect []; label = s.label; digest_memo = s.digest_memo } : instance)
+end

@@ -5,7 +5,11 @@
     from its release time.  Instances always carry dense job identifiers
     [0 .. n-1] ordered by [(arrival, id)]. *)
 
-type t = private { jobs : Rr_engine.Job.t list; label : string }
+type t = private {
+  jobs : Rr_engine.Job.t list;
+  label : string;
+  digest_memo : int64 option ref;  (** Lazily filled by {!digest}. *)
+}
 
 val of_jobs : ?label:string -> (float * float) list -> t
 (** [of_jobs pairs] builds an instance from [(arrival, size)] pairs,
@@ -55,8 +59,58 @@ val digest : t -> int64
 (** Cheap structural digest (FNV-1a over the job count and every
     (arrival, size) bit pattern, in id order).  Instances with identical
     jobs share a digest regardless of label; the memoizing result cache
-    ({!Rr_core} [Cache]) uses it as its instance key.  O(n) per call. *)
+    ({!Rr_core} [Cache]) uses it as its instance key.  O(n) on first
+    call, O(1) after (memoized; {!relabel} preserves the memo, since the
+    label does not participate in the digest). *)
 
 val relabel : string -> t -> t
 
 val pp : Format.formatter -> t -> unit
+
+(** Lazy instances: pull-based job generators that never materialize a
+    job list.  A stream is replayable — it stores a seed, not an RNG, and
+    every {!Stream.start} returns a fresh cursor over the identical job
+    sequence — so the same stream value can be digested, simulated, and
+    handed to several {!Rr_util.Pool} domains concurrently.  A 10M-job
+    Poisson workload costs O(1) memory to describe and O(alive jobs) to
+    simulate through the sink path of {!Rr_engine.Simulator}. *)
+module Stream : sig
+  type instance := t
+
+  type t
+
+  val generate :
+    seed:int -> arrivals:Arrivals.t -> sizes:Distribution.t -> n:int -> unit -> t
+  (** Lazy counterpart of {!Instance.generate}: [n] jobs with release
+      times from [arrivals] and i.i.d. sizes from [sizes], drawn from a
+      PRNG seeded with [seed] (arrival and size draws interleaved per
+      job).  @raise Invalid_argument on [n < 0] or invalid [arrivals]. *)
+
+  val generate_load :
+    seed:int -> sizes:Distribution.t -> load:float -> machines:int -> n:int -> unit -> t
+  (** Lazy counterpart of {!Instance.generate_load}: Poisson arrivals
+      tuned so the offered load equals [load]. *)
+
+  val of_instance : instance -> t
+  (** Stream view over an already-materialized instance (shares its jobs
+      and digest memo). *)
+
+  val n : t -> int
+
+  val label : t -> string
+
+  val relabel : string -> t -> t
+
+  val start : t -> unit -> Rr_engine.Job.t option
+  (** [start s] returns a fresh cursor: successive calls yield the jobs
+      in [(arrival, id)] order with dense ids [0 .. n-1], then [None].
+      Cursors are independent; each replays the full sequence. *)
+
+  val digest : t -> int64
+  (** Same FNV-1a digest as {!Instance.digest} of {!materialize}, folded
+      over one streaming pass (memoized).  Streamed and materialized
+      copies of the same workload therefore share a digest. *)
+
+  val materialize : t -> instance
+  (** Pull every job into an ordinary {!Instance.t} (O(n) memory). *)
+end

@@ -41,7 +41,10 @@ let test_run_measure () =
   check_close "norm" 5. r.Run.norm;
   check_close "power sum" 5. r.Run.power_sum;
   Alcotest.(check string) "policy name" "rr" r.Run.policy_name;
-  check_close "flow 0" 2. r.Run.flows.(0)
+  Alcotest.(check int) "n" 2 r.Run.n;
+  check_close "mean flow" 2.5 r.Run.mean_flow;
+  check_close "max flow" 3. r.Run.max_flow;
+  check_close "flow 0" 2. (Run.flows (Run.config ~k:1 ()) rr two_jobs).(0)
 
 (* ------------------------------------------------------------------ *)
 (* Ratio                                                               *)

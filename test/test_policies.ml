@@ -383,21 +383,37 @@ let test_wrr_static_rejects_bad_weight () =
 (* ------------------------------------------------------------------ *)
 
 let test_registry_find () =
+  let module R = Rr_policies.Registry in
   List.iter
     (fun name ->
-      match Rr_policies.Registry.find name with
-      | Some _ -> ()
-      | None -> Alcotest.failf "registry misses %s" name)
+      match R.spec_of_string name with
+      | Ok spec -> ignore (R.make spec : Rr_engine.Policy.t)
+      | Error msg -> Alcotest.failf "registry misses %s: %s" name msg)
     [
       "rr"; "srpt"; "sjf"; "setf"; "fcfs"; "laps"; "laps:0.25"; "wrr-age"; "wrr-age:3";
       "quantum-rr"; "quantum-rr:0.5";
     ];
   List.iter
     (fun name ->
-      match Rr_policies.Registry.find name with
-      | None -> ()
-      | Some _ -> Alcotest.failf "registry should reject %s" name)
-    [ "nope"; "laps:2.0"; "laps:x"; "wrr-age:0"; "quantum-rr:0" ]
+      match R.spec_of_string name with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "registry should reject %s" name)
+    [ "nope"; "laps:2.0"; "laps:x"; "wrr-age:0"; "quantum-rr:0" ];
+  (* An unknown name's error must steer the user to the valid surface
+     forms. *)
+  match R.spec_of_string "nope" with
+  | Error msg ->
+      Alcotest.(check bool)
+        "unknown-policy error lists valid names" true
+        (List.for_all
+           (fun name ->
+             let rec contains i =
+               i + String.length name <= String.length msg
+               && (String.sub msg i (String.length name) = name || contains (i + 1))
+             in
+             contains 0)
+           [ "rr"; "srpt"; "laps" ])
+  | Ok _ -> Alcotest.fail "nope should not parse"
 
 let test_registry_spec_of_string () =
   let module R = Rr_policies.Registry in

@@ -1,0 +1,279 @@
+(* Tests for the streaming pipeline: lazy Instance.Stream workloads, the
+   completion-sink entry points of both engines, and the incremental
+   Rr_metrics.Sink folds — the whole pipeline must agree with the
+   materialized array path to within summation-order rounding. *)
+
+open Temporal_fairness
+module Simulator = Rr_engine.Simulator
+module Instance = Rr_workload.Instance
+module Stream = Rr_workload.Instance.Stream
+module Sink = Rr_metrics.Sink
+
+let rr = Rr_policies.Round_robin.policy
+
+(* Streamed folds accumulate in completion order, materialized ones in job-id
+   order; with compensated summation everywhere, 1e-9 relative covers the
+   reordering on every workload size used here. *)
+let rtol = 1e-9
+
+let rel_diff a b = Float.abs (a -. b) /. Float.max 1e-12 (Float.max (Float.abs a) (Float.abs b))
+
+let close name a b =
+  if rel_diff a b > rtol then Alcotest.failf "%s: %.17g vs %.17g (rel %.3e)" name a b (rel_diff a b)
+
+(* All five arrival shapes, tuned so that ~60 jobs produce overlapping
+   alive sets (the regime where completion order differs most from id
+   order). *)
+let arrival_shapes : Rr_workload.Arrivals.t list =
+  [
+    Poisson { rate = 1.2 };
+    Periodic { interval = 0.8 };
+    Batched { batch = 5; interval = 4. };
+    Bursty { rate_low = 0.5; rate_high = 4.; mean_dwell = 6. };
+    Diurnal { base_rate = 1.; amplitude = 0.7; period = 20. };
+  ]
+
+let stream_of ~seed ~arrivals ~n =
+  Stream.generate ~seed ~arrivals
+    ~sizes:(Rr_workload.Distribution.Exponential { mean = 1. })
+    ~n ()
+
+(* ------------------------------------------------------------------ *)
+(* Property: streamed folds = array folds, both engines, m in {1,2,4}   *)
+(* ------------------------------------------------------------------ *)
+
+let check_stream_matches_materialized ~arrivals ~machines ~fast_path ~seed =
+  let n = 60 in
+  let stream = stream_of ~seed ~arrivals ~n in
+  let inst = Stream.materialize stream in
+  let cfg = Run.config ~machines ~speed:2. ~k:3 ~fast_path ~cache:false () in
+  (* Array path: exact sort-based stats over the materialized flow vector. *)
+  let flows = Run.flows cfg rr inst in
+  let stats_mat = Rr_metrics.Flow_stats.of_flows flows in
+  (* Streamed path: every fold fed by the engine's sink, no flow vector. *)
+  let stats_sink = Rr_metrics.Flow_stats.sink () in
+  let lk3 = Sink.lk ~k:3 () in
+  let linf = Sink.linf () in
+  let nlk2 = Sink.normalized_lk ~k:2 () in
+  let count = Sink.count () in
+  let summary =
+    Run.simulate_stream cfg rr stream
+      ~sink:(fun ~id:_ ~arrival:_ ~flow ->
+        Sink.push stats_sink flow;
+        Sink.push lk3 flow;
+        Sink.push linf flow;
+        Sink.push nlk2 flow;
+        Sink.push count flow)
+  in
+  let s = Sink.value stats_sink in
+  Alcotest.(check int) "summary.n" n summary.Simulator.n;
+  Alcotest.(check int) "sink count" n (Sink.value count);
+  Alcotest.(check int) "stats n" n s.Rr_metrics.Flow_stats.n;
+  close "mean" stats_mat.mean s.mean;
+  close "variance" stats_mat.variance s.variance;
+  close "max" stats_mat.max s.max;
+  close "min" stats_mat.min s.min;
+  close "l1" stats_mat.l1 s.l1;
+  close "l2" stats_mat.l2 s.l2;
+  close "l3" stats_mat.l3 s.l3;
+  close "lk3" (Rr_metrics.Norms.lk ~k:3 flows) (Sink.value lk3);
+  close "linf" (Rr_metrics.Norms.linf flows) (Sink.value linf);
+  close "normalized lk2" (Rr_metrics.Norms.normalized_lk ~k:2 flows) (Sink.value nlk2);
+  (* Run.measure_stream must agree with Run.measure on the same jobs. *)
+  let r_mat = Run.measure cfg rr inst in
+  let r_str = Run.measure_stream cfg rr stream in
+  Alcotest.(check int) "measure n" r_mat.Run.n r_str.Run.n;
+  close "measure norm" r_mat.Run.norm r_str.Run.norm;
+  close "measure power_sum" r_mat.Run.power_sum r_str.Run.power_sum;
+  close "measure mean" r_mat.Run.mean_flow r_str.Run.mean_flow;
+  close "measure max" r_mat.Run.max_flow r_str.Run.max_flow
+
+let test_stream_matches_materialized () =
+  List.iteri
+    (fun i arrivals ->
+      List.iter
+        (fun machines ->
+          List.iter
+            (fun fast_path ->
+              check_stream_matches_materialized ~arrivals ~machines ~fast_path
+                ~seed:(1000 + i))
+            (* fast_path:true exercises the equal-share streaming engine,
+               fast_path:false the general event loop's sink path. *)
+            [ true; false ])
+        [ 1; 2; 4 ])
+    arrival_shapes
+
+(* ------------------------------------------------------------------ *)
+(* Stream semantics                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_stream_digest_equals_materialized () =
+  List.iteri
+    (fun i arrivals ->
+      let stream = stream_of ~seed:(50 + i) ~arrivals ~n:40 in
+      let inst = Stream.materialize stream in
+      Alcotest.(check bool)
+        (Printf.sprintf "digest %d" i)
+        true
+        (Int64.equal (Stream.digest stream) (Instance.digest inst)))
+    arrival_shapes
+
+let test_stream_replayable () =
+  (* Two cursors on the same stream value yield identical job sequences;
+     a cursor is not consumed by digesting or simulating. *)
+  let stream = stream_of ~seed:7 ~arrivals:(Poisson { rate = 1. }) ~n:25 in
+  let drain () =
+    let pull = Stream.start stream in
+    let rec go acc = match pull () with None -> List.rev acc | Some j -> go (j :: acc) in
+    go []
+  in
+  let a = drain () in
+  let (_ : int64) = Stream.digest stream in
+  let b = drain () in
+  Alcotest.(check int) "same length" (List.length a) (List.length b);
+  List.iter2
+    (fun (x : Rr_engine.Job.t) (y : Rr_engine.Job.t) ->
+      Alcotest.(check bool) "same job" true
+        (x.id = y.id && x.arrival = y.arrival && x.size = y.size))
+    a b;
+  (* Ids are dense and arrivals non-decreasing. *)
+  List.iteri (fun i (j : Rr_engine.Job.t) -> Alcotest.(check int) "dense id" i j.id) a;
+  let rec mono = function
+    | (a : Rr_engine.Job.t) :: (b : Rr_engine.Job.t) :: tl ->
+        Alcotest.(check bool) "sorted" true (a.arrival <= b.arrival);
+        mono (b :: tl)
+    | _ -> ()
+  in
+  mono a
+
+let test_digest_memoized () =
+  (* The memo fills on first use and survives relabeling (the digest is
+     label-independent by construction). *)
+  let inst = Instance.of_jobs [ (0., 1.); (0.5, 2.); (1., 0.25) ] in
+  Alcotest.(check bool) "starts empty" true (Option.is_none !(inst.Instance.digest_memo));
+  let d = Instance.digest inst in
+  Alcotest.(check bool) "filled" true (Option.is_some !(inst.Instance.digest_memo));
+  let relabeled = Instance.relabel "other" inst in
+  Alcotest.(check bool) "memo shared across relabel" true
+    (match !(relabeled.Instance.digest_memo) with
+    | Some d' -> Int64.equal d d'
+    | None -> false);
+  Alcotest.(check bool) "same digest" true (Int64.equal d (Instance.digest relabeled));
+  (* A stream and its materialization share the memo ref, so digesting one
+     fills the other. *)
+  let stream = stream_of ~seed:3 ~arrivals:(Periodic { interval = 1. }) ~n:10 in
+  let mat = Stream.materialize stream in
+  Alcotest.(check bool) "stream memo empty" true (Option.is_none !(mat.Instance.digest_memo));
+  let ds = Stream.digest stream in
+  Alcotest.(check bool) "materialization sees the memo" true
+    (match !(mat.Instance.digest_memo) with Some d' -> Int64.equal ds d' | None -> false)
+
+let test_measure_stream_cache () =
+  (* Streamed measurements cache under streamed=true keys: they hit on
+     re-measure but never alias the materialized entry for the same jobs. *)
+  Cache.clear ();
+  let stream = stream_of ~seed:21 ~arrivals:(Poisson { rate = 1. }) ~n:30 in
+  let cfg = Run.config () in
+  let r1 = Run.measure_stream cfg rr stream in
+  let s1 = Cache.stats () in
+  Alcotest.(check int) "first is a miss" 1 s1.misses;
+  let r2 = Run.measure_stream cfg rr stream in
+  let s2 = Cache.stats () in
+  Alcotest.(check int) "second is a hit" 1 s2.hits;
+  Alcotest.(check bool) "identical result" true (r1 = r2);
+  let inst = Stream.materialize stream in
+  let (_ : Run.result) = Run.measure cfg rr inst in
+  let s3 = Cache.stats () in
+  Alcotest.(check int) "materialized misses despite equal digest" 2 s3.misses;
+  Alcotest.(check int) "two distinct entries" 2 s3.size
+
+(* ------------------------------------------------------------------ *)
+(* Sink fold unit behaviour                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_quantile_sketch_accuracy () =
+  (* P-squared estimates against exact order statistics on a smooth
+     deterministic sample: the sketch carries five markers, so a few
+     percent of relative error is its documented accuracy, not rtol. *)
+  let n = 10_000 in
+  let data = Array.init n (fun i -> Float.of_int ((i * 7919) mod n) /. Float.of_int n) in
+  List.iter
+    (fun p ->
+      let exact = Rr_util.Stats.percentile data ~p:(100. *. p) in
+      let sketch = Sink.of_array (Sink.quantile ~p ()) data in
+      if Float.abs (sketch -. exact) > 0.02 *. Float.max 0.05 exact then
+        Alcotest.failf "p=%.2f: sketch %.5f vs exact %.5f" p sketch exact)
+    [ 0.5; 0.9; 0.99 ]
+
+let test_quantile_small_n_exact () =
+  (* With five or fewer observations the sketch falls back to the exact
+     interpolated order statistic. *)
+  let data = [| 3.; 1.; 4.; 1.5; 9. |] in
+  List.iter
+    (fun p ->
+      close
+        (Printf.sprintf "small-n p=%g" p)
+        (Rr_util.Stats.percentile data ~p:(100. *. p))
+        (Sink.of_array (Sink.quantile ~p ()) data))
+    [ 0.5; 0.9 ]
+
+let test_sink_empty_and_errors () =
+  Alcotest.(check int) "count empty" 0 (Sink.value (Sink.count ()));
+  close "lk empty" 0. (Sink.value (Sink.lk ~k:2 ()));
+  close "linf empty" 0. (Sink.value (Sink.linf ()));
+  (match Sink.power_sum ~k:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "k=0 must be rejected at creation");
+  (match Sink.push (Sink.power_sum ~k:2 ()) (-1.) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative flow must be rejected");
+  match Sink.value (Rr_metrics.Flow_stats.sink ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty Flow_stats.sink must refuse to produce a record"
+
+let test_streaming_summary_fields () =
+  (* Two jobs sharing one machine at speed 1: completions at 2 and 3, so
+     makespan 3 and both simultaneously alive. *)
+  let stream = Stream.of_instance (Instance.of_jobs [ (0., 1.); (0., 2.) ]) in
+  let completions = ref [] in
+  let summary =
+    Run.simulate_stream (Run.config ()) rr stream
+      ~sink:(fun ~id ~arrival:_ ~flow -> completions := (id, flow) :: !completions)
+  in
+  Alcotest.(check int) "n" 2 summary.Simulator.n;
+  Alcotest.(check int) "machines" 1 summary.Simulator.machines;
+  Alcotest.(check int) "max alive" 2 summary.Simulator.max_alive;
+  close "makespan" 3. summary.Simulator.makespan;
+  match List.rev !completions with
+  | [ (id0, f0); (id1, f1) ] ->
+      (* completion order: the short job first *)
+      Alcotest.(check int) "short job first" 0 id0;
+      Alcotest.(check int) "long job second" 1 id1;
+      close "flow 0" 2. f0;
+      close "flow 1" 3. f1
+  | l -> Alcotest.failf "expected 2 completions, got %d" (List.length l)
+
+let () =
+  Alcotest.run "rr_stream"
+    [
+      ( "streamed = materialized",
+        [
+          Alcotest.test_case "all shapes x machines x engines" `Quick
+            test_stream_matches_materialized;
+        ] );
+      ( "stream semantics",
+        [
+          Alcotest.test_case "digest equals materialized" `Quick
+            test_stream_digest_equals_materialized;
+          Alcotest.test_case "replayable cursors" `Quick test_stream_replayable;
+          Alcotest.test_case "digest memoized" `Quick test_digest_memoized;
+          Alcotest.test_case "measure_stream cache keys" `Quick test_measure_stream_cache;
+        ] );
+      ( "sink folds",
+        [
+          Alcotest.test_case "quantile sketch accuracy" `Quick test_quantile_sketch_accuracy;
+          Alcotest.test_case "quantile small-n exact" `Quick test_quantile_small_n_exact;
+          Alcotest.test_case "empty and error cases" `Quick test_sink_empty_and_errors;
+          Alcotest.test_case "streaming summary" `Quick test_streaming_summary_fields;
+        ] );
+    ]
