@@ -64,6 +64,30 @@ let with_jobs jobs f =
   let domains = if jobs = 0 then Pool.recommended_domains () else jobs in
   Pool.with_pool ~domains f
 
+let chunk_conv =
+  let parse s =
+    if String.equal s "auto" then Ok `Auto
+    else
+      match int_of_string_opt s with
+      | Some c when c >= 1 -> Ok (`Fixed c)
+      | _ -> Error (`Msg "CHUNK must be 'auto' or a positive integer")
+  in
+  let print ppf = function
+    | `Auto -> Format.pp_print_string ppf "auto"
+    | `Fixed c -> Format.pp_print_int ppf c
+  in
+  Arg.conv (parse, print)
+
+let chunk_arg =
+  Arg.(
+    value
+    & opt chunk_conv `Auto
+    & info [ "chunk" ] ~docv:"CHUNK"
+        ~doc:
+          "Tasks per steal unit on the $(b,--jobs) pool: $(b,auto) groups tasks into ~1 ms \
+           chunks by estimated cost, an integer fixes the group size.  Chunking never \
+           changes results, only scheduling granularity.")
+
 let no_fast_path_arg =
   Arg.(
     value
@@ -262,7 +286,7 @@ let simulate_cmd =
 (* ------------------------------------------------------------------ *)
 
 let compare_cmd =
-  let run machines speed file seed sizes load n jobs no_fast_path =
+  let run machines speed file seed sizes load n jobs chunk no_fast_path =
     let inst = load_instance ~file ~seed ~sizes ~load ~machines ~n in
     let table =
       Rr_util.Table.create
@@ -274,7 +298,7 @@ let compare_cmd =
     in
     let rows =
       with_jobs jobs (fun pool ->
-          Pool.map pool
+          Pool.map ~chunk pool
             (fun (policy : Rr_engine.Policy.t) ->
               let res = Run.simulate cfg policy inst in
               let flows = Rr_engine.Simulator.flows res in
@@ -296,7 +320,7 @@ let compare_cmd =
     (Cmd.info "compare" ~doc:"Run every built-in policy on one instance and tabulate the outcomes.")
     Term.(
       const run $ machines_arg $ speed_arg $ file_arg $ seed_arg $ sizes_arg $ load_arg $ n_arg
-      $ jobs_arg $ no_fast_path_arg)
+      $ jobs_arg $ chunk_arg $ no_fast_path_arg)
 
 (* ------------------------------------------------------------------ *)
 (* certify                                                             *)
@@ -349,8 +373,26 @@ let lowerbound_cmd =
 (* crossover                                                           *)
 (* ------------------------------------------------------------------ *)
 
+let print_cache_stats () =
+  let st = Temporal_fairness.Cache.stats () in
+  Format.printf
+    "cache: %d hits (%d coalesced in flight) / %d misses, %d evictions, %d/%d entries across \
+     %d shards@."
+    st.hits st.coalesced st.misses st.evictions st.size st.capacity (Array.length st.shards)
+
+let cache_stats_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "cache-stats" ]
+        ~doc:
+          "Print the result cache's counters after the search: hits (including lookups \
+           coalesced into another domain's in-flight computation), misses (= simulations \
+           actually run), evictions, occupancy and shard count.")
+
 let crossover_cmd =
-  let run machines k theta lo hi iters file seed sizes load n jobs no_fast_path no_cache =
+  let run machines k theta lo hi iters file seed sizes load n jobs no_fast_path no_cache
+      cache_stats =
     let inst = load_instance ~file ~seed ~sizes ~load ~machines ~n in
     let f speed =
       Temporal_fairness.Ratio.vs_baseline
@@ -361,6 +403,7 @@ let crossover_cmd =
       with_jobs jobs (fun pool -> Temporal_fairness.Sweep.min_speed_for ~pool ~f ~threshold:theta ~lo ~hi ~iters ())
     in
     Format.printf "%a@." Rr_workload.Instance.pp inst;
+    if cache_stats then print_cache_stats ();
     match result with
     | Ok s ->
         Format.printf "minimal RR speed with l%d norm <= %g x SRPT@1: %g@." k theta s
@@ -386,7 +429,8 @@ let crossover_cmd =
           (probes within a round run on the --jobs pool).")
     Term.(
       const run $ machines_arg $ k_arg $ theta_arg $ lo_arg $ hi_arg $ iters_arg $ file_arg
-      $ seed_arg $ sizes_arg $ load_arg $ n_arg $ jobs_arg $ no_fast_path_arg $ no_cache_arg)
+      $ seed_arg $ sizes_arg $ load_arg $ n_arg $ jobs_arg $ no_fast_path_arg $ no_cache_arg
+      $ cache_stats_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gantt                                                               *)

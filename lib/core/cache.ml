@@ -1,3 +1,18 @@
+(* Lock-striped, bounded memo of simulation measurements.  See cache.mli
+   for the user-facing contract.
+
+   The table is split into a power-of-two number of shards, each guarded
+   by its own mutex, so domains of a Pool hammering different keys never
+   contend.  A key's shard is chosen by an FNV-1a hash over every key
+   field.  Within a shard, entries live in a fixed-size CLOCK ring
+   (second-chance eviction): a hit sets the slot's reference bit, an
+   insert into a full ring advances the clock hand, clearing reference
+   bits until it finds an unreferenced slot to evict.  Cold keys are
+   deduplicated by a per-shard in-flight table (single-flight): the first
+   domain to miss becomes the leader and computes outside every lock;
+   racing domains find the flight record and block on its condition
+   variable until the leader publishes the outcome. *)
+
 type key = {
   policy : string;
   machines : int;
@@ -17,60 +32,315 @@ type entry = {
   events : int;
 }
 
-type stats = { hits : int; misses : int; size : int; capacity : int }
+type shard_stats = {
+  s_hits : int;
+  s_misses : int;
+  s_coalesced : int;
+  s_evictions : int;
+  s_size : int;
+  s_capacity : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  coalesced : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+  shards : shard_stats array;
+}
 
 let default_capacity = 4096
 
-type state = {
-  mutable table : (key, entry) Hashtbl.t;
-  mutable hits : int;
-  mutable misses : int;
-  mutable capacity : int;
-  lock : Mutex.t;
+(* ------------------------------------------------------------------ *)
+(* FNV-1a shard selection                                              *)
+(* ------------------------------------------------------------------ *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv_byte h b = Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
+
+let fnv_int64 h x =
+  let h = ref h in
+  for i = 0 to 7 do
+    h := fnv_byte !h (Int64.to_int (Int64.shift_right_logical x (8 * i)))
+  done;
+  !h
+
+let fnv_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := fnv_byte !h (Char.code c)) s;
+  !h
+
+let hash_key k =
+  let h = fnv_string fnv_offset k.policy in
+  let h = fnv_int64 h (Int64.of_int k.machines) in
+  let h = fnv_int64 h (Int64.bits_of_float k.speed) in
+  let h = fnv_int64 h (Int64.of_int k.k) in
+  let h = fnv_byte h (Bool.to_int k.fast_path) in
+  let h = fnv_byte h (Bool.to_int k.streamed) in
+  fnv_int64 h k.digest
+
+(* ------------------------------------------------------------------ *)
+(* Shards                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The leader publishes its outcome through the flight record under
+   [fm]/[fc], never under the shard lock, so waiters block on the flight
+   alone and a slow computation stalls only the domains that need its
+   key. *)
+type flight = {
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable outcome : (entry, exn) result option;
 }
 
-let state =
-  { table = Hashtbl.create 256; hits = 0; misses = 0; capacity = default_capacity;
-    lock = Mutex.create () }
+type shard = {
+  lock : Mutex.t;
+  table : (key, int) Hashtbl.t;  (* key -> slot in the CLOCK ring *)
+  inflight : (key, flight) Hashtbl.t;
+  mutable slots : (key * entry) option array;  (* length = shard capacity *)
+  mutable refbit : Bytes.t;
+  mutable hand : int;
+  mutable used : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable coalesced : int;
+  mutable evictions : int;
+}
 
-let with_lock f =
-  Mutex.lock state.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock state.lock) f
+let make_shard cap =
+  {
+    lock = Mutex.create ();
+    table = Hashtbl.create 64;
+    inflight = Hashtbl.create 8;
+    slots = Array.make cap None;
+    refbit = Bytes.make (Int.max 1 cap) '\000';
+    hand = 0;
+    used = 0;
+    hits = 0;
+    misses = 0;
+    coalesced = 0;
+    evictions = 0;
+  }
+
+(* All shards of a generation share one immutable descriptor; resharding
+   swaps the descriptor atomically (see [reshard] below). *)
+type t = { mask : int; shards : shard array }
+
+let pow2_at_least n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let shards_for_domains domains = pow2_at_least (Int.max 4 (4 * domains))
+
+(* Per-shard slice of a total capacity: at least one slot per shard so a
+   tiny capacity still caches, unless the capacity is 0 (caching off). *)
+let per_shard_cap ~shards capacity =
+  if capacity = 0 then 0 else Int.max 1 (capacity / shards)
+
+let make ~shards ~capacity =
+  let shards = pow2_at_least (Int.max 1 shards) in
+  {
+    mask = shards - 1;
+    shards = Array.init shards (fun _ -> make_shard (per_shard_cap ~shards capacity));
+  }
+
+(* [requested_capacity] remembers what the user asked for so resharding
+   re-derives per-shard slices from it rather than from a rounded total. *)
+let requested_capacity = Atomic.make default_capacity
+
+let state =
+  Atomic.make (make ~shards:(shards_for_domains (Domain.recommended_domain_count ()))
+                 ~capacity:default_capacity)
+
+let shard_of t key = t.shards.(Int64.to_int (hash_key key) land t.mask)
+
+let with_shard s f =
+  Mutex.lock s.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
+
+(* ------------------------------------------------------------------ *)
+(* CLOCK ring operations (shard lock held)                             *)
+(* ------------------------------------------------------------------ *)
+
+let cap s = Array.length s.slots
+
+let find s key =
+  match Hashtbl.find_opt s.table key with
+  | None -> None
+  | Some slot ->
+      Bytes.unsafe_set s.refbit slot '\001';
+      (match s.slots.(slot) with
+      | Some (_, e) -> Some e
+      | None -> assert false)
+
+let insert s key entry =
+  let c = cap s in
+  if c > 0 && not (Hashtbl.mem s.table key) then
+    if s.used < c then begin
+      (* Free slots exist; the hand finds one in at most a full sweep. *)
+      while s.slots.(s.hand) <> None do
+        s.hand <- (s.hand + 1) mod c
+      done;
+      s.slots.(s.hand) <- Some (key, entry);
+      Bytes.set s.refbit s.hand '\001';
+      Hashtbl.replace s.table key s.hand;
+      s.used <- s.used + 1;
+      s.hand <- (s.hand + 1) mod c
+    end
+    else begin
+      (* Second chance: skip (and strip) referenced slots, evict the first
+         unreferenced one.  Terminates within two sweeps. *)
+      while Bytes.get s.refbit s.hand = '\001' do
+        Bytes.set s.refbit s.hand '\000';
+        s.hand <- (s.hand + 1) mod c
+      done;
+      (match s.slots.(s.hand) with
+      | Some (old_key, _) ->
+          Hashtbl.remove s.table old_key;
+          s.evictions <- s.evictions + 1
+      | None -> assert false);
+      s.slots.(s.hand) <- Some (key, entry);
+      Bytes.set s.refbit s.hand '\001';
+      Hashtbl.replace s.table key s.hand;
+      s.hand <- (s.hand + 1) mod c
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Lookup with single-flight                                           *)
+(* ------------------------------------------------------------------ *)
 
 let find_or_compute key compute =
-  let cached =
-    with_lock (fun () ->
-        match Hashtbl.find_opt state.table key with
-        | Some e ->
-            state.hits <- state.hits + 1;
-            Some e
-        | None ->
-            state.misses <- state.misses + 1;
-            None)
-  in
-  match cached with
-  | Some e -> e
-  | None ->
-      (* Compute outside the lock: simulations are long and idempotent, so a
-         rare duplicate computation under a race beats serialising every
-         domain of a Pool behind one simulation. *)
-      let e = compute () in
-      with_lock (fun () ->
-          if (not (Hashtbl.mem state.table key)) && Hashtbl.length state.table < state.capacity
-          then Hashtbl.add state.table key e);
+  let t = Atomic.get state in
+  let s = shard_of t key in
+  Mutex.lock s.lock;
+  match find s key with
+  | Some e ->
+      s.hits <- s.hits + 1;
+      Mutex.unlock s.lock;
       e
+  | None -> (
+      match Hashtbl.find_opt s.inflight key with
+      | Some fl ->
+          (* Another domain is computing this key right now: wait for its
+             outcome instead of duplicating the simulation.  The wait
+             counts as a hit (the value arrives computed), tallied
+             separately as coalesced. *)
+          s.hits <- s.hits + 1;
+          s.coalesced <- s.coalesced + 1;
+          Mutex.unlock s.lock;
+          Mutex.lock fl.fm;
+          while fl.outcome = None do
+            Condition.wait fl.fc fl.fm
+          done;
+          let outcome = Option.get fl.outcome in
+          Mutex.unlock fl.fm;
+          (match outcome with Ok e -> e | Error exn -> raise exn)
+      | None ->
+          s.misses <- s.misses + 1;
+          let fl = { fm = Mutex.create (); fc = Condition.create (); outcome = None } in
+          Hashtbl.replace s.inflight key fl;
+          Mutex.unlock s.lock;
+          let outcome = try Ok (compute ()) with exn -> Error exn in
+          Mutex.lock s.lock;
+          Hashtbl.remove s.inflight key;
+          (match outcome with Ok e -> insert s key e | Error _ -> ());
+          Mutex.unlock s.lock;
+          Mutex.lock fl.fm;
+          fl.outcome <- Some outcome;
+          Condition.broadcast fl.fc;
+          Mutex.unlock fl.fm;
+          (match outcome with Ok e -> e | Error exn -> raise exn))
+
+(* ------------------------------------------------------------------ *)
+(* Maintenance                                                         *)
+(* ------------------------------------------------------------------ *)
 
 let clear () =
-  with_lock (fun () ->
-      Hashtbl.reset state.table;
-      state.hits <- 0;
-      state.misses <- 0)
+  let t = Atomic.get state in
+  Array.iter
+    (fun s ->
+      with_shard s (fun () ->
+          Hashtbl.reset s.table;
+          Array.fill s.slots 0 (cap s) None;
+          Bytes.fill s.refbit 0 (Bytes.length s.refbit) '\000';
+          s.hand <- 0;
+          s.used <- 0;
+          s.hits <- 0;
+          s.misses <- 0;
+          s.coalesced <- 0;
+          s.evictions <- 0))
+    t.shards
+
+(* Stop-the-world rebuild: hold every old shard lock (in index order, so
+   two concurrent rebuilds cannot deadlock), copy the entries into a new
+   descriptor, swap it in.  A domain that read the old descriptor just
+   before the swap may still insert into an orphaned shard — the entry is
+   lost, which for a cache is a missed optimisation, not an error.
+   Counters restart from zero (entries migrate, statistics do not). *)
+let reshard ~shards ~capacity =
+  let old_t = Atomic.get state in
+  Array.iter (fun s -> Mutex.lock s.lock) old_t.shards;
+  Fun.protect
+    ~finally:(fun () -> Array.iter (fun s -> Mutex.unlock s.lock) old_t.shards)
+    (fun () ->
+      let fresh = make ~shards ~capacity in
+      Array.iter
+        (fun s ->
+          Array.iter
+            (function
+              | Some (key, entry) ->
+                  let dst = shard_of fresh key in
+                  insert dst key entry
+              | None -> ())
+            s.slots)
+        old_t.shards;
+      Atomic.set state fresh)
+
+let shard_count () = Array.length (Atomic.get state).shards
+
+let set_shards shards =
+  if shards < 1 then invalid_arg "Cache.set_shards: shards must be >= 1";
+  reshard ~shards ~capacity:(Atomic.get requested_capacity)
+
+let reserve_shards ~domains =
+  let want = shards_for_domains (Int.max 1 domains) in
+  if want > shard_count () then reshard ~shards:want ~capacity:(Atomic.get requested_capacity)
 
 let set_capacity capacity =
   if capacity < 0 then invalid_arg "Cache.set_capacity: capacity must be non-negative";
-  with_lock (fun () -> state.capacity <- capacity)
+  Atomic.set requested_capacity capacity;
+  reshard ~shards:(shard_count ()) ~capacity
 
 let stats () =
-  with_lock (fun () ->
-      { hits = state.hits; misses = state.misses; size = Hashtbl.length state.table;
-        capacity = state.capacity })
+  let t = Atomic.get state in
+  let per =
+    Array.map
+      (fun s ->
+        with_shard s (fun () ->
+            {
+              s_hits = s.hits;
+              s_misses = s.misses;
+              s_coalesced = s.coalesced;
+              s_evictions = s.evictions;
+              s_size = s.used;
+              s_capacity = cap s;
+            }))
+      t.shards
+  in
+  Array.fold_left
+    (fun (acc : stats) s ->
+      {
+        acc with
+        hits = acc.hits + s.s_hits;
+        misses = acc.misses + s.s_misses;
+        coalesced = acc.coalesced + s.s_coalesced;
+        evictions = acc.evictions + s.s_evictions;
+        size = acc.size + s.s_size;
+        capacity = acc.capacity + s.s_capacity;
+      })
+    { hits = 0; misses = 0; coalesced = 0; evictions = 0; size = 0; capacity = 0; shards = per }
+    per

@@ -21,10 +21,24 @@
     policy that violates the latter must be run with caching off
     ([Run.config ~cache:false]).
 
-    All operations are domain-safe: a {!Pool} of workers may share the
-    cache.  Entries are computed outside the lock (duplicate computation
-    under a race is possible and harmless) and are immutable once
-    stored. *)
+    {2 Concurrency}
+
+    All operations are domain-safe, and the cache is built to be hammered
+    by every domain of a {!Pool} at once:
+
+    - {e lock striping}: the table is split into a power-of-two number of
+      shards (at least [4 x domains] — {!Pool.create} grows the shard
+      array to fit its pool), each with its own mutex; a key's shard is
+      chosen by an FNV-1a hash of all key fields, so concurrent lookups
+      of distinct keys almost never share a lock;
+    - {e single-flight}: when several domains miss on the same cold key
+      simultaneously, exactly one computes; the others block until the
+      leader publishes and then return the same entry (counted as hits,
+      tallied in [coalesced]).  If the leader's computation raises, the
+      waiters re-raise the same exception;
+    - {e bounded with eviction}: each shard keeps at most its slice of
+      the total capacity, evicting by the CLOCK second-chance rule when
+      full — the cache never silently stops caching. *)
 
 type key = {
   policy : string;  (** [Policy.t.name]; must determine behaviour. *)
@@ -55,22 +69,62 @@ type entry = {
 
 val find_or_compute : key -> (unit -> entry) -> entry
 (** [find_or_compute key compute] returns the cached entry for [key], or
-    runs [compute], stores the result (unless the cache is at capacity),
-    and returns it. *)
+    runs [compute], stores the result (evicting an old entry when the
+    shard is full), and returns it.  Concurrent callers on the same cold
+    key compute once (single-flight); the computation runs outside every
+    lock, so unrelated keys proceed unimpeded. *)
 
 val clear : unit -> unit
-(** Drop every entry and zero the hit/miss counters. *)
+(** Drop every entry and zero every counter (shard layout unchanged). *)
 
 val set_capacity : int -> unit
-(** Maximum number of entries; inserts are refused (not evicted) beyond
-    it.  Existing entries are kept even if above the new capacity.
+(** Total entry budget, split evenly across shards (each shard keeps at
+    least one slot, so the effective total — reported by
+    {!stats}[.capacity] — is rounded up to the shard count; [0] disables
+    storage entirely).  Beyond its budget a shard {e evicts} by second
+    chance rather than refusing inserts.  Existing entries are migrated,
+    counters reset.
     @raise Invalid_argument when negative. *)
 
 val default_capacity : int
 (** 4096 entries. *)
 
-type stats = { hits : int; misses : int; size : int; capacity : int }
+val shard_count : unit -> int
+(** Current number of shards (a power of two). *)
+
+val set_shards : int -> unit
+(** Resize the shard array to the nearest power of two [>= n], migrating
+    entries and resetting counters.  Intended for startup and tests; the
+    swap is not linearisable with in-flight operations (a racing insert
+    may be dropped — harmless for a cache).
+    @raise Invalid_argument when [< 1]. *)
+
+val reserve_shards : domains:int -> unit
+(** Grow (never shrink) the shard array to at least the nearest power of
+    two [>= 4 * domains].  {!Pool.create} calls this so a pool's domains
+    get contention-free striping by default. *)
+
+type shard_stats = {
+  s_hits : int;
+  s_misses : int;
+  s_coalesced : int;  (** Lookups that waited on another domain's compute. *)
+  s_evictions : int;
+  s_size : int;
+  s_capacity : int;
+}
+
+type stats = {
+  hits : int;  (** Includes coalesced waits (they return computed values). *)
+  misses : int;  (** Exactly the number of [compute] invocations. *)
+  coalesced : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+  shards : shard_stats array;  (** Per-shard breakdown; totals sum to the above. *)
+}
 
 val stats : unit -> stats
-(** Counters since the last {!clear}.  Exact under sequential use; under
-    concurrent use a racing miss may be double-counted. *)
+(** Counters since the last {!clear} (or shard/capacity change).  Every
+    lookup is counted exactly once, as a hit or a miss; [misses] equals
+    the number of computations actually run, so
+    [hits + misses = lookups] and duplicate computation never occurs. *)

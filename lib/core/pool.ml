@@ -1,17 +1,24 @@
 (* Work-stealing domain pool.  See pool.mli for the user-facing contract.
 
-   Batch execution: the task indices [0, n) are split into one contiguous
-   slice per participant, each held as a packed (lo, hi) pair inside a
-   single atomic int (lo in the high bits, hi in the low 31).  A
-   participant pops from the lo end of its own slice and steals from the
-   hi end of other slices, so owner and thieves contend on one CAS and
-   every transition linearises.  Slices only ever shrink, so a participant
-   that completes a full pop-then-scan without finding work can retire:
-   any task it did not see claimed is being executed synchronously inside
+   Batch execution: the batch is first cut into chunks of consecutive
+   task indices (cost-aware, see chunk_offsets below); the chunk indices
+   [0, n_chunks) are then split into one contiguous slice per
+   participant, each held as a packed (lo, hi) pair inside a single
+   atomic int (lo in the high bits, hi in the low 31).  A participant
+   pops from the lo end of its own slice and steals from the hi end of
+   other slices, so owner and thieves contend on one CAS and every
+   transition linearises.  Slices only ever shrink, so a participant that
+   completes a full pop-then-scan without finding work can retire: any
+   chunk it did not see claimed is being executed synchronously inside
    another participant's loop.  The batch is over when every participant
    has retired, which the submitting caller awaits under the pool mutex —
    that lock handoff is also what makes the workers' writes to the result
-   array visible to the caller. *)
+   array visible to the caller.
+
+   Chunking changes the unit of stealing, never the unit of work: inside
+   a chunk the tasks run in index order, each with its own exception
+   boundary, so result ordering, per-task PRNG seeding, and the failure
+   index reported by Task_error are identical for every chunking. *)
 
 exception Task_error of int * exn
 
@@ -54,8 +61,9 @@ let try_steal slice =
 (* ------------------------------------------------------------------ *)
 
 type batch = {
-  run : int -> unit;
-  slices : int Atomic.t array;
+  run : int -> unit;  (* one task, by task index *)
+  offsets : int array;  (* chunk j = task indices [offsets.(j), offsets.(j+1)) *)
+  slices : int Atomic.t array;  (* of chunk indices *)
   stop : bool Atomic.t;
   failure : (int * exn) option Atomic.t;
   mutable unfinished : int;  (* participants still working; under the pool mutex *)
@@ -101,11 +109,22 @@ let work b p =
           in
           scan 1
   in
+  (* Tasks of a chunk run in index order, each with its own exception
+     boundary so the failure index is the task's, not the chunk's; a
+     recorded failure abandons the rest of the chunk. *)
+  let run_chunk j =
+    let hi = b.offsets.(j + 1) in
+    let i = ref b.offsets.(j) in
+    while !i < hi && not (Atomic.get b.stop) do
+      (try b.run !i with e -> record_failure b !i e);
+      incr i
+    done
+  in
   let rec go () =
     match claim () with
     | None -> ()
-    | Some i ->
-        (try b.run i with e -> record_failure b i e);
+    | Some j ->
+        run_chunk j;
         go ()
   in
   go ()
@@ -152,6 +171,9 @@ let create ~domains =
       busy = false;
     }
   in
+  (* Give this pool's domains contention-free cache striping: at least
+     4 shards per domain (grow-only, so two pools never fight). *)
+  Cache.reserve_shards ~domains;
   pool.workers <-
     List.init (domains - 1) (fun i -> Domain.spawn (fun () -> worker_loop pool (i + 1) 0));
   pool
@@ -174,20 +196,73 @@ let with_pool ~domains f =
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
 (* ------------------------------------------------------------------ *)
+(* Chunking                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type chunking = [ `Auto | `Fixed of int ]
+
+(* Work a chunk should amortise the per-chunk claim (one CAS) and any
+   per-chunk cold-start cost over, in the units of the caller's ?cost
+   estimates (nominally microseconds). *)
+let auto_chunk_target_cost = 1_000.
+
+let fixed_offsets ~n size =
+  let n_chunks = (n + size - 1) / size in
+  Array.init (n_chunks + 1) (fun j -> Int.min n (j * size))
+
+(* Group consecutive tasks greedily until a chunk's estimated cost
+   reaches the target.  When the whole batch is smaller than
+   [participants] targets, shrink the target to an even split instead —
+   better every domain busy on half-size chunks than half the domains
+   idle. *)
+let costed_offsets ~n ~participants costs =
+  let total = Array.fold_left ( +. ) 0. costs in
+  let target =
+    Float.max 1e-9
+      (Float.min auto_chunk_target_cost (total /. Float.of_int participants))
+  in
+  let offsets = ref [ 0 ] in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. Float.max 0. costs.(i);
+    if !acc >= target && i < n - 1 then begin
+      offsets := (i + 1) :: !offsets;
+      acc := 0.
+    end
+  done;
+  Array.of_list (List.rev (n :: !offsets))
+
+let chunk_offsets ~chunk ~costs ~n ~participants =
+  match chunk with
+  | `Fixed size ->
+      if size < 1 then invalid_arg "Pool: chunk size must be >= 1";
+      fixed_offsets ~n size
+  | `Auto -> (
+      match costs with
+      | Some costs -> costed_offsets ~n ~participants costs
+      | None ->
+          (* No cost model: keep plenty of chunks for stealing (16 per
+             participant) but amortise the claim CAS for huge batches. *)
+          fixed_offsets ~n (Int.max 1 (Int.min 64 (n / (16 * participants)))))
+
+(* ------------------------------------------------------------------ *)
 (* Batch submission                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let run_batch pool ~n run =
-  if n < 0 || n > mask31 then invalid_arg "Pool: task count out of range";
-  if n = 0 then ()
+let run_batch pool ~offsets run =
+  let n_chunks = Array.length offsets - 1 in
+  if n_chunks < 0 || n_chunks > mask31 then invalid_arg "Pool: task count out of range";
+  if n_chunks = 0 then ()
   else begin
     let slices =
       Array.init pool.size (fun p ->
-          Atomic.make (pack ~lo:(p * n / pool.size) ~hi:((p + 1) * n / pool.size)))
+          Atomic.make
+            (pack ~lo:(p * n_chunks / pool.size) ~hi:((p + 1) * n_chunks / pool.size)))
     in
     let b =
       {
         run;
+        offsets;
         slices;
         stop = Atomic.make false;
         failure = Atomic.make None;
@@ -222,16 +297,20 @@ let run_batch pool ~n run =
     | None -> ()
   end
 
-let map_array pool f xs =
+let map_array ?(chunk = `Auto) ?cost pool f xs =
   let n = Array.length xs in
+  if n > mask31 then invalid_arg "Pool: task count out of range";
+  let costs = Option.map (fun c -> Array.map c xs) cost in
+  let offsets = chunk_offsets ~chunk ~costs ~n ~participants:pool.size in
   let res = Array.make n None in
-  run_batch pool ~n (fun i -> res.(i) <- Some (f xs.(i)));
+  run_batch pool ~offsets (fun i -> res.(i) <- Some (f xs.(i)));
   Array.map (function Some y -> y | None -> assert false) res
 
-let map pool f xs = Array.to_list (map_array pool f (Array.of_list xs))
+let map ?chunk ?cost pool f xs =
+  Array.to_list (map_array ?chunk ?cost pool f (Array.of_list xs))
 
-let map_reduce pool ~map:f ~reduce ~init xs =
-  Array.fold_left reduce init (map_array pool f (Array.of_list xs))
+let map_reduce ?chunk ?cost pool ~map:f ~reduce ~init xs =
+  Array.fold_left reduce init (map_array ?chunk ?cost pool f (Array.of_list xs))
 
 (* ------------------------------------------------------------------ *)
 (* Sizing helpers                                                      *)

@@ -22,6 +22,28 @@
     Under that discipline, running on [n] domains is bit-identical to
     running sequentially.
 
+    {2 Cost-aware chunking}
+
+    The unit of stealing is a {e chunk} of consecutive task indices;
+    every [map]-family entry point takes [?chunk] to control it.  When
+    tasks are short (a 100 us simulation), claiming them one CAS at a
+    time costs more than the work itself — the reason naive
+    parallelisation of small batches runs {e slower} than sequential
+    code.  [`Auto] (the default) sizes chunks from the optional [?cost]
+    estimates (nominally microseconds per task): consecutive tasks are
+    grouped until a chunk carries {!auto_chunk_target_cost} (~1 ms) of
+    estimated work, or until the batch splits evenly across the
+    participants, whichever gives smaller chunks.  Without [?cost],
+    [`Auto] falls back to a fixed size that keeps ~16 chunks per
+    participant.  [`Fixed c] forces exactly [c] tasks per chunk
+    ([`Fixed 1] restores task-granular stealing — right for a handful of
+    long tasks such as bracket probes).
+
+    Chunking changes only the stealing granularity: tasks inside a chunk
+    run in index order with their own exception boundaries, so results,
+    per-task PRNG seeding, and the {!Task_error} index are identical for
+    every [?chunk] argument and every domain count.
+
     A pool is single-owner: concurrent or re-entrant [map] calls on the
     same pool raise [Invalid_argument]. *)
 
@@ -32,9 +54,18 @@ exception Task_error of int * exn
     task numbered [index] raised [exn] in a worker.  The first failure
     wins; remaining unstarted tasks are abandoned. *)
 
+type chunking = [ `Auto | `Fixed of int ]
+(** How a batch is cut into steal units; see {e Cost-aware chunking}
+    above. *)
+
+val auto_chunk_target_cost : float
+(** Estimated cost (same units as [?cost], nominally microseconds) that
+    [`Auto] packs into one chunk: 1000. *)
+
 val create : domains:int -> t
 (** [create ~domains] starts a pool of [domains] total participants
-    ([domains - 1] spawned worker domains plus the caller).
+    ([domains - 1] spawned worker domains plus the caller), and grows the
+    {!Cache} shard array to at least [4 * domains] stripes.
     @raise Invalid_argument when [domains < 1]. *)
 
 val size : t -> int
@@ -48,16 +79,28 @@ val with_pool : domains:int -> (t -> 'a) -> 'a
 (** [with_pool ~domains f] runs [f] on a fresh pool and shuts it down on
     both normal return and exception. *)
 
-val map : t -> ('a -> 'b) -> 'a list -> 'b list
+val map : ?chunk:chunking -> ?cost:('a -> float) -> t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map pool f xs] computes [List.map f xs] with the pool's domains.
     Results are ordered by task index; on one domain this {e is}
-    [List.map f xs] (same order of evaluation, same result).
-    @raise Task_error on the first task failure. *)
+    [List.map f xs] (same order of evaluation, same result).  [?chunk]
+    (default [`Auto]) and [?cost] (estimated microseconds per task,
+    consulted only by [`Auto]) tune the stealing granularity without
+    affecting any result.
+    @raise Task_error on the first task failure.
+    @raise Invalid_argument on [`Fixed c] with [c < 1]. *)
 
-val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+val map_array : ?chunk:chunking -> ?cost:('a -> float) -> t -> ('a -> 'b) -> 'a array -> 'b array
 (** Array counterpart of {!map}. *)
 
-val map_reduce : t -> map:('a -> 'b) -> reduce:('c -> 'b -> 'c) -> init:'c -> 'a list -> 'c
+val map_reduce :
+  ?chunk:chunking ->
+  ?cost:('a -> float) ->
+  t ->
+  map:('a -> 'b) ->
+  reduce:('c -> 'b -> 'c) ->
+  init:'c ->
+  'a list ->
+  'c
 (** [map_reduce pool ~map ~reduce ~init xs] maps in parallel and folds the
     results left-to-right in task-index order:
     [reduce (... (reduce init y0) ...) y_{n-1}].  The fold itself runs on

@@ -1,25 +1,47 @@
 (* Both norms go through Run.measure, so with cfg.cache set the baseline —
    identical across every probe of a speed sweep — is simulated once and
-   found in the Cache thereafter. *)
-let vs_baseline ?(baseline = Rr_policies.Srpt.policy) ?(baseline_speed = 1.) (cfg : Run.config)
-    policy inst =
-  let num = Run.norm cfg policy inst in
-  let den = Run.norm { cfg with speed = baseline_speed; record_trace = false } baseline inst in
-  if den <= 0. then Float.nan else num /. den
+   found in the Cache thereafter.  With a pool, the policy and the
+   baseline simulate concurrently as two single-task chunks; the cache's
+   single-flight keeps concurrent probes of a parallel sweep from ever
+   duplicating the shared baseline run. *)
 
-let vs_baseline_stream ?(baseline = Rr_policies.Srpt.policy) ?(baseline_speed = 1.)
-    (cfg : Run.config) policy stream =
-  let num = (Run.measure_stream cfg policy stream).Run.norm in
-  let den =
-    (Run.measure_stream { cfg with speed = baseline_speed; record_trace = false } baseline
-       stream)
-      .Run.norm
+let ratio num den = if den <= 0. then Float.nan else num /. den
+
+(* Evaluate the (numerator, denominator) thunks, side by side on the pool
+   when one is given.  `Fixed 1: two long simulations must be two steal
+   units, not one auto-grouped chunk. *)
+let eval2 pool num den =
+  match pool with
+  | Some pool when Pool.size pool > 1 -> (
+      match Pool.map ~chunk:(`Fixed 1) pool (fun f -> f ()) [ num; den ] with
+      | [ n; d ] -> (n, d)
+      | _ -> assert false)
+  | _ -> (num (), den ())
+
+let vs_baseline ?pool ?(baseline = Rr_policies.Srpt.policy) ?(baseline_speed = 1.)
+    (cfg : Run.config) policy inst =
+  let num, den =
+    eval2 pool
+      (fun () -> Run.norm cfg policy inst)
+      (fun () -> Run.norm { cfg with speed = baseline_speed; record_trace = false } baseline inst)
   in
-  if den <= 0. then Float.nan else num /. den
+  ratio num den
+
+let vs_baseline_stream ?pool ?(baseline = Rr_policies.Srpt.policy) ?(baseline_speed = 1.)
+    (cfg : Run.config) policy stream =
+  let num, den =
+    eval2 pool
+      (fun () -> (Run.measure_stream cfg policy stream).Run.norm)
+      (fun () ->
+        (Run.measure_stream { cfg with speed = baseline_speed; record_trace = false } baseline
+           stream)
+          .Run.norm)
+  in
+  ratio num den
 
 let vs_lp_bound ~delta (cfg : Run.config) policy inst =
   let num = Run.norm cfg policy inst in
   let den =
     Rr_lp.Lp_bound.opt_norm_lower_bound ~k:cfg.k ~machines:cfg.machines ~delta inst
   in
-  if den <= 0. then Float.nan else num /. den
+  ratio num den

@@ -13,9 +13,13 @@
 
     Both take the policy's context as a {!Run.config} ([machines], [speed]
     and [k] are read from it); the baseline always runs trace-free at
-    [baseline_speed]. *)
+    [baseline_speed].  With [?pool] (more than one domain), the policy and
+    the baseline simulate side by side; the {!Cache}'s single-flight
+    guarantees the shared baseline is computed once even when many probes
+    race on it. *)
 
 val vs_baseline :
+  ?pool:Pool.t ->
   ?baseline:Rr_engine.Policy.t ->
   ?baseline_speed:float ->
   Run.config ->
@@ -24,9 +28,11 @@ val vs_baseline :
   float
 (** lk-norm of the policy under the config divided by the lk-norm of
     [baseline] (default SRPT) at [baseline_speed] (default 1).  Returns
-    [nan] when the baseline norm is 0 (empty instance). *)
+    [nan] when the baseline norm is 0 (empty instance).  [?pool] runs the
+    two simulations concurrently; the value is identical either way. *)
 
 val vs_baseline_stream :
+  ?pool:Pool.t ->
   ?baseline:Rr_engine.Policy.t ->
   ?baseline_speed:float ->
   Run.config ->
@@ -35,10 +41,11 @@ val vs_baseline_stream :
   float
 (** {!vs_baseline} over a lazy stream: both the policy and the baseline
     measure through {!Run.measure_stream}, so the ratio of a
-    million-job workload costs O(alive jobs) memory.  With [cfg.cache]
-    set, the baseline is simulated once per (config, stream digest) and
-    found in the cache on every subsequent probe, exactly as in the
-    materialized path. *)
+    million-job workload costs O(alive jobs) memory — per domain, when
+    [?pool] runs the two sides concurrently.  With [cfg.cache] set, the
+    baseline is simulated once per (config, stream digest) and found in
+    the cache (or joined in flight) on every subsequent probe, exactly as
+    in the materialized path. *)
 
 val vs_lp_bound :
   delta:float -> Run.config -> Rr_engine.Policy.t -> Rr_workload.Instance.t -> float

@@ -146,7 +146,41 @@ let flows cfg policy inst =
 let norm cfg policy inst = (measure cfg policy inst).norm
 let power_sum cfg policy inst = (measure cfg policy inst).power_sum
 
-let batch pool cfg tasks = Pool.map pool (fun (policy, inst) -> measure cfg policy inst) tasks
+(* Order-of-magnitude per-task cost model for `Auto chunking, in
+   microseconds.  Calibrated against bench B1/B3 on one core: the general
+   event loop costs a few microseconds per job in heavy traffic (it
+   re-scans the alive set per event), the closed-form equal-share cascade
+   a fraction of one.  Only ratios matter — chunking needs to know that a
+   40-job probe is ~100x cheaper than a 4000-job one and that fast-path
+   RR is ~10x cheaper than SRPT at equal n, not the absolute times. *)
+let estimated_cost_us cfg policy ~jobs =
+  let n = Float.of_int jobs in
+  if fast_pathable cfg policy then 0.2 *. n else 2.0 *. n
 
-let batch_stream pool cfg tasks =
-  Pool.map pool (fun (policy, stream) -> measure_stream cfg policy stream) tasks
+let batch ?chunk pool cfg tasks =
+  Pool.map ?chunk
+    ~cost:(fun (p, inst) -> estimated_cost_us cfg p ~jobs:(Rr_workload.Instance.n inst))
+    pool
+    (fun (policy, inst) -> measure cfg policy inst)
+    tasks
+
+let stream_cost cfg (policy, stream) =
+  estimated_cost_us cfg policy ~jobs:(Rr_workload.Instance.Stream.n stream)
+
+let batch_stream ?chunk pool cfg tasks =
+  Pool.map ?chunk ~cost:(stream_cost cfg) pool
+    (fun (policy, stream) -> measure_stream cfg policy stream)
+    tasks
+
+let fold_stream ?chunk pool cfg ~sink ~merge ~init tasks =
+  Pool.map_reduce ?chunk ~cost:(stream_cost cfg) pool
+    ~map:(fun (policy, stream) ->
+      (* The sink is built on the domain that folds it, so sink state is
+         never shared across domains; only the finished value crosses. *)
+      let s = sink () in
+      let (_ : Rr_engine.Simulator.summary) =
+        simulate_stream { cfg with record_trace = false } policy stream
+          ~sink:(Rr_metrics.Sink.feed s)
+      in
+      Rr_metrics.Sink.value s)
+    ~reduce:merge ~init tasks

@@ -122,18 +122,60 @@ val measure_stream : config -> Rr_engine.Policy.t -> Rr_workload.Instance.Stream
     to ~1e-9 relative and never share entries).  Replays the stream from
     its seed — the stream value itself is not consumed. *)
 
-val batch : Pool.t -> config -> (Rr_engine.Policy.t * Rr_workload.Instance.t) list -> result list
+val estimated_cost_us : config -> Rr_engine.Policy.t -> jobs:int -> float
+(** Order-of-magnitude cost estimate for one simulate-and-measure task,
+    in microseconds — the default [?cost] model behind [`Auto] chunking
+    in {!batch} and friends.  Distinguishes the equal-share fast path
+    (sub-microsecond per job) from the general event loop (a few
+    microseconds per job); only the ratios matter for chunk sizing. *)
+
+val batch :
+  ?chunk:Pool.chunking ->
+  Pool.t ->
+  config ->
+  (Rr_engine.Policy.t * Rr_workload.Instance.t) list ->
+  result list
 (** [batch pool cfg tasks] measures every (policy, instance) pair on the
     pool.  Results are ordered like [tasks] and bit-identical to
-    [List.map (measure cfg) tasks] for any pool size (the shared {!Cache}
-    is domain-safe and simulation deterministic, so caching does not
-    perturb results).  Policy values that carry per-run mutable state
-    (e.g. {!Rr_policies.Quantum_rr}) must be fresh per task — build them
-    with {!Rr_policies.Registry.make}.
+    [List.map (measure cfg) tasks] for any pool size and any [?chunk]
+    (the shared {!Cache} is domain-safe and simulation deterministic, so
+    caching does not perturb results).  [?chunk] defaults to [`Auto]
+    sized by {!estimated_cost_us}, which groups short simulations into
+    ~1 ms steal units — the difference between parallel slowdown and
+    near-linear speedup on batches of small instances.  Policy values
+    that carry per-run mutable state (e.g. {!Rr_policies.Quantum_rr})
+    must be fresh per task — build them with
+    {!Rr_policies.Registry.make}.
     @raise Pool.Task_error when a simulation raises. *)
 
 val batch_stream :
-  Pool.t -> config -> (Rr_engine.Policy.t * Rr_workload.Instance.Stream.t) list -> result list
+  ?chunk:Pool.chunking ->
+  Pool.t ->
+  config ->
+  (Rr_engine.Policy.t * Rr_workload.Instance.Stream.t) list ->
+  result list
 (** {!batch} over streamed tasks.  Streams are seed-replayable, so the
     same stream value may appear in several tasks (and on several domains)
-    safely — each measurement starts its own cursor. *)
+    safely — each measurement starts its own cursor.  Each task folds its
+    own sinks as it streams, so live memory stays O(alive jobs) {e per
+    domain} no matter how many million-job streams the batch holds. *)
+
+val fold_stream :
+  ?chunk:Pool.chunking ->
+  Pool.t ->
+  config ->
+  sink:(unit -> 'a Rr_metrics.Sink.t) ->
+  merge:('b -> 'a -> 'b) ->
+  init:'b ->
+  (Rr_engine.Policy.t * Rr_workload.Instance.Stream.t) list ->
+  'b
+(** Parallel streaming with a custom fold: every task builds a fresh sink
+    with [sink ()] {e on the domain that runs it}, streams its simulation
+    through it, and hands the finished value back; [merge] folds the
+    values on the calling domain in task-index order (like
+    {!Pool.map_reduce}, so a non-commutative merge is well defined and
+    the result is identical for any domain count).  Combine values with
+    {!Rr_metrics.Sink.Merge} — e.g. sum [power_sum] sinks, or
+    {!Rr_util.Welford.merge} [moments] sinks — to aggregate over a
+    many-stream batch in O(alive) memory per domain.  Results are never
+    cached (the cache stores {!measure} aggregates, not custom folds). *)

@@ -15,9 +15,13 @@ let min_speed_for ?pool ~f ~threshold ~lo ~hi ~iters () =
     (* Probe memo: each probe is typically a full simulate-and-measure, and
        once the bracket is narrow a probe can collide with an endpoint (or,
        with several probes per round, with a sibling).  Memoising f here
-       guarantees no speed is ever evaluated twice within one search,
-       independently of whether the caller's f consults the result
-       Cache. *)
+       guarantees no speed is ever evaluated twice within one search, even
+       when f is opaque; probes whose f measures through Run additionally
+       land in the sharded result Cache, whose single-flight lets the
+       concurrent probes of a round share their baseline run without ever
+       serialising behind one lock.  Probes are `Fixed 1 chunks: a round
+       has at most p of them and each is a full simulation, so
+       task-granular stealing is the right unit. *)
     let memo : (float, float) Hashtbl.t = Hashtbl.create 64 in
     let eval xs =
       let missing =
@@ -26,7 +30,7 @@ let min_speed_for ?pool ~f ~threshold ~lo ~hi ~iters () =
       let ys =
         match pool with
         | Some pl when p > 1 && List.compare_length_with missing 1 > 0 ->
-            Pool.map pl f missing
+            Pool.map ~chunk:(`Fixed 1) pl f missing
         | _ -> List.map f missing
       in
       List.iter2 (Hashtbl.replace memo) missing ys;

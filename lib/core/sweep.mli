@@ -39,6 +39,10 @@ val min_speed_for :
     [f] is never called twice on the same speed within one search: probes
     are memoised for the duration of the call, so with [p = 1] a search
     costs at most [iters + 1] evaluations.  Searches whose [f] measures
-    via {!Run.measure} additionally share the cross-call result {!Cache}
-    (the baseline run of {!Ratio.vs_baseline}, identical across probes,
-    is simulated once). *)
+    via {!Run.measure} additionally share the cross-call result {!Cache}:
+    the baseline run of {!Ratio.vs_baseline}, identical across probes, is
+    simulated once, and when the probes of a round race on it
+    concurrently the cache's single-flight has one of them compute while
+    the rest join in flight — sharded striping means they never queue
+    behind one global lock.  Probes run as [`Fixed 1] chunks (each probe
+    is one steal unit). *)

@@ -103,8 +103,24 @@ let linf () =
   }
 
 (* ------------------------------------------------------------------ *)
-(* Streaming quantiles: the P-squared sketch                           *)
+(* Merging parallel folds                                              *)
 (* ------------------------------------------------------------------ *)
+
+module Merge = struct
+  let count = ( + )
+
+  let power_sum = ( +. )
+
+  let linf = Float.max
+
+  let moments = Rr_util.Welford.merge
+
+  let lk ~k values =
+    let ps =
+      List.fold_left (fun acc v -> acc +. Rr_util.Floatx.powi v k) 0. values
+    in
+    if ps = 0. then 0. else ps ** (1. /. Float.of_int k)
+end
 
 (* Jain & Chlamtac's P² algorithm (CACM 1985): five markers track the
    minimum, the p/2, p and (1+p)/2 quantiles, and the maximum; marker

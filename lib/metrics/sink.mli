@@ -66,6 +66,35 @@ val normalized_lk : k:int -> unit -> float t
 val linf : unit -> float t
 (** Running maximum; 0. before the first observation. *)
 
+(** {1 Merging parallel folds}
+
+    A sink folds one stream; a parallel batch folds one stream {e per
+    domain} and must combine the finished values.  Values of the sinks
+    above merge as follows — [Merge] names each rule so call sites read
+    as intent (quantile sketches are the exception: P² markers are not
+    mergeable; fold quantiles per stream or not at all). *)
+
+module Merge : sig
+  val count : int -> int -> int
+
+  val power_sum : float -> float -> float
+  (** Power sums are plain sums: add them.  (Each input is already
+      Kahan-compensated over its own stream; the handful of cross-domain
+      adds need no compensation.) *)
+
+  val linf : float -> float -> float
+  (** Maxima merge by [Float.max]. *)
+
+  val moments : Rr_util.Welford.t -> Rr_util.Welford.t -> Rr_util.Welford.t
+  (** {!Rr_util.Welford.merge}: exact count/min/max, stable mean and
+      variance. *)
+
+  val lk : k:int -> float list -> float
+  (** Rooted norms do NOT add; re-root the sum of the unrooted values:
+      [lk ~k [a; b; ...] = (a^k + b^k + ...)^(1/k)].  Prefer carrying
+      {!power_sum} values and rooting once at the end. *)
+end
+
 (** {1 Streaming quantiles} *)
 
 val quantile : p:float -> unit -> float t

@@ -32,3 +32,23 @@ let of_array a =
   let t = create () in
   Array.iter (add t) a;
   t
+
+(* Chan et al.'s pairwise update: exact counts, means combined by
+   weighted average, m2 corrected by the between-groups term. *)
+let copy t = { n = t.n; mean = t.mean; m2 = t.m2; min = t.min; max = t.max }
+
+let merge a b =
+  if a.n = 0 then copy b
+  else if b.n = 0 then copy a
+  else begin
+    let na = Float.of_int a.n and nb = Float.of_int b.n in
+    let n = a.n + b.n in
+    let delta = b.mean -. a.mean in
+    {
+      n;
+      mean = a.mean +. (delta *. nb /. (na +. nb));
+      m2 = a.m2 +. b.m2 +. (delta *. delta *. na *. nb /. (na +. nb));
+      min = Float.min a.min b.min;
+      max = Float.max a.max b.max;
+    }
+  end

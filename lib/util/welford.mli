@@ -26,3 +26,10 @@ val max : t -> float
 (** @raise Invalid_argument when empty. *)
 
 val of_array : float array -> t
+
+val merge : t -> t -> t
+(** Combine two accumulators as if every sample of both had been added to
+    one (Chan et al.'s parallel update): counts and extrema are exact,
+    mean and variance combine without loss of stability.  Neither input
+    is mutated; the parallel streaming folds merge per-domain moments
+    with this. *)

@@ -1,0 +1,239 @@
+(* Tests for the sharded, bounded, single-flight result cache (Rr_core.Cache).
+   The three load-bearing properties:
+
+   - single-flight: concurrent misses on one cold key run the computation
+     exactly once — misses counts computations, so hits + misses = lookups;
+   - bounded: past capacity the cache evicts (second chance) instead of
+     silently refusing to store;
+   - no aliasing: keys differing only in [fast_path] / [streamed] are
+     distinct entries, because the engines they tag agree only to a
+     tolerance, not to the bit. *)
+
+open Temporal_fairness
+
+let key ?(policy = "test-policy") ?(machines = 1) ?(speed = 1.) ?(k = 2) ?(fast_path = false)
+    ?(streamed = false) digest =
+  {
+    Cache.policy;
+    machines;
+    speed;
+    k;
+    fast_path;
+    streamed;
+    digest = Int64.of_int digest;
+  }
+
+let entry v =
+  { Cache.n = 1; norm = v; power_sum = v; mean_flow = v; max_flow = v; events = 0 }
+
+(* Every test starts from an empty cache at default capacity and restores
+   that state on the way out, so tests compose in any order. *)
+let fresh f () =
+  Cache.set_capacity Cache.default_capacity;
+  Cache.clear ();
+  Fun.protect ~finally:(fun () ->
+      Cache.set_capacity Cache.default_capacity;
+      Cache.clear ())
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Single-flight                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_single_flight () =
+  let computes = Atomic.make 0 in
+  let k0 = key 12345 in
+  let compute () =
+    Atomic.incr computes;
+    (* Long enough that the other domains look the key up while the leader
+       is still computing — they must join the flight, not recompute. *)
+    Unix.sleepf 0.05;
+    entry 7.
+  in
+  let lookups = 8 in
+  Pool.with_pool ~domains:4 (fun pool ->
+      let results =
+        Pool.map ~chunk:(`Fixed 1) pool
+          (fun _ -> Cache.find_or_compute k0 compute)
+          (List.init lookups Fun.id)
+      in
+      List.iter
+        (fun (e : Cache.entry) -> Alcotest.(check (float 0.)) "published value" 7. e.norm)
+        results);
+  Alcotest.(check int) "exactly one compute" 1 (Atomic.get computes);
+  let st = Cache.stats () in
+  Alcotest.(check int) "misses count computations" 1 st.misses;
+  Alcotest.(check int) "every lookup counted once" lookups (st.hits + st.misses);
+  Alcotest.(check bool) "some lookups joined the flight" true (st.coalesced >= 1)
+
+let test_single_flight_failure () =
+  let computes = Atomic.make 0 in
+  let k0 = key 54321 in
+  let boom () =
+    Atomic.incr computes;
+    Unix.sleepf 0.02;
+    failwith "cold compute failed"
+  in
+  Pool.with_pool ~domains:4 (fun pool ->
+      match
+        Pool.map ~chunk:(`Fixed 1) pool
+          (fun _ -> Cache.find_or_compute k0 boom)
+          (List.init 4 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected the leader's failure to propagate"
+      | exception Pool.Task_error (_, Failure msg) ->
+          Alcotest.(check string) "leader's exception" "cold compute failed" msg);
+  (* A failed flight must not wedge the key: the next lookup recomputes. *)
+  let e = Cache.find_or_compute k0 (fun () -> entry 3.) in
+  Alcotest.(check (float 0.)) "key recovers after failure" 3. e.norm
+
+(* ------------------------------------------------------------------ *)
+(* Bounded storage and eviction                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_eviction_past_capacity () =
+  Cache.set_capacity 16;
+  let cap = (Cache.stats ()).capacity in
+  Alcotest.(check bool) "effective capacity >= requested" true (cap >= 16);
+  let n = 400 in
+  for i = 1 to n do
+    ignore (Cache.find_or_compute (key i) (fun () -> entry (Float.of_int i)))
+  done;
+  let st = Cache.stats () in
+  Alcotest.(check int) "all cold keys computed" n st.misses;
+  Alcotest.(check bool) "size stays within capacity" true (st.size <= cap);
+  Alcotest.(check bool)
+    (Printf.sprintf "evictions cover the overflow (%d evicted, %d inserted, cap %d)"
+       st.evictions n cap)
+    true
+    (st.evictions >= n - cap)
+
+let test_capacity_zero_disables_storage () =
+  Cache.set_capacity 0;
+  let computes = ref 0 in
+  let k0 = key 77 in
+  for _ = 1 to 3 do
+    ignore
+      (Cache.find_or_compute k0 (fun () ->
+           incr computes;
+           entry 1.))
+  done;
+  Alcotest.(check int) "nothing stored, every lookup computes" 3 !computes;
+  let st = Cache.stats () in
+  Alcotest.(check int) "zero capacity" 0 st.capacity;
+  Alcotest.(check int) "zero size" 0 st.size
+
+let test_hot_key_stays_hit () =
+  Cache.set_capacity 64;
+  let k0 = key 1 in
+  ignore (Cache.find_or_compute k0 (fun () -> entry 9.));
+  for _ = 1 to 10 do
+    let e = Cache.find_or_compute k0 (fun () -> Alcotest.fail "must be cached") in
+    Alcotest.(check (float 0.)) "cached value" 9. e.norm
+  done;
+  let st = Cache.stats () in
+  Alcotest.(check int) "one miss" 1 st.misses;
+  Alcotest.(check int) "ten hits" 10 st.hits
+
+(* ------------------------------------------------------------------ *)
+(* Stats aggregation and sharding                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_totals_equal_shard_sums () =
+  for i = 1 to 100 do
+    ignore (Cache.find_or_compute (key i) (fun () -> entry (Float.of_int i)))
+  done;
+  for i = 1 to 50 do
+    ignore (Cache.find_or_compute (key i) (fun () -> entry (Float.of_int i)))
+  done;
+  let st = Cache.stats () in
+  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 st.shards in
+  Alcotest.(check int) "shard count" (Cache.shard_count ()) (Array.length st.shards);
+  Alcotest.(check int) "hits" st.hits (sum (fun s -> s.Cache.s_hits));
+  Alcotest.(check int) "misses" st.misses (sum (fun s -> s.Cache.s_misses));
+  Alcotest.(check int) "coalesced" st.coalesced (sum (fun s -> s.Cache.s_coalesced));
+  Alcotest.(check int) "evictions" st.evictions (sum (fun s -> s.Cache.s_evictions));
+  Alcotest.(check int) "size" st.size (sum (fun s -> s.Cache.s_size));
+  Alcotest.(check int) "capacity" st.capacity (sum (fun s -> s.Cache.s_capacity))
+
+let test_set_shards_rounds_and_migrates () =
+  let original = Cache.shard_count () in
+  Fun.protect ~finally:(fun () -> Cache.set_shards original) @@ fun () ->
+  for i = 1 to 30 do
+    ignore (Cache.find_or_compute (key i) (fun () -> entry (Float.of_int i)))
+  done;
+  Cache.set_shards 5;
+  Alcotest.(check int) "rounded up to a power of two" 8 (Cache.shard_count ());
+  (* entries survived the migration: no recomputation *)
+  for i = 1 to 30 do
+    let e = Cache.find_or_compute (key i) (fun () -> Alcotest.fail "lost in migration") in
+    Alcotest.(check (float 0.)) "migrated value" (Float.of_int i) e.norm
+  done;
+  (match Cache.set_shards 0 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected rejection of set_shards 0");
+  Cache.reserve_shards ~domains:4;
+  Alcotest.(check bool) "reserve grows to >= 4x domains" true (Cache.shard_count () >= 16);
+  let before = Cache.shard_count () in
+  Cache.reserve_shards ~domains:1;
+  Alcotest.(check int) "reserve never shrinks" before (Cache.shard_count ())
+
+(* ------------------------------------------------------------------ *)
+(* Key non-aliasing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_flags_never_alias () =
+  let variants =
+    [
+      key 999;
+      key ~fast_path:true 999;
+      key ~streamed:true 999;
+      key ~fast_path:true ~streamed:true 999;
+    ]
+  in
+  List.iteri
+    (fun i k ->
+      let e = Cache.find_or_compute k (fun () -> entry (Float.of_int i)) in
+      Alcotest.(check (float 0.)) (Printf.sprintf "variant %d computed" i) (Float.of_int i)
+        e.norm)
+    variants;
+  (* All four coexist: a lookup of each returns its own value, never a
+     sibling's. *)
+  List.iteri
+    (fun i k ->
+      let e = Cache.find_or_compute k (fun () -> Alcotest.fail "variant missing") in
+      Alcotest.(check (float 0.)) (Printf.sprintf "variant %d distinct" i) (Float.of_int i)
+        e.norm)
+    variants;
+  let st = Cache.stats () in
+  Alcotest.(check int) "four distinct entries" 4 st.size
+
+let () =
+  Alcotest.run "rr_cache"
+    [
+      ( "single-flight",
+        [
+          Alcotest.test_case "exactly one compute" `Quick (fresh test_single_flight);
+          Alcotest.test_case "failure propagates, key recovers" `Quick
+            (fresh test_single_flight_failure);
+        ] );
+      ( "bounded",
+        [
+          Alcotest.test_case "evicts past capacity" `Quick (fresh test_eviction_past_capacity);
+          Alcotest.test_case "capacity 0 disables" `Quick
+            (fresh test_capacity_zero_disables_storage);
+          Alcotest.test_case "hot key stays hit" `Quick (fresh test_hot_key_stays_hit);
+        ] );
+      ( "sharding",
+        [
+          Alcotest.test_case "totals = sum of shards" `Quick
+            (fresh test_stats_totals_equal_shard_sums);
+          Alcotest.test_case "set_shards rounds and migrates" `Quick
+            (fresh test_set_shards_rounds_and_migrates);
+        ] );
+      ( "keys",
+        [
+          Alcotest.test_case "fast_path/streamed never alias" `Quick
+            (fresh test_engine_flags_never_alias);
+        ] );
+    ]

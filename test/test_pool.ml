@@ -153,6 +153,199 @@ let test_batch_parallel_equals_sequential () =
           Alcotest.(check int) (Printf.sprintf "task %d events" i) a.events b.events)
         (List.combine seq par))
 
+(* ------------------------------------------------------------------ *)
+(* Chunking: every policy must leave results bit-identical              *)
+(* ------------------------------------------------------------------ *)
+
+let chunkings n : (string * Pool.chunking) list =
+  [
+    ("auto", `Auto);
+    ("fixed 1", `Fixed 1);
+    ("fixed 3", `Fixed 3);
+    ("fixed 64", `Fixed 64);
+    (Printf.sprintf "fixed %d > n" (n + 1), `Fixed (n + 1));
+  ]
+
+let test_chunking_map_bit_identical () =
+  (* Pure integer tasks: chunk boundaries must be invisible in the output. *)
+  let items = List.init 157 Fun.id in
+  let f x = (x * 31) lxor (x lsl 3) in
+  let seq = List.map f items in
+  Pool.with_pool ~domains:4 (fun pool ->
+      List.iter
+        (fun (name, chunk) ->
+          Alcotest.(check (list int)) name seq (Pool.map ~chunk pool f items))
+        (chunkings (List.length items)))
+
+let test_chunking_batch_bit_identical () =
+  let cfg = Run.config ~speed:2. ~cache:false () in
+  let seq = List.map (fun (p, i) -> Run.measure cfg p i) batch_tasks in
+  let bits (r : Run.result) =
+    ( r.policy_name,
+      r.n,
+      Int64.bits_of_float r.norm,
+      Int64.bits_of_float r.power_sum,
+      Int64.bits_of_float r.mean_flow,
+      Int64.bits_of_float r.max_flow,
+      r.events )
+  in
+  let seq_bits = List.map bits seq in
+  Pool.with_pool ~domains:4 (fun pool ->
+      List.iter
+        (fun (name, chunk) ->
+          let par = Run.batch ~chunk pool cfg batch_tasks in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s bit-identical" name)
+            true
+            (List.equal ( = ) seq_bits (List.map bits par)))
+        (chunkings (List.length batch_tasks)))
+
+let test_chunking_stateful_policy () =
+  (* Quantum-RR closures own per-run mutable state, so every task builds
+     its own policy value; the property under test is that chunked
+     parallel execution of stateful simulations still reproduces the
+     sequential results bit for bit. *)
+  let insts =
+    List.init 40 (fun i ->
+        let rng = Rr_util.Prng.create ~seed:(7000 + i) in
+        Rr_workload.Instance.generate_load ~rng
+          ~sizes:(Rr_workload.Distribution.Exponential { mean = 1. })
+          ~load:0.85 ~machines:1 ~n:(30 + (i mod 5 * 10)) ())
+  in
+  let cfg = Run.config ~speed:2. ~cache:false () in
+  let f inst =
+    let r = Run.measure cfg (Rr_policies.Quantum_rr.policy ~quantum:0.7 ()) inst in
+    (Int64.bits_of_float r.Run.norm, Int64.bits_of_float r.Run.power_sum, r.Run.events)
+  in
+  let seq = List.map f insts in
+  Pool.with_pool ~domains:4 (fun pool ->
+      List.iter
+        (fun (name, chunk) ->
+          Alcotest.(check bool) name true (List.equal ( = ) seq (Pool.map ~chunk pool f insts)))
+        (chunkings (List.length insts)))
+
+let test_chunking_task_error_index () =
+  (* Only task 37 fails, so the reported index must be 37 under every
+     chunking — chunks must not coarsen the failure attribution. *)
+  Pool.with_pool ~domains:4 (fun pool ->
+      List.iter
+        (fun (name, chunk) ->
+          match
+            Pool.map ~chunk pool
+              (fun i -> if i = 37 then failwith "boom" else i)
+              (List.init 100 Fun.id)
+          with
+          | exception Pool.Task_error (37, Failure msg) when msg = "boom" -> ()
+          | exception e -> Alcotest.failf "%s: wrong exception %s" name (Printexc.to_string e)
+          | _ -> Alcotest.failf "%s: expected Task_error" name)
+        (chunkings 100))
+
+let test_fixed_chunk_validation () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      match Pool.map ~chunk:(`Fixed 0) pool Fun.id [ 1; 2 ] with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected rejection of `Fixed 0")
+
+(* ------------------------------------------------------------------ *)
+(* Parallel streaming                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let stream_tasks =
+  List.init 12 (fun i ->
+      let stream =
+        Rr_workload.Instance.Stream.generate_load ~seed:(3000 + i)
+          ~sizes:(Rr_workload.Distribution.Exponential { mean = 1. })
+          ~load:0.9 ~machines:1
+          ~n:(500 + (i mod 4 * 300))
+          ()
+      in
+      let policy =
+        match i mod 3 with
+        | 0 -> Rr_policies.Round_robin.policy
+        | 1 -> Rr_policies.Srpt.policy
+        | _ -> Rr_policies.Fcfs.policy
+      in
+      (policy, stream))
+
+let test_batch_stream_matches_sequential () =
+  let cfg = Run.config ~speed:2. ~cache:false () in
+  let seq = List.map (fun (p, s) -> Run.measure_stream cfg p s) stream_tasks in
+  Pool.with_pool ~domains:4 (fun pool ->
+      List.iter
+        (fun (name, chunk) ->
+          let par = Run.batch_stream ~chunk pool cfg stream_tasks in
+          List.iteri
+            (fun i ((a : Run.result), (b : Run.result)) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s task %d" name i)
+                true
+                (a.n = b.n
+                && Int64.equal (Int64.bits_of_float a.norm) (Int64.bits_of_float b.norm)
+                && Int64.equal (Int64.bits_of_float a.power_sum)
+                     (Int64.bits_of_float b.power_sum)
+                && a.max_flow = b.max_flow))
+            (List.combine seq par))
+        [ ("auto", `Auto); ("fixed 1", `Fixed 1) ])
+
+let test_fold_stream_matches_sequential () =
+  let cfg = Run.config ~speed:2. ~cache:false () in
+  (* Reference: one sequential pass per stream through the same sink. *)
+  let seq_value (p, s) =
+    let sink = Rr_metrics.Sink.power_sum ~k:2 () in
+    let (_ : Rr_engine.Simulator.summary) =
+      Run.simulate_stream cfg p s ~sink:(Rr_metrics.Sink.feed sink)
+    in
+    Rr_metrics.Sink.value sink
+  in
+  let expected = List.fold_left (fun acc t -> acc +. seq_value t) 0. stream_tasks in
+  Pool.with_pool ~domains:4 (fun pool ->
+      let got =
+        Run.fold_stream pool cfg
+          ~sink:(fun () -> Rr_metrics.Sink.power_sum ~k:2 ())
+          ~merge:Rr_metrics.Sink.Merge.power_sum ~init:0. stream_tasks
+      in
+      let rel = Float.abs (got -. expected) /. Float.max 1e-300 (Float.abs expected) in
+      Alcotest.(check bool)
+        (Printf.sprintf "parallel fold within 1e-9 (rel %.2e)" rel)
+        true (rel <= 1e-9));
+  (* Welford moments merge across domains: count/min/max exact, mean tight. *)
+  let seq_moments =
+    let acc = ref (Rr_util.Welford.create ()) in
+    List.iter
+      (fun (p, s) ->
+        let sink = Rr_metrics.Sink.moments () in
+        let (_ : Rr_engine.Simulator.summary) =
+          Run.simulate_stream cfg p s ~sink:(Rr_metrics.Sink.feed sink)
+        in
+        acc := Rr_util.Welford.merge !acc (Rr_metrics.Sink.value sink))
+      stream_tasks;
+    !acc
+  in
+  Pool.with_pool ~domains:4 (fun pool ->
+      let par =
+        Run.fold_stream pool cfg
+          ~sink:(fun () -> Rr_metrics.Sink.moments ())
+          ~merge:Rr_util.Welford.merge
+          ~init:(Rr_util.Welford.create ())
+          stream_tasks
+      in
+      Alcotest.(check int) "count" (Rr_util.Welford.count seq_moments)
+        (Rr_util.Welford.count par);
+      Alcotest.(check (float 0.)) "max exact" (Rr_util.Welford.max seq_moments)
+        (Rr_util.Welford.max par);
+      let rel a b = Float.abs (a -. b) /. Float.max 1e-300 (Float.abs a) in
+      Alcotest.(check bool) "mean within 1e-9" true
+        (rel (Rr_util.Welford.mean seq_moments) (Rr_util.Welford.mean par) <= 1e-9))
+
+let test_ratio_stream_pool_invariant () =
+  let cfg = Run.config ~speed:3. ~cache:false () in
+  let _, stream = List.hd stream_tasks in
+  let without = Ratio.vs_baseline_stream cfg Rr_policies.Round_robin.policy stream in
+  Pool.with_pool ~domains:4 (fun pool ->
+      let with_pool = Ratio.vs_baseline_stream ~pool cfg Rr_policies.Round_robin.policy stream in
+      Alcotest.(check bool) "pooled ratio bit-identical" true
+        (Int64.equal (Int64.bits_of_float without) (Int64.bits_of_float with_pool)))
+
 let test_batch_domain_count_invariance () =
   (* results must not depend on the number of domains *)
   let cfg = Run.config ~cache:false () in
@@ -188,6 +381,22 @@ let () =
         [
           Alcotest.test_case "shutdown" `Quick test_shutdown_idempotent_and_rejects_use;
           Alcotest.test_case "create validation" `Quick test_create_validation;
+        ] );
+      ( "chunking",
+        [
+          Alcotest.test_case "map bit-identical" `Quick test_chunking_map_bit_identical;
+          Alcotest.test_case "batch bit-identical" `Quick test_chunking_batch_bit_identical;
+          Alcotest.test_case "stateful policy" `Quick test_chunking_stateful_policy;
+          Alcotest.test_case "task error index" `Quick test_chunking_task_error_index;
+          Alcotest.test_case "fixed 0 rejected" `Quick test_fixed_chunk_validation;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "batch_stream = sequential" `Quick
+            test_batch_stream_matches_sequential;
+          Alcotest.test_case "fold_stream = sequential" `Quick
+            test_fold_stream_matches_sequential;
+          Alcotest.test_case "ratio pool invariance" `Quick test_ratio_stream_pool_invariant;
         ] );
       ( "batch determinism",
         [
