@@ -5,18 +5,23 @@
    sequential execution at 2 and 4 domains (scaled task set) plus the
    chunking effect on a small-task batch, the B3 simulation-core
    benchmark comparing the general event loop against the closed-form
-   equal-share engine and a cold sweep against a cached one, and the B4
+   equal-share engine and a cold sweep against a cached one, the B4
    streaming benchmark comparing the sink pipeline against
-   materialize-and-measure (jobs/sec, allocated words, peak live heap).
+   materialize-and-measure (jobs/sec, allocated words, peak live heap),
+   and the B5 fast-path benchmark measuring each priority-index /
+   cascade engine (SRPT, SJF, FCFS, SETF) against the general loop plus
+   one cold end-to-end Ratio.vs_baseline.
 
-   Machine-readable results land in BENCH_simcore.json, BENCH_pool.json
-   and BENCH_stream.json next to the text report.  The process exits
-   non-zero when B3's differential check — the two engines must agree on
-   every flow time — fails, when a B2 parallel batch is not bit-identical
-   to the sequential one or misses its speedup gate (>= 1.2x at 2
-   domains, >= 1.8x at 4; each speedup gate is skipped, and recorded as
-   skipped, when the machine has fewer CPUs than the point needs), or
-   when B4's allocation/peak-heap/agreement gates fail, so CI can gate on
+   Machine-readable results land in BENCH_simcore.json, BENCH_pool.json,
+   BENCH_stream.json and BENCH_fastpaths.json next to the text report.
+   The process exits non-zero when B3's differential check — the two
+   engines must agree on every flow time — fails, when a B2 parallel
+   batch is not bit-identical to the sequential one or misses its
+   speedup gate (>= 1.2x at 2 domains, >= 1.8x at 4; each speedup gate
+   is skipped, and recorded as skipped, when the machine has fewer CPUs
+   than the point needs), when B4's allocation/peak-heap/agreement gates
+   fail, or when a B5 engine misses its speedup floor or its <= 1e-9
+   differential-agreement gate (m in {1, 2, 8}), so CI can gate on
    them.
 
    Usage: dune exec bench/main.exe [-- --quick] [-- --jobs N]
@@ -374,11 +379,20 @@ let time_per_run reps f =
   for _ = 1 to 3 do
     f ()
   done;
-  let t0 = Unix.gettimeofday () in
-  for _ = 1 to reps do
-    f ()
+  (* Best-of-3 batch means: the min is far more stable under scheduler
+     jitter than a single long mean, which is what the perf gates need. *)
+  let batch () =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. Float.of_int reps
+  in
+  let best = ref (batch ()) in
+  for _ = 2 to 3 do
+    best := Float.min !best (batch ())
   done;
-  (Unix.gettimeofday () -. t0) *. 1e9 /. Float.of_int reps
+  !best
 
 let run_simcore_bench () =
   let jobs = Rr_workload.Instance.jobs bench_instance in
@@ -652,6 +666,214 @@ let write_stream_json (b4 : b4_report) =
   Printf.printf "(wrote %s)\n%!" stream_json_file
 
 (* ------------------------------------------------------------------ *)
+(* B5: per-engine fast paths (BENCH_fastpaths.json)                    *)
+(* ------------------------------------------------------------------ *)
+
+type b5_engine = {
+  e_policy : string;
+  e_engine : string;
+  e_general_ns : float;
+  e_fast_ns : float;
+  e_max_rel_diff : float;  (* worst over m in {1, 2, 8} *)
+  e_gate_min : float;
+}
+
+type b5_report = {
+  b5_n : int;
+  b5_engines : b5_engine list;
+  b5_ratio_n : int;
+  b5_ratio_baseline_s : float;
+  b5_ratio_fast_s : float;
+  b5_ratio_gate : float;
+  b5_ratio_same : bool;
+  b5_failures : string list;
+}
+
+(* Speedup floors per engine on the n=10^4, rho=0.9, m=1 instance.  SRPT's
+   5x is the acceptance gate of the fast-path work; the others are set
+   from measured headroom (see EXPERIMENTS.md for typical numbers) with
+   ~2x margin so a real regression trips them but scheduler jitter does
+   not.  The completion cascades (SJF/FCFS) clear far higher bars than
+   the preemptive engines; SETF pays for group maintenance. *)
+let b5_cases =
+  [
+    (Rr_policies.Srpt.policy, 5.0);
+    (Rr_policies.Sjf.policy, 4.0);
+    (Rr_policies.Fcfs.policy, 5.0);
+    (Rr_policies.Setf.policy, 2.0);
+  ]
+
+let b5_ratio_gate = 3.0
+
+let run_fastpath_bench () =
+  (* B5 runs after the allocation-heavy bechamel suites; compact so its
+     timings measure the engines, not the leftover heap. *)
+  Gc.compact ();
+  let n = if quick then 2_000 else 10_000 in
+  let inst_m1 =
+    let rng = Prng.create ~seed:46 in
+    Rr_workload.Instance.generate_load ~rng
+      ~sizes:(Rr_workload.Distribution.Exponential { mean = 1. })
+      ~load:0.9 ~machines:1 ~n ()
+  in
+  (* Smaller multi-machine instances: the differential gate must hold for
+     m > 1 too, but the timing story is the m = 1 heavy-traffic one. *)
+  let inst_of machines =
+    if machines = 1 then inst_m1
+    else begin
+      let rng = Prng.create ~seed:(46 + machines) in
+      Rr_workload.Instance.generate_load ~rng
+        ~sizes:(Rr_workload.Distribution.Exponential { mean = 1. })
+        ~load:0.9 ~machines ~n:(n / 5) ()
+    end
+  in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let reps = if quick then 10 else 30 in
+  (* Quick mode is a CI smoke on small n and shared runners: the agreement
+     gates stay exact, but the speedup floors are halved — fixed per-run
+     overheads eat a larger share of a 2k-job simulation, and the
+     full-scale floors are what the real bench enforces. *)
+  let gate_scale = if quick then 0.5 else 1.0 in
+  let engine_point ((policy : Rr_engine.Policy.t), full_gate) =
+    let gate_min = full_gate *. gate_scale in
+    let cfg_fast = Run.config ~cache:false () in
+    let cfg_gen = Run.config ~cache:false ~fast_path:false () in
+    let engine = Run.engine_name cfg_fast policy in
+    let max_rel = ref 0. in
+    List.iter
+      (fun machines ->
+        let inst = inst_of machines in
+        let fg = Run.flows { cfg_gen with Run.machines } policy inst in
+        let ff = Run.flows { cfg_fast with Run.machines } policy inst in
+        if Array.length fg <> Array.length ff then
+          fail "B5: %s m=%d: engines completed different job counts" policy.name machines
+        else
+          Array.iteri
+            (fun i g ->
+              max_rel := Float.max !max_rel (Float.abs (g -. ff.(i)) /. Float.abs g))
+            fg)
+      [ 1; 2; 8 ];
+    if !max_rel > diff_rtol then
+      fail "B5: %s: max relative flow diff %.2e exceeds rtol %.0e" policy.name !max_rel
+        diff_rtol;
+    Gc.compact ();
+    let general_ns = time_per_run reps (fun () -> ignore (Run.simulate cfg_gen policy inst_m1)) in
+    let fast_ns = time_per_run reps (fun () -> ignore (Run.simulate cfg_fast policy inst_m1)) in
+    let speedup = general_ns /. Float.max 1. fast_ns in
+    if speedup < gate_min then
+      fail "B5: %s: speedup %.1fx below gate %.1fx" policy.name speedup gate_min;
+    Printf.printf
+      "B5: %-5s n=%d (speed 1.0, m=1): general %7.3f ms | %-12s %7.3f ms | speedup %5.1fx \
+       (gate >=%.1fx) | max rel diff %.2e (m in {1,2,8})\n%!"
+      policy.name n (general_ns /. 1e6) engine (fast_ns /. 1e6) speedup gate_min !max_rel;
+    {
+      e_policy = policy.name;
+      e_engine = engine;
+      e_general_ns = general_ns;
+      e_fast_ns = fast_ns;
+      e_max_rel_diff = !max_rel;
+      e_gate_min = gate_min;
+    }
+  in
+  let engines = List.map engine_point b5_cases in
+  (* End-to-end: one cold-cache Ratio.vs_baseline (RR at speed 2 vs
+     SRPT@1).  The pre-fast-path baseline is reconstructed from the same
+     build — RR still on the equal-share engine, but the SRPT baseline on
+     the general loop — so the gate isolates exactly what this round of
+     engines bought. *)
+  let rr = Rr_policies.Round_robin.policy in
+  let cfg = Run.config ~speed:2. () in
+  Gc.compact ();
+  let timed_cold f =
+    (* Every run is cold (cache cleared first); best-of-5 wall clocks keep
+       the gate from tripping on one unlucky scheduler hiccup. *)
+    let once () =
+      Cache.clear ();
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      (r, Unix.gettimeofday () -. t0)
+    in
+    let r, t0 = once () in
+    let best = ref t0 in
+    for _ = 2 to 5 do
+      let _, t = once () in
+      best := Float.min !best t
+    done;
+    (r, !best)
+  in
+  let r_fast, t_fast = timed_cold (fun () -> Ratio.vs_baseline cfg rr inst_m1) in
+  let r_base, t_base =
+    timed_cold (fun () ->
+        let rr_norm = Run.norm cfg rr inst_m1 in
+        let srpt_norm =
+          Run.norm { cfg with Run.speed = 1.; fast_path = false } Rr_policies.Srpt.policy inst_m1
+        in
+        rr_norm /. srpt_norm)
+  in
+  let ratio_same = Float.abs (r_fast -. r_base) <= 1e-6 *. Float.max 1. (Float.abs r_base) in
+  let ratio_speedup = t_base /. Float.max 1e-9 t_fast in
+  if not ratio_same then
+    fail "B5: ratio answers differ: fast %.9g vs general-baseline %.9g" r_fast r_base;
+  let ratio_gate = b5_ratio_gate *. gate_scale in
+  if ratio_speedup < ratio_gate then
+    fail "B5: cold vs_baseline speedup %.1fx below gate %.1fx" ratio_speedup ratio_gate;
+  Printf.printf
+    "B5: Ratio.vs_baseline n=%d cold cache: general-baseline %.3f s | fast %.3f s | speedup \
+     %.1fx (gate >=%.1fx) | same answer: %s\n%!"
+    n t_base t_fast ratio_speedup ratio_gate
+    (if ratio_same then "yes" else "NO");
+  {
+    b5_n = n;
+    b5_engines = engines;
+    b5_ratio_n = n;
+    b5_ratio_baseline_s = t_base;
+    b5_ratio_fast_s = t_fast;
+    b5_ratio_gate = ratio_gate;
+    b5_ratio_same = ratio_same;
+    b5_failures = List.rev !failures;
+  }
+
+let fastpaths_json_file = "BENCH_fastpaths.json"
+
+let write_fastpaths_json (b5 : b5_report) =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"schema\": \"bench_fastpaths/v1\",\n";
+  add "  \"scale\": %S,\n" (if quick then "quick" else "full");
+  add "  \"jobs\": %d, \"rtol\": %.0e, \"machines_checked\": [1, 2, 8],\n" b5.b5_n diff_rtol;
+  add "  \"engines\": [\n";
+  List.iteri
+    (fun i e ->
+      add
+        "    {\"policy\": %S, \"engine\": %S, \"general_ns\": %.1f, \"fast_ns\": %.1f, \
+         \"speedup\": %.3f, \"max_rel_flow_diff\": %.3e, \"gate_min_speedup\": %.1f, \
+         \"gate_ok\": %b, \"agree\": %b}%s\n"
+        e.e_policy e.e_engine e.e_general_ns e.e_fast_ns
+        (e.e_general_ns /. Float.max 1. e.e_fast_ns)
+        e.e_max_rel_diff e.e_gate_min
+        (e.e_general_ns /. Float.max 1. e.e_fast_ns >= e.e_gate_min)
+        (e.e_max_rel_diff <= diff_rtol)
+        (if i = List.length b5.b5_engines - 1 then "" else ","))
+    b5.b5_engines;
+  add "  ],\n";
+  add
+    "  \"ratio\": {\"jobs\": %d, \"baseline_s\": %.6f, \"fast_s\": %.6f, \"speedup\": %.3f, \
+     \"gate_min_speedup\": %.1f, \"same_answer\": %b},\n"
+    b5.b5_ratio_n b5.b5_ratio_baseline_s b5.b5_ratio_fast_s
+    (b5.b5_ratio_baseline_s /. Float.max 1e-9 b5.b5_ratio_fast_s)
+    b5.b5_ratio_gate b5.b5_ratio_same;
+  add "  \"failures\": [%s],\n"
+    (String.concat ", " (List.map (Printf.sprintf "%S") b5.b5_failures));
+  add "  \"ok\": %b\n" (b5.b5_failures = []);
+  add "}\n";
+  let oc = open_out fastpaths_json_file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "(wrote %s)\n%!" fastpaths_json_file
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable report                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -698,6 +920,10 @@ let write_json b1 (b3 : b3_report) =
   Printf.printf "(wrote %s)\n%!" json_file
 
 let () =
+  (* B5 carries the strictest perf gates (engine speedup floors), so it
+     runs first, on a pristine heap — after the bechamel suites the major
+     heap is large enough to distort its per-run timings. *)
+  let b5 = run_fastpath_bench () in
   let b1 =
     Pool.with_pool ~domains (fun pool ->
         run_experiments pool;
@@ -712,6 +938,7 @@ let () =
   write_json b1 b3;
   write_pool_json b2;
   write_stream_json b4;
+  write_fastpaths_json b5;
   if not (b3.sim_agree && b3.sweep_same_answer) then begin
     prerr_endline
       "B3 FAILED: the equal-share engine disagrees with the general engine; see \
@@ -726,5 +953,10 @@ let () =
   if b4.b4_failures <> [] then begin
     List.iter (fun m -> prerr_endline ("B4 FAILED: " ^ m)) b4.b4_failures;
     prerr_endline "B4 FAILED: streaming pipeline gate; see BENCH_stream.json";
+    exit 1
+  end;
+  if b5.b5_failures <> [] then begin
+    List.iter (fun m -> prerr_endline ("B5 FAILED: " ^ m)) b5.b5_failures;
+    prerr_endline "B5 FAILED: fast-path engine gate; see BENCH_fastpaths.json";
     exit 1
   end

@@ -94,9 +94,28 @@ let no_fast_path_arg =
     & flag
     & info [ "no-fast-path" ]
         ~doc:
-          "Always run the general event loop, even for round robin (by default RR dispatches \
-           to the closed-form equal-share engine, which agrees to ~1e-12 relative flow \
-           time).")
+          "Always run the general event loop, even for policies with a closed-form engine \
+           (RR's equal-share cascade, the SRPT/SJF/FCFS priority-index kernel, the SETF \
+           group cascade — each agrees with the general loop to ~1e-9 relative flow time \
+           but is several times faster).  Use it to reproduce archived general-loop \
+           numbers bit-exactly.")
+
+let print_cache_stats () =
+  let st = Temporal_fairness.Cache.stats () in
+  Format.printf
+    "cache: %d hits (%d coalesced in flight) / %d misses, %d evictions, %d/%d entries across \
+     %d shards@."
+    st.hits st.coalesced st.misses st.evictions st.size st.capacity (Array.length st.shards)
+
+let cache_stats_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "cache-stats" ]
+        ~doc:
+          "Print the result cache's counters on exit: hits (including lookups coalesced \
+           into another domain's in-flight computation), misses (= simulations actually \
+           run), evictions, occupancy and shard count.")
 
 let no_cache_arg =
   Arg.(
@@ -216,10 +235,11 @@ let simulate_streamed ~policy ~machines ~speed ~k ~seed ~sizes ~load ~n ~no_fast
   let allocated_words = (Gc.allocated_bytes () -. bytes_before) /. 8. in
   Format.printf "stream %s (never materialized)@." (Rr_workload.Instance.Stream.label stream);
   Format.printf
-    "policy %s at speed %g on %d machine(s): %d jobs, %d events, makespan %g, peak alive %d@."
-    policy.Rr_engine.Policy.name speed machines summary.Rr_engine.Simulator.n
-    summary.Rr_engine.Simulator.events summary.Rr_engine.Simulator.makespan
-    summary.Rr_engine.Simulator.max_alive;
+    "policy %s [engine %s] at speed %g on %d machine(s): %d jobs, %d events, makespan %g, \
+     peak alive %d@."
+    policy.Rr_engine.Policy.name (Run.engine_name cfg policy) speed machines
+    summary.Rr_engine.Simulator.n summary.Rr_engine.Simulator.events
+    summary.Rr_engine.Simulator.makespan summary.Rr_engine.Simulator.max_alive;
   if summary.Rr_engine.Simulator.n > 0 then begin
     let stats, norm = Rr_metrics.Sink.value agg in
     Format.printf "%a  (p50/p90/p99 are P-squared sketch estimates)@." Rr_metrics.Flow_stats.pp
@@ -247,16 +267,15 @@ let simulate_cmd =
     end
     else begin
       let inst = load_instance ~file ~seed ~sizes ~load ~machines ~n in
-      let res =
-        Run.simulate
-          (Run.config ~machines ~speed ~k ~record_trace:true ~fast_path:(not no_fast_path) ())
-          policy inst
+      let cfg =
+        Run.config ~machines ~speed ~k ~record_trace:true ~fast_path:(not no_fast_path) ()
       in
+      let res = Run.simulate cfg policy inst in
       let flows = Rr_engine.Simulator.flows res in
       let stats = Rr_metrics.Flow_stats.of_flows flows in
       Format.printf "%a@." Rr_workload.Instance.pp inst;
-      Format.printf "policy %s at speed %g on %d machine(s): %d events@."
-        policy.Rr_engine.Policy.name speed machines res.events;
+      Format.printf "policy %s [engine %s] at speed %g on %d machine(s): %d events@."
+        policy.Rr_engine.Policy.name (Run.engine_name cfg policy) speed machines res.events;
       Format.printf "%a@." Rr_metrics.Flow_stats.pp stats;
       Format.printf "l%d norm: %g  | time-weighted Jain index: %g@." k
         (Rr_metrics.Norms.lk ~k flows)
@@ -286,53 +305,58 @@ let simulate_cmd =
 (* ------------------------------------------------------------------ *)
 
 let compare_cmd =
-  let run machines speed file seed sizes load n jobs chunk no_fast_path =
+  let run machines speed file seed sizes load n jobs chunk no_fast_path no_cache cache_stats =
     let inst = load_instance ~file ~seed ~sizes ~load ~machines ~n in
     let table =
       Rr_util.Table.create
         ~title:(Printf.sprintf "policies at speed %g, m = %d" speed machines)
-        ~columns:[ "policy"; "mean"; "max"; "l1"; "l2"; "jain" ]
+        ~columns:[ "policy"; "engine"; "mean"; "max"; "l1"; "l2"; "jain" ]
     in
+    (* k = 2 so the cached measurement's norm is the l2 column; the Jain
+       index needs the full trace, which measurements never keep, so one
+       traced re-simulation per row on top of the (cacheable) measure. *)
     let cfg =
-      Run.config ~machines ~speed ~record_trace:true ~fast_path:(not no_fast_path) ()
+      Run.config ~machines ~speed ~k:2 ~fast_path:(not no_fast_path) ~cache:(not no_cache) ()
     in
+    let traced = { cfg with Run.record_trace = true } in
     let rows =
       with_jobs jobs (fun pool ->
           Pool.map ~chunk pool
             (fun (policy : Rr_engine.Policy.t) ->
-              let res = Run.simulate cfg policy inst in
-              let flows = Rr_engine.Simulator.flows res in
-              let s = Rr_metrics.Flow_stats.of_flows flows in
+              let r = Run.measure cfg policy inst in
+              let res = Run.simulate traced policy inst in
               [
                 policy.name;
-                Rr_util.Table.fcell s.mean;
-                Rr_util.Table.fcell s.max;
-                Rr_util.Table.fcell s.l1;
-                Rr_util.Table.fcell s.l2;
+                Run.engine_name cfg policy;
+                Rr_util.Table.fcell r.Run.mean_flow;
+                Rr_util.Table.fcell r.Run.max_flow;
+                Rr_util.Table.fcell (r.Run.mean_flow *. Float.of_int r.Run.n);
+                Rr_util.Table.fcell r.Run.norm;
                 Rr_util.Table.fcell (Rr_metrics.Fairness.time_weighted_jain res.trace);
               ])
             (Rr_policies.Registry.all ()))
     in
     List.iter (Rr_util.Table.add_row table) rows;
-    Rr_util.Table.print table
+    Rr_util.Table.print table;
+    if cache_stats then print_cache_stats ()
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Run every built-in policy on one instance and tabulate the outcomes.")
     Term.(
       const run $ machines_arg $ speed_arg $ file_arg $ seed_arg $ sizes_arg $ load_arg $ n_arg
-      $ jobs_arg $ chunk_arg $ no_fast_path_arg)
+      $ jobs_arg $ chunk_arg $ no_fast_path_arg $ no_cache_arg $ cache_stats_arg)
 
 (* ------------------------------------------------------------------ *)
 (* certify                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let certify_cmd =
-  let run machines k eps file seed sizes load n =
+  let run machines k eps file seed sizes load n no_fast_path =
     let inst = load_instance ~file ~seed ~sizes ~load ~machines ~n in
     let speed = Rr_dualfit.Certificate.theorem_speed ~k ~eps in
     let res =
       Run.simulate
-        (Run.config ~machines ~speed ~k ~record_trace:true ())
+        (Run.config ~machines ~speed ~k ~record_trace:true ~fast_path:(not no_fast_path) ())
         Rr_policies.Round_robin.policy inst
     in
     let cert = Rr_dualfit.Certificate.certify ~eps ~k res in
@@ -349,7 +373,9 @@ let certify_cmd =
   Cmd.v
     (Cmd.info "certify"
        ~doc:"Run RR at the Theorem-1 speed and verify the paper's dual-fitting certificate.")
-    Term.(const run $ machines_arg $ k_arg $ eps_arg $ file_arg $ seed_arg $ sizes_arg $ load_arg $ n_arg)
+    Term.(
+      const run $ machines_arg $ k_arg $ eps_arg $ file_arg $ seed_arg $ sizes_arg $ load_arg
+      $ n_arg $ no_fast_path_arg)
 
 (* ------------------------------------------------------------------ *)
 (* lowerbound                                                          *)
@@ -372,23 +398,6 @@ let lowerbound_cmd =
 (* ------------------------------------------------------------------ *)
 (* crossover                                                           *)
 (* ------------------------------------------------------------------ *)
-
-let print_cache_stats () =
-  let st = Temporal_fairness.Cache.stats () in
-  Format.printf
-    "cache: %d hits (%d coalesced in flight) / %d misses, %d evictions, %d/%d entries across \
-     %d shards@."
-    st.hits st.coalesced st.misses st.evictions st.size st.capacity (Array.length st.shards)
-
-let cache_stats_arg =
-  Arg.(
-    value
-    & flag
-    & info [ "cache-stats" ]
-        ~doc:
-          "Print the result cache's counters after the search: hits (including lookups \
-           coalesced into another domain's in-flight computation), misses (= simulations \
-           actually run), evictions, occupancy and shard count.")
 
 let crossover_cmd =
   let run machines k theta lo hi iters file seed sizes load n jobs no_fast_path no_cache
@@ -437,9 +446,13 @@ let crossover_cmd =
 (* ------------------------------------------------------------------ *)
 
 let gantt_cmd =
-  let run policy machines speed file seed sizes load n width =
+  let run policy machines speed file seed sizes load n width no_fast_path =
     let inst = load_instance ~file ~seed ~sizes ~load ~machines ~n in
-    let res = Run.simulate (Run.config ~machines ~speed ~record_trace:true ()) policy inst in
+    let res =
+      Run.simulate
+        (Run.config ~machines ~speed ~record_trace:true ~fast_path:(not no_fast_path) ())
+        policy inst
+    in
     let pieces = Rr_engine.Assignment.of_trace ~machines res.trace in
     (match Rr_engine.Assignment.validate ~machines pieces with
     | Ok () -> ()
@@ -458,24 +471,25 @@ let gantt_cmd =
           McNaughton's wrap-around rule).")
     Term.(
       const run $ policy_arg $ machines_arg $ speed_arg $ file_arg $ seed_arg $ sizes_arg
-      $ load_arg $ n_arg $ width_arg)
+      $ load_arg $ n_arg $ width_arg $ no_fast_path_arg)
 
 (* ------------------------------------------------------------------ *)
 (* experiments                                                         *)
 (* ------------------------------------------------------------------ *)
 
 let experiments_cmd =
-  let run quick jobs =
+  let run quick jobs no_fast_path =
     let scale =
       if quick then Temporal_fairness.Experiments.Quick else Temporal_fairness.Experiments.Full
     in
     with_jobs jobs (fun pool ->
-        List.iter Rr_util.Table.print (Temporal_fairness.Experiments.all ~pool scale))
+        List.iter Rr_util.Table.print
+          (Temporal_fairness.Experiments.all ~fast_path:(not no_fast_path) ~pool scale))
   in
   let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced instance sizes.") in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Run the full evaluation suite (tables T1-T8, figures F1-F3).")
-    Term.(const run $ quick_arg $ jobs_arg)
+    Term.(const run $ quick_arg $ jobs_arg $ no_fast_path_arg)
 
 let () =
   let info =

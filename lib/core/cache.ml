@@ -18,7 +18,7 @@ type key = {
   machines : int;
   speed : float;
   k : int;
-  fast_path : bool;
+  engine : string;
   streamed : bool;
   digest : int64;
 }
@@ -79,7 +79,7 @@ let hash_key k =
   let h = fnv_int64 h (Int64.of_int k.machines) in
   let h = fnv_int64 h (Int64.bits_of_float k.speed) in
   let h = fnv_int64 h (Int64.of_int k.k) in
-  let h = fnv_byte h (Bool.to_int k.fast_path) in
+  let h = fnv_string h k.engine in
   let h = fnv_byte h (Bool.to_int k.streamed) in
   fnv_int64 h k.digest
 

@@ -45,10 +45,13 @@ type key = {
   machines : int;
   speed : float;
   k : int;
-  fast_path : bool;
-      (** Whether the closed-form equal-share engine produced the entry.
-          Kept in the key so fast and general results never alias — they
-          agree to ~1e-12 relative, not to the bit. *)
+  engine : string;
+      (** Which engine produced the entry ([Run.engine_name]: ["general"],
+          ["equal-share"], ["srpt-index"], ["sjf-index"], ["fcfs-index"]
+          or ["setf-cascade"]).  Kept in the key so results from different
+          engines never alias — fast and general paths agree to ~1e-9
+          relative, not to the bit — and so a cached value records which
+          engine computed it. *)
   streamed : bool;
       (** Whether the entry came from the streaming sink path.  Streamed
           folds accumulate in completion order, materialized ones in job-id

@@ -15,21 +15,42 @@ let config ?(machines = default.machines) ?(speed = default.speed) ?(k = default
     ?(cache = default.cache) () =
   { machines; speed; k; record_trace; fast_path; cache }
 
-(* Round robin is exactly processor sharing, so the closed-form equal-share
-   engine applies whenever the policy *is* the shared Round_robin.policy
-   value (Registry.make Rr returns that same value, so CLI runs dispatch
-   too).  Physical equality is the point: a custom policy that happens to
-   be named "rr" but allocates differently must not be fast-pathed. *)
-let fast_pathable cfg policy = cfg.fast_path && policy == Rr_policies.Round_robin.policy
+type engine =
+  | General
+  | Equal_share
+  | Index of Rr_engine.Index_engine.kind
+  | Setf_cascade
+
+(* Each closed-form engine applies only when the policy *is* the shared
+   policy value it replaces (Registry.make returns those same values, so
+   CLI runs dispatch too).  Physical equality is the point: a custom
+   policy that happens to be named "srpt" but allocates differently must
+   not be fast-pathed. *)
+let engine_for cfg (policy : Rr_engine.Policy.t) =
+  if not cfg.fast_path then General
+  else if policy == Rr_policies.Round_robin.policy then Equal_share
+  else if policy == Rr_policies.Srpt.policy then Index Rr_policies.Srpt.index_kind
+  else if policy == Rr_policies.Sjf.policy then Index Rr_policies.Sjf.index_kind
+  else if policy == Rr_policies.Fcfs.policy then Index Rr_policies.Fcfs.index_kind
+  else if policy == Rr_policies.Setf.policy then Setf_cascade
+  else General
+
+let engine_name_of = function
+  | General -> "general"
+  | Equal_share -> "equal-share"
+  | Index kind -> Rr_engine.Index_engine.kind_name kind ^ "-index"
+  | Setf_cascade -> "setf-cascade"
+
+let engine_name cfg policy = engine_name_of (engine_for cfg policy)
 
 let simulate cfg policy inst =
   let jobs = Rr_workload.Instance.jobs inst in
-  if fast_pathable cfg policy then
-    Rr_engine.Simulator.run_equal_share ~record_trace:cfg.record_trace ~speed:cfg.speed
-      ~machines:cfg.machines jobs
-  else
-    Rr_engine.Simulator.run ~record_trace:cfg.record_trace ~speed:cfg.speed
-      ~machines:cfg.machines ~policy jobs
+  let record_trace = cfg.record_trace and speed = cfg.speed and machines = cfg.machines in
+  match engine_for cfg policy with
+  | Equal_share -> Rr_engine.Simulator.run_equal_share ~record_trace ~speed ~machines jobs
+  | Index kind -> Rr_engine.Index_engine.run ~record_trace ~speed ~machines ~kind jobs
+  | Setf_cascade -> Rr_engine.Index_engine.run_setf ~record_trace ~speed ~machines jobs
+  | General -> Rr_engine.Simulator.run ~record_trace ~speed ~machines ~policy jobs
 
 let simulate_stream cfg policy stream ~sink =
   let pull = Rr_workload.Instance.Stream.start stream in
@@ -37,12 +58,13 @@ let simulate_stream cfg policy stream ~sink =
      healthy multi-million-job streams (>= 2 events per job); the stream
      knows its size, so scale the budget with it instead of uncapping. *)
   let max_events = Int.max 10_000_000 (64 * Rr_workload.Instance.Stream.n stream) in
-  if fast_pathable cfg policy then
-    Rr_engine.Simulator.run_equal_share_stream ~speed:cfg.speed ~max_events
-      ~machines:cfg.machines ~sink pull
-  else
-    Rr_engine.Simulator.run_stream ~speed:cfg.speed ~max_events ~machines:cfg.machines ~policy
-      ~sink pull
+  let speed = cfg.speed and machines = cfg.machines in
+  match engine_for cfg policy with
+  | Equal_share ->
+      Rr_engine.Simulator.run_equal_share_stream ~speed ~max_events ~machines ~sink pull
+  | Index kind -> Rr_engine.Index_engine.run_stream ~speed ~max_events ~machines ~kind ~sink pull
+  | Setf_cascade -> Rr_engine.Index_engine.run_setf_stream ~speed ~max_events ~machines ~sink pull
+  | General -> Rr_engine.Simulator.run_stream ~speed ~max_events ~machines ~policy ~sink pull
 
 type result = {
   policy_name : string;
@@ -61,7 +83,7 @@ let key cfg (policy : Rr_engine.Policy.t) ~streamed ~digest =
     machines = cfg.machines;
     speed = cfg.speed;
     k = cfg.k;
-    fast_path = fast_pathable cfg policy;
+    engine = engine_name cfg policy;
     streamed;
     digest;
   }
@@ -84,14 +106,33 @@ let measure cfg (policy : Rr_engine.Policy.t) inst =
        and uncached runs of the same config identical in cost and lets a
        record_trace config share cache entries with a plain one. *)
     let res = simulate { cfg with record_trace = false } policy inst in
-    let flows = Rr_engine.Simulator.flows res in
-    let n = Array.length flows in
+    let jobs = res.Rr_engine.Simulator.jobs in
+    let completions = res.Rr_engine.Simulator.completions in
+    let n = Array.length completions in
+    (* One fused sweep instead of four over a materialized flow array
+       (lk, power_sum, Welford, linf).  Each flow is the exact value
+       [Simulator.flows] would have produced, each accumulator's
+       per-element update is exactly the one its Sink performs, and the
+       accumulators are independent — so every field is bit-identical to
+       the separate passes; the Lk norm itself is power_sum ** (1/k),
+       exactly as Sink.lk derives it. *)
+    let ps_acc = Rr_util.Kahan.create () in
+    let w = Rr_util.Welford.create () in
+    let mx = ref Float.neg_infinity in
+    for i = 0 to n - 1 do
+      let f = completions.(i) -. jobs.(i).Rr_engine.Job.arrival in
+      if f < 0. then invalid_arg "Sink.power_sum: negative flow time";
+      Rr_util.Kahan.add ps_acc (Rr_util.Floatx.powi f cfg.k);
+      Rr_util.Welford.add w f;
+      if f > !mx then mx := f
+    done;
+    let ps = Rr_util.Kahan.total ps_acc in
     {
       Cache.n;
-      norm = Rr_metrics.Norms.lk ~k:cfg.k flows;
-      power_sum = Rr_metrics.Norms.power_sum ~k:cfg.k flows;
-      mean_flow = (if n = 0 then 0. else Rr_util.Welford.mean (Rr_util.Welford.of_array flows));
-      max_flow = Rr_metrics.Norms.linf flows;
+      norm = (if n = 0 then 0. else ps ** (1. /. Float.of_int cfg.k));
+      power_sum = ps;
+      mean_flow = (if n = 0 then 0. else Rr_util.Welford.mean w);
+      max_flow = (if n = 0 then 0. else !mx);
       events = res.Rr_engine.Simulator.events;
     }
   in
@@ -147,15 +188,25 @@ let norm cfg policy inst = (measure cfg policy inst).norm
 let power_sum cfg policy inst = (measure cfg policy inst).power_sum
 
 (* Order-of-magnitude per-task cost model for `Auto chunking, in
-   microseconds.  Calibrated against bench B1/B3 on one core: the general
-   event loop costs a few microseconds per job in heavy traffic (it
-   re-scans the alive set per event), the closed-form equal-share cascade
-   a fraction of one.  Only ratios matter — chunking needs to know that a
-   40-job probe is ~100x cheaper than a 4000-job one and that fast-path
-   RR is ~10x cheaper than SRPT at equal n, not the absolute times. *)
+   microseconds.  Calibrated against bench B1/B3/B5 on one core: the
+   general event loop costs a few microseconds per job in heavy traffic
+   (it re-scans the alive set per event); the closed-form engines a
+   fraction of one — the equal-share and priority-index cascades are one
+   heap operation per event, the SETF group cascade adds the O(m) prefix
+   walk and group maintenance.  Only ratios matter — chunking needs to
+   know that a 40-job probe is ~100x cheaper than a 4000-job one and
+   that a fast-pathed baseline is ~10x cheaper than a general-loop one
+   at equal n, not the absolute times. *)
 let estimated_cost_us cfg policy ~jobs =
   let n = Float.of_int jobs in
-  if fast_pathable cfg policy then 0.2 *. n else 2.0 *. n
+  let per_job =
+    match engine_for cfg policy with
+    | Equal_share -> 0.2
+    | Index _ -> 0.25
+    | Setf_cascade -> 0.5
+    | General -> 2.0
+  in
+  per_job *. n
 
 let batch ?chunk pool cfg tasks =
   Pool.map ?chunk

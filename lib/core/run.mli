@@ -23,13 +23,16 @@
 
     Two optimisations are on by default and individually defeasible:
 
-    - [fast_path]: runs of the shared {!Rr_policies.Round_robin.policy}
-      value dispatch to the closed-form equal-share engine
-      {!Rr_engine.Simulator.run_equal_share}, which agrees with the
-      general engine to ~1e-12 relative flow time but is several times
-      faster in heavy traffic.  Set [fast_path:false] to force the
-      general event loop (e.g. to reproduce bit-exact historical
-      numbers).
+    - [fast_path]: runs of the shared policy values of {!Rr_policies}
+      dispatch to closed-form engines — Round Robin to the equal-share
+      cascade {!Rr_engine.Simulator.run_equal_share}, SRPT/SJF/FCFS to
+      the priority-index kernel {!Rr_engine.Index_engine.run}, SETF to
+      the group cascade {!Rr_engine.Index_engine.run_setf} — each
+      agreeing with the general engine to <= 1e-9 relative flow time but
+      several times faster in heavy traffic ({!engine_for} is the
+      classifier, {!engine_name} the audit string).  Set
+      [fast_path:false] to force the general event loop for every policy
+      (e.g. to reproduce bit-exact historical numbers).
     - [cache]: {!measure} and {!measure_stream} (and everything built on
       them — {!norm}, {!batch}, {!Ratio.vs_baseline}, sweeps) consult the
       process-wide {!Cache}, so re-measuring the same (policy, config,
@@ -43,8 +46,8 @@ type config = {
   k : int;  (** Norm index of the lk objective; default 2. *)
   record_trace : bool;  (** Keep the full segment trace; default false. *)
   fast_path : bool;
-      (** Use the closed-form equal-share engine for round robin;
-          default true. *)
+      (** Use the closed-form engines for the policies that have one
+          (RR, SRPT, SJF, FCFS, SETF); default true. *)
   cache : bool;  (** Memoise {!measure} results in {!Cache}; default true. *)
 }
 
@@ -64,11 +67,30 @@ val config :
 
 (** {!default} with the given fields overridden. *)
 
+type engine =
+  | General  (** The per-event policy-invoking loop of {!Rr_engine.Simulator.run}. *)
+  | Equal_share  (** {!Rr_engine.Simulator.run_equal_share} (Round Robin). *)
+  | Index of Rr_engine.Index_engine.kind
+      (** The priority-index kernel (SRPT / SJF / FCFS). *)
+  | Setf_cascade  (** {!Rr_engine.Index_engine.run_setf}. *)
+
+val engine_for : config -> Rr_engine.Policy.t -> engine
+(** Which engine {!simulate} / {!simulate_stream} will dispatch this
+    (config, policy) pair to.  A closed-form engine is chosen only when
+    [cfg.fast_path] is set {e and} the policy is physically the shared
+    value it replaces ({!Rr_policies.Round_robin.policy} etc., which
+    [Registry.make] returns) — a custom policy that merely shares the
+    name falls back to [General]. *)
+
+val engine_name : config -> Rr_engine.Policy.t -> string
+(** {!engine_for} as the audit string recorded in cache keys and printed
+    by the CLI: ["general"], ["equal-share"], ["srpt-index"],
+    ["sjf-index"], ["fcfs-index"] or ["setf-cascade"]. *)
+
 val simulate : config -> Rr_engine.Policy.t -> Rr_workload.Instance.t -> Rr_engine.Simulator.result
 (** Run a policy on an instance under [config].  Never cached (the cache
-    stores measurements, not traces); dispatches to the equal-share
-    engine when [fast_path] is set and the policy is physically
-    {!Rr_policies.Round_robin.policy}. *)
+    stores measurements, not traces); dispatches to the closed-form
+    engine {!engine_for} selects. *)
 
 val simulate_stream :
   config ->
@@ -125,9 +147,10 @@ val measure_stream : config -> Rr_engine.Policy.t -> Rr_workload.Instance.Stream
 val estimated_cost_us : config -> Rr_engine.Policy.t -> jobs:int -> float
 (** Order-of-magnitude cost estimate for one simulate-and-measure task,
     in microseconds — the default [?cost] model behind [`Auto] chunking
-    in {!batch} and friends.  Distinguishes the equal-share fast path
-    (sub-microsecond per job) from the general event loop (a few
-    microseconds per job); only the ratios matter for chunk sizing. *)
+    in {!batch} and friends.  Carries one per-job coefficient per engine
+    class ({!engine_for}): the closed-form cascades are sub-microsecond
+    per job, the general event loop a few microseconds; only the ratios
+    matter for chunk sizing. *)
 
 val batch :
   ?chunk:Pool.chunking ->

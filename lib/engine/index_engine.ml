@@ -1,0 +1,659 @@
+(* Priority-index scheduling kernel: closed-form engines for the
+   fixed-priority comparator policies (SRPT / SJF / FCFS) and a
+   virtual-time cascade for SETF.  See index_engine.mli for the
+   user-facing contract.
+
+   The fixed-priority engines exploit that between events the served set
+   is exactly the m alive jobs smallest under a per-job key that never
+   crosses another job's key while both wait: remaining work only
+   decreases for *served* jobs (SRPT), and size / arrival never change at
+   all (SJF / FCFS).  So instead of re-sorting the alive set per event
+   (the general loop's O(alive log alive) policy invocation), the engine
+   keeps the <= m running jobs in a flat slot array scanned in O(m) and
+   everything else in a binary heap ordered by (key, id) — each event
+   costs O(m + log alive).
+
+   Arithmetic is kept operation-for-operation identical to the general
+   loop under rate 1 (completion candidate [now +. remaining /. speed],
+   advance [remaining -. (speed *. dt)] since [1. *. x = x] exactly, the
+   shared completion threshold, and the same completion-beats-arrival
+   tie rule), so on the same event sequence the engines produce the same
+   floats; the differential suite in test_simcore pins agreement to
+   <= 1e-9 relative flow time. *)
+
+module Heap = Rr_util.Heap
+module Vec = Rr_util.Vec
+module Source = Simulator.Source
+
+type kind = Srpt | Sjf | Fcfs
+
+let kind_name = function Srpt -> "srpt" | Sjf -> "sjf" | Fcfs -> "fcfs"
+
+let key_of_view kind (v : Policy.view) =
+  match kind with
+  | Srpt -> Policy.remaining_exn v
+  | Sjf -> Policy.size_exn v
+  | Fcfs -> v.Policy.arrival
+
+(* Shared with Rr_policies.Setf.same_group: attained-service levels within
+   this (relative) tolerance count as one sharing group. *)
+let same_attained a b = Float.abs (a -. b) <= 1e-9 *. (1. +. Float.max a b)
+
+let no_sink : Simulator.sink = fun ~id:_ ~arrival:_ ~flow:_ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Fixed-priority core (SRPT / SJF / FCFS)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* One running job; the <= m slots are scanned linearly, so no heap
+   discipline is needed where preemption decisions are made. *)
+type slot = {
+  mutable id : int;
+  mutable arrival : float;
+  mutable size : float;
+  mutable remaining : float;
+}
+
+(* Waiting-heap field layout per kind.  Only running jobs ever complete,
+   so a waiting element needs its key, its identity, and enough state to
+   resume; Scalar2's two satellites cover all three kinds:
+
+     kind   key        aux1      aux2
+     Srpt   remaining  arrival   size
+     Sjf    size       arrival   remaining
+     Fcfs   arrival    size      remaining
+
+   SRPT's waiting keys are genuinely "remaining", but a waiting job is
+   never served, so its key is frozen while in the heap — the heap order
+   stays valid without any decrease-key. *)
+
+let index_core ~record_trace ~speed ~max_events ~machines ~kind ~(source : Source.t)
+    ~(complete : int -> float -> float -> unit) =
+  if machines < 1 then invalid_arg "Index_engine.run: machines must be >= 1";
+  if not (Float.is_finite speed && speed > 0.) then
+    invalid_arg "Index_engine.run: speed must be finite and positive";
+  let waiting = Heap.Scalar2.create () in
+  let push_waiting ~id ~arrival ~size ~remaining =
+    match kind with
+    | Srpt -> Heap.Scalar2.add waiting ~key:remaining ~aux1:arrival ~aux2:size id
+    | Sjf -> Heap.Scalar2.add waiting ~key:size ~aux1:arrival ~aux2:remaining id
+    | Fcfs -> Heap.Scalar2.add waiting ~key:arrival ~aux1:size ~aux2:remaining id
+  in
+  (* Same float as Simulator.completion_threshold, inlined into the hot
+     loop (the cross-module call is measurable at ~100 ns/event). *)
+  let threshold size = 1e-9 *. (1. +. size) in
+  (* The next pending arrival, buffered as a plain float so the per-event
+     tie check costs a load instead of a call; +inf once drained. *)
+  let next_arr = ref (Source.next_arrival source) in
+  let running = Array.init machines (fun _ -> { id = -1; arrival = 0.; size = 0.; remaining = 0. }) in
+  let n_run = ref 0 in
+  let slot_key (s : slot) =
+    match kind with Srpt -> s.remaining | Sjf -> s.size | Fcfs -> s.arrival
+  in
+  let pop_into_free_slot () =
+    let key = Heap.Scalar2.min_key_exn waiting in
+    let a1 = Heap.Scalar2.min_aux1_exn waiting in
+    let a2 = Heap.Scalar2.min_aux2_exn waiting in
+    let id = Heap.Scalar2.pop_exn waiting in
+    let s = running.(!n_run) in
+    s.id <- id;
+    (match kind with
+    | Srpt ->
+        s.remaining <- key;
+        s.arrival <- a1;
+        s.size <- a2
+    | Sjf ->
+        s.size <- key;
+        s.arrival <- a1;
+        s.remaining <- a2
+    | Fcfs ->
+        s.arrival <- key;
+        s.size <- a1;
+        s.remaining <- a2);
+    incr n_run
+  in
+  let completed = ref 0 in
+  let max_alive = ref 0 in
+  let makespan = ref 0. in
+  let events = ref 0 in
+  let trace_arena : Trace.segment Vec.t = Vec.create () in
+  let now = ref (match Source.peek source with Some j -> j.Job.arrival | None -> 0.) in
+  if machines = 1 then begin
+    (* Single-machine specialization — the configuration every ratio run
+       hits for its baselines.  The running set is one slot that never
+       moves (retiring at m = 1 cannot swap), so the generic loop's
+       per-event array scans collapse to direct field accesses; the event
+       semantics and arithmetic are identical to the generic path below. *)
+    let s = running.(0) in
+    let busy = ref false in
+    let note_alive () =
+      let alive = (if !busy then 1 else 0) + Heap.Scalar2.length waiting in
+      if alive > !max_alive then max_alive := alive
+    in
+    let fill (j : Job.t) =
+      s.id <- j.id;
+      s.arrival <- j.arrival;
+      s.size <- j.size;
+      s.remaining <- j.size
+    in
+    let admit (j : Job.t) =
+      if not !busy then begin
+        fill j;
+        busy := true
+      end
+      else begin
+        let kj = match kind with Srpt | Sjf -> j.size | Fcfs -> j.arrival in
+        let ks = match kind with Srpt -> s.remaining | Sjf -> s.size | Fcfs -> s.arrival in
+        if kj < ks || (kj = ks && j.id < s.id) then begin
+          push_waiting ~id:s.id ~arrival:s.arrival ~size:s.size ~remaining:s.remaining;
+          fill j
+        end
+        else push_waiting ~id:j.id ~arrival:j.arrival ~size:j.size ~remaining:j.size
+      end;
+      note_alive ()
+    in
+    let admit_upto now =
+      while !next_arr <= now do
+        (match Source.next source with Some j -> admit j | None -> ());
+        next_arr := Source.next_arrival source
+      done
+    in
+    let push_trace ~t0 ~t1 =
+      let n_alive = (if !busy then 1 else 0) + Heap.Scalar2.length waiting in
+      let entries = Array.make n_alive { Trace.job = -1; arrival = 0.; rate = 0. } in
+      let next = ref 0 in
+      if !busy then begin
+        entries.(0) <- { Trace.job = s.id; arrival = s.arrival; rate = 1. };
+        next := 1
+      end;
+      Heap.Scalar2.iter
+        (fun key id aux1 _aux2 ->
+          let arrival = match kind with Srpt | Sjf -> aux1 | Fcfs -> key in
+          entries.(!next) <- { Trace.job = id; arrival; rate = 0. };
+          incr next)
+        waiting;
+      Vec.push trace_arena { Trace.t0; t1; alive = entries }
+    in
+    admit_upto !now;
+    while !busy || Source.has_more source do
+      incr events;
+      if !events > max_events then
+        raise (Simulator.Event_limit_exceeded { limit = max_events; now = !now });
+      if not !busy then begin
+        now := !next_arr;
+        admit_upto !now
+      end
+      else begin
+        let c = !now +. (s.remaining /. speed) in
+        let t_next = if !next_arr < c then !next_arr else c in
+        let dt = t_next -. !now in
+        if record_trace then push_trace ~t0:!now ~t1:t_next;
+        s.remaining <- s.remaining -. (speed *. dt);
+        now := t_next;
+        if s.remaining <= threshold s.size then begin
+          complete s.id s.arrival !now;
+          incr completed;
+          makespan := !now;
+          if Heap.Scalar2.is_empty waiting then busy := false
+          else begin
+            let key = Heap.Scalar2.min_key_exn waiting in
+            let a1 = Heap.Scalar2.min_aux1_exn waiting in
+            let a2 = Heap.Scalar2.min_aux2_exn waiting in
+            let id = Heap.Scalar2.pop_exn waiting in
+            s.id <- id;
+            match kind with
+            | Srpt ->
+                s.remaining <- key;
+                s.arrival <- a1;
+                s.size <- a2
+            | Sjf ->
+                s.size <- key;
+                s.arrival <- a1;
+                s.remaining <- a2
+            | Fcfs ->
+                s.arrival <- key;
+                s.size <- a1;
+                s.remaining <- a2
+          end
+        end;
+        admit_upto !now
+      end
+    done
+  end
+  else begin
+  let note_alive () =
+    let alive = !n_run + Heap.Scalar2.length waiting in
+    if alive > !max_alive then max_alive := alive
+  in
+  (* Admission: a free machine always goes to the newcomer (the waiting
+     heap is empty whenever a machine is idle — promotion below refills
+     eagerly).  Otherwise the newcomer preempts the weakest running job
+     iff it beats it under (key, id) — one comparison against an O(m)
+     scan, which reproduces the general loop's full re-sort because at
+     most one job changes per arrival (the tournament property). *)
+  let admit (j : Job.t) =
+    if !n_run < machines then begin
+      let s = running.(!n_run) in
+      s.id <- j.id;
+      s.arrival <- j.arrival;
+      s.size <- j.size;
+      s.remaining <- j.size;
+      incr n_run
+    end
+    else begin
+      let w = ref 0 in
+      for i = 1 to machines - 1 do
+        let a = running.(i) and b = running.(!w) in
+        let ka = slot_key a and kb = slot_key b in
+        if ka > kb || (ka = kb && a.id > b.id) then w := i
+      done;
+      let s = running.(!w) in
+      let kj = match kind with Srpt | Sjf -> j.size | Fcfs -> j.arrival in
+      let ks = slot_key s in
+      if kj < ks || (kj = ks && j.id < s.id) then begin
+        push_waiting ~id:s.id ~arrival:s.arrival ~size:s.size ~remaining:s.remaining;
+        s.id <- j.id;
+        s.arrival <- j.arrival;
+        s.size <- j.size;
+        s.remaining <- j.size
+      end
+      else push_waiting ~id:j.id ~arrival:j.arrival ~size:j.size ~remaining:j.size
+    end;
+    note_alive ()
+  in
+  let admit_upto now =
+    while !next_arr <= now do
+      (match Source.next source with Some j -> admit j | None -> ());
+      next_arr := Source.next_arrival source
+    done
+  in
+  let push_trace ~t0 ~t1 =
+    let n_alive = !n_run + Heap.Scalar2.length waiting in
+    let entries = Array.make n_alive { Trace.job = -1; arrival = 0.; rate = 0. } in
+    for i = 0 to !n_run - 1 do
+      let s = running.(i) in
+      entries.(i) <- { Trace.job = s.id; arrival = s.arrival; rate = 1. }
+    done;
+    let next = ref !n_run in
+    Heap.Scalar2.iter
+      (fun key id aux1 _aux2 ->
+        let arrival = match kind with Srpt | Sjf -> aux1 | Fcfs -> key in
+        entries.(!next) <- { Trace.job = id; arrival; rate = 0. };
+        incr next)
+      waiting;
+    Vec.push trace_arena { Trace.t0; t1; alive = entries }
+  in
+  admit_upto !now;
+  while !n_run > 0 || Source.has_more source do
+    incr events;
+    if !events > max_events then
+      raise (Simulator.Event_limit_exceeded { limit = max_events; now = !now });
+    if !n_run = 0 then begin
+      now := !next_arr;
+      admit_upto !now
+    end
+    else begin
+      (* Earliest completion among the running slots; same arithmetic as
+         the general loop's [now + remaining / (rate * speed)] at rate 1. *)
+      let t_next = ref Float.infinity in
+      for i = 0 to !n_run - 1 do
+        let c = !now +. (running.(i).remaining /. speed) in
+        if c < !t_next then t_next := c
+      done;
+      if !next_arr < !t_next then t_next := !next_arr;
+      let dt = !t_next -. !now in
+      assert (dt > 0.);
+      if record_trace then push_trace ~t0:!now ~t1:!t_next;
+      for i = 0 to !n_run - 1 do
+        let s = running.(i) in
+        s.remaining <- s.remaining -. (speed *. dt)
+      done;
+      now := !t_next;
+      (* Retire finished slots (swap-remove, iterating downwards). *)
+      for i = !n_run - 1 downto 0 do
+        let s = running.(i) in
+        if s.remaining <= threshold s.size then begin
+          complete s.id s.arrival !now;
+          incr completed;
+          makespan := !now;
+          decr n_run;
+          if i < !n_run then begin
+            running.(i) <- running.(!n_run);
+            running.(!n_run) <- s
+          end
+        end
+      done;
+      (* Freed machines pull the best waiting jobs before new arrivals
+         are admitted — at time [t] the running set must be the top-m of
+         the jobs released strictly before any job arriving at [t]
+         (completion beats arrival, as in the general loop). *)
+      while !n_run < machines && not (Heap.Scalar2.is_empty waiting) do
+        pop_into_free_slot ()
+      done;
+      admit_upto !now
+    end
+  done
+  end;
+  let trace = Vec.to_list trace_arena in
+  ( {
+      Simulator.n = !completed;
+      events = !events;
+      machines;
+      speed;
+      makespan = !makespan;
+      max_alive = !max_alive;
+    },
+    trace )
+
+let run ?(record_trace = false) ?(speed = 1.) ?(max_events = 10_000_000) ?(sink = no_sink)
+    ~machines ~kind jobs =
+  let n = Simulator.validate_jobs jobs in
+  let jobs_arr = Simulator.jobs_by_id jobs n in
+  let order = Simulator.release_order jobs n in
+  let completions = Array.make n Float.nan in
+  let complete id arrival now =
+    completions.(id) <- now;
+    sink ~id ~arrival ~flow:(now -. arrival)
+  in
+  let summary, trace =
+    index_core ~record_trace ~speed ~max_events ~machines ~kind
+      ~source:(Source.of_array order) ~complete
+  in
+  {
+    Simulator.jobs = jobs_arr;
+    completions;
+    trace;
+    machines;
+    speed;
+    events = summary.Simulator.events;
+  }
+
+let run_stream ?(speed = 1.) ?(max_events = 10_000_000) ~machines ~kind ~sink pull =
+  let complete id arrival now = sink ~id ~arrival ~flow:(now -. arrival) in
+  let summary, _trace =
+    index_core ~record_trace:false ~speed ~max_events ~machines ~kind
+      ~source:(Source.of_fn pull) ~complete
+  in
+  summary
+
+(* ------------------------------------------------------------------ *)
+(* SETF cascade                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Alive jobs partition into groups of equal attained service, kept as a
+   doubly-linked list sorted by level (ascending — least attained first).
+   Water-filling gives rate 1 to a prefix of groups, a fractional rate to
+   at most one marginal group, and rate 0 to the rest, so the advancing
+   region is always a prefix of <= m+1 nodes: recomputing rates, finding
+   the earliest completion, and finding the earliest catch-up are all
+   O(m) walks from the front, never O(groups).  A group's level is stored
+   lazily as [(level, t_upd, grate)] and materialized when the prefix
+   advances; frozen groups carry exact levels by construction.  Catch-ups
+   merge the faster group into its neighbour small-into-large, so each
+   job changes heaps O(log n) times over a run.
+
+   The per-group member heap is keyed by size (ties by id): equal
+   attained service means the least size is also the least remaining, so
+   within-group completions cascade in heap order exactly like the
+   equal-share engine's deadline cascade. *)
+
+type group = {
+  mutable level : float;  (* attained service per member at [t_upd] *)
+  mutable t_upd : float;
+  mutable grate : float;  (* policy rate in [0, 1]; advance = grate * speed *)
+  members : Heap.Scalar2.t;  (* key = size, val = id, aux1 = arrival *)
+  mutable prev : group option;
+  mutable next : group option;
+}
+
+let setf_core ~record_trace ~speed ~max_events ~machines ~(source : Source.t)
+    ~(complete : int -> float -> float -> unit) =
+  if machines < 1 then invalid_arg "Index_engine.run_setf: machines must be >= 1";
+  if not (Float.is_finite speed && speed > 0.) then
+    invalid_arg "Index_engine.run_setf: speed must be finite and positive";
+  let first : group option ref = ref None in
+  let alive = ref 0 in
+  let completed = ref 0 in
+  let max_alive = ref 0 in
+  let makespan = ref 0. in
+  let level_at (g : group) now = g.level +. (g.grate *. speed *. (now -. g.t_upd)) in
+  let unlink (g : group) =
+    (match g.prev with None -> first := g.next | Some p -> p.next <- g.next);
+    match g.next with None -> () | Some nx -> nx.prev <- g.prev
+  in
+  (* Water-filling from the front, identical arithmetic to the general
+     SETF policy: rate min(1, left/count) per group, front first.  [left]
+     stays an exact small integer while groups saturate, so the marginal
+     group's fractional rate is the same float the policy computes; after
+     the marginal group the remaining capacity is exactly zero (the
+     policy's own subtraction may leave an ulp of dust there, feeding
+     rates ~1e-18 to frozen groups — a difference absorbed by the 1e-9
+     differential tolerance).  Rates are non-increasing along the list,
+     so once a previously-frozen group is reached with nothing left, the
+     walk can stop. *)
+  let refill now =
+    let rec go g left =
+      match g with
+      | None -> ()
+      | Some g ->
+          g.level <- level_at g now;
+          g.t_upd <- now;
+          if left > 0. then begin
+            let cnt = Float.of_int (Heap.Scalar2.length g.members) in
+            let r = Float.min 1. (left /. cnt) in
+            g.grate <- r;
+            go g.next (if r < 1. then 0. else left -. cnt)
+          end
+          else if g.grate > 0. then begin
+            g.grate <- 0.;
+            go g.next 0.
+          end
+    in
+    go !first (Float.of_int machines)
+  in
+  (* A newcomer has attained 0: it joins the front group when that group's
+     level is still within the sharing tolerance of 0 (the same
+     [same_group] predicate the policy applies), otherwise it opens a new
+     front group at level 0.  Its rate is set by the next [refill]. *)
+  let admit (j : Job.t) now =
+    let joined =
+      match !first with
+      | Some g when same_attained 0. (level_at g now) ->
+          Heap.Scalar2.add g.members ~key:j.size ~aux1:j.arrival ~aux2:0. j.id;
+          true
+      | _ -> false
+    in
+    if not joined then begin
+      let members = Heap.Scalar2.create () in
+      Heap.Scalar2.add members ~key:j.size ~aux1:j.arrival ~aux2:0. j.id;
+      let g = { level = 0.; t_upd = now; grate = 0.; members; prev = None; next = !first } in
+      (match !first with None -> () | Some old -> old.prev <- Some g);
+      first := Some g
+    end;
+    incr alive;
+    if !alive > !max_alive then max_alive := !alive
+  in
+  let admit_upto now =
+    let continue = ref true in
+    while !continue do
+      match Source.peek source with
+      | Some j when j.Job.arrival <= now ->
+          ignore (Source.next source);
+          admit j now
+      | _ -> continue := false
+    done
+  in
+  let trace_arena : Trace.segment Vec.t = Vec.create () in
+  let push_trace ~t0 ~t1 =
+    let entries = Array.make !alive { Trace.job = -1; arrival = 0.; rate = 0. } in
+    let next = ref 0 in
+    let rec go = function
+      | None -> ()
+      | Some (g : group) ->
+          Heap.Scalar2.iter
+            (fun _size id arrival _aux2 ->
+              entries.(!next) <- { Trace.job = id; arrival; rate = g.grate };
+              incr next)
+            g.members;
+          go g.next
+    in
+    go !first;
+    Vec.push trace_arena { Trace.t0; t1; alive = entries }
+  in
+  let events = ref 0 in
+  let now = ref (match Source.peek source with Some j -> j.Job.arrival | None -> 0.) in
+  admit_upto !now;
+  while Option.is_some !first || Source.has_more source do
+    incr events;
+    if !events > max_events then
+      raise (Simulator.Event_limit_exceeded { limit = max_events; now = !now });
+    if Option.is_none !first then begin
+      now := Source.next_arrival source;
+      admit_upto !now
+    end
+    else begin
+      (* Rates reflect the structure left by the previous event. *)
+      refill !now;
+      (* Next event: earliest within-group completion, earliest adjacent
+         catch-up (both only in the advancing prefix), or next arrival —
+         completion/catch-up beats an arrival tie, as everywhere. *)
+      let t_next = ref Float.infinity in
+      let rec scan = function
+        | None -> ()
+        | Some (g : group) ->
+            if g.grate > 0. then begin
+              let c =
+                !now +. ((Heap.Scalar2.min_key_exn g.members -. g.level) /. (g.grate *. speed))
+              in
+              if c < !t_next then t_next := c;
+              (match g.next with
+              | Some h ->
+                  let closing = (g.grate -. h.grate) *. speed in
+                  let gap = level_at h !now -. g.level in
+                  if closing > 0. && gap > 0. then begin
+                    let t = !now +. (gap /. closing) in
+                    if t < !t_next then t_next := t
+                  end
+              | None -> ());
+              scan g.next
+            end
+      in
+      scan !first;
+      let next_arrival = Source.next_arrival source in
+      if next_arrival < !t_next then t_next := next_arrival;
+      if not (Float.is_finite !t_next) then
+        raise
+          (Simulator.Invalid_allocation
+             "alive jobs receive no service and no arrival or horizon is pending");
+      let dt = !t_next -. !now in
+      assert (dt > 0.);
+      if record_trace then push_trace ~t0:!now ~t1:!t_next;
+      (* Advance the prefix (materializing levels at t_next), then retire
+         every member whose residual [size - level] crossed the shared
+         completion threshold — the cascade pops in (size, id) order. *)
+      let rec advance = function
+        | None -> ()
+        | Some (g : group) ->
+            if g.grate > 0. then begin
+              g.level <- g.level +. (g.grate *. speed *. dt);
+              g.t_upd <- !t_next;
+              advance g.next
+            end
+      in
+      advance !first;
+      now := !t_next;
+      let rec retire = function
+        | None -> ()
+        | Some (g : group) ->
+            if g.grate > 0. then begin
+              let nxt = g.next in
+              while
+                (not (Heap.Scalar2.is_empty g.members))
+                && Heap.Scalar2.min_key_exn g.members -. g.level
+                   <= Simulator.completion_threshold (Heap.Scalar2.min_key_exn g.members)
+              do
+                let arrival = Heap.Scalar2.min_aux1_exn g.members in
+                let id = Heap.Scalar2.pop_exn g.members in
+                complete id arrival !now;
+                incr completed;
+                decr alive;
+                makespan := !now
+              done;
+              if Heap.Scalar2.is_empty g.members then unlink g;
+              retire nxt
+            end
+      in
+      retire !first;
+      (* Catch-ups: an advancing group whose level reached its neighbour's
+         (within the sharing tolerance) merges into it, small heap into
+         large; the merged node keeps the neighbour region's level.  Only
+         adjacent pairs in the advancing prefix can meet. *)
+      let rec merge_pass = function
+        | None -> ()
+        | Some (g : group) ->
+            if g.grate > 0. then
+              match g.next with
+              | Some h when same_attained g.level (level_at h !now) ->
+                  let lvl = level_at h !now in
+                  let src, keep =
+                    if Heap.Scalar2.length g.members <= Heap.Scalar2.length h.members then
+                      (g, h)
+                    else (h, g)
+                  in
+                  Heap.Scalar2.iter
+                    (fun size id arrival _ ->
+                      Heap.Scalar2.add keep.members ~key:size ~aux1:arrival ~aux2:0. id)
+                    src.members;
+                  Heap.Scalar2.clear src.members;
+                  keep.level <- lvl;
+                  keep.t_upd <- !now;
+                  keep.grate <- Float.max g.grate h.grate;
+                  unlink src;
+                  merge_pass (Some keep)
+              | _ -> merge_pass g.next
+      in
+      merge_pass !first;
+      admit_upto !now
+    end
+  done;
+  let trace = Vec.to_list trace_arena in
+  ( {
+      Simulator.n = !completed;
+      events = !events;
+      machines;
+      speed;
+      makespan = !makespan;
+      max_alive = !max_alive;
+    },
+    trace )
+
+let run_setf ?(record_trace = false) ?(speed = 1.) ?(max_events = 10_000_000) ?(sink = no_sink)
+    ~machines jobs =
+  let n = Simulator.validate_jobs jobs in
+  let jobs_arr = Simulator.jobs_by_id jobs n in
+  let order = Simulator.release_order jobs n in
+  let completions = Array.make n Float.nan in
+  let complete id arrival now =
+    completions.(id) <- now;
+    sink ~id ~arrival ~flow:(now -. arrival)
+  in
+  let summary, trace =
+    setf_core ~record_trace ~speed ~max_events ~machines ~source:(Source.of_array order)
+      ~complete
+  in
+  {
+    Simulator.jobs = jobs_arr;
+    completions;
+    trace;
+    machines;
+    speed;
+    events = summary.Simulator.events;
+  }
+
+let run_setf_stream ?(speed = 1.) ?(max_events = 10_000_000) ~machines ~sink pull =
+  let complete id arrival now = sink ~id ~arrival ~flow:(now -. arrival) in
+  let summary, _trace =
+    setf_core ~record_trace:false ~speed ~max_events ~machines ~source:(Source.of_fn pull)
+      ~complete
+  in
+  summary

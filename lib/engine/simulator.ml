@@ -72,7 +72,9 @@ module Source = struct
 
   let next_arrival t = match peek t with Some j -> j.Job.arrival | None -> Float.infinity
 
-  let has_more t = peek t <> None
+  (* Pattern match, not [<> None]: the polymorphic compare would walk
+     the Job record on every event-loop iteration. *)
+  let has_more t = match peek t with Some _ -> true | None -> false
 end
 
 type live = {
@@ -124,15 +126,29 @@ let jobs_by_id jobs n =
 
 (* Instances hand their jobs over already ordered by (arrival, id); detect
    that in one linear pass and skip the O(n log n) sort — for short
-   simulations the sort is a large slice of the whole run. *)
+   simulations the sort is a large slice of the whole run.
+
+   The result is memoized for the most recent job list (compared by
+   physical equality — [Instance.jobs] returns the same list each call),
+   so back-to-back runs over one instance, the common shape of every
+   ratio experiment, pay the list walk once.  Jobs are immutable and all
+   engines only read the array, which is what makes sharing it sound; the
+   memo holds an immutable pair so concurrent domains at worst recompute. *)
+let release_memo : (Job.t list * Job.t array) ref = ref ([], [||])
+
 let release_order jobs n =
-  let order = Array.of_list jobs in
-  let sorted = ref true in
-  for i = 0 to n - 2 do
-    if Job.compare_release order.(i) order.(i + 1) > 0 then sorted := false
-  done;
-  if not !sorted then Array.sort Job.compare_release order;
-  order
+  let js, ord = !release_memo in
+  if js == jobs && Array.length ord = n then ord
+  else begin
+    let order = Array.of_list jobs in
+    let sorted = ref true in
+    for i = 0 to n - 2 do
+      if Job.compare_release order.(i) order.(i + 1) > 0 then sorted := false
+    done;
+    if not !sorted then Array.sort Job.compare_release order;
+    release_memo := (jobs, order);
+    order
+  end
 
 let validate_decision ~machines ~now ~n_alive (d : Policy.decision) =
   if Array.length d.rates <> n_alive then
@@ -397,14 +413,14 @@ let equal_share_core ~record_trace ~speed ~max_events ~machines ~(source : Sourc
       !pos.(id) <- -1
     end
   in
+  (* Cached next-arrival time: updated only when a job is consumed, so
+     the hot loop never re-peeks the source.  [infinity] means drained —
+     the same sentinel [Source.next_arrival] returns. *)
+  let next_arr = ref (Source.next_arrival source) in
   let admit_upto now =
-    let continue = ref true in
-    while !continue do
-      match Source.peek source with
-      | Some j when j.Job.arrival <= now ->
-          ignore (Source.next source);
-          admit j
-      | _ -> continue := false
+    while !next_arr <= now do
+      (match Source.next source with Some j -> admit j | None -> ());
+      next_arr := Source.next_arrival source
     done
   in
   let trace_arena : Trace.segment Rr_util.Vec.t = Rr_util.Vec.create () in
@@ -416,7 +432,7 @@ let equal_share_core ~record_trace ~speed ~max_events ~machines ~(source : Sourc
     if !events > max_events then
       raise (Event_limit_exceeded { limit = max_events; now = !now });
     if Rr_util.Heap.Scalar2.is_empty heap then begin
-      now := Source.next_arrival source;
+      now := !next_arr;
       admit_upto !now
     end
     else begin
@@ -428,7 +444,7 @@ let equal_share_core ~record_trace ~speed ~max_events ~machines ~(source : Sourc
       in
       (* Completion wins a tie with an arrival, exactly like the general
          engine's [a < t_next] guard. *)
-      let next_arrival = Source.next_arrival source in
+      let next_arrival = !next_arr in
       let is_completion = not (next_arrival < t_complete) in
       let t_next = if is_completion then t_complete else next_arrival in
       let dt = t_next -. !now in

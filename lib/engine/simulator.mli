@@ -176,3 +176,29 @@ val flows : result -> float array
 
 val total_flow : result -> float
 (** Compensated sum of all flow times (the l1 objective, unrooted). *)
+
+(** {2 Plumbing shared with sibling engines}
+
+    The priority-index engines of {!Index_engine} reuse the exact same
+    input validation, ordering, and completion semantics as the two
+    engines here, so a differential test that agrees is comparing event
+    loops, never bookkeeping. *)
+
+val completion_threshold : float -> float
+(** [completion_threshold size = 1e-9 *. (1. +. size)] — a job counts as
+    complete when its residual work is at most this; the threshold
+    absorbs the rounding of the analytic advance and is shared by every
+    engine so they agree on what "finished" means. *)
+
+val validate_jobs : Job.t list -> int
+(** Check ids are exactly [0 .. n-1] without duplicates; return [n].
+    @raise Invalid_argument otherwise. *)
+
+val jobs_by_id : Job.t list -> int -> Job.t array
+(** Jobs indexed by id (the [jobs] field of {!result}). *)
+
+val release_order : Job.t list -> int -> Job.t array
+(** Jobs sorted by [(arrival, id)], skipping the sort when the list is
+    already ordered (instances hand jobs over sorted).  The result is
+    memoized for the most recent list (by physical equality) and may be
+    shared between calls — treat it as read-only. *)

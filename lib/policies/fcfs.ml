@@ -1,4 +1,7 @@
-let allocate ~now:_ ~machines ~speed:_ views =
-  Srpt.top_m_by (fun (v : Rr_engine.Policy.view) -> v.arrival) ~machines views
+let index_kind = Rr_engine.Index_engine.Fcfs
+
+let key = Rr_engine.Index_engine.key_of_view index_kind
+
+let allocate ~now:_ ~machines ~speed:_ views = Srpt.top_m_by key ~machines views
 
 let policy = { Rr_engine.Policy.name = "fcfs"; clairvoyant = false; allocate }

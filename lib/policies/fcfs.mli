@@ -7,3 +7,11 @@
     motivation in Section 1. *)
 
 val policy : Rr_engine.Policy.t
+
+val key : Rr_engine.Policy.view -> float
+(** The priority key FCFS ranks by: release time (visible without
+    clairvoyance), shared with the fast index engine via
+    [Rr_engine.Index_engine.key_of_view index_kind]. *)
+
+val index_kind : Rr_engine.Index_engine.kind
+(** {!Rr_engine.Index_engine.Fcfs}. *)

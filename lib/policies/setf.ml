@@ -2,8 +2,9 @@ open Rr_engine
 
 (* Jobs whose attained service differs by at most this (relative) tolerance
    form one sharing group; catch-up events make attained values meet only
-   approximately in floating point. *)
-let same_group a b = Float.abs (a -. b) <= 1e-9 *. (1. +. Float.max a b)
+   approximately in floating point.  The predicate lives with the fast
+   cascade engine so both schedulers agree on when groups merge. *)
+let same_group = Index_engine.same_attained
 
 let allocate ~now ~machines ~speed (views : Policy.view array) =
   let n = Array.length views in

@@ -12,3 +12,9 @@
     event-exact for SETF as well. *)
 
 val policy : Rr_engine.Policy.t
+
+val same_group : float -> float -> bool
+(** The sharing tolerance: attained-service values within
+    [1e-9 * (1 + max)] count as one equal-share group.  Re-export of
+    {!Rr_engine.Index_engine.same_attained}, so the general policy and
+    the fast cascade engine agree on when a catch-up merges groups. *)

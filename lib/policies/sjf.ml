@@ -1,4 +1,7 @@
-let allocate ~now:_ ~machines ~speed:_ views =
-  Srpt.top_m_by Rr_engine.Policy.size_exn ~machines views
+let index_kind = Rr_engine.Index_engine.Sjf
+
+let key = Rr_engine.Index_engine.key_of_view index_kind
+
+let allocate ~now:_ ~machines ~speed:_ views = Srpt.top_m_by key ~machines views
 
 let policy = { Rr_engine.Policy.name = "sjf"; clairvoyant = true; allocate }

@@ -5,3 +5,11 @@
     scalable for lk-norms of flow time, cited throughout Section 1. *)
 
 val policy : Rr_engine.Policy.t
+
+val key : Rr_engine.Policy.view -> float
+(** The priority key SJF ranks by: original size
+    ({!Rr_engine.Policy.size_exn}), shared with the fast index engine
+    via [Rr_engine.Index_engine.key_of_view index_kind]. *)
+
+val index_kind : Rr_engine.Index_engine.kind
+(** {!Rr_engine.Index_engine.Sjf}. *)

@@ -17,7 +17,10 @@ let top_m_by key ~machines (views : Policy.view array) =
   done;
   { Policy.rates; horizon = None }
 
-let allocate ~now:_ ~machines ~speed:_ views =
-  top_m_by Policy.remaining_exn ~machines views
+let index_kind = Index_engine.Srpt
+
+let key = Index_engine.key_of_view index_kind
+
+let allocate ~now:_ ~machines ~speed:_ views = top_m_by key ~machines views
 
 let policy = { Policy.name = "srpt"; clairvoyant = true; allocate }

@@ -17,3 +17,14 @@ val top_m_by :
     [machines] views ranked smallest by [key] (ties by job id) and rate 0
     to the rest.  Shared by the fixed-priority policies SRPT, SJF and
     FCFS, which differ only in the key. *)
+
+val key : Rr_engine.Policy.view -> float
+(** The priority key SRPT ranks by: remaining work
+    ({!Rr_engine.Policy.remaining_exn}).  Defined as
+    [Rr_engine.Index_engine.key_of_view index_kind], so the general loop
+    and the fast priority-index engine provably rank by the same
+    number. *)
+
+val index_kind : Rr_engine.Index_engine.kind
+(** {!Rr_engine.Index_engine.Srpt} — the fast engine {!Rr_core} [Run]
+    dispatches this policy to by default. *)

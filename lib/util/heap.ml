@@ -274,4 +274,9 @@ module Scalar2 = struct
       sift_down t 0
     end;
     v
+
+  let iter f t =
+    for i = 0 to t.size - 1 do
+      f t.keys.(i) t.vals.(i) t.aux1.(i) t.aux2.(i)
+    done
 end

@@ -105,4 +105,10 @@ module Scalar2 : sig
   (** Remove the smallest key and return its payload (satellites are
       discarded — read them first). @raise Invalid_argument on an empty
       heap. *)
+
+  val iter : (float -> int -> float -> float -> unit) -> t -> unit
+  (** [iter f t] applies [f key value aux1 aux2] to every element in
+      unspecified (heap-array) order.  The priority-index engines use it
+      to enumerate waiting jobs for trace segments and to merge SETF
+      groups small-into-large; do not add or pop during iteration. *)
 end

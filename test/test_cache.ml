@@ -5,20 +5,20 @@
      exactly once — misses counts computations, so hits + misses = lookups;
    - bounded: past capacity the cache evicts (second chance) instead of
      silently refusing to store;
-   - no aliasing: keys differing only in [fast_path] / [streamed] are
+   - no aliasing: keys differing only in [engine] / [streamed] are
      distinct entries, because the engines they tag agree only to a
      tolerance, not to the bit. *)
 
 open Temporal_fairness
 
-let key ?(policy = "test-policy") ?(machines = 1) ?(speed = 1.) ?(k = 2) ?(fast_path = false)
+let key ?(policy = "test-policy") ?(machines = 1) ?(speed = 1.) ?(k = 2) ?(engine = "general")
     ?(streamed = false) digest =
   {
     Cache.policy;
     machines;
     speed;
     k;
-    fast_path;
+    engine;
     streamed;
     digest = Int64.of_int digest;
   }
@@ -186,9 +186,10 @@ let test_engine_flags_never_alias () =
   let variants =
     [
       key 999;
-      key ~fast_path:true 999;
+      key ~engine:"equal-share" 999;
+      key ~engine:"srpt-index" 999;
       key ~streamed:true 999;
-      key ~fast_path:true ~streamed:true 999;
+      key ~engine:"equal-share" ~streamed:true 999;
     ]
   in
   List.iteri
@@ -206,7 +207,7 @@ let test_engine_flags_never_alias () =
         e.norm)
     variants;
   let st = Cache.stats () in
-  Alcotest.(check int) "four distinct entries" 4 st.size
+  Alcotest.(check int) "five distinct entries" 5 st.size
 
 let () =
   Alcotest.run "rr_cache"
@@ -233,7 +234,7 @@ let () =
         ] );
       ( "keys",
         [
-          Alcotest.test_case "fast_path/streamed never alias" `Quick
+          Alcotest.test_case "engine/streamed never alias" `Quick
             (fresh test_engine_flags_never_alias);
         ] );
     ]

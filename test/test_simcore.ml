@@ -1,12 +1,23 @@
-(* Tests for the fast simulation core: the closed-form equal-share engine
-   (differential against the general event loop), the Run dispatch that
-   selects it, and the memoizing result cache. *)
+(* Tests for the fast simulation core: the closed-form engines
+   (equal-share RR, the SRPT/SJF/FCFS priority-index kernel, the SETF
+   group cascade — each differential against the general event loop), the
+   Run dispatch that selects them, and the memoizing result cache. *)
 
 open Temporal_fairness
 module Simulator = Rr_engine.Simulator
 module Instance = Rr_workload.Instance
 
 let rr = Rr_policies.Round_robin.policy
+
+(* Every policy with a closed-form engine, with its expected engine tag. *)
+let fast_policies =
+  [
+    (rr, "equal-share");
+    (Rr_policies.Srpt.policy, "srpt-index");
+    (Rr_policies.Sjf.policy, "sjf-index");
+    (Rr_policies.Fcfs.policy, "fcfs-index");
+    (Rr_policies.Setf.policy, "setf-cascade");
+  ]
 
 (* The engines compute the same trajectory in different arithmetic orders,
    so flows agree only up to accumulated rounding. *)
@@ -23,7 +34,7 @@ let instance_of_pairs pairs = Instance.of_jobs pairs
 let diff_gen =
   QCheck2.Gen.(
     let pairs = list_size (int_range 1 40) (pair (float_range 0. 30.) (float_range 0.05 5.)) in
-    let machines = oneofl [ 1; 2; 4 ] in
+    let machines = oneofl [ 1; 2; 8 ] in
     let speed = oneofl [ 1.; 1.5; 4.4 ] in
     triple pairs machines speed)
 
@@ -50,8 +61,8 @@ let prop_run_dispatch_matches_general =
         (Simulator.flows on) (Simulator.flows off))
 
 let prop_fast_path_inert_for_other_policies =
-  (* The dispatch keys on physical equality with Round_robin.policy; any
-     other policy must be bit-identically unaffected by the flag. *)
+  (* The dispatch keys on physical equality with the shared policy values;
+     any other policy must be bit-identically unaffected by the flag. *)
   QCheck2.Test.make ~name:"fast path never fires for LAPS" ~count:50 diff_gen
     (fun (pairs, machines, speed) ->
       let inst = instance_of_pairs pairs in
@@ -59,6 +70,120 @@ let prop_fast_path_inert_for_other_policies =
       let on = Run.simulate (Run.config ~machines ~speed ()) laps inst in
       let off = Run.simulate (Run.config ~machines ~speed ~fast_path:false ()) laps inst in
       Simulator.flows on = Simulator.flows off)
+
+(* One differential property per fast engine: Run.simulate with the fast
+   path on vs forced off must agree on every flow to flow_rtol, across
+   m in {1, 2, 8} and several speeds. *)
+let prop_engine_matches_general (policy, engine) =
+  QCheck2.Test.make
+    ~name:(Printf.sprintf "%s engine matches general %s (flows)" engine policy.Rr_engine.Policy.name)
+    ~count:250 diff_gen
+    (fun (pairs, machines, speed) ->
+      let inst = instance_of_pairs pairs in
+      let fast = Run.simulate (Run.config ~machines ~speed ()) policy inst in
+      let general = Run.simulate (Run.config ~machines ~speed ~fast_path:false ()) policy inst in
+      let ff = Simulator.flows fast and fg = Simulator.flows general in
+      Array.length ff = Array.length fg
+      && Array.for_all2 (fun a b -> rel_diff a b <= flow_rtol) ff fg)
+
+let engine_props = List.map prop_engine_matches_general fast_policies
+
+(* ------------------------------------------------------------------ *)
+(* Differential edge-case corpus, every (fast engine, general) pair    *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic instances aimed at the engines' decision boundaries:
+   simultaneous arrivals, exact size/remaining-work ties, arrivals landing
+   exactly on completions, preemption chains, more machines than jobs,
+   single-job and empty instances. *)
+let edge_corpus =
+  [
+    ("empty", []);
+    ("single job", [ (0., 1.) ]);
+    ("simultaneous arrivals, tied sizes", [ (0., 2.); (0., 2.); (0., 1.); (0., 1.); (0., 3.); (0., 2.) ]);
+    ("all identical", [ (0., 1.); (0., 1.); (0., 1.); (0., 1.); (0., 1.) ]);
+    ("arrival exactly at completion", [ (0., 1.); (1., 1.); (2., 1.) ]);
+    ("remaining-work tie at arrival", [ (0., 2.); (1., 1.) ]);
+    ("preemption chain", [ (0., 10.); (1., 4.); (2., 2.); (3., 1.) ]);
+    ("batch then stragglers", [ (0., 3.); (0., 3.); (0., 3.); (4., 0.5); (4., 0.5); (9., 1.) ]);
+  ]
+
+let test_edge_corpus () =
+  List.iter
+    (fun (policy, engine) ->
+      List.iter
+        (fun (label, pairs) ->
+          let inst = instance_of_pairs pairs in
+          List.iter
+            (fun machines ->
+              let fast = Run.simulate (Run.config ~machines ()) policy inst in
+              let general =
+                Run.simulate (Run.config ~machines ~fast_path:false ()) policy inst
+              in
+              let ff = Simulator.flows fast and fg = Simulator.flows general in
+              if Array.length ff <> Array.length fg then
+                Alcotest.failf "%s / %s / m=%d: job counts differ" engine label machines;
+              Array.iteri
+                (fun i a ->
+                  if rel_diff a fg.(i) > flow_rtol then
+                    Alcotest.failf "%s / %s / m=%d: flow %d differs (%.17g vs %.17g)" engine
+                      label machines i a fg.(i))
+                ff)
+            [ 1; 2; 8 ])
+        edge_corpus)
+    fast_policies
+
+(* ------------------------------------------------------------------ *)
+(* Engine classifier                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_classifier () =
+  let cfg = Run.config () in
+  List.iter
+    (fun (policy, engine) ->
+      Alcotest.(check string)
+        (policy.Rr_engine.Policy.name ^ " classifies")
+        engine (Run.engine_name cfg policy);
+      Alcotest.(check string)
+        (policy.Rr_engine.Policy.name ^ " with fast path off")
+        "general"
+        (Run.engine_name (Run.config ~fast_path:false ()) policy))
+    fast_policies;
+  let laps = Rr_policies.Registry.make (Rr_policies.Registry.Laps 0.5) in
+  Alcotest.(check string) "laps has no fast engine" "general" (Run.engine_name cfg laps);
+  (* Physical equality is load-bearing: a structurally identical copy of
+     srpt must NOT be fast-pathed (its allocate could differ). *)
+  let impostor =
+    { Rr_engine.Policy.name = "srpt"; clairvoyant = true; allocate = (fun ~now:_ ~machines ~speed:_ views -> Rr_policies.Srpt.top_m_by Rr_policies.Srpt.key ~machines views) }
+  in
+  Alcotest.(check string) "impostor srpt stays general" "general" (Run.engine_name cfg impostor);
+  (* Registry.make returns the shared values, so CLI-constructed policies
+     dispatch too. *)
+  Alcotest.(check string) "registry srpt dispatches" "srpt-index"
+    (Run.engine_name cfg (Rr_policies.Registry.make Rr_policies.Registry.Srpt))
+
+let test_fast_engine_traces () =
+  (* Each fast engine's optional trace must describe the same schedule as
+     the general loop's: same total work, same time-weighted Jain index. *)
+  let inst =
+    Instance.generate_load
+      ~rng:(Rr_util.Prng.create ~seed:13)
+      ~sizes:(Rr_workload.Distribution.Exponential { mean = 1. })
+      ~load:0.9 ~machines:1 ~n:60 ()
+  in
+  List.iter
+    (fun (policy, engine) ->
+      let fast = Run.simulate (Run.config ~record_trace:true ()) policy inst in
+      let general = Run.simulate (Run.config ~record_trace:true ~fast_path:false ()) policy inst in
+      let work trace = Rr_engine.Trace.total_work ~speed:1. trace in
+      let close what a b =
+        if rel_diff a b > 1e-6 then Alcotest.failf "%s: %s differ: %g vs %g" engine what a b
+      in
+      close "trace work" (work fast.Simulator.trace) (work general.Simulator.trace);
+      close "jain index"
+        (Rr_metrics.Fairness.time_weighted_jain fast.Simulator.trace)
+        (Rr_metrics.Fairness.time_weighted_jain general.Simulator.trace))
+    fast_policies
 
 let test_equal_share_trace () =
   (* The fast engine's optional trace must describe the same schedule: same
@@ -223,18 +348,43 @@ let test_run_config_new_defaults () =
   Alcotest.(check bool) "fast path off" false cfg.Run.fast_path;
   Alcotest.(check bool) "cache off" false cfg.Run.cache
 
+let test_cache_engine_keys () =
+  (* Fast and general runs of the same policy must land under distinct
+     cache keys now that non-RR policies also dispatch (before PR 5 both
+     srpt configs shared one key — both ran the general loop). *)
+  Cache.clear ();
+  let srpt = Rr_policies.Srpt.policy in
+  let r_fast = Run.measure (Run.config ()) srpt small_inst in
+  let r_gen = Run.measure (Run.config ~fast_path:false ()) srpt small_inst in
+  let s = Cache.stats () in
+  Alcotest.(check int) "two distinct keys" 2 s.misses;
+  Alcotest.(check int) "no aliasing hit" 0 s.hits;
+  Alcotest.(check bool) "engines agree" true (rel_diff r_fast.Run.norm r_gen.Run.norm <= flow_rtol)
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
-    [
-      prop_equal_share_matches_general;
-      prop_run_dispatch_matches_general;
-      prop_fast_path_inert_for_other_policies;
-    ]
+    ([
+       prop_equal_share_matches_general;
+       prop_run_dispatch_matches_general;
+       prop_fast_path_inert_for_other_policies;
+     ]
+    @ engine_props)
 
 let () =
   Alcotest.run "rr_simcore"
     [
-      ("differential", qsuite @ [ Alcotest.test_case "trace equivalence" `Quick test_equal_share_trace ]);
+      ( "differential",
+        qsuite
+        @ [
+            Alcotest.test_case "trace equivalence" `Quick test_equal_share_trace;
+            Alcotest.test_case "edge corpus, every engine" `Quick test_edge_corpus;
+            Alcotest.test_case "fast engine traces" `Quick test_fast_engine_traces;
+          ] );
+      ( "engine",
+        [
+          Alcotest.test_case "classifier" `Quick test_engine_classifier;
+          Alcotest.test_case "cache keys per engine" `Quick test_cache_engine_keys;
+        ] );
       ("digest", [ Alcotest.test_case "structural" `Quick test_digest ]);
       ( "cache",
         [

@@ -42,13 +42,13 @@ let stream_of ~seed ~arrivals ~n =
 (* Property: streamed folds = array folds, both engines, m in {1,2,4}   *)
 (* ------------------------------------------------------------------ *)
 
-let check_stream_matches_materialized ~arrivals ~machines ~fast_path ~seed =
+let check_stream_matches_materialized ?(policy = rr) ~arrivals ~machines ~fast_path ~seed () =
   let n = 60 in
   let stream = stream_of ~seed ~arrivals ~n in
   let inst = Stream.materialize stream in
   let cfg = Run.config ~machines ~speed:2. ~k:3 ~fast_path ~cache:false () in
   (* Array path: exact sort-based stats over the materialized flow vector. *)
-  let flows = Run.flows cfg rr inst in
+  let flows = Run.flows cfg policy inst in
   let stats_mat = Rr_metrics.Flow_stats.of_flows flows in
   (* Streamed path: every fold fed by the engine's sink, no flow vector. *)
   let stats_sink = Rr_metrics.Flow_stats.sink () in
@@ -57,7 +57,7 @@ let check_stream_matches_materialized ~arrivals ~machines ~fast_path ~seed =
   let nlk2 = Sink.normalized_lk ~k:2 () in
   let count = Sink.count () in
   let summary =
-    Run.simulate_stream cfg rr stream
+    Run.simulate_stream cfg policy stream
       ~sink:(fun ~id:_ ~arrival:_ ~flow ->
         Sink.push stats_sink flow;
         Sink.push lk3 flow;
@@ -80,8 +80,8 @@ let check_stream_matches_materialized ~arrivals ~machines ~fast_path ~seed =
   close "linf" (Rr_metrics.Norms.linf flows) (Sink.value linf);
   close "normalized lk2" (Rr_metrics.Norms.normalized_lk ~k:2 flows) (Sink.value nlk2);
   (* Run.measure_stream must agree with Run.measure on the same jobs. *)
-  let r_mat = Run.measure cfg rr inst in
-  let r_str = Run.measure_stream cfg rr stream in
+  let r_mat = Run.measure cfg policy inst in
+  let r_str = Run.measure_stream cfg policy stream in
   Alcotest.(check int) "measure n" r_mat.Run.n r_str.Run.n;
   close "measure norm" r_mat.Run.norm r_str.Run.norm;
   close "measure power_sum" r_mat.Run.power_sum r_str.Run.power_sum;
@@ -96,12 +96,33 @@ let test_stream_matches_materialized () =
           List.iter
             (fun fast_path ->
               check_stream_matches_materialized ~arrivals ~machines ~fast_path
-                ~seed:(1000 + i))
+                ~seed:(1000 + i) ())
             (* fast_path:true exercises the equal-share streaming engine,
                fast_path:false the general event loop's sink path. *)
             [ true; false ])
         [ 1; 2; 4 ])
     arrival_shapes
+
+let test_stream_matches_materialized_fast_engines () =
+  (* Same agreement for the streaming entry points of the priority-index
+     and SETF-cascade engines (fast_path on; the general streamed path is
+     covered above). *)
+  List.iter
+    (fun policy ->
+      List.iteri
+        (fun i arrivals ->
+          List.iter
+            (fun machines ->
+              check_stream_matches_materialized ~policy ~arrivals ~machines ~fast_path:true
+                ~seed:(2000 + i) ())
+            [ 1; 2; 8 ])
+        arrival_shapes)
+    [
+      Rr_policies.Srpt.policy;
+      Rr_policies.Sjf.policy;
+      Rr_policies.Fcfs.policy;
+      Rr_policies.Setf.policy;
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Stream semantics                                                    *)
@@ -260,6 +281,8 @@ let () =
         [
           Alcotest.test_case "all shapes x machines x engines" `Quick
             test_stream_matches_materialized;
+          Alcotest.test_case "priority-index and setf streaming engines" `Quick
+            test_stream_matches_materialized_fast_engines;
         ] );
       ( "stream semantics",
         [
