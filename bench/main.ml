@@ -8,21 +8,24 @@
    equal-share engine and a cold sweep against a cached one, the B4
    streaming benchmark comparing the sink pipeline against
    materialize-and-measure (jobs/sec, allocated words, peak live heap),
-   and the B5 fast-path benchmark measuring each priority-index /
+   the B5 fast-path benchmark measuring each priority-index /
    cascade engine (SRPT, SJF, FCFS, SETF) against the general loop plus
-   one cold end-to-end Ratio.vs_baseline.
+   one cold end-to-end Ratio.vs_baseline, and the B6 live-engine
+   benchmark driving every incremental core (Engine.Live) through the
+   submit-one/advance feed rr_cli serve uses, gating sequential
+   throughput (>= 1M events/s at full scale) and <= 1e-9 agreement.
 
    Machine-readable results land in BENCH_simcore.json, BENCH_pool.json,
-   BENCH_stream.json and BENCH_fastpaths.json next to the text report.
-   The process exits non-zero when B3's differential check — the two
-   engines must agree on every flow time — fails, when a B2 parallel
-   batch is not bit-identical to the sequential one or misses its
-   speedup gate (>= 1.2x at 2 domains, >= 1.8x at 4; each speedup gate
-   is skipped, and recorded as skipped, when the machine has fewer CPUs
-   than the point needs), when B4's allocation/peak-heap/agreement gates
-   fail, or when a B5 engine misses its speedup floor or its <= 1e-9
-   differential-agreement gate (m in {1, 2, 8}), so CI can gate on
-   them.
+   BENCH_stream.json, BENCH_fastpaths.json and BENCH_live.json next to
+   the text report.  The process exits non-zero when B3's differential
+   check — the two engines must agree on every flow time — fails, when a
+   B2 parallel batch is not bit-identical to the sequential one or
+   misses its speedup gate (>= 1.2x at 2 domains, >= 1.8x at 4; each
+   speedup gate is skipped, and recorded as skipped, when the machine
+   has fewer CPUs than the point needs), when B4's
+   allocation/peak-heap/agreement gates fail, or when a B5 engine or B6
+   live core misses its perf floor or its <= 1e-9
+   differential-agreement gate, so CI can gate on them.
 
    Usage: dune exec bench/main.exe [-- --quick] [-- --jobs N]
    (RR_JOBS is honoured when --jobs is absent; default: all cores.)  *)
@@ -229,7 +232,7 @@ let run_pool_bench () =
   let n = if quick then 3000 else 6000 in
   let n_insts = if quick then 8 else 24 in
   let tasks = b2_tasks_of ~n_insts ~n ~seed0:200 in
-  let cfg = Run.config ~speed:1. ~cache:false ~fast_path:false () in
+  let cfg = Run.config ~speed:1. ~cache:false ~engine:`General () in
   let seq, t_seq = time (fun () -> List.map (fun (p, i) -> Run.measure cfg p i) tasks) in
   let failures = ref [] in
   let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
@@ -269,7 +272,7 @@ let run_pool_bench () =
   let points = List.map point [ 2; 4 ] in
   (* Small-task batch: chunking contrast at 2 domains. *)
   let small_tasks = b2_tasks_of ~n_insts:(if quick then 40 else 80) ~n:120 ~seed0:500 in
-  let cfg_small = Run.config ~speed:1. ~cache:false ~fast_path:false () in
+  let cfg_small = Run.config ~speed:1. ~cache:false ~engine:`General () in
   let seq_small, t_seq_small =
     time (fun () -> List.map (fun (p, i) -> Run.measure cfg_small p i) small_tasks)
   in
@@ -434,7 +437,7 @@ let run_simcore_bench () =
     let r = search cfg in
     (r, Unix.gettimeofday () -. t0)
   in
-  let r_cold, t_cold = timed (Run.config ~fast_path:false ~cache:false ()) in
+  let r_cold, t_cold = timed (Run.config ~engine:`General ~cache:false ()) in
   let r_opt, t_opt = timed (Run.config ()) in
   let st = Cache.stats () in
   let same_answer =
@@ -738,7 +741,7 @@ let run_fastpath_bench () =
   let engine_point ((policy : Rr_engine.Policy.t), full_gate) =
     let gate_min = full_gate *. gate_scale in
     let cfg_fast = Run.config ~cache:false () in
-    let cfg_gen = Run.config ~cache:false ~fast_path:false () in
+    let cfg_gen = Run.config ~cache:false ~engine:`General () in
     let engine = Run.engine_name cfg_fast policy in
     let max_rel = ref 0. in
     List.iter
@@ -807,7 +810,7 @@ let run_fastpath_bench () =
     timed_cold (fun () ->
         let rr_norm = Run.norm cfg rr inst_m1 in
         let srpt_norm =
-          Run.norm { cfg with Run.speed = 1.; fast_path = false } Rr_policies.Srpt.policy inst_m1
+          Run.norm { cfg with Run.speed = 1.; engine = `General } Rr_policies.Srpt.policy inst_m1
         in
         rr_norm /. srpt_norm)
   in
@@ -874,6 +877,147 @@ let write_fastpaths_json (b5 : b5_report) =
   Printf.printf "(wrote %s)\n%!" fastpaths_json_file
 
 (* ------------------------------------------------------------------ *)
+(* B6: live engine throughput and agreement (BENCH_live.json)          *)
+(* ------------------------------------------------------------------ *)
+
+type b6_point = {
+  l_spec : string;
+  l_events : int;
+  l_feed_s : float;
+  l_events_per_s : float;
+  l_max_rel_diff : float;
+  l_gate_eps : float;
+}
+
+type b6_report = {
+  b6_n : int;
+  b6_points : b6_point list;
+  b6_failures : string list;
+}
+
+(* Sequential-throughput floors, events per second on the incremental
+   feed (submit one job, advance to its arrival, repeat — the rr_cli
+   serve pattern).  The acceptance bar of the live-engine work is one
+   million events per second; the slot-kernel specs clear it with wide
+   margin, the heap-cascade specs (equal-share, SETF) carry more state
+   per event and get the bare floor. *)
+let b6_cases =
+  [
+    (Rr_engine.Live.Equal_share, Rr_policies.Round_robin.policy, 1.0e6);
+    (Rr_engine.Live.Indexed Rr_engine.Index_engine.Srpt, Rr_policies.Srpt.policy, 1.0e6);
+    (Rr_engine.Live.Indexed Rr_engine.Index_engine.Sjf, Rr_policies.Sjf.policy, 1.0e6);
+    (Rr_engine.Live.Indexed Rr_engine.Index_engine.Fcfs, Rr_policies.Fcfs.policy, 1.0e6);
+    (Rr_engine.Live.Setf_cascade, Rr_policies.Setf.policy, 1.0e6);
+  ]
+
+let run_live_bench () =
+  Gc.compact ();
+  let n = if quick then 50_000 else 500_000 in
+  let inst =
+    let rng = Prng.create ~seed:52 in
+    Rr_workload.Instance.generate_load ~rng
+      ~sizes:(Rr_workload.Distribution.Exponential { mean = 1. })
+      ~load:0.9 ~machines:1 ~n ()
+  in
+  let jobs = Array.of_list (Rr_workload.Instance.jobs inst) in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  (* Same rationale as B5: quick mode halves the perf floors (CI smoke on
+     shared runners, smaller n), agreement gates stay exact. *)
+  let gate_scale = if quick then 0.5 else 1.0 in
+  let point (spec, (policy : Rr_engine.Policy.t), full_gate) =
+    let gate_eps = full_gate *. gate_scale in
+    (* Agreement first, on a slice small enough to keep the flow compare
+       cheap: live flows vs the closed engine's, per job id. *)
+    let n_agree = Int.min n 20_000 in
+    let agree_inst =
+      Rr_workload.Instance.of_jobs
+        (List.filteri (fun i _ -> i < n_agree)
+           (List.map
+              (fun (j : Rr_engine.Job.t) -> (j.arrival, j.size))
+              (Rr_workload.Instance.jobs inst)))
+    in
+    let reference = Run.flows (Run.config ~cache:false ()) policy agree_inst in
+    let live_flows = Array.make n_agree nan in
+    let live =
+      Rr_engine.Live.create ~sink:(fun ~id ~arrival:_ ~flow -> live_flows.(id) <- flow) spec
+    in
+    List.iter
+      (fun (j : Rr_engine.Job.t) ->
+        ignore (Rr_engine.Live.submit live ~arrival:j.arrival ~size:j.size);
+        Rr_engine.Live.advance live j.arrival)
+      (Rr_workload.Instance.jobs agree_inst);
+    Rr_engine.Live.drain live;
+    let max_rel = ref 0. in
+    Array.iteri
+      (fun i f -> max_rel := Float.max !max_rel (Float.abs (f -. reference.(i)) /. reference.(i)))
+      live_flows;
+    if !max_rel > diff_rtol then
+      fail "B6: %s: max relative flow diff %.2e exceeds rtol %.0e"
+        (Rr_engine.Live.spec_name spec) !max_rel diff_rtol;
+    (* Throughput: the full incremental feed, timed end to end. *)
+    Gc.compact ();
+    let live = Rr_engine.Live.create spec in
+    let t0 = Unix.gettimeofday () in
+    Array.iter
+      (fun (j : Rr_engine.Job.t) ->
+        ignore (Rr_engine.Live.submit live ~arrival:j.arrival ~size:j.size);
+        Rr_engine.Live.advance live j.arrival)
+      jobs;
+    Rr_engine.Live.drain live;
+    let feed_s = Unix.gettimeofday () -. t0 in
+    let events = (Rr_engine.Live.query live).Rr_engine.Live.events in
+    let eps = Float.of_int events /. Float.max 1e-9 feed_s in
+    if eps < gate_eps then
+      fail "B6: %s: %.2e events/s below gate %.1e" (Rr_engine.Live.spec_name spec) eps gate_eps;
+    Printf.printf
+      "B6: %-13s n=%d incremental feed: %d events in %6.3f s | %8.0f kevents/s (gate \
+       >=%.0f k) | max rel diff %.2e\n%!"
+      (Rr_engine.Live.spec_name spec) n events feed_s (eps /. 1e3) (gate_eps /. 1e3) !max_rel;
+    {
+      l_spec = Rr_engine.Live.spec_name spec;
+      l_events = events;
+      l_feed_s = feed_s;
+      l_events_per_s = eps;
+      l_max_rel_diff = !max_rel;
+      l_gate_eps = gate_eps;
+    }
+  in
+  let points = List.map point b6_cases in
+  { b6_n = n; b6_points = points; b6_failures = List.rev !failures }
+
+let live_json_file = "BENCH_live.json"
+
+let write_live_json (b6 : b6_report) =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"schema\": \"bench_live/v1\",\n";
+  add "  \"scale\": %S,\n" (if quick then "quick" else "full");
+  add "  \"jobs\": %d, \"rtol\": %.0e,\n" b6.b6_n diff_rtol;
+  add "  \"engines\": [\n";
+  List.iteri
+    (fun i p ->
+      add
+        "    {\"spec\": %S, \"events\": %d, \"feed_s\": %.6f, \"events_per_s\": %.1f, \
+         \"max_rel_flow_diff\": %.3e, \"gate_min_events_per_s\": %.1f, \"gate_ok\": %b, \
+         \"agree\": %b}%s\n"
+        p.l_spec p.l_events p.l_feed_s p.l_events_per_s p.l_max_rel_diff p.l_gate_eps
+        (p.l_events_per_s >= p.l_gate_eps)
+        (p.l_max_rel_diff <= diff_rtol)
+        (if i = List.length b6.b6_points - 1 then "" else ","))
+    b6.b6_points;
+  add "  ],\n";
+  add "  \"failures\": [%s],\n"
+    (String.concat ", " (List.map (Printf.sprintf "%S") b6.b6_failures));
+  add "  \"ok\": %b\n" (b6.b6_failures = []);
+  add "}\n";
+  let oc = open_out live_json_file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "(wrote %s)\n%!" live_json_file
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable report                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -924,6 +1068,7 @@ let () =
      runs first, on a pristine heap — after the bechamel suites the major
      heap is large enough to distort its per-run timings. *)
   let b5 = run_fastpath_bench () in
+  let b6 = run_live_bench () in
   let b1 =
     Pool.with_pool ~domains (fun pool ->
         run_experiments pool;
@@ -939,6 +1084,7 @@ let () =
   write_pool_json b2;
   write_stream_json b4;
   write_fastpaths_json b5;
+  write_live_json b6;
   if not (b3.sim_agree && b3.sweep_same_answer) then begin
     prerr_endline
       "B3 FAILED: the equal-share engine disagrees with the general engine; see \
@@ -958,5 +1104,10 @@ let () =
   if b5.b5_failures <> [] then begin
     List.iter (fun m -> prerr_endline ("B5 FAILED: " ^ m)) b5.b5_failures;
     prerr_endline "B5 FAILED: fast-path engine gate; see BENCH_fastpaths.json";
+    exit 1
+  end;
+  if b6.b6_failures <> [] then begin
+    List.iter (fun m -> prerr_endline ("B6 FAILED: " ^ m)) b6.b6_failures;
+    prerr_endline "B6 FAILED: live engine gate; see BENCH_live.json";
     exit 1
   end

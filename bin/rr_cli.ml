@@ -88,17 +88,52 @@ let chunk_arg =
            chunks by estimated cost, an integer fixes the group size.  Chunking never \
            changes results, only scheduling granularity.")
 
+let engine_conv =
+  let parse s =
+    match Run.engine_of_string s with
+    | Some e -> Ok e
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown engine %S; expected one of: %s" s
+               (String.concat ", " Run.engine_strings)))
+  in
+  let print ppf e = Format.pp_print_string ppf (Run.engine_to_string e) in
+  Arg.conv (parse, print)
+
+let engine_arg =
+  Arg.(
+    value
+    & opt engine_conv `Auto
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          (Printf.sprintf
+             "Engine selection: %s.  $(b,auto) (the default) dispatches policies with a \
+              closed-form engine (RR's equal-share cascade, the SRPT/SJF/FCFS \
+              priority-index kernel, the SETF group cascade — each agrees with the \
+              general loop to ~1e-9 relative flow time but is several times faster) and \
+              runs everything else on the general event loop; $(b,general) forces the \
+              general loop everywhere (reproduces archived general-loop numbers \
+              bit-exactly); $(b,indexed) / $(b,equal-share) insist on the matching \
+              closed-form kernel and fail on policies outside its reach; $(b,live) \
+              routes fast-pathable policies through the incremental submit-while-running \
+              core that $(b,rr_cli serve) uses."
+             (String.concat " | " (List.map (Printf.sprintf "$(b,%s)") Run.engine_strings))))
+
 let no_fast_path_arg =
   Arg.(
     value
     & flag
     & info [ "no-fast-path" ]
         ~doc:
-          "Always run the general event loop, even for policies with a closed-form engine \
-           (RR's equal-share cascade, the SRPT/SJF/FCFS priority-index kernel, the SETF \
-           group cascade — each agrees with the general loop to ~1e-9 relative flow time \
-           but is several times faster).  Use it to reproduce archived general-loop \
-           numbers bit-exactly.")
+          "Deprecated alias for $(b,--engine general).  An explicit $(b,--engine) wins \
+           over this flag.")
+
+(* The deprecated boolean folds into the variant exactly like
+   [Run.config]'s [?fast_path] shim: an explicit --engine wins, the bare
+   flag means the general loop. *)
+let resolve_engine engine no_fast_path =
+  match (engine, no_fast_path) with `Auto, true -> `General | e, _ -> e
 
 let print_cache_stats () =
   let st = Temporal_fairness.Cache.stats () in
@@ -226,9 +261,9 @@ let vmhwm_kb () =
           | _ -> None)
         (String.split_on_char '\n' txt)
 
-let simulate_streamed ~policy ~machines ~speed ~k ~seed ~sizes ~load ~n ~no_fast_path =
+let simulate_streamed ~policy ~machines ~speed ~k ~seed ~sizes ~load ~n ~engine =
   let stream = Rr_workload.Instance.Stream.generate_load ~seed ~sizes ~load ~machines ~n () in
-  let cfg = Run.config ~machines ~speed ~k ~fast_path:(not no_fast_path) () in
+  let cfg = Run.config ~machines ~speed ~k ~engine () in
   let agg = Rr_metrics.Sink.pair (Rr_metrics.Flow_stats.sink ()) (Rr_metrics.Sink.lk ~k ()) in
   let bytes_before = Gc.allocated_bytes () in
   let summary = Run.simulate_stream cfg policy stream ~sink:(Rr_metrics.Sink.feed agg) in
@@ -256,20 +291,19 @@ let simulate_streamed ~policy ~machines ~speed ~k ~seed ~sizes ~load ~n ~no_fast
     | None -> "")
 
 let simulate_cmd =
-  let run policy machines speed k file seed sizes load n no_fast_path stream =
+  let run policy machines speed k file seed sizes load n engine no_fast_path stream =
+    let engine = resolve_engine engine no_fast_path in
     if stream then begin
       if Option.is_some file then begin
         prerr_endline
           "rr_cli: --stream generates its workload lazily; it cannot be combined with --file";
         exit 2
       end;
-      simulate_streamed ~policy ~machines ~speed ~k ~seed ~sizes ~load ~n ~no_fast_path
+      simulate_streamed ~policy ~machines ~speed ~k ~seed ~sizes ~load ~n ~engine
     end
     else begin
       let inst = load_instance ~file ~seed ~sizes ~load ~machines ~n in
-      let cfg =
-        Run.config ~machines ~speed ~k ~record_trace:true ~fast_path:(not no_fast_path) ()
-      in
+      let cfg = Run.config ~machines ~speed ~k ~record_trace:true ~engine () in
       let res = Run.simulate cfg policy inst in
       let flows = Rr_engine.Simulator.flows res in
       let stats = Rr_metrics.Flow_stats.of_flows flows in
@@ -298,14 +332,16 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run one policy on an instance and print its flow-time statistics.")
     Term.(
       const run $ policy_arg $ machines_arg $ speed_arg $ k_arg $ file_arg $ seed_arg $ sizes_arg
-      $ load_arg $ n_arg $ no_fast_path_arg $ stream_arg)
+      $ load_arg $ n_arg $ engine_arg $ no_fast_path_arg $ stream_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let compare_cmd =
-  let run machines speed file seed sizes load n jobs chunk no_fast_path no_cache cache_stats =
+  let run machines speed file seed sizes load n jobs chunk engine no_fast_path no_cache
+      cache_stats =
+    let engine = resolve_engine engine no_fast_path in
     let inst = load_instance ~file ~seed ~sizes ~load ~machines ~n in
     let table =
       Rr_util.Table.create
@@ -315,9 +351,7 @@ let compare_cmd =
     (* k = 2 so the cached measurement's norm is the l2 column; the Jain
        index needs the full trace, which measurements never keep, so one
        traced re-simulation per row on top of the (cacheable) measure. *)
-    let cfg =
-      Run.config ~machines ~speed ~k:2 ~fast_path:(not no_fast_path) ~cache:(not no_cache) ()
-    in
+    let cfg = Run.config ~machines ~speed ~k:2 ~engine ~cache:(not no_cache) () in
     let traced = { cfg with Run.record_trace = true } in
     let rows =
       with_jobs jobs (fun pool ->
@@ -344,19 +378,20 @@ let compare_cmd =
     (Cmd.info "compare" ~doc:"Run every built-in policy on one instance and tabulate the outcomes.")
     Term.(
       const run $ machines_arg $ speed_arg $ file_arg $ seed_arg $ sizes_arg $ load_arg $ n_arg
-      $ jobs_arg $ chunk_arg $ no_fast_path_arg $ no_cache_arg $ cache_stats_arg)
+      $ jobs_arg $ chunk_arg $ engine_arg $ no_fast_path_arg $ no_cache_arg $ cache_stats_arg)
 
 (* ------------------------------------------------------------------ *)
 (* certify                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let certify_cmd =
-  let run machines k eps file seed sizes load n no_fast_path =
+  let run machines k eps file seed sizes load n engine no_fast_path =
+    let engine = resolve_engine engine no_fast_path in
     let inst = load_instance ~file ~seed ~sizes ~load ~machines ~n in
     let speed = Rr_dualfit.Certificate.theorem_speed ~k ~eps in
     let res =
       Run.simulate
-        (Run.config ~machines ~speed ~k ~record_trace:true ~fast_path:(not no_fast_path) ())
+        (Run.config ~machines ~speed ~k ~record_trace:true ~engine ())
         Rr_policies.Round_robin.policy inst
     in
     let cert = Rr_dualfit.Certificate.certify ~eps ~k res in
@@ -375,7 +410,7 @@ let certify_cmd =
        ~doc:"Run RR at the Theorem-1 speed and verify the paper's dual-fitting certificate.")
     Term.(
       const run $ machines_arg $ k_arg $ eps_arg $ file_arg $ seed_arg $ sizes_arg $ load_arg
-      $ n_arg $ no_fast_path_arg)
+      $ n_arg $ engine_arg $ no_fast_path_arg)
 
 (* ------------------------------------------------------------------ *)
 (* lowerbound                                                          *)
@@ -400,12 +435,13 @@ let lowerbound_cmd =
 (* ------------------------------------------------------------------ *)
 
 let crossover_cmd =
-  let run machines k theta lo hi iters file seed sizes load n jobs no_fast_path no_cache
+  let run machines k theta lo hi iters file seed sizes load n jobs engine no_fast_path no_cache
       cache_stats =
+    let engine = resolve_engine engine no_fast_path in
     let inst = load_instance ~file ~seed ~sizes ~load ~machines ~n in
     let f speed =
       Temporal_fairness.Ratio.vs_baseline
-        (Run.config ~machines ~k ~speed ~fast_path:(not no_fast_path) ~cache:(not no_cache) ())
+        (Run.config ~machines ~k ~speed ~engine ~cache:(not no_cache) ())
         Rr_policies.Round_robin.policy inst
     in
     let result =
@@ -438,20 +474,19 @@ let crossover_cmd =
           (probes within a round run on the --jobs pool).")
     Term.(
       const run $ machines_arg $ k_arg $ theta_arg $ lo_arg $ hi_arg $ iters_arg $ file_arg
-      $ seed_arg $ sizes_arg $ load_arg $ n_arg $ jobs_arg $ no_fast_path_arg $ no_cache_arg
-      $ cache_stats_arg)
+      $ seed_arg $ sizes_arg $ load_arg $ n_arg $ jobs_arg $ engine_arg $ no_fast_path_arg
+      $ no_cache_arg $ cache_stats_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gantt                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let gantt_cmd =
-  let run policy machines speed file seed sizes load n width no_fast_path =
+  let run policy machines speed file seed sizes load n width engine no_fast_path =
+    let engine = resolve_engine engine no_fast_path in
     let inst = load_instance ~file ~seed ~sizes ~load ~machines ~n in
     let res =
-      Run.simulate
-        (Run.config ~machines ~speed ~record_trace:true ~fast_path:(not no_fast_path) ())
-        policy inst
+      Run.simulate (Run.config ~machines ~speed ~record_trace:true ~engine ()) policy inst
     in
     let pieces = Rr_engine.Assignment.of_trace ~machines res.trace in
     (match Rr_engine.Assignment.validate ~machines pieces with
@@ -471,29 +506,222 @@ let gantt_cmd =
           McNaughton's wrap-around rule).")
     Term.(
       const run $ policy_arg $ machines_arg $ speed_arg $ file_arg $ seed_arg $ sizes_arg
-      $ load_arg $ n_arg $ width_arg $ no_fast_path_arg)
+      $ load_arg $ n_arg $ width_arg $ engine_arg $ no_fast_path_arg)
 
 (* ------------------------------------------------------------------ *)
 (* experiments                                                         *)
 (* ------------------------------------------------------------------ *)
 
 let experiments_cmd =
-  let run quick jobs no_fast_path =
+  let run quick jobs engine no_fast_path =
+    let engine = resolve_engine engine no_fast_path in
     let scale =
       if quick then Temporal_fairness.Experiments.Quick else Temporal_fairness.Experiments.Full
     in
     with_jobs jobs (fun pool ->
-        List.iter Rr_util.Table.print
-          (Temporal_fairness.Experiments.all ~fast_path:(not no_fast_path) ~pool scale))
+        List.iter Rr_util.Table.print (Temporal_fairness.Experiments.all ~engine ~pool scale))
   in
   let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced instance sizes.") in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Run the full evaluation suite (tables T1-T8, figures F1-F3).")
-    Term.(const run $ quick_arg $ jobs_arg $ no_fast_path_arg)
+    Term.(const run $ quick_arg $ jobs_arg $ engine_arg $ no_fast_path_arg)
+
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A long-running incremental simulation behind a line protocol: one
+   Engine.Live per process, one request per line, one reply per line.
+   Numbers print with %.17g so a client can round-trip every float. *)
+module Live = Rr_engine.Live
+
+let stats_line (s : Live.stats) =
+  Printf.sprintf
+    "OK submitted=%d completed=%d alive=%d pending=%d now=%.17g events=%d makespan=%.17g \
+     max_alive=%d mean_flow=%.17g max_flow=%.17g power_sum=%.17g norm=%.17g p50=%.17g \
+     p90=%.17g p99=%.17g"
+    s.submitted s.completed s.alive s.pending s.now s.events s.makespan s.max_alive s.mean_flow
+    s.max_flow s.power_sum s.norm s.p50 s.p90 s.p99
+
+(* One request -> `Reply / `Quit / `Silent (blank line).  Engine faults
+   (bad arguments, event budget, unreadable snapshots) become ERR replies
+   so one bad request never kills the session. *)
+let serve_handle (engine : Live.t ref) line =
+  let parts =
+    String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "")
+  in
+  match parts with
+  | [] -> `Silent
+  | verb :: args -> (
+      let reply =
+        try
+          match (String.uppercase_ascii verb, args) with
+          | "SUBMIT", [ t; size ] -> (
+              match (float_of_string_opt t, float_of_string_opt size) with
+              | Some arrival, Some size ->
+                  Printf.sprintf "OK %d" (Live.submit !engine ~arrival ~size)
+              | _ -> "ERR usage: SUBMIT <arrival> <size>")
+          | "ADVANCE", [ t ] -> (
+              match float_of_string_opt t with
+              | Some horizon ->
+                  Live.advance !engine horizon;
+                  let s = Live.query !engine in
+                  Printf.sprintf "OK now=%.17g completed=%d alive=%d" s.Live.now
+                    s.Live.completed s.Live.alive
+              | None -> "ERR usage: ADVANCE <time>")
+          | "DRAIN", [] ->
+              Live.drain !engine;
+              let s = Live.query !engine in
+              Printf.sprintf "OK now=%.17g completed=%d" s.Live.now s.Live.completed
+          | "STATS", [] -> stats_line (Live.query !engine)
+          | "SNAPSHOT", [ path ] ->
+              Live.save !engine path;
+              "OK"
+          | "RESTORE", [ path ] ->
+              engine := Live.load path;
+              "OK"
+          | "QUIT", [] -> ""
+          | verb, _ -> Printf.sprintf "ERR unknown command %s" verb
+        with
+        | Invalid_argument msg | Failure msg -> "ERR " ^ msg
+        | Sys_error msg -> "ERR " ^ msg
+        | Rr_engine.Simulator.Event_limit_exceeded { limit; now } ->
+            Printf.sprintf "ERR event budget exhausted: %d events by t = %g" limit now
+      in
+      if String.uppercase_ascii verb = "QUIT" && args = [] then `Quit else `Reply reply)
+
+(* Returns [true] when the client said QUIT (as opposed to EOF), so the
+   socket accept loop knows whether to keep listening. *)
+let serve_session engine ic oc =
+  let reply r =
+    Out_channel.output_string oc r;
+    Out_channel.output_char oc '\n';
+    Out_channel.flush oc
+  in
+  let rec loop () =
+    match In_channel.input_line ic with
+    | None -> false
+    | Some line -> (
+        match serve_handle engine line with
+        | `Silent -> loop ()
+        | `Reply r ->
+            reply r;
+            loop ()
+        | `Quit ->
+            reply "OK bye";
+            true)
+  in
+  loop ()
+
+let serve_cmd =
+  let run spec machines speed k max_events socket =
+    let engine = ref (Live.create ~machines ~speed ~k ~max_events spec) in
+    match socket with
+    | None -> ignore (serve_session engine stdin stdout)
+    | Some path ->
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Fun.protect
+          ~finally:(fun () ->
+            (try Unix.close sock with Unix.Unix_error _ -> ());
+            try Unix.unlink path with Unix.Unix_error _ -> ())
+          (fun () ->
+            Unix.bind sock (Unix.ADDR_UNIX path);
+            Unix.listen sock 1;
+            (* One client at a time; the daemon outlives disconnects (the
+               engine keeps its state across clients) and stops at QUIT. *)
+            let rec accept_loop () =
+              let fd, _ = Unix.accept sock in
+              let quit =
+                Fun.protect
+                  ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+                  (fun () ->
+                    serve_session engine (Unix.in_channel_of_descr fd)
+                      (Unix.out_channel_of_descr fd))
+              in
+              if not quit then accept_loop ()
+            in
+            accept_loop ())
+  in
+  let spec_conv =
+    let parse s =
+      match Live.spec_of_string s with
+      | Some spec -> Ok spec
+      | None ->
+          Error
+            (`Msg
+              (Printf.sprintf "unknown live policy %S; expected one of: %s" s
+                 (String.concat ", " Live.spec_names)))
+    in
+    let print ppf s = Format.pp_print_string ppf (Live.spec_name s) in
+    Arg.conv (parse, print)
+  in
+  let spec_arg =
+    Arg.(
+      value
+      & opt spec_conv Live.Equal_share
+      & info [ "p"; "policy" ] ~docv:"POLICY"
+          ~doc:
+            (Printf.sprintf
+               "Policy driving the live engine, one of: %s (the policies with an \
+                incremental closed-form core)."
+               (String.concat ", " Live.spec_names)))
+  in
+  let max_events_arg =
+    Arg.(
+      value
+      & opt int Run.default_max_events
+      & info [ "max-events" ] ~docv:"N"
+          ~doc:
+            "Event budget; an ADVANCE that would exceed it answers ERR instead of \
+             livelocking the daemon.")
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix domain socket instead of stdin/stdout.  Clients are served \
+             one at a time; the engine keeps its state across client disconnects and the \
+             daemon exits on QUIT.")
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Run one incremental (submit-while-running) simulation as a long-lived process \
+         speaking a line protocol on stdin/stdout (or $(b,--socket)).  One request per \
+         line, one reply per line; replies start with OK or ERR.  A faulting request \
+         (bad arguments, exhausted event budget, unreadable snapshot) answers ERR and \
+         leaves the session running.";
+      `S "PROTOCOL";
+      `I ("SUBMIT <arrival> <size>", "Queue one job; replies $(b,OK <id>) (dense ids 0, 1, 2, ... in submission order).  Arrivals must be non-decreasing and not in the simulated past.");
+      `I ("ADVANCE <time>", "Process every completion/admission at or before <time> and move the clock exactly there; replies $(b,OK now=... completed=... alive=...).  $(b,ADVANCE inf) drains.");
+      `I ("DRAIN", "Run until no job is alive or pending; replies $(b,OK now=... completed=...).");
+      `I ("STATS", "One-line snapshot of the live metrics: jobs submitted/completed/alive/pending, clock, events, makespan, peak alive, mean/max flow, the Lk power sum and norm, and P-squared p50/p90/p99 estimates.");
+      `I ("SNAPSHOT <path>", "Serialize the whole engine (clock, alive and pending jobs, metric accumulators) to <path>; replies $(b,OK).");
+      `I ("RESTORE <path>", "Replace the engine with the one serialized at <path> (same build only); replies $(b,OK).");
+      `I ("QUIT", "Reply $(b,OK bye) and exit.");
+    ]
+  in
+  Cmd.v
+    (Cmd.info "serve" ~man
+       ~doc:"Drive an incremental simulation over a line protocol (stdin/stdout or a Unix socket).")
+    Term.(const run $ spec_arg $ machines_arg $ speed_arg $ k_arg $ max_events_arg $ socket_arg)
 
 let () =
+  let man =
+    [
+      `S "EXIT CODES";
+      `P "Beyond cmdliner's defaults (0 success, 124 CLI parse error):";
+      `I ("3", "simulation event budget exhausted — the instance may be degenerate or the policy livelocked.");
+      `I ("4", "a policy produced an invalid allocation (broken policy implementation).");
+      `I ("125", "internal error.");
+    ]
+  in
   let info =
-    Cmd.info "rr_cli" ~version:"1.0.0"
+    Cmd.info "rr_cli" ~version:"1.0.0" ~man
       ~doc:"Round Robin temporal fairness: simulation, LP bounds and dual-fitting certificates."
   in
   let group =
@@ -507,6 +735,7 @@ let () =
         crossover_cmd;
         gantt_cmd;
         experiments_cmd;
+        serve_cmd;
       ]
   in
   (* Distinguish the two simulator failure modes from generic crashes:
@@ -524,6 +753,11 @@ let () =
     | Rr_engine.Simulator.Invalid_allocation msg ->
         Printf.eprintf "rr_cli: policy produced an invalid allocation: %s\n" msg;
         4
+    | Invalid_argument msg ->
+        (* e.g. --engine equal-share with a non-RR policy: a usage error,
+           not an internal one. *)
+        Printf.eprintf "rr_cli: %s\n" msg;
+        2
     | e ->
         Printf.eprintf "rr_cli: internal error: %s\n" (Printexc.to_string e);
         125

@@ -23,6 +23,13 @@ type key = {
   digest : int64;
 }
 
+(* The one blessed way to build a key (the type is private in the mli).
+   Funnelling construction through here is what guarantees every field —
+   in particular [engine], which separates live results from materialized
+   ones — is filled in deliberately at every call site. *)
+let key ~policy ~machines ~speed ~k ~engine ~streamed ~digest =
+  { policy; machines; speed; k; engine; streamed; digest }
+
 type entry = {
   n : int;
   norm : float;

@@ -40,26 +40,43 @@
       the total capacity, evicting by the CLOCK second-chance rule when
       full — the cache never silently stops caching. *)
 
-type key = {
+type key = private {
   policy : string;  (** [Policy.t.name]; must determine behaviour. *)
   machines : int;
   speed : float;
   k : int;
   engine : string;
       (** Which engine produced the entry ([Run.engine_name]: ["general"],
-          ["equal-share"], ["srpt-index"], ["sjf-index"], ["fcfs-index"]
-          or ["setf-cascade"]).  Kept in the key so results from different
-          engines never alias — fast and general paths agree to ~1e-9
-          relative, not to the bit — and so a cached value records which
-          engine computed it. *)
+          ["equal-share"], ["srpt-index"], ["sjf-index"], ["fcfs-index"],
+          ["setf-cascade"], or the same names with a ["live-"] prefix for
+          the incremental engine).  Kept in the key so results from
+          different engines never alias — fast, live and general paths
+          agree to ~1e-9 relative, not to the bit — and so a cached value
+          records which engine computed it. *)
   streamed : bool;
       (** Whether the entry came from the streaming sink path.  Streamed
           folds accumulate in completion order, materialized ones in job-id
           order, so the two agree to ~1e-9 relative, not to the bit; the
           flag keeps them from aliasing, for the same reason as
-          [fast_path]. *)
+          [engine]. *)
   digest : int64;  (** {!Rr_workload.Instance.digest} of the instance. *)
 }
+(** Keys are read-only outside this module: build them with {!key}, the
+    single typed constructor, so no call site can improvise a key shape
+    that collides with another engine's entries. *)
+
+val key :
+  policy:string ->
+  machines:int ->
+  speed:float ->
+  k:int ->
+  engine:string ->
+  streamed:bool ->
+  digest:int64 ->
+  key
+(** The one way to construct a {!key}.  [Run.key] derives [engine] from
+    its engine-selection variant, so a live-engine measurement can never
+    alias a materialized one. *)
 
 type entry = {
   n : int;  (** Jobs completed. *)

@@ -40,7 +40,7 @@ let add_rows table rows = List.iter (Table.add_row table) rows
 (* T1: Theorem 1 at k = 2 — speed sweep                                *)
 (* ------------------------------------------------------------------ *)
 
-let t1_l2_speed_sweep ?(fast_path = true) ?pool scale =
+let t1_l2_speed_sweep ?(engine = `Auto) ?pool scale =
   let table =
     Table.create ~title:"T1: RR l2-norm competitive ratio vs speed (Theorem 1, k=2, m=1)"
       ~columns:
@@ -62,7 +62,7 @@ let t1_l2_speed_sweep ?(fast_path = true) ?pool scale =
   add_rows table
     (pmap pool
        (fun (sizes, insts, small, speed) ->
-         let cfg = Run.config ~speed ~fast_path () in
+         let cfg = Run.config ~speed ~engine () in
          let ratio = mean (List.map (fun i -> Ratio.vs_baseline cfg rr i) insts) in
          let lp_ratio = Ratio.vs_lp_bound ~delta:0.25 cfg rr small in
          [
@@ -78,7 +78,7 @@ let t1_l2_speed_sweep ?(fast_path = true) ?pool scale =
 (* T2: Theorem 1 at the theorem speed for k = 1, 2, 3                  *)
 (* ------------------------------------------------------------------ *)
 
-let t2_lk_theorem_speed ?(fast_path = true) ?pool scale =
+let t2_lk_theorem_speed ?(engine = `Auto) ?pool scale =
   let table =
     Table.create
       ~title:"T2: RR at the Theorem-1 speed 2k(1+10eps), eps=0.1 (lk ratio vs SRPT@1, m=1)"
@@ -98,7 +98,7 @@ let t2_lk_theorem_speed ?(fast_path = true) ?pool scale =
     (pmap pool
        (fun (sizes, insts, k) ->
          let speed = Rr_dualfit.Certificate.theorem_speed ~k ~eps:0.1 in
-         let cfg = Run.config ~k ~speed ~fast_path () in
+         let cfg = Run.config ~k ~speed ~engine () in
          let ratio = mean (List.map (fun i -> Ratio.vs_baseline cfg rr i) insts) in
          [
            Rr_workload.Distribution.name sizes;
@@ -120,7 +120,7 @@ let t2_lk_theorem_speed ?(fast_path = true) ?pool scale =
    EXPERIMENTS.md).  What is reproducible is the speed response: on
    adversarial transients RR's ratio is largest at speed 1 and decays to a
    small constant well before the Theorem-1 speed of 4 + eps. *)
-let f1_lower_bound_growth ?(fast_path = true) ?pool scale =
+let f1_lower_bound_growth ?(engine = `Auto) ?pool scale =
   let table =
     Table.create
       ~title:
@@ -152,7 +152,7 @@ let f1_lower_bound_growth ?(fast_path = true) ?pool scale =
   add_rows table
     (pmap pool
        (fun (label, inst, small, speed) ->
-         let cfg = Run.config ~speed ~fast_path () in
+         let cfg = Run.config ~speed ~engine () in
          let r = Ratio.vs_baseline cfg rr inst in
          let r_lp = Ratio.vs_lp_bound ~delta:0.125 cfg rr small in
          [ label; Table.fcell speed; Table.fcell r; Table.fcell r_lp ])
@@ -163,7 +163,7 @@ let f1_lower_bound_growth ?(fast_path = true) ?pool scale =
 (* T3: dual-fitting certificates                                       *)
 (* ------------------------------------------------------------------ *)
 
-let t3_dual_certificates ?(fast_path = true) ?pool scale =
+let t3_dual_certificates ?(engine = `Auto) ?pool scale =
   let table =
     Table.create
       ~title:"T3: dual-fitting certificates for RR at speed 2k(1+10eps), eps=0.1"
@@ -184,7 +184,7 @@ let t3_dual_certificates ?(fast_path = true) ?pool scale =
        (fun (n, machines, k) ->
          let inst = stochastic ~seed:(100 + n + machines) ~sizes:exp_sizes ~load:0.9 ~machines ~n in
          let speed = Rr_dualfit.Certificate.theorem_speed ~k ~eps in
-         let res = Run.simulate (Run.config ~machines ~speed ~record_trace:true ~fast_path ()) rr inst in
+         let res = Run.simulate (Run.config ~machines ~speed ~record_trace:true ~engine ()) rr inst in
          let cert = Rr_dualfit.Certificate.certify ~eps ~k res in
          let gamma = cert.gamma in
          let lp_hi =
@@ -210,7 +210,7 @@ let t3_dual_certificates ?(fast_path = true) ?pool scale =
 (* T4: the classical l1 guarantee                                      *)
 (* ------------------------------------------------------------------ *)
 
-let t4_l1_flow ?(fast_path = true) ?pool scale =
+let t4_l1_flow ?(engine = `Auto) ?pool scale =
   let table =
     Table.create ~title:"T4: RR total flow time (l1) ratio vs SRPT@1"
       ~columns:[ "sizes"; "m"; "RR speed"; "l1 ratio" ]
@@ -231,7 +231,7 @@ let t4_l1_flow ?(fast_path = true) ?pool scale =
   add_rows table
     (pmap pool
        (fun (sizes, machines, insts, speed) ->
-         let cfg = Run.config ~machines ~k:1 ~speed ~fast_path () in
+         let cfg = Run.config ~machines ~k:1 ~speed ~engine () in
          let ratio = mean (List.map (fun i -> Ratio.vs_baseline cfg rr i) insts) in
          [
            Rr_workload.Distribution.name sizes;
@@ -246,7 +246,7 @@ let t4_l1_flow ?(fast_path = true) ?pool scale =
 (* T5: instantaneous fairness                                          *)
 (* ------------------------------------------------------------------ *)
 
-let t5_instantaneous_fairness ?(fast_path = true) ?pool scale =
+let t5_instantaneous_fairness ?(engine = `Auto) ?pool scale =
   let table =
     Table.create
       ~title:"T5: instantaneous fairness under transient overload (rho = 1.2)"
@@ -270,7 +270,7 @@ let t5_instantaneous_fairness ?(fast_path = true) ?pool scale =
   add_rows table
     (pmap pool
        (fun (machines, inst, sizes, (policy : Rr_engine.Policy.t)) ->
-         let res = Run.simulate (Run.config ~machines ~record_trace:true ~fast_path ()) policy inst in
+         let res = Run.simulate (Run.config ~machines ~record_trace:true ~engine ()) policy inst in
          let jain = Rr_metrics.Fairness.time_weighted_jain res.trace in
          let flows = Rr_engine.Simulator.flows res in
          (* Sizes indexed by id: instance ids are assigned in arrival order,
@@ -284,7 +284,7 @@ let t5_instantaneous_fairness ?(fast_path = true) ?pool scale =
 (* F2: variance vs average                                             *)
 (* ------------------------------------------------------------------ *)
 
-let f2_variance_vs_average ?(fast_path = true) ?pool scale =
+let f2_variance_vs_average ?(engine = `Auto) ?pool scale =
   let table =
     Table.create
       ~title:
@@ -299,7 +299,7 @@ let f2_variance_vs_average ?(fast_path = true) ?pool scale =
   add_rows table
     (pmap pool
        (fun (policy : Rr_engine.Policy.t) ->
-         let flows = Run.flows (Run.config ~fast_path ()) policy inst in
+         let flows = Run.flows (Run.config ~engine ()) policy inst in
          let s = Rr_metrics.Flow_stats.of_flows flows in
          [
            policy.name;
@@ -316,7 +316,7 @@ let f2_variance_vs_average ?(fast_path = true) ?pool scale =
 (* T6: multiple machines                                               *)
 (* ------------------------------------------------------------------ *)
 
-let t6_multiple_machines ?(fast_path = true) ?pool scale =
+let t6_multiple_machines ?(engine = `Auto) ?pool scale =
   let table =
     Table.create ~title:"T6: RR@4.4 l2 ratio vs SRPT@1 across machine counts (rho = 0.9)"
       ~columns:[ "m"; "l2 ratio"; "RR events" ]
@@ -330,7 +330,7 @@ let t6_multiple_machines ?(fast_path = true) ?pool scale =
              (fun seed -> stochastic ~seed ~sizes:exp_sizes ~load:0.9 ~machines ~n)
              (seeds scale)
          in
-         let cfg = Run.config ~machines ~speed:4.4 ~fast_path () in
+         let cfg = Run.config ~machines ~speed:4.4 ~engine () in
          let ratio = mean (List.map (fun i -> Ratio.vs_baseline cfg rr i) insts) in
          let events = (Run.simulate cfg rr (List.hd insts)).events in
          [ string_of_int machines; Table.fcell ratio; string_of_int events ])
@@ -341,7 +341,7 @@ let t6_multiple_machines ?(fast_path = true) ?pool scale =
 (* F3: ablation against weighted RR and friends                        *)
 (* ------------------------------------------------------------------ *)
 
-let f3_weighted_rr_ablation ?(fast_path = true) ?pool scale =
+let f3_weighted_rr_ablation ?(engine = `Auto) ?pool scale =
   let table =
     Table.create
       ~title:"F3: l2 ratio vs SRPT@1 — RR vs age-weighted RR vs SETF vs LAPS vs MLFQ vs quantum-RR (m=1)"
@@ -364,7 +364,7 @@ let f3_weighted_rr_ablation ?(fast_path = true) ?pool scale =
   add_rows table
     (pmap pool
        (fun mk ->
-         let cell speed = Table.fcell (Ratio.vs_baseline (Run.config ~speed ~fast_path ()) (mk ()) inst) in
+         let cell speed = Table.fcell (Ratio.vs_baseline (Run.config ~speed ~engine ()) (mk ()) inst) in
          [ (mk ()).Rr_engine.Policy.name; cell 1.5; cell 2.0; cell 3.0 ])
        mk_policies);
   table
@@ -378,7 +378,7 @@ let f3_weighted_rr_ablation ?(fast_path = true) ?pool scale =
    bracketing the theory's [3/2, 4 + eps] window for when RR becomes
    competitive.  The pool goes into {!Sweep.min_speed_for}'s bracket
    probes, so more domains buy bracket precision, not different rows. *)
-let t7_crossover_speed ?(fast_path = true) ?pool scale =
+let t7_crossover_speed ?(engine = `Auto) ?pool scale =
   let table =
     Table.create
       ~title:"T7: minimal RR speed with l2 norm <= theta * SRPT@1 (bisection)"
@@ -400,7 +400,7 @@ let t7_crossover_speed ?(fast_path = true) ?pool scale =
     (fun (label, inst) ->
       List.iter
         (fun theta ->
-          let f speed = Ratio.vs_baseline (Run.config ~speed ~fast_path ()) rr inst in
+          let f speed = Ratio.vs_baseline (Run.config ~speed ~engine ()) rr inst in
           let cross = Sweep.min_speed_for ?pool ~f ~threshold:theta ~lo:1.0 ~hi:8.0 ~iters () in
           Table.add_row table
             [
@@ -419,7 +419,7 @@ let t7_crossover_speed ?(fast_path = true) ?pool scale =
 (* T8: LP soundness sandwich                                           *)
 (* ------------------------------------------------------------------ *)
 
-let t8_lp_soundness ?(fast_path = true) ?pool _scale =
+let t8_lp_soundness ?(engine = `Auto) ?pool _scale =
   let table =
     Table.create
       ~title:"T8: LP relaxation sandwich on tiny instances (LP/2 <= OPT^k <= SRPT^k)"
@@ -446,7 +446,7 @@ let t8_lp_soundness ?(fast_path = true) ?pool _scale =
              (List.map (fun (r, p) -> (Float.of_int r, Float.of_int p)) jobs)
          in
          let brute = Rr_lp.Brute.optimal_power_sum ~k ~machines jobs in
-         let srpt_pow = Run.power_sum (Run.config ~machines ~k ~fast_path ()) srpt inst in
+         let srpt_pow = Run.power_sum (Run.config ~machines ~k ~engine ()) srpt inst in
          let lp_lo = Rr_lp.Lp_bound.value ~mode:Rr_lp.Lp_bound.Slot_start ~k ~machines ~delta:0.25 inst in
          let lp_hi = Rr_lp.Lp_bound.value ~mode:Rr_lp.Lp_bound.Slot_end ~k ~machines ~delta:0.25 inst in
          let sound =
@@ -471,7 +471,7 @@ let t8_lp_soundness ?(fast_path = true) ?pool _scale =
 (* T9: quantum Round Robin converges to the paper's fluid RR           *)
 (* ------------------------------------------------------------------ *)
 
-let t9_quantum_convergence ?(fast_path = true) ?pool scale =
+let t9_quantum_convergence ?(engine = `Auto) ?pool scale =
   let table =
     Table.create
       ~title:
@@ -481,14 +481,14 @@ let t9_quantum_convergence ?(fast_path = true) ?pool scale =
   in
   let n = match scale with Quick -> 100 | Full -> 500 in
   let inst = stochastic ~seed:41 ~sizes:exp_sizes ~load:0.9 ~machines:1 ~n in
-  let fluid = Run.flows (Run.config ~fast_path ()) rr inst in
+  let fluid = Run.flows (Run.config ~engine ()) rr inst in
   let fluid_l1 = Rr_metrics.Norms.lk ~k:1 fluid in
   let fluid_l2 = Rr_metrics.Norms.lk ~k:2 fluid in
   add_rows table
     (pmap pool
        (fun quantum ->
          let policy = Rr_policies.Quantum_rr.policy ~quantum () in
-         let res = Run.simulate (Run.config ~fast_path ()) policy inst in
+         let res = Run.simulate (Run.config ~engine ()) policy inst in
          let flows = Rr_engine.Simulator.flows res in
          [
            Table.fcell quantum;
@@ -503,7 +503,7 @@ let t9_quantum_convergence ?(fast_path = true) ?pool scale =
 (* T10: simulator vs closed-form queueing theory                       *)
 (* ------------------------------------------------------------------ *)
 
-let t10_queueing_validation ?(fast_path = true) ?pool scale =
+let t10_queueing_validation ?(engine = `Auto) ?pool scale =
   let table =
     Table.create
       ~title:
@@ -559,7 +559,7 @@ let t10_queueing_validation ?(fast_path = true) ?pool scale =
             ~arrivals:(Rr_workload.Arrivals.Poisson { rate = lambda })
             ~sizes ~n ()
         in
-        steady_mean (Run.flows (Run.config ~fast_path ()) policy inst))
+        steady_mean (Run.flows (Run.config ~engine ()) policy inst))
       tasks
   in
   let replicates = List.length run_seeds in
@@ -581,7 +581,7 @@ let t10_queueing_validation ?(fast_path = true) ?pool scale =
 (* F4: the speed-up curves contrast of Section 1.3                     *)
 (* ------------------------------------------------------------------ *)
 
-let f4_speedup_curves ?fast_path:_ ?pool scale =
+let f4_speedup_curves ?engine:_ ?pool scale =
   let table =
     Table.create
       ~title:
@@ -631,7 +631,7 @@ let f4_speedup_curves ?fast_path:_ ?pool scale =
 (* T11: weighted flow time via statically weighted RR                  *)
 (* ------------------------------------------------------------------ *)
 
-let t11_weighted_rr ?(fast_path = true) ?pool scale =
+let t11_weighted_rr ?(engine = `Auto) ?pool scale =
   let table =
     Table.create
       ~title:
@@ -658,7 +658,7 @@ let t11_weighted_rr ?(fast_path = true) ?pool scale =
   add_rows table
     (pmap pool
        (fun (policy : Rr_engine.Policy.t) ->
-         let flows = Run.flows (Run.config ~fast_path ()) policy inst in
+         let flows = Run.flows (Run.config ~engine ()) policy inst in
          [
            policy.name;
            Table.fcell (Rr_metrics.Norms.weighted_lk ~k:1 ~weights flows);
@@ -673,7 +673,7 @@ let t11_weighted_rr ?(fast_path = true) ?pool scale =
 (* F5: broadcast scheduling (the other §1.3 setting)                   *)
 (* ------------------------------------------------------------------ *)
 
-let f5_broadcast ?fast_path:_ ?pool scale =
+let f5_broadcast ?engine:_ ?pool scale =
   let table =
     Table.create
       ~title:
@@ -715,7 +715,7 @@ let f5_broadcast ?fast_path:_ ?pool scale =
 (* T12: the k = infinity end of the norm family                        *)
 (* ------------------------------------------------------------------ *)
 
-let t12_linf ?(fast_path = true) ?pool scale =
+let t12_linf ?(engine = `Auto) ?pool scale =
   let table =
     Table.create
       ~title:
@@ -731,7 +731,7 @@ let t12_linf ?(fast_path = true) ?pool scale =
   add_rows table
     (pmap pool
        (fun (policy : Rr_engine.Policy.t) ->
-         let flows = Run.flows (Run.config ~fast_path ()) policy inst in
+         let flows = Run.flows (Run.config ~engine ()) policy inst in
          let s = Rr_metrics.Flow_stats.of_flows flows in
          [
            policy.name;
@@ -743,23 +743,31 @@ let t12_linf ?(fast_path = true) ?pool scale =
        [ rr; srpt; Rr_policies.Sjf.policy; Rr_policies.Fcfs.policy; Rr_policies.Setf.policy ]);
   table
 
-let all ?fast_path ?pool scale =
+let all ?fast_path ?engine ?pool scale =
+  (* [?fast_path] is the deprecated pre-variant spelling; an explicit
+     [?engine] wins, [~fast_path:false] maps to [`General]. *)
+  let engine =
+    match (engine, fast_path) with
+    | Some e, _ -> Some e
+    | None, Some false -> Some `General
+    | None, (Some true | None) -> None
+  in
   [
-    t1_l2_speed_sweep ?fast_path ?pool scale;
-    t2_lk_theorem_speed ?fast_path ?pool scale;
-    f1_lower_bound_growth ?fast_path ?pool scale;
-    t3_dual_certificates ?fast_path ?pool scale;
-    t4_l1_flow ?fast_path ?pool scale;
-    t5_instantaneous_fairness ?fast_path ?pool scale;
-    f2_variance_vs_average ?fast_path ?pool scale;
-    t6_multiple_machines ?fast_path ?pool scale;
-    f3_weighted_rr_ablation ?fast_path ?pool scale;
-    t7_crossover_speed ?fast_path ?pool scale;
-    t8_lp_soundness ?fast_path ?pool scale;
-    t9_quantum_convergence ?fast_path ?pool scale;
-    t10_queueing_validation ?fast_path ?pool scale;
-    f4_speedup_curves ?fast_path ?pool scale;
-    t11_weighted_rr ?fast_path ?pool scale;
-    f5_broadcast ?fast_path ?pool scale;
-    t12_linf ?fast_path ?pool scale;
+    t1_l2_speed_sweep ?engine ?pool scale;
+    t2_lk_theorem_speed ?engine ?pool scale;
+    f1_lower_bound_growth ?engine ?pool scale;
+    t3_dual_certificates ?engine ?pool scale;
+    t4_l1_flow ?engine ?pool scale;
+    t5_instantaneous_fairness ?engine ?pool scale;
+    f2_variance_vs_average ?engine ?pool scale;
+    t6_multiple_machines ?engine ?pool scale;
+    f3_weighted_rr_ablation ?engine ?pool scale;
+    t7_crossover_speed ?engine ?pool scale;
+    t8_lp_soundness ?engine ?pool scale;
+    t9_quantum_convergence ?engine ?pool scale;
+    t10_queueing_validation ?engine ?pool scale;
+    f4_speedup_curves ?engine ?pool scale;
+    t11_weighted_rr ?engine ?pool scale;
+    f5_broadcast ?engine ?pool scale;
+    t12_linf ?engine ?pool scale;
   ]

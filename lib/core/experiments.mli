@@ -14,17 +14,17 @@
 
 type scale = Quick | Full
 
-val t1_l2_speed_sweep : ?fast_path:bool -> ?pool:Pool.t -> scale -> Rr_util.Table.t
+val t1_l2_speed_sweep : ?engine:Run.engine -> ?pool:Pool.t -> scale -> Rr_util.Table.t
 (** Theorem 1 at k = 2: RR's l2 ratio across speeds; bounded by a small
     constant at speed 4.4, larger at low speeds.  Ratios vs SRPT\@1 on
     large stochastic instances and vs the certified LP bound on a small
     one. *)
 
-val t2_lk_theorem_speed : ?fast_path:bool -> ?pool:Pool.t -> scale -> Rr_util.Table.t
+val t2_lk_theorem_speed : ?engine:Run.engine -> ?pool:Pool.t -> scale -> Rr_util.Table.t
 (** Theorem 1 for k = 1, 2, 3: RR at exactly the theorem speed
     [2k(1 + 10 eps)] with [eps = 0.1]. *)
 
-val f1_lower_bound_growth : ?fast_path:bool -> ?pool:Pool.t -> scale -> Rr_util.Table.t
+val f1_lower_bound_growth : ?engine:Run.engine -> ?pool:Pool.t -> scale -> Rr_util.Table.t
 (** The Section 1.1 negative result, empirically: RR's l2 ratio as a
     function of speed on adversarial transients — largest at speed 1,
     decaying to a small constant before the Theorem-1 speed.  The
@@ -32,78 +32,81 @@ val f1_lower_bound_growth : ?fast_path:bool -> ?pool:Pool.t -> scale -> Rr_util.
     adversary of Bansal-Pruhs and is documented as out of scope for fixed
     families (EXPERIMENTS.md). *)
 
-val t3_dual_certificates : ?fast_path:bool -> ?pool:Pool.t -> scale -> Rr_util.Table.t
+val t3_dual_certificates : ?engine:Run.engine -> ?pool:Pool.t -> scale -> Rr_util.Table.t
 (** Dual-fitting certificates (Sections 3.2-3.4) constructed and verified
     on random instances, including a weak-duality cross-check against the
     LP value. *)
 
-val t4_l1_flow : ?fast_path:bool -> ?pool:Pool.t -> scale -> Rr_util.Table.t
+val t4_l1_flow : ?engine:Run.engine -> ?pool:Pool.t -> scale -> Rr_util.Table.t
 (** The classical l1 guarantee (RR is O(1)-speed O(1)-competitive for
     total flow) the paper builds on. *)
 
-val t5_instantaneous_fairness : ?fast_path:bool -> ?pool:Pool.t -> scale -> Rr_util.Table.t
+val t5_instantaneous_fairness : ?engine:Run.engine -> ?pool:Pool.t -> scale -> Rr_util.Table.t
 (** Time-weighted Jain index of machine shares: RR is exactly fair at all
     times; priority policies are not. *)
 
-val f2_variance_vs_average : ?fast_path:bool -> ?pool:Pool.t -> scale -> Rr_util.Table.t
+val f2_variance_vs_average : ?engine:Run.engine -> ?pool:Pool.t -> scale -> Rr_util.Table.t
 (** The Silberschatz motivation: per-policy mean, variance, p99, max and
     l2 of flow time at equal speed on a heavy-tailed workload. *)
 
-val t6_multiple_machines : ?fast_path:bool -> ?pool:Pool.t -> scale -> Rr_util.Table.t
+val t6_multiple_machines : ?engine:Run.engine -> ?pool:Pool.t -> scale -> Rr_util.Table.t
 (** Theorem 1's multi-machine claim: l2 ratios as m grows with load held
     constant. *)
 
-val f3_weighted_rr_ablation : ?fast_path:bool -> ?pool:Pool.t -> scale -> Rr_util.Table.t
+val f3_weighted_rr_ablation : ?engine:Run.engine -> ?pool:Pool.t -> scale -> Rr_util.Table.t
 (** Ablation of Section 1.2's backstory: plain RR vs age-weighted RR vs
     SETF vs LAPS for the l2 norm at moderate speeds. *)
 
-val t7_crossover_speed : ?fast_path:bool -> ?pool:Pool.t -> scale -> Rr_util.Table.t
+val t7_crossover_speed : ?engine:Run.engine -> ?pool:Pool.t -> scale -> Rr_util.Table.t
 (** The price of instantaneous fairness in speed: bracket search for the
     smallest speed at which RR's l2 norm matches theta times clairvoyant
     SRPT at speed 1 — the empirical counterpart of the theory's
     [3/2, 4 + eps] competitiveness window.  The pool parallelises the
     bracket probes of {!Sweep.min_speed_for}. *)
 
-val t8_lp_soundness : ?fast_path:bool -> ?pool:Pool.t -> scale -> Rr_util.Table.t
+val t8_lp_soundness : ?engine:Run.engine -> ?pool:Pool.t -> scale -> Rr_util.Table.t
 (** Sandwich checks on tiny instances: LP(Slot_start) <= LP(Slot_end),
     LP lower bound <= brute-force OPT^k <= SRPT^k, and agreement between
     the flow-based and simplex LP solvers. *)
 
-val t9_quantum_convergence : ?fast_path:bool -> ?pool:Pool.t -> scale -> Rr_util.Table.t
+val t9_quantum_convergence : ?engine:Run.engine -> ?pool:Pool.t -> scale -> Rr_util.Table.t
 (** Ablation: the textbook time-sliced Round Robin converges to the fluid
     RR of the paper as the quantum shrinks (norm ratios tend to 1). *)
 
-val t10_queueing_validation : ?fast_path:bool -> ?pool:Pool.t -> scale -> Rr_util.Table.t
+val t10_queueing_validation : ?engine:Run.engine -> ?pool:Pool.t -> scale -> Rr_util.Table.t
 (** Simulator calibration against closed-form queueing theory: M/M/1 FCFS
     and PS mean flow, the M/G/1 Pollaczek-Khinchine formula, and the
     insensitivity of PS (= fluid RR) to the size distribution. *)
 
-val f4_speedup_curves : ?fast_path:bool -> ?pool:Pool.t -> scale -> Rr_util.Table.t
+val f4_speedup_curves : ?engine:Run.engine -> ?pool:Pool.t -> scale -> Rr_util.Table.t
 (** The Section 1.3 contrast: in the arbitrary speed-up curves setting,
     oblivious EQUI (= RR) wastes machines on sequential phases and needs
     extra speed that a parallelizability-aware allocator does not —
     the environment where RR's lk guarantees provably fail. *)
 
-val t11_weighted_rr : ?fast_path:bool -> ?pool:Pool.t -> scale -> Rr_util.Table.t
+val t11_weighted_rr : ?engine:Run.engine -> ?pool:Pool.t -> scale -> Rr_util.Table.t
 (** Extension toward weighted flow time: statically weighted RR improves
     the weighted lk norms over oblivious RR by shifting shares to heavy
     jobs while preserving the never-starve guarantee. *)
 
-val f5_broadcast : ?fast_path:bool -> ?pool:Pool.t -> scale -> Rr_util.Table.t
+val f5_broadcast : ?engine:Run.engine -> ?pool:Pool.t -> scale -> Rr_util.Table.t
 (** The broadcast setting of §1.3: RR over outstanding pages (good for l1,
     provably not O(1) for l2) against Longest Wait First and FIFO on a
     Zipf-popular page workload. *)
 
-val t12_linf : ?fast_path:bool -> ?pool:Pool.t -> scale -> Rr_util.Table.t
+val t12_linf : ?engine:Run.engine -> ?pool:Pool.t -> scale -> Rr_util.Table.t
 (** The k = infinity end of the paper's norm family ("in practice k in
     \[1,3\] and infinity"): maximum flow time and maximum slowdown per
     policy.  FCFS optimises max flow, RR bounds every job's slowdown by
     the alive count, SRPT/SJF sacrifice the tail. *)
 
-val all : ?fast_path:bool -> ?pool:Pool.t -> scale -> Rr_util.Table.t list
+val all :
+  ?fast_path:bool -> ?engine:Run.engine -> ?pool:Pool.t -> scale -> Rr_util.Table.t list
 (** All experiments in presentation order, sharing the pool.
-    [?fast_path] (default [true]) is forwarded to every [Run.config]
-    the suite builds — pass [false] (the CLI's [--no-fast-path]) to
+    [?engine] (default [`Auto]) is forwarded to every [Run.config] the
+    suite builds — pass [`General] (the CLI's [--engine general]) to
     force the general event loop everywhere, e.g. to regenerate the
     archived EXPERIMENTS.md numbers bit-exactly.  F4 and F5 run custom
-    simulators with no fast path; they accept and ignore the flag. *)
+    simulators outside the engine surface; they accept and ignore the
+    selection.  [?fast_path] is the deprecated boolean spelling
+    ([false] = [`General]); an explicit [?engine] wins. *)

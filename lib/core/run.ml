@@ -1,70 +1,199 @@
+type engine = [ `Auto | `General | `Indexed | `Equal_share | `Live ]
+
 type config = {
   machines : int;
   speed : float;
   k : int;
   record_trace : bool;
-  fast_path : bool;
+  engine : engine;
   cache : bool;
 }
 
 let default =
-  { machines = 1; speed = 1.; k = 2; record_trace = false; fast_path = true; cache = true }
+  { machines = 1; speed = 1.; k = 2; record_trace = false; engine = `Auto; cache = true }
 
 let config ?(machines = default.machines) ?(speed = default.speed) ?(k = default.k)
-    ?(record_trace = default.record_trace) ?(fast_path = default.fast_path)
-    ?(cache = default.cache) () =
-  { machines; speed; k; record_trace; fast_path; cache }
+    ?(record_trace = default.record_trace) ?fast_path ?engine ?(cache = default.cache) () =
+  (* [?engine] is the selection surface; [?fast_path] survives as a
+     deprecated shim for the pre-variant API ([false] meant "force the
+     general loop").  An explicit [?engine] wins over the shim. *)
+  let engine =
+    match (engine, fast_path) with
+    | Some e, _ -> e
+    | None, Some false -> `General
+    | None, (Some true | None) -> default.engine
+  in
+  { machines; speed; k; record_trace; engine; cache }
 
-type engine =
+let engine_of_string s =
+  match String.lowercase_ascii s with
+  | "auto" -> Some `Auto
+  | "general" -> Some `General
+  | "indexed" -> Some `Indexed
+  | "equal-share" | "equal_share" -> Some `Equal_share
+  | "live" -> Some `Live
+  | _ -> None
+
+let engine_to_string = function
+  | `Auto -> "auto"
+  | `General -> "general"
+  | `Indexed -> "indexed"
+  | `Equal_share -> "equal-share"
+  | `Live -> "live"
+
+let engine_strings = [ "auto"; "general"; "indexed"; "equal-share"; "live" ]
+
+type selection =
   | General
   | Equal_share
   | Index of Rr_engine.Index_engine.kind
   | Setf_cascade
+  | Live of Rr_engine.Live.spec
 
 (* Each closed-form engine applies only when the policy *is* the shared
    policy value it replaces (Registry.make returns those same values, so
    CLI runs dispatch too).  Physical equality is the point: a custom
    policy that happens to be named "srpt" but allocates differently must
    not be fast-pathed. *)
-let engine_for cfg (policy : Rr_engine.Policy.t) =
-  if not cfg.fast_path then General
-  else if policy == Rr_policies.Round_robin.policy then Equal_share
-  else if policy == Rr_policies.Srpt.policy then Index Rr_policies.Srpt.index_kind
-  else if policy == Rr_policies.Sjf.policy then Index Rr_policies.Sjf.index_kind
-  else if policy == Rr_policies.Fcfs.policy then Index Rr_policies.Fcfs.index_kind
-  else if policy == Rr_policies.Setf.policy then Setf_cascade
-  else General
+let classify (policy : Rr_engine.Policy.t) =
+  if policy == Rr_policies.Round_robin.policy then Some Equal_share
+  else if policy == Rr_policies.Srpt.policy then Some (Index Rr_policies.Srpt.index_kind)
+  else if policy == Rr_policies.Sjf.policy then Some (Index Rr_policies.Sjf.index_kind)
+  else if policy == Rr_policies.Fcfs.policy then Some (Index Rr_policies.Fcfs.index_kind)
+  else if policy == Rr_policies.Setf.policy then Some Setf_cascade
+  else None
+
+let unsupported engine (policy : Rr_engine.Policy.t) =
+  invalid_arg
+    (Printf.sprintf "Run: policy %s has no %s engine (pick `Auto or `General)" policy.name
+       engine)
+
+let selection_for cfg (policy : Rr_engine.Policy.t) =
+  match cfg.engine with
+  | `General -> General
+  | `Auto -> ( match classify policy with Some s -> s | None -> General)
+  | `Equal_share -> (
+      match classify policy with
+      | Some Equal_share -> Equal_share
+      | _ -> unsupported "equal-share" policy)
+  | `Indexed -> (
+      match classify policy with
+      | Some (Index kind) -> Index kind
+      | Some Setf_cascade -> Setf_cascade
+      | _ -> unsupported "indexed" policy)
+  | `Live -> (
+      match classify policy with
+      | Some Equal_share -> Live Rr_engine.Live.Equal_share
+      | Some (Index kind) -> Live (Rr_engine.Live.Indexed kind)
+      | Some Setf_cascade -> Live Rr_engine.Live.Setf_cascade
+      | Some (General | Live _) | None -> unsupported "live" policy)
 
 let engine_name_of = function
   | General -> "general"
   | Equal_share -> "equal-share"
   | Index kind -> Rr_engine.Index_engine.kind_name kind ^ "-index"
   | Setf_cascade -> "setf-cascade"
+  | Live spec -> "live-" ^ Rr_engine.Live.spec_name spec
 
-let engine_name cfg policy = engine_name_of (engine_for cfg policy)
+let engine_name cfg policy = engine_name_of (selection_for cfg policy)
+
+(* The engine's default livelock guard, shared with the closed engines. *)
+let default_max_events = 10_000_000
+
+let live_create cfg ?(max_events = default_max_events) spec =
+  Rr_engine.Live.create ~machines:cfg.machines ~speed:cfg.speed ~k:cfg.k ~max_events spec
+
+(* Submit a materialized instance's jobs upfront (they arrive in release
+   order with dense ids, so the live engine re-derives the same ids),
+   then drain.  The event sequence is identical to the closed engine's. *)
+let live_run_instance cfg spec ~sink jobs =
+  let live = live_create cfg spec in
+  Rr_engine.Live.set_sink live sink;
+  List.iter
+    (fun (j : Rr_engine.Job.t) ->
+      ignore (Rr_engine.Live.submit live ~arrival:j.arrival ~size:j.size : int))
+    jobs;
+  Rr_engine.Live.drain live;
+  Rr_engine.Live.query live
+
+(* Streaming feed: submit one job, advance to its arrival, repeat — the
+   pending queue never holds more than one job, so live memory stays
+   O(alive) exactly like the closed streaming engines. *)
+let live_run_stream cfg spec ~max_events ~sink pull =
+  let live = live_create cfg ~max_events spec in
+  Rr_engine.Live.set_sink live sink;
+  let rec feed () =
+    match pull () with
+    | None -> ()
+    | Some (j : Rr_engine.Job.t) ->
+        ignore (Rr_engine.Live.submit live ~arrival:j.arrival ~size:j.size : int);
+        Rr_engine.Live.advance live j.arrival;
+        feed ()
+  in
+  feed ();
+  Rr_engine.Live.drain live;
+  Rr_engine.Live.query live
+
+let no_sink : Rr_engine.Simulator.sink = fun ~id:_ ~arrival:_ ~flow:_ -> ()
 
 let simulate cfg policy inst =
   let jobs = Rr_workload.Instance.jobs inst in
   let record_trace = cfg.record_trace and speed = cfg.speed and machines = cfg.machines in
-  match engine_for cfg policy with
+  match selection_for cfg policy with
   | Equal_share -> Rr_engine.Simulator.run_equal_share ~record_trace ~speed ~machines jobs
   | Index kind -> Rr_engine.Index_engine.run ~record_trace ~speed ~machines ~kind jobs
   | Setf_cascade -> Rr_engine.Index_engine.run_setf ~record_trace ~speed ~machines jobs
   | General -> Rr_engine.Simulator.run ~record_trace ~speed ~machines ~policy jobs
+  | Live spec ->
+      (* The live engine reports (arrival, flow) pairs; rebuild the
+         result's completion array from them.  [record_trace] is ignored
+         (the incremental core keeps no segment trace). *)
+      let n = List.length jobs in
+      let jobs_arr =
+        match jobs with
+        | [] -> [||]
+        | j0 :: _ ->
+            let a = Array.make n j0 in
+            List.iter (fun (j : Rr_engine.Job.t) -> a.(j.id) <- j) jobs;
+            a
+      in
+      let completions = Array.make n Float.nan in
+      let sink ~id ~arrival ~flow = completions.(id) <- arrival +. flow in
+      let q = live_run_instance cfg spec ~sink jobs in
+      {
+        Rr_engine.Simulator.jobs = jobs_arr;
+        completions;
+        trace = [];
+        machines;
+        speed;
+        events = q.Rr_engine.Live.events;
+      }
 
 let simulate_stream cfg policy stream ~sink =
   let pull = Rr_workload.Instance.Stream.start stream in
   (* The engine's default 10M-event livelock guard would trip on perfectly
      healthy multi-million-job streams (>= 2 events per job); the stream
      knows its size, so scale the budget with it instead of uncapping. *)
-  let max_events = Int.max 10_000_000 (64 * Rr_workload.Instance.Stream.n stream) in
+  let max_events =
+    Int.max default_max_events (64 * Rr_workload.Instance.Stream.n stream)
+  in
   let speed = cfg.speed and machines = cfg.machines in
-  match engine_for cfg policy with
+  match selection_for cfg policy with
   | Equal_share ->
       Rr_engine.Simulator.run_equal_share_stream ~speed ~max_events ~machines ~sink pull
   | Index kind -> Rr_engine.Index_engine.run_stream ~speed ~max_events ~machines ~kind ~sink pull
   | Setf_cascade -> Rr_engine.Index_engine.run_setf_stream ~speed ~max_events ~machines ~sink pull
   | General -> Rr_engine.Simulator.run_stream ~speed ~max_events ~machines ~policy ~sink pull
+  | Live spec ->
+      let q = live_run_stream cfg spec ~max_events ~sink pull in
+      {
+        Rr_engine.Simulator.n = q.Rr_engine.Live.completed;
+        events = q.Rr_engine.Live.events;
+        machines;
+        speed;
+        makespan = q.Rr_engine.Live.makespan;
+        max_alive = q.Rr_engine.Live.max_alive;
+      }
 
 type result = {
   policy_name : string;
@@ -78,15 +207,8 @@ type result = {
 }
 
 let key cfg (policy : Rr_engine.Policy.t) ~streamed ~digest =
-  {
-    Cache.policy = policy.name;
-    machines = cfg.machines;
-    speed = cfg.speed;
-    k = cfg.k;
-    engine = engine_name cfg policy;
-    streamed;
-    digest;
-  }
+  Cache.key ~policy:policy.name ~machines:cfg.machines ~speed:cfg.speed ~k:cfg.k
+    ~engine:(engine_name cfg policy) ~streamed ~digest
 
 let result_of_entry (policy : Rr_engine.Policy.t) ~instance_label (e : Cache.entry) =
   {
@@ -101,7 +223,27 @@ let result_of_entry (policy : Rr_engine.Policy.t) ~instance_label (e : Cache.ent
   }
 
 let measure cfg (policy : Rr_engine.Policy.t) inst =
+  let compute_live spec =
+    (* The live engine accumulates the same Kahan/Welford/max folds as it
+       completes jobs, so its query already IS the measurement — no
+       completion array to sweep.  Sums run in completion order rather
+       than id order, the same ~1e-9 relative difference the streamed
+       path exhibits (the distinct [engine] cache string keeps the
+       entries from aliasing). *)
+    let q = live_run_instance cfg spec ~sink:no_sink (Rr_workload.Instance.jobs inst) in
+    {
+      Cache.n = q.Rr_engine.Live.completed;
+      norm = q.Rr_engine.Live.norm;
+      power_sum = q.Rr_engine.Live.power_sum;
+      mean_flow = q.Rr_engine.Live.mean_flow;
+      max_flow = q.Rr_engine.Live.max_flow;
+      events = q.Rr_engine.Live.events;
+    }
+  in
   let compute () =
+    match selection_for cfg policy with
+    | Live spec -> compute_live spec
+    | _ ->
     (* The measurement never needs the trace; forcing it off keeps cached
        and uncached runs of the same config identical in cost and lets a
        record_trace config share cache entries with a plain one. *)
@@ -200,10 +342,16 @@ let power_sum cfg policy inst = (measure cfg policy inst).power_sum
 let estimated_cost_us cfg policy ~jobs =
   let n = Float.of_int jobs in
   let per_job =
-    match engine_for cfg policy with
+    match selection_for cfg policy with
     | Equal_share -> 0.2
     | Index _ -> 0.25
     | Setf_cascade -> 0.5
+    | Live spec -> (
+        (* Same kernels plus the pending-queue and metric-fold overhead. *)
+        match spec with
+        | Rr_engine.Live.Equal_share -> 0.3
+        | Rr_engine.Live.Indexed _ -> 0.35
+        | Rr_engine.Live.Setf_cascade -> 0.6)
     | General -> 2.0
   in
   per_job *. n

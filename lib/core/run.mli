@@ -21,39 +21,54 @@
       constant-size heap.  The two paths agree to ~1e-9 relative (they sum
       in different orders) and never alias in the cache.
 
-    Two optimisations are on by default and individually defeasible:
+    Engine selection is one typed surface, the [engine] field:
 
-    - [fast_path]: runs of the shared policy values of {!Rr_policies}
-      dispatch to closed-form engines — Round Robin to the equal-share
-      cascade {!Rr_engine.Simulator.run_equal_share}, SRPT/SJF/FCFS to
-      the priority-index kernel {!Rr_engine.Index_engine.run}, SETF to
-      the group cascade {!Rr_engine.Index_engine.run_setf} — each
-      agreeing with the general engine to <= 1e-9 relative flow time but
-      several times faster in heavy traffic ({!engine_for} is the
-      classifier, {!engine_name} the audit string).  Set
-      [fast_path:false] to force the general event loop for every policy
-      (e.g. to reproduce bit-exact historical numbers).
-    - [cache]: {!measure} and {!measure_stream} (and everything built on
-      them — {!norm}, {!batch}, {!Ratio.vs_baseline}, sweeps) consult the
-      process-wide {!Cache}, so re-measuring the same (policy, config,
-      instance) triple costs a hash lookup.  Set [cache:false] for
-      benchmarking or for custom policies whose [name] does not determine
-      their behaviour. *)
+    - [`Auto] (the default): runs of the shared policy values of
+      {!Rr_policies} dispatch to closed-form engines — Round Robin to the
+      equal-share cascade {!Rr_engine.Simulator.run_equal_share},
+      SRPT/SJF/FCFS to the priority-index kernel
+      {!Rr_engine.Index_engine.run}, SETF to the group cascade
+      {!Rr_engine.Index_engine.run_setf} — each agreeing with the general
+      engine to <= 1e-9 relative flow time but several times faster in
+      heavy traffic ({!selection_for} is the classifier, {!engine_name}
+      the audit string).  Every other policy takes the general loop.
+    - [`General]: force the per-event policy loop for every policy (e.g.
+      to reproduce bit-exact historical numbers).
+    - [`Indexed] / [`Equal_share]: insist on the matching closed-form
+      kernel; selection raises [Invalid_argument] for a policy the kernel
+      cannot run instead of silently falling back.
+    - [`Live]: route the fast-pathable policies through the incremental
+      {!Rr_engine.Live} core (submit-while-running; here fed from the
+      materialized instance or stream), exercising the exact engine a
+      long-running [rr_cli serve] daemon uses.
+
+    The remaining optimisation switch, [cache], stays a boolean:
+    {!measure} and {!measure_stream} (and everything built on them —
+    {!norm}, {!batch}, {!Ratio.vs_baseline}, sweeps) consult the
+    process-wide {!Cache}, so re-measuring the same (policy, config,
+    instance) triple costs a hash lookup.  Set [cache:false] for
+    benchmarking or for custom policies whose [name] does not determine
+    their behaviour. *)
+
+type engine = [ `Auto | `General | `Indexed | `Equal_share | `Live ]
+(** Engine-selection surface; see the module preamble for what each
+    variant selects.  Distinct engines never alias in the {!Cache} — the
+    selection is part of every key via {!engine_name}. *)
 
 type config = {
   machines : int;  (** Identical machines; default 1. *)
   speed : float;  (** Resource-augmentation speed; default 1. *)
   k : int;  (** Norm index of the lk objective; default 2. *)
-  record_trace : bool;  (** Keep the full segment trace; default false. *)
-  fast_path : bool;
-      (** Use the closed-form engines for the policies that have one
-          (RR, SRPT, SJF, FCFS, SETF); default true. *)
+  record_trace : bool;
+      (** Keep the full segment trace; default false.  Ignored by
+          [`Live] (the incremental core keeps no trace). *)
+  engine : engine;  (** Engine selection; default [`Auto]. *)
   cache : bool;  (** Memoise {!measure} results in {!Cache}; default true. *)
 }
 
 val default : config
 (** [{ machines = 1; speed = 1.; k = 2; record_trace = false;
-      fast_path = true; cache = true }]. *)
+      engine = `Auto; cache = true }]. *)
 
 val config :
   ?machines:int ->
@@ -61,36 +76,61 @@ val config :
   ?k:int ->
   ?record_trace:bool ->
   ?fast_path:bool ->
+  ?engine:engine ->
   ?cache:bool ->
   unit ->
   config
+(** {!default} with the given fields overridden.
 
-(** {!default} with the given fields overridden. *)
+    [?fast_path] is the {e deprecated} pre-variant spelling kept for
+    source compatibility: [~fast_path:false] means [~engine:`General],
+    [~fast_path:true] means [~engine:`Auto].  An explicit [?engine]
+    always wins.  New code should pass [?engine]. *)
 
-type engine =
+val engine_of_string : string -> engine option
+(** Parse a CLI spelling: ["auto"], ["general"], ["indexed"],
+    ["equal-share"], ["live"] (case-insensitive). *)
+
+val engine_to_string : engine -> string
+
+val engine_strings : string list
+(** The accepted {!engine_of_string} spellings, for help text. *)
+
+type selection =
   | General  (** The per-event policy-invoking loop of {!Rr_engine.Simulator.run}. *)
   | Equal_share  (** {!Rr_engine.Simulator.run_equal_share} (Round Robin). *)
   | Index of Rr_engine.Index_engine.kind
       (** The priority-index kernel (SRPT / SJF / FCFS). *)
   | Setf_cascade  (** {!Rr_engine.Index_engine.run_setf}. *)
+  | Live of Rr_engine.Live.spec  (** The incremental {!Rr_engine.Live} core. *)
 
-val engine_for : config -> Rr_engine.Policy.t -> engine
-(** Which engine {!simulate} / {!simulate_stream} will dispatch this
-    (config, policy) pair to.  A closed-form engine is chosen only when
-    [cfg.fast_path] is set {e and} the policy is physically the shared
-    value it replaces ({!Rr_policies.Round_robin.policy} etc., which
+val selection_for : config -> Rr_engine.Policy.t -> selection
+(** Which concrete engine {!simulate} / {!simulate_stream} will dispatch
+    this (config, policy) pair to.  Under [`Auto] a closed-form engine is
+    chosen only when the policy is physically the shared value it
+    replaces ({!Rr_policies.Round_robin.policy} etc., which
     [Registry.make] returns) — a custom policy that merely shares the
-    name falls back to [General]. *)
+    name falls back to [General].  Under [`Indexed], [`Equal_share] and
+    [`Live] the same physical-equality classification applies, but a
+    policy outside the requested kernel's reach
+    @raise Invalid_argument instead of silently falling back. *)
 
 val engine_name : config -> Rr_engine.Policy.t -> string
-(** {!engine_for} as the audit string recorded in cache keys and printed
-    by the CLI: ["general"], ["equal-share"], ["srpt-index"],
-    ["sjf-index"], ["fcfs-index"] or ["setf-cascade"]. *)
+(** {!selection_for} as the audit string recorded in cache keys and
+    printed by the CLI: ["general"], ["equal-share"], ["srpt-index"],
+    ["sjf-index"], ["fcfs-index"], ["setf-cascade"], or the same with a
+    ["live-"] prefix under [`Live]. *)
+
+val default_max_events : int
+(** The event budget every engine runs under (10 million; streams scale
+    it with the job count) — the livelock guard behind exit code 3. *)
 
 val simulate : config -> Rr_engine.Policy.t -> Rr_workload.Instance.t -> Rr_engine.Simulator.result
 (** Run a policy on an instance under [config].  Never cached (the cache
-    stores measurements, not traces); dispatches to the closed-form
-    engine {!engine_for} selects. *)
+    stores measurements, not traces); dispatches to the engine
+    {!selection_for} selects.  Under [`Live] the instance is fed to the
+    incremental core job by job (submit, advance to its arrival) and the
+    result carries an empty trace. *)
 
 val simulate_stream :
   config ->
@@ -148,7 +188,7 @@ val estimated_cost_us : config -> Rr_engine.Policy.t -> jobs:int -> float
 (** Order-of-magnitude cost estimate for one simulate-and-measure task,
     in microseconds — the default [?cost] model behind [`Auto] chunking
     in {!batch} and friends.  Carries one per-job coefficient per engine
-    class ({!engine_for}): the closed-form cascades are sub-microsecond
+    class ({!selection_for}): the closed-form cascades are sub-microsecond
     per job, the general event loop a few microseconds; only the ratios
     matter for chunk sizing. *)
 

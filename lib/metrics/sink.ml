@@ -122,107 +122,13 @@ module Merge = struct
     if ps = 0. then 0. else ps ** (1. /. Float.of_int k)
 end
 
-(* Jain & Chlamtac's P² algorithm (CACM 1985): five markers track the
-   minimum, the p/2, p and (1+p)/2 quantiles, and the maximum; marker
-   heights move by piecewise-parabolic interpolation as observations
-   stream past.  O(1) memory and O(1) per observation, no buffering —
-   exactly what the fairness tables need at n = 10^7, where sorting a flow
-   vector is no longer an option.  Estimates converge to the true quantile
-   for i.i.d. inputs; for the first four observations the estimate is
-   exact (order statistics of the buffered sample). *)
+(* Jain & Chlamtac's P² algorithm: the sketch itself lives in
+   {!Rr_util.P2} as a marshalable record (the live engine snapshots it);
+   this sink is a thin closure over one, raising the historical error
+   message for an out-of-range [p].  Arithmetic is unchanged — the P2
+   module is the former inline implementation moved verbatim. *)
 
 let quantile ~p () =
   if not (p > 0. && p < 1.) then invalid_arg "Sink.quantile: p must be in (0, 1)";
-  let q = Array.make 5 0. in
-  (* marker heights *)
-  let np = Array.make 5 0. in
-  (* desired positions *)
-  let pos = [| 1.; 2.; 3.; 4.; 5. |] in
-  (* actual positions (1-based) *)
-  let dnp = [| 0.; p /. 2.; p; (1. +. p) /. 2.; 1. |] in
-  let count = ref 0 in
-  let parabolic i d =
-    q.(i)
-    +. d
-       /. (pos.(i + 1) -. pos.(i - 1))
-       *. (((pos.(i) -. pos.(i - 1) +. d) *. (q.(i + 1) -. q.(i)) /. (pos.(i + 1) -. pos.(i)))
-          +. ((pos.(i + 1) -. pos.(i) -. d) *. (q.(i) -. q.(i - 1)) /. (pos.(i) -. pos.(i - 1)))
-          )
-  in
-  let linear i d =
-    let j = i + int_of_float d in
-    q.(i) +. (d *. (q.(j) -. q.(i)) /. (pos.(j) -. pos.(i)))
-  in
-  let push x =
-    incr count;
-    if !count <= 5 then begin
-      q.(!count - 1) <- x;
-      if !count = 5 then begin
-        Array.sort Float.compare q;
-        for i = 0 to 4 do
-          np.(i) <- 1. +. (4. *. dnp.(i))
-        done
-      end
-    end
-    else begin
-      (* Locate the cell and bump the extreme markers. *)
-      let k =
-        if x < q.(0) then begin
-          q.(0) <- x;
-          0
-        end
-        else if x >= q.(4) then begin
-          q.(4) <- Float.max q.(4) x;
-          3
-        end
-        else begin
-          let k = ref 0 in
-          for i = 1 to 3 do
-            if x >= q.(i) then k := i
-          done;
-          !k
-        end
-      in
-      for i = k + 1 to 4 do
-        pos.(i) <- pos.(i) +. 1.
-      done;
-      for i = 0 to 4 do
-        np.(i) <- np.(i) +. dnp.(i)
-      done;
-      (* Adjust the three interior markers towards their desired spots. *)
-      for i = 1 to 3 do
-        let d = np.(i) -. pos.(i) in
-        if
-          (d >= 1. && pos.(i + 1) -. pos.(i) > 1.)
-          || (d <= -1. && pos.(i - 1) -. pos.(i) < -1.)
-        then begin
-          let d = if d >= 0. then 1. else -1. in
-          let candidate = parabolic i d in
-          let h =
-            if q.(i - 1) < candidate && candidate < q.(i + 1) then candidate else linear i d
-          in
-          q.(i) <- h;
-          pos.(i) <- pos.(i) +. d
-        end
-      done
-    end
-  in
-  let value () =
-    let n = !count in
-    if n = 0 then 0.
-    else if n <= 5 then begin
-      (* Exact small-sample quantile, interpolated like Stats.percentile. *)
-      let sorted = Array.sub q 0 n in
-      Array.sort Float.compare sorted;
-      let rank = p *. Float.of_int (n - 1) in
-      let lo = int_of_float (Float.floor rank) in
-      let hi = int_of_float (Float.ceil rank) in
-      if lo = hi then sorted.(lo)
-      else begin
-        let frac = rank -. Float.of_int lo in
-        ((1. -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
-      end
-    end
-    else q.(2)
-  in
-  { push; value }
+  let sketch = Rr_util.P2.create ~p () in
+  { push = Rr_util.P2.add sketch; value = (fun () -> Rr_util.P2.value sketch) }

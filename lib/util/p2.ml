@@ -1,0 +1,108 @@
+type t = {
+  q : float array;  (* marker heights *)
+  np : float array;  (* desired positions *)
+  pos : float array;  (* actual positions (1-based) *)
+  dnp : float array;  (* desired-position increments *)
+  p : float;
+  mutable count : int;
+}
+
+let create ~p () =
+  if not (p > 0. && p < 1.) then invalid_arg "P2.create: p must be in (0, 1)";
+  {
+    q = Array.make 5 0.;
+    np = Array.make 5 0.;
+    pos = [| 1.; 2.; 3.; 4.; 5. |];
+    dnp = [| 0.; p /. 2.; p; (1. +. p) /. 2.; 1. |];
+    p;
+    count = 0;
+  }
+
+let parabolic t i d =
+  let q = t.q and pos = t.pos in
+  q.(i)
+  +. d
+     /. (pos.(i + 1) -. pos.(i - 1))
+     *. (((pos.(i) -. pos.(i - 1) +. d) *. (q.(i + 1) -. q.(i)) /. (pos.(i + 1) -. pos.(i)))
+        +. ((pos.(i + 1) -. pos.(i) -. d) *. (q.(i) -. q.(i - 1)) /. (pos.(i) -. pos.(i - 1)))
+        )
+
+let linear t i d =
+  let q = t.q and pos = t.pos in
+  let j = i + int_of_float d in
+  q.(i) +. (d *. (q.(j) -. q.(i)) /. (pos.(j) -. pos.(i)))
+
+let add t x =
+  let q = t.q and np = t.np and pos = t.pos and dnp = t.dnp in
+  t.count <- t.count + 1;
+  if t.count <= 5 then begin
+    q.(t.count - 1) <- x;
+    if t.count = 5 then begin
+      Array.sort Float.compare q;
+      for i = 0 to 4 do
+        np.(i) <- 1. +. (4. *. dnp.(i))
+      done
+    end
+  end
+  else begin
+    (* Locate the cell and bump the extreme markers. *)
+    let k =
+      if x < q.(0) then begin
+        q.(0) <- x;
+        0
+      end
+      else if x >= q.(4) then begin
+        q.(4) <- Float.max q.(4) x;
+        3
+      end
+      else begin
+        let k = ref 0 in
+        for i = 1 to 3 do
+          if x >= q.(i) then k := i
+        done;
+        !k
+      end
+    in
+    for i = k + 1 to 4 do
+      pos.(i) <- pos.(i) +. 1.
+    done;
+    for i = 0 to 4 do
+      np.(i) <- np.(i) +. dnp.(i)
+    done;
+    (* Adjust the three interior markers towards their desired spots. *)
+    for i = 1 to 3 do
+      let d = np.(i) -. pos.(i) in
+      if
+        (d >= 1. && pos.(i + 1) -. pos.(i) > 1.)
+        || (d <= -1. && pos.(i - 1) -. pos.(i) < -1.)
+      then begin
+        let d = if d >= 0. then 1. else -1. in
+        let candidate = parabolic t i d in
+        let h =
+          if q.(i - 1) < candidate && candidate < q.(i + 1) then candidate else linear t i d
+        in
+        q.(i) <- h;
+        pos.(i) <- pos.(i) +. d
+      end
+    done
+  end
+
+let count t = t.count
+
+let value t =
+  let n = t.count in
+  if n = 0 then 0.
+  else if n <= 5 then begin
+    (* Exact small-sample quantile, interpolated like Stats.percentile. *)
+    let sorted = Array.sub t.q 0 n in
+    Array.sort Float.compare sorted;
+    let rank = t.p *. Float.of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then sorted.(lo)
+    else begin
+      let frac = rank -. Float.of_int lo in
+      ((1. -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
+    end
+  end
+  else t.q.(2)

@@ -1,0 +1,29 @@
+(** Jain & Chlamtac's P² streaming quantile sketch (CACM 1985).
+
+    Five markers track the minimum, the [p/2], [p] and [(1+p)/2]
+    quantiles, and the maximum; marker heights move by piecewise-parabolic
+    interpolation as observations stream past.  O(1) memory and O(1) per
+    observation, no buffering.  Estimates converge to the true quantile
+    for i.i.d. inputs; for the first five observations the estimate is the
+    exact interpolated order statistic of the buffered sample.
+
+    The state is a plain record of arrays and scalars — no closures — so
+    it survives [Marshal]; {!Rr_metrics.Sink.quantile} wraps it in a
+    closure-based sink, and {!Rr_engine.Live} keeps it directly in its
+    snapshottable state.  The arithmetic here is the historical
+    [Sink.quantile] implementation moved verbatim, so sketch estimates are
+    bit-identical across the two entry points. *)
+
+type t
+
+val create : p:float -> unit -> t
+(** @raise Invalid_argument unless [0 < p < 1]. *)
+
+val add : t -> float -> unit
+(** Feed one observation. *)
+
+val count : t -> int
+(** Observations fed so far. *)
+
+val value : t -> float
+(** Current estimate of the [p]-quantile; [0.] before any observation. *)

@@ -13,15 +13,7 @@ open Temporal_fairness
 
 let key ?(policy = "test-policy") ?(machines = 1) ?(speed = 1.) ?(k = 2) ?(engine = "general")
     ?(streamed = false) digest =
-  {
-    Cache.policy;
-    machines;
-    speed;
-    k;
-    engine;
-    streamed;
-    digest = Int64.of_int digest;
-  }
+  Cache.key ~policy ~machines ~speed ~k ~engine ~streamed ~digest:(Int64.of_int digest)
 
 let entry v =
   { Cache.n = 1; norm = v; power_sum = v; mean_flow = v; max_flow = v; events = 0 }

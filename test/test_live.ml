@@ -1,0 +1,281 @@
+(* Tests for the incremental live engine (Rr_engine.Live) and the
+   engine-selection surface that exposes it (Run.engine / selection_for).
+
+   The load-bearing properties:
+
+   - differential: a submit-everything-upfront live run reproduces
+     Run.simulate's flows to <= 1e-9 relative for every spec and machine
+     count (on such feeds the event sequences are identical, so in
+     practice the agreement is bit-exact);
+   - interleaved: submitting while advancing — including horizons that
+     split inter-event intervals — changes nothing beyond rounding;
+   - snapshot/restore: a restored engine continues bit-identically;
+   - selection: [`Live] names, dispatches and caches distinctly from the
+     closed engines, and impossible engine/policy pairings fail loudly. *)
+
+open Temporal_fairness
+module Live = Rr_engine.Live
+module Instance = Rr_workload.Instance
+
+let flow_rtol = 1e-9
+
+let rel_diff a b = Float.abs (a -. b) /. Float.max 1e-12 (Float.max (Float.abs a) (Float.abs b))
+
+(* Every live spec with the shared policy value it mirrors. *)
+let live_specs =
+  [
+    (Live.Equal_share, Rr_policies.Round_robin.policy);
+    (Live.Indexed Rr_engine.Index_engine.Srpt, Rr_policies.Srpt.policy);
+    (Live.Indexed Rr_engine.Index_engine.Sjf, Rr_policies.Sjf.policy);
+    (Live.Indexed Rr_engine.Index_engine.Fcfs, Rr_policies.Fcfs.policy);
+    (Live.Setf_cascade, Rr_policies.Setf.policy);
+  ]
+
+let poisson_instance ~seed ~machines ~n =
+  let rng = Rr_util.Prng.create ~seed in
+  Instance.generate_load ~rng
+    ~sizes:(Rr_workload.Distribution.Exponential { mean = 1. })
+    ~load:0.9 ~machines ~n ()
+
+(* Feed an instance's jobs (already arrival-sorted with dense ids) into a
+   live engine, collecting per-job flows through the sink. *)
+let live_flows ?(interleave = fun _ _ -> ()) ~machines ~speed ~k spec inst =
+  let n = Instance.n inst in
+  let flows = Array.make n nan in
+  let sink ~id ~arrival:_ ~flow = flows.(id) <- flow in
+  let live = Live.create ~machines ~speed ~k ~sink spec in
+  List.iter
+    (fun (j : Rr_engine.Job.t) ->
+      interleave live j;
+      let id = Live.submit live ~arrival:j.arrival ~size:j.size in
+      Alcotest.(check int) "dense ids follow instance ids" j.id id)
+    (Instance.jobs inst);
+  Live.drain live;
+  (flows, Live.query live)
+
+(* ------------------------------------------------------------------ *)
+(* Differential: upfront live feed vs Run.simulate, all specs x m      *)
+(* ------------------------------------------------------------------ *)
+
+let test_upfront_matches_run () =
+  List.iter
+    (fun (spec, policy) ->
+      List.iter
+        (fun machines ->
+          let inst = poisson_instance ~seed:(41 + machines) ~machines ~n:300 in
+          let speed = 1.3 and k = 2 in
+          let reference =
+            Run.flows (Run.config ~machines ~speed ~k ~cache:false ()) policy inst
+          in
+          let flows, stats = live_flows ~machines ~speed ~k spec inst in
+          Array.iteri
+            (fun id f ->
+              if rel_diff f reference.(id) > flow_rtol then
+                Alcotest.failf "%s m=%d job %d: live %.17g vs run %.17g" (Live.spec_name spec)
+                  machines id f reference.(id))
+            flows;
+          Alcotest.(check int)
+            (Live.spec_name spec ^ " completes everything")
+            (Instance.n inst) stats.Live.completed;
+          (* The live norm folds the same completions the reference sums. *)
+          let ref_norm = Rr_metrics.Norms.lk ~k reference in
+          Alcotest.(check bool)
+            (Live.spec_name spec ^ " live norm agrees")
+            true
+            (rel_diff stats.Live.norm ref_norm <= flow_rtol))
+        [ 1; 2; 8 ])
+    live_specs
+
+(* ------------------------------------------------------------------ *)
+(* Interleaved submit/advance property                                 *)
+(* ------------------------------------------------------------------ *)
+
+let interleave_gen =
+  QCheck2.Gen.(
+    let pairs = list_size (int_range 1 60) (pair (float_range 0. 30.) (float_range 0.05 5.)) in
+    let machines = oneofl [ 1; 2; 8 ] in
+    let speed = oneofl [ 1.; 1.3 ] in
+    (* One fraction per job decides how far into the gap before its
+       arrival the clock is pushed first — 0 leaves the closed event
+       sequence intact, anything else splits inter-event intervals. *)
+    let fracs = list_size (int_range 1 60) (float_range 0. 1.) in
+    quad pairs machines speed fracs)
+
+let prop_interleaved_matches_run spec policy =
+  QCheck2.Test.make
+    ~name:(Printf.sprintf "interleaved live %s matches Run.simulate" (Live.spec_name spec))
+    ~count:100 interleave_gen
+    (fun (pairs, machines, speed, fracs) ->
+      let inst = Instance.of_jobs pairs in
+      let fracs = Array.of_list fracs in
+      let frac i = fracs.(i mod Array.length fracs) in
+      let reference =
+        Run.flows (Run.config ~machines ~speed ~cache:false ~engine:`General ()) policy inst
+      in
+      let interleave live (j : Rr_engine.Job.t) =
+        let now = Live.now live in
+        Live.advance live (now +. (frac j.id *. (j.arrival -. now)))
+      in
+      let flows, _ = live_flows ~interleave ~machines ~speed ~k:2 spec inst in
+      Array.for_all2 (fun a b -> rel_diff a b <= flow_rtol) flows reference)
+
+let interleaved_props =
+  List.map (fun (spec, policy) -> prop_interleaved_matches_run spec policy) live_specs
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot / restore round-trip                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_snapshot_roundtrip () =
+  List.iter
+    (fun (spec, _) ->
+      let inst = poisson_instance ~seed:7 ~machines:2 ~n:200 in
+      let jobs = Instance.jobs inst in
+      let live = Live.create ~machines:2 ~speed:1. ~k:2 spec in
+      List.iter (fun (j : Rr_engine.Job.t) ->
+          ignore (Live.submit live ~arrival:j.arrival ~size:j.size))
+        jobs;
+      (* Advance halfway through the arrival span, snapshot mid-flight
+         (jobs alive and pending), then finish both copies. *)
+      let horizon = (List.nth jobs (List.length jobs / 2)).Rr_engine.Job.arrival in
+      Live.advance live horizon;
+      let bytes = Live.to_bytes live in
+      let restored = Live.of_bytes bytes in
+      Live.drain live;
+      Live.drain restored;
+      let a = Live.query live and b = Live.query restored in
+      (* Continuation from identical state is deterministic: bit-equal. *)
+      Alcotest.(check int) (Live.spec_name spec ^ " completed") a.Live.completed b.Live.completed;
+      Alcotest.(check int) (Live.spec_name spec ^ " events") a.Live.events b.Live.events;
+      Alcotest.(check (float 0.)) (Live.spec_name spec ^ " norm") a.Live.norm b.Live.norm;
+      Alcotest.(check (float 0.))
+        (Live.spec_name spec ^ " power_sum")
+        a.Live.power_sum b.Live.power_sum;
+      Alcotest.(check (float 0.))
+        (Live.spec_name spec ^ " makespan")
+        a.Live.makespan b.Live.makespan;
+      Alcotest.(check (float 0.)) (Live.spec_name spec ^ " p99") a.Live.p99 b.Live.p99)
+    live_specs
+
+let test_snapshot_file_roundtrip () =
+  let live = Live.create Live.Equal_share in
+  ignore (Live.submit live ~arrival:0. ~size:2.);
+  ignore (Live.submit live ~arrival:0.5 ~size:1.);
+  Live.advance live 1.;
+  let path = Filename.temp_file "rr_live" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Live.save live path;
+      let restored = Live.load path in
+      Live.drain live;
+      Live.drain restored;
+      Alcotest.(check (float 0.))
+        "file round-trip norm" (Live.query live).Live.norm (Live.query restored).Live.norm);
+  (* Garbage is rejected by the magic header, not by a Marshal crash. *)
+  Alcotest.check_raises "of_bytes rejects garbage"
+    (Failure "Live.of_bytes: not a live-engine snapshot") (fun () ->
+      ignore (Live.of_bytes (Bytes.of_string "definitely not a snapshot")))
+
+(* ------------------------------------------------------------------ *)
+(* Submit validation and resumability                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_submit_validation () =
+  let live = Live.create Live.Equal_share in
+  ignore (Live.submit live ~arrival:2. ~size:1.);
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  expect_invalid "decreasing arrival" (fun () -> Live.submit live ~arrival:1. ~size:1.);
+  expect_invalid "nan arrival" (fun () -> Live.submit live ~arrival:Float.nan ~size:1.);
+  expect_invalid "non-positive size" (fun () -> Live.submit live ~arrival:3. ~size:0.);
+  expect_invalid "nan horizon" (fun () -> Live.advance live Float.nan);
+  Live.drain live;
+  (* The clock parks at the last completion, so the engine accepts more
+     work afterwards — drain is a checkpoint, not an end state. *)
+  ignore (Live.submit live ~arrival:(Live.now live +. 1.) ~size:0.5);
+  Live.drain live;
+  Alcotest.(check int) "resumed after drain" 2 (Live.query live).Live.completed;
+  expect_invalid "arrival in the simulated past" (fun () ->
+      Live.submit live ~arrival:0. ~size:1.)
+
+(* ------------------------------------------------------------------ *)
+(* Engine selection surface                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_selection_surface () =
+  let rr = Rr_policies.Round_robin.policy and srpt = Rr_policies.Srpt.policy in
+  let sel engine policy = Run.selection_for (Run.config ~engine ()) policy in
+  Alcotest.(check bool) "auto picks equal-share for rr" true (sel `Auto rr = Run.Equal_share);
+  Alcotest.(check bool) "live rr" true (sel `Live rr = Run.Live Live.Equal_share);
+  Alcotest.(check bool) "live srpt" true
+    (sel `Live srpt = Run.Live (Live.Indexed Rr_engine.Index_engine.Srpt));
+  Alcotest.(check string) "live engine name" "live-equal-share"
+    (Run.engine_name (Run.config ~engine:`Live ()) rr);
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  expect_invalid "equal-share refuses srpt" (fun () -> sel `Equal_share srpt);
+  expect_invalid "indexed refuses rr" (fun () -> sel `Indexed rr);
+  let laps = Rr_policies.Registry.make (Rr_policies.Registry.Laps 0.25) in
+  expect_invalid "live refuses general-only policies" (fun () -> sel `Live laps)
+
+let test_live_measure_agrees_and_never_aliases () =
+  Cache.clear ();
+  let srpt = Rr_policies.Srpt.policy in
+  let inst = poisson_instance ~seed:3 ~machines:1 ~n:150 in
+  let auto = Run.measure (Run.config ()) srpt inst in
+  let live = Run.measure (Run.config ~engine:`Live ()) srpt inst in
+  let s = Cache.stats () in
+  Alcotest.(check int) "distinct cache keys" 2 s.misses;
+  Alcotest.(check bool) "norm agrees" true (rel_diff auto.Run.norm live.Run.norm <= flow_rtol);
+  Alcotest.(check bool) "mean agrees" true
+    (rel_diff auto.Run.mean_flow live.Run.mean_flow <= flow_rtol);
+  Alcotest.(check bool) "max agrees" true
+    (rel_diff auto.Run.max_flow live.Run.max_flow <= flow_rtol)
+
+let test_live_measure_stream_agrees () =
+  let stream =
+    Instance.Stream.generate_load ~seed:5
+      ~sizes:(Rr_workload.Distribution.Exponential { mean = 1. })
+      ~load:0.9 ~machines:2 ~n:2_000 ()
+  in
+  let rr = Rr_policies.Round_robin.policy in
+  let auto = Run.measure_stream (Run.config ~machines:2 ~cache:false ()) rr stream in
+  let live = Run.measure_stream (Run.config ~machines:2 ~cache:false ~engine:`Live ()) rr stream in
+  Alcotest.(check int) "same n" auto.Run.n live.Run.n;
+  Alcotest.(check bool) "stream norm agrees" true
+    (rel_diff auto.Run.norm live.Run.norm <= flow_rtol)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest interleaved_props
+
+let () =
+  Alcotest.run "rr_live"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "upfront feed matches Run (5 specs x m in {1,2,8})" `Quick
+            test_upfront_matches_run;
+        ] );
+      ("interleaved", qsuite);
+      ( "snapshot",
+        [
+          Alcotest.test_case "mid-flight bytes round-trip" `Quick test_snapshot_roundtrip;
+          Alcotest.test_case "file round-trip + garbage rejection" `Quick
+            test_snapshot_file_roundtrip;
+        ] );
+      ( "lifecycle",
+        [ Alcotest.test_case "submit validation and resume after drain" `Quick test_submit_validation ] );
+      ( "selection",
+        [
+          Alcotest.test_case "selection_for surface" `Quick test_selection_surface;
+          Alcotest.test_case "live measure agrees, never aliases" `Quick
+            test_live_measure_agrees_and_never_aliases;
+          Alcotest.test_case "live measure_stream agrees" `Quick test_live_measure_stream_agrees;
+        ] );
+    ]

@@ -342,11 +342,23 @@ let test_sweep_probe_memo () =
     (!calls <= iters + 1)
 
 let test_run_config_new_defaults () =
-  Alcotest.(check bool) "fast path on by default" true Run.default.Run.fast_path;
+  Alcotest.(check bool) "auto engine by default" true (Run.default.Run.engine = `Auto);
   Alcotest.(check bool) "cache on by default" true Run.default.Run.cache;
   let cfg = Run.config ~fast_path:false ~cache:false () in
-  Alcotest.(check bool) "fast path off" false cfg.Run.fast_path;
-  Alcotest.(check bool) "cache off" false cfg.Run.cache
+  Alcotest.(check bool) "deprecated fast_path:false maps to general" true
+    (cfg.Run.engine = `General);
+  Alcotest.(check bool) "explicit engine wins over fast_path" true
+    ((Run.config ~fast_path:false ~engine:`Live ()).Run.engine = `Live);
+  Alcotest.(check bool) "cache off" false cfg.Run.cache;
+  (* The string round-trip backing the CLI's --engine option. *)
+  List.iter
+    (fun s ->
+      match Run.engine_of_string s with
+      | Some e -> Alcotest.(check string) ("engine round-trip " ^ s) s (Run.engine_to_string e)
+      | None -> Alcotest.fail ("engine_of_string rejected " ^ s))
+    Run.engine_strings;
+  Alcotest.(check bool) "unknown engine string rejected" true
+    (Run.engine_of_string "bogus" = None)
 
 let test_cache_engine_keys () =
   (* Fast and general runs of the same policy must land under distinct
