@@ -13,11 +13,15 @@
    one cold end-to-end Ratio.vs_baseline, and the B6 live-engine
    benchmark driving every incremental core (Engine.Live) through the
    submit-one/advance feed rr_cli serve uses, gating sequential
-   throughput (>= 1M events/s at full scale) and <= 1e-9 agreement.
+   throughput (>= 1M events/s at full scale) and <= 1e-9 agreement, and
+   the B7 certified-bound benchmark gating the sparse LP network against
+   the frozen dense lp-bound-n40 baseline (>= 25x, equal value), warm
+   resolves against cold solves (<= 1e-9), and the wall-clock of a
+   certified ratio curve up to n = 2000.
 
    Machine-readable results land in BENCH_simcore.json, BENCH_pool.json,
-   BENCH_stream.json, BENCH_fastpaths.json and BENCH_live.json next to
-   the text report.  The process exits non-zero when B3's differential
+   BENCH_stream.json, BENCH_fastpaths.json, BENCH_live.json and
+   BENCH_bound.json next to the text report.  The process exits non-zero when B3's differential
    check — the two engines must agree on every flow time — fails, when a
    B2 parallel batch is not bit-identical to the sequential one or
    misses its speedup gate (>= 1.2x at 2 domains, >= 1.8x at 4; each
@@ -1063,6 +1067,258 @@ let write_json b1 (b3 : b3_report) =
   close_out oc;
   Printf.printf "(wrote %s)\n%!" json_file
 
+(* ------------------------------------------------------------------ *)
+(* B7: certified lower bound at scale (BENCH_bound.json)               *)
+(* ------------------------------------------------------------------ *)
+
+type b7_point = {
+  bp_n : int;
+  bp_seconds : float;
+  bp_ratio : float;
+  bp_lp_solved : bool;
+  bp_lo : float;
+  bp_hi : float;
+  bp_delta : float;
+  bp_solves : int;
+}
+
+type b7_report = {
+  b7_dense_ns : float;
+  b7_sparse_ns : float;
+  b7_rel_diff : float;
+  b7_speedup_vs_baseline : float;
+  b7_warm_max_rel : float;
+  b7_warm_cases : int;
+  b7_cheap_ns : float;
+  b7_points : b7_point list;
+  b7_failures : string list;
+}
+
+(* lp-bound-n40 as B1 measured it before arc sparsification (seed-43
+   instance, delta 0.5, dense network): frozen so the speedup gate keeps
+   its meaning as both paths get faster. *)
+let b7_baseline_ms = 45.6
+let b7_speedup_floor = 25.
+let b7_n40_rtol = 1e-6
+
+(* Wall-clock ceiling for the n=2000 certified point (doubled under
+   --quick for slow CI runners): "a certified ratio curve at production
+   scale costs seconds per point, not minutes". *)
+let b7_curve_ceiling_s = 15.
+let b7_curve_tol = 0.1
+let b7_warm_rtol = 1e-9
+
+(* Random transportation network in the LP's shape — per-job arc costs
+   non-decreasing in slot index — split into an initial slot range plus a
+   widening tail, to differential-test solve -> add_edge -> resolve
+   against a cold solve of the full network.  Monotone costs are the
+   regime the warm path is specified for: a later slot is never cheaper,
+   so the perturbation cannot create a negative residual cycle. *)
+let b7_warm_case rng =
+  let ns = 2 + Prng.int rng ~bound:4 in
+  let nd = ns + 2 + Prng.int rng ~bound:6 in
+  let split = nd - 1 - Prng.int rng ~bound:(nd / 2) in
+  let supplies = Array.init ns (fun _ -> Prng.float_range rng ~lo:0.5 ~hi:5.) in
+  let caps = Array.init nd (fun _ -> Prng.float_range rng ~lo:1. ~hi:4.) in
+  let costs =
+    Array.init ns (fun _ ->
+        let c = ref 0. in
+        Array.init nd (fun _ ->
+            c := !c +. Prng.float_range rng ~lo:0. ~hi:3.;
+            !c))
+  in
+  let build_net () = Rr_flow.Mcmf.create ~n_nodes:(ns + nd + 2) in
+  let source = 0 and sink = ns + nd + 1 in
+  let add_supplies net =
+    Array.iteri
+      (fun i s ->
+        ignore (Rr_flow.Mcmf.add_edge net ~src:source ~dst:(1 + i) ~capacity:s ~cost:0.))
+      supplies
+  in
+  let add_slots net lo hi =
+    for j = lo to hi - 1 do
+      ignore
+        (Rr_flow.Mcmf.add_edge net ~src:(1 + ns + j) ~dst:sink ~capacity:caps.(j) ~cost:0.);
+      for i = 0 to ns - 1 do
+        ignore
+          (Rr_flow.Mcmf.add_edge net ~src:(1 + i) ~dst:(1 + ns + j) ~capacity:10.
+             ~cost:costs.(i).(j))
+      done
+    done
+  in
+  let cold = build_net () in
+  add_supplies cold;
+  add_slots cold 0 nd;
+  let cold_out = Rr_flow.Mcmf.solve cold ~source ~sink in
+  let warm = build_net () in
+  add_supplies warm;
+  add_slots warm 0 split;
+  ignore (Rr_flow.Mcmf.solve warm ~source ~sink);
+  add_slots warm split nd;
+  let warm_out = Rr_flow.Mcmf.resolve warm ~source ~sink in
+  let rel a b = Float.abs (a -. b) /. Float.max 1. (Float.abs b) in
+  Float.max
+    (rel warm_out.Rr_flow.Mcmf.flow cold_out.Rr_flow.Mcmf.flow)
+    (rel warm_out.Rr_flow.Mcmf.cost cold_out.Rr_flow.Mcmf.cost)
+
+let run_bound_bench pool =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let gate_scale = if quick then 0.5 else 1.0 in
+  (* -- n40: sparse vs dense at the B1 operating point ---------------- *)
+  let dense () =
+    Rr_lp.Lp_bound.value ~windows:Rr_lp.Lp_bound.Dense ~k:2 ~machines:1 ~delta:0.5
+      small_instance
+  in
+  let sparse () =
+    Rr_lp.Lp_bound.value ~windows:Rr_lp.Lp_bound.Sparse ~k:2 ~machines:1 ~delta:0.5
+      small_instance
+  in
+  let vd = dense () and vs = sparse () in
+  let rel_diff = Float.abs (vs -. vd) /. Float.max 1e-12 (Float.abs vd) in
+  if rel_diff > b7_n40_rtol then
+    fail "lp-bound-n40 sparse value %.9g disagrees with dense %.9g (rel %.3e > %.0e)" vs vd
+      rel_diff b7_n40_rtol;
+  let reps = if quick then 10 else 30 in
+  let dense_ns = time_per_run reps (fun () -> ignore (dense ())) in
+  let sparse_ns = time_per_run reps (fun () -> ignore (sparse ())) in
+  let speedup = b7_baseline_ms *. 1e6 /. Float.max 1. sparse_ns in
+  let floor = b7_speedup_floor *. gate_scale in
+  if speedup < floor then
+    fail "lp-bound-n40 speedup %.1fx vs frozen %.1f ms baseline is below the %.1fx floor"
+      speedup b7_baseline_ms floor;
+  (* -- warm resolve vs cold solve differential ----------------------- *)
+  let warm_rng = Prng.create ~seed:77 in
+  let warm_cases = if quick then 20 else 60 in
+  let warm_max_rel = ref 0. in
+  for _ = 1 to warm_cases do
+    warm_max_rel := Float.max !warm_max_rel (b7_warm_case warm_rng)
+  done;
+  if !warm_max_rel > b7_warm_rtol then
+    fail "warm resolve diverges from cold solve: max rel diff %.3e > %.0e" !warm_max_rel
+      b7_warm_rtol;
+  (* -- certified ratio curve ----------------------------------------- *)
+  let curve_ns = if quick then [ 500; 2000 ] else [ 200; 500; 1000; 2000 ] in
+  let curve_inst n =
+    let rng = Prng.create ~seed:(40 + n) in
+    Rr_workload.Instance.generate_load ~rng
+      ~sizes:(Rr_workload.Distribution.Exponential { mean = 1. })
+      ~load:0.9 ~machines:1 ~n ()
+  in
+  let cfg = Run.config () in
+  let points =
+    List.map
+      (fun n ->
+        let inst = curve_inst n in
+        let t0 = Unix.gettimeofday () in
+        let c =
+          Ratio.vs_certified ~pool ~tol:b7_curve_tol cfg Rr_policies.Round_robin.policy inst
+        in
+        let seconds = Unix.gettimeofday () -. t0 in
+        let lo, hi, delta, solves =
+          match c.Ratio.interval with
+          | Some itv ->
+              Rr_lp.Lp_bound.(itv.lo, itv.hi, itv.delta, itv.solves)
+          | None -> (0., 0., 0., 0)
+        in
+        {
+          bp_n = n;
+          bp_seconds = seconds;
+          bp_ratio = c.Ratio.ratio;
+          bp_lp_solved = c.Ratio.lp_solved;
+          bp_lo = lo;
+          bp_hi = hi;
+          bp_delta = delta;
+          bp_solves = solves;
+        })
+      curve_ns
+  in
+  let ceiling = b7_curve_ceiling_s /. gate_scale in
+  List.iter
+    (fun p ->
+      if p.bp_n >= 2000 && p.bp_seconds > ceiling then
+        fail "certified ratio point at n=%d took %.1f s (> %.1f s ceiling)" p.bp_n
+          p.bp_seconds ceiling;
+      if p.bp_lp_solved && p.bp_lo > p.bp_hi *. (1. +. 1e-9) then
+        fail "certified interval inverted at n=%d: lo %.6g > hi %.6g" p.bp_n p.bp_lo p.bp_hi)
+    points;
+  (* -- cheap filter cost (context for the curve) --------------------- *)
+  let big = curve_inst 2000 in
+  let cheap_ns =
+    time_per_run reps (fun () ->
+        ignore (Rr_lp.Lp_bound.cheap_lower_bound ~k:2 ~machines:1 big))
+  in
+  let table =
+    Table.create ~title:"B7: certified lower bound at scale"
+      ~columns:[ "measure"; "value" ]
+  in
+  Table.add_row table
+    [ "lp-bound-n40 sparse"; Printf.sprintf "%.3f ms (dense %.3f ms)" (sparse_ns /. 1e6)
+        (dense_ns /. 1e6) ];
+  Table.add_row table
+    [ "speedup vs 45.6 ms baseline"; Printf.sprintf "%.1fx (floor %.1fx)" speedup floor ];
+  Table.add_row table
+    [ "warm vs cold max rel diff"; Printf.sprintf "%.2e (%d cases)" !warm_max_rel warm_cases ];
+  Table.add_row table
+    [ "cheap filter n=2000"; Printf.sprintf "%.3f ms" (cheap_ns /. 1e6) ];
+  List.iter
+    (fun p ->
+      Table.add_row table
+        [ Printf.sprintf "certified ratio n=%d" p.bp_n;
+          Printf.sprintf "%.3f in %.1f s [%.6g, %.6g] delta %.4g (%d solves)%s" p.bp_ratio
+            p.bp_seconds p.bp_lo p.bp_hi p.bp_delta p.bp_solves
+            (if p.bp_lp_solved then "" else " (cheap filter only)") ])
+    points;
+  Table.print table;
+  {
+    b7_dense_ns = dense_ns;
+    b7_sparse_ns = sparse_ns;
+    b7_rel_diff = rel_diff;
+    b7_speedup_vs_baseline = speedup;
+    b7_warm_max_rel = !warm_max_rel;
+    b7_warm_cases = warm_cases;
+    b7_cheap_ns = cheap_ns;
+    b7_points = points;
+    b7_failures = List.rev !failures;
+  }
+
+let bound_json_file = "BENCH_bound.json"
+
+let write_bound_json (b7 : b7_report) =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"schema\": \"bench_bound/v1\",\n";
+  add "  \"scale\": %S,\n" (if quick then "quick" else "full");
+  add
+    "  \"n40\": {\"dense_ns\": %.1f, \"sparse_ns\": %.1f, \"rel_diff\": %.3e, \"rtol\": \
+     %.0e, \"baseline_ms\": %.1f, \"speedup_vs_baseline\": %.2f, \"floor\": %.1f},\n"
+    b7.b7_dense_ns b7.b7_sparse_ns b7.b7_rel_diff b7_n40_rtol b7_baseline_ms
+    b7.b7_speedup_vs_baseline
+    (b7_speedup_floor *. if quick then 0.5 else 1.0);
+  add "  \"warm\": {\"max_rel_diff\": %.3e, \"rtol\": %.0e, \"cases\": %d},\n"
+    b7.b7_warm_max_rel b7_warm_rtol b7.b7_warm_cases;
+  add "  \"cheap\": {\"n\": 2000, \"ns_per_run\": %.1f},\n" b7.b7_cheap_ns;
+  add "  \"curve\": {\"tol\": %.3g, \"ceiling_s\": %.1f, \"points\": [\n" b7_curve_tol
+    (b7_curve_ceiling_s /. if quick then 0.5 else 1.0);
+  List.iteri
+    (fun i p ->
+      add
+        "    {\"n\": %d, \"seconds\": %.3f, \"ratio\": %.6f, \"lp_solved\": %b, \"lo\": \
+         %.6f, \"hi\": %.6f, \"delta\": %.6f, \"solves\": %d}%s\n"
+        p.bp_n p.bp_seconds p.bp_ratio p.bp_lp_solved p.bp_lo p.bp_hi p.bp_delta p.bp_solves
+        (if i = List.length b7.b7_points - 1 then "" else ","))
+    b7.b7_points;
+  add "  ]},\n";
+  add "  \"failures\": [%s],\n"
+    (String.concat ", " (List.map (Printf.sprintf "%S") b7.b7_failures));
+  add "  \"ok\": %b\n" (b7.b7_failures = []);
+  add "}\n";
+  let oc = open_out bound_json_file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "(wrote %s)\n%!" bound_json_file
+
 let () =
   (* B5 carries the strictest perf gates (engine speedup floors), so it
      runs first, on a pristine heap — after the bechamel suites the major
@@ -1080,11 +1336,13 @@ let () =
   let b2 = run_pool_bench () in
   let b3 = run_simcore_bench () in
   let b4 = run_stream_bench () in
+  let b7 = Pool.with_pool ~domains run_bound_bench in
   write_json b1 b3;
   write_pool_json b2;
   write_stream_json b4;
   write_fastpaths_json b5;
   write_live_json b6;
+  write_bound_json b7;
   if not (b3.sim_agree && b3.sweep_same_answer) then begin
     prerr_endline
       "B3 FAILED: the equal-share engine disagrees with the general engine; see \
@@ -1109,5 +1367,10 @@ let () =
   if b6.b6_failures <> [] then begin
     List.iter (fun m -> prerr_endline ("B6 FAILED: " ^ m)) b6.b6_failures;
     prerr_endline "B6 FAILED: live engine gate; see BENCH_live.json";
+    exit 1
+  end;
+  if b7.b7_failures <> [] then begin
+    List.iter (fun m -> prerr_endline ("B7 FAILED: " ^ m)) b7.b7_failures;
+    prerr_endline "B7 FAILED: certified bound gate; see BENCH_bound.json";
     exit 1
   end

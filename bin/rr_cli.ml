@@ -417,18 +417,49 @@ let certify_cmd =
 (* ------------------------------------------------------------------ *)
 
 let lowerbound_cmd =
-  let run machines k delta file seed sizes load n =
+  let run machines k delta tol file seed sizes load n =
     let inst = load_instance ~file ~seed ~sizes ~load ~machines ~n in
     let bound = Rr_lp.Lp_bound.opt_norm_lower_bound ~k ~machines ~delta inst in
-    Format.printf "%a@.certified lower bound on the optimal l%d norm: %g@."
-      Rr_workload.Instance.pp inst k bound
+    let itv = Rr_lp.Lp_bound.value_interval ~tol ~k ~machines inst in
+    Format.printf "%a@.certified lower bound on the optimal l%d norm: %g (delta %g)@."
+      Rr_workload.Instance.pp inst k bound delta;
+    let gap =
+      if itv.Rr_lp.Lp_bound.lo > 0. then
+        (itv.Rr_lp.Lp_bound.hi -. itv.Rr_lp.Lp_bound.lo) /. itv.Rr_lp.Lp_bound.lo
+      else 0.
+    in
+    Format.printf
+      "certified LP value interval: [%g, %g] (rel gap %.2g%%, converged at delta %g, %d \
+       solves)@."
+      itv.Rr_lp.Lp_bound.lo itv.Rr_lp.Lp_bound.hi (100. *. gap) itv.Rr_lp.Lp_bound.delta
+      itv.Rr_lp.Lp_bound.solves;
+    Format.printf "interval-certified norm bound: %g@."
+      ((itv.Rr_lp.Lp_bound.lo /. 2.) ** (1. /. Float.of_int k))
   in
   let delta_arg =
-    Arg.(value & opt float 0.25 & info [ "delta" ] ~docv:"D" ~doc:"Time-slot width for the LP discretisation.")
+    Arg.(
+      value
+      & opt float Rr_lp.Lp_bound.default_delta
+      & info [ "delta" ] ~docv:"D" ~doc:"Time-slot width for the point-bound LP discretisation.")
+  in
+  let tol_arg =
+    Arg.(
+      value
+      & opt float Rr_lp.Lp_bound.default_tol
+      & info [ "tol" ] ~docv:"TOL"
+          ~doc:
+            "Relative width at which the adaptive [Slot_start, Slot_end] interval stops \
+             refining; the reported bracket certifies the continuous LP value to this \
+             tolerance.")
   in
   Cmd.v
-    (Cmd.info "lowerbound" ~doc:"Certified LP lower bound on the optimal lk norm of flow time.")
-    Term.(const run $ machines_arg $ k_arg $ delta_arg $ file_arg $ seed_arg $ sizes_arg $ load_arg $ n_arg)
+    (Cmd.info "lowerbound"
+       ~doc:
+         "Certified LP lower bound on the optimal lk norm of flow time, with an \
+          interval-certified bracket refined adaptively to --tol.")
+    Term.(
+      const run $ machines_arg $ k_arg $ delta_arg $ tol_arg $ file_arg $ seed_arg $ sizes_arg
+      $ load_arg $ n_arg)
 
 (* ------------------------------------------------------------------ *)
 (* crossover                                                           *)

@@ -1,0 +1,85 @@
+(** Cached, pool-aware certified lower bounds.
+
+    {!Rr_lp.Lp_bound} solves the paper's LP relaxation; this module is the
+    production front end the experiment suite and CLI go through:
+
+    - every LP evaluation is memoised in the process-wide {!Cache}, keyed
+      by (instance digest, k, machines, delta, mode, gamma, windows) via
+      the typed key constructor — so a speed sweep whose probes all divide
+      by the same certified denominator solves the LP once, and
+      concurrent probes racing on a cold bound coalesce in single flight;
+    - {!interval} refinement fans the two evaluation modes of each level
+      out on a {!Pool} ([`Fixed 1] chunks — each is a full LP solve).
+
+    The discretisation policy lives in exactly two named constants,
+    {!default_delta} for fixed-width callers and {!default_tol} for
+    interval certification, both re-exported from {!Rr_lp.Lp_bound}. *)
+
+val default_delta : float
+(** = {!Rr_lp.Lp_bound.default_delta} (0.25). *)
+
+val default_tol : float
+(** = {!Rr_lp.Lp_bound.default_tol} (0.05). *)
+
+val value :
+  ?mode:Rr_lp.Lp_bound.mode ->
+  ?gamma:float ->
+  ?windows:Rr_lp.Lp_bound.windows ->
+  ?cache:bool ->
+  k:int ->
+  machines:int ->
+  delta:float ->
+  Rr_workload.Instance.t ->
+  float
+(** {!Rr_lp.Lp_bound.value} through the {!Cache} (set [cache:false] to
+    force a fresh solve, e.g. when benchmarking).  The cached entry stores
+    the LP objective in its [power_sum] field. *)
+
+val interval :
+  ?pool:Pool.t ->
+  ?tol:float ->
+  ?gamma:float ->
+  ?windows:Rr_lp.Lp_bound.windows ->
+  ?init_delta:float ->
+  ?min_delta:float ->
+  ?max_solves:int ->
+  ?cache:bool ->
+  k:int ->
+  machines:int ->
+  Rr_workload.Instance.t ->
+  Rr_lp.Lp_bound.interval
+(** {!Rr_lp.Lp_bound.value_interval} with cached probes, the two modes of
+    each refinement level evaluated side by side on [?pool].  Defaults as
+    in the underlying function ([tol] defaults to {!default_tol}). *)
+
+val opt_power_lower_bound :
+  ?pool:Pool.t ->
+  ?tol:float ->
+  ?windows:Rr_lp.Lp_bound.windows ->
+  ?init_delta:float ->
+  ?min_delta:float ->
+  ?max_solves:int ->
+  ?cache:bool ->
+  k:int ->
+  machines:int ->
+  Rr_workload.Instance.t ->
+  float * Rr_lp.Lp_bound.interval
+(** The best certified lower bound on OPT's power sum this library can
+    produce — [max (cheap_lower_bound) (interval.lo / 2)] — together with
+    the LP bracket it came from.  Both components are certified, so the
+    max is. *)
+
+val opt_norm_lower_bound :
+  ?pool:Pool.t ->
+  ?tol:float ->
+  ?windows:Rr_lp.Lp_bound.windows ->
+  ?init_delta:float ->
+  ?min_delta:float ->
+  ?max_solves:int ->
+  ?cache:bool ->
+  k:int ->
+  machines:int ->
+  Rr_workload.Instance.t ->
+  float * Rr_lp.Lp_bound.interval
+(** k-th root of {!opt_power_lower_bound}: a certified lower bound on the
+    optimal lk-norm, with the bracket. *)

@@ -64,7 +64,7 @@ let t1_l2_speed_sweep ?(engine = `Auto) ?pool scale =
        (fun (sizes, insts, small, speed) ->
          let cfg = Run.config ~speed ~engine () in
          let ratio = mean (List.map (fun i -> Ratio.vs_baseline cfg rr i) insts) in
-         let lp_ratio = Ratio.vs_lp_bound ~delta:0.25 cfg rr small in
+         let lp_ratio = Ratio.vs_lp_bound ~delta:Bound.default_delta cfg rr small in
          [
            Rr_workload.Distribution.name sizes;
            Table.fcell speed;
@@ -154,7 +154,9 @@ let f1_lower_bound_growth ?(engine = `Auto) ?pool scale =
        (fun (label, inst, small, speed) ->
          let cfg = Run.config ~speed ~engine () in
          let r = Ratio.vs_baseline cfg rr inst in
-         let r_lp = Ratio.vs_lp_bound ~delta:0.125 cfg rr small in
+         (* Interval-certified path: adaptive delta to half the default
+            tolerance, in place of the old fixed ~delta:0.125. *)
+         let r_lp = (Ratio.vs_certified ~tol:(Bound.default_tol /. 2.) cfg rr small).Ratio.ratio in
          [ label; Table.fcell speed; Table.fcell r; Table.fcell r_lp ])
        tasks);
   table
@@ -188,8 +190,8 @@ let t3_dual_certificates ?(engine = `Auto) ?pool scale =
          let cert = Rr_dualfit.Certificate.certify ~eps ~k res in
          let gamma = cert.gamma in
          let lp_hi =
-           Rr_lp.Lp_bound.value ~mode:Rr_lp.Lp_bound.Slot_end ~gamma ~k ~machines ~delta:0.25
-             inst
+           Rr_lp.Lp_bound.value ~mode:Rr_lp.Lp_bound.Slot_end ~gamma ~k ~machines
+             ~delta:Bound.default_delta inst
          in
          let scaled_dual = cert.dual_objective /. Float.max 1. cert.violation_ratio in
          let weak_ok = scaled_dual <= lp_hi *. (1. +. 1e-6) in
@@ -447,12 +449,28 @@ let t8_lp_soundness ?(engine = `Auto) ?pool _scale =
          in
          let brute = Rr_lp.Brute.optimal_power_sum ~k ~machines jobs in
          let srpt_pow = Run.power_sum (Run.config ~machines ~k ~engine ()) srpt inst in
-         let lp_lo = Rr_lp.Lp_bound.value ~mode:Rr_lp.Lp_bound.Slot_start ~k ~machines ~delta:0.25 inst in
-         let lp_hi = Rr_lp.Lp_bound.value ~mode:Rr_lp.Lp_bound.Slot_end ~k ~machines ~delta:0.25 inst in
+         let delta = Bound.default_delta in
+         let lp_lo = Rr_lp.Lp_bound.value ~mode:Rr_lp.Lp_bound.Slot_start ~k ~machines ~delta inst in
+         let lp_hi = Rr_lp.Lp_bound.value ~mode:Rr_lp.Lp_bound.Slot_end ~k ~machines ~delta inst in
+         (* New-path cross-checks: the sparse-window build must reproduce
+            the dense oracle, the cheap combinatorial floor must sit under
+            the LP certificate, and the adaptive bracket must contain the
+            fixed-delta values it refines past. *)
+         let lp_lo_dense =
+           Rr_lp.Lp_bound.value ~mode:Rr_lp.Lp_bound.Slot_start ~windows:Rr_lp.Lp_bound.Dense
+             ~k ~machines ~delta inst
+         in
+         let cheap = Rr_lp.Lp_bound.cheap_lower_bound ~k ~machines inst in
+         let itv = Bound.interval ~tol:Bound.default_tol ~cache:false ~k ~machines inst in
          let sound =
            lp_lo <= lp_hi +. 1e-6
            && lp_lo /. 2. <= brute +. 1e-6
            && brute <= srpt_pow +. 1e-6
+           && Float.abs (lp_lo -. lp_lo_dense) <= 1e-6 *. Float.max 1. lp_lo_dense
+           && cheap <= (lp_lo /. 2.) +. 1e-6
+           && cheap <= brute +. 1e-6
+           && itv.Rr_lp.Lp_bound.lo <= itv.Rr_lp.Lp_bound.hi +. 1e-6
+           && itv.Rr_lp.Lp_bound.lo /. 2. <= brute +. 1e-6
          in
          [
            label;

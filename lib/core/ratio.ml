@@ -45,3 +45,38 @@ let vs_lp_bound ~delta (cfg : Run.config) policy inst =
     Rr_lp.Lp_bound.opt_norm_lower_bound ~k:cfg.k ~machines:cfg.machines ~delta inst
   in
   ratio num den
+
+type certified = {
+  ratio : float;
+  floor : float;
+  lp_solved : bool;
+  interval : Rr_lp.Lp_bound.interval option;
+}
+
+(* The cheap pre-filter brackets the certified ratio without touching the
+   LP: cheap_lower_bound <= OPT^k gives an upper estimate of the ratio,
+   SRPT's power sum >= OPT^k gives a lower one.  Only when that bracket
+   intersects the caller's interesting band is the LP actually solved. *)
+let vs_certified ?pool ?tol ?(band = (1., Float.infinity)) (cfg : Run.config) policy inst =
+  let k = cfg.k and machines = cfg.machines in
+  let kth x = if x <= 0. then 0. else x ** (1. /. Float.of_int k) in
+  let base = { cfg with speed = 1.; record_trace = false } in
+  let num, srpt_pow =
+    eval2 pool
+      (fun () -> Run.norm cfg policy inst)
+      (fun () -> Run.power_sum base Rr_policies.Srpt.policy inst)
+  in
+  let cheap = Rr_lp.Lp_bound.cheap_lower_bound ~k ~machines inst in
+  let floor = ratio num (kth srpt_pow) in
+  let rough = ratio num (kth cheap) in
+  let band_lo, band_hi = band in
+  if rough < band_lo || floor > band_hi then
+    (* The cheap bracket already settles the question on both sides:
+       [rough] is a certified upper bound on the ratio, so below the band
+       it is boring-good; [floor] underestimates even the uncertified
+       ratio, so above the band the instance is hopeless either way. *)
+    { ratio = rough; floor; lp_solved = false; interval = None }
+  else begin
+    let power, itv = Bound.opt_power_lower_bound ?pool ?tol ~k ~machines inst in
+    { ratio = ratio num (kth power); floor; lp_solved = true; interval = Some itv }
+  end

@@ -53,3 +53,36 @@ val vs_lp_bound :
     lower bound on the optimal lk-norm ([delta] is the LP discretisation
     width): an upper bound on the policy's true competitive ratio on this
     instance. *)
+
+type certified = {
+  ratio : float;
+      (** Certified upper bound on the policy's competitive ratio on this
+          instance: its norm over the best certified lower bound on the
+          optimal norm available (the LP bracket's [lo / 2], the cheap
+          combinatorial floor when the LP was skipped — both certified). *)
+  floor : float;
+      (** The other end of what is knowable cheaply: the policy's norm
+          over SRPT's norm-root of power sum — a lower estimate of even
+          the uncertified ratio, since SRPT's cost upper-bounds OPT's. *)
+  lp_solved : bool;  (** Whether the LP actually ran (vs cheap filter). *)
+  interval : Rr_lp.Lp_bound.interval option;
+      (** The certified LP bracket, when the LP ran. *)
+}
+
+val vs_certified :
+  ?pool:Pool.t ->
+  ?tol:float ->
+  ?band:float * float ->
+  Run.config ->
+  Rr_engine.Policy.t ->
+  Rr_workload.Instance.t ->
+  certified
+(** Certified competitive ratio with the combinatorial first-pass filter:
+    {!Rr_lp.Lp_bound.cheap_lower_bound} and one fast SRPT power sum
+    bracket the ratio for free, and the LP
+    ({!Bound.opt_power_lower_bound}, interval-certified to [?tol],
+    cached, fanned out on [?pool]) runs only when that bracket still
+    intersects [?band] (default [(1., infinity)]: skip only instances the
+    cheap bound already certifies below ratio 1's band floor — pass a
+    narrower band to skip more).  The returned [ratio] is certified in
+    both cases. *)

@@ -1,13 +1,22 @@
 type t = {
   n : int;
   (* Edge-array representation: edge 2i is a forward edge, 2i+1 its
-     residual twin.  [head.(e)] is the target of edge [e]. *)
+     residual twin.  [head.(e)] is the target of edge [e]; adjacency is the
+     classic intrusive list [first.(node)] / [next_edge.(e)] so the hot
+     Dijkstra loop chases int arrays, not boxed cons cells. *)
   mutable head : int array;
   mutable cap : float array;
   mutable cost : float array;
+  mutable next_edge : int array;
+  first : int array;
   mutable n_edges : int;
-  adj : int list array; (* outgoing edge indices per node, reversed order *)
-  mutable max_cap_seen : float;
+  (* Warm-start state: Johnson potentials survive the solve so a
+     perturbed network can continue augmenting from the previous basis
+     instead of re-deriving shortest-path distances from scratch. *)
+  mutable pot : float array;
+  mutable solved : bool;
+  mutable acc_flow : float;
+  acc_cost : Rr_util.Kahan.t;
 }
 
 type outcome = { flow : float; cost : float }
@@ -19,9 +28,13 @@ let create ~n_nodes =
     head = Array.make 16 0;
     cap = Array.make 16 0.;
     cost = Array.make 16 0.;
+    next_edge = Array.make 16 (-1);
+    first = Array.make n_nodes (-1);
     n_edges = 0;
-    adj = Array.make n_nodes [];
-    max_cap_seen = 0.;
+    pot = [||];
+    solved = false;
+    acc_flow = 0.;
+    acc_cost = Rr_util.Kahan.create ();
   }
 
 let ensure_capacity t =
@@ -35,7 +48,8 @@ let ensure_capacity t =
     in
     t.head <- grow t.head 0;
     t.cap <- grow t.cap 0.;
-    t.cost <- grow t.cost 0.
+    t.cost <- grow t.cost 0.;
+    t.next_edge <- grow t.next_edge (-1)
   end
 
 let add_edge t ~src ~dst ~capacity ~cost =
@@ -53,82 +67,233 @@ let add_edge t ~src ~dst ~capacity ~cost =
   t.head.(e + 1) <- src;
   t.cap.(e + 1) <- 0.;
   t.cost.(e + 1) <- -.cost;
-  t.adj.(src) <- e :: t.adj.(src);
-  t.adj.(dst) <- (e + 1) :: t.adj.(dst);
+  t.next_edge.(e) <- t.first.(src);
+  t.first.(src) <- e;
+  t.next_edge.(e + 1) <- t.first.(dst);
+  t.first.(dst) <- e + 1;
   t.n_edges <- t.n_edges + 2;
-  if capacity > t.max_cap_seen then t.max_cap_seen <- capacity;
   e
 
-let solve ?(max_flow = Float.infinity) t ~source ~sink =
-  if source = sink then invalid_arg "Mcmf.solve: source equals sink";
+(* An edge counts as residual only when its capacity clears the rounding
+   noise of its own edge pair: [cap.(e) +. cap.(e lxor 1)] is the pair's
+   original capacity (augmentation moves capacity between twins), so the
+   saturation threshold scales per edge rather than with the network-wide
+   maximum — a huge "uncapacitated" arc must not make a small but real
+   residual on a unit-capacity arc look saturated. *)
+let residual t e = t.cap.(e) > 1e-12 *. (1. +. t.cap.(e) +. t.cap.(e lxor 1))
+
+let check_endpoints name t ~source ~sink =
+  if source = sink then invalid_arg (name ^ ": source equals sink");
   if source < 0 || source >= t.n || sink < 0 || sink >= t.n then
-    invalid_arg "Mcmf.solve: node out of range";
-  (* Residual capacities below this threshold count as saturated, which
-     bounds the number of augmentations in floating point. *)
-  let eps = 1e-12 *. Float.max 1. t.max_cap_seen in
-  let pot = Array.make t.n 0. in
+    invalid_arg (name ^ ": node out of range")
+
+(* Successive shortest augmenting paths on reduced costs, continuing from
+   the potentials in [t.pot] (which must make every residual reduced cost
+   non-negative up to rounding).  Pushes at most [extra_max] additional
+   flow; accumulates into [t.acc_flow] / [t.acc_cost].
+
+   The Dijkstra stops as soon as the sink settles; potentials then
+   advance by [min dist.(v) dist.(sink)] with unreached nodes counting as
+   infinitely far, which preserves the reduced-cost invariant on every
+   residual edge (see the comment at the update below), so the next
+   augmentation — or a warm {!resolve} — starts from a valid dual. *)
+let augment t ~source ~sink ~extra_max =
+  let pot = t.pot in
+  let head = t.head and cap = t.cap and cost = t.cost in
+  let next_edge = t.next_edge and first = t.first in
   let dist = Array.make t.n Float.infinity in
   let prev_edge = Array.make t.n (-1) in
-  let total_flow = ref 0. in
-  let total_cost = Rr_util.Kahan.create () in
+  let settled = Array.make t.n false in
+  (* Inline binary min-heap over (distance, node) as two parallel arrays:
+     no tuple boxing, no comparator closure, reused across augmentations. *)
+  let hkey = ref (Array.make 1024 0.) in
+  let hnode = ref (Array.make 1024 0) in
+  let hn = ref 0 in
+  let heap_push d v =
+    if !hn = Array.length !hkey then begin
+      let nk = Array.make (2 * !hn) 0. and nv = Array.make (2 * !hn) 0 in
+      Array.blit !hkey 0 nk 0 !hn;
+      Array.blit !hnode 0 nv 0 !hn;
+      hkey := nk;
+      hnode := nv
+    end;
+    let k = !hkey and nd = !hnode in
+    let i = ref !hn in
+    incr hn;
+    (* Sift up. *)
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let p = (!i - 1) / 2 in
+      if k.(p) > d then begin
+        k.(!i) <- k.(p);
+        nd.(!i) <- nd.(p);
+        i := p
+      end
+      else continue := false
+    done;
+    k.(!i) <- d;
+    nd.(!i) <- v
+  in
+  let heap_pop () =
+    let k = !hkey and nd = !hnode in
+    let top = nd.(0) and topd = k.(0) in
+    decr hn;
+    if !hn > 0 then begin
+      let d = k.(!hn) and v = nd.(!hn) in
+      (* Sift down from the root. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 in
+        if l >= !hn then continue := false
+        else begin
+          let c = if l + 1 < !hn && k.(l + 1) < k.(l) then l + 1 else l in
+          if k.(c) < d then begin
+            k.(!i) <- k.(c);
+            nd.(!i) <- nd.(c);
+            i := c
+          end
+          else continue := false
+        end
+      done;
+      k.(!i) <- d;
+      nd.(!i) <- v
+    end;
+    (topd, top)
+  in
+  let pushed = ref 0. in
   let continue = ref true in
-  while !continue && !total_flow < max_flow do
+  while !continue && !pushed < extra_max do
     Array.fill dist 0 t.n Float.infinity;
     Array.fill prev_edge 0 t.n (-1);
+    Array.fill settled 0 t.n false;
+    hn := 0;
     dist.(source) <- 0.;
-    let heap = Rr_util.Heap.create ~cmp:(fun (d1, _) (d2, _) -> Float.compare d1 d2) () in
-    Rr_util.Heap.add heap (0., source);
-    let rec dijkstra () =
-      match Rr_util.Heap.pop heap with
-      | None -> ()
-      | Some (d, u) ->
-          if d <= dist.(u) then begin
-            List.iter
-              (fun e ->
-                if t.cap.(e) > eps then begin
-                  let v = t.head.(e) in
-                  (* Reduced cost is non-negative by the potential invariant;
-                     clamp tiny negative rounding noise. *)
-                  let rc = Float.max 0. (t.cost.(e) +. pot.(u) -. pot.(v)) in
-                  let nd = d +. rc in
-                  if nd < dist.(v) then begin
-                    dist.(v) <- nd;
-                    prev_edge.(v) <- e;
-                    Rr_util.Heap.add heap (nd, v)
-                  end
-                end)
-              t.adj.(u);
-            dijkstra ()
-          end
-          else dijkstra ()
-    in
-    dijkstra ();
-    if not (Float.is_finite dist.(sink)) then continue := false
+    heap_push 0. source;
+    (* Dijkstra on reduced costs; stop once the sink settles. *)
+    let found = ref false in
+    while (not !found) && !hn > 0 do
+      let d, u = heap_pop () in
+      if not settled.(u) && d <= dist.(u) then begin
+        settled.(u) <- true;
+        if u = sink then found := true
+        else begin
+          let pu = pot.(u) in
+          let e = ref first.(u) in
+          while !e >= 0 do
+            let edge = !e in
+            let c = cap.(edge) in
+            if c > 1e-12 *. (1. +. c +. cap.(edge lxor 1)) then begin
+              let v = head.(edge) in
+              if not settled.(v) then begin
+                (* Reduced cost is non-negative by the potential invariant;
+                   clamp tiny negative rounding noise. *)
+                let rc = cost.(edge) +. pu -. pot.(v) in
+                let nd = if rc > 0. then d +. rc else d in
+                if nd < dist.(v) then begin
+                  dist.(v) <- nd;
+                  prev_edge.(v) <- edge;
+                  heap_push nd v
+                end
+              end
+            end;
+            e := next_edge.(edge)
+          done
+        end
+      end
+    done;
+    if not !found then continue := false
     else begin
+      let dsink = dist.(sink) in
+      (* Advance every node's potential by min(dist, dist_sink) — nodes
+         the stopped Dijkstra never reached count as infinitely far and
+         advance by dist_sink.  This is what keeps the reduced-cost
+         invariant global: a settled node's residual out-edges all point
+         at reached nodes (settling relaxed them), and every other pair
+         moves by at least as much at the tail as at the head. *)
       for v = 0 to t.n - 1 do
-        if Float.is_finite dist.(v) then pot.(v) <- pot.(v) +. dist.(v)
+        let dv = dist.(v) in
+        pot.(v) <- pot.(v) +. (if dv < dsink then dv else dsink)
       done;
       (* Bottleneck along the augmenting path. *)
-      let bottleneck = ref (max_flow -. !total_flow) in
+      let bottleneck = ref (extra_max -. !pushed) in
       let v = ref sink in
       while !v <> source do
         let e = prev_edge.(!v) in
-        if t.cap.(e) < !bottleneck then bottleneck := t.cap.(e);
-        v := t.head.(e lxor 1)
+        if cap.(e) < !bottleneck then bottleneck := cap.(e);
+        v := head.(e lxor 1)
       done;
       let b = !bottleneck in
       let v = ref sink in
       while !v <> source do
         let e = prev_edge.(!v) in
-        t.cap.(e) <- t.cap.(e) -. b;
-        t.cap.(e lxor 1) <- t.cap.(e lxor 1) +. b;
-        Rr_util.Kahan.add total_cost (b *. t.cost.(e));
-        v := t.head.(e lxor 1)
+        cap.(e) <- cap.(e) -. b;
+        cap.(e lxor 1) <- cap.(e lxor 1) +. b;
+        Rr_util.Kahan.add t.acc_cost (b *. cost.(e));
+        v := head.(e lxor 1)
       done;
-      total_flow := !total_flow +. b
+      pushed := !pushed +. b
     end
   done;
-  { flow = !total_flow; cost = Rr_util.Kahan.total total_cost }
+  t.acc_flow <- t.acc_flow +. !pushed
+
+let solve ?(max_flow = Float.infinity) t ~source ~sink =
+  if t.solved then
+    invalid_arg
+      "Mcmf.solve: network already consumed (capacities hold the residual state of a \
+       previous solve); build a fresh network, or use Mcmf.resolve to continue this one \
+       after a perturbation";
+  check_endpoints "Mcmf.solve" t ~source ~sink;
+  t.pot <- Array.make t.n 0.;
+  augment t ~source ~sink ~extra_max:max_flow;
+  t.solved <- true;
+  { flow = t.acc_flow; cost = Rr_util.Kahan.total t.acc_cost }
+
+(* After a perturbation (edges added since the last solve) the stored
+   potentials may leave some residual reduced costs negative.  One
+   Bellman-Ford fixpoint over the residual edges restores the invariant;
+   failing to converge within [n] rounds means the perturbation created a
+   negative residual cycle, i.e. the existing flow is no longer optimal at
+   its own value and warm continuation would be wrong. *)
+let repair_potentials t =
+  let scale =
+    Array.fold_left (fun a p -> if Float.is_finite p then Float.max a (Float.abs p) else a)
+      1. t.pot
+  in
+  let cost_eps = 1e-10 *. scale in
+  let pot = t.pot in
+  let relax_once () =
+    let changed = ref false in
+    for e = 0 to t.n_edges - 1 do
+      if residual t e then begin
+        let u = t.head.(e lxor 1) and v = t.head.(e) in
+        if pot.(u) +. t.cost.(e) < pot.(v) -. cost_eps then begin
+          pot.(v) <- pot.(u) +. t.cost.(e);
+          changed := true
+        end
+      end
+    done;
+    !changed
+  in
+  let rec loop i =
+    if relax_once () then
+      if i = 0 then
+        failwith
+          "Mcmf.resolve: perturbation created a negative residual cycle; the previous \
+           flow is no longer optimal, re-solve from a fresh network"
+      else loop (i - 1)
+  in
+  loop (t.n + 1)
+
+let resolve ?(max_flow = Float.infinity) t ~source ~sink =
+  if not t.solved then
+    invalid_arg "Mcmf.resolve: network not solved yet; call Mcmf.solve first";
+  check_endpoints "Mcmf.resolve" t ~source ~sink;
+  repair_potentials t;
+  augment t ~source ~sink ~extra_max:max_flow;
+  { flow = t.acc_flow; cost = Rr_util.Kahan.total t.acc_cost }
+
+let solved t = t.solved
 
 let flow_on t e =
   if e < 0 || e >= t.n_edges || e land 1 = 1 then invalid_arg "Mcmf.flow_on: bad edge handle";
@@ -136,7 +301,6 @@ let flow_on t e =
   t.cap.(e + 1)
 
 let no_negative_cycle t =
-  let eps = 1e-12 *. Float.max 1. t.max_cap_seen in
   let cost_eps = 1e-7 in
   (* Bellman-Ford with all distances 0 detects any reachable negative
      cycle among residual edges. *)
@@ -144,7 +308,7 @@ let no_negative_cycle t =
   let relax_once () =
     let changed = ref false in
     for e = 0 to t.n_edges - 1 do
-      if t.cap.(e) > eps then begin
+      if residual t e then begin
         let u = t.head.(e lxor 1) and v = t.head.(e) in
         if dist.(u) +. t.cost.(e) < dist.(v) -. cost_eps then begin
           dist.(v) <- dist.(u) +. t.cost.(e);

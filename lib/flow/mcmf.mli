@@ -8,7 +8,22 @@
     With non-negative costs the algorithm returns an exact optimum for the
     amount of flow it pushes; capacities within a relative [1e-9] of zero
     are treated as saturated to keep the augmentation count finite in
-    floating point. *)
+    floating point.
+
+    {2 Warm starts}
+
+    {!solve} leaves the network in its residual state {e and keeps the
+    Johnson potentials}, so the network is a reusable basis rather than a
+    spent artifact: after a perturbation — more flow requested via
+    [?max_flow], or new edges added with {!add_edge} (the way
+    {!Rr_lp.Lp_bound} widens per-job slot windows) — {!resolve} repairs the
+    potentials with one Bellman-Ford fixpoint over the residual edges and
+    continues augmenting from the previous optimum instead of recomputing
+    every shortest path from scratch.  The continuation is exact: as long
+    as the perturbation does not make the existing flow suboptimal at its
+    own value (no negative residual cycle — {!resolve} detects and refuses
+    that case), the warm result equals a cold solve of the perturbed
+    network, differential-tested to <= 1e-9 in the suite. *)
 
 type t
 
@@ -18,7 +33,9 @@ val create : n_nodes:int -> t
 
 val add_edge : t -> src:int -> dst:int -> capacity:float -> cost:float -> int
 (** Add a directed edge and its implicit residual reverse edge; returns an
-    edge handle usable with {!flow_on}.
+    edge handle usable with {!flow_on}.  Edges may also be added {e after}
+    a solve: they join the residual network and take part in the next
+    {!resolve}.
     @raise Invalid_argument on out-of-range endpoints, negative or
     non-finite capacity, or negative or non-finite cost. *)
 
@@ -30,16 +47,36 @@ type outcome = {
 val solve : ?max_flow:float -> t -> source:int -> sink:int -> outcome
 (** [solve t ~source ~sink] computes a minimum-cost flow of value
     [min(max_flow, max-flow value)] (default: the maximum flow).  The
-    network is consumed: capacities are mutated to the residual state.
-    @raise Invalid_argument when [source = sink] or either is out of
-    range. *)
+    network is consumed: capacities are mutated to the residual state and
+    the Johnson potentials are retained for {!resolve}.
+    @raise Invalid_argument when [source = sink], either is out of range,
+    or the network was {e already} solved — a second cold [solve] would
+    silently price the residual state as if it were fresh, so it refuses;
+    continue a consumed network with {!resolve} instead. *)
+
+val resolve : ?max_flow:float -> t -> source:int -> sink:int -> outcome
+(** Warm-started continuation after a perturbation: repairs the stored
+    potentials (one Bellman-Ford fixpoint over the residual edges), then
+    keeps augmenting — up to [max_flow] {e additional} units — from the
+    previous basis.  The returned outcome is {e cumulative} over every
+    solve/resolve on this network, so it is directly comparable to a cold
+    {!solve} of the perturbed network.
+    @raise Invalid_argument when the network has not been solved yet, when
+    [source = sink], or when either node is out of range.
+    @raise Failure when the perturbation created a negative residual
+    cycle (the existing flow is no longer optimal at its own value, so a
+    warm continuation would be wrong; re-solve from a fresh network). *)
+
+val solved : t -> bool
+(** Whether {!solve} has consumed this network (i.e. whether the next
+    entry point is {!resolve}). *)
 
 val flow_on : t -> int -> float
 (** Flow routed over the edge with the given handle after {!solve}. *)
 
 val no_negative_cycle : t -> bool
-(** Optimality self-certificate: after {!solve}, the current flow is a
-    minimum-cost flow of its value iff the residual network contains no
-    negative-cost cycle.  Runs Bellman-Ford over the residual edges; the
-    test suite asserts this on every solved network, turning the solver
-    into a self-checking oracle. *)
+(** Optimality self-certificate: after {!solve} (or {!resolve}), the
+    current flow is a minimum-cost flow of its value iff the residual
+    network contains no negative-cost cycle.  Runs Bellman-Ford over the
+    residual edges; the test suite asserts this on every solved network,
+    turning the solver into a self-checking oracle. *)

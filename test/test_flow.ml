@@ -169,8 +169,92 @@ let prop_flow_bounded_by_capacity =
       ignore (Mcmf.solve net ~source:0 ~sink:(n + 1));
       List.for_all (fun (e, c) -> Mcmf.flow_on net e <= c +. 1e-9) handles)
 
+(* ------------------------------------------------------------------ *)
+(* Warm-started resolves                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_consumed_raises () =
+  let net = Mcmf.create ~n_nodes:2 in
+  ignore (Mcmf.add_edge net ~src:0 ~dst:1 ~capacity:3. ~cost:2.);
+  Alcotest.(check bool) "fresh network unsolved" false (Mcmf.solved net);
+  ignore (Mcmf.solve net ~source:0 ~sink:1);
+  Alcotest.(check bool) "solved flag set" true (Mcmf.solved net);
+  Alcotest.check_raises "second cold solve refused"
+    (Invalid_argument
+       "Mcmf.solve: network already consumed (capacities hold the residual state of a \
+        previous solve); build a fresh network, or use Mcmf.resolve to continue this one \
+        after a perturbation")
+    (fun () -> ignore (Mcmf.solve net ~source:0 ~sink:1))
+
+let test_resolve_requires_solve () =
+  let net = Mcmf.create ~n_nodes:2 in
+  ignore (Mcmf.add_edge net ~src:0 ~dst:1 ~capacity:3. ~cost:2.);
+  Alcotest.check_raises "resolve before solve refused"
+    (Invalid_argument "Mcmf.resolve: network not solved yet; call Mcmf.solve first")
+    (fun () -> ignore (Mcmf.resolve net ~source:0 ~sink:1))
+
+(* Transportation network in the LP's shape — per-supplier arc costs
+   non-decreasing in slot index, so adding the trailing slot range after a
+   solve (the widening the sparse LP build performs) never creates a
+   negative residual cycle.  The staged solve -> add_edge -> resolve
+   cumulative outcome must match a cold solve of the full network. *)
+let warm_gen =
+  QCheck2.Gen.(
+    let* ns = int_range 1 4 in
+    let* nd = int_range 2 8 in
+    let* split = int_range 1 (nd - 1) in
+    let* supplies = list_repeat ns (float_range 0.5 5.) in
+    let* caps = list_repeat nd (float_range 0.5 4.) in
+    let* increments = list_repeat (ns * nd) (float_range 0. 3.) in
+    return (supplies, caps, split, increments))
+
+let prop_warm_resolve_equals_cold =
+  QCheck2.Test.make ~name:"warm resolve = cold solve after widening" ~count:200 warm_gen
+    (fun (supplies, caps, split, increments) ->
+      let ns = List.length supplies and nd = List.length caps in
+      let supplies = Array.of_list supplies and caps = Array.of_list caps in
+      let increments = Array.of_list increments in
+      let costs =
+        Array.init ns (fun i ->
+            let acc = ref 0. in
+            Array.init nd (fun j ->
+                acc := !acc +. increments.((i * nd) + j);
+                !acc))
+      in
+      let source = 0 and sink = ns + nd + 1 in
+      let build_base () =
+        let net = Mcmf.create ~n_nodes:(ns + nd + 2) in
+        Array.iteri
+          (fun i s -> ignore (Mcmf.add_edge net ~src:source ~dst:(1 + i) ~capacity:s ~cost:0.))
+          supplies;
+        net
+      in
+      let add_slots net lo hi =
+        for j = lo to hi - 1 do
+          ignore (Mcmf.add_edge net ~src:(1 + ns + j) ~dst:sink ~capacity:caps.(j) ~cost:0.);
+          for i = 0 to ns - 1 do
+            ignore
+              (Mcmf.add_edge net ~src:(1 + i) ~dst:(1 + ns + j) ~capacity:10.
+                 ~cost:costs.(i).(j))
+          done
+        done
+      in
+      let cold = build_base () in
+      add_slots cold 0 nd;
+      let cold_out = Mcmf.solve cold ~source ~sink in
+      let warm = build_base () in
+      add_slots warm 0 split;
+      ignore (Mcmf.solve warm ~source ~sink);
+      add_slots warm split nd;
+      let warm_out = Mcmf.resolve warm ~source ~sink in
+      let close a b = Float.abs (a -. b) <= 1e-9 *. (1. +. Float.abs b) in
+      close warm_out.Mcmf.flow cold_out.Mcmf.flow
+      && close warm_out.Mcmf.cost cold_out.Mcmf.cost
+      && Mcmf.no_negative_cycle warm)
+
 let qsuite =
-  List.map QCheck_alcotest.to_alcotest [ prop_mcmf_matches_simplex; prop_flow_bounded_by_capacity ]
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_mcmf_matches_simplex; prop_flow_bounded_by_capacity; prop_warm_resolve_equals_cold ]
 
 let () =
   Alcotest.run "rr_flow"
@@ -183,6 +267,11 @@ let () =
           Alcotest.test_case "disconnected" `Quick test_disconnected;
           Alcotest.test_case "max flow cap" `Quick test_max_flow_cap;
           Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ( "warm start",
+        [
+          Alcotest.test_case "consumed network refused" `Quick test_consumed_raises;
+          Alcotest.test_case "resolve needs a solve" `Quick test_resolve_requires_solve;
         ] );
       ("properties", qsuite);
     ]

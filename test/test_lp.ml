@@ -197,6 +197,94 @@ let prop_srpt_upper_bounds_opt =
       opt <= srpt +. 1e-6)
 
 (* ------------------------------------------------------------------ *)
+(* Sparse windows, interval certification, cheap filter                *)
+(* ------------------------------------------------------------------ *)
+
+let prop_sparse_equals_dense =
+  (* Busy-period windows are an exactness-preserving sparsification: the
+     LP value over windowed arcs equals the dense build in both
+     evaluation modes, not merely bounds it. *)
+  QCheck2.Test.make ~name:"sparse windows = dense network" ~count:40 tiny_instance_gen
+    (fun (jobs, machines, k) ->
+      let total = List.fold_left (fun a (_, p) -> a + p) 0 jobs in
+      QCheck2.assume (total <= 12);
+      let inst = inst_of_ints jobs in
+      List.for_all
+        (fun (mode, delta) ->
+          let sparse = Lp_bound.value ~mode ~windows:Lp_bound.Sparse ~k ~machines ~delta inst in
+          let dense = Lp_bound.value ~mode ~windows:Lp_bound.Dense ~k ~machines ~delta inst in
+          Float.abs (sparse -. dense) <= 1e-9 *. (1. +. Float.abs dense))
+        [
+          (Lp_bound.Slot_start, 0.5);
+          (Lp_bound.Slot_end, 0.5);
+          (Lp_bound.Slot_start, 0.25);
+          (Lp_bound.Slot_end, 0.25);
+        ])
+
+let prop_interval_gap_shrinks =
+  (* Slot grids nest under halving, so the Slot_start value is
+     non-decreasing and the Slot_end value non-increasing along the
+     refinement chain: the certified gap shrinks monotonically. *)
+  QCheck2.Test.make ~name:"certified gap shrinks as delta halves" ~count:40 tiny_instance_gen
+    (fun (jobs, machines, k) ->
+      let total = List.fold_left (fun a (_, p) -> a + p) 0 jobs in
+      QCheck2.assume (total <= 12);
+      let inst = inst_of_ints jobs in
+      let bracket delta =
+        ( Lp_bound.value ~k ~machines ~delta inst,
+          Lp_bound.value ~mode:Lp_bound.Slot_end ~k ~machines ~delta inst )
+      in
+      let rec chain prev_gap = function
+        | [] -> true
+        | delta :: rest ->
+            let lo, hi = bracket delta in
+            let gap = hi -. lo in
+            lo <= hi +. 1e-6 && gap <= prev_gap +. 1e-6 && chain gap rest
+      in
+      chain Float.infinity [ 1.0; 0.5; 0.25 ])
+
+let prop_cheap_below_lp_below_srpt =
+  (* The no-LP filter must sit under the bound it short-circuits, which in
+     turn certifies at most the SRPT cost it is compared against:
+     cheap <= LP/2 <= OPT^k <= SRPT power sum. *)
+  QCheck2.Test.make ~name:"cheap filter <= LP bound <= SRPT cost" ~count:60 tiny_instance_gen
+    (fun (jobs, machines, k) ->
+      let total = List.fold_left (fun a (_, p) -> a + p) 0 jobs in
+      QCheck2.assume (total <= 12);
+      let inst = inst_of_ints jobs in
+      let cheap = Lp_bound.cheap_lower_bound ~k ~machines inst in
+      let lp_half = Lp_bound.opt_power_lower_bound ~k ~machines ~delta:0.25 inst in
+      let opt = Brute.optimal_power_sum ~k ~machines jobs in
+      let srpt =
+        Temporal_fairness.Run.power_sum
+          (Temporal_fairness.Run.config ~machines ~k ())
+          Rr_policies.Srpt.policy inst
+      in
+      cheap <= lp_half +. 1e-6 && cheap <= opt +. 1e-6 && lp_half <= opt +. 1e-6
+      && opt <= srpt +. 1e-6)
+
+let test_value_interval_converges () =
+  let inst = inst_of_ints [ (0, 1); (1, 2); (2, 1) ] in
+  let tol = 0.05 in
+  let itv = Lp_bound.value_interval ~tol ~k:2 ~machines:1 inst in
+  Alcotest.(check bool) "lo <= hi" true (itv.Lp_bound.lo <= itv.Lp_bound.hi +. 1e-9);
+  Alcotest.(check bool) "met tol" true
+    (itv.Lp_bound.hi -. itv.Lp_bound.lo <= tol *. itv.Lp_bound.lo +. 1e-9);
+  Alcotest.(check bool) "two solves per level" true
+    (itv.Lp_bound.solves mod 2 = 0 && itv.Lp_bound.solves >= 2);
+  (* The reported bracket is exactly the pair of mode evaluations at the
+     converged delta. *)
+  check_close "lo is Slot_start at final delta" itv.Lp_bound.lo
+    (Lp_bound.value ~k:2 ~machines:1 ~delta:itv.Lp_bound.delta inst);
+  check_close "hi is Slot_end at final delta" itv.Lp_bound.hi
+    (Lp_bound.value ~mode:Lp_bound.Slot_end ~k:2 ~machines:1 ~delta:itv.Lp_bound.delta inst)
+
+let test_value_interval_empty () =
+  let itv = Lp_bound.value_interval ~tol:0.1 ~k:2 ~machines:1 (Rr_workload.Instance.of_jobs []) in
+  check_close "empty lo" 0. itv.Lp_bound.lo;
+  check_close "empty hi" 0. itv.Lp_bound.hi
+
+(* ------------------------------------------------------------------ *)
 (* LP solution extraction                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -247,6 +335,9 @@ let qsuite =
       prop_lp_finer_delta_monotone_feasible;
       prop_srpt_upper_bounds_opt;
       prop_solution_feasible;
+      prop_sparse_equals_dense;
+      prop_interval_gap_shrinks;
+      prop_cheap_below_lp_below_srpt;
     ]
 
 let () =
@@ -276,6 +367,8 @@ let () =
           Alcotest.test_case "validation" `Quick test_lp_validation;
           Alcotest.test_case "empty" `Quick test_lp_empty_instance;
           Alcotest.test_case "solution extraction" `Quick test_solution_single_job;
+          Alcotest.test_case "interval converges" `Quick test_value_interval_converges;
+          Alcotest.test_case "interval empty" `Quick test_value_interval_empty;
         ] );
       ("properties", qsuite);
     ]
