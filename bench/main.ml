@@ -8,9 +8,11 @@
    equal-share engine and a cold sweep against a cached one, the B4
    streaming benchmark comparing the sink pipeline against
    materialize-and-measure (jobs/sec, allocated words, peak live heap),
-   the B5 fast-path benchmark measuring each priority-index /
-   cascade engine (SRPT, SJF, FCFS, SETF) against the general loop plus
-   one cold end-to-end Ratio.vs_baseline, and the B6 live-engine
+   the B5 fast-path benchmark measuring each classified engine (the
+   priority-index and cascade kernels SRPT, SJF, FCFS, SETF plus the
+   class-layer additions laps, mlfq, wrr-age, hdf and the starvation
+   hybrid) against the general loop plus one cold end-to-end
+   Ratio.vs_baseline, and the B6 live-engine
    benchmark driving every incremental core (Engine.Live) through the
    submit-one/advance feed rr_cli serve uses, gating sequential
    throughput (>= 1M events/s at full scale) and <= 1e-9 agreement, and
@@ -701,13 +703,23 @@ type b5_report = {
    from measured headroom (see EXPERIMENTS.md for typical numbers) with
    ~2x margin so a real regression trips them but scheduler jitter does
    not.  The completion cascades (SJF/FCFS) clear far higher bars than
-   the preemptive engines; SETF pays for group maintenance. *)
+   the preemptive engines; SETF pays for group maintenance, and the
+   dense rate-vector kernels (laps, mlfq, wrr-age) remain O(alive) per
+   event like the general loop — their win is structural (no policy
+   closure, no view rebuild), so 2x is the honest floor.  All five
+   classified additions ride the registry defaults. *)
 let b5_cases =
+  let classified spec = Rr_policies.Registry.(make spec) in
   [
     (Rr_policies.Srpt.policy, 5.0);
     (Rr_policies.Sjf.policy, 4.0);
     (Rr_policies.Fcfs.policy, 5.0);
     (Rr_policies.Setf.policy, 2.0);
+    (classified (Rr_policies.Registry.Laps 0.5), 2.0);
+    (classified (Rr_policies.Registry.Mlfq 0.5), 2.0);
+    (classified (Rr_policies.Registry.Wrr_age 2), 2.0);
+    (classified (Rr_policies.Registry.Hdf 2.), 2.0);
+    (classified (Rr_policies.Registry.Hybrid 3.), 2.0);
   ]
 
 let b5_ratio_gate = 3.0
@@ -771,7 +783,7 @@ let run_fastpath_bench () =
     if speedup < gate_min then
       fail "B5: %s: speedup %.1fx below gate %.1fx" policy.name speedup gate_min;
     Printf.printf
-      "B5: %-5s n=%d (speed 1.0, m=1): general %7.3f ms | %-12s %7.3f ms | speedup %5.1fx \
+      "B5: %-14s n=%d (speed 1.0, m=1): general %7.3f ms | %-15s %7.3f ms | speedup %5.1fx \
        (gate >=%.1fx) | max rel diff %.2e (m in {1,2,8})\n%!"
       policy.name n (general_ns /. 1e6) engine (fast_ns /. 1e6) speedup gate_min !max_rel;
     {
@@ -847,7 +859,7 @@ let write_fastpaths_json (b5 : b5_report) =
   let buf = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"bench_fastpaths/v1\",\n";
+  add "  \"schema\": \"bench_fastpaths/v2\",\n";
   add "  \"scale\": %S,\n" (if quick then "quick" else "full");
   add "  \"jobs\": %d, \"rtol\": %.0e, \"machines_checked\": [1, 2, 8],\n" b5.b5_n diff_rtol;
   add "  \"engines\": [\n";
@@ -904,7 +916,9 @@ type b6_report = {
    serve pattern).  The acceptance bar of the live-engine work is one
    million events per second; the slot-kernel specs clear it with wide
    margin, the heap-cascade specs (equal-share, SETF) carry more state
-   per event and get the bare floor. *)
+   per event and get the bare floor, and the dense rate-vector cores
+   (laps, mlfq, wrr-age) touch every alive job per event, so they get
+   half of it. *)
 let b6_cases =
   [
     (Rr_engine.Live.Equal_share, Rr_policies.Round_robin.policy, 1.0e6);
@@ -913,6 +927,16 @@ let b6_cases =
     (Rr_engine.Live.Indexed Rr_engine.Index_engine.Fcfs, Rr_policies.Fcfs.policy, 1.0e6);
     (Rr_engine.Live.Setf_cascade, Rr_policies.Setf.policy, 1.0e6);
   ]
+  @ List.map
+      (fun (spec, gate) ->
+        let policy = Rr_policies.Registry.make spec in
+        (Rr_engine.Live.Classified (Option.get policy.Rr_engine.Policy.klass), policy, gate))
+      [
+        (Rr_policies.Registry.Laps 0.5, 0.5e6);
+        (Rr_policies.Registry.Mlfq 0.5, 0.5e6);
+        (Rr_policies.Registry.Wrr_age 2, 0.5e6);
+        (Rr_policies.Registry.Hybrid 3., 1.0e6);
+      ]
 
 let run_live_bench () =
   Gc.compact ();

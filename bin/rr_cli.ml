@@ -108,16 +108,17 @@ let engine_arg =
     & info [ "engine" ] ~docv:"ENGINE"
         ~doc:
           (Printf.sprintf
-             "Engine selection: %s.  $(b,auto) (the default) dispatches policies with a \
-              closed-form engine (RR's equal-share cascade, the SRPT/SJF/FCFS \
-              priority-index kernel, the SETF group cascade — each agrees with the \
-              general loop to ~1e-9 relative flow time but is several times faster) and \
-              runs everything else on the general event loop; $(b,general) forces the \
-              general loop everywhere (reproduces archived general-loop numbers \
-              bit-exactly); $(b,indexed) / $(b,equal-share) insist on the matching \
-              closed-form kernel and fail on policies outside its reach; $(b,live) \
-              routes fast-pathable policies through the incremental submit-while-running \
-              core that $(b,rr_cli serve) uses."
+             "Engine selection: %s.  $(b,auto) (the default) dispatches every policy \
+              that declares a class to its specialised kernel (RR's equal-share cascade, \
+              the SRPT/SJF/FCFS/HDF priority index, the SETF group cascade, the \
+              LAPS/MLFQ/quantum/WRR dense kernels, the starvation-hybrid and \
+              migration-budget kernels — each agrees with the general loop to ~1e-9 \
+              relative flow time but is several times faster) and runs unclassified \
+              policies on the general event loop; $(b,general) forces the general loop \
+              everywhere (reproduces archived general-loop numbers bit-exactly); \
+              $(b,indexed) / $(b,equal-share) insist on a specialised kernel and fail on \
+              policies outside its reach; $(b,live) routes classified policies through \
+              the incremental submit-while-running core that $(b,rr_cli serve) uses."
              (String.concat " | " (List.map (Printf.sprintf "$(b,%s)") Run.engine_strings))))
 
 let no_fast_path_arg =
@@ -129,9 +130,9 @@ let no_fast_path_arg =
           "Deprecated alias for $(b,--engine general).  An explicit $(b,--engine) wins \
            over this flag.")
 
-(* The deprecated boolean folds into the variant exactly like
-   [Run.config]'s [?fast_path] shim: an explicit --engine wins, the bare
-   flag means the general loop. *)
+(* [Run.config]'s boolean shim is gone; the flag survives here purely as
+   CLI spelling: an explicit --engine wins, the bare flag means the
+   general loop. *)
 let resolve_engine engine no_fast_path =
   match (engine, no_fast_path) with `Auto, true -> `General | e, _ -> e
 
@@ -466,26 +467,27 @@ let lowerbound_cmd =
 (* ------------------------------------------------------------------ *)
 
 let crossover_cmd =
-  let run machines k theta lo hi iters file seed sizes load n jobs engine no_fast_path no_cache
-      cache_stats =
+  let run policy machines k theta lo hi iters file seed sizes load n jobs engine no_fast_path
+      no_cache cache_stats =
     let engine = resolve_engine engine no_fast_path in
     let inst = load_instance ~file ~seed ~sizes ~load ~machines ~n in
     let f speed =
       Temporal_fairness.Ratio.vs_baseline
         (Run.config ~machines ~k ~speed ~engine ~cache:(not no_cache) ())
-        Rr_policies.Round_robin.policy inst
+        policy inst
     in
     let result =
       with_jobs jobs (fun pool -> Temporal_fairness.Sweep.min_speed_for ~pool ~f ~threshold:theta ~lo ~hi ~iters ())
     in
     Format.printf "%a@." Rr_workload.Instance.pp inst;
     if cache_stats then print_cache_stats ();
+    let name = policy.Rr_engine.Policy.name in
     match result with
     | Ok s ->
-        Format.printf "minimal RR speed with l%d norm <= %g x SRPT@1: %g@." k theta s
+        Format.printf "minimal %s speed with l%d norm <= %g x SRPT@1: %g@." name k theta s
     | Error `Above_hi ->
-        Format.printf "no crossover at or below speed %g (RR's l%d ratio stays above %g)@." hi k
-          theta
+        Format.printf "no crossover at or below speed %g (%s's l%d ratio stays above %g)@." hi
+          name k theta
     | Error (`Bad_bracket msg) ->
         Format.eprintf "invalid bracket: %s@." msg;
         exit 2
@@ -501,12 +503,12 @@ let crossover_cmd =
   Cmd.v
     (Cmd.info "crossover"
        ~doc:
-         "Bracket search for the smallest RR speed whose lk norm is within theta of SRPT@1 \
-          (probes within a round run on the --jobs pool).")
+         "Bracket search for the smallest speed at which --policy's lk norm is within theta \
+          of SRPT@1 (default policy rr; probes within a round run on the --jobs pool).")
     Term.(
-      const run $ machines_arg $ k_arg $ theta_arg $ lo_arg $ hi_arg $ iters_arg $ file_arg
-      $ seed_arg $ sizes_arg $ load_arg $ n_arg $ jobs_arg $ engine_arg $ no_fast_path_arg
-      $ no_cache_arg $ cache_stats_arg)
+      const run $ policy_arg $ machines_arg $ k_arg $ theta_arg $ lo_arg $ hi_arg $ iters_arg
+      $ file_arg $ seed_arg $ sizes_arg $ load_arg $ n_arg $ jobs_arg $ engine_arg
+      $ no_fast_path_arg $ no_cache_arg $ cache_stats_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gantt                                                               *)

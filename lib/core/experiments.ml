@@ -761,15 +761,59 @@ let t12_linf ?(engine = `Auto) ?pool scale =
        [ rr; srpt; Rr_policies.Sjf.policy; Rr_policies.Fcfs.policy; Rr_policies.Setf.policy ]);
   table
 
-let all ?fast_path ?engine ?pool scale =
-  (* [?fast_path] is the deprecated pre-variant spelling; an explicit
-     [?engine] wins, [~fast_path:false] maps to [`General]. *)
-  let engine =
-    match (engine, fast_path) with
-    | Some e, _ -> Some e
-    | None, Some false -> Some `General
-    | None, (Some true | None) -> None
+(* ------------------------------------------------------------------ *)
+(* F6: starvation-hybrid tradeoff (Kuo)                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Kuo's starvation-mitigation family interpolates between SRPT and
+   FCFS: a job whose flow/size ratio crosses theta gains absolute FCFS
+   priority.  Sweeping theta traces the l1-vs-l2 tradeoff the lk
+   objective arbitrates — large theta never promotes (pure SRPT: best
+   total flow, starving tail), small theta promotes almost on arrival
+   (FCFS-like: l1 cost, bounded stretch).  Both endpoints are printed
+   for reference; the l2 column should descend towards 1 as theta grows
+   while the max-flow column rises, the monotone curve the test suite
+   pins. *)
+let f6_hybrid_tradeoff ?(engine = `Auto) ?pool scale =
+  let table =
+    Table.create
+      ~title:"F6: starvation hybrid (Kuo) — l1/l2 tradeoff vs SRPT as theta sweeps (m=1, k=2)"
+      ~columns:[ "sizes"; "theta"; "l1 vs SRPT"; "l2 vs SRPT"; "max flow vs SRPT" ]
   in
+  let n = match scale with Quick -> 150 | Full -> 1000 in
+  let thetas = [ 0.25; 0.5; 1.; 2.; 4.; 8.; 32. ] in
+  let tasks =
+    List.concat_map
+      (fun sizes ->
+        let inst = stochastic ~seed:83 ~sizes ~load:0.9 ~machines:1 ~n in
+        List.map
+          (fun sel -> (sizes, inst, sel))
+          ((`Fcfs :: List.map (fun th -> `Hybrid th) thetas) @ [ `Srpt ]))
+      [ exp_sizes; heavy_sizes ]
+  in
+  let cfg = Run.config ~engine () in
+  add_rows table
+    (pmap pool
+       (fun (sizes, inst, sel) ->
+         let label, policy =
+           match sel with
+           | `Fcfs -> ("fcfs (theta -> 0)", Rr_policies.Fcfs.policy)
+           | `Hybrid th -> (Printf.sprintf "%g" th, Rr_policies.Hybrid.policy ~theta:th ())
+           | `Srpt -> ("srpt (theta -> inf)", srpt)
+         in
+         let r = Run.measure cfg policy inst in
+         let b = Run.measure cfg srpt inst in
+         [
+           Rr_workload.Distribution.name sizes;
+           label;
+           Table.fcell (r.Run.mean_flow /. b.Run.mean_flow);
+           Table.fcell (r.Run.norm /. b.Run.norm);
+           Table.fcell (r.Run.max_flow /. b.Run.max_flow);
+         ])
+       tasks);
+  table
+
+let all ?engine ?pool scale =
   [
     t1_l2_speed_sweep ?engine ?pool scale;
     t2_lk_theorem_speed ?engine ?pool scale;
@@ -788,4 +832,5 @@ let all ?fast_path ?engine ?pool scale =
     t11_weighted_rr ?engine ?pool scale;
     f5_broadcast ?engine ?pool scale;
     t12_linf ?engine ?pool scale;
+    f6_hybrid_tradeoff ?engine ?pool scale;
   ]

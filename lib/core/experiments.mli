@@ -100,13 +100,17 @@ val t12_linf : ?engine:Run.engine -> ?pool:Pool.t -> scale -> Rr_util.Table.t
     policy.  FCFS optimises max flow, RR bounds every job's slowdown by
     the alive count, SRPT/SJF sacrifice the tail. *)
 
-val all :
-  ?fast_path:bool -> ?engine:Run.engine -> ?pool:Pool.t -> scale -> Rr_util.Table.t list
+val f6_hybrid_tradeoff : ?engine:Run.engine -> ?pool:Pool.t -> scale -> Rr_util.Table.t
+(** Kuo's starvation-mitigation hybrid: l1 / l2 / max-flow ratios vs
+    SRPT as the stretch threshold theta sweeps from FCFS-like (small) to
+    pure SRPT (large), with both endpoints printed for reference — the
+    l2-vs-l1 tradeoff curve the lk objective arbitrates. *)
+
+val all : ?engine:Run.engine -> ?pool:Pool.t -> scale -> Rr_util.Table.t list
 (** All experiments in presentation order, sharing the pool.
     [?engine] (default [`Auto]) is forwarded to every [Run.config] the
     suite builds — pass [`General] (the CLI's [--engine general]) to
     force the general event loop everywhere, e.g. to regenerate the
     archived EXPERIMENTS.md numbers bit-exactly.  F4 and F5 run custom
     simulators outside the engine surface; they accept and ignore the
-    selection.  [?fast_path] is the deprecated boolean spelling
-    ([false] = [`General]); an explicit [?engine] wins. *)
+    selection. *)

@@ -13,16 +13,8 @@ let default =
   { machines = 1; speed = 1.; k = 2; record_trace = false; engine = `Auto; cache = true }
 
 let config ?(machines = default.machines) ?(speed = default.speed) ?(k = default.k)
-    ?(record_trace = default.record_trace) ?fast_path ?engine ?(cache = default.cache) () =
-  (* [?engine] is the selection surface; [?fast_path] survives as a
-     deprecated shim for the pre-variant API ([false] meant "force the
-     general loop").  An explicit [?engine] wins over the shim. *)
-  let engine =
-    match (engine, fast_path) with
-    | Some e, _ -> e
-    | None, Some false -> `General
-    | None, (Some true | None) -> default.engine
-  in
+    ?(record_trace = default.record_trace) ?(engine = default.engine)
+    ?(cache = default.cache) () =
   { machines; speed; k; record_trace; engine; cache }
 
 let engine_of_string s =
@@ -48,20 +40,33 @@ type selection =
   | Equal_share
   | Index of Rr_engine.Index_engine.kind
   | Setf_cascade
+  | Classed of Rr_engine.Class_engine.kind
+  | Hybrid of { theta : float }
+  | Budget of { budget : int }
   | Live of Rr_engine.Live.spec
 
-(* Each closed-form engine applies only when the policy *is* the shared
-   policy value it replaces (Registry.make returns those same values, so
-   CLI runs dispatch too).  Physical equality is the point: a custom
-   policy that happens to be named "srpt" but allocates differently must
-   not be fast-pathed. *)
-let classify (policy : Rr_engine.Policy.t) =
-  if policy == Rr_policies.Round_robin.policy then Some Equal_share
-  else if policy == Rr_policies.Srpt.policy then Some (Index Rr_policies.Srpt.index_kind)
-  else if policy == Rr_policies.Sjf.policy then Some (Index Rr_policies.Sjf.index_kind)
-  else if policy == Rr_policies.Fcfs.policy then Some (Index Rr_policies.Fcfs.index_kind)
-  else if policy == Rr_policies.Setf.policy then Some Setf_cascade
-  else None
+(* A specialised engine applies exactly when the policy declares a
+   class: the descriptor ([Policy.t.klass]) asserts that [allocate] is
+   extensionally the class's reference behaviour, and the engine layer
+   dispatches on the descriptor alone.  An undeclared policy — even one
+   structurally identical to a classified one — stays on the general
+   loop by design: the declaration is the contract the differential
+   suite pins, not a structural guess. *)
+let selection_of_class (klass : Rr_engine.Policy_class.t) =
+  match klass with
+  | Rr_engine.Policy_class.Equal_share -> Equal_share
+  | Rr_engine.Policy_class.Static_key key -> Index (Rr_engine.Index_engine.kind_of_key key)
+  | Rr_engine.Policy_class.Attained_cascade -> Setf_cascade
+  | Rr_engine.Policy_class.Starvation_hybrid { theta } -> Hybrid { theta }
+  | Rr_engine.Policy_class.Preempt_budget { budget } -> Budget { budget }
+  | Rr_engine.Policy_class.Level_ladder _ | Rr_engine.Policy_class.Quantum_cycle _
+  | Rr_engine.Policy_class.Latest_fraction _ | Rr_engine.Policy_class.Aged_share _
+  | Rr_engine.Policy_class.Sized_share _ -> (
+      match Rr_engine.Class_engine.kind_of_class klass with
+      | Some kind -> Classed kind
+      | None -> assert false (* the dense classes all have a kind *))
+
+let classify (policy : Rr_engine.Policy.t) = Option.map selection_of_class policy.klass
 
 let unsupported engine (policy : Rr_engine.Policy.t) =
   invalid_arg
@@ -77,22 +82,28 @@ let selection_for cfg (policy : Rr_engine.Policy.t) =
       | Some Equal_share -> Equal_share
       | _ -> unsupported "equal-share" policy)
   | `Indexed -> (
+      (* "indexed" means "the policy's specialised kernel, whatever its
+         class" — any classified policy qualifies except Round Robin,
+         whose kernel has its own historical selector. *)
       match classify policy with
-      | Some (Index kind) -> Index kind
-      | Some Setf_cascade -> Setf_cascade
-      | _ -> unsupported "indexed" policy)
+      | Some Equal_share | None -> unsupported "indexed" policy
+      | Some s -> s)
   | `Live -> (
-      match classify policy with
-      | Some Equal_share -> Live Rr_engine.Live.Equal_share
-      | Some (Index kind) -> Live (Rr_engine.Live.Indexed kind)
-      | Some Setf_cascade -> Live Rr_engine.Live.Setf_cascade
-      | Some (General | Live _) | None -> unsupported "live" policy)
+      match policy.klass with
+      | Some klass -> Live (Rr_engine.Live.Classified klass)
+      | None -> unsupported "live" policy)
 
 let engine_name_of = function
   | General -> "general"
   | Equal_share -> "equal-share"
   | Index kind -> Rr_engine.Index_engine.kind_name kind ^ "-index"
   | Setf_cascade -> "setf-cascade"
+  | Classed kind ->
+      Rr_engine.Policy_class.engine_name (Rr_engine.Class_engine.class_of_kind kind)
+  | Hybrid { theta } ->
+      Rr_engine.Policy_class.engine_name (Rr_engine.Policy_class.Starvation_hybrid { theta })
+  | Budget { budget } ->
+      Rr_engine.Policy_class.engine_name (Rr_engine.Policy_class.Preempt_budget { budget })
   | Live spec -> "live-" ^ Rr_engine.Live.spec_name spec
 
 let engine_name cfg policy = engine_name_of (selection_for cfg policy)
@@ -143,6 +154,9 @@ let simulate cfg policy inst =
   | Equal_share -> Rr_engine.Simulator.run_equal_share ~record_trace ~speed ~machines jobs
   | Index kind -> Rr_engine.Index_engine.run ~record_trace ~speed ~machines ~kind jobs
   | Setf_cascade -> Rr_engine.Index_engine.run_setf ~record_trace ~speed ~machines jobs
+  | Classed kind -> Rr_engine.Class_engine.run ~record_trace ~speed ~machines ~kind jobs
+  | Hybrid { theta } -> Rr_engine.Hybrid_engine.run ~record_trace ~speed ~machines ~theta jobs
+  | Budget { budget } -> Rr_engine.Budget_engine.run ~record_trace ~speed ~machines ~budget jobs
   | General -> Rr_engine.Simulator.run ~record_trace ~speed ~machines ~policy jobs
   | Live spec ->
       (* The live engine reports (arrival, flow) pairs; rebuild the
@@ -183,6 +197,12 @@ let simulate_stream cfg policy stream ~sink =
       Rr_engine.Simulator.run_equal_share_stream ~speed ~max_events ~machines ~sink pull
   | Index kind -> Rr_engine.Index_engine.run_stream ~speed ~max_events ~machines ~kind ~sink pull
   | Setf_cascade -> Rr_engine.Index_engine.run_setf_stream ~speed ~max_events ~machines ~sink pull
+  | Classed kind ->
+      Rr_engine.Class_engine.run_stream ~speed ~max_events ~machines ~kind ~sink pull
+  | Hybrid { theta } ->
+      Rr_engine.Hybrid_engine.run_stream ~speed ~max_events ~machines ~theta ~sink pull
+  | Budget { budget } ->
+      Rr_engine.Budget_engine.run_stream ~speed ~max_events ~machines ~budget ~sink pull
   | General -> Rr_engine.Simulator.run_stream ~speed ~max_events ~machines ~policy ~sink pull
   | Live spec ->
       let q = live_run_stream cfg spec ~max_events ~sink pull in
@@ -341,20 +361,26 @@ let power_sum cfg policy inst = (measure cfg policy inst).power_sum
    at equal n, not the absolute times. *)
 let estimated_cost_us cfg policy ~jobs =
   let n = Float.of_int jobs in
-  let per_job =
-    match selection_for cfg policy with
+  let rec per_job = function
     | Equal_share -> 0.2
     | Index _ -> 0.25
     | Setf_cascade -> 0.5
+    (* The slot/heap kernels (hybrid, budget) cost a heap operation per
+       event like the indexes; the dense kernels keep O(alive) events
+       but skip the view rebuild, sort and policy closure — several
+       times under the general loop, well over the heap cascades. *)
+    | Hybrid _ | Budget _ -> 0.3
+    | Classed _ -> 0.8
     | Live spec -> (
         (* Same kernels plus the pending-queue and metric-fold overhead. *)
         match spec with
         | Rr_engine.Live.Equal_share -> 0.3
         | Rr_engine.Live.Indexed _ -> 0.35
-        | Rr_engine.Live.Setf_cascade -> 0.6)
+        | Rr_engine.Live.Setf_cascade -> 0.6
+        | Rr_engine.Live.Classified klass -> 0.1 +. per_job (selection_of_class klass))
     | General -> 2.0
   in
-  per_job *. n
+  per_job (selection_for cfg policy) *. n
 
 let batch ?chunk pool cfg tasks =
   Pool.map ?chunk

@@ -23,21 +23,27 @@
 
     Engine selection is one typed surface, the [engine] field:
 
-    - [`Auto] (the default): runs of the shared policy values of
-      {!Rr_policies} dispatch to closed-form engines — Round Robin to the
-      equal-share cascade {!Rr_engine.Simulator.run_equal_share},
-      SRPT/SJF/FCFS to the priority-index kernel
-      {!Rr_engine.Index_engine.run}, SETF to the group cascade
-      {!Rr_engine.Index_engine.run_setf} — each agreeing with the general
-      engine to <= 1e-9 relative flow time but several times faster in
-      heavy traffic ({!selection_for} is the classifier, {!engine_name}
-      the audit string).  Every other policy takes the general loop.
+    - [`Auto] (the default): every policy that declares a
+      {!Rr_engine.Policy_class.t} dispatches to its class's specialised
+      kernel — Round Robin to the equal-share cascade
+      {!Rr_engine.Simulator.run_equal_share}, SRPT/SJF/FCFS/HDF to the
+      priority-index kernel {!Rr_engine.Index_engine.run}, SETF to the
+      group cascade {!Rr_engine.Index_engine.run_setf}, LAPS / MLFQ /
+      quantum-RR / the weighted shares to the dense class kernels
+      ({!Rr_engine.Class_engine}), the starvation hybrid to
+      {!Rr_engine.Hybrid_engine} and migration-limited SRPT to
+      {!Rr_engine.Budget_engine} — each agreeing with the general engine
+      to <= 1e-9 relative flow time but several times faster in heavy
+      traffic ({!selection_for} is the classifier, {!engine_name} the
+      audit string).  Unclassified policies take the general loop.
     - [`General]: force the per-event policy loop for every policy (e.g.
       to reproduce bit-exact historical numbers).
-    - [`Indexed] / [`Equal_share]: insist on the matching closed-form
-      kernel; selection raises [Invalid_argument] for a policy the kernel
-      cannot run instead of silently falling back.
-    - [`Live]: route the fast-pathable policies through the incremental
+    - [`Indexed] / [`Equal_share]: insist on a specialised kernel —
+      [`Indexed] accepts any classified policy except Round Robin
+      (which keeps its historical [`Equal_share] selector); selection
+      raises [Invalid_argument] for a policy outside the requested
+      kernel's reach instead of silently falling back.
+    - [`Live]: route every classified policy through the incremental
       {!Rr_engine.Live} core (submit-while-running; here fed from the
       materialized instance or stream), exercising the exact engine a
       long-running [rr_cli serve] daemon uses.
@@ -75,17 +81,14 @@ val config :
   ?speed:float ->
   ?k:int ->
   ?record_trace:bool ->
-  ?fast_path:bool ->
   ?engine:engine ->
   ?cache:bool ->
   unit ->
   config
-(** {!default} with the given fields overridden.
-
-    [?fast_path] is the {e deprecated} pre-variant spelling kept for
-    source compatibility: [~fast_path:false] means [~engine:`General],
-    [~fast_path:true] means [~engine:`Auto].  An explicit [?engine]
-    always wins.  New code should pass [?engine]. *)
+(** {!default} with the given fields overridden.  (The pre-variant
+    [?fast_path] boolean is gone; pass [~engine:`General] where
+    [~fast_path:false] was meant.  The CLI keeps [--no-fast-path] as an
+    alias for [--engine general].) *)
 
 val engine_of_string : string -> engine option
 (** Parse a CLI spelling: ["auto"], ["general"], ["indexed"],
@@ -100,25 +103,31 @@ type selection =
   | General  (** The per-event policy-invoking loop of {!Rr_engine.Simulator.run}. *)
   | Equal_share  (** {!Rr_engine.Simulator.run_equal_share} (Round Robin). *)
   | Index of Rr_engine.Index_engine.kind
-      (** The priority-index kernel (SRPT / SJF / FCFS). *)
+      (** The priority-index kernel (SRPT / SJF / FCFS / HDF). *)
   | Setf_cascade  (** {!Rr_engine.Index_engine.run_setf}. *)
+  | Classed of Rr_engine.Class_engine.kind
+      (** A dense class kernel (LAPS / MLFQ / quantum-RR / WRR). *)
+  | Hybrid of { theta : float }  (** {!Rr_engine.Hybrid_engine} (starvation hybrid). *)
+  | Budget of { budget : int }
+      (** {!Rr_engine.Budget_engine} (migration-limited SRPT). *)
   | Live of Rr_engine.Live.spec  (** The incremental {!Rr_engine.Live} core. *)
 
 val selection_for : config -> Rr_engine.Policy.t -> selection
 (** Which concrete engine {!simulate} / {!simulate_stream} will dispatch
-    this (config, policy) pair to.  Under [`Auto] a closed-form engine is
-    chosen only when the policy is physically the shared value it
-    replaces ({!Rr_policies.Round_robin.policy} etc., which
-    [Registry.make] returns) — a custom policy that merely shares the
-    name falls back to [General].  Under [`Indexed], [`Equal_share] and
-    [`Live] the same physical-equality classification applies, but a
+    this (config, policy) pair to.  The classifier reads the policy's
+    declared class ([Rr_engine.Policy.t.klass]) — never its name or
+    structure: a policy without the declaration falls back to [General]
+    even if it is a structural copy of a classified one (the declaration
+    is the contract the differential suite pins).  Under [`Indexed],
+    [`Equal_share] and [`Live] the same classification applies, but a
     policy outside the requested kernel's reach
     @raise Invalid_argument instead of silently falling back. *)
 
 val engine_name : config -> Rr_engine.Policy.t -> string
 (** {!selection_for} as the audit string recorded in cache keys and
     printed by the CLI: ["general"], ["equal-share"], ["srpt-index"],
-    ["sjf-index"], ["fcfs-index"], ["setf-cascade"], or the same with a
+    ["setf-cascade"], ["mlfq-ladder"], ["laps-dense"], ["hybrid-index"],
+    ... ({!Rr_engine.Policy_class.engine_name}), or the same with a
     ["live-"] prefix under [`Live]. *)
 
 val default_max_events : int

@@ -1,0 +1,287 @@
+(* Preemption-budget SRPT kernel ({!Policy_class.Preempt_budget}).  See
+   budget_engine.mli.
+
+   SRPT, except each job may be evicted from a machine at most [budget]
+   times; an incumbent whose eviction count has reached the budget is
+   immune and runs to completion.  The rule is history-dependent, so the
+   kernel replays exactly the transitions the mirror policy makes, in
+   the same order at every event:
+
+     1. completed jobs leave their machines ([settle]),
+     2. free machines are refilled from the *waiting* set, best
+        (remaining, id) first — before any same-instant arrival is
+        considered (completion beats arrival),
+     3. fresh arrivals, in (arrival, id) order, take a free machine if
+        any, else challenge the weakest evictable incumbent (max
+        (remaining, id) among those under budget) and evict it — bumping
+        its count — iff they beat it under (remaining, id).
+
+   Waiting jobs never run, so their remaining work is frozen and the
+   waiting heap needs no staleness handling: a job's entry is popped
+   when it is seated and re-pushed (with its current remaining) when it
+   is evicted.  Each event costs O(m + log alive). *)
+
+module Heap = Rr_util.Heap
+module Vec = Rr_util.Vec
+module Source = Simulator.Source
+
+type slot = {
+  mutable id : int;
+  mutable arrival : float;
+  mutable size : float;
+  mutable remaining : float;
+}
+
+type state = {
+  budget : int;
+  machines : int;
+  speed : float;
+  slots : slot array;  (* running jobs, packed in [0, n_run) *)
+  mutable n_run : int;
+  waiting : Heap.Scalar3.t;  (* key = remaining, aux = arrival, size, remaining *)
+  fresh : Job.t Queue.t;  (* arrivals not yet processed by [refresh] *)
+  evictions : (int, int) Hashtbl.t;
+  mutable alive : int;
+}
+
+let create ~machines ~speed ~budget =
+  if machines < 1 then invalid_arg "Budget_engine.create: machines must be >= 1";
+  if not (Float.is_finite speed && speed > 0.) then
+    invalid_arg "Budget_engine.create: speed must be finite and positive";
+  (match Policy_class.validate (Policy_class.Preempt_budget { budget }) with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Budget_engine.create: " ^ msg));
+  {
+    budget;
+    machines;
+    speed;
+    slots = Array.init machines (fun _ -> { id = -1; arrival = 0.; size = 0.; remaining = 0. });
+    n_run = 0;
+    waiting = Heap.Scalar3.create ();
+    fresh = Queue.create ();
+    evictions = Hashtbl.create 64;
+    alive = 0;
+  }
+
+let alive st = st.alive
+
+let threshold size = 1e-9 *. (1. +. size)
+
+let admit st (j : Job.t) =
+  Queue.push j st.fresh;
+  st.alive <- st.alive + 1
+
+let count st id = match Hashtbl.find_opt st.evictions id with Some c -> c | None -> 0
+
+let push_waiting st ~id ~arrival ~size ~remaining =
+  Heap.Scalar3.add st.waiting ~key:remaining ~aux1:arrival ~aux2:size ~aux3:remaining id
+
+let pop_into_free_slot st =
+  let arrival = Heap.Scalar3.min_aux1_exn st.waiting in
+  let size = Heap.Scalar3.min_aux2_exn st.waiting in
+  let remaining = Heap.Scalar3.min_aux3_exn st.waiting in
+  let id = Heap.Scalar3.pop_exn st.waiting in
+  let s = st.slots.(st.n_run) in
+  s.id <- id;
+  s.arrival <- arrival;
+  s.size <- size;
+  s.remaining <- remaining;
+  st.n_run <- st.n_run + 1
+
+(* Mirror of one [allocate] call: refill from the waiting set, then
+   process buffered arrivals in admission order. *)
+let refresh st ~now:_ =
+  while st.n_run < st.machines && Heap.Scalar3.length st.waiting > 0 do
+    pop_into_free_slot st
+  done;
+  while not (Queue.is_empty st.fresh) do
+    let j = Queue.pop st.fresh in
+    if st.n_run < st.machines then begin
+      let s = st.slots.(st.n_run) in
+      s.id <- j.Job.id;
+      s.arrival <- j.arrival;
+      s.size <- j.size;
+      s.remaining <- j.size;
+      st.n_run <- st.n_run + 1
+    end
+    else begin
+      (* Weakest evictable incumbent under (remaining, id). *)
+      let weak = ref (-1) in
+      for i = 0 to st.n_run - 1 do
+        let s = st.slots.(i) in
+        if count st s.id < st.budget then
+          match !weak with
+          | -1 -> weak := i
+          | w ->
+              let sw = st.slots.(w) in
+              if s.remaining > sw.remaining || (s.remaining = sw.remaining && s.id > sw.id)
+              then weak := i
+      done;
+      match !weak with
+      | -1 -> push_waiting st ~id:j.Job.id ~arrival:j.arrival ~size:j.size ~remaining:j.size
+      | w ->
+          let sw = st.slots.(w) in
+          if j.Job.size < sw.remaining || (j.Job.size = sw.remaining && j.Job.id < sw.id)
+          then begin
+            push_waiting st ~id:sw.id ~arrival:sw.arrival ~size:sw.size ~remaining:sw.remaining;
+            Hashtbl.replace st.evictions sw.id (count st sw.id + 1);
+            sw.id <- j.Job.id;
+            sw.arrival <- j.arrival;
+            sw.size <- j.size;
+            sw.remaining <- j.size
+          end
+          else push_waiting st ~id:j.Job.id ~arrival:j.arrival ~size:j.size ~remaining:j.size
+    end
+  done
+
+(* The policy never emits a horizon: internal events are completions of
+   the running set (rate 1 each). *)
+let next_internal st ~now =
+  let t = ref Float.infinity in
+  for i = 0 to st.n_run - 1 do
+    let c = now +. (st.slots.(i).remaining /. st.speed) in
+    if c < !t then t := c
+  done;
+  !t
+
+let advance st ~dt =
+  let adv = st.speed *. dt in
+  for i = 0 to st.n_run - 1 do
+    let s = st.slots.(i) in
+    s.remaining <- s.remaining -. adv
+  done
+
+let settle st ~now ~complete =
+  for i = st.n_run - 1 downto 0 do
+    let s = st.slots.(i) in
+    if s.remaining <= threshold s.size then begin
+      complete s.id s.arrival now;
+      Hashtbl.remove st.evictions s.id;
+      st.alive <- st.alive - 1;
+      (* Pack the running prefix: swap the retiring slot with the last
+         one.  Indices below [i] are untouched, so the downward sweep
+         stays valid. *)
+      let last = st.n_run - 1 in
+      if i <> last then begin
+        let l = st.slots.(last) in
+        st.slots.(last) <- s;
+        st.slots.(i) <- l
+      end;
+      st.n_run <- last
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Closed event loop                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let budget_core ~record_trace ~speed ~max_events ~machines ~budget ~(source : Source.t)
+    ~(complete : int -> float -> float -> unit) =
+  let st = create ~machines ~speed ~budget in
+  let next_arr = ref (Source.next_arrival source) in
+  let max_alive = ref 0 in
+  let admit_upto now =
+    while !next_arr <= now do
+      (match Source.next source with Some j -> admit st j | None -> ());
+      next_arr := Source.next_arrival source
+    done;
+    if st.alive > !max_alive then max_alive := st.alive
+  in
+  let completed = ref 0 in
+  let makespan = ref 0. in
+  let events = ref 0 in
+  let complete' id arrival t =
+    complete id arrival t;
+    incr completed;
+    makespan := t
+  in
+  let trace_arena : Trace.segment Vec.t = Vec.create () in
+  let push_trace ~t0 ~t1 =
+    let entries = Array.make st.alive { Trace.job = -1; arrival = 0.; rate = 0. } in
+    let next = ref 0 in
+    for i = 0 to st.n_run - 1 do
+      let s = st.slots.(i) in
+      entries.(!next) <- { Trace.job = s.id; arrival = s.arrival; rate = 1. };
+      incr next
+    done;
+    Heap.Scalar3.iter
+      (fun _key id arrival _size _remaining ->
+        entries.(!next) <- { Trace.job = id; arrival; rate = 0. };
+        incr next)
+      st.waiting;
+    Queue.iter
+      (fun (j : Job.t) ->
+        entries.(!next) <- { Trace.job = j.id; arrival = j.arrival; rate = 0. };
+        incr next)
+      st.fresh;
+    Vec.push trace_arena { Trace.t0; t1; alive = entries }
+  in
+  let now = ref (match Source.peek source with Some j -> j.Job.arrival | None -> 0.) in
+  admit_upto !now;
+  while st.alive > 0 || Source.has_more source do
+    incr events;
+    if !events > max_events then
+      raise (Simulator.Event_limit_exceeded { limit = max_events; now = !now });
+    if st.alive = 0 then begin
+      now := !next_arr;
+      admit_upto !now
+    end
+    else begin
+      refresh st ~now:!now;
+      let t_next = ref (next_internal st ~now:!now) in
+      if !next_arr < !t_next then t_next := !next_arr;
+      if not (Float.is_finite !t_next) then
+        raise
+          (Simulator.Invalid_allocation
+             "alive jobs receive no service and no arrival or horizon is pending");
+      let dt = !t_next -. !now in
+      assert (dt > 0.);
+      if record_trace then push_trace ~t0:!now ~t1:!t_next;
+      advance st ~dt;
+      now := !t_next;
+      settle st ~now:!now ~complete:complete';
+      admit_upto !now
+    end
+  done;
+  ( {
+      Simulator.n = !completed;
+      events = !events;
+      machines;
+      speed;
+      makespan = !makespan;
+      max_alive = !max_alive;
+    },
+    Vec.to_list trace_arena )
+
+let no_sink : Simulator.sink = fun ~id:_ ~arrival:_ ~flow:_ -> ()
+
+let run ?(record_trace = false) ?(speed = 1.) ?(max_events = 10_000_000) ?(sink = no_sink)
+    ~machines ~budget jobs =
+  let n = Simulator.validate_jobs jobs in
+  let jobs_arr = Simulator.jobs_by_id jobs n in
+  let order = Simulator.release_order jobs n in
+  let completions = Array.make n Float.nan in
+  let complete id arrival now =
+    completions.(id) <- now;
+    sink ~id ~arrival ~flow:(now -. arrival)
+  in
+  let summary, trace =
+    budget_core ~record_trace ~speed ~max_events ~machines ~budget
+      ~source:(Source.of_array order) ~complete
+  in
+  {
+    Simulator.jobs = jobs_arr;
+    completions;
+    trace;
+    machines;
+    speed;
+    events = summary.Simulator.events;
+  }
+
+let run_stream ?(speed = 1.) ?(max_events = 10_000_000) ~machines ~budget ~sink pull =
+  let complete id arrival now = sink ~id ~arrival ~flow:(now -. arrival) in
+  let summary, _trace =
+    budget_core ~record_trace:false ~speed ~max_events ~machines ~budget
+      ~source:(Source.of_fn pull) ~complete
+  in
+  summary

@@ -1,0 +1,451 @@
+(* Dense class kernels: specialised engines for the rate-vector policy
+   classes whose decisions depend on the whole alive set — LAPS's
+   latest-arrival share, MLFQ's attained-service ladder, the weighted
+   proportional shares (age- and size-weighted), and discrete quantum
+   round-robin.  See class_engine.mli.
+
+   Unlike the priority-index kernels (index_engine.ml), these classes
+   hand fractional rates to many jobs at once, so each event still costs
+   O(alive); the win over the general loop is structural.  The engine
+   keeps its jobs in exactly the order its class needs — admission order
+   doubles as (arrival asc, id asc) for LAPS and, because age-derived
+   weights are monotone in arrival, as (weight desc, id asc) for WRR-age
+   — so it never sorts, never rebuilds policy views, and never runs the
+   policy closure.  The numeric kernels (capped proportional shares, the
+   MLFQ ladder) are the shared ones in {!Policy_class}, and the fold
+   orders, guards, and float expressions mirror the reference policies
+   operation for operation, so on the same event sequence the two sides
+   produce the same floats; the differential suite in test_simcore pins
+   agreement to <= 1e-9 relative flow time. *)
+
+module Vec = Rr_util.Vec
+module Source = Simulator.Source
+
+type kind =
+  | Laps of { beta : float }
+  | Ladder of { base_quantum : float; factor : float; levels : int }
+  | Aged of { k : int; refresh : float; offset : float }
+  | Sized of { gamma : float }
+  | Quantum of { quantum : float }
+
+let kind_of_class = function
+  | Policy_class.Latest_fraction { beta } -> Some (Laps { beta })
+  | Policy_class.Level_ladder { base_quantum; factor; levels } ->
+      Some (Ladder { base_quantum; factor; levels })
+  | Policy_class.Aged_share { k; refresh; offset } -> Some (Aged { k; refresh; offset })
+  | Policy_class.Sized_share { gamma } -> Some (Sized { gamma })
+  | Policy_class.Quantum_cycle { quantum } -> Some (Quantum { quantum })
+  | Policy_class.Equal_share | Policy_class.Static_key _ | Policy_class.Attained_cascade
+  | Policy_class.Starvation_hybrid _ | Policy_class.Preempt_budget _ ->
+      None
+
+let class_of_kind = function
+  | Laps { beta } -> Policy_class.Latest_fraction { beta }
+  | Ladder { base_quantum; factor; levels } ->
+      Policy_class.Level_ladder { base_quantum; factor; levels }
+  | Aged { k; refresh; offset } -> Policy_class.Aged_share { k; refresh; offset }
+  | Sized { gamma } -> Policy_class.Sized_share { gamma }
+  | Quantum { quantum } -> Policy_class.Quantum_cycle { quantum }
+
+(* One record per alive job, owned by the engine for the job's whole
+   lifetime.  [rate] caches the last decision so partial advances (the
+   live engine splits intervals at [step] targets) reuse it without a
+   recompute — exactly the general loop's allocate-once-per-event
+   discipline, which is what keeps WRR-age's drifting weights
+   split-safe. *)
+type djob = {
+  id : int;
+  arrival : float;
+  size : float;
+  mutable remaining : float;
+  mutable attained : float;
+  mutable rate : float;
+  mutable level : int;  (* Ladder only: MLFQ level as of the last refresh *)
+}
+
+type state = {
+  kind : kind;
+  machines : int;
+  speed : float;
+  jobs : djob Vec.t;  (* dense cores; class-specific order, see [admit] *)
+  slots : djob option array;  (* Quantum: seated jobs, one per machine *)
+  deadlines : float array;  (* Quantum: per-slot quantum deadline *)
+  ready : djob Queue.t;  (* Quantum: FIFO ready queue *)
+  level_counts : int array;  (* Ladder scratch: alive jobs per level *)
+  level_share : float array;  (* Ladder scratch: rate per level *)
+  mutable weights : float array;  (* Aged / Sized scratch, length = alive *)
+  mutable horizon : float;  (* decision horizon; +inf when none *)
+  mutable alive : int;
+}
+
+let create ~machines ~speed kind =
+  if machines < 1 then invalid_arg "Class_engine.create: machines must be >= 1";
+  if not (Float.is_finite speed && speed > 0.) then
+    invalid_arg "Class_engine.create: speed must be finite and positive";
+  (match Policy_class.validate (class_of_kind kind) with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Class_engine.create: " ^ msg));
+  {
+    kind;
+    machines;
+    speed;
+    jobs = Vec.create ();
+    slots = (match kind with Quantum _ -> Array.make machines None | _ -> [||]);
+    deadlines = (match kind with Quantum _ -> Array.make machines Float.infinity | _ -> [||]);
+    ready = Queue.create ();
+    level_counts = (match kind with Ladder { levels; _ } -> Array.make levels 0 | _ -> [||]);
+    level_share = (match kind with Ladder { levels; _ } -> Array.make levels 0. | _ -> [||]);
+    weights = [||];
+    horizon = Float.infinity;
+    alive = 0;
+  }
+
+let alive st = st.alive
+
+(* Same float as Simulator.completion_threshold, inlined into the hot
+   loop. *)
+let threshold size = 1e-9 *. (1. +. size)
+
+let mk_job (j : Job.t) =
+  { id = j.id; arrival = j.arrival; size = j.size; remaining = j.size; attained = 0.; rate = 0.; level = 0 }
+
+(* Jobs must be admitted in (arrival asc, id asc) order — the order
+   every source produces.  LAPS keeps that order directly (the policy
+   serves the latest arrivals, i.e. a suffix of this vector); WRR-age
+   keeps it because age is decreasing in admission order and the
+   age-derived weight is monotone non-decreasing in age, so admission
+   order IS (weight desc, id asc) at every instant; WRR-static inserts
+   by its static weight; MLFQ's vector is unordered (rates depend only
+   on levels). *)
+let admit st (j : Job.t) =
+  let dj = mk_job j in
+  (match st.kind with
+  | Laps _ | Ladder _ | Aged _ -> Vec.push st.jobs dj
+  | Sized { gamma } ->
+      (* Keep (weight desc, id asc).  The newcomer has the largest id, so
+         it goes after every incumbent of weight >= its own: shift the
+         strictly-lighter suffix right by one. *)
+      let w = j.size ** gamma in
+      Vec.push st.jobs dj;
+      let i = ref (Vec.length st.jobs - 1) in
+      while !i > 0 && (Vec.get st.jobs (!i - 1)).size ** gamma < w do
+        Vec.set st.jobs !i (Vec.get st.jobs (!i - 1));
+        decr i
+      done;
+      Vec.set st.jobs !i dj
+  | Quantum _ -> Queue.push dj st.ready);
+  st.alive <- st.alive + 1
+
+(* Mirror of one [allocate] call: recompute every cached rate and the
+   decision horizon.  Run exactly once per event, after completions and
+   admissions have settled — the same place the general loop invokes the
+   policy. *)
+let refresh st ~now =
+  match st.kind with
+  | Laps { beta } ->
+      let n = Vec.length st.jobs in
+      if n > 0 then begin
+        let share_count = Int.max 1 (int_of_float (Float.ceil (beta *. Float.of_int n))) in
+        let share = Float.min 1. (Float.of_int st.machines /. Float.of_int share_count) in
+        let first = n - share_count in
+        for i = 0 to n - 1 do
+          (Vec.get st.jobs i).rate <- (if i >= first then share else 0.)
+        done
+      end;
+      st.horizon <- Float.infinity
+  | Ladder { base_quantum; factor; levels } ->
+      let n = Vec.length st.jobs in
+      Array.fill st.level_counts 0 levels 0;
+      for i = 0 to n - 1 do
+        let dj = Vec.get st.jobs i in
+        dj.level <- Policy_class.ladder_level ~base_quantum ~factor ~levels dj.attained;
+        st.level_counts.(dj.level) <- st.level_counts.(dj.level) + 1
+      done;
+      (* Serve levels lowest-first; same block arithmetic (and the same
+         1e-12 exhaustion guard) as the mirror policy's sorted sweep. *)
+      let left = ref (Float.of_int st.machines) in
+      for lvl = 0 to levels - 1 do
+        if st.level_counts.(lvl) > 0 && !left > 1e-12 then begin
+          let count = Float.of_int st.level_counts.(lvl) in
+          let share = Float.min 1. (!left /. count) in
+          st.level_share.(lvl) <- share;
+          left := !left -. (share *. count)
+        end
+        else st.level_share.(lvl) <- 0.
+      done;
+      st.horizon <- Float.infinity;
+      for i = 0 to n - 1 do
+        let dj = Vec.get st.jobs i in
+        dj.rate <- st.level_share.(dj.level);
+        if dj.rate > 0. && dj.level < levels - 1 then begin
+          let next = Policy_class.ladder_threshold ~base_quantum ~factor dj.level in
+          let gap = next -. dj.attained in
+          if gap > 1e-12 then begin
+            let t = now +. (gap /. (dj.rate *. st.speed)) in
+            if t < st.horizon then st.horizon <- t
+          end
+        end
+      done
+  | Aged { k; refresh; offset } ->
+      let n = Vec.length st.jobs in
+      if Array.length st.weights <> n then st.weights <- Array.make n 0.;
+      for i = 0 to n - 1 do
+        st.weights.(i) <-
+          Rr_util.Floatx.powi ((now -. (Vec.get st.jobs i).arrival) +. offset) (k - 1)
+      done;
+      let rates = Policy_class.capped_rates ~machines:st.machines st.weights in
+      let youngest = ref Float.infinity in
+      for i = 0 to n - 1 do
+        let dj = Vec.get st.jobs i in
+        dj.rate <- rates.(i);
+        youngest := Float.min !youngest (now -. dj.arrival)
+      done;
+      st.horizon <-
+        (if k = 1 || n = 0 then Float.infinity
+         else now +. Float.max 1e-6 (refresh *. (!youngest +. offset)))
+  | Sized { gamma } ->
+      let n = Vec.length st.jobs in
+      if Array.length st.weights <> n then st.weights <- Array.make n 0.;
+      for i = 0 to n - 1 do
+        st.weights.(i) <- (Vec.get st.jobs i).size ** gamma
+      done;
+      let rates = Policy_class.capped_rates ~machines:st.machines st.weights in
+      for i = 0 to n - 1 do
+        (Vec.get st.jobs i).rate <- rates.(i)
+      done;
+      st.horizon <- Float.infinity
+  | Quantum { quantum } ->
+      (* Expired quanta first (incumbent to the back of the queue), then
+         refill idle machines — the mirror policy's transition order. *)
+      for s = 0 to st.machines - 1 do
+        match st.slots.(s) with
+        | Some dj when now >= st.deadlines.(s) -. 1e-12 ->
+            dj.rate <- 0.;
+            Queue.push dj st.ready;
+            st.slots.(s) <- None
+        | _ -> ()
+      done;
+      for s = 0 to st.machines - 1 do
+        if st.slots.(s) = None then
+          match Queue.take_opt st.ready with
+          | Some dj ->
+              dj.rate <- 1.;
+              st.slots.(s) <- Some dj;
+              st.deadlines.(s) <- now +. quantum
+          | None -> ()
+      done;
+      st.horizon <- Float.infinity;
+      for s = 0 to st.machines - 1 do
+        match st.slots.(s) with
+        | Some _ when st.deadlines.(s) < st.horizon -> st.horizon <- st.deadlines.(s)
+        | _ -> ()
+      done
+
+(* Earliest internal event under the cached decision: analytic
+   completion or decision horizon, whichever first.  The caller folds in
+   the next arrival; the min over all three is the same float whatever
+   the fold order, so the general loop's completion -> arrival ->
+   horizon sequencing needs no replication. *)
+let next_internal st ~now =
+  let t = ref st.horizon in
+  (match st.kind with
+  | Quantum _ ->
+      for s = 0 to st.machines - 1 do
+        match st.slots.(s) with
+        | Some dj ->
+            let v = dj.rate *. st.speed in
+            if v > 0. then begin
+              let c = now +. (dj.remaining /. v) in
+              if c < !t then t := c
+            end
+        | None -> ()
+      done
+  | _ ->
+      let n = Vec.length st.jobs in
+      for i = 0 to n - 1 do
+        let dj = Vec.get st.jobs i in
+        let v = dj.rate *. st.speed in
+        if v > 0. then begin
+          let c = now +. (dj.remaining /. v) in
+          if c < !t then t := c
+        end
+      done);
+  !t
+
+(* Advance every served job by the cached rates; a zero rate is a
+   bit-exact no-op in the general loop, so skipping those jobs changes
+   nothing. *)
+let advance st ~dt =
+  match st.kind with
+  | Quantum _ ->
+      for s = 0 to st.machines - 1 do
+        match st.slots.(s) with
+        | Some dj ->
+            let delta = dj.rate *. st.speed *. dt in
+            dj.remaining <- dj.remaining -. delta;
+            dj.attained <- dj.attained +. delta
+        | None -> ()
+      done
+  | _ ->
+      let n = Vec.length st.jobs in
+      for i = 0 to n - 1 do
+        let dj = Vec.get st.jobs i in
+        if dj.rate > 0. then begin
+          let delta = dj.rate *. st.speed *. dt in
+          dj.remaining <- dj.remaining -. delta;
+          dj.attained <- dj.attained +. delta
+        end
+      done
+
+(* Retire completed jobs.  The dense cores check the whole vector (the
+   general loop does too, and it costs nothing extra at O(alive) per
+   event); the quantum core checks its slots — queued jobs have rate 0
+   and cannot cross the threshold. *)
+let settle st ~now ~complete =
+  match st.kind with
+  | Quantum _ ->
+      for s = 0 to st.machines - 1 do
+        match st.slots.(s) with
+        | Some dj when dj.remaining <= threshold dj.size ->
+            complete dj.id dj.arrival now;
+            st.slots.(s) <- None;
+            st.alive <- st.alive - 1
+        | _ -> ()
+      done
+  | Ladder _ ->
+      (* Unordered vector: swap-remove, iterating downwards. *)
+      for i = Vec.length st.jobs - 1 downto 0 do
+        let dj = Vec.get st.jobs i in
+        if dj.remaining <= threshold dj.size then begin
+          complete dj.id dj.arrival now;
+          Vec.swap_remove st.jobs i;
+          st.alive <- st.alive - 1
+        end
+      done
+  | Laps _ | Aged _ | Sized _ ->
+      (* Ordered vectors: shift the suffix left to preserve the class
+         order.  Indices below [i] are untouched, so the downward sweep
+         stays valid. *)
+      for i = Vec.length st.jobs - 1 downto 0 do
+        let dj = Vec.get st.jobs i in
+        if dj.remaining <= threshold dj.size then begin
+          complete dj.id dj.arrival now;
+          let len = Vec.length st.jobs in
+          for p = i to len - 2 do
+            Vec.set st.jobs p (Vec.get st.jobs (p + 1))
+          done;
+          Vec.swap_remove st.jobs (len - 1);
+          st.alive <- st.alive - 1
+        end
+      done
+
+let iter_alive st f =
+  match st.kind with
+  | Quantum _ ->
+      Array.iter (function Some dj -> f dj | None -> ()) st.slots;
+      Queue.iter f st.ready
+  | _ -> Vec.iter f st.jobs
+
+(* ------------------------------------------------------------------ *)
+(* Closed event loop                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let dense_core ~record_trace ~speed ~max_events ~machines ~kind ~(source : Source.t)
+    ~(complete : int -> float -> float -> unit) =
+  let st = create ~machines ~speed kind in
+  let next_arr = ref (Source.next_arrival source) in
+  let max_alive = ref 0 in
+  let admit_upto now =
+    while !next_arr <= now do
+      (match Source.next source with Some j -> admit st j | None -> ());
+      next_arr := Source.next_arrival source
+    done;
+    if st.alive > !max_alive then max_alive := st.alive
+  in
+  let completed = ref 0 in
+  let makespan = ref 0. in
+  let events = ref 0 in
+  let complete' id arrival t =
+    complete id arrival t;
+    incr completed;
+    makespan := t
+  in
+  let trace_arena : Trace.segment Vec.t = Vec.create () in
+  let push_trace ~t0 ~t1 =
+    let entries = Array.make st.alive { Trace.job = -1; arrival = 0.; rate = 0. } in
+    let next = ref 0 in
+    iter_alive st (fun dj ->
+        entries.(!next) <- { Trace.job = dj.id; arrival = dj.arrival; rate = dj.rate };
+        incr next);
+    Vec.push trace_arena { Trace.t0; t1; alive = entries }
+  in
+  let now = ref (match Source.peek source with Some j -> j.Job.arrival | None -> 0.) in
+  admit_upto !now;
+  while st.alive > 0 || Source.has_more source do
+    incr events;
+    if !events > max_events then
+      raise (Simulator.Event_limit_exceeded { limit = max_events; now = !now });
+    if st.alive = 0 then begin
+      (* Idle period: jump straight to the next arrival. *)
+      now := !next_arr;
+      admit_upto !now
+    end
+    else begin
+      refresh st ~now:!now;
+      let t_next = ref (next_internal st ~now:!now) in
+      if !next_arr < !t_next then t_next := !next_arr;
+      if not (Float.is_finite !t_next) then
+        raise
+          (Simulator.Invalid_allocation
+             "alive jobs receive no service and no arrival or horizon is pending");
+      let dt = !t_next -. !now in
+      assert (dt > 0.);
+      if record_trace then push_trace ~t0:!now ~t1:!t_next;
+      advance st ~dt;
+      now := !t_next;
+      settle st ~now:!now ~complete:complete';
+      admit_upto !now
+    end
+  done;
+  ( {
+      Simulator.n = !completed;
+      events = !events;
+      machines;
+      speed;
+      makespan = !makespan;
+      max_alive = !max_alive;
+    },
+    Vec.to_list trace_arena )
+
+let no_sink : Simulator.sink = fun ~id:_ ~arrival:_ ~flow:_ -> ()
+
+let run ?(record_trace = false) ?(speed = 1.) ?(max_events = 10_000_000) ?(sink = no_sink)
+    ~machines ~kind jobs =
+  let n = Simulator.validate_jobs jobs in
+  let jobs_arr = Simulator.jobs_by_id jobs n in
+  let order = Simulator.release_order jobs n in
+  let completions = Array.make n Float.nan in
+  let complete id arrival now =
+    completions.(id) <- now;
+    sink ~id ~arrival ~flow:(now -. arrival)
+  in
+  let summary, trace =
+    dense_core ~record_trace ~speed ~max_events ~machines ~kind
+      ~source:(Source.of_array order) ~complete
+  in
+  {
+    Simulator.jobs = jobs_arr;
+    completions;
+    trace;
+    machines;
+    speed;
+    events = summary.Simulator.events;
+  }
+
+let run_stream ?(speed = 1.) ?(max_events = 10_000_000) ~machines ~kind ~sink pull =
+  let complete id arrival now = sink ~id ~arrival ~flow:(now -. arrival) in
+  let summary, _trace =
+    dense_core ~record_trace:false ~speed ~max_events ~machines ~kind
+      ~source:(Source.of_fn pull) ~complete
+  in
+  summary

@@ -1,0 +1,335 @@
+(* Starvation-hybrid kernel: SRPT for "fresh" jobs, absolute FCFS
+   priority for "starved" ones.  See hybrid_engine.mli.
+
+   A job's starvation instant [starve = arrival + theta * size]
+   ({!Policy_class.starve_time}) is fixed at admission, so the priority
+   order is piecewise-static: between promotion instants the served set
+   is the top-m under a two-tier static order (starved jobs by (arrival,
+   id), then fresh jobs by (remaining, id), with remaining frozen while
+   waiting).  The kernel therefore runs like a priority-index engine —
+   <= m running slots plus binary heaps for the waiting jobs — with one
+   extra event source: a promotion heap keyed by starvation instants.
+   Promotions of *waiting* fresh jobs can preempt; promotions of
+   *running* fresh jobs only improve their rank, but the mirror policy
+   still re-evaluates at every starvation instant (its horizon is the
+   minimum over all fresh jobs), so the kernel keeps those no-op events
+   too and the two event sequences — hence the floats — coincide
+   exactly.
+
+   Waiting heaps hold job ids only; the per-id record carries the
+   authoritative fields.  Entries go stale when a job is seated,
+   promoted, or completed; stale tops are lazily popped (a job re-enters
+   a heap with a key no larger than its old entries, so the live entry
+   always surfaces first). *)
+
+module Heap = Rr_util.Heap
+module Vec = Rr_util.Vec
+module Source = Simulator.Source
+
+(* [where] tags *)
+let w_running = 0
+
+let w_starved = 1
+
+let w_fresh = 2
+
+type hjob = {
+  hid : int;
+  arrival : float;
+  size : float;
+  starve : float;
+  mutable remaining : float;
+  mutable where : int;
+}
+
+type state = {
+  theta : float;
+  machines : int;
+  speed : float;
+  info : (int, hjob) Hashtbl.t;  (* every alive job *)
+  slots : hjob option array;  (* running set, <= machines entries *)
+  starved : Heap.Scalar.t;  (* waiting starved: key = arrival, val = id *)
+  fresh : Heap.Scalar.t;  (* waiting fresh: key = remaining at push, val = id *)
+  promo : Heap.Scalar.t;  (* pending promotions: key = starve, val = id *)
+  mutable horizon : float;
+}
+
+let create ~machines ~speed ~theta =
+  if machines < 1 then invalid_arg "Hybrid_engine.create: machines must be >= 1";
+  if not (Float.is_finite speed && speed > 0.) then
+    invalid_arg "Hybrid_engine.create: speed must be finite and positive";
+  (match Policy_class.validate (Policy_class.Starvation_hybrid { theta }) with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Hybrid_engine.create: " ^ msg));
+  {
+    theta;
+    machines;
+    speed;
+    info = Hashtbl.create 64;
+    slots = Array.make machines None;
+    starved = Heap.Scalar.create ();
+    fresh = Heap.Scalar.create ();
+    promo = Heap.Scalar.create ();
+    horizon = Float.infinity;
+  }
+
+let alive st = Hashtbl.length st.info
+
+let threshold size = 1e-9 *. (1. +. size)
+
+let admit st (j : Job.t) =
+  let starve = Policy_class.starve_time ~theta:st.theta ~arrival:j.arrival ~size:j.size in
+  let h =
+    { hid = j.id; arrival = j.arrival; size = j.size; starve; remaining = j.size; where = w_fresh }
+  in
+  Hashtbl.replace st.info j.id h;
+  Heap.Scalar.add st.fresh ~key:h.remaining j.id;
+  Heap.Scalar.add st.promo ~key:starve j.id
+
+(* Strict two-tier order at time [now]: starved (arrival, id) before
+   fresh (remaining, id) — the mirror policy's comparator. *)
+let beats ~now (a : hjob) (b : hjob) =
+  let sa = now >= a.starve and sb = now >= b.starve in
+  match (sa, sb) with
+  | true, false -> true
+  | false, true -> false
+  | true, true -> a.arrival < b.arrival || (a.arrival = b.arrival && a.hid < b.hid)
+  | false, false -> a.remaining < b.remaining || (a.remaining = b.remaining && a.hid < b.hid)
+
+let drain_stale st heap which =
+  let continue = ref true in
+  while !continue && Heap.Scalar.length heap > 0 do
+    match Hashtbl.find_opt st.info (Heap.Scalar.min_val_exn heap) with
+    | Some h when h.where = which -> continue := false
+    | _ -> ignore (Heap.Scalar.pop_exn heap)
+  done
+
+(* Best waiting job, starved tier first; [None] when all wait heaps are
+   (effectively) empty. *)
+let best_waiting st =
+  drain_stale st st.starved w_starved;
+  if Heap.Scalar.length st.starved > 0 then
+    Hashtbl.find_opt st.info (Heap.Scalar.min_val_exn st.starved)
+  else begin
+    drain_stale st st.fresh w_fresh;
+    if Heap.Scalar.length st.fresh > 0 then
+      Hashtbl.find_opt st.info (Heap.Scalar.min_val_exn st.fresh)
+    else None
+  end
+
+let seat st s (h : hjob) =
+  (* Pop the live heap entry (it is the top of its heap by
+     construction: [best_waiting] drained the stale prefix). *)
+  (match h.where with
+  | w when w = w_starved -> ignore (Heap.Scalar.pop_exn st.starved)
+  | _ -> ignore (Heap.Scalar.pop_exn st.fresh));
+  h.where <- w_running;
+  st.slots.(s) <- Some h
+
+let unseat st s ~now =
+  match st.slots.(s) with
+  | None -> ()
+  | Some h ->
+      if now >= h.starve then begin
+        h.where <- w_starved;
+        Heap.Scalar.add st.starved ~key:h.arrival h.hid
+      end
+      else begin
+        h.where <- w_fresh;
+        Heap.Scalar.add st.fresh ~key:h.remaining h.hid
+      end;
+      st.slots.(s) <- None
+
+(* Mirror of one [allocate] call: process due promotions, then restore
+   the running set to the top-m of the current order, then recompute the
+   horizon (minimum starvation instant over still-fresh jobs). *)
+let refresh st ~now =
+  while Heap.Scalar.length st.promo > 0 && Heap.Scalar.min_key_exn st.promo <= now do
+    let id = Heap.Scalar.pop_exn st.promo in
+    match Hashtbl.find_opt st.info id with
+    | Some h when h.where = w_fresh ->
+        (* A waiting job crossed its threshold: move it to the starved
+           tier (its old fresh-heap entry goes stale). *)
+        h.where <- w_starved;
+        Heap.Scalar.add st.starved ~key:h.arrival h.hid
+    | _ -> ()  (* running (rank only improves in place) or completed *)
+  done;
+  (* Fill free slots best-first. *)
+  for s = 0 to st.machines - 1 do
+    if st.slots.(s) = None then
+      match best_waiting st with Some h -> seat st s h | None -> ()
+  done;
+  (* Preempt while some waiting job outranks the weakest incumbent. *)
+  let continue = ref true in
+  while !continue do
+    match best_waiting st with
+    | None -> continue := false
+    | Some w -> (
+        let weakest = ref (-1) in
+        for s = 0 to st.machines - 1 do
+          match st.slots.(s) with
+          | Some h -> (
+              match !weakest with
+              | -1 -> weakest := s
+              | ws -> (
+                  match st.slots.(ws) with
+                  | Some hw -> if beats ~now hw h then weakest := s
+                  | None -> weakest := s))
+          | None -> ()
+        done;
+        match !weakest with
+        | -1 -> continue := false
+        | ws -> (
+            match st.slots.(ws) with
+            | Some hw when beats ~now w hw ->
+                unseat st ws ~now;
+                seat st ws w
+            | _ -> continue := false))
+  done;
+  (* Undrained promotion keys are strictly in the future and belong to
+     still-fresh jobs — except entries of jobs that completed fresh,
+     which the mirror policy no longer sees: lazily drop those. *)
+  while
+    Heap.Scalar.length st.promo > 0
+    && not (Hashtbl.mem st.info (Heap.Scalar.min_val_exn st.promo))
+  do
+    ignore (Heap.Scalar.pop_exn st.promo)
+  done;
+  st.horizon <-
+    (if Heap.Scalar.length st.promo > 0 then Heap.Scalar.min_key_exn st.promo
+     else Float.infinity)
+
+let next_internal st ~now =
+  let t = ref st.horizon in
+  for s = 0 to st.machines - 1 do
+    match st.slots.(s) with
+    | Some h ->
+        let c = now +. (h.remaining /. st.speed) in
+        if c < !t then t := c
+    | None -> ()
+  done;
+  !t
+
+let advance st ~dt =
+  let adv = st.speed *. dt in
+  for s = 0 to st.machines - 1 do
+    match st.slots.(s) with
+    | Some h -> h.remaining <- h.remaining -. adv
+    | None -> ()
+  done
+
+let settle st ~now ~complete =
+  for s = 0 to st.machines - 1 do
+    match st.slots.(s) with
+    | Some h when h.remaining <= threshold h.size ->
+        complete h.hid h.arrival now;
+        Hashtbl.remove st.info h.hid;
+        st.slots.(s) <- None
+    | _ -> ()
+  done
+
+let iter_alive st f = Hashtbl.iter (fun _ h -> f h) st.info
+
+(* ------------------------------------------------------------------ *)
+(* Closed event loop                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let hybrid_core ~record_trace ~speed ~max_events ~machines ~theta ~(source : Source.t)
+    ~(complete : int -> float -> float -> unit) =
+  let st = create ~machines ~speed ~theta in
+  let next_arr = ref (Source.next_arrival source) in
+  let max_alive = ref 0 in
+  let admit_upto now =
+    while !next_arr <= now do
+      (match Source.next source with Some j -> admit st j | None -> ());
+      next_arr := Source.next_arrival source
+    done;
+    if alive st > !max_alive then max_alive := alive st
+  in
+  let completed = ref 0 in
+  let makespan = ref 0. in
+  let events = ref 0 in
+  let complete' id arrival t =
+    complete id arrival t;
+    incr completed;
+    makespan := t
+  in
+  let trace_arena : Trace.segment Vec.t = Vec.create () in
+  let push_trace ~t0 ~t1 =
+    let entries = Array.make (alive st) { Trace.job = -1; arrival = 0.; rate = 0. } in
+    let next = ref 0 in
+    iter_alive st (fun h ->
+        let rate = if h.where = w_running then 1. else 0. in
+        entries.(!next) <- { Trace.job = h.hid; arrival = h.arrival; rate };
+        incr next);
+    Vec.push trace_arena { Trace.t0; t1; alive = entries }
+  in
+  let now = ref (match Source.peek source with Some j -> j.Job.arrival | None -> 0.) in
+  admit_upto !now;
+  while alive st > 0 || Source.has_more source do
+    incr events;
+    if !events > max_events then
+      raise (Simulator.Event_limit_exceeded { limit = max_events; now = !now });
+    if alive st = 0 then begin
+      now := !next_arr;
+      admit_upto !now
+    end
+    else begin
+      refresh st ~now:!now;
+      let t_next = ref (next_internal st ~now:!now) in
+      if !next_arr < !t_next then t_next := !next_arr;
+      if not (Float.is_finite !t_next) then
+        raise
+          (Simulator.Invalid_allocation
+             "alive jobs receive no service and no arrival or horizon is pending");
+      let dt = !t_next -. !now in
+      assert (dt > 0.);
+      if record_trace then push_trace ~t0:!now ~t1:!t_next;
+      advance st ~dt;
+      now := !t_next;
+      settle st ~now:!now ~complete:complete';
+      admit_upto !now
+    end
+  done;
+  ( {
+      Simulator.n = !completed;
+      events = !events;
+      machines;
+      speed;
+      makespan = !makespan;
+      max_alive = !max_alive;
+    },
+    Vec.to_list trace_arena )
+
+let no_sink : Simulator.sink = fun ~id:_ ~arrival:_ ~flow:_ -> ()
+
+let run ?(record_trace = false) ?(speed = 1.) ?(max_events = 10_000_000) ?(sink = no_sink)
+    ~machines ~theta jobs =
+  let n = Simulator.validate_jobs jobs in
+  let jobs_arr = Simulator.jobs_by_id jobs n in
+  let order = Simulator.release_order jobs n in
+  let completions = Array.make n Float.nan in
+  let complete id arrival now =
+    completions.(id) <- now;
+    sink ~id ~arrival ~flow:(now -. arrival)
+  in
+  let summary, trace =
+    hybrid_core ~record_trace ~speed ~max_events ~machines ~theta
+      ~source:(Source.of_array order) ~complete
+  in
+  {
+    Simulator.jobs = jobs_arr;
+    completions;
+    trace;
+    machines;
+    speed;
+    events = summary.Simulator.events;
+  }
+
+let run_stream ?(speed = 1.) ?(max_events = 10_000_000) ~machines ~theta ~sink pull =
+  let complete id arrival now = sink ~id ~arrival ~flow:(now -. arrival) in
+  let summary, _trace =
+    hybrid_core ~record_trace:false ~speed ~max_events ~machines ~theta
+      ~source:(Source.of_fn pull) ~complete
+  in
+  summary

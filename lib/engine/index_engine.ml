@@ -25,15 +25,35 @@ module Heap = Rr_util.Heap
 module Vec = Rr_util.Vec
 module Source = Simulator.Source
 
-type kind = Srpt | Sjf | Fcfs
+type kind = Srpt | Sjf | Fcfs | Hdf of { alpha : float }
 
-let kind_name = function Srpt -> "srpt" | Sjf -> "sjf" | Fcfs -> "fcfs"
+let kind_name = function Srpt -> "srpt" | Sjf -> "sjf" | Fcfs -> "fcfs" | Hdf _ -> "hdf"
+
+let key_spec = function
+  | Srpt -> Policy_class.Key_remaining
+  | Sjf -> Policy_class.Key_size
+  | Fcfs -> Policy_class.Key_arrival
+  | Hdf { alpha } -> Policy_class.Key_density { alpha }
+
+let kind_of_key = function
+  | Policy_class.Key_remaining -> Srpt
+  | Policy_class.Key_size -> Sjf
+  | Policy_class.Key_arrival -> Fcfs
+  | Policy_class.Key_density { alpha } -> Hdf { alpha }
+
+(* One expression per kind, shared with the mirror policies through
+   {!Policy_class.static_key} so both sides order jobs bit-identically. *)
+let job_key kind ~arrival ~size ~remaining =
+  Policy_class.static_key (key_spec kind) ~arrival ~size ~remaining
 
 let key_of_view kind (v : Policy.view) =
   match kind with
   | Srpt -> Policy.remaining_exn v
   | Sjf -> Policy.size_exn v
   | Fcfs -> v.Policy.arrival
+  | Hdf { alpha } ->
+      let size = Policy.size_exn v in
+      -.((size ** alpha) /. size)
 
 (* Shared with Rr_policies.Setf.same_group: attained-service levels within
    this (relative) tolerance count as one sharing group. *)
@@ -54,30 +74,26 @@ type slot = {
   mutable remaining : float;
 }
 
-(* Waiting-heap field layout per kind.  Only running jobs ever complete,
-   so a waiting element needs its key, its identity, and enough state to
-   resume; Scalar2's two satellites cover all three kinds:
+(* Waiting-heap field layout, uniform across kinds (Scalar3): the
+   priority key plus the full resume state
 
-     kind   key        aux1      aux2
-     Srpt   remaining  arrival   size
-     Sjf    size       arrival   remaining
-     Fcfs   arrival    size      remaining
+     key = job_key kind, aux1 = arrival, aux2 = size, aux3 = remaining
 
-   SRPT's waiting keys are genuinely "remaining", but a waiting job is
-   never served, so its key is frozen while in the heap — the heap order
-   stays valid without any decrease-key. *)
+   so adding a kind is a new [job_key] arm, not a new layout.  A waiting
+   job is never served, so its key is frozen while in the heap — the
+   heap order stays valid without any decrease-key, even for SRPT whose
+   key is genuinely "remaining". *)
 
 let index_core ~record_trace ~speed ~max_events ~machines ~kind ~(source : Source.t)
     ~(complete : int -> float -> float -> unit) =
   if machines < 1 then invalid_arg "Index_engine.run: machines must be >= 1";
   if not (Float.is_finite speed && speed > 0.) then
     invalid_arg "Index_engine.run: speed must be finite and positive";
-  let waiting = Heap.Scalar2.create () in
+  let waiting = Heap.Scalar3.create () in
   let push_waiting ~id ~arrival ~size ~remaining =
-    match kind with
-    | Srpt -> Heap.Scalar2.add waiting ~key:remaining ~aux1:arrival ~aux2:size id
-    | Sjf -> Heap.Scalar2.add waiting ~key:size ~aux1:arrival ~aux2:remaining id
-    | Fcfs -> Heap.Scalar2.add waiting ~key:arrival ~aux1:size ~aux2:remaining id
+    Heap.Scalar3.add waiting
+      ~key:(job_key kind ~arrival ~size ~remaining)
+      ~aux1:arrival ~aux2:size ~aux3:remaining id
   in
   (* Same float as Simulator.completion_threshold, inlined into the hot
      loop (the cross-module call is measurable at ~100 ns/event). *)
@@ -87,29 +103,25 @@ let index_core ~record_trace ~speed ~max_events ~machines ~kind ~(source : Sourc
   let next_arr = ref (Source.next_arrival source) in
   let running = Array.init machines (fun _ -> { id = -1; arrival = 0.; size = 0.; remaining = 0. }) in
   let n_run = ref 0 in
+  (* Same expression as [job_key], on slot fields (running jobs' keys
+     are live: SRPT's decreases as remaining does). *)
   let slot_key (s : slot) =
-    match kind with Srpt -> s.remaining | Sjf -> s.size | Fcfs -> s.arrival
+    match kind with
+    | Srpt -> s.remaining
+    | Sjf -> s.size
+    | Fcfs -> s.arrival
+    | Hdf { alpha } -> -.((s.size ** alpha) /. s.size)
   in
   let pop_into_free_slot () =
-    let key = Heap.Scalar2.min_key_exn waiting in
-    let a1 = Heap.Scalar2.min_aux1_exn waiting in
-    let a2 = Heap.Scalar2.min_aux2_exn waiting in
-    let id = Heap.Scalar2.pop_exn waiting in
+    let a1 = Heap.Scalar3.min_aux1_exn waiting in
+    let a2 = Heap.Scalar3.min_aux2_exn waiting in
+    let a3 = Heap.Scalar3.min_aux3_exn waiting in
+    let id = Heap.Scalar3.pop_exn waiting in
     let s = running.(!n_run) in
     s.id <- id;
-    (match kind with
-    | Srpt ->
-        s.remaining <- key;
-        s.arrival <- a1;
-        s.size <- a2
-    | Sjf ->
-        s.size <- key;
-        s.arrival <- a1;
-        s.remaining <- a2
-    | Fcfs ->
-        s.arrival <- key;
-        s.size <- a1;
-        s.remaining <- a2);
+    s.arrival <- a1;
+    s.size <- a2;
+    s.remaining <- a3;
     incr n_run
   in
   let completed = ref 0 in
@@ -127,7 +139,7 @@ let index_core ~record_trace ~speed ~max_events ~machines ~kind ~(source : Sourc
     let s = running.(0) in
     let busy = ref false in
     let note_alive () =
-      let alive = (if !busy then 1 else 0) + Heap.Scalar2.length waiting in
+      let alive = (if !busy then 1 else 0) + Heap.Scalar3.length waiting in
       if alive > !max_alive then max_alive := alive
     in
     let fill (j : Job.t) =
@@ -142,8 +154,8 @@ let index_core ~record_trace ~speed ~max_events ~machines ~kind ~(source : Sourc
         busy := true
       end
       else begin
-        let kj = match kind with Srpt | Sjf -> j.size | Fcfs -> j.arrival in
-        let ks = match kind with Srpt -> s.remaining | Sjf -> s.size | Fcfs -> s.arrival in
+        let kj = job_key kind ~arrival:j.arrival ~size:j.size ~remaining:j.size in
+        let ks = slot_key s in
         if kj < ks || (kj = ks && j.id < s.id) then begin
           push_waiting ~id:s.id ~arrival:s.arrival ~size:s.size ~remaining:s.remaining;
           fill j
@@ -159,16 +171,15 @@ let index_core ~record_trace ~speed ~max_events ~machines ~kind ~(source : Sourc
       done
     in
     let push_trace ~t0 ~t1 =
-      let n_alive = (if !busy then 1 else 0) + Heap.Scalar2.length waiting in
+      let n_alive = (if !busy then 1 else 0) + Heap.Scalar3.length waiting in
       let entries = Array.make n_alive { Trace.job = -1; arrival = 0.; rate = 0. } in
       let next = ref 0 in
       if !busy then begin
         entries.(0) <- { Trace.job = s.id; arrival = s.arrival; rate = 1. };
         next := 1
       end;
-      Heap.Scalar2.iter
-        (fun key id aux1 _aux2 ->
-          let arrival = match kind with Srpt | Sjf -> aux1 | Fcfs -> key in
+      Heap.Scalar3.iter
+        (fun _key id arrival _size _remaining ->
           entries.(!next) <- { Trace.job = id; arrival; rate = 0. };
           incr next)
         waiting;
@@ -194,26 +205,16 @@ let index_core ~record_trace ~speed ~max_events ~machines ~kind ~(source : Sourc
           complete s.id s.arrival !now;
           incr completed;
           makespan := !now;
-          if Heap.Scalar2.is_empty waiting then busy := false
+          if Heap.Scalar3.is_empty waiting then busy := false
           else begin
-            let key = Heap.Scalar2.min_key_exn waiting in
-            let a1 = Heap.Scalar2.min_aux1_exn waiting in
-            let a2 = Heap.Scalar2.min_aux2_exn waiting in
-            let id = Heap.Scalar2.pop_exn waiting in
+            let a1 = Heap.Scalar3.min_aux1_exn waiting in
+            let a2 = Heap.Scalar3.min_aux2_exn waiting in
+            let a3 = Heap.Scalar3.min_aux3_exn waiting in
+            let id = Heap.Scalar3.pop_exn waiting in
             s.id <- id;
-            match kind with
-            | Srpt ->
-                s.remaining <- key;
-                s.arrival <- a1;
-                s.size <- a2
-            | Sjf ->
-                s.size <- key;
-                s.arrival <- a1;
-                s.remaining <- a2
-            | Fcfs ->
-                s.arrival <- key;
-                s.size <- a1;
-                s.remaining <- a2
+            s.arrival <- a1;
+            s.size <- a2;
+            s.remaining <- a3
           end
         end;
         admit_upto !now
@@ -222,7 +223,7 @@ let index_core ~record_trace ~speed ~max_events ~machines ~kind ~(source : Sourc
   end
   else begin
   let note_alive () =
-    let alive = !n_run + Heap.Scalar2.length waiting in
+    let alive = !n_run + Heap.Scalar3.length waiting in
     if alive > !max_alive then max_alive := alive
   in
   (* Admission: a free machine always goes to the newcomer (the waiting
@@ -248,7 +249,7 @@ let index_core ~record_trace ~speed ~max_events ~machines ~kind ~(source : Sourc
         if ka > kb || (ka = kb && a.id > b.id) then w := i
       done;
       let s = running.(!w) in
-      let kj = match kind with Srpt | Sjf -> j.size | Fcfs -> j.arrival in
+      let kj = job_key kind ~arrival:j.arrival ~size:j.size ~remaining:j.size in
       let ks = slot_key s in
       if kj < ks || (kj = ks && j.id < s.id) then begin
         push_waiting ~id:s.id ~arrival:s.arrival ~size:s.size ~remaining:s.remaining;
@@ -268,16 +269,15 @@ let index_core ~record_trace ~speed ~max_events ~machines ~kind ~(source : Sourc
     done
   in
   let push_trace ~t0 ~t1 =
-    let n_alive = !n_run + Heap.Scalar2.length waiting in
+    let n_alive = !n_run + Heap.Scalar3.length waiting in
     let entries = Array.make n_alive { Trace.job = -1; arrival = 0.; rate = 0. } in
     for i = 0 to !n_run - 1 do
       let s = running.(i) in
       entries.(i) <- { Trace.job = s.id; arrival = s.arrival; rate = 1. }
     done;
     let next = ref !n_run in
-    Heap.Scalar2.iter
-      (fun key id aux1 _aux2 ->
-        let arrival = match kind with Srpt | Sjf -> aux1 | Fcfs -> key in
+    Heap.Scalar3.iter
+      (fun _key id arrival _size _remaining ->
         entries.(!next) <- { Trace.job = id; arrival; rate = 0. };
         incr next)
       waiting;
@@ -327,7 +327,7 @@ let index_core ~record_trace ~speed ~max_events ~machines ~kind ~(source : Sourc
          are admitted — at time [t] the running set must be the top-m of
          the jobs released strictly before any job arriving at [t]
          (completion beats arrival, as in the general loop). *)
-      while !n_run < machines && not (Heap.Scalar2.is_empty waiting) do
+      while !n_run < machines && not (Heap.Scalar3.is_empty waiting) do
         pop_into_free_slot ()
       done;
       admit_upto !now

@@ -28,16 +28,32 @@
     and a streaming one (pull function in, mandatory [~sink], O(alive)
     live memory, {!Simulator.summary} out). *)
 
-type kind = Srpt | Sjf | Fcfs
+type kind = Srpt | Sjf | Fcfs | Hdf of { alpha : float }
+(** The static-while-waiting keys the kernel can rank by; one-to-one
+    with {!Policy_class.key} (see {!key_spec} / {!kind_of_key}).  [Hdf]
+    is highest density first with weight size^alpha: key
+    [-(size^alpha / size)], so the densest job is the smallest key. *)
 
 val kind_name : kind -> string
-(** ["srpt"], ["sjf"], ["fcfs"] — the {!Rr_policies} registry names. *)
+(** ["srpt"], ["sjf"], ["fcfs"], ["hdf"] — the {!Rr_policies} registry
+    base names. *)
+
+val key_spec : kind -> Policy_class.key
+val kind_of_key : Policy_class.key -> kind
+(** The bijection with the classification layer's {!Policy_class.key}:
+    [Run] classifies a policy by its declared class and maps
+    [Static_key k] to [kind_of_key k]. *)
+
+val job_key : kind -> arrival:float -> size:float -> remaining:float -> float
+(** The priority key of a job, evaluated through
+    {!Policy_class.static_key} — the one expression the mirror policies
+    also use, so both paths rank by bit-identical floats. *)
 
 val key_of_view : kind -> Policy.view -> float
 (** The priority key this kind schedules by — exactly the key the
     corresponding general-loop policy passes to its top-m sort, so the
     fast and general paths are provably ranking by the same number.
-    SRPT and SJF keys require a clairvoyant view
+    SRPT, SJF and HDF keys require a clairvoyant view
     (@raise Invalid_argument otherwise, via {!Policy.remaining_exn} /
     {!Policy.size_exn}). *)
 

@@ -28,13 +28,22 @@
 
 module Heap = Rr_util.Heap
 
-type spec = Equal_share | Indexed of Index_engine.kind | Setf_cascade
+type spec =
+  | Equal_share
+  | Indexed of Index_engine.kind
+  | Setf_cascade
+  | Classified of Policy_class.t
 
 let spec_name = function
   | Equal_share -> "equal-share"
   | Indexed kind -> Index_engine.kind_name kind ^ "-index"
   | Setf_cascade -> "setf-cascade"
+  | Classified klass -> Policy_class.engine_name klass
 
+(* Surface names accept every classified policy at its registry-default
+   parameters; the typed [Classified] constructor covers arbitrary
+   parameters (rr_cli serve goes through the registry and passes the
+   policy's own class). *)
 let spec_of_string s =
   match String.lowercase_ascii s with
   | "rr" | "round-robin" | "equal-share" -> Some Equal_share
@@ -42,9 +51,40 @@ let spec_of_string s =
   | "sjf" | "sjf-index" -> Some (Indexed Index_engine.Sjf)
   | "fcfs" | "fcfs-index" -> Some (Indexed Index_engine.Fcfs)
   | "setf" | "setf-cascade" -> Some Setf_cascade
+  | "hdf" | "hdf-index" ->
+      Some (Classified (Policy_class.Static_key (Policy_class.Key_density { alpha = 2. })))
+  | "laps" | "laps-dense" -> Some (Classified (Policy_class.Latest_fraction { beta = 0.5 }))
+  | "mlfq" | "mlfq-ladder" ->
+      Some
+        (Classified (Policy_class.Level_ladder { base_quantum = 0.5; factor = 2.; levels = 24 }))
+  | "quantum-rr" | "quantum-cycle" ->
+      Some (Classified (Policy_class.Quantum_cycle { quantum = 1. }))
+  | "wrr-age" | "wrr-age-dense" ->
+      Some (Classified (Policy_class.Aged_share { k = 2; refresh = 0.25; offset = 0.1 }))
+  | "wrr-static" | "wrr-static-dense" ->
+      Some (Classified (Policy_class.Sized_share { gamma = 1. }))
+  | "hybrid" | "hybrid-index" ->
+      Some (Classified (Policy_class.Starvation_hybrid { theta = 3. }))
+  | "srpt-mig" | "srpt-mig-index" ->
+      Some (Classified (Policy_class.Preempt_budget { budget = 1 }))
   | _ -> None
 
-let spec_names = [ "rr"; "srpt"; "sjf"; "fcfs"; "setf" ]
+let spec_names =
+  [
+    "rr";
+    "srpt";
+    "sjf";
+    "fcfs";
+    "setf";
+    "hdf";
+    "laps";
+    "mlfq";
+    "quantum-rr";
+    "wrr-age";
+    "wrr-static";
+    "hybrid";
+    "srpt-mig";
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* Per-spec core state                                                 *)
@@ -56,10 +96,9 @@ let spec_names = [ "rr"; "srpt"; "sjf"; "fcfs"; "setf" ]
 type eq_state = { eq_heap : Heap.Scalar2.t; mutable vsrv : float }
 
 (* Priority index: <= m running slots scanned in O(m), everything else in
-   the waiting heap with the same per-kind satellite layout as
-   index_engine.ml (Srpt: key=remaining/aux1=arrival/aux2=size; Sjf:
-   key=size/aux1=arrival/aux2=remaining; Fcfs: key=arrival/aux1=size/
-   aux2=remaining). *)
+   the waiting heap with the same uniform satellite layout as
+   index_engine.ml (key = Index_engine.job_key, aux1 = arrival,
+   aux2 = size, aux3 = remaining). *)
 type slot = {
   mutable s_id : int;
   mutable s_arrival : float;
@@ -69,7 +108,7 @@ type slot = {
 
 type idx_state = {
   kind : Index_engine.kind;
-  waiting : Heap.Scalar2.t;
+  waiting : Heap.Scalar3.t;
   running : slot array;
   mutable n_run : int;
 }
@@ -88,7 +127,19 @@ type group = {
 
 type setf_state = { mutable first : group option; mutable setf_alive : int }
 
-type core = Eq of eq_state | Idx of idx_state | Setf of setf_state
+(* The classified cores reuse the closed engines' incremental state
+   directly (class_engine.ml, hybrid_engine.ml, budget_engine.ml): one
+   [refresh] per event — never per horizon split, so cached rates carry
+   partial advances exactly like the general loop's
+   allocate-once-per-event discipline, which is what keeps WRR-age's
+   drifting weights split-safe. *)
+type core =
+  | Eq of eq_state
+  | Idx of idx_state
+  | Setf of setf_state
+  | Cls of Class_engine.state
+  | Hyb of Hybrid_engine.state
+  | Bud of Budget_engine.state
 
 (* ------------------------------------------------------------------ *)
 (* Engine state                                                        *)
@@ -101,6 +152,10 @@ type state = {
   k : int;
   max_events : int;
   core : core;
+  (* Classified cores only: true when the cached decision must be
+     recomputed before the next event scan (after every processed event,
+     admission or idle jump; never after a pure horizon split). *)
+  mutable rates_dirty : bool;
   (* Submitted jobs not yet admitted, in submission = (arrival, id)
      order; arrivals are validated non-decreasing at [submit]. *)
   pending : (int * float * float) Queue.t;
@@ -151,20 +206,35 @@ let create ?(machines = 1) ?(speed = 1.) ?(k = 2) ?(max_events = max_int) ?(sink
     invalid_arg "Live.create: speed must be finite and positive";
   if k < 1 then invalid_arg "Live.create: k must be >= 1";
   if max_events < 1 then invalid_arg "Live.create: max_events must be >= 1";
+  let idx_core kind =
+    Idx
+      {
+        kind;
+        waiting = Heap.Scalar3.create ();
+        running =
+          Array.init machines (fun _ ->
+              { s_id = -1; s_arrival = 0.; s_size = 0.; s_remaining = 0. });
+        n_run = 0;
+      }
+  in
   let core =
     match spec with
-    | Equal_share -> Eq { eq_heap = Heap.Scalar2.create (); vsrv = 0. }
-    | Indexed kind ->
-        Idx
-          {
-            kind;
-            waiting = Heap.Scalar2.create ();
-            running =
-              Array.init machines (fun _ ->
-                  { s_id = -1; s_arrival = 0.; s_size = 0.; s_remaining = 0. });
-            n_run = 0;
-          }
-    | Setf_cascade -> Setf { first = None; setf_alive = 0 }
+    | Equal_share | Classified Policy_class.Equal_share ->
+        Eq { eq_heap = Heap.Scalar2.create (); vsrv = 0. }
+    | Indexed kind -> idx_core kind
+    | Classified (Policy_class.Static_key key) -> idx_core (Index_engine.kind_of_key key)
+    | Setf_cascade | Classified Policy_class.Attained_cascade ->
+        Setf { first = None; setf_alive = 0 }
+    | Classified (Policy_class.Starvation_hybrid { theta }) ->
+        Hyb (Hybrid_engine.create ~machines ~speed ~theta)
+    | Classified (Policy_class.Preempt_budget { budget }) ->
+        Bud (Budget_engine.create ~machines ~speed ~budget)
+    | Classified klass -> (
+        match Class_engine.kind_of_class klass with
+        | Some kind -> Cls (Class_engine.create ~machines ~speed kind)
+        | None ->
+            (* Unreachable: every class is covered above. *)
+            invalid_arg "Live.create: unclassifiable spec")
   in
   let st =
     {
@@ -174,6 +244,7 @@ let create ?(machines = 1) ?(speed = 1.) ?(k = 2) ?(max_events = max_int) ?(sink
       k;
       max_events;
       core;
+      rates_dirty = true;
       pending = Queue.create ();
       now = 0.;
       last_arrival = 0.;
@@ -230,8 +301,11 @@ let threshold size = 1e-9 *. (1. +. size)
 let alive_core (st : state) =
   match st.core with
   | Eq e -> Heap.Scalar2.length e.eq_heap
-  | Idx i -> i.n_run + Heap.Scalar2.length i.waiting
+  | Idx i -> i.n_run + Heap.Scalar3.length i.waiting
   | Setf s -> s.setf_alive
+  | Cls c -> Class_engine.alive c
+  | Hyb h -> Hybrid_engine.alive h
+  | Bud b -> Budget_engine.alive b
 
 let note_alive (st : state) =
   let a = alive_core st in
@@ -271,33 +345,23 @@ let slot_key kind (s : slot) =
   | Srpt -> s.s_remaining
   | Sjf -> s.s_size
   | Fcfs -> s.s_arrival
+  | Hdf { alpha } -> -.((s.s_size ** alpha) /. s.s_size)
 
 let idx_push_waiting (i : idx_state) ~id ~arrival ~size ~remaining =
-  match i.kind with
-  | Srpt -> Heap.Scalar2.add i.waiting ~key:remaining ~aux1:arrival ~aux2:size id
-  | Sjf -> Heap.Scalar2.add i.waiting ~key:size ~aux1:arrival ~aux2:remaining id
-  | Fcfs -> Heap.Scalar2.add i.waiting ~key:arrival ~aux1:size ~aux2:remaining id
+  Heap.Scalar3.add i.waiting
+    ~key:(Index_engine.job_key i.kind ~arrival ~size ~remaining)
+    ~aux1:arrival ~aux2:size ~aux3:remaining id
 
 let idx_pop_into_free_slot (i : idx_state) =
-  let key = Heap.Scalar2.min_key_exn i.waiting in
-  let a1 = Heap.Scalar2.min_aux1_exn i.waiting in
-  let a2 = Heap.Scalar2.min_aux2_exn i.waiting in
-  let id = Heap.Scalar2.pop_exn i.waiting in
+  let a1 = Heap.Scalar3.min_aux1_exn i.waiting in
+  let a2 = Heap.Scalar3.min_aux2_exn i.waiting in
+  let a3 = Heap.Scalar3.min_aux3_exn i.waiting in
+  let id = Heap.Scalar3.pop_exn i.waiting in
   let s = i.running.(i.n_run) in
   s.s_id <- id;
-  (match i.kind with
-  | Srpt ->
-      s.s_remaining <- key;
-      s.s_arrival <- a1;
-      s.s_size <- a2
-  | Sjf ->
-      s.s_size <- key;
-      s.s_arrival <- a1;
-      s.s_remaining <- a2
-  | Fcfs ->
-      s.s_arrival <- key;
-      s.s_size <- a1;
-      s.s_remaining <- a2);
+  s.s_arrival <- a1;
+  s.s_size <- a2;
+  s.s_remaining <- a3;
   i.n_run <- i.n_run + 1
 
 let idx_admit (st : state) (i : idx_state) ~id ~arrival ~size =
@@ -320,7 +384,7 @@ let idx_admit (st : state) (i : idx_state) ~id ~arrival ~size =
       if ka > kb || (ka = kb && a.s_id > b.s_id) then w := x
     done;
     let s = i.running.(!w) in
-    let kj = match i.kind with Srpt | Sjf -> size | Fcfs -> arrival in
+    let kj = Index_engine.job_key i.kind ~arrival ~size ~remaining:size in
     let ks = slot_key i.kind s in
     if kj < ks || (kj = ks && id < s.s_id) then begin
       idx_push_waiting i ~id:s.s_id ~arrival:s.s_arrival ~size:s.s_size
@@ -360,10 +424,20 @@ let setf_admit (st : state) (s : setf_state) ~id ~arrival ~size =
   note_alive st
 
 let admit (st : state) ~id ~arrival ~size =
+  st.rates_dirty <- true;
   match st.core with
   | Eq e -> eq_admit st e ~id ~arrival ~size
   | Idx i -> idx_admit st i ~id ~arrival ~size
   | Setf s -> setf_admit st s ~id ~arrival ~size
+  | Cls c ->
+      Class_engine.admit c (Job.make ~id ~arrival ~size);
+      note_alive st
+  | Hyb h ->
+      Hybrid_engine.admit h (Job.make ~id ~arrival ~size);
+      note_alive st
+  | Bud b ->
+      Budget_engine.admit b (Job.make ~id ~arrival ~size);
+      note_alive st
 
 let admit_upto (st : state) now =
   let continue = ref true in
@@ -524,7 +598,7 @@ let step (t : t) ~target =
               end
             end
           done;
-          while i.n_run < st.machines && not (Heap.Scalar2.is_empty i.waiting) do
+          while i.n_run < st.machines && not (Heap.Scalar3.is_empty i.waiting) do
             idx_pop_into_free_slot i
           done;
           admit_upto st st.now;
@@ -606,6 +680,63 @@ let step (t : t) ~target =
           admit_upto st st.now;
           true
         end
+    | Cls _ | Hyb _ | Bud _ ->
+        (* One shared skeleton: refresh the cached decision only when the
+           state changed since the last event (admission, settle, idle
+           jump) — a pure horizon split keeps the rates, exactly like the
+           general loop's allocate-once-per-event discipline. *)
+        let refresh () =
+          match st.core with
+          | Cls c -> Class_engine.refresh c ~now:st.now
+          | Hyb h -> Hybrid_engine.refresh h ~now:st.now
+          | Bud b -> Budget_engine.refresh b ~now:st.now
+          | _ -> assert false
+        in
+        let next_internal () =
+          match st.core with
+          | Cls c -> Class_engine.next_internal c ~now:st.now
+          | Hyb h -> Hybrid_engine.next_internal h ~now:st.now
+          | Bud b -> Budget_engine.next_internal b ~now:st.now
+          | _ -> assert false
+        in
+        let advance_by dt =
+          match st.core with
+          | Cls c -> Class_engine.advance c ~dt
+          | Hyb h -> Hybrid_engine.advance h ~dt
+          | Bud b -> Budget_engine.advance b ~dt
+          | _ -> assert false
+        in
+        let settle () =
+          let complete' id arrival _now = complete t ~id ~arrival in
+          match st.core with
+          | Cls c -> Class_engine.settle c ~now:st.now ~complete:complete'
+          | Hyb h -> Hybrid_engine.settle h ~now:st.now ~complete:complete'
+          | Bud b -> Budget_engine.settle b ~now:st.now ~complete:complete'
+          | _ -> assert false
+        in
+        if st.rates_dirty then begin
+          refresh ();
+          st.rates_dirty <- false
+        end;
+        let t_internal = next_internal () in
+        let next_arrival = next_pending st in
+        let t_next = if next_arrival < t_internal then next_arrival else t_internal in
+        if t_next > target then begin
+          let dt = target -. st.now in
+          if dt > 0. then advance_by dt;
+          st.now <- target;
+          false
+        end
+        else begin
+          bump_events st;
+          let dt = t_next -. st.now in
+          if dt > 0. then advance_by dt;
+          st.now <- t_next;
+          settle ();
+          admit_upto st st.now;
+          st.rates_dirty <- true;
+          true
+        end
 
 let advance_until t ~target =
   while step t ~target do
@@ -662,7 +793,7 @@ let k t = t.st.k
    prev/next cycles.  A short magic header versions the format so a junk
    file fails loudly instead of segfaulting the unmarshaller. *)
 
-let snapshot_magic = "rr-live-snapshot-v1\n"
+let snapshot_magic = "rr-live-snapshot-v2\n"
 
 let to_bytes t =
   Bytes.cat (Bytes.of_string snapshot_magic) (Marshal.to_bytes t.st [])

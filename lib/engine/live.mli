@@ -28,21 +28,34 @@
     with {!of_bytes}/{!load}; [rr_cli serve] builds its SNAPSHOT/RESTORE
     protocol commands on these. *)
 
-type spec = Equal_share | Indexed of Index_engine.kind | Setf_cascade
-(** Which closed-form kernel drives the engine.  [Equal_share] is Round
-    Robin / processor sharing; [Indexed] covers SRPT, SJF and FCFS;
-    [Setf_cascade] is Shortest Elapsed Time First.  (General policies
-    need the per-event policy loop and have no incremental form — see
-    {!Run.engine} for how the two surfaces meet.) *)
+type spec =
+  | Equal_share
+  | Indexed of Index_engine.kind
+  | Setf_cascade
+  | Classified of Policy_class.t
+(** Which kernel drives the engine.  [Classified] accepts {e any} policy
+    class ({!Policy_class.t}) and routes it to the matching incremental
+    core — the equal-share deadline heap, the priority index, the SETF
+    cascade, the dense class kernels ({!Class_engine}), the starvation
+    hybrid ({!Hybrid_engine}) or the preemption-budget kernel
+    ({!Budget_engine}).  [Equal_share] / [Indexed] / [Setf_cascade] are
+    the pre-classification spellings of the same three cores, kept for
+    back-compatibility.  (Unclassified policies need the per-event
+    policy loop and have no incremental form — see [Run.engine] for how
+    the two surfaces meet.) *)
 
 val spec_name : spec -> string
 (** Audit name, matching [Run.engine_name]: ["equal-share"],
-    ["srpt-index"], ["sjf-index"], ["fcfs-index"], ["setf-cascade"]. *)
+    ["srpt-index"], ["setf-cascade"], ["mlfq-ladder"], ["hybrid-index"],
+    ... ({!Policy_class.engine_name}). *)
 
 val spec_of_string : string -> spec option
-(** Accepts the registry policy names ["rr"], ["srpt"], ["sjf"],
-    ["fcfs"], ["setf"] (plus the {!spec_name} spellings);
-    case-insensitive.  [None] for anything else. *)
+(** Accepts every registry policy name — ["rr"], ["srpt"], ["sjf"],
+    ["fcfs"], ["setf"], ["hdf"], ["laps"], ["mlfq"], ["quantum-rr"],
+    ["wrr-age"], ["wrr-static"], ["hybrid"], ["srpt-mig"] — at its
+    registry-default parameters (plus the {!spec_name} spellings);
+    case-insensitive.  [None] for anything else.  Use the typed
+    [Classified] constructor for non-default parameters. *)
 
 val spec_names : string list
 (** The canonical accepted names, for CLI help text. *)

@@ -11,8 +11,22 @@ type decision = { rates : float array; horizon : float option }
 type t = {
   name : string;
   clairvoyant : bool;
+  klass : Policy_class.t option;
   allocate : now:float -> machines:int -> speed:float -> view array -> decision;
 }
+
+let make ~name ~clairvoyant ?klass allocate =
+  (match klass with
+  | None -> ()
+  | Some k -> (
+      (match Policy_class.validate k with
+      | Ok () -> ()
+      | Error e -> invalid_arg (Printf.sprintf "Policy.make: %s: %s" name e));
+      if Policy_class.clairvoyant k && not clairvoyant then
+        invalid_arg
+          (Printf.sprintf
+             "Policy.make: %s declares a clairvoyant class but is not clairvoyant" name)));
+  { name; clairvoyant; klass; allocate }
 
 let age ~now v = now -. v.arrival
 

@@ -45,8 +45,27 @@ type decision = {
 type t = {
   name : string;
   clairvoyant : bool;
+  klass : Policy_class.t option;
+      (** The policy's declared {!Policy_class.t}, if any.  A classified
+          policy asserts that its [allocate] is extensionally the class's
+          reference behaviour; the engine layer then dispatches it to the
+          class's specialised kernel ({!Run.selection_for}).  [None]
+          means "only the general event loop applies" — a structurally
+          identical copy of a classified policy without the declaration
+          stays on the general loop by design. *)
   allocate : now:float -> machines:int -> speed:float -> view array -> decision;
 }
+
+val make :
+  name:string ->
+  clairvoyant:bool ->
+  ?klass:Policy_class.t ->
+  (now:float -> machines:int -> speed:float -> view array -> decision) ->
+  t
+(** Smart constructor: validates the declared class's parameters and
+    checks that a clairvoyant class is only declared by a clairvoyant
+    policy.  Building the record literally is equally fine when no class
+    is declared. *)
 
 val age : now:float -> view -> float
 (** [age ~now v = now - v.arrival]: the current age of an alive job. *)

@@ -4,4 +4,6 @@ let key = Rr_engine.Index_engine.key_of_view index_kind
 
 let allocate ~now:_ ~machines ~speed:_ views = Srpt.top_m_by key ~machines views
 
-let policy = { Rr_engine.Policy.name = "fcfs"; clairvoyant = false; allocate }
+let policy =
+  Rr_engine.Policy.make ~name:"fcfs" ~clairvoyant:false
+    ~klass:(Rr_engine.Policy_class.Static_key Rr_engine.Policy_class.Key_arrival) allocate

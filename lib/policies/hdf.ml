@@ -12,4 +12,23 @@ let policy ~weight_of () =
     in
     Srpt.top_m_by key ~machines views
   in
-  { Policy.name = "hdf"; clairvoyant = true; allocate }
+  { Policy.name = "hdf"; clairvoyant = true; klass = None; allocate }
+
+(* The size-powered member of the family: weight size^alpha, so the key
+   is a pure function of the job's size and the policy classifies as a
+   static-key index (the closure version above cannot — an arbitrary
+   [weight_of] is not declarable data). *)
+let sized ?(alpha = 2.) () =
+  let kspec = Policy_class.Key_density { alpha } in
+  let allocate ~now:_ ~machines ~speed:_ (views : Policy.view array) =
+    let key (v : Policy.view) =
+      let size = Policy.size_exn v in
+      Policy_class.static_key kspec ~arrival:v.Policy.arrival ~size ~remaining:size
+    in
+    Srpt.top_m_by key ~machines views
+  in
+  Policy.make
+    ~name:(Printf.sprintf "hdf(a=%g)" alpha)
+    ~clairvoyant:true
+    ~klass:(Policy_class.Static_key kspec)
+    allocate

@@ -8,4 +8,13 @@
 val policy : weight_of:(int -> float) -> unit -> Rr_engine.Policy.t
 (** [policy ~weight_of ()] reads each job's weight from its id; weights
     must be positive and finite ([Invalid_argument] at allocation time
-    otherwise). *)
+    otherwise).  Unclassified: an arbitrary weight function is not
+    declarable data, so this version runs on the general loop. *)
+
+val sized : ?alpha:float -> unit -> Rr_engine.Policy.t
+(** [sized ~alpha ()] is HDF with weight [size^alpha] (default 2): the
+    key [-(size^alpha / size)] depends only on the job's size, so the
+    policy declares [Static_key (Key_density {alpha})] and runs on the
+    priority-index kernel.  [alpha = 1] coincides with Round Robin's
+    densities being all 1 — every job equally dense — so ties resolve
+    by id; [alpha = 0] is SJF in disguise (density 1/size). *)

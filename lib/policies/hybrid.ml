@@ -1,0 +1,62 @@
+open Rr_engine
+
+(* Kuo's starvation-mitigation hybrid.  A job is "starved" once its
+   flow/size ratio reaches theta, i.e. from the instant
+   [Policy_class.starve_time ~theta ~arrival ~size] onwards — one shared
+   expression with the hybrid index kernel, so policy and engine agree
+   bit for bit on who is starved when.  Starved jobs take absolute
+   priority and are served FCFS (oldest first) — the starved job has
+   waited long relative to its size, and finishing it first caps its
+   flow/size ratio; everyone else is served SRPT, which is what makes
+   the family interpolate between pure SRPT (theta = infinity in the
+   limit) and FCFS-dominated service (theta -> 0). *)
+let policy ?(theta = 3.) () =
+  if not (Float.is_finite theta && theta > 0.) then
+    invalid_arg "Hybrid.policy: theta must be finite and positive";
+  let allocate ~now ~machines ~speed:_ (views : Policy.view array) =
+    let n = Array.length views in
+    let starve =
+      Array.map
+        (fun (v : Policy.view) ->
+          Policy_class.starve_time ~theta ~arrival:v.Policy.arrival ~size:(Policy.size_exn v))
+        views
+    in
+    let starved i = now >= starve.(i) in
+    let idx = Array.init n Fun.id in
+    Array.sort
+      (fun a b ->
+        match (starved a, starved b) with
+        | true, false -> -1
+        | false, true -> 1
+        | true, true -> (
+            match Float.compare views.(a).Policy.arrival views.(b).Policy.arrival with
+            | 0 -> Int.compare views.(a).Policy.id views.(b).Policy.id
+            | c -> c)
+        | false, false -> (
+            match
+              Float.compare (Policy.remaining_exn views.(a)) (Policy.remaining_exn views.(b))
+            with
+            | 0 -> Int.compare views.(a).Policy.id views.(b).Policy.id
+            | c -> c))
+      idx;
+    let rates = Array.make n 0. in
+    for rank = 0 to Int.min machines n - 1 do
+      rates.(idx.(rank)) <- 1.
+    done;
+    (* The priority order also changes when a waiting job crosses its
+       starvation threshold, which is not an arrival or a completion:
+       re-evaluate no later than the earliest pending promotion. *)
+    let horizon = ref None in
+    for i = 0 to n - 1 do
+      if not (starved i) then
+        match !horizon with
+        | Some h when h <= starve.(i) -> ()
+        | _ -> horizon := Some starve.(i)
+    done;
+    { Policy.rates; horizon = !horizon }
+  in
+  Policy.make
+    ~name:(Printf.sprintf "hybrid(t=%g)" theta)
+    ~clairvoyant:true
+    ~klass:(Policy_class.Starvation_hybrid { theta })
+    allocate

@@ -1,0 +1,23 @@
+(** Starvation-mitigation hybrid (Kuo): SRPT for the fresh, FCFS for the
+    starved.
+
+    SRPT minimises total (l1) flow but lets an unlucky long job starve
+    behind a stream of short ones — exactly the temporal unfairness the
+    paper's lk-norm objective penalises.  The hybrid family bounds each
+    job's stretch: a job whose flow/size ratio reaches [theta] is
+    promoted to a "starved" class with absolute priority, served FCFS
+    among themselves; everyone else is served SRPT.  Sweeping [theta]
+    traces the l1-vs-l2 tradeoff curve between SRPT-like efficiency
+    (large [theta] — promotions never fire) and starvation-free but
+    l1-costly service (small [theta] — most jobs promote on arrival,
+    collapsing towards FCFS).
+
+    Classified as [Starvation_hybrid {theta}]: the hybrid index kernel
+    runs the same rule with two priority heaps plus a promotion-event
+    heap keyed on {!Rr_engine.Policy_class.starve_time}. *)
+
+val policy : ?theta:float -> unit -> Rr_engine.Policy.t
+(** [policy ~theta ()] builds the hybrid with stretch threshold [theta]
+    (default 3): job [j] counts as starved from
+    [arrival_j + theta * size_j] onwards.  Clairvoyant.
+    @raise Invalid_argument when [theta] is not finite and positive. *)

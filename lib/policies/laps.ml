@@ -21,4 +21,8 @@ let policy ~beta =
     done;
     { Policy.rates; horizon = None }
   in
-  { Policy.name = Printf.sprintf "laps(%.2f)" beta; clairvoyant = false; allocate }
+  Policy.make
+    ~name:(Printf.sprintf "laps(%.2f)" beta)
+    ~clairvoyant:false
+    ~klass:(Policy_class.Latest_fraction { beta })
+    allocate

@@ -1,21 +1,10 @@
 open Rr_engine
 
-(* Cumulative demotion thresholds: T_0 = q, T_1 = q + q f, ...; a job sits
-   in the first level whose threshold its attained service has not reached,
-   and stays in the last level forever once past all thresholds. *)
-let level_of_attained ~base_quantum ~factor ~levels attained =
-  let rec go level threshold quantum =
-    if level >= levels - 1 || attained < threshold then level
-    else go (level + 1) (threshold +. (quantum *. factor)) (quantum *. factor)
-  in
-  go 0 base_quantum base_quantum
-
-let threshold_of_level ~base_quantum ~factor level =
-  (* Sum of the first (level+1) quanta. *)
-  let rec go l acc quantum =
-    if l > level then acc else go (l + 1) (acc +. quantum) (quantum *. factor)
-  in
-  go 0 0. base_quantum
+(* Cumulative demotion thresholds: T_0 = q, T_1 = q + q f, ...; the
+   ladder lives with the classification layer so the mlfq-ladder engine
+   computes the identical levels. *)
+let level_of_attained = Policy_class.ladder_level
+let threshold_of_level = Policy_class.ladder_threshold
 
 let policy ?(base_quantum = 0.5) ?(factor = 2.) ?(levels = 24) () =
   if base_quantum <= 0. then invalid_arg "Mlfq.policy: base_quantum must be positive";
@@ -75,8 +64,8 @@ let policy ?(base_quantum = 0.5) ?(factor = 2.) ?(levels = 24) () =
       views;
     { Policy.rates; horizon = !horizon }
   in
-  {
-    Policy.name = Printf.sprintf "mlfq(q=%g,f=%g)" base_quantum factor;
-    clairvoyant = false;
-    allocate;
-  }
+  Policy.make
+    ~name:(Printf.sprintf "mlfq(q=%g,f=%g)" base_quantum factor)
+    ~clairvoyant:false
+    ~klass:(Policy_class.Level_ladder { base_quantum; factor; levels })
+    allocate

@@ -82,8 +82,8 @@ let policy ?(quantum = 1.0) () =
       state.slots;
     { Policy.rates; horizon = !horizon }
   in
-  {
-    Policy.name = Printf.sprintf "quantum-rr(q=%g)" quantum;
-    clairvoyant = false;
-    allocate;
-  }
+  Policy.make
+    ~name:(Printf.sprintf "quantum-rr(q=%g)" quantum)
+    ~clairvoyant:false
+    ~klass:(Policy_class.Quantum_cycle { quantum })
+    allocate

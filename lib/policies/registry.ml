@@ -8,6 +8,10 @@ type spec =
   | Wrr_age of int
   | Quantum_rr of float
   | Mlfq of float
+  | Hdf of float
+  | Wrr_static of float
+  | Hybrid of float
+  | Srpt_mig of int
 
 let validate spec =
   match spec with
@@ -23,6 +27,18 @@ let validate spec =
   | Mlfq q ->
       if q > 0. then Ok spec
       else Error (Printf.sprintf "mlfq needs a positive base quantum, got %g" q)
+  | Hdf alpha ->
+      if Float.is_finite alpha then Ok spec
+      else Error (Printf.sprintf "hdf needs a finite alpha, got %g" alpha)
+  | Wrr_static gamma ->
+      if Float.is_finite gamma then Ok spec
+      else Error (Printf.sprintf "wrr-static needs a finite gamma, got %g" gamma)
+  | Hybrid theta ->
+      if Float.is_finite theta && theta > 0. then Ok spec
+      else Error (Printf.sprintf "hybrid needs a finite positive theta, got %g" theta)
+  | Srpt_mig b ->
+      if b >= 0 then Ok spec
+      else Error (Printf.sprintf "srpt-mig needs a budget >= 0, got %d" b)
 
 let make spec =
   (match validate spec with Ok _ -> () | Error msg -> invalid_arg ("Registry.make: " ^ msg));
@@ -36,6 +52,10 @@ let make spec =
   | Wrr_age k -> Wrr_age.policy ~k ()
   | Quantum_rr quantum -> Quantum_rr.policy ~quantum ()
   | Mlfq base_quantum -> Mlfq.policy ~base_quantum ()
+  | Hdf alpha -> Hdf.sized ~alpha ()
+  | Wrr_static gamma -> Wrr_static.sized ~gamma ()
+  | Hybrid theta -> Hybrid.policy ~theta ()
+  | Srpt_mig budget -> Srpt_mig.policy ~budget ()
 
 let spec_to_string = function
   | Rr -> "rr"
@@ -47,9 +67,27 @@ let spec_to_string = function
   | Wrr_age k -> Printf.sprintf "wrr-age:%d" k
   | Quantum_rr q -> Printf.sprintf "quantum-rr:%g" q
   | Mlfq q -> Printf.sprintf "mlfq:%g" q
+  | Hdf alpha -> Printf.sprintf "hdf:%g" alpha
+  | Wrr_static gamma -> Printf.sprintf "wrr-static:%g" gamma
+  | Hybrid theta -> Printf.sprintf "hybrid:%g" theta
+  | Srpt_mig b -> Printf.sprintf "srpt-mig:%d" b
 
 let names () =
-  [ "rr"; "srpt"; "sjf"; "setf"; "fcfs"; "laps[:beta]"; "wrr-age[:k]"; "quantum-rr[:q]"; "mlfq[:q]" ]
+  [
+    "rr";
+    "srpt";
+    "sjf";
+    "setf";
+    "fcfs";
+    "laps[:beta]";
+    "wrr-age[:k]";
+    "quantum-rr[:q]";
+    "mlfq[:q]";
+    "hdf[:alpha]";
+    "wrr-static[:gamma]";
+    "hybrid[:theta]";
+    "srpt-mig[:budget]";
+  ]
 
 let spec_of_string s =
   let float_param ~form ~what ~check arg of_float =
@@ -87,12 +125,46 @@ let spec_of_string s =
         ~check:(fun v -> v > 0.)
         q
         (fun v -> Mlfq v)
+  | [ "hdf" ] -> Ok (Hdf 2.)
+  | [ "hdf"; a ] ->
+      float_param ~form:"hdf:<alpha>" ~what:"a finite alpha" ~check:Float.is_finite a
+        (fun v -> Hdf v)
+  | [ "wrr-static" ] -> Ok (Wrr_static 1.)
+  | [ "wrr-static"; g ] ->
+      float_param ~form:"wrr-static:<gamma>" ~what:"a finite gamma" ~check:Float.is_finite g
+        (fun v -> Wrr_static v)
+  | [ "hybrid" ] -> Ok (Hybrid 3.)
+  | [ "hybrid"; t ] ->
+      float_param ~form:"hybrid:<theta>" ~what:"a finite positive theta"
+        ~check:(fun v -> Float.is_finite v && v > 0.)
+        t
+        (fun v -> Hybrid v)
+  | [ "srpt-mig" ] -> Ok (Srpt_mig 1)
+  | [ "srpt-mig"; b ] -> (
+      match int_of_string_opt b with
+      | Some v when v >= 0 -> Ok (Srpt_mig v)
+      | Some _ | None ->
+          Error (Printf.sprintf "srpt-mig:<budget> needs an integer budget >= 0, got %S" b))
   | _ ->
       Error
         (Printf.sprintf "unknown policy %S (expected one of: %s)" s
            (String.concat ", " (names ())))
 
 let default_specs () =
-  [ Rr; Srpt; Sjf; Setf; Fcfs; Laps 0.5; Wrr_age 2; Quantum_rr 1.; Mlfq 0.5 ]
+  [
+    Rr;
+    Srpt;
+    Sjf;
+    Setf;
+    Fcfs;
+    Laps 0.5;
+    Wrr_age 2;
+    Quantum_rr 1.;
+    Mlfq 0.5;
+    Hdf 2.;
+    Wrr_static 1.;
+    Hybrid 3.;
+    Srpt_mig 1;
+  ]
 
 let all () = List.map make (default_specs ())

@@ -17,6 +17,10 @@ type spec =
   | Wrr_age of int  (** [Wrr_age k] with [k >= 1]: age-weighted RR for the lk norm. *)
   | Quantum_rr of float  (** [Quantum_rr q] with quantum [q > 0]. *)
   | Mlfq of float  (** [Mlfq q] with base quantum [q > 0]. *)
+  | Hdf of float  (** [Hdf alpha]: highest density first, weight [size^alpha]. *)
+  | Wrr_static of float  (** [Wrr_static gamma]: weights [size^gamma]. *)
+  | Hybrid of float  (** [Hybrid theta] with [theta > 0]: SRPT/FCFS starvation hybrid. *)
+  | Srpt_mig of int  (** [Srpt_mig budget] with [budget >= 0]: preemption-budget SRPT. *)
 
 val validate : spec -> (spec, string) result
 (** [Ok spec] when the parameters are in range, [Error msg] otherwise
@@ -38,7 +42,8 @@ val spec_of_string : string -> (spec, string) result
     ["laps:2.0" -> Error "laps:<beta> needs beta in (0, 1], got \"2.0\""].
     Defaults match {!default_specs}: [laps -> Laps 0.5],
     [wrr-age -> Wrr_age 2], [quantum-rr -> Quantum_rr 1.],
-    [mlfq -> Mlfq 0.5]. *)
+    [mlfq -> Mlfq 0.5], [hdf -> Hdf 2.], [wrr-static -> Wrr_static 1.],
+    [hybrid -> Hybrid 3.], [srpt-mig -> Srpt_mig 1]. *)
 
 val default_specs : unit -> spec list
 (** Every built-in policy with its default parameters, in presentation

@@ -3,4 +3,6 @@ let allocate ~now:_ ~machines ~speed:_ (views : Rr_engine.Policy.view array) =
   let share = Float.min 1. (Float.of_int machines /. Float.of_int (Int.max n 1)) in
   { Rr_engine.Policy.rates = Array.make n share; horizon = None }
 
-let policy = { Rr_engine.Policy.name = "rr"; clairvoyant = false; allocate }
+let policy =
+  Rr_engine.Policy.make ~name:"rr" ~clairvoyant:false ~klass:Rr_engine.Policy_class.Equal_share
+    allocate

@@ -61,4 +61,5 @@ let allocate ~now ~machines ~speed (views : Policy.view array) =
   done;
   { Policy.rates; horizon = !horizon }
 
-let policy = { Policy.name = "setf"; clairvoyant = false; allocate }
+let policy =
+  Policy.make ~name:"setf" ~clairvoyant:false ~klass:Policy_class.Attained_cascade allocate

@@ -23,4 +23,6 @@ let key = Index_engine.key_of_view index_kind
 
 let allocate ~now:_ ~machines ~speed:_ views = top_m_by key ~machines views
 
-let policy = { Policy.name = "srpt"; clairvoyant = true; allocate }
+let policy =
+  Policy.make ~name:"srpt" ~clairvoyant:true
+    ~klass:(Policy_class.Static_key Policy_class.Key_remaining) allocate

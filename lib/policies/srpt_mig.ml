@@ -1,0 +1,147 @@
+open Rr_engine
+
+(* Preemption-budget SRPT ("migration-limited" in the classification
+   layer's sense: machines are fungible here, so the bounded resource is
+   preemptions rather than machine moves).  SRPT, except each job may be
+   evicted from a machine at most [budget] times; a running job whose
+   eviction count has reached the budget is immune to preemption and
+   runs to completion.  [budget = 0] is non-preemptive SRPT; a large
+   budget is plain SRPT.
+
+   The rule depends on eviction history, so the mirror policy is
+   stateful, like Quantum_rr: it replays exactly the transitions the
+   budget kernel makes, in the same order —
+
+     1. drop completed jobs from the running set,
+     2. promote the best waiting jobs (min (remaining, id)) into free
+        machines (completion beats arrival: promotions at time t happen
+        before arrivals at t are considered),
+     3. admit fresh arrivals in (arrival, id) order; each arrival takes a
+        free machine if any, else challenges the weakest *evictable*
+        running job (max (remaining, id) among those with eviction count
+        < budget) and evicts it — bumping its count — iff it beats it
+        under (remaining, id).
+
+   The general loop invokes [allocate] exactly once per event, so the
+   replay sees every transition; with no fresh arrivals and no
+   completions the state is untouched and the allocation is stable. *)
+
+type state = {
+  known : (int, unit) Hashtbl.t;
+  running : (int, unit) Hashtbl.t;
+  evictions : (int, int) Hashtbl.t;
+  mutable last_now : float;
+}
+
+let policy ?(budget = 1) () =
+  if budget < 0 then invalid_arg "Srpt_mig.policy: budget must be >= 0";
+  let state =
+    {
+      known = Hashtbl.create 64;
+      running = Hashtbl.create 16;
+      evictions = Hashtbl.create 64;
+      last_now = Float.neg_infinity;
+    }
+  in
+  let allocate ~now ~machines ~speed:_ (views : Policy.view array) =
+    (* Time running backwards means the policy value is being reused for
+       a fresh simulation: start from clean history. *)
+    if now < state.last_now then begin
+      Hashtbl.reset state.known;
+      Hashtbl.reset state.running;
+      Hashtbl.reset state.evictions
+    end;
+    state.last_now <- now;
+    let n = Array.length views in
+    let slot_of = Hashtbl.create n in
+    Array.iteri (fun i (v : Policy.view) -> Hashtbl.replace slot_of v.Policy.id i) views;
+    (* 1. Completed jobs vanish from the views; drop them. *)
+    let gone =
+      Hashtbl.fold
+        (fun id () acc -> if Hashtbl.mem slot_of id then acc else id :: acc)
+        state.running []
+    in
+    List.iter (Hashtbl.remove state.running) gone;
+    let count id = match Hashtbl.find_opt state.evictions id with Some c -> c | None -> 0 in
+    let remaining i = Policy.remaining_exn views.(i) in
+    let id_of i = views.(i).Policy.id in
+    let waiting () =
+      let acc = ref [] in
+      Array.iteri
+        (fun i (v : Policy.view) ->
+          if Hashtbl.mem state.known v.Policy.id && not (Hashtbl.mem state.running v.Policy.id)
+          then acc := i :: !acc)
+        views;
+      !acc
+    in
+    (* 2. Refill free machines from the waiting set, best first. *)
+    let refill () =
+      let continue = ref true in
+      while !continue do
+        if Hashtbl.length state.running >= machines then continue := false
+        else begin
+          let best = ref (-1) in
+          List.iter
+            (fun i ->
+              if
+                !best < 0
+                || remaining i < remaining !best
+                || (remaining i = remaining !best && id_of i < id_of !best)
+              then best := i)
+            (waiting ());
+          if !best < 0 then continue := false
+          else Hashtbl.replace state.running (id_of !best) ()
+        end
+      done
+    in
+    refill ();
+    (* 3. Admit fresh arrivals in (arrival, id) order. *)
+    let fresh =
+      Array.to_list views
+      |> List.filter (fun (v : Policy.view) -> not (Hashtbl.mem state.known v.Policy.id))
+      |> List.sort (fun (a : Policy.view) (b : Policy.view) ->
+             match Float.compare a.arrival b.arrival with
+             | 0 -> Int.compare a.id b.id
+             | c -> c)
+    in
+    List.iter
+      (fun (v : Policy.view) ->
+        Hashtbl.replace state.known v.Policy.id ();
+        if Hashtbl.length state.running < machines then
+          Hashtbl.replace state.running v.Policy.id ()
+        else begin
+          (* Weakest evictable incumbent under (remaining, id). *)
+          let weak = ref (-1) in
+          Hashtbl.iter
+            (fun id () ->
+              if count id < budget then
+                let i = Hashtbl.find slot_of id in
+                if
+                  !weak < 0
+                  || remaining i > remaining !weak
+                  || (remaining i = remaining !weak && id_of i > id_of !weak)
+                then weak := i)
+            state.running;
+          if !weak >= 0 then begin
+            let j = Hashtbl.find slot_of v.Policy.id in
+            if
+              remaining j < remaining !weak
+              || (remaining j = remaining !weak && id_of j < id_of !weak)
+            then begin
+              let wid = id_of !weak in
+              Hashtbl.remove state.running wid;
+              Hashtbl.replace state.evictions wid (count wid + 1);
+              Hashtbl.replace state.running v.Policy.id ()
+            end
+          end
+        end)
+      fresh;
+    let rates = Array.make n 0. in
+    Hashtbl.iter (fun id () -> rates.(Hashtbl.find slot_of id) <- 1.) state.running;
+    { Policy.rates; horizon = None }
+  in
+  Policy.make
+    ~name:(Printf.sprintf "srpt-mig(b=%d)" budget)
+    ~clairvoyant:true
+    ~klass:(Policy_class.Preempt_budget { budget })
+    allocate

@@ -1,0 +1,22 @@
+(** Preemption-budget SRPT (the migration-limited family, reinterpreted
+    for fungible machines).
+
+    SRPT evicts the currently weakest job whenever a shorter one
+    arrives; on real systems each eviction has a cost, which the
+    bounded-migration literature models by capping how often a job may
+    be displaced.  Here machines are identical and fungible, so the
+    bounded resource is preemptions: each job may be evicted from a
+    machine at most [budget] times, after which it is immune and runs
+    to completion.  [budget = 0] is non-preemptive SRPT; as
+    [budget -> infinity] the policy converges to plain SRPT.
+
+    Classified as [Preempt_budget {budget}]: the budget kernel runs the
+    same rule with per-job eviction counters on the slot array.
+    Stateful (eviction history), like {!Quantum_rr}: one policy value
+    replays deterministically for one simulation at a time, and resets
+    itself when time runs backwards. *)
+
+val policy : ?budget:int -> unit -> Rr_engine.Policy.t
+(** [policy ~budget ()] builds the family member with the given
+    eviction budget per job (default 1).
+    @raise Invalid_argument when [budget < 0]. *)

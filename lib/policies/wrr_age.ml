@@ -1,33 +1,8 @@
 open Rr_engine
 
-let proportional_rates ~machines weights =
-  let n = Array.length weights in
-  let m = Float.of_int machines in
-  if n <= machines then Array.make n 1.
-  else begin
-    (* Sort indices by decreasing weight; the [c] heaviest jobs are capped
-       at rate 1, the rest share the remaining machines proportionally.
-       [c] is the smallest count for which no uncapped job exceeds rate 1. *)
-    let idx = Array.init n Fun.id in
-    Array.sort (fun a b -> Float.compare weights.(b) weights.(a)) idx;
-    let suffix = Array.make (n + 1) 0. in
-    for i = n - 1 downto 0 do
-      suffix.(i) <- suffix.(i + 1) +. weights.(idx.(i))
-    done;
-    let rec find_cap c =
-      if c >= machines then machines
-      else
-        let theta = (m -. Float.of_int c) /. suffix.(c) in
-        if weights.(idx.(c)) *. theta > 1. then find_cap (c + 1) else c
-    in
-    let c = find_cap 0 in
-    let theta = if c = machines then 0. else (m -. Float.of_int c) /. suffix.(c) in
-    let rates = Array.make n 0. in
-    for i = 0 to n - 1 do
-      rates.(idx.(i)) <- (if i < c then 1. else Float.min 1. (weights.(idx.(i)) *. theta))
-    done;
-    rates
-  end
+(* The solver lives with the classification layer so the dense engines
+   share it; re-exported here for tests and the weighted policies. *)
+let proportional_rates = Policy_class.proportional_rates
 
 let policy ?(refresh = 0.25) ?(offset = 0.1) ~k () =
   if k < 1 then invalid_arg "Wrr_age.policy: k must be >= 1";
@@ -39,7 +14,8 @@ let policy ?(refresh = 0.25) ?(offset = 0.1) ~k () =
         (fun v -> Rr_util.Floatx.powi (Policy.age ~now v +. offset) (k - 1))
         views
     in
-    let rates = proportional_rates ~machines weights in
+    let ids = Array.map (fun (v : Policy.view) -> v.Policy.id) views in
+    let rates = proportional_rates ~machines ~ids weights in
     (* Ages drift, so refresh after a fraction of the youngest age; the
        youngest job's weight is the fastest-changing one in relative terms. *)
     let youngest =
@@ -51,4 +27,8 @@ let policy ?(refresh = 0.25) ?(offset = 0.1) ~k () =
     in
     { Policy.rates; horizon }
   in
-  { Policy.name = Printf.sprintf "wrr-age(k=%d)" k; clairvoyant = false; allocate }
+  Policy.make
+    ~name:(Printf.sprintf "wrr-age(k=%d)" k)
+    ~clairvoyant:false
+    ~klass:(Policy_class.Aged_share { k; refresh; offset })
+    allocate

@@ -21,8 +21,13 @@ val policy : ?refresh:float -> ?offset:float -> k:int -> unit -> Rr_engine.Polic
     @raise Invalid_argument when [k < 1], [refresh <= 0.] or
       [offset <= 0.]. *)
 
-val proportional_rates : machines:int -> float array -> float array
-(** [proportional_rates ~machines weights] solves the capped proportional
-    allocation: rates [r_i = min(1, theta * w_i)] with the largest [theta]
-    such that [sum r_i <= machines] (all rates 1 when the job count is at
-    most [machines]).  Exposed for testing. *)
+val proportional_rates : machines:int -> ids:int array -> float array -> float array
+(** [proportional_rates ~machines ~ids weights] solves the capped
+    proportional allocation: rates [r_i = min(1, theta * w_i)] with the
+    largest [theta] such that [sum r_i <= machines] (all rates 1 when the
+    job count is at most [machines]).  [ids.(i)] is the job id of entry
+    [i]; weight ties sort by increasing id so the internal suffix sums
+    have one deterministic association order, which the dense engines
+    replay to reproduce bit-identical rates.  Exposed for testing and for
+    the engine layer.
+    @raise Invalid_argument when [ids] and [weights] differ in length. *)

@@ -11,6 +11,24 @@ let policy ~weight_of () =
           w)
         views
     in
-    { Policy.rates = Wrr_age.proportional_rates ~machines weights; horizon = None }
+    let ids = Array.map (fun (v : Policy.view) -> v.Policy.id) views in
+    { Policy.rates = Wrr_age.proportional_rates ~machines ~ids weights; horizon = None }
   in
-  { Policy.name = "wrr-static"; clairvoyant = false; allocate }
+  { Policy.name = "wrr-static"; clairvoyant = false; klass = None; allocate }
+
+(* The size-powered member of the family: weight size^gamma, a pure
+   function of declarable data, so the policy classifies as Sized_share
+   and gets the dense proportional-share kernel.  The weight expression
+   below is the one the kernel evaluates too. *)
+let sized ?(gamma = 1.) () =
+  if not (Float.is_finite gamma) then invalid_arg "Wrr_static.sized: gamma must be finite";
+  let allocate ~now:_ ~machines ~speed:_ (views : Policy.view array) =
+    let weights = Array.map (fun v -> Policy.size_exn v ** gamma) views in
+    let ids = Array.map (fun (v : Policy.view) -> v.Policy.id) views in
+    { Policy.rates = Wrr_age.proportional_rates ~machines ~ids weights; horizon = None }
+  in
+  Policy.make
+    ~name:(Printf.sprintf "wrr-static(g=%g)" gamma)
+    ~clairvoyant:true
+    ~klass:(Policy_class.Sized_share { gamma })
+    allocate

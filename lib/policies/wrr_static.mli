@@ -11,4 +11,14 @@
 val policy : weight_of:(int -> float) -> unit -> Rr_engine.Policy.t
 (** [policy ~weight_of ()] reads the weight of each alive job from its id
     via [weight_of] (weights must be positive and finite; violations raise
-    [Invalid_argument] at allocation time). *)
+    [Invalid_argument] at allocation time).  Unclassified: an arbitrary
+    weight function is not declarable data, so this version runs on the
+    general loop. *)
+
+val sized : ?gamma:float -> unit -> Rr_engine.Policy.t
+(** [sized ~gamma ()] weights each job by [size^gamma] (default 1:
+    machines in proportion to sizes).  The weight is a pure function of
+    declarable data, so the policy declares [Sized_share {gamma}] and
+    runs on the dense proportional-share kernel.  [gamma = 0] is plain
+    RR with extra steps; negative gamma favours short jobs.
+    Clairvoyant.  @raise Invalid_argument when [gamma] is not finite. *)

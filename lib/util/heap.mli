@@ -112,3 +112,55 @@ module Scalar2 : sig
       to enumerate waiting jobs for trace segments and to merge SETF
       groups small-into-large; do not add or pop during iteration. *)
 end
+
+(** {!Scalar2} with a third unboxed float satellite per element.
+
+    The generalized priority-index engine keeps (priority key, job id,
+    arrival, size, remaining) per waiting job in one heap: unlike the
+    original three fixed kinds, a declared key (for example HDF's negated
+    density) is not itself one of the three resume fields, so all of
+    arrival, size and remaining must ride along. *)
+module Scalar3 : sig
+  type t
+
+  val create : unit -> t
+
+  val length : t -> int
+
+  val is_empty : t -> bool
+
+  val clear : t -> unit
+  (** Forget all elements, keeping the backing capacity. *)
+
+  val add : t -> key:float -> aux1:float -> aux2:float -> aux3:float -> int -> unit
+  (** O(log n) insertion of (key, payload, satellites). *)
+
+  val min_key_exn : t -> float
+  (** Smallest key. @raise Invalid_argument on an empty heap. *)
+
+  val min_val_exn : t -> int
+  (** Payload of the smallest key. @raise Invalid_argument on an empty
+      heap. *)
+
+  val min_aux1_exn : t -> float
+  (** First satellite of the smallest key.
+      @raise Invalid_argument on an empty heap. *)
+
+  val min_aux2_exn : t -> float
+  (** Second satellite of the smallest key.
+      @raise Invalid_argument on an empty heap. *)
+
+  val min_aux3_exn : t -> float
+  (** Third satellite of the smallest key.
+      @raise Invalid_argument on an empty heap. *)
+
+  val pop_exn : t -> int
+  (** Remove the smallest key and return its payload (satellites are
+      discarded — read them first). @raise Invalid_argument on an empty
+      heap. *)
+
+  val iter : (float -> int -> float -> float -> float -> unit) -> t -> unit
+  (** [iter f t] applies [f key value aux1 aux2 aux3] to every element in
+      unspecified (heap-array) order; do not add or pop during
+      iteration. *)
+end

@@ -1,0 +1,144 @@
+(* The classification layer's outward guarantees:
+
+   - every policy the registry ships is classified, and the README's
+     engine-coverage table names each one with its class description and
+     kernel audit string — regenerated here from the registry so the
+     docs cannot go stale;
+   - the starvation-mitigation hybrid reproduces Kuo's l2/l1 tradeoff:
+     as theta sweeps up the l1 cost (vs SRPT) falls monotonically to 1,
+     the max-flow tail grows toward SRPT's, and the theta -> infinity
+     endpoint is SRPT itself. *)
+
+open Temporal_fairness
+module Policy = Rr_engine.Policy
+module Policy_class = Rr_engine.Policy_class
+module Registry = Rr_policies.Registry
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* README coverage table                                               *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Under [dune runtest] the cwd is [_build/default/test] and the stanza
+   declares the README as a dependency, so the parent copy is current;
+   under [dune exec] the cwd is the workspace root.  Probe upwards. *)
+let readme_path =
+  let candidates =
+    [ "README.md"; Filename.concat Filename.parent_dir_name "README.md" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> List.nth candidates 1
+
+let surface_name spec =
+  match String.split_on_char ':' (Registry.spec_to_string spec) with
+  | name :: _ -> name
+  | [] -> assert false
+
+let test_registry_fully_classified () =
+  List.iter
+    (fun spec ->
+      let policy = Registry.make spec in
+      match policy.Policy.klass with
+      | Some klass ->
+          Alcotest.(check bool)
+            (policy.Policy.name ^ " clairvoyance agrees with its class")
+            policy.Policy.clairvoyant (Policy_class.clairvoyant klass)
+      | None ->
+          Alcotest.failf "registry policy %s (%s) is unclassified" policy.Policy.name
+            (Registry.spec_to_string spec))
+    (Registry.default_specs ())
+
+let test_readme_coverage_table () =
+  let readme = read_file readme_path in
+  List.iter
+    (fun spec ->
+      let policy = Registry.make spec in
+      let klass = Option.get policy.Policy.klass in
+      let name = surface_name spec in
+      let row_cell what s =
+        Alcotest.(check bool)
+          (Printf.sprintf "README names %s of %s (%S)" what name s)
+          true (contains ~sub:s readme)
+      in
+      row_cell "the policy" ("`" ^ name ^ "`");
+      row_cell "the class" (Policy_class.describe klass);
+      row_cell "the engine" ("`" ^ Policy_class.engine_name klass ^ "`"))
+    (Registry.default_specs ())
+
+(* ------------------------------------------------------------------ *)
+(* Hybrid l2/l1 tradeoff (Kuo)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let heavy_instance ~seed ~n =
+  let rng = Rr_util.Prng.create ~seed in
+  Rr_workload.Instance.generate_load ~rng
+    ~sizes:(Rr_workload.Distribution.Bounded_pareto { alpha = 1.5; x_min = 0.5; x_max = 50. })
+    ~load:0.9 ~machines:1 ~n ()
+
+let test_hybrid_tradeoff_monotone () =
+  let inst = heavy_instance ~seed:83 ~n:400 in
+  let cfg = Run.config ~machines:1 ~k:2 ~cache:false () in
+  let srpt = Run.measure cfg Rr_policies.Srpt.policy inst in
+  let thetas = [ 0.25; 1.; 4.; 32.; 256. ] in
+  let runs =
+    List.map (fun theta -> Run.measure cfg (Rr_policies.Hybrid.policy ~theta ()) inst) thetas
+  in
+  (* The l1 premium over SRPT decays monotonically as theta loosens the
+     starvation guard (2% slack absorbs simulation noise on one
+     instance). *)
+  ignore
+    (List.fold_left
+       (fun (prev_theta, prev) (theta, r) ->
+         let v = r.Run.mean_flow /. srpt.Run.mean_flow in
+         if v > prev *. 1.02 then
+           Alcotest.failf "l1 ratio rose from %.6f (theta=%g) to %.6f (theta=%g)" prev prev_theta
+             v theta;
+         (theta, v))
+       (0., Float.infinity)
+       (List.combine thetas runs));
+  (* The l2 curve is not monotone — it dips below 1 at moderate theta
+     (protecting the starved tail beats SRPT on the l2 norm, the
+     phenomenon the lk objective arbitrates) before returning to 1. *)
+  let l2_min =
+    List.fold_left (fun acc r -> Float.min acc (r.Run.norm /. srpt.Run.norm)) Float.infinity runs
+  in
+  Alcotest.(check bool) "some theta beats SRPT on l2" true (l2_min < 1.);
+  (* Tight theta buys a shorter tail than SRPT's; the price is l1. *)
+  let tight = List.hd runs in
+  Alcotest.(check bool) "theta=0.25 shortens the max-flow tail" true
+    (tight.Run.max_flow < srpt.Run.max_flow);
+  Alcotest.(check bool) "theta=0.25 pays for it in l1" true
+    (tight.Run.mean_flow > srpt.Run.mean_flow);
+  (* theta -> infinity is SRPT: no job ever crosses the stretch
+     threshold inside the horizon, so the runs coincide. *)
+  let limit = Run.measure cfg (Rr_policies.Hybrid.policy ~theta:1e9 ()) inst in
+  let close what a b =
+    let rel = Float.abs (a -. b) /. Float.max 1e-12 (Float.abs b) in
+    Alcotest.(check bool) (what ^ " matches SRPT at huge theta") true (rel <= 1e-9)
+  in
+  close "l1" limit.Run.mean_flow srpt.Run.mean_flow;
+  close "l2" limit.Run.norm srpt.Run.norm;
+  close "max flow" limit.Run.max_flow srpt.Run.max_flow
+
+let () =
+  Alcotest.run "rr_classes"
+    [
+      ( "coverage",
+        [
+          Alcotest.test_case "registry fully classified" `Quick test_registry_fully_classified;
+          Alcotest.test_case "README table complete" `Quick test_readme_coverage_table;
+        ] );
+      ( "hybrid",
+        [ Alcotest.test_case "l2/l1 tradeoff vs theta" `Quick test_hybrid_tradeoff_monotone ] );
+    ]

@@ -169,6 +169,7 @@ let starving_policy =
   {
     Policy.name = "starver";
     clairvoyant = false;
+    klass = None;
     allocate =
       (fun ~now:_ ~machines:_ ~speed:_ views ->
         { Policy.rates = Array.make (Array.length views) 0.; horizon = None });
@@ -185,6 +186,7 @@ let overallocating_policy =
   {
     Policy.name = "greedy";
     clairvoyant = false;
+    klass = None;
     allocate =
       (fun ~now:_ ~machines:_ ~speed:_ views ->
         { Policy.rates = Array.make (Array.length views) 1.; horizon = None });
@@ -200,6 +202,7 @@ let bad_rate_policy rate =
   {
     Policy.name = "bad-rate";
     clairvoyant = false;
+    klass = None;
     allocate =
       (fun ~now:_ ~machines:_ ~speed:_ views ->
         { Policy.rates = Array.make (Array.length views) rate; horizon = None });
@@ -220,6 +223,7 @@ let stale_horizon_policy =
   {
     Policy.name = "stale-horizon";
     clairvoyant = false;
+    klass = None;
     allocate =
       (fun ~now ~machines:_ ~speed:_ views ->
         { Policy.rates = Array.make (Array.length views) 1.; horizon = Some now });

@@ -21,7 +21,10 @@ let flow_rtol = 1e-9
 
 let rel_diff a b = Float.abs (a -. b) /. Float.max 1e-12 (Float.max (Float.abs a) (Float.abs b))
 
-(* Every live spec with the shared policy value it mirrors. *)
+(* Every live spec with the shared policy value it mirrors.  The last
+   four exercise the [Classified] cores added with the class layer; all
+   nine policies here have stateless allocate closures, so sharing one
+   value across runs is safe (quantum-rr, which is not, stays out). *)
 let live_specs =
   [
     (Live.Equal_share, Rr_policies.Round_robin.policy);
@@ -30,6 +33,12 @@ let live_specs =
     (Live.Indexed Rr_engine.Index_engine.Fcfs, Rr_policies.Fcfs.policy);
     (Live.Setf_cascade, Rr_policies.Setf.policy);
   ]
+  @ List.map
+      (fun spec ->
+        let policy = Rr_policies.Registry.make spec in
+        (Live.Classified (Option.get policy.Rr_engine.Policy.klass), policy))
+      Rr_policies.Registry.
+        [ Laps 0.5; Mlfq 0.5; Wrr_age 2; Hybrid 3. ]
 
 let poisson_instance ~seed ~machines ~n =
   let rng = Rr_util.Prng.create ~seed in
@@ -210,9 +219,14 @@ let test_selection_surface () =
   let rr = Rr_policies.Round_robin.policy and srpt = Rr_policies.Srpt.policy in
   let sel engine policy = Run.selection_for (Run.config ~engine ()) policy in
   Alcotest.(check bool) "auto picks equal-share for rr" true (sel `Auto rr = Run.Equal_share);
-  Alcotest.(check bool) "live rr" true (sel `Live rr = Run.Live Live.Equal_share);
+  (* [`Live] routes every classified policy through [Live.Classified];
+     spec_name keeps the historical spellings, so audit names are stable. *)
+  Alcotest.(check bool) "live rr" true
+    (sel `Live rr = Run.Live (Live.Classified Rr_engine.Policy_class.Equal_share));
   Alcotest.(check bool) "live srpt" true
-    (sel `Live srpt = Run.Live (Live.Indexed Rr_engine.Index_engine.Srpt));
+    (sel `Live srpt
+    = Run.Live
+        (Live.Classified (Rr_engine.Policy_class.Static_key Rr_engine.Policy_class.Key_remaining)));
   Alcotest.(check string) "live engine name" "live-equal-share"
     (Run.engine_name (Run.config ~engine:`Live ()) rr);
   let expect_invalid name f =
@@ -222,8 +236,15 @@ let test_selection_surface () =
   in
   expect_invalid "equal-share refuses srpt" (fun () -> sel `Equal_share srpt);
   expect_invalid "indexed refuses rr" (fun () -> sel `Indexed rr);
+  (* Classified policies all carry a live core now; only policies with no
+     class declaration (klass = None) are refused. *)
   let laps = Rr_policies.Registry.make (Rr_policies.Registry.Laps 0.25) in
-  expect_invalid "live refuses general-only policies" (fun () -> sel `Live laps)
+  Alcotest.(check bool) "live accepts classified laps" true
+    (match sel `Live laps with Run.Live (Live.Classified _) -> true | _ -> false);
+  let unclassified =
+    { Rr_policies.Srpt.policy with Rr_engine.Policy.name = "unclassified"; klass = None }
+  in
+  expect_invalid "live refuses unclassified policies" (fun () -> sel `Live unclassified)
 
 let test_live_measure_agrees_and_never_aliases () =
   Cache.clear ();

@@ -159,18 +159,18 @@ let test_laps_one_is_rr () =
 (* ------------------------------------------------------------------ *)
 
 let test_proportional_rates_underloaded () =
-  let rates = Rr_policies.Wrr_age.proportional_rates ~machines:4 [| 1.; 5.; 2. |] in
+  let rates = Rr_policies.Wrr_age.proportional_rates ~machines:4 ~ids:[| 0; 1; 2 |] [| 1.; 5.; 2. |] in
   Array.iter (fun r -> check_close "all run" 1. r) rates
 
 let test_proportional_rates_proportional () =
-  let rates = Rr_policies.Wrr_age.proportional_rates ~machines:1 [| 1.; 3. |] in
+  let rates = Rr_policies.Wrr_age.proportional_rates ~machines:1 ~ids:[| 0; 1 |] [| 1.; 3. |] in
   check_close "light job" 0.25 rates.(0);
   check_close "heavy job" 0.75 rates.(1)
 
 let test_proportional_rates_capping () =
   (* One dominant weight is capped at a full machine; the leftover machine
      is split proportionally among the others. *)
-  let rates = Rr_policies.Wrr_age.proportional_rates ~machines:2 [| 100.; 1.; 1. |] in
+  let rates = Rr_policies.Wrr_age.proportional_rates ~machines:2 ~ids:[| 0; 1; 2 |] [| 100.; 1.; 1. |] in
   check_close "capped" 1. rates.(0);
   check_close "leftover split" 0.5 rates.(1);
   check_close "leftover split'" 0.5 rates.(2)
@@ -181,7 +181,11 @@ let prop_proportional_rates_feasible =
       pair (int_range 1 6) (list_size (int_range 1 20) (float_range 0.001 100.)))
     (fun (machines, weights) ->
       let w = Array.of_list weights in
-      let rates = Rr_policies.Wrr_age.proportional_rates ~machines w in
+      let rates =
+        Rr_policies.Wrr_age.proportional_rates ~machines
+          ~ids:(Array.init (Array.length w) Fun.id)
+          w
+      in
       let sum = Array.fold_left ( +. ) 0. rates in
       Array.for_all (fun r -> r >= -1e-9 && r <= 1. +. 1e-9) rates
       && sum <= Float.of_int machines +. 1e-6
@@ -193,7 +197,11 @@ let prop_proportional_rates_monotone =
       pair (int_range 1 4) (list_size (int_range 2 15) (float_range 0.001 50.)))
     (fun (machines, weights) ->
       let w = Array.of_list weights in
-      let rates = Rr_policies.Wrr_age.proportional_rates ~machines w in
+      let rates =
+        Rr_policies.Wrr_age.proportional_rates ~machines
+          ~ids:(Array.init (Array.length w) Fun.id)
+          w
+      in
       let n = Array.length w in
       let ok = ref true in
       for i = 0 to n - 1 do
@@ -429,6 +437,10 @@ let test_registry_spec_of_string () =
       ("wrr-age", R.Wrr_age 2); ("wrr-age:3", R.Wrr_age 3);
       ("quantum-rr", R.Quantum_rr 1.); ("quantum-rr:0.5", R.Quantum_rr 0.5);
       ("mlfq", R.Mlfq 0.5); ("mlfq:2.0", R.Mlfq 2.0);
+      ("hdf", R.Hdf 2.); ("hdf:1.5", R.Hdf 1.5);
+      ("wrr-static", R.Wrr_static 1.); ("wrr-static:-0.5", R.Wrr_static (-0.5));
+      ("hybrid", R.Hybrid 3.); ("hybrid:0.75", R.Hybrid 0.75);
+      ("srpt-mig", R.Srpt_mig 1); ("srpt-mig:0", R.Srpt_mig 0); ("srpt-mig:4", R.Srpt_mig 4);
     ]
 
 let test_registry_spec_errors () =
@@ -438,13 +450,30 @@ let test_registry_spec_errors () =
       match R.spec_of_string name with
       | Error msg -> Alcotest.(check bool) (name ^ " has message") true (String.length msg > 0)
       | Ok spec -> Alcotest.failf "%s should be rejected, parsed to %s" name (R.spec_to_string spec))
-    [ "nope"; "laps:2.0"; "laps:x"; "wrr-age:0"; "quantum-rr:0"; "mlfq:0"; "rr:1" ];
-  (* the unknown-policy error enumerates the valid names *)
+    [
+      "nope"; "laps:2.0"; "laps:x"; "wrr-age:0"; "quantum-rr:0"; "mlfq:0"; "rr:1";
+      "hdf:inf"; "hdf:x"; "wrr-static:nan"; "hybrid:0"; "hybrid:-1"; "hybrid:inf";
+      "srpt-mig:-1"; "srpt-mig:1.5";
+    ];
   let contains ~sub s =
     let n = String.length s and m = String.length sub in
     let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
     go 0
   in
+  (* A malformed parameter's error names the surface form it expected. *)
+  List.iter
+    (fun (input, form) ->
+      match R.spec_of_string input with
+      | Error msg ->
+          Alcotest.(check bool) (input ^ " error names " ^ form) true (contains ~sub:form msg)
+      | Ok spec -> Alcotest.failf "%s should be rejected, parsed to %s" input (R.spec_to_string spec))
+    [
+      ("hdf:x", "hdf:<alpha>");
+      ("wrr-static:nan", "wrr-static:<gamma>");
+      ("hybrid:0", "hybrid:<theta>");
+      ("srpt-mig:1.5", "srpt-mig:<budget>");
+    ];
+  (* the unknown-policy error enumerates the valid names *)
   match R.spec_of_string "nope" with
   | Error msg ->
       List.iter
@@ -461,7 +490,12 @@ let test_registry_spec_round_trip () =
       | Ok spec' ->
           Alcotest.failf "%s round-tripped to %s" (R.spec_to_string spec) (R.spec_to_string spec')
       | Error e -> Alcotest.failf "%s rejected on round trip: %s" (R.spec_to_string spec) e)
-    (R.default_specs ())
+    (R.default_specs ()
+    @ R.
+        [
+          Laps 0.25; Wrr_age 5; Quantum_rr 0.25; Mlfq 2.; Hdf 1.5; Wrr_static (-1.);
+          Hybrid 0.75; Srpt_mig 3;
+        ])
 
 let test_registry_make_fresh () =
   (* make returns a fresh closure each time: two quantum-rr policies must not

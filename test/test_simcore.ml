@@ -1,22 +1,35 @@
-(* Tests for the fast simulation core: the closed-form engines
-   (equal-share RR, the SRPT/SJF/FCFS priority-index kernel, the SETF
-   group cascade — each differential against the general event loop), the
-   Run dispatch that selects them, and the memoizing result cache. *)
+(* Tests for the fast simulation core: the specialised engines (the
+   equal-share cascade, the priority indexes, the SETF cascade, the
+   dense class kernels, the hybrid and budget kernels — each
+   differential against the general event loop over every registry
+   policy), the class-based Run dispatch that selects them, and the
+   memoizing result cache. *)
 
 open Temporal_fairness
 module Simulator = Rr_engine.Simulator
 module Instance = Rr_workload.Instance
+module Registry = Rr_policies.Registry
 
 let rr = Rr_policies.Round_robin.policy
 
-(* Every policy with a closed-form engine, with its expected engine tag. *)
+(* Every registry policy (all are classified), with its expected engine
+   tag.  Policies are built fresh per simulation — quantum-rr's closure
+   owns the ready queue of one run. *)
 let fast_policies =
   [
-    (rr, "equal-share");
-    (Rr_policies.Srpt.policy, "srpt-index");
-    (Rr_policies.Sjf.policy, "sjf-index");
-    (Rr_policies.Fcfs.policy, "fcfs-index");
-    (Rr_policies.Setf.policy, "setf-cascade");
+    (Registry.Rr, "equal-share");
+    (Registry.Srpt, "srpt-index");
+    (Registry.Sjf, "sjf-index");
+    (Registry.Fcfs, "fcfs-index");
+    (Registry.Setf, "setf-cascade");
+    (Registry.Hdf 2., "hdf-index");
+    (Registry.Laps 0.5, "laps-dense");
+    (Registry.Mlfq 0.5, "mlfq-ladder");
+    (Registry.Quantum_rr 1., "quantum-cycle");
+    (Registry.Wrr_age 2, "wrr-age-dense");
+    (Registry.Wrr_static 1., "wrr-static-dense");
+    (Registry.Hybrid 3., "hybrid-index");
+    (Registry.Srpt_mig 1, "srpt-mig-index");
   ]
 
 (* The engines compute the same trajectory in different arithmetic orders,
@@ -49,39 +62,56 @@ let prop_equal_share_matches_general =
       && Array.for_all2 (fun a b -> rel_diff a b <= flow_rtol) fg ff)
 
 let prop_run_dispatch_matches_general =
-  (* Same property one layer up: Run.simulate with the fast path on vs
-     forced off, exercising the dispatch itself. *)
+  (* Same property one layer up: Run.simulate under `Auto vs forced
+     `General, exercising the dispatch itself. *)
   QCheck2.Test.make ~name:"Run.simulate fast path matches general RR" ~count:100 diff_gen
     (fun (pairs, machines, speed) ->
       let inst = instance_of_pairs pairs in
       let on = Run.simulate (Run.config ~machines ~speed ()) rr inst in
-      let off = Run.simulate (Run.config ~machines ~speed ~fast_path:false ()) rr inst in
+      let off = Run.simulate (Run.config ~machines ~speed ~engine:`General ()) rr inst in
       Array.for_all2
         (fun a b -> rel_diff a b <= flow_rtol)
         (Simulator.flows on) (Simulator.flows off))
 
-let prop_fast_path_inert_for_other_policies =
-  (* The dispatch keys on physical equality with the shared policy values;
-     any other policy must be bit-identically unaffected by the flag. *)
-  QCheck2.Test.make ~name:"fast path never fires for LAPS" ~count:50 diff_gen
+(* An unclassified structural copy of SRPT: the dispatch keys on the
+   declared class, never on name or structure, so this value runs the
+   general loop under every engine-agnostic selection. *)
+let impostor_srpt () =
+  {
+    Rr_engine.Policy.name = "srpt";
+    clairvoyant = true;
+    klass = None;
+    allocate =
+      (fun ~now:_ ~machines ~speed:_ views ->
+        Rr_policies.Srpt.top_m_by Rr_policies.Srpt.key ~machines views);
+  }
+
+let prop_fast_path_inert_for_unclassified =
+  QCheck2.Test.make ~name:"unclassified policy is engine-invariant (general both ways)"
+    ~count:50 diff_gen
     (fun (pairs, machines, speed) ->
       let inst = instance_of_pairs pairs in
-      let laps = Rr_policies.Registry.make (Rr_policies.Registry.Laps 0.5) in
-      let on = Run.simulate (Run.config ~machines ~speed ()) laps inst in
-      let off = Run.simulate (Run.config ~machines ~speed ~fast_path:false ()) laps inst in
+      let on = Run.simulate (Run.config ~machines ~speed ()) (impostor_srpt ()) inst in
+      let off =
+        Run.simulate (Run.config ~machines ~speed ~engine:`General ()) (impostor_srpt ()) inst
+      in
       Simulator.flows on = Simulator.flows off)
 
-(* One differential property per fast engine: Run.simulate with the fast
-   path on vs forced off must agree on every flow to flow_rtol, across
-   m in {1, 2, 8} and several speeds. *)
-let prop_engine_matches_general (policy, engine) =
+(* One differential property per specialised engine: Run.simulate under
+   `Auto vs forced `General must agree on every flow to flow_rtol,
+   across m in {1, 2, 8} and several speeds. *)
+let prop_engine_matches_general (spec, engine) =
   QCheck2.Test.make
-    ~name:(Printf.sprintf "%s engine matches general %s (flows)" engine policy.Rr_engine.Policy.name)
+    ~name:
+      (Printf.sprintf "%s engine matches general %s (flows)" engine
+        (Registry.make spec).Rr_engine.Policy.name)
     ~count:250 diff_gen
     (fun (pairs, machines, speed) ->
       let inst = instance_of_pairs pairs in
-      let fast = Run.simulate (Run.config ~machines ~speed ()) policy inst in
-      let general = Run.simulate (Run.config ~machines ~speed ~fast_path:false ()) policy inst in
+      let fast = Run.simulate (Run.config ~machines ~speed ()) (Registry.make spec) inst in
+      let general =
+        Run.simulate (Run.config ~machines ~speed ~engine:`General ()) (Registry.make spec) inst
+      in
       let ff = Simulator.flows fast and fg = Simulator.flows general in
       Array.length ff = Array.length fg
       && Array.for_all2 (fun a b -> rel_diff a b <= flow_rtol) ff fg)
@@ -106,19 +136,27 @@ let edge_corpus =
     ("remaining-work tie at arrival", [ (0., 2.); (1., 1.) ]);
     ("preemption chain", [ (0., 10.); (1., 4.); (2., 2.); (3., 1.) ]);
     ("batch then stragglers", [ (0., 3.); (0., 3.); (0., 3.); (4., 0.5); (4., 0.5); (9., 1.) ]);
+    (* A long job starved by a stream of shorts: under the hybrid's
+       default theta = 3 the size-2 job promotes at t = 6, mid-stream;
+       for SRPT-mig it burns its eviction budget early. *)
+    ( "starvation stream",
+      [ (0., 2.); (0.5, 1.); (1., 1.); (1.5, 1.); (2., 1.); (3., 1.); (4.5, 1.); (6., 0.5) ] );
+    (* Promotion/eviction decisions landing exactly on completions. *)
+    ("tie at promotion instant", [ (0., 1.); (0., 2.); (3., 1.); (6., 1.) ]);
   ]
 
 let test_edge_corpus () =
   List.iter
-    (fun (policy, engine) ->
+    (fun (spec, engine) ->
       List.iter
         (fun (label, pairs) ->
           let inst = instance_of_pairs pairs in
           List.iter
             (fun machines ->
-              let fast = Run.simulate (Run.config ~machines ()) policy inst in
+              let fast = Run.simulate (Run.config ~machines ()) (Registry.make spec) inst in
               let general =
-                Run.simulate (Run.config ~machines ~fast_path:false ()) policy inst
+                Run.simulate (Run.config ~machines ~engine:`General ()) (Registry.make spec)
+                  inst
               in
               let ff = Simulator.flows fast and fg = Simulator.flows general in
               if Array.length ff <> Array.length fg then
@@ -140,27 +178,36 @@ let test_edge_corpus () =
 let test_engine_classifier () =
   let cfg = Run.config () in
   List.iter
-    (fun (policy, engine) ->
+    (fun (spec, engine) ->
+      let policy = Registry.make spec in
       Alcotest.(check string)
         (policy.Rr_engine.Policy.name ^ " classifies")
         engine (Run.engine_name cfg policy);
       Alcotest.(check string)
         (policy.Rr_engine.Policy.name ^ " with fast path off")
         "general"
-        (Run.engine_name (Run.config ~fast_path:false ()) policy))
+        (Run.engine_name (Run.config ~engine:`General ()) policy))
     fast_policies;
-  let laps = Rr_policies.Registry.make (Rr_policies.Registry.Laps 0.5) in
-  Alcotest.(check string) "laps has no fast engine" "general" (Run.engine_name cfg laps);
-  (* Physical equality is load-bearing: a structurally identical copy of
-     srpt must NOT be fast-pathed (its allocate could differ). *)
-  let impostor =
-    { Rr_engine.Policy.name = "srpt"; clairvoyant = true; allocate = (fun ~now:_ ~machines ~speed:_ views -> Rr_policies.Srpt.top_m_by Rr_policies.Srpt.key ~machines views) }
-  in
-  Alcotest.(check string) "impostor srpt stays general" "general" (Run.engine_name cfg impostor);
-  (* Registry.make returns the shared values, so CLI-constructed policies
-     dispatch too. *)
-  Alcotest.(check string) "registry srpt dispatches" "srpt-index"
-    (Run.engine_name cfg (Rr_policies.Registry.make Rr_policies.Registry.Srpt))
+  (* The class declaration is load-bearing: a structurally identical copy
+     of srpt without one must NOT be fast-pathed (its allocate could
+     differ from the declaration's contract). *)
+  Alcotest.(check string)
+    "impostor srpt stays general" "general"
+    (Run.engine_name cfg (impostor_srpt ()));
+  (* Every registry policy is classified: `Auto never falls back to the
+     general loop on a built-in. *)
+  List.iter
+    (fun spec ->
+      let policy = Registry.make spec in
+      (match Run.selection_for cfg policy with
+      | Run.General ->
+          Alcotest.failf "%s not classified under `Auto" policy.Rr_engine.Policy.name
+      | _ -> ());
+      (* ... and each one also runs under the insisting selectors. *)
+      let insist = if spec = Registry.Rr then `Equal_share else `Indexed in
+      let (_ : Run.selection) = Run.selection_for (Run.config ~engine:insist ()) policy in
+      ())
+    (Registry.default_specs ())
 
 let test_fast_engine_traces () =
   (* Each fast engine's optional trace must describe the same schedule as
@@ -172,9 +219,13 @@ let test_fast_engine_traces () =
       ~load:0.9 ~machines:1 ~n:60 ()
   in
   List.iter
-    (fun (policy, engine) ->
-      let fast = Run.simulate (Run.config ~record_trace:true ()) policy inst in
-      let general = Run.simulate (Run.config ~record_trace:true ~fast_path:false ()) policy inst in
+    (fun (spec, engine) ->
+      let fast = Run.simulate (Run.config ~record_trace:true ()) (Registry.make spec) inst in
+      let general =
+        Run.simulate
+          (Run.config ~record_trace:true ~engine:`General ())
+          (Registry.make spec) inst
+      in
       let work trace = Rr_engine.Trace.total_work ~speed:1. trace in
       let close what a b =
         if rel_diff a b > 1e-6 then Alcotest.failf "%s: %s differ: %g vs %g" engine what a b
@@ -254,7 +305,7 @@ let test_cache_config_sensitivity () =
   let r_base = Run.measure base rr small_inst in
   let r_k3 = Run.measure (Run.config ~k:3 ()) rr small_inst in
   let r_speed = Run.measure (Run.config ~speed:2. ()) rr small_inst in
-  let r_slow = Run.measure (Run.config ~fast_path:false ()) rr small_inst in
+  let r_slow = Run.measure (Run.config ~engine:`General ()) rr small_inst in
   let s = Cache.stats () in
   Alcotest.(check int) "four distinct keys" 4 s.misses;
   Alcotest.(check int) "no spurious hits" 0 s.hits;
@@ -344,11 +395,8 @@ let test_sweep_probe_memo () =
 let test_run_config_new_defaults () =
   Alcotest.(check bool) "auto engine by default" true (Run.default.Run.engine = `Auto);
   Alcotest.(check bool) "cache on by default" true Run.default.Run.cache;
-  let cfg = Run.config ~fast_path:false ~cache:false () in
-  Alcotest.(check bool) "deprecated fast_path:false maps to general" true
-    (cfg.Run.engine = `General);
-  Alcotest.(check bool) "explicit engine wins over fast_path" true
-    ((Run.config ~fast_path:false ~engine:`Live ()).Run.engine = `Live);
+  let cfg = Run.config ~engine:`General ~cache:false () in
+  Alcotest.(check bool) "explicit engine respected" true (cfg.Run.engine = `General);
   Alcotest.(check bool) "cache off" false cfg.Run.cache;
   (* The string round-trip backing the CLI's --engine option. *)
   List.iter
@@ -367,7 +415,7 @@ let test_cache_engine_keys () =
   Cache.clear ();
   let srpt = Rr_policies.Srpt.policy in
   let r_fast = Run.measure (Run.config ()) srpt small_inst in
-  let r_gen = Run.measure (Run.config ~fast_path:false ()) srpt small_inst in
+  let r_gen = Run.measure (Run.config ~engine:`General ()) srpt small_inst in
   let s = Cache.stats () in
   Alcotest.(check int) "two distinct keys" 2 s.misses;
   Alcotest.(check int) "no aliasing hit" 0 s.hits;
@@ -378,7 +426,7 @@ let qsuite =
     ([
        prop_equal_share_matches_general;
        prop_run_dispatch_matches_general;
-       prop_fast_path_inert_for_other_policies;
+       prop_fast_path_inert_for_unclassified;
      ]
     @ engine_props)
 

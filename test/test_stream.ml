@@ -42,11 +42,13 @@ let stream_of ~seed ~arrivals ~n =
 (* Property: streamed folds = array folds, both engines, m in {1,2,4}   *)
 (* ------------------------------------------------------------------ *)
 
-let check_stream_matches_materialized ?(policy = rr) ~arrivals ~machines ~fast_path ~seed () =
+let check_stream_matches_materialized ?(mk_policy = fun () -> rr) ~arrivals ~machines ~engine
+    ~seed () =
   let n = 60 in
   let stream = stream_of ~seed ~arrivals ~n in
   let inst = Stream.materialize stream in
-  let cfg = Run.config ~machines ~speed:2. ~k:3 ~fast_path ~cache:false () in
+  let cfg = Run.config ~machines ~speed:2. ~k:3 ~engine ~cache:false () in
+  let policy = mk_policy () in
   (* Array path: exact sort-based stats over the materialized flow vector. *)
   let flows = Run.flows cfg policy inst in
   let stats_mat = Rr_metrics.Flow_stats.of_flows flows in
@@ -94,35 +96,46 @@ let test_stream_matches_materialized () =
       List.iter
         (fun machines ->
           List.iter
-            (fun fast_path ->
-              check_stream_matches_materialized ~arrivals ~machines ~fast_path
+            (fun engine ->
+              check_stream_matches_materialized ~arrivals ~machines ~engine
                 ~seed:(1000 + i) ())
-            (* fast_path:true exercises the equal-share streaming engine,
-               fast_path:false the general event loop's sink path. *)
-            [ true; false ])
+            (* `Auto exercises the equal-share streaming engine, `General
+               the general event loop's sink path. *)
+            [ `Auto; `General ])
         [ 1; 2; 4 ])
     arrival_shapes
 
 let test_stream_matches_materialized_fast_engines () =
-  (* Same agreement for the streaming entry points of the priority-index
-     and SETF-cascade engines (fast_path on; the general streamed path is
-     covered above). *)
+  (* Same agreement for the streaming entry points of every specialised
+     engine (`Auto; the general streamed path is covered above).  One
+     arrival shape per policy keeps the matrix affordable; the Poisson
+     shape runs everywhere. *)
   List.iter
-    (fun policy ->
+    (fun spec ->
       List.iteri
         (fun i arrivals ->
           List.iter
             (fun machines ->
-              check_stream_matches_materialized ~policy ~arrivals ~machines ~fast_path:true
-                ~seed:(2000 + i) ())
+              check_stream_matches_materialized
+                ~mk_policy:(fun () -> Rr_policies.Registry.make spec)
+                ~arrivals ~machines ~engine:`Auto ~seed:(2000 + i) ())
             [ 1; 2; 8 ])
         arrival_shapes)
-    [
-      Rr_policies.Srpt.policy;
-      Rr_policies.Sjf.policy;
-      Rr_policies.Fcfs.policy;
-      Rr_policies.Setf.policy;
-    ]
+    Rr_policies.Registry.
+      [
+        Srpt;
+        Sjf;
+        Fcfs;
+        Setf;
+        Hdf 2.;
+        Laps 0.5;
+        Mlfq 0.5;
+        Quantum_rr 1.;
+        Wrr_age 2;
+        Wrr_static 1.;
+        Hybrid 3.;
+        Srpt_mig 1;
+      ]
 
 (* ------------------------------------------------------------------ *)
 (* Stream semantics                                                    *)
