@@ -27,8 +27,11 @@
    check — the two engines must agree on every flow time — fails, when a
    B2 parallel batch is not bit-identical to the sequential one or
    misses its speedup gate (>= 1.2x at 2 domains, >= 1.8x at 4; each
-   speedup gate is skipped, and recorded as skipped, when the machine
-   has fewer CPUs than the point needs), when B4's
+   domain-count gate is skipped, and recorded as skipped, when the
+   machine has fewer CPUs than the point needs — but the executor points
+   are never skipped: the Auto-chosen backend must beat sequential on
+   every box, and the forced process backend must be bit-identical even
+   on one CPU), when B4's
    allocation/peak-heap/agreement gates fail, or when a B5 engine or B6
    live core misses its perf floor or its <= 1e-9
    differential-agreement gate, so CI can gate on them.
@@ -169,6 +172,22 @@ type b2_point = {
   p_identical : bool;
   p_gate_min : float;
   p_gate_skipped : bool;  (* machine has fewer CPUs than the point needs *)
+  p_minor_heap_words : int;
+  p_gc : Pool.gc_delta array;  (* per participant, for the auto-chunked run *)
+}
+
+(* One executor-layer measurement: a backend (Auto-chosen or forced),
+   its wall clock against the same sequential baseline, and whether its
+   results were bit-identical.  [e_gate_min = None] means the point is
+   recorded but not gated (a forced backend on hardware that cannot
+   possibly make it win is a contrast, not a floor). *)
+type b2_exec = {
+  e_label : string;  (* "auto" | "procs-forced" *)
+  e_backend : string;  (* Run.backend_name of what actually ran *)
+  e_time_s : float;
+  e_speedup : float;
+  e_identical : bool;
+  e_gate_min : float option;
 }
 
 type b2_small = {
@@ -185,6 +204,7 @@ type b2_report = {
   b2_jobs_per_instance : int;
   b2_seq_s : float;
   b2_points : b2_point list;
+  b2_exec : b2_exec list;
   b2_small : b2_small;
   b2_failures : string list;
 }
@@ -245,9 +265,13 @@ let run_pool_bench () =
   let point domains =
     let gate_min = if domains >= 4 then 1.8 else 1.2 in
     let gate_skipped = cpus < domains in
-    let (par_auto, t_auto), (par_fixed1, t_fixed1) =
+    let ((par_auto, t_auto), gc_deltas, minor_heap_words), (par_fixed1, t_fixed1) =
       Pool.with_pool ~domains (fun pool ->
-          ( time (fun () -> Run.batch pool cfg tasks),
+          (* Capture the GC deltas right after the auto-chunked run —
+             the `Fixed 1 run below would overwrite them. *)
+          let auto = time (fun () -> Run.batch pool cfg tasks) in
+          let gc = Pool.last_batch_gc_deltas pool in
+          ( (auto, gc, Pool.minor_heap_words pool),
             time (fun () -> Run.batch ~chunk:(`Fixed 1) pool cfg tasks) ))
     in
     let identical = same_results seq par_auto && same_results seq par_fixed1 in
@@ -271,10 +295,74 @@ let run_pool_bench () =
       p_identical = identical;
       p_gate_min = gate_min;
       p_gate_skipped = gate_skipped;
+      p_minor_heap_words = minor_heap_words;
+      p_gc = gc_deltas;
     }
   in
   Printf.printf "B2: scaled batch: %d tasks (n=%d, speed 1, general engine), sequential %.3f s\n%!"
     (List.length tasks) n t_seq;
+  (* Executor layer: the same tasks through Run.batch_auto.  These points
+     run BEFORE the domain-pool points: the runtime refuses fork once any
+     worker domain was ever spawned in this process, so the process
+     backend must fork while the process is still domain-free (and the
+     procs point precedes the auto point, which spawns domains whenever
+     the heuristic picks them).  Two points:
+
+     - PROCS-FORCED: the fork backend, forced, so its bit-identicality
+       contract is machine-checked on every box including 1-CPU ones
+       where Auto would never pick it.  Its speedup is recorded but only
+       gated (>= 1.0x) when the machine has the CPUs to make fork win.
+     - AUTO: whatever the heuristic picks on this machine.  Gated at >=
+       1.0x — "Run.batch always wins" means the chosen backend never
+       loses to the sequential loop.  When the choice IS the sequential
+       loop (1-CPU box, or a batch too cheap to parallelise) the two
+       runs execute the same code, so the gate drops to 0.9x purely to
+       absorb timing noise between two identical passes — the point is
+       still recorded and still gated, not skipped by construction. *)
+  let exec_point label executor ~gate_min =
+    let (backend, par), t = time (fun () -> Run.batch_auto ~executor cfg tasks) in
+    let identical = same_results seq par in
+    let speedup = t_seq /. Float.max 1e-9 t in
+    if not identical then
+      fail "B2: %s (%s) batch is not bit-identical to sequential" label
+        (Run.backend_name backend);
+    (match gate_min with
+    | Some g when speedup < g ->
+        fail "B2: %s (%s) speedup %.2fx below gate %.1fx" label
+          (Run.backend_name backend) speedup g
+    | _ -> ());
+    Printf.printf
+      "B2: executor %-12s -> %-12s %.3f s (%.2fx) | bit-identical: %s | %s\n%!" label
+      (Run.backend_name backend) t speedup
+      (if identical then "yes" else "NO")
+      (match gate_min with
+      | Some g -> Printf.sprintf "gate >=%.1fx" g
+      | None -> Printf.sprintf "ungated (%d CPU(s))" cpus);
+    {
+      e_label = label;
+      e_backend = Run.backend_name backend;
+      e_time_s = t;
+      e_speedup = speedup;
+      e_identical = identical;
+      e_gate_min = gate_min;
+    }
+  in
+  let auto_backend =
+    Run.choose_backend ~cpus ~tasks:(List.length tasks)
+      ~total_cost_us:
+        (List.fold_left
+           (fun acc (p, i) ->
+             acc +. Run.estimated_cost_us cfg p ~jobs:(Rr_workload.Instance.n i))
+           0. tasks)
+      ()
+  in
+  let auto_gate = match auto_backend with `Sequential -> 0.9 | _ -> 1.0 in
+  let procs_point =
+    exec_point "procs-forced"
+      (`Procs (Int.min 4 (Int.max 2 cpus)))
+      ~gate_min:(if cpus >= 2 then Some 1.0 else None)
+  in
+  let exec_points = [ procs_point; exec_point "auto" `Auto ~gate_min:(Some auto_gate) ] in
   let points = List.map point [ 2; 4 ] in
   (* Small-task batch: chunking contrast at 2 domains. *)
   let small_tasks = b2_tasks_of ~n_insts:(if quick then 40 else 80) ~n:120 ~seed0:500 in
@@ -303,6 +391,7 @@ let run_pool_bench () =
     b2_jobs_per_instance = n;
     b2_seq_s = t_seq;
     b2_points = points;
+    b2_exec = exec_points;
     b2_small =
       {
         sm_tasks = List.length small_tasks;
@@ -320,7 +409,7 @@ let write_pool_json (b2 : b2_report) =
   let buf = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"bench_pool/v1\",\n";
+  add "  \"schema\": \"bench_pool/v2\",\n";
   add "  \"scale\": %S,\n" (if quick then "quick" else "full");
   add "  \"cpus\": %d,\n" b2.b2_cpus;
   add "  \"scaled\": {\n";
@@ -332,16 +421,39 @@ let write_pool_json (b2 : b2_report) =
       add
         "      {\"domains\": %d, \"auto_s\": %.6f, \"speedup\": %.3f, \"fixed1_s\": %.6f, \
          \"speedup_fixed1\": %.3f, \"bit_identical\": %b, \"gate_min_speedup\": %.1f, \
-         \"gate_skipped\": %b}%s\n"
+         \"gate_skipped\": %b,\n"
         p.p_domains p.p_auto_s
         (b2.b2_seq_s /. Float.max 1e-9 p.p_auto_s)
         p.p_fixed1_s
         (b2.b2_seq_s /. Float.max 1e-9 p.p_fixed1_s)
-        p.p_identical p.p_gate_min p.p_gate_skipped
-        (if i = List.length b2.b2_points - 1 then "" else ","))
+        p.p_identical p.p_gate_min p.p_gate_skipped;
+      add "       \"minor_heap_words\": %d, \"gc_deltas\": [" p.p_minor_heap_words;
+      Array.iteri
+        (fun j (g : Pool.gc_delta) ->
+          add
+            "%s{\"participant\": %d, \"minor_words\": %.0f, \"promoted_words\": %.0f, \
+             \"minor_collections\": %d, \"major_collections\": %d}"
+            (if j = 0 then "" else ", ")
+            g.Pool.participant g.Pool.minor_words g.Pool.promoted_words
+            g.Pool.minor_collections g.Pool.major_collections)
+        p.p_gc;
+      add "]}%s\n" (if i = List.length b2.b2_points - 1 then "" else ","))
     b2.b2_points;
   add "    ]\n";
   add "  },\n";
+  add "  \"executor\": [\n";
+  List.iteri
+    (fun i (e : b2_exec) ->
+      add
+        "    {\"point\": %S, \"backend\": %S, \"time_s\": %.6f, \"speedup\": %.3f, \
+         \"bit_identical\": %b, \"gate_min_speedup\": %s}%s\n"
+        e.e_label e.e_backend e.e_time_s e.e_speedup e.e_identical
+        (match e.e_gate_min with
+        | Some g -> Printf.sprintf "%.1f" g
+        | None -> "null")
+        (if i = List.length b2.b2_exec - 1 then "" else ","))
+    b2.b2_exec;
+  add "  ],\n";
   let s = b2.b2_small in
   add
     "  \"small\": {\"tasks\": %d, \"sequential_s\": %.6f, \"auto_s\": %.6f, \"auto_speedup\": \
@@ -495,12 +607,17 @@ type b4_point = {
 
 type b4_report = { b4_points : b4_point list; b4_failures : string list }
 
-(* The streamed pipeline must stay O(alive): bounded allocation per job
-   (the per-job Job.t, its Some wrapper, and the boxed floats crossing
-   closure boundaries are inherent; anything past ~256 words/job means a
-   per-job data structure leaked back in) and a peak live heap an order of
-   magnitude under the materialized pipeline's at the largest size. *)
-let b4_max_words_per_job = 256.
+(* The streamed pipeline must stay O(alive): near-zero allocation per job
+   and a peak live heap an order of magnitude under the materialized
+   pipeline's at the largest size.  After the arena work the raw
+   equal-share path allocates ~11 words/job under the release profile
+   (the remaining words are the O(log alive) heap-node churn amortised
+   per job plus a handful of boxed floats at uninlined call boundaries);
+   anything past 16 means a per-job allocation leaked back in.  The gate
+   assumes the release profile: the dev profile passes [-opaque], which
+   kills cross-module inlining and roughly triples the figure — run the
+   bench with [dune exec --profile release]. *)
+let b4_max_words_per_job = 16.
 let b4_min_peak_ratio = 10.
 let b4_rtol = 1e-9
 
@@ -1349,15 +1466,16 @@ let () =
      heap is large enough to distort its per-run timings. *)
   let b5 = run_fastpath_bench () in
   let b6 = run_live_bench () in
+  (* B2 must precede every other pool user: its process-backend point
+     forks, and the runtime refuses fork once any worker domain was ever
+     spawned in the process (B2 itself forks before it spawns).  B5 and
+     B6 above are strictly sequential. *)
+  let b2 = run_pool_bench () in
   let b1 =
     Pool.with_pool ~domains (fun pool ->
         run_experiments pool;
         run_microbench ())
   in
-  (* The pool bench creates its own fixed-size pools (2 and 4 domains);
-     the experiments pool above is torn down first so the machine is
-     quiet while B2 times. *)
-  let b2 = run_pool_bench () in
   let b3 = run_simcore_bench () in
   let b4 = run_stream_bench () in
   let b7 = Pool.with_pool ~domains run_bound_bench in

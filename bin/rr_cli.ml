@@ -57,11 +57,25 @@ let jobs_arg =
     & info [ "j"; "jobs" ] ~docv:"JOBS"
         ~env:(Cmd.Env.info "RR_JOBS" ~doc:"Default worker-domain count for $(b,--jobs).")
         ~doc:
-          "Worker domains to run independent simulations on (0 means all recommended cores). \
+          "Worker domains to run independent simulations on (0 means all recommended cores; \
+           values above the CPU count are clamped and the effective backend is printed). \
            Results are bit-identical to a sequential run.")
 
+(* --jobs routes through the executor layer's CPU clamp: a pool wider
+   than the machine only adds contention (on a 1-CPU box a 4-domain pool
+   loses to the plain sequential loop), so the effective width is
+   min(jobs, cpus) and a width of 1 degrades to the caller-only pool —
+   sequential semantics, no worker domains.  The chosen backend prints
+   to stderr whenever parallelism was requested, so scripted runs can
+   see what actually executed. *)
 let with_jobs jobs f =
-  let domains = if jobs = 0 then Pool.recommended_domains () else jobs in
+  let cpus = Pool.recommended_domains () in
+  let requested = if jobs = 0 then cpus else jobs in
+  let domains = Int.max 1 (Int.min requested cpus) in
+  if requested > 1 then
+    Printf.eprintf "rr_cli: --jobs %d -> %s%s\n%!" requested
+      (Run.backend_name (if domains <= 1 then `Sequential else `Domains domains))
+      (if domains < requested then Printf.sprintf " (clamped: %d CPU(s))" cpus else "");
   Pool.with_pool ~domains f
 
 let chunk_conv =

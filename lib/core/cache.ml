@@ -104,6 +104,19 @@ type flight = {
   mutable outcome : (entry, exn) result option;
 }
 
+(* False-sharing audit (4-domain load): a [shard] record is 10 fields +
+   header = 11 words = 88 bytes, already wider than one 64-byte cache
+   line, and the hot mutable fields (hand/used/hits/misses) of two
+   adjacent shards therefore never share a line once the records
+   themselves are line-misaligned — and in practice they are not even
+   adjacent: [make_shard] interleaves each record's allocation with its
+   mutex, two hashtables, a slot array and a refbit buffer, so
+   consecutive shards land far apart on the heap.  The mutexes are
+   separate custom blocks with the same interleaving.  The one shared
+   hot word in the design is the generation descriptor's [Atomic.t]
+   (read-only between reshards), which mutating paths never write.  So
+   no padding is needed; revisit only if shard records are ever packed
+   into a flat preallocated array. *)
 type shard = {
   lock : Mutex.t;
   table : (key, int) Hashtbl.t;  (* key -> slot in the CLOCK ring *)

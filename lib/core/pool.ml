@@ -60,17 +60,27 @@ let try_steal slice =
 (* Pool and batch state                                                *)
 (* ------------------------------------------------------------------ *)
 
+type gc_delta = {
+  participant : int;
+  minor_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
 type batch = {
   run : int -> unit;  (* one task, by task index *)
   offsets : int array;  (* chunk j = task indices [offsets.(j), offsets.(j+1)) *)
   slices : int Atomic.t array;  (* of chunk indices *)
   stop : bool Atomic.t;
   failure : (int * exn) option Atomic.t;
+  gc_deltas : gc_delta array;  (* slot p written only by participant p *)
   mutable unfinished : int;  (* participants still working; under the pool mutex *)
 }
 
 type t = {
   size : int;
+  minor_heap_words : int;
   mutex : Mutex.t;
   work_ready : Condition.t;
   batch_done : Condition.t;
@@ -79,6 +89,7 @@ type t = {
   mutable stopping : bool;
   mutable workers : unit Domain.t list;
   mutable busy : bool;
+  mutable last_gc : gc_delta array;  (* deltas of the most recent batch *)
 }
 
 (* Keep the lowest-index failure so that single-fault batches report
@@ -91,6 +102,28 @@ let record_failure b i e =
   in
   go ();
   Atomic.set b.stop true
+
+(* [Gc.quick_stat] reads only the calling domain's counters (no
+   stop-the-world), so bracketing each participant's share of a batch
+   with it yields honest per-domain numbers: how many words this domain
+   allocated, how much it promoted to the shared major heap, and how
+   often it collected while chewing its tasks.  [minor_words] comes from
+   [Gc.minor_words] instead: quick_stat's copy is only updated at
+   collection boundaries, so a slice that fits inside one minor-heap
+   cycle would read as zero allocation. *)
+let gc_bracket p f =
+  let s0 = Gc.quick_stat () in
+  let m0 = Gc.minor_words () in
+  f ();
+  let m1 = Gc.minor_words () in
+  let s1 = Gc.quick_stat () in
+  {
+    participant = p;
+    minor_words = m1 -. m0;
+    promoted_words = s1.Gc.promoted_words -. s0.Gc.promoted_words;
+    minor_collections = s1.Gc.minor_collections - s0.Gc.minor_collections;
+    major_collections = s1.Gc.major_collections - s0.Gc.major_collections;
+  }
 
 let work b p =
   let participants = Array.length b.slices in
@@ -147,7 +180,7 @@ let rec worker_loop pool p seen =
     let gen = pool.generation in
     let b = match pool.current with Some b -> b | None -> assert false in
     Mutex.unlock pool.mutex;
-    work b p;
+    b.gc_deltas.(p) <- gc_bracket p (fun () -> work b p);
     retire pool b;
     worker_loop pool p gen
   end
@@ -156,11 +189,31 @@ let rec worker_loop pool p seen =
 (* Lifecycle                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let create ~domains =
+(* Default worker minor heap: 4M words (32 MB).  The B4 audit puts a
+   streamed simulation task at ~10 words/job steady state but tens of
+   words/job for the materialized and dense engines, so a 100k-job task
+   allocates on the order of 1-10M minor words; at the runtime's default
+   256k-word minor heap that is tens of collections per task, each a
+   rendezvous risk with sibling domains and a promotion pump into the
+   shared major heap.  4M words keeps a typical task to a couple of
+   collections while costing a bounded 32 MB per worker domain. *)
+let default_minor_heap_words = 1 lsl 22
+
+(* The OCaml 5 runtime refuses [Unix.fork] once any domain has EVER been
+   spawned — joining them does not lift the ban.  Pools are the only
+   domain spawner in this library, so this sticky flag is how the
+   process-fan-out backend (Procs) knows fork is still on the table. *)
+let spawned_domains = Atomic.make false
+let domains_ever_spawned () = Atomic.get spawned_domains
+
+let create ?(minor_heap_words = default_minor_heap_words) ~domains () =
   if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  if minor_heap_words < 1 lsl 12 then
+    invalid_arg "Pool.create: minor_heap_words must be at least 4096";
   let pool =
     {
       size = domains;
+      minor_heap_words;
       mutex = Mutex.create ();
       work_ready = Condition.create ();
       batch_done = Condition.create ();
@@ -169,13 +222,23 @@ let create ~domains =
       stopping = false;
       workers = [];
       busy = false;
+      last_gc = [||];
     }
   in
   (* Give this pool's domains contention-free cache striping: at least
      4 shards per domain (grow-only, so two pools never fight). *)
   Cache.reserve_shards ~domains;
+  if domains > 1 then Atomic.set spawned_domains true;
   pool.workers <-
-    List.init (domains - 1) (fun i -> Domain.spawn (fun () -> worker_loop pool (i + 1) 0));
+    List.init (domains - 1) (fun i ->
+        Domain.spawn (fun () ->
+            (* Per-domain GC tuning: Gc.set applies to the calling domain,
+               so each worker sizes its own minor heap.  The submitting
+               domain (participant 0) is deliberately left alone — its
+               minor heap belongs to the surrounding program, not to this
+               pool. *)
+            Gc.set { (Gc.get ()) with Gc.minor_heap_size = minor_heap_words };
+            worker_loop pool (i + 1) 0));
   pool
 
 let size pool = pool.size
@@ -191,9 +254,13 @@ let shutdown pool =
     pool.workers <- []
   end
 
-let with_pool ~domains f =
-  let pool = create ~domains in
+let with_pool ?minor_heap_words ~domains f =
+  let pool = create ?minor_heap_words ~domains () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let minor_heap_words pool = pool.minor_heap_words
+
+let last_batch_gc_deltas pool = Array.copy pool.last_gc
 
 (* ------------------------------------------------------------------ *)
 (* Chunking                                                            *)
@@ -266,6 +333,15 @@ let run_batch pool ~offsets run =
         slices;
         stop = Atomic.make false;
         failure = Atomic.make None;
+        gc_deltas =
+          Array.init pool.size (fun participant ->
+              {
+                participant;
+                minor_words = 0.;
+                promoted_words = 0.;
+                minor_collections = 0;
+                major_collections = 0;
+              });
         unfinished = pool.size;
       }
     in
@@ -283,7 +359,7 @@ let run_batch pool ~offsets run =
     pool.generation <- pool.generation + 1;
     Condition.broadcast pool.work_ready;
     Mutex.unlock pool.mutex;
-    work b 0;
+    b.gc_deltas.(0) <- gc_bracket 0 (fun () -> work b 0);
     Mutex.lock pool.mutex;
     b.unfinished <- b.unfinished - 1;
     while b.unfinished > 0 do
@@ -291,6 +367,9 @@ let run_batch pool ~offsets run =
     done;
     pool.current <- None;
     pool.busy <- false;
+    (* Every participant has retired (their slot writes happened before
+       the mutex handoff above), so the deltas are complete and visible. *)
+    pool.last_gc <- b.gc_deltas;
     Mutex.unlock pool.mutex;
     match Atomic.get b.failure with
     | Some (i, e) -> raise (Task_error (i, e))

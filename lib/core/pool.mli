@@ -62,11 +62,25 @@ val auto_chunk_target_cost : float
 (** Estimated cost (same units as [?cost], nominally microseconds) that
     [`Auto] packs into one chunk: 1000. *)
 
-val create : domains:int -> t
+val default_minor_heap_words : int
+(** Minor heap size given to each worker domain unless overridden:
+    [2{^22}] words (32 MB).  Sized so that a typical simulation task
+    (order 1-10M minor words, per the B4 allocation audit) triggers only
+    a handful of minor collections — each collection is a potential
+    stop-the-world rendezvous with sibling domains, and every survivor it
+    promotes lands on the {e shared} major heap where allocation
+    serialises. *)
+
+val create : ?minor_heap_words:int -> domains:int -> unit -> t
 (** [create ~domains] starts a pool of [domains] total participants
     ([domains - 1] spawned worker domains plus the caller), and grows the
-    {!Cache} shard array to at least [4 * domains] stripes.
-    @raise Invalid_argument when [domains < 1]. *)
+    {!Cache} shard array to at least [4 * domains] stripes.  Each worker
+    domain sizes its own minor heap to [minor_heap_words] (default
+    {!default_minor_heap_words}) via [Gc.set], which in OCaml 5 applies
+    per-domain; the calling domain's GC parameters are never touched —
+    they belong to the surrounding program.
+    @raise Invalid_argument when [domains < 1] or [minor_heap_words <
+    4096]. *)
 
 val size : t -> int
 (** Total participant count, as given to {!create}. *)
@@ -75,9 +89,48 @@ val shutdown : t -> unit
 (** Graceful teardown: signals every worker domain to exit and joins it.
     Idempotent.  Any later {!map} on the pool raises [Invalid_argument]. *)
 
-val with_pool : domains:int -> (t -> 'a) -> 'a
+val with_pool : ?minor_heap_words:int -> domains:int -> (t -> 'a) -> 'a
 (** [with_pool ~domains f] runs [f] on a fresh pool and shuts it down on
-    both normal return and exception. *)
+    both normal return and exception.  [?minor_heap_words] as in
+    {!create}. *)
+
+val minor_heap_words : t -> int
+(** The per-worker minor heap size this pool was created with. *)
+
+val domains_ever_spawned : unit -> bool
+(** Whether any pool in this process has ever spawned a worker domain
+    ([create ~domains] with [domains > 1]; [~domains:1] spawns nothing).
+    Sticky: the OCaml 5 runtime refuses [Unix.fork] once other domains
+    were {e ever} created — joining them does not lift the ban — so the
+    {!Procs} backend consults this to know whether forking is still
+    possible.  Fork-dependent work must therefore run {e before} the
+    first multi-domain pool of the process. *)
+
+type gc_delta = {
+  participant : int;  (** 0 = the submitting domain, 1.. = workers. *)
+  minor_words : float;  (** Words allocated on this domain's minor heap. *)
+  promoted_words : float;  (** Words this domain promoted to the shared major heap. *)
+  minor_collections : int;
+  major_collections : int;
+}
+(** One domain's GC activity over its share of a batch, measured with
+    [Gc.quick_stat] (domain-local counters, no stop-the-world) around the
+    participant's work loop. *)
+
+val last_batch_gc_deltas : t -> gc_delta array
+(** Per-participant GC deltas of the most recently completed batch, index
+    = participant; [[||]] before the first batch.  High [promoted_words]
+    or [minor_collections] per task is the signal that
+    [?minor_heap_words] is too small for the workload. *)
+
+val chunk_offsets :
+  chunk:chunking -> costs:float array option -> n:int -> participants:int -> int array
+(** The chunking decision itself: [offsets] such that chunk [j] covers
+    task indices [[offsets.(j), offsets.(j+1))], with [offsets.(0) = 0]
+    and the last entry [n].  Exposed so alternative executors (the
+    process fan-out of {!Procs}) cut batches into the exact same units
+    as the domain pool.
+    @raise Invalid_argument on [`Fixed c] with [c < 1]. *)
 
 val map : ?chunk:chunking -> ?cost:('a -> float) -> t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map pool f xs] computes [List.map f xs] with the pool's domains.

@@ -1,0 +1,184 @@
+(* Process fan-out: fork one child process per chunk of consecutive
+   tasks, at most [procs] alive at a time, each piping its results back
+   through [Marshal].  See procs.mli for the user-facing contract.
+
+   Why processes when the Pool already has domains: every OCaml 5 domain
+   allocates into one shared major heap, so allocation-heavy tasks
+   serialise on the major allocator and on stop-the-world minor
+   collections no matter how independent they are.  A forked child owns
+   an entire runtime — private minor AND major heap, private GC — so the
+   only shared resource is the kernel.  The price is a fork + a
+   [Marshal] round-trip per chunk, which is why the executor heuristic
+   (Run.choose_backend) only picks this backend when tasks are expensive
+   enough to amortise it.
+
+   Determinism contract, mirrored from Pool: chunks partition [0, n) in
+   index order, a child evaluates its tasks in ascending index order,
+   and the parent drains children oldest-first, writing each chunk's
+   results back at its offset — so the result array, the evaluation
+   order of any per-task effects *within a task*, and the identity of
+   the first failing index are exactly those of the sequential loop.
+
+   Failure semantics: a task exception is caught in the child at its own
+   index, carried home as a string (exceptions do not survive [Marshal]
+   with their identity intact — an unmarshalled exception would compare
+   unequal to its own constructor), and re-raised by the parent as
+   [Pool.Task_error (index, Remote_error message)].  A child that dies
+   without delivering a complete payload (killed, OOM, segfault) is
+   reported the same way, charged to the first task index of its chunk.
+
+   Pipe discipline: the parent never spawns more than [procs] children
+   and, once the window is full, fully drains the *oldest* child before
+   spawning the next.  A child blocked writing a large payload simply
+   waits until the parent gets to it; since children never depend on one
+   another, draining oldest-first cannot deadlock, and payloads larger
+   than the kernel pipe buffer (64 KiB) stream through cleanly.
+
+   Fork safety: fork is called only from the submitting thread and the
+   children do nothing but compute and write — they never touch locks
+   inherited mid-operation.  Callers must not run this concurrently with
+   live Pool worker domains (forking a multi-domain runtime duplicates
+   only the calling domain, leaving forked-dead sibling state behind);
+   the Run executor never mixes the two backends. *)
+
+exception Remote_error of string
+
+let () =
+  Printexc.register_printer (function
+    | Remote_error msg -> Some (Printf.sprintf "Procs.Remote_error (%s)" msg)
+    | _ -> None)
+
+(* The runtime refuses fork once any domain was ever spawned (even after
+   they are joined), and pools are this library's only domain spawner —
+   so availability is Unix AND no pool has gone multi-domain yet. *)
+let available () = Sys.unix && not (Pool.domains_ever_spawned ())
+
+(* Evaluate tasks [lo, hi) in ascending order, stopping at the first
+   failure — the same per-task exception boundary as Pool.run_chunk. *)
+let eval_chunk f (xs : 'a array) lo hi : ('b list, int * string) result =
+  let rec go acc i =
+    if i >= hi then Ok (List.rev acc)
+    else
+      match f xs.(i) with
+      | y -> go (y :: acc) (i + 1)
+      | exception e -> Error (i, Printexc.to_string e)
+  in
+  go [] lo
+
+let describe_status = function
+  | Unix.WEXITED c -> Printf.sprintf "exited with code %d" c
+  | Unix.WSIGNALED s -> Printf.sprintf "killed by signal %d" s
+  | Unix.WSTOPPED s -> Printf.sprintf "stopped by signal %d" s
+
+(* Child half: compute, marshal, flush, _exit.  [Unix._exit] skips
+   at_exit handlers and stdio flushing — the parent flushed its buffers
+   before forking, so anything buffered here would be a duplicate. *)
+let child_main f xs lo hi wfd =
+  (try
+     let payload = eval_chunk f xs lo hi in
+     let oc = Unix.out_channel_of_descr wfd in
+     Marshal.to_channel oc payload [];
+     flush oc
+   with _ -> Unix._exit 3);
+  Unix._exit 0
+
+type child = { pid : int; rfd : Unix.file_descr; lo : int }
+
+let spawn f xs lo hi =
+  (* Anything sitting in the parent's stdio buffers would otherwise be
+     written twice, once by each process. *)
+  flush stdout;
+  flush stderr;
+  let rfd, wfd = Unix.pipe ~cloexec:false () in
+  match Unix.fork () with
+  | 0 ->
+      Unix.close rfd;
+      child_main f xs lo hi wfd
+  | pid ->
+      Unix.close wfd;
+      { pid; rfd; lo }
+
+(* Drain one child completely: read its whole payload, then reap it.  A
+   complete payload wins over a nonzero exit status (the work is done);
+   an incomplete one is charged to the chunk's first task. *)
+let collect child : ('b list, int * string) result =
+  let ic = Unix.in_channel_of_descr child.rfd in
+  let payload =
+    match (Marshal.from_channel ic : ('b list, int * string) result) with
+    | v -> Some v
+    | exception _ -> None
+  in
+  close_in_noerr ic;
+  let _, status = Unix.waitpid [] child.pid in
+  match payload with
+  | Some v -> v
+  | None ->
+      Error
+        ( child.lo,
+          Printf.sprintf "worker process died before delivering its results (%s)"
+            (describe_status status) )
+
+(* Sequential fallback with identical semantics (used for procs = 1 and
+   platforms without fork): ascending order, first failure raises
+   Task_error with the original exception — no marshal round-trip, so
+   nothing to lose. *)
+let sequential f xs (res : 'b option array) =
+  Array.iteri
+    (fun i x ->
+      match f x with
+      | y -> res.(i) <- Some y
+      | exception e -> raise (Pool.Task_error (i, e)))
+    xs
+
+let map_array ?(chunk = `Auto) ?cost ~procs f xs =
+  if procs < 1 then invalid_arg "Procs.map_array: procs must be >= 1";
+  let n = Array.length xs in
+  let res = Array.make n None in
+  if procs = 1 || not (available ()) then sequential f xs res
+  else begin
+    let costs = Option.map (fun c -> Array.map c xs) cost in
+    let offsets = Pool.chunk_offsets ~chunk ~costs ~n ~participants:procs in
+    let n_chunks = Array.length offsets - 1 in
+    let inflight = Queue.create () in
+    let failure = ref None in
+    let land_results child =
+      match collect child with
+      | Ok ys -> List.iteri (fun k y -> res.(child.lo + k) <- Some y) ys
+      | Error (i, msg) -> if !failure = None then failure := Some (i, msg)
+    in
+    let j = ref 0 in
+    while !j < n_chunks && !failure = None do
+      if Queue.length inflight >= procs then land_results (Queue.pop inflight);
+      if !failure = None then begin
+        let lo = offsets.(!j) and hi = offsets.(!j + 1) in
+        (match spawn f xs lo hi with
+        | child -> Queue.push child inflight
+        | exception Failure _ ->
+            (* The runtime refused fork mid-run (a domain appeared since
+               the availability check).  Evaluate the chunk in-parent:
+               same order, same results, just no parallelism. *)
+            (match eval_chunk f xs lo hi with
+            | Ok ys -> List.iteri (fun k y -> res.(lo + k) <- Some y) ys
+            | Error (i, msg) -> failure := Some (i, msg)));
+        incr j
+      end
+    done;
+    (* Drain stragglers even after a failure — every forked child must be
+       reaped, and a lower-index failure in an earlier chunk wins. *)
+    while not (Queue.is_empty inflight) do
+      let child = Queue.pop inflight in
+      match collect child with
+      | Ok ys -> List.iteri (fun k y -> res.(child.lo + k) <- Some y) ys
+      | Error (i, msg) -> (
+          match !failure with
+          | Some (i0, _) when i0 <= i -> ()
+          | _ -> failure := Some (i, msg))
+    done;
+    match !failure with
+    | Some (i, msg) -> raise (Pool.Task_error (i, Remote_error msg))
+    | None -> ()
+  end;
+  Array.map (function Some y -> y | None -> assert false) res
+
+let map ?chunk ?cost ~procs f xs =
+  Array.to_list (map_array ?chunk ?cost ~procs f (Array.of_list xs))

@@ -1,0 +1,69 @@
+(** Process fan-out: parallel [map] over forked worker processes.
+
+    The {!Pool} parallelises with OCaml 5 domains, which share one major
+    heap — allocation-heavy tasks serialise on the shared allocator and
+    on stop-the-world minor collections however independent they are.  A
+    forked child owns an entire runtime (private minor and major heap,
+    private GC), so processes scale where domains stall; the price is a
+    [fork] plus a [Marshal] round-trip per chunk, so this backend only
+    pays for itself on expensive tasks.  {!Rr_core.Run.choose_backend}
+    makes that call; few users should pick this module by hand.
+
+    Determinism matches {!Pool} exactly: the batch is cut with
+    {!Pool.chunk_offsets} into chunks of consecutive task indices, a
+    child evaluates its chunk in ascending index order, and results come
+    back ordered by task index — bit-identical to the sequential loop,
+    for every [procs] and every [?chunk].  Tasks needing randomness must
+    seed from their task index (the same discipline {!Pool} documents);
+    task {e results} must be marshalable (no closures, no custom blocks
+    without serialisers).
+
+    Failures: a task exception is re-raised at the caller as
+    [Pool.Task_error (index, Remote_error message)] — the message is the
+    child-side [Printexc.to_string], because exception {e identity} does
+    not survive marshalling.  A child that dies without delivering its
+    payload (killed, OOM) raises the same, charged to the first task
+    index of its chunk, with the wait status in the message.
+
+    Do not run a procs batch while {!Pool} worker domains are live in
+    the same process: [fork] duplicates only the calling domain.  The
+    {!Rr_core.Run} executor never mixes the two. *)
+
+exception Remote_error of string
+(** Carrier for child-side failures; always arrives wrapped in
+    [Pool.Task_error] with the failing task index. *)
+
+val available : unit -> bool
+(** Whether this process can still fork: a Unix platform AND no {!Pool}
+    has ever spawned a worker domain (the OCaml 5 runtime refuses
+    [Unix.fork] once other domains were {e ever} created, even after
+    they are joined — see {!Pool.domains_ever_spawned}).  When [false],
+    the [map] functions below degrade to the sequential loop (procs = 1
+    semantics) rather than failing; fork-dependent benchmarks must run
+    before the process's first multi-domain pool. *)
+
+val map_array :
+  ?chunk:Pool.chunking ->
+  ?cost:('a -> float) ->
+  procs:int ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array
+(** [map_array ~procs f xs] computes [Array.map f xs] with up to [procs]
+    concurrent forked children ([procs = 1] runs the plain sequential
+    loop in-process).  [?chunk] and [?cost] control chunking exactly as
+    in {!Pool.map_array} and change no result.
+    @raise Pool.Task_error on the first task failure (lowest index
+    wins), with {!Remote_error} as the payload exception for failures
+    that crossed the process boundary.
+    @raise Invalid_argument when [procs < 1] or on [`Fixed c] with
+    [c < 1]. *)
+
+val map :
+  ?chunk:Pool.chunking ->
+  ?cost:('a -> float) ->
+  procs:int ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
+(** List counterpart of {!map_array}. *)

@@ -184,7 +184,6 @@ let simulate cfg policy inst =
       }
 
 let simulate_stream cfg policy stream ~sink =
-  let pull = Rr_workload.Instance.Stream.start stream in
   (* The engine's default 10M-event livelock guard would trip on perfectly
      healthy multi-million-job streams (>= 2 events per job); the stream
      knows its size, so scale the budget with it instead of uncapping. *)
@@ -192,9 +191,18 @@ let simulate_stream cfg policy stream ~sink =
     Int.max default_max_events (64 * Rr_workload.Instance.Stream.n stream)
   in
   let speed = cfg.speed and machines = cfg.machines in
-  match selection_for cfg policy with
+  let selection = selection_for cfg policy in
+  (* The equal-share path takes the unboxed raw cursor — that pairing is
+     the repo's zero-alloc streaming pipeline (gated at ~0 words/job by
+     bench B4); the remaining engines pull boxed jobs. *)
+  match selection with
   | Equal_share ->
-      Rr_engine.Simulator.run_equal_share_stream ~speed ~max_events ~machines ~sink pull
+      Rr_engine.Simulator.run_equal_share_stream_raw ~speed ~max_events ~machines ~sink
+        (Rr_workload.Instance.Stream.start_raw stream)
+  | _ ->
+  let pull = Rr_workload.Instance.Stream.start stream in
+  match selection with
+  | Equal_share -> assert false
   | Index kind -> Rr_engine.Index_engine.run_stream ~speed ~max_events ~machines ~kind ~sink pull
   | Setf_cascade -> Rr_engine.Index_engine.run_setf_stream ~speed ~max_events ~machines ~sink pull
   | Classed kind ->
@@ -349,35 +357,52 @@ let flows cfg policy inst =
 let norm cfg policy inst = (measure cfg policy inst).norm
 let power_sum cfg policy inst = (measure cfg policy inst).power_sum
 
-(* Order-of-magnitude per-task cost model for `Auto chunking, in
-   microseconds.  Calibrated against bench B1/B3/B5 on one core: the
-   general event loop costs a few microseconds per job in heavy traffic
-   (it re-scans the alive set per event); the closed-form engines a
-   fraction of one — the equal-share and priority-index cascades are one
-   heap operation per event, the SETF group cascade adds the O(m) prefix
-   walk and group maintenance.  Only ratios matter — chunking needs to
-   know that a 40-job probe is ~100x cheaper than a 4000-job one and
-   that a fast-pathed baseline is ~10x cheaper than a general-loop one
-   at equal n, not the absolute times. *)
+(* Order-of-magnitude per-task cost model for `Auto chunking and
+   executor choice, in microseconds.  The fast-path coefficients are
+   calibrated from the B5 benchmark (BENCH_fastpaths.json, fast_ns /
+   jobs at the quick scale): srpt/sjf/fcfs-index 0.16-0.19, hdf-index
+   0.26, setf-cascade 0.53, laps-dense 0.60, mlfq-ladder 1.43,
+   wrr-age-dense 4.18, hybrid-index 0.71.  Kernels B5 does not time
+   (equal-share, quantum, wrr-static, budget) carry estimates
+   interpolated from their event structure.  Only ratios matter —
+   chunking needs to know that a 40-job probe is ~100x cheaper than a
+   4000-job one and that a fast-pathed baseline is ~10x cheaper than a
+   general-loop one at equal n, not the absolute times. *)
 let estimated_cost_us cfg policy ~jobs =
   let n = Float.of_int jobs in
+  let index_cost : Rr_engine.Index_engine.kind -> float = function
+    | Rr_engine.Index_engine.Hdf _ -> 0.3
+    | Rr_engine.Index_engine.Srpt | Rr_engine.Index_engine.Sjf
+    | Rr_engine.Index_engine.Fcfs ->
+        0.2
+  in
+  let classed_cost : Rr_engine.Class_engine.kind -> float = function
+    | Rr_engine.Class_engine.Laps _ -> 0.6
+    | Rr_engine.Class_engine.Ladder _ -> 1.5
+    | Rr_engine.Class_engine.Quantum _ -> 1.2
+    | Rr_engine.Class_engine.Aged _ -> 4.0
+    | Rr_engine.Class_engine.Sized _ -> 1.0
+  in
   let rec per_job = function
-    | Equal_share -> 0.2
-    | Index _ -> 0.25
-    | Setf_cascade -> 0.5
+    | Equal_share -> 0.15
+    | Index kind -> index_cost kind
+    | Setf_cascade -> 0.55
     (* The slot/heap kernels (hybrid, budget) cost a heap operation per
-       event like the indexes; the dense kernels keep O(alive) events
-       but skip the view rebuild, sort and policy closure — several
-       times under the general loop, well over the heap cascades. *)
-    | Hybrid _ | Budget _ -> 0.3
-    | Classed _ -> 0.8
+       event like the indexes, plus slot scans (hybrid's three heaps
+       make it the dearer of the two). *)
+    | Hybrid _ -> 0.7
+    | Budget _ -> 0.4
+    | Classed kind -> classed_cost kind
     | Live spec -> (
-        (* Same kernels plus the pending-queue and metric-fold overhead. *)
+        (* Same kernels plus the pending-queue and metric-fold
+           overhead. *)
+        0.15
+        +.
         match spec with
-        | Rr_engine.Live.Equal_share -> 0.3
-        | Rr_engine.Live.Indexed _ -> 0.35
-        | Rr_engine.Live.Setf_cascade -> 0.6
-        | Rr_engine.Live.Classified klass -> 0.1 +. per_job (selection_of_class klass))
+        | Rr_engine.Live.Equal_share -> per_job Equal_share
+        | Rr_engine.Live.Indexed kind -> per_job (Index kind)
+        | Rr_engine.Live.Setf_cascade -> per_job Setf_cascade
+        | Rr_engine.Live.Classified klass -> per_job (selection_of_class klass))
     | General -> 2.0
   in
   per_job (selection_for cfg policy) *. n
@@ -409,3 +434,88 @@ let fold_stream ?chunk pool cfg ~sink ~merge ~init tasks =
       in
       Rr_metrics.Sink.value s)
     ~reduce:merge ~init tasks
+
+(* ---- Executor selection --------------------------------------------
+
+   Three ways to run a batch, one honest heuristic.  Domains win when
+   tasks are cheap enough that fork + Marshal would dominate but dear
+   enough to amortise chunk handoff; processes win when each task runs
+   long enough (tens of milliseconds) that private heaps beat the shared
+   major heap; and nothing beats the plain sequential loop when the
+   whole batch costs less than spawning anything.  All three backends
+   are bit-identical on the same tasks (Pool and Procs both cut with
+   [Pool.chunk_offsets] and evaluate chunks in ascending index order),
+   so the choice is purely a performance question and [`Auto] can never
+   change a result. *)
+
+type backend = [ `Sequential | `Domains of int | `Procs of int ]
+type executor = [ `Auto | backend ]
+
+let backend_name : backend -> string = function
+  | `Sequential -> "sequential"
+  | `Domains d -> Printf.sprintf "domains:%d" d
+  | `Procs p -> Printf.sprintf "procs:%d" p
+
+(* Below ~20 ms of total estimated work, even a warm pool loses to the
+   sequential loop (domain wake-up and chunk handoff are ~100 us each,
+   and the estimate itself is only order-of-magnitude).  Above ~50 ms
+   per task, fork + Marshal (~1-2 ms per chunk) amortises to noise and
+   private heaps beat the shared-major-heap domains on allocation-heavy
+   work. *)
+let sequential_cutoff_us = 20_000.
+let procs_per_task_us = 50_000.
+
+let choose_backend ?cpus ~tasks ~total_cost_us () =
+  let cpus =
+    match cpus with Some c -> Int.max 1 c | None -> Pool.recommended_domains ()
+  in
+  if cpus <= 1 || tasks <= 1 || total_cost_us < sequential_cutoff_us then
+    `Sequential
+  else
+    let width = Int.min cpus tasks in
+    let per_task = total_cost_us /. Float.of_int tasks in
+    if per_task >= procs_per_task_us && tasks >= cpus && Procs.available ()
+    then `Procs width
+    else `Domains width
+
+(* Sequential with Pool's failure contract, so callers see one exception
+   shape from every backend. *)
+let sequential_map f tasks =
+  List.mapi
+    (fun i t ->
+      match f t with
+      | y -> y
+      | exception e -> raise (Pool.Task_error (i, e)))
+    tasks
+
+let run_with ~backend ~cost f tasks =
+  match (backend : backend) with
+  | `Sequential -> sequential_map f tasks
+  | `Domains d -> Pool.with_pool ~domains:d (fun pool -> Pool.map ~cost pool f tasks)
+  | `Procs p -> Procs.map ~cost ~procs:p f tasks
+
+let resolve cfg ~executor tasks ~jobs_of =
+  let cost (p, x) = estimated_cost_us cfg p ~jobs:(jobs_of x) in
+  let backend =
+    match (executor : executor) with
+    | #backend as b -> b
+    | `Auto ->
+        let total = List.fold_left (fun acc t -> acc +. cost t) 0. tasks in
+        choose_backend ~tasks:(List.length tasks) ~total_cost_us:total ()
+  in
+  (backend, cost)
+
+let batch_auto ?(executor = `Auto) cfg tasks =
+  let backend, cost =
+    resolve cfg ~executor tasks ~jobs_of:Rr_workload.Instance.n
+  in
+  (backend, run_with ~backend ~cost (fun (policy, inst) -> measure cfg policy inst) tasks)
+
+let batch_stream_auto ?(executor = `Auto) cfg tasks =
+  let backend, cost =
+    resolve cfg ~executor tasks ~jobs_of:Rr_workload.Instance.Stream.n
+  in
+  ( backend,
+    run_with ~backend ~cost
+      (fun (policy, stream) -> measure_stream cfg policy stream)
+      tasks )

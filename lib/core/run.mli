@@ -251,3 +251,58 @@ val fold_stream :
     {!Rr_util.Welford.merge} [moments] sinks — to aggregate over a
     many-stream batch in O(alive) memory per domain.  Results are never
     cached (the cache stores {!measure} aggregates, not custom folds). *)
+
+(** {1 Executor selection}
+
+    {!batch} binds the caller to a {!Pool} — fine when one pool serves
+    many batches, wrong when the batch is the whole program and domains
+    may not even help.  The executor layer picks among three backends
+    with one heuristic and guarantees all three produce bit-identical
+    results (both parallel backends cut with {!Pool.chunk_offsets} and
+    evaluate chunks in ascending index order), so [`Auto] is purely a
+    performance decision. *)
+
+type backend = [ `Sequential | `Domains of int | `Procs of int ]
+(** How a batch actually runs: the plain in-process loop, a fresh
+    {!Pool} of [d] total participant domains, or {!Procs} fan-out over
+    [p] forked worker processes. *)
+
+type executor = [ `Auto | backend ]
+(** A backend, or [`Auto] to let {!choose_backend} pick from the CPU
+    count and the batch's {!estimated_cost_us}. *)
+
+val backend_name : backend -> string
+(** ["sequential"], ["domains:4"], ["procs:8"] — for logs and
+    diagnostics. *)
+
+val choose_backend :
+  ?cpus:int -> tasks:int -> total_cost_us:float -> unit -> backend
+(** The [`Auto] heuristic, exposed for tests and diagnostics.  [cpus]
+    defaults to {!Pool.recommended_domains} (clamped to at least 1).
+    Sequential when [cpus <= 1], [tasks <= 1], or the whole batch is
+    estimated under ~20 ms (spawning anything would dominate); processes
+    when each task averages >= ~50 ms, there are at least [cpus] tasks,
+    and the platform can fork (private heaps beat the shared major heap
+    once fork + [Marshal] amortise); domains otherwise.  Parallel widths
+    are clamped to [min cpus tasks]. *)
+
+val batch_auto :
+  ?executor:executor ->
+  config ->
+  (Rr_engine.Policy.t * Rr_workload.Instance.t) list ->
+  backend * result list
+(** {!batch} without the pool: runs the tasks on the chosen backend and
+    returns it alongside the results (print it with {!backend_name}).
+    Results are bit-identical to [List.map (measure cfg) tasks] for
+    every [?executor] value.  Failures raise [Pool.Task_error] with the
+    lowest failing task index from every backend; the [`Procs] backend
+    wraps the original exception's text as {!Procs.Remote_error}.
+    Creates a fresh pool per call under [`Domains] — callers amortising
+    many batches over one pool should keep using {!batch}. *)
+
+val batch_stream_auto :
+  ?executor:executor ->
+  config ->
+  (Rr_engine.Policy.t * Rr_workload.Instance.Stream.t) list ->
+  backend * result list
+(** {!batch_stream} under the executor heuristic; see {!batch_auto}. *)

@@ -44,7 +44,10 @@ type state = {
   mutable alive : int;
 }
 
-let create ~machines ~speed ~budget =
+(* The waiting heap may be caller-supplied ({!budget_core} borrows it
+   from the per-domain arena); {!create} allocates a fresh one for
+   long-lived states like {!Live}. *)
+let create_in ~waiting ~machines ~speed ~budget =
   if machines < 1 then invalid_arg "Budget_engine.create: machines must be >= 1";
   if not (Float.is_finite speed && speed > 0.) then
     invalid_arg "Budget_engine.create: speed must be finite and positive";
@@ -57,11 +60,14 @@ let create ~machines ~speed ~budget =
     speed;
     slots = Array.init machines (fun _ -> { id = -1; arrival = 0.; size = 0.; remaining = 0. });
     n_run = 0;
-    waiting = Heap.Scalar3.create ();
+    waiting;
     fresh = Queue.create ();
     evictions = Hashtbl.create 64;
     alive = 0;
   }
+
+let create ~machines ~speed ~budget =
+  create_in ~waiting:(Heap.Scalar3.create ()) ~machines ~speed ~budget
 
 let alive st = st.alive
 
@@ -177,7 +183,9 @@ let settle st ~now ~complete =
 
 let budget_core ~record_trace ~speed ~max_events ~machines ~budget ~(source : Source.t)
     ~(complete : int -> float -> float -> unit) =
-  let st = create ~machines ~speed ~budget in
+  let scratch = Arena.borrow () in
+  Fun.protect ~finally:(fun () -> Arena.release scratch) @@ fun () ->
+  let st = create_in ~waiting:(Arena.scalar3_of scratch) ~machines ~speed ~budget in
   let next_arr = ref (Source.next_arrival source) in
   let max_alive = ref 0 in
   let admit_upto now =
@@ -195,7 +203,7 @@ let budget_core ~record_trace ~speed ~max_events ~machines ~budget ~(source : So
     incr completed;
     makespan := t
   in
-  let trace_arena : Trace.segment Vec.t = Vec.create () in
+  let trace_arena : Trace.segment Vec.t = Arena.segments_of scratch in
   let push_trace ~t0 ~t1 =
     let entries = Array.make st.alive { Trace.job = -1; arrival = 0.; rate = 0. } in
     let next = ref 0 in

@@ -73,7 +73,9 @@ type state = {
   ready : djob Queue.t;  (* Quantum: FIFO ready queue *)
   level_counts : int array;  (* Ladder scratch: alive jobs per level *)
   level_share : float array;  (* Ladder scratch: rate per level *)
-  mutable weights : float array;  (* Aged / Sized scratch, length = alive *)
+  mutable weights : float array;  (* Aged / Sized scratch, capacity >= alive *)
+  mutable suffix : float array;  (* capped_rates_into scratch, capacity >= alive + 1 *)
+  mutable rates : float array;  (* capped_rates_into output, capacity >= alive *)
   mutable horizon : float;  (* decision horizon; +inf when none *)
   mutable alive : int;
 }
@@ -96,9 +98,23 @@ let create ~machines ~speed kind =
     level_counts = (match kind with Ladder { levels; _ } -> Array.make levels 0 | _ -> [||]);
     level_share = (match kind with Ladder { levels; _ } -> Array.make levels 0. | _ -> [||]);
     weights = [||];
+    suffix = [||];
+    rates = [||];
     horizon = Float.infinity;
     alive = 0;
   }
+
+(* Grow-only scratch for the weight-proportional kinds: the buffers track
+   the alive high-water mark, so in steady state a refresh allocates
+   nothing — the pre-arena version made three exact-size arrays per
+   event. *)
+let ensure_scratch st n =
+  if Array.length st.weights < n then begin
+    let cap = Int.max 16 (Int.max n (2 * Array.length st.weights)) in
+    st.weights <- Array.make cap 0.;
+    st.rates <- Array.make cap 0.;
+    st.suffix <- Array.make (cap + 1) 0.
+  end
 
 let alive st = st.alive
 
@@ -188,16 +204,17 @@ let refresh st ~now =
       done
   | Aged { k; refresh; offset } ->
       let n = Vec.length st.jobs in
-      if Array.length st.weights <> n then st.weights <- Array.make n 0.;
+      ensure_scratch st n;
       for i = 0 to n - 1 do
         st.weights.(i) <-
           Rr_util.Floatx.powi ((now -. (Vec.get st.jobs i).arrival) +. offset) (k - 1)
       done;
-      let rates = Policy_class.capped_rates ~machines:st.machines st.weights in
+      Policy_class.capped_rates_into ~machines:st.machines ~n ~weights:st.weights
+        ~suffix:st.suffix ~rates:st.rates;
       let youngest = ref Float.infinity in
       for i = 0 to n - 1 do
         let dj = Vec.get st.jobs i in
-        dj.rate <- rates.(i);
+        dj.rate <- st.rates.(i);
         youngest := Float.min !youngest (now -. dj.arrival)
       done;
       st.horizon <-
@@ -205,13 +222,14 @@ let refresh st ~now =
          else now +. Float.max 1e-6 (refresh *. (!youngest +. offset)))
   | Sized { gamma } ->
       let n = Vec.length st.jobs in
-      if Array.length st.weights <> n then st.weights <- Array.make n 0.;
+      ensure_scratch st n;
       for i = 0 to n - 1 do
         st.weights.(i) <- (Vec.get st.jobs i).size ** gamma
       done;
-      let rates = Policy_class.capped_rates ~machines:st.machines st.weights in
+      Policy_class.capped_rates_into ~machines:st.machines ~n ~weights:st.weights
+        ~suffix:st.suffix ~rates:st.rates;
       for i = 0 to n - 1 do
-        (Vec.get st.jobs i).rate <- rates.(i)
+        (Vec.get st.jobs i).rate <- st.rates.(i)
       done;
       st.horizon <- Float.infinity
   | Quantum { quantum } ->
@@ -352,6 +370,8 @@ let iter_alive st f =
 
 let dense_core ~record_trace ~speed ~max_events ~machines ~kind ~(source : Source.t)
     ~(complete : int -> float -> float -> unit) =
+  let scratch = Arena.borrow () in
+  Fun.protect ~finally:(fun () -> Arena.release scratch) @@ fun () ->
   let st = create ~machines ~speed kind in
   let next_arr = ref (Source.next_arrival source) in
   let max_alive = ref 0 in
@@ -370,7 +390,7 @@ let dense_core ~record_trace ~speed ~max_events ~machines ~kind ~(source : Sourc
     incr completed;
     makespan := t
   in
-  let trace_arena : Trace.segment Vec.t = Vec.create () in
+  let trace_arena : Trace.segment Vec.t = Arena.segments_of scratch in
   let push_trace ~t0 ~t1 =
     let entries = Array.make st.alive { Trace.job = -1; arrival = 0.; rate = 0. } in
     let next = ref 0 in

@@ -54,7 +54,11 @@ type state = {
   mutable horizon : float;
 }
 
-let create ~machines ~speed ~theta =
+(* The three priority heaps may be caller-supplied (the closed core
+   borrows them from the per-domain arena so back-to-back runs reuse
+   their capacity); {!create} allocates fresh ones for long-lived states
+   like {!Live}, which outlive any arena borrow. *)
+let create_in ~starved ~fresh ~promo ~machines ~speed ~theta =
   if machines < 1 then invalid_arg "Hybrid_engine.create: machines must be >= 1";
   if not (Float.is_finite speed && speed > 0.) then
     invalid_arg "Hybrid_engine.create: speed must be finite and positive";
@@ -67,11 +71,18 @@ let create ~machines ~speed ~theta =
     speed;
     info = Hashtbl.create 64;
     slots = Array.make machines None;
-    starved = Heap.Scalar.create ();
-    fresh = Heap.Scalar.create ();
-    promo = Heap.Scalar.create ();
+    starved;
+    fresh;
+    promo;
     horizon = Float.infinity;
   }
+
+let create ~machines ~speed ~theta =
+  create_in
+    ~starved:(Heap.Scalar.create ())
+    ~fresh:(Heap.Scalar.create ())
+    ~promo:(Heap.Scalar.create ())
+    ~machines ~speed ~theta
 
 let alive st = Hashtbl.length st.info
 
@@ -236,7 +247,15 @@ let iter_alive st f = Hashtbl.iter (fun _ h -> f h) st.info
 
 let hybrid_core ~record_trace ~speed ~max_events ~machines ~theta ~(source : Source.t)
     ~(complete : int -> float -> float -> unit) =
-  let st = create ~machines ~speed ~theta in
+  let scratch = Arena.borrow () in
+  Fun.protect ~finally:(fun () -> Arena.release scratch) @@ fun () ->
+  let st =
+    create_in
+      ~starved:(Arena.scalar_of scratch)
+      ~fresh:(Arena.scalar_of scratch)
+      ~promo:(Arena.scalar_of scratch)
+      ~machines ~speed ~theta
+  in
   let next_arr = ref (Source.next_arrival source) in
   let max_alive = ref 0 in
   let admit_upto now =
@@ -254,7 +273,7 @@ let hybrid_core ~record_trace ~speed ~max_events ~machines ~theta ~(source : Sou
     incr completed;
     makespan := t
   in
-  let trace_arena : Trace.segment Vec.t = Vec.create () in
+  let trace_arena : Trace.segment Vec.t = Arena.segments_of scratch in
   let push_trace ~t0 ~t1 =
     let entries = Array.make (alive st) { Trace.job = -1; arrival = 0.; rate = 0. } in
     let next = ref 0 in

@@ -89,7 +89,9 @@ let index_core ~record_trace ~speed ~max_events ~machines ~kind ~(source : Sourc
   if machines < 1 then invalid_arg "Index_engine.run: machines must be >= 1";
   if not (Float.is_finite speed && speed > 0.) then
     invalid_arg "Index_engine.run: speed must be finite and positive";
-  let waiting = Heap.Scalar3.create () in
+  let scratch = Arena.borrow () in
+  Fun.protect ~finally:(fun () -> Arena.release scratch) @@ fun () ->
+  let waiting = Arena.scalar3_of scratch in
   let push_waiting ~id ~arrival ~size ~remaining =
     Heap.Scalar3.add waiting
       ~key:(job_key kind ~arrival ~size ~remaining)
@@ -128,7 +130,7 @@ let index_core ~record_trace ~speed ~max_events ~machines ~kind ~(source : Sourc
   let max_alive = ref 0 in
   let makespan = ref 0. in
   let events = ref 0 in
-  let trace_arena : Trace.segment Vec.t = Vec.create () in
+  let trace_arena : Trace.segment Vec.t = Arena.segments_of scratch in
   let now = ref (match Source.peek source with Some j -> j.Job.arrival | None -> 0.) in
   if machines = 1 then begin
     (* Single-machine specialization — the configuration every ratio run
@@ -411,6 +413,25 @@ let setf_core ~record_trace ~speed ~max_events ~machines ~(source : Source.t)
   if machines < 1 then invalid_arg "Index_engine.run_setf: machines must be >= 1";
   if not (Float.is_finite speed && speed > 0.) then
     invalid_arg "Index_engine.run_setf: speed must be finite and positive";
+  let scratch = Arena.borrow () in
+  Fun.protect ~finally:(fun () -> Arena.release scratch) @@ fun () ->
+  (* Group member heaps cycle through a free list: a merged-away or
+     emptied group donates its (cleared) heap to the next group opened,
+     so in steady state opening a group costs a list cons, not a heap.
+     The first few heaps come from the arena and keep their capacity
+     across runs. *)
+  let heap_pool : Heap.Scalar2.t list ref = ref [] in
+  let take_members () =
+    match !heap_pool with
+    | h :: tl ->
+        heap_pool := tl;
+        h
+    | [] -> Arena.scalar2_of scratch
+  in
+  let recycle_members (h : Heap.Scalar2.t) =
+    Heap.Scalar2.clear h;
+    heap_pool := h :: !heap_pool
+  in
   let first : group option ref = ref None in
   let alive = ref 0 in
   let completed = ref 0 in
@@ -464,7 +485,7 @@ let setf_core ~record_trace ~speed ~max_events ~machines ~(source : Source.t)
       | _ -> false
     in
     if not joined then begin
-      let members = Heap.Scalar2.create () in
+      let members = take_members () in
       Heap.Scalar2.add members ~key:j.size ~aux1:j.arrival ~aux2:0. j.id;
       let g = { level = 0.; t_upd = now; grate = 0.; members; prev = None; next = !first } in
       (match !first with None -> () | Some old -> old.prev <- Some g);
@@ -483,7 +504,7 @@ let setf_core ~record_trace ~speed ~max_events ~machines ~(source : Source.t)
       | _ -> continue := false
     done
   in
-  let trace_arena : Trace.segment Vec.t = Vec.create () in
+  let trace_arena : Trace.segment Vec.t = Arena.segments_of scratch in
   let push_trace ~t0 ~t1 =
     let entries = Array.make !alive { Trace.job = -1; arrival = 0.; rate = 0. } in
     let next = ref 0 in
@@ -579,7 +600,10 @@ let setf_core ~record_trace ~speed ~max_events ~machines ~(source : Source.t)
                 decr alive;
                 makespan := !now
               done;
-              if Heap.Scalar2.is_empty g.members then unlink g;
+              if Heap.Scalar2.is_empty g.members then begin
+                unlink g;
+                recycle_members g.members
+              end;
               retire nxt
             end
       in
@@ -604,7 +628,7 @@ let setf_core ~record_trace ~speed ~max_events ~machines ~(source : Source.t)
                     (fun size id arrival _ ->
                       Heap.Scalar2.add keep.members ~key:size ~aux1:arrival ~aux2:0. id)
                     src.members;
-                  Heap.Scalar2.clear src.members;
+                  recycle_members src.members;
                   keep.level <- lvl;
                   keep.t_upd <- !now;
                   keep.grate <- Float.max g.grate h.grate;

@@ -199,6 +199,11 @@ type stats = {
 
 let no_sink : Simulator.sink = fun ~id:_ ~arrival:_ ~flow:_ -> ()
 
+(* A live engine is long-lived by design — it owns its heaps outright
+   rather than borrowing from the per-domain {!Arena}, whose components
+   must not outlive a single borrow.  The allocation happens once per
+   [create], not per run, so there is nothing for the arena to save
+   here. *)
 let create ?(machines = 1) ?(speed = 1.) ?(k = 2) ?(max_events = max_int) ?(sink = no_sink)
     spec =
   if machines < 1 then invalid_arg "Live.create: machines must be >= 1";

@@ -83,26 +83,38 @@ let starve_time ~theta ~arrival ~size = arrival +. (theta *. size)
    (weight desc, id asc): the [c] heaviest jobs are capped at rate 1,
    the rest share the remaining machines proportionally; [c] is the
    smallest count for which no uncapped job exceeds rate 1. *)
-let capped_rates ~machines sorted_weights =
-  let n = Array.length sorted_weights in
+(* In-place variant for engines that recompute rates every event: the
+   caller owns [weights] (first [n] entries live), a [suffix] scratch of
+   length >= n + 1, and the [rates] output of length >= n.  Arithmetic,
+   accumulation order, and tie handling are exactly those of
+   {!capped_rates}, which delegates here, so the two can never drift. *)
+let capped_rates_into ~machines ~n ~weights ~suffix ~rates =
   let m = Float.of_int machines in
-  if n <= machines then Array.make n 1.
+  if n <= machines then Array.fill rates 0 n 1.
   else begin
-    let suffix = Array.make (n + 1) 0. in
+    suffix.(n) <- 0.;
     for i = n - 1 downto 0 do
-      suffix.(i) <- suffix.(i + 1) +. sorted_weights.(i)
+      suffix.(i) <- suffix.(i + 1) +. weights.(i)
     done;
     let rec find_cap c =
       if c >= machines then machines
       else
         let theta = (m -. Float.of_int c) /. suffix.(c) in
-        if sorted_weights.(c) *. theta > 1. then find_cap (c + 1) else c
+        if weights.(c) *. theta > 1. then find_cap (c + 1) else c
     in
     let c = find_cap 0 in
     let theta = if c = machines then 0. else (m -. Float.of_int c) /. suffix.(c) in
-    Array.init n (fun i ->
-        if i < c then 1. else Float.min 1. (sorted_weights.(i) *. theta))
+    for i = 0 to n - 1 do
+      rates.(i) <- (if i < c then 1. else Float.min 1. (weights.(i) *. theta))
+    done
   end
+
+let capped_rates ~machines sorted_weights =
+  let n = Array.length sorted_weights in
+  let rates = Array.make n 0. in
+  let suffix = Array.make (n + 1) 0. in
+  capped_rates_into ~machines ~n ~weights:sorted_weights ~suffix ~rates;
+  rates
 
 let proportional_rates ~machines ~ids weights =
   let n = Array.length weights in

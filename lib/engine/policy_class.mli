@@ -85,6 +85,21 @@ val capped_rates : machines:int -> float array -> float array
     that maintains its jobs in that order calls this directly and skips
     the sort. *)
 
+val capped_rates_into :
+  machines:int ->
+  n:int ->
+  weights:float array ->
+  suffix:float array ->
+  rates:float array ->
+  unit
+(** Allocation-free {!capped_rates} over caller-owned buffers: the first
+    [n] entries of [weights] are the sorted weights, [suffix] (length
+    >= [n + 1]) is scratch, and the rates land in [rates.(0 .. n-1)].
+    Same arithmetic and accumulation order as {!capped_rates} (which
+    delegates here), so results are bit-identical; the engines that
+    recompute rates every event reuse grow-only buffers through this
+    entry point instead of allocating three arrays per event. *)
+
 val proportional_rates : machines:int -> ids:int array -> float array -> float array
 (** The unsorted entry point: sorts by (weight desc, id asc) — [ids.(i)]
     is the job id of entry [i] — then applies {!capped_rates} and

@@ -20,61 +20,131 @@ type sink = id:int -> arrival:float -> flow:float -> unit
    the sorted-array path of {!run}/{!run_equal_share} and the lazy
    generators of {!Rr_workload} [Instance.Stream] implement the same pull
    function, so "how many jobs exist" is independent of the event loop.
-   Monotonicity is enforced at the boundary — a source that emits a job
-   released before its predecessor is a bug in the producer, caught here
-   rather than as silent time travel inside the loop. *)
+   Validity and monotonicity are enforced at the boundary — a source that
+   emits a job released before its predecessor is a bug in the producer,
+   caught here rather than as silent time travel inside the loop.
+
+   The lookahead is stored {e unboxed}: the head job lives as an int id
+   plus a flat all-float cursor record, not as a [Job.t option].  Raw
+   producers ({!of_raw}) write the cursor fields directly and never
+   construct a [Job.t] at all, which is what lets the equal-share
+   streaming path run at ~0 words per job; the boxed [peek]/[next] view
+   is memoized on top for the engines that want whole jobs. *)
 module Source = struct
+  type cursor = { mutable arrival : float; mutable size : float }
+  (* All-float record: flat representation, so field writes never box. *)
+
   type t = {
-    pull : unit -> Job.t option;
-    mutable head : Job.t option;  (* one-job lookahead buffer *)
+    refill : t -> int;
+        (* Write the next job into [cur] and return its id, or -1 when
+           exhausted (then never called again).  May stash a [Job.t] in
+           [head_job] when it has one anyway. *)
+    cur : cursor;
+    mutable head_id : int;  (* -1 = no job buffered *)
+    mutable head_job : Job.t option;  (* boxed memo of the buffered job *)
     mutable last_arrival : float;
     mutable drained : bool;
   }
 
-  let of_fn pull = { pull; head = None; last_arrival = Float.neg_infinity; drained = false }
+  let make refill =
+    {
+      refill;
+      cur = { arrival = 0.; size = 0. };
+      head_id = -1;
+      head_job = None;
+      last_arrival = Float.neg_infinity;
+      drained = false;
+    }
+
+  let of_raw fill = make (fun t -> fill t.cur)
+
+  let of_fn pull =
+    make (fun t ->
+        match pull () with
+        | None -> -1
+        | Some j ->
+            t.cur.arrival <- j.Job.arrival;
+            t.cur.size <- j.Job.size;
+            t.head_job <- Some j;
+            j.Job.id)
 
   let of_array jobs =
     let i = ref 0 in
-    of_fn (fun () ->
-        if !i >= Array.length jobs then None
+    make (fun t ->
+        if !i >= Array.length jobs then -1
         else begin
           let j = jobs.(!i) in
           incr i;
-          Some j
+          t.cur.arrival <- j.Job.arrival;
+          t.cur.size <- j.Job.size;
+          t.head_job <- Some j;
+          j.Job.id
         end)
 
+  (* Cold-ish: once per job, never per event.  Validation mirrors
+     [Job.make] so raw producers get the same guarantees as boxed ones. *)
+  let refill_head t =
+    let id = t.refill t in
+    if id < 0 then begin
+      t.drained <- true;
+      t.head_job <- None
+    end
+    else begin
+      if not (Float.is_finite t.cur.arrival && t.cur.arrival >= 0.) then
+        invalid_arg
+          (Printf.sprintf "Simulator.Source: job #%d has invalid arrival %g" id t.cur.arrival);
+      if not (Float.is_finite t.cur.size && t.cur.size > 0.) then
+        invalid_arg
+          (Printf.sprintf "Simulator.Source: job #%d has invalid size %g" id t.cur.size);
+      if t.cur.arrival < t.last_arrival then
+        invalid_arg
+          (Printf.sprintf
+             "Simulator.Source: arrivals must be non-decreasing (job #%d at %g after %g)" id
+             t.cur.arrival t.last_arrival);
+      t.last_arrival <- t.cur.arrival;
+      t.head_id <- id
+    end
+
+  let[@inline] fill t = if t.head_id < 0 && not t.drained then refill_head t
+
+  let[@inline] has_more t =
+    fill t;
+    t.head_id >= 0
+
+  let[@inline] next_arrival t =
+    fill t;
+    if t.head_id >= 0 then t.cur.arrival else Float.infinity
+
+  (* Raw view of the buffered job; valid only after [has_more] returned
+     [true] (or [fill]).  These are plain field reads once inlined. *)
+  let[@inline] head_id t = t.head_id
+  let[@inline] head_arrival t = t.cur.arrival
+  let[@inline] head_size t = t.cur.size
+
+  let[@inline] advance t =
+    t.head_id <- -1;
+    t.head_job <- None
+
+  (* Boxed view: memoized, so producers that hand over whole jobs
+     ([of_fn]/[of_array]) never re-box and raw producers box at most once
+     per job — and only if somebody peeks. *)
   let peek t =
-    match t.head with
-    | Some _ as h -> h
-    | None ->
-        if t.drained then None
-        else begin
-          (match t.pull () with
-          | None -> t.drained <- true
-          | Some j as h ->
-              if j.Job.arrival < t.last_arrival then
-                invalid_arg
-                  (Printf.sprintf
-                     "Simulator.Source: arrivals must be non-decreasing (job #%d at %g after \
-                      %g)"
-                     j.Job.id j.Job.arrival t.last_arrival);
-              t.last_arrival <- j.Job.arrival;
-              t.head <- h);
-          t.head
-        end
+    fill t;
+    if t.head_id < 0 then None
+    else
+      match t.head_job with
+      | Some _ as h -> h
+      | None ->
+          let h = Some (Job.make ~id:t.head_id ~arrival:t.cur.arrival ~size:t.cur.size) in
+          t.head_job <- h;
+          h
 
   let next t =
     match peek t with
     | None -> None
     | Some _ as h ->
-        t.head <- None;
+        advance t;
         h
-
-  let next_arrival t = match peek t with Some j -> j.Job.arrival | None -> Float.infinity
-
-  (* Pattern match, not [<> None]: the polymorphic compare would walk
-     the Job record on every event-loop iteration. *)
-  let has_more t = match peek t with Some _ -> true | None -> false
 end
 
 type live = {
@@ -115,7 +185,7 @@ let validate_jobs jobs =
 
 (* A job counts as complete when its residual work is negligible relative to
    its size; the threshold absorbs the rounding of the analytic advance. *)
-let completion_threshold size = 1e-9 *. (1. +. size)
+let[@inline] completion_threshold size = 1e-9 *. (1. +. size)
 
 let done_threshold (l : live) = completion_threshold l.job.size
 
@@ -185,6 +255,8 @@ let general_core ~record_trace ~speed ~max_events ~machines ~(policy : Policy.t)
   if machines < 1 then invalid_arg "Simulator.run: machines must be >= 1";
   if not (Float.is_finite speed && speed > 0.) then
     invalid_arg "Simulator.run: speed must be finite and positive";
+  let scratch = Arena.borrow () in
+  Fun.protect ~finally:(fun () -> Arena.release scratch) @@ fun () ->
   let clairvoyant = policy.clairvoyant in
   (* Alive jobs in a swap-remove vector; policy views follow this order.
      Each live job owns one view record for its whole lifetime: only the
@@ -235,9 +307,10 @@ let general_core ~record_trace ~speed ~max_events ~machines ~(policy : Policy.t)
     end;
     !views_scratch
   in
-  (* Trace arena: segments accumulate in a growable buffer and are flushed
-     to the list representation once, instead of cons-and-reverse. *)
-  let trace_arena : Trace.segment Rr_util.Vec.t = Rr_util.Vec.create () in
+  (* Trace arena: segments accumulate in a growable buffer (borrowed from
+     the per-domain arena when available) and are flushed to the list
+     representation once, instead of cons-and-reverse. *)
+  let trace_arena : Trace.segment Rr_util.Vec.t = Arena.segments_of scratch in
   let events = ref 0 in
   let now = ref (match Source.peek source with Some j -> j.Job.arrival | None -> 0.) in
   admit_upto !now;
@@ -368,21 +441,28 @@ let run_stream ?(speed = 1.) ?(max_events = 10_000_000) ~machines ~(policy : Pol
    IS the whole live state, so the same core drives both the materialized
    and the streaming entry point. *)
 
+(* All-float, hence flat, so the per-event clock/virtual-service updates
+   are plain unboxed stores.  [float ref] cells here would box a fresh
+   float on every assignment — a few words per event that the B4
+   words-per-job gate would see. *)
+type es_state = { mutable vsrv : float; mutable now : float; mutable makespan : float }
+
 let equal_share_core ~record_trace ~speed ~max_events ~machines ~(source : Source.t)
-    ~(complete : int -> float -> float -> unit) =
+    ~(completions : float array) ~(sink : sink) =
   if machines < 1 then invalid_arg "Simulator.run_equal_share: machines must be >= 1";
   if not (Float.is_finite speed && speed > 0.) then
     invalid_arg "Simulator.run_equal_share: speed must be finite and positive";
-  let heap = Rr_util.Heap.Scalar2.create () in
-  let vsrv = ref 0. in
+  let scratch = Arena.borrow () in
+  Fun.protect ~finally:(fun () -> Arena.release scratch) @@ fun () ->
+  let heap = Arena.scalar2_of scratch in
+  let st = { vsrv = 0.; now = 0.; makespan = 0. } in
   let completed = ref 0 in
   let max_alive = ref 0 in
-  let makespan = ref 0. in
   (* Roster of alive jobs, maintained only for trace recording; [pos]
      tracks each job's slot so completions remove in O(1).  The pos table
      grows with the largest id seen, which the streaming entry point never
      exercises (it passes record_trace:false). *)
-  let roster : Job.t Rr_util.Vec.t = Rr_util.Vec.create () in
+  let roster : Job.t Rr_util.Vec.t = Arena.jobs_of scratch in
   let pos = ref [||] in
   let ensure_pos id =
     let cap = Array.length !pos in
@@ -391,16 +471,6 @@ let equal_share_core ~record_trace ~speed ~max_events ~machines ~(source : Sourc
       let np = Array.make ncap (-1) in
       Array.blit !pos 0 np 0 cap;
       pos := np
-    end
-  in
-  let admit (j : Job.t) =
-    Rr_util.Heap.Scalar2.add heap ~key:(!vsrv +. j.size) ~aux1:j.arrival ~aux2:j.size j.id;
-    if Rr_util.Heap.Scalar2.length heap > !max_alive then
-      max_alive := Rr_util.Heap.Scalar2.length heap;
-    if record_trace then begin
-      ensure_pos j.id;
-      !pos.(j.id) <- Rr_util.Vec.length roster;
-      Rr_util.Vec.push roster j
     end
   in
   let drop id =
@@ -413,41 +483,71 @@ let equal_share_core ~record_trace ~speed ~max_events ~machines ~(source : Sourc
       !pos.(id) <- -1
     end
   in
-  (* Cached next-arrival time: updated only when a job is consumed, so
-     the hot loop never re-peeks the source.  [infinity] means drained —
-     the same sentinel [Source.next_arrival] returns. *)
-  let next_arr = ref (Source.next_arrival source) in
+  (* Admission reads the source through the raw unboxed view: id plus two
+     cursor floats, no [Job.t], no option.  The boxed job is materialized
+     (memoized [peek]) only on the trace-recording path. *)
   let admit_upto now =
-    while !next_arr <= now do
-      (match Source.next source with Some j -> admit j | None -> ());
-      next_arr := Source.next_arrival source
+    while Source.has_more source && Source.head_arrival source <= now do
+      let id = Source.head_id source in
+      let size = Source.head_size source in
+      Rr_util.Heap.Scalar2.add heap ~key:(st.vsrv +. size)
+        ~aux1:(Source.head_arrival source) ~aux2:size id;
+      if Rr_util.Heap.Scalar2.length heap > !max_alive then
+        max_alive := Rr_util.Heap.Scalar2.length heap;
+      if record_trace then begin
+        let j = match Source.peek source with Some j -> j | None -> assert false in
+        ensure_pos id;
+        !pos.(id) <- Rr_util.Vec.length roster;
+        Rr_util.Vec.push roster j
+      end;
+      Source.advance source
     done
   in
-  let trace_arena : Trace.segment Rr_util.Vec.t = Rr_util.Vec.create () in
+  let trace_arena : Trace.segment Rr_util.Vec.t = Arena.segments_of scratch in
+  (* Hoisted out of the event loop: a [let retire () = ...] in the loop
+     body would allocate its closure once per event.  The sink is called
+     directly (no intermediate completion callback), so a completion costs
+     exactly one unknown call — two boxed floats — on the streaming path;
+     the materialized entry point passes a completions array and the exact
+     completion instant is recorded unboxed before the sink sees the
+     derived flow. *)
+  let retire () =
+    let id = Rr_util.Heap.Scalar2.min_val_exn heap in
+    let arrival = Rr_util.Heap.Scalar2.min_aux1_exn heap in
+    ignore (Rr_util.Heap.Scalar2.pop_exn heap : int);
+    if Array.length completions > 0 then completions.(id) <- st.now;
+    sink ~id ~arrival ~flow:(st.now -. arrival);
+    incr completed;
+    st.makespan <- st.now;
+    drop id
+  in
   let events = ref 0 in
-  let now = ref (match Source.peek source with Some j -> j.Job.arrival | None -> 0.) in
-  admit_upto !now;
+  st.now <- (if Source.has_more source then Source.head_arrival source else 0.);
+  admit_upto st.now;
   while Rr_util.Heap.Scalar2.length heap > 0 || Source.has_more source do
     incr events;
     if !events > max_events then
-      raise (Event_limit_exceeded { limit = max_events; now = !now });
+      raise (Event_limit_exceeded { limit = max_events; now = st.now });
     if Rr_util.Heap.Scalar2.is_empty heap then begin
-      now := !next_arr;
-      admit_upto !now
+      st.now <- Source.next_arrival source;
+      admit_upto st.now
     end
     else begin
       let n_alive = Rr_util.Heap.Scalar2.length heap in
-      let share = Float.min 1. (Float.of_int machines /. Float.of_int n_alive) in
+      let share =
+        let s = Float.of_int machines /. Float.of_int n_alive in
+        if s > 1. then 1. else s
+      in
       let rate = share *. speed in
       let t_complete =
-        !now +. ((Rr_util.Heap.Scalar2.min_key_exn heap -. !vsrv) /. rate)
+        st.now +. ((Rr_util.Heap.Scalar2.min_key_exn heap -. st.vsrv) /. rate)
       in
       (* Completion wins a tie with an arrival, exactly like the general
          engine's [a < t_next] guard. *)
-      let next_arrival = !next_arr in
+      let next_arrival = Source.next_arrival source in
       let is_completion = not (next_arrival < t_complete) in
       let t_next = if is_completion then t_complete else next_arrival in
-      let dt = t_next -. !now in
+      let dt = t_next -. st.now in
       assert (dt > 0.);
       if record_trace then begin
         let entries =
@@ -455,19 +555,10 @@ let equal_share_core ~record_trace ~speed ~max_events ~machines ~(source : Sourc
               let j = Rr_util.Vec.get roster i in
               { Trace.job = j.id; arrival = j.arrival; rate = share })
         in
-        Rr_util.Vec.push trace_arena { Trace.t0 = !now; t1 = t_next; alive = entries }
+        Rr_util.Vec.push trace_arena { Trace.t0 = st.now; t1 = t_next; alive = entries }
       end;
-      vsrv := !vsrv +. (rate *. dt);
-      now := t_next;
-      let retire () =
-        let id = Rr_util.Heap.Scalar2.min_val_exn heap in
-        let arrival = Rr_util.Heap.Scalar2.min_aux1_exn heap in
-        ignore (Rr_util.Heap.Scalar2.pop_exn heap : int);
-        complete id arrival !now;
-        incr completed;
-        makespan := !now;
-        drop id
-      in
+      st.vsrv <- st.vsrv +. (rate *. dt);
+      st.now <- t_next;
       if is_completion then
         (* The head's deadline defined this event time; retire it even if
            rounding left [vsrv] an ulp short of the deadline. *)
@@ -477,12 +568,12 @@ let equal_share_core ~record_trace ~speed ~max_events ~machines ~(source : Sourc
          and arrivals landing exactly on a completion). *)
       while
         (not (Rr_util.Heap.Scalar2.is_empty heap))
-        && Rr_util.Heap.Scalar2.min_key_exn heap -. !vsrv
+        && Rr_util.Heap.Scalar2.min_key_exn heap -. st.vsrv
            <= completion_threshold (Rr_util.Heap.Scalar2.min_aux2_exn heap)
       do
         retire ()
       done;
-      admit_upto !now
+      admit_upto st.now
     end
   done;
   let trace = Rr_util.Vec.to_list trace_arena in
@@ -491,7 +582,7 @@ let equal_share_core ~record_trace ~speed ~max_events ~machines ~(source : Sourc
       events = !events;
       machines;
       speed;
-      makespan = !makespan;
+      makespan = st.makespan;
       max_alive = !max_alive;
     },
     trace )
@@ -502,21 +593,23 @@ let run_equal_share ?(record_trace = false) ?(speed = 1.) ?(max_events = 10_000_
   let jobs_arr = jobs_by_id jobs n in
   let order = release_order jobs n in
   let completions = Array.make n Float.nan in
-  let complete id arrival now =
-    completions.(id) <- now;
-    sink ~id ~arrival ~flow:(now -. arrival)
-  in
   let summary, trace =
     equal_share_core ~record_trace ~speed ~max_events ~machines
-      ~source:(Source.of_array order) ~complete
+      ~source:(Source.of_array order) ~completions ~sink
   in
   { jobs = jobs_arr; completions; trace; machines; speed; events = summary.events }
 
 let run_equal_share_stream ?(speed = 1.) ?(max_events = 10_000_000) ~machines ~sink pull =
-  let complete id arrival now = sink ~id ~arrival ~flow:(now -. arrival) in
   let summary, _trace =
     equal_share_core ~record_trace:false ~speed ~max_events ~machines
-      ~source:(Source.of_fn pull) ~complete
+      ~source:(Source.of_fn pull) ~completions:[||] ~sink
+  in
+  summary
+
+let run_equal_share_stream_raw ?(speed = 1.) ?(max_events = 10_000_000) ~machines ~sink fill =
+  let summary, _trace =
+    equal_share_core ~record_trace:false ~speed ~max_events ~machines
+      ~source:(Source.of_raw fill) ~completions:[||] ~sink
   in
   summary
 

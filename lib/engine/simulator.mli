@@ -68,9 +68,22 @@ type sink = id:int -> arrival:float -> flow:float -> unit
 module Source : sig
   type t
 
+  type cursor = { mutable arrival : float; mutable size : float }
+  (** Unboxed one-job handoff slot for {!of_raw} producers.  All-float,
+      so its representation is flat and writing the fields never
+      allocates. *)
+
   val of_fn : (unit -> Job.t option) -> t
   (** Wrap a pull function; [None] means the stream is exhausted (and is
       then never pulled again). *)
+
+  val of_raw : (cursor -> int) -> t
+  (** Wrap an unboxed pull function: [fill cur] writes the next job's
+      arrival and size into [cur] and returns its id, or returns [-1]
+      (leaving [cur] alone) when the stream is exhausted — after which it
+      is never called again.  The producer never builds a [Job.t], so a
+      streaming run over a raw source allocates nothing per job.  The
+      same validity and monotonicity checks as {!of_fn} apply. *)
 
   val of_array : Job.t array -> t
   (** Stream an array in index order (the caller sorts by release). *)
@@ -170,6 +183,20 @@ val run_equal_share_stream :
     each job's arrival and size as satellites) is the {e entire} live
     state, so a 10M-job instance runs in O(max alive) heap.  [pull] as in
     {!run_stream}. *)
+
+val run_equal_share_stream_raw :
+  ?speed:float ->
+  ?max_events:int ->
+  machines:int ->
+  sink:sink ->
+  (Source.cursor -> int) ->
+  summary
+(** Like {!run_equal_share_stream} but over an unboxed {!Source.of_raw}
+    producer: the source hands over (id, arrival, size) through a flat
+    cursor instead of a [Job.t option], which removes the last per-job
+    allocation from the equal-share streaming path.  Combined with the
+    per-domain scratch {!Arena} this entry point runs at ~0 words
+    allocated per job in steady state (the B4 benchmark gate). *)
 
 val flows : result -> float array
 (** Flow times [F_j = C_j - r_j], indexed by job id. *)

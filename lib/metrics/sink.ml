@@ -2,11 +2,11 @@ type 'a t = { push : float -> unit; value : unit -> 'a }
 
 let make ~push ~value = { push; value }
 
-let push t x = t.push x
+let[@inline] push t x = t.push x
 
 let value t = t.value ()
 
-let feed t ~id:_ ~arrival:_ ~flow = t.push flow
+let[@inline] feed t ~id:_ ~arrival:_ ~flow = t.push flow
 
 let of_array t flows =
   Array.iter t.push flows;

@@ -1,13 +1,26 @@
 let approx_equal ?(rtol = 1e-9) ?(atol = 1e-12) a b =
   Float.abs (a -. b) <= atol +. (rtol *. Float.max (Float.abs a) (Float.abs b))
 
-let rec powi x k =
-  assert (k >= 0);
+(* Square-and-multiply tail for [powi].  The recursion is what keeps the
+   general case out of inlining range, so the exported [powi] handles the
+   ubiquitous small exponents (the lk-norm folds call it once per job)
+   with straight-line unboxed arithmetic and only falls back here for
+   k >= 4.  The small cases multiply in the same association the
+   recursion would ([powi x 3 = x *. (x *. x)]), so results stay
+   bit-identical. *)
+let rec powi_big x k =
   if k = 0 then 1.
-  else if k land 1 = 1 then x *. powi x (k - 1)
+  else if k land 1 = 1 then x *. powi_big x (k - 1)
   else
-    let h = powi x (k / 2) in
+    let h = powi_big x (k / 2) in
     h *. h
+
+let[@inline] powi x k =
+  assert (k >= 0);
+  if k = 1 then x
+  else if k = 2 then x *. x
+  else if k = 3 then x *. (x *. x)
+  else powi_big x k
 
 let clamp ~lo ~hi x = Float.min hi (Float.max lo x)
 

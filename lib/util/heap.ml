@@ -85,11 +85,11 @@ module Scalar = struct
 
   let create () = { keys = [||]; vals = [||]; size = 0 }
 
-  let length t = t.size
+  let[@inline] length t = t.size
 
-  let is_empty t = t.size = 0
+  let[@inline] is_empty t = t.size = 0
 
-  let clear t = t.size <- 0
+  let[@inline] clear t = t.size <- 0
 
   let grow t =
     let cap = Array.length t.keys in
@@ -104,11 +104,11 @@ module Scalar = struct
 
   (* Ties on the key break towards the smaller payload, so pop order is
      deterministic for equal keys. *)
-  let lt t i j =
+  let[@inline] lt t i j =
     let ki = Array.unsafe_get t.keys i and kj = Array.unsafe_get t.keys j in
     ki < kj || (ki = kj && Array.unsafe_get t.vals i < Array.unsafe_get t.vals j)
 
-  let swap t i j =
+  let[@inline] swap t i j =
     let k = Array.unsafe_get t.keys i and v = Array.unsafe_get t.vals i in
     Array.unsafe_set t.keys i (Array.unsafe_get t.keys j);
     Array.unsafe_set t.vals i (Array.unsafe_get t.vals j);
@@ -134,22 +134,22 @@ module Scalar = struct
       sift_down t !smallest
     end
 
-  let add t ~key v =
+  let[@inline] add t ~key v =
     grow t;
     t.keys.(t.size) <- key;
     t.vals.(t.size) <- v;
     t.size <- t.size + 1;
     sift_up t (t.size - 1)
 
-  let min_key_exn t =
+  let[@inline] min_key_exn t =
     if t.size = 0 then invalid_arg "Heap.Scalar.min_key_exn: empty heap";
     t.keys.(0)
 
-  let min_val_exn t =
+  let[@inline] min_val_exn t =
     if t.size = 0 then invalid_arg "Heap.Scalar.min_val_exn: empty heap";
     t.vals.(0)
 
-  let pop_exn t =
+  let[@inline] pop_exn t =
     if t.size = 0 then invalid_arg "Heap.Scalar.pop_exn: empty heap";
     let v = t.vals.(0) in
     t.size <- t.size - 1;
@@ -176,11 +176,11 @@ module Scalar2 = struct
 
   let create () = { keys = [||]; vals = [||]; aux1 = [||]; aux2 = [||]; size = 0 }
 
-  let length t = t.size
+  let[@inline] length t = t.size
 
-  let is_empty t = t.size = 0
+  let[@inline] is_empty t = t.size = 0
 
-  let clear t = t.size <- 0
+  let[@inline] clear t = t.size <- 0
 
   let grow t =
     let cap = Array.length t.keys in
@@ -200,11 +200,11 @@ module Scalar2 = struct
       t.aux2 <- n2
     end
 
-  let lt t i j =
+  let[@inline] lt t i j =
     let ki = Array.unsafe_get t.keys i and kj = Array.unsafe_get t.keys j in
     ki < kj || (ki = kj && Array.unsafe_get t.vals i < Array.unsafe_get t.vals j)
 
-  let swap t i j =
+  let[@inline] swap t i j =
     let k = Array.unsafe_get t.keys i
     and v = Array.unsafe_get t.vals i
     and a = Array.unsafe_get t.aux1 i
@@ -237,7 +237,7 @@ module Scalar2 = struct
       sift_down t !smallest
     end
 
-  let add t ~key ~aux1 ~aux2 v =
+  let[@inline] add t ~key ~aux1 ~aux2 v =
     grow t;
     t.keys.(t.size) <- key;
     t.vals.(t.size) <- v;
@@ -246,23 +246,23 @@ module Scalar2 = struct
     t.size <- t.size + 1;
     sift_up t (t.size - 1)
 
-  let min_key_exn t =
+  let[@inline] min_key_exn t =
     if t.size = 0 then invalid_arg "Heap.Scalar2.min_key_exn: empty heap";
     t.keys.(0)
 
-  let min_val_exn t =
+  let[@inline] min_val_exn t =
     if t.size = 0 then invalid_arg "Heap.Scalar2.min_val_exn: empty heap";
     t.vals.(0)
 
-  let min_aux1_exn t =
+  let[@inline] min_aux1_exn t =
     if t.size = 0 then invalid_arg "Heap.Scalar2.min_aux1_exn: empty heap";
     t.aux1.(0)
 
-  let min_aux2_exn t =
+  let[@inline] min_aux2_exn t =
     if t.size = 0 then invalid_arg "Heap.Scalar2.min_aux2_exn: empty heap";
     t.aux2.(0)
 
-  let pop_exn t =
+  let[@inline] pop_exn t =
     if t.size = 0 then invalid_arg "Heap.Scalar2.pop_exn: empty heap";
     let v = t.vals.(0) in
     t.size <- t.size - 1;
@@ -298,11 +298,11 @@ module Scalar3 = struct
   let create () =
     { keys = [||]; vals = [||]; aux1 = [||]; aux2 = [||]; aux3 = [||]; size = 0 }
 
-  let length t = t.size
+  let[@inline] length t = t.size
 
-  let is_empty t = t.size = 0
+  let[@inline] is_empty t = t.size = 0
 
-  let clear t = t.size <- 0
+  let[@inline] clear t = t.size <- 0
 
   let grow t =
     let cap = Array.length t.keys in
@@ -325,11 +325,11 @@ module Scalar3 = struct
       t.aux3 <- n3
     end
 
-  let lt t i j =
+  let[@inline] lt t i j =
     let ki = Array.unsafe_get t.keys i and kj = Array.unsafe_get t.keys j in
     ki < kj || (ki = kj && Array.unsafe_get t.vals i < Array.unsafe_get t.vals j)
 
-  let swap t i j =
+  let[@inline] swap t i j =
     let k = Array.unsafe_get t.keys i
     and v = Array.unsafe_get t.vals i
     and a = Array.unsafe_get t.aux1 i
@@ -365,7 +365,7 @@ module Scalar3 = struct
       sift_down t !smallest
     end
 
-  let add t ~key ~aux1 ~aux2 ~aux3 v =
+  let[@inline] add t ~key ~aux1 ~aux2 ~aux3 v =
     grow t;
     t.keys.(t.size) <- key;
     t.vals.(t.size) <- v;
@@ -375,27 +375,27 @@ module Scalar3 = struct
     t.size <- t.size + 1;
     sift_up t (t.size - 1)
 
-  let min_key_exn t =
+  let[@inline] min_key_exn t =
     if t.size = 0 then invalid_arg "Heap.Scalar3.min_key_exn: empty heap";
     t.keys.(0)
 
-  let min_val_exn t =
+  let[@inline] min_val_exn t =
     if t.size = 0 then invalid_arg "Heap.Scalar3.min_val_exn: empty heap";
     t.vals.(0)
 
-  let min_aux1_exn t =
+  let[@inline] min_aux1_exn t =
     if t.size = 0 then invalid_arg "Heap.Scalar3.min_aux1_exn: empty heap";
     t.aux1.(0)
 
-  let min_aux2_exn t =
+  let[@inline] min_aux2_exn t =
     if t.size = 0 then invalid_arg "Heap.Scalar3.min_aux2_exn: empty heap";
     t.aux2.(0)
 
-  let min_aux3_exn t =
+  let[@inline] min_aux3_exn t =
     if t.size = 0 then invalid_arg "Heap.Scalar3.min_aux3_exn: empty heap";
     t.aux3.(0)
 
-  let pop_exn t =
+  let[@inline] pop_exn t =
     if t.size = 0 then invalid_arg "Heap.Scalar3.pop_exn: empty heap";
     let v = t.vals.(0) in
     t.size <- t.size - 1;

@@ -4,7 +4,7 @@ let create () = { total = 0.; comp = 0. }
 
 (* Neumaier's variant: the compensation also covers the case where the
    incoming summand dominates the running total. *)
-let add t x =
+let[@inline] add t x =
   let sum = t.total +. x in
   if Float.abs t.total >= Float.abs x then t.comp <- t.comp +. ((t.total -. sum) +. x)
   else t.comp <- t.comp +. ((x -. sum) +. t.total);

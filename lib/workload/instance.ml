@@ -122,6 +122,117 @@ module Stream = struct
   let label s = s.label
   let relabel label s = { s with label }
 
+  (* Unboxed cursor for the zero-alloc streaming path.  Specializing the
+     Poisson-arrival case matters: the arrival accumulator lives in the
+     cursor itself (a flat float record the simulator owns, zeroed at
+     [Source.of_raw] time), and the size distribution is dispatched by a
+     per-call match whose arms bottom out in [@inline]d PRNG draws — so
+     the generated fill closure allocates nothing per job.  Draw order
+     (arrival, then size) is identical to {!start}, so raw and boxed
+     cursors over one stream yield bit-identical jobs. *)
+  let start_raw s =
+    match s.source with
+    | Materialized jobs ->
+        let rest = ref jobs in
+        fun (cur : Rr_engine.Simulator.Source.cursor) ->
+          (match !rest with
+          | [] -> -1
+          | j :: tl ->
+              rest := tl;
+              cur.arrival <- j.Rr_engine.Job.arrival;
+              cur.size <- j.Rr_engine.Job.size;
+              j.Rr_engine.Job.id)
+    | Generated { arrivals; sizes; seed } ->
+        (* The specialized path bypasses [Distribution.sample]'s per-call
+           check, so validate once up front. *)
+        (match Distribution.validate sizes with
+        | Ok () -> ()
+        | Error msg -> invalid_arg ("Instance.Stream.start_raw: Distribution: " ^ msg));
+        let rng = Rr_util.Prng.create ~seed in
+        let id = ref 0 in
+        let n = s.n in
+        (match arrivals with
+        | Arrivals.Poisson { rate } -> (
+            (* One fill closure per size constructor: dispatching the size
+               draw inside a single closure would funnel six float arms
+               through one match join, and the join point boxes the float
+               before the [cur.size <-] store.  Specializing keeps each
+               closure's size expression a single unboxed arm. *)
+            match sizes with
+            | Distribution.Deterministic p ->
+                fun (cur : Rr_engine.Simulator.Source.cursor) ->
+                  if !id >= n then -1
+                  else begin
+                    cur.arrival <- cur.arrival +. Rr_util.Prng.exponential rng ~rate;
+                    cur.size <- p;
+                    let i = !id in
+                    incr id;
+                    i
+                  end
+            | Distribution.Uniform { lo; hi } ->
+                fun (cur : Rr_engine.Simulator.Source.cursor) ->
+                  if !id >= n then -1
+                  else begin
+                    cur.arrival <- cur.arrival +. Rr_util.Prng.exponential rng ~rate;
+                    cur.size <- Rr_util.Prng.float_range rng ~lo ~hi;
+                    let i = !id in
+                    incr id;
+                    i
+                  end
+            | Distribution.Exponential { mean } ->
+                let size_rate = 1. /. mean in
+                fun (cur : Rr_engine.Simulator.Source.cursor) ->
+                  if !id >= n then -1
+                  else begin
+                    cur.arrival <- cur.arrival +. Rr_util.Prng.exponential rng ~rate;
+                    cur.size <- Rr_util.Prng.exponential rng ~rate:size_rate;
+                    let i = !id in
+                    incr id;
+                    i
+                  end
+            | Distribution.Pareto { alpha; x_min } ->
+                fun (cur : Rr_engine.Simulator.Source.cursor) ->
+                  if !id >= n then -1
+                  else begin
+                    cur.arrival <- cur.arrival +. Rr_util.Prng.exponential rng ~rate;
+                    cur.size <- Rr_util.Prng.pareto rng ~alpha ~x_min;
+                    let i = !id in
+                    incr id;
+                    i
+                  end
+            | Distribution.Bounded_pareto { alpha; x_min; x_max } ->
+                fun (cur : Rr_engine.Simulator.Source.cursor) ->
+                  if !id >= n then -1
+                  else begin
+                    cur.arrival <- cur.arrival +. Rr_util.Prng.exponential rng ~rate;
+                    cur.size <- Rr_util.Prng.bounded_pareto rng ~alpha ~x_min ~x_max;
+                    let i = !id in
+                    incr id;
+                    i
+                  end
+            | Distribution.Bimodal { small; large; prob_large } ->
+                fun (cur : Rr_engine.Simulator.Source.cursor) ->
+                  if !id >= n then -1
+                  else begin
+                    cur.arrival <- cur.arrival +. Rr_util.Prng.exponential rng ~rate;
+                    cur.size <-
+                      (if Rr_util.Prng.float rng < prob_large then large else small);
+                    let i = !id in
+                    incr id;
+                    i
+                  end)
+        | _ ->
+            let next_arrival = Arrivals.sampler rng arrivals in
+            fun (cur : Rr_engine.Simulator.Source.cursor) ->
+              if !id >= n then -1
+              else begin
+                cur.arrival <- next_arrival ();
+                cur.size <- Distribution.sample rng sizes;
+                let i = !id in
+                incr id;
+                i
+              end)
+
   let start s =
     match s.source with
     | Materialized jobs ->

@@ -106,6 +106,17 @@ module Stream : sig
       in [(arrival, id)] order with dense ids [0 .. n-1], then [None].
       Cursors are independent; each replays the full sequence. *)
 
+  val start_raw : t -> Rr_engine.Simulator.Source.cursor -> int
+  (** Unboxed counterpart of {!start}, in the shape
+      {!Rr_engine.Simulator.Source.of_raw} consumes: the returned fill
+      function writes each job's arrival and size into the cursor and
+      returns its id ([-1] once exhausted).  Yields the bit-identical
+      job sequence to {!start} (same seed, same draw order) while
+      allocating nothing per job for Poisson-arrival generated streams —
+      the fill may use the cursor's own fields as accumulator state, so
+      it must always be driven through one fresh zero-initialized cursor,
+      exactly as [of_raw] does. *)
+
   val digest : t -> int64
   (** Same FNV-1a digest as {!Instance.digest} of {!materialize}, folded
       over one streaming pass (memoized).  Streamed and materialized

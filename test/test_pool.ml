@@ -91,7 +91,7 @@ let test_pool_survives_failure () =
 (* ------------------------------------------------------------------ *)
 
 let test_shutdown_idempotent_and_rejects_use () =
-  let pool = Pool.create ~domains:2 in
+  let pool = Pool.create ~domains:2 () in
   Alcotest.(check int) "size" 2 (Pool.size pool);
   Alcotest.(check (list int)) "works" [ 1 ] (Pool.map pool (fun x -> x) [ 1 ]);
   Pool.shutdown pool;
@@ -101,9 +101,37 @@ let test_shutdown_idempotent_and_rejects_use () =
   | _ -> Alcotest.fail "expected rejection after shutdown"
 
 let test_create_validation () =
-  match Pool.create ~domains:0 with
+  match Pool.create ~domains:0 () with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected rejection of domains = 0"
+
+let test_gc_telemetry () =
+  (* Every batch records one GC delta per participant; an allocating
+     batch must show minor allocation on at least the caller's domain,
+     and the configured minor-heap size must read back. *)
+  (match Pool.create ~domains:1 ~minor_heap_words:100 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of tiny minor heap");
+  Pool.with_pool ~domains:3 ~minor_heap_words:(1 lsl 20) (fun pool ->
+      Alcotest.(check int) "minor_heap_words reads back" (1 lsl 20)
+        (Pool.minor_heap_words pool);
+      Alcotest.(check int) "no batch yet: no deltas" 0
+        (Array.length (Pool.last_batch_gc_deltas pool));
+      let xs = List.init 64 (fun i -> i) in
+      let expect = List.map (fun i -> List.init 200 (fun j -> i + j)) xs in
+      Alcotest.(check bool) "allocating batch" true
+        (List.equal ( = ) expect (Pool.map pool (fun i -> List.init 200 (fun j -> i + j)) xs));
+      let deltas = Pool.last_batch_gc_deltas pool in
+      Alcotest.(check int) "one delta per participant" 3 (Array.length deltas);
+      Array.iteri
+        (fun i (g : Pool.gc_delta) ->
+          Alcotest.(check int) "participant index" i g.Pool.participant;
+          Alcotest.(check bool) "non-negative counters" true
+            (g.Pool.minor_words >= 0. && g.Pool.promoted_words >= 0.
+            && g.Pool.minor_collections >= 0 && g.Pool.major_collections >= 0))
+        deltas;
+      Alcotest.(check bool) "somebody allocated" true
+        (Array.exists (fun (g : Pool.gc_delta) -> g.Pool.minor_words > 0.) deltas))
 
 (* ------------------------------------------------------------------ *)
 (* Determinism of Run.batch                                            *)
@@ -381,6 +409,7 @@ let () =
         [
           Alcotest.test_case "shutdown" `Quick test_shutdown_idempotent_and_rejects_use;
           Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "gc telemetry" `Quick test_gc_telemetry;
         ] );
       ( "chunking",
         [

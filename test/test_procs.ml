@@ -1,0 +1,271 @@
+(* Tests for the process fan-out backend (Temporal_fairness.Procs) and
+   the executor heuristic (Run.choose_backend / Run.batch_auto).  The
+   load-bearing property mirrors the Pool's: forked children may run in
+   any interleaving, but the results must be bit-identical to the
+   sequential loop, in task-index order, with failures charged to the
+   lowest failing index — even though the payloads and the failure
+   messages cross a [Marshal] pipe. *)
+
+open Temporal_fairness
+
+let procs_counts = [ 1; 2; 3; 5 ]
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.equal (String.sub hay i n) needle || go (i + 1)) in
+  n = 0 || go 0
+
+let chunkings n =
+  [ ("auto", `Auto); ("fixed 1", `Fixed 1); ("fixed 7", `Fixed 7); ("fixed n", `Fixed n) ]
+
+(* ------------------------------------------------------------------ *)
+(* Bit-identical to sequential                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_is_list_map () =
+  let xs = List.init 100 (fun i -> i) in
+  let f x = (x * 7) mod 13 in
+  List.iter
+    (fun procs ->
+      List.iter
+        (fun (name, chunk) ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "procs %d, %s" procs name)
+            (List.map f xs)
+            (Procs.map ~chunk ~procs f xs))
+        (chunkings (List.length xs)))
+    procs_counts
+
+let test_map_edge_sizes () =
+  Alcotest.(check (list int)) "empty" [] (Procs.map ~procs:4 (fun x -> x) []);
+  Alcotest.(check (list int)) "singleton" [ 42 ] (Procs.map ~procs:4 (fun x -> x + 1) [ 41 ]);
+  Alcotest.(check (list int))
+    "2 tasks on 4 procs" [ 1; 2 ]
+    (Procs.map ~procs:4 (fun x -> x + 1) [ 0; 1 ])
+
+let test_seeded_tasks_bit_identical () =
+  (* Tasks seed their own PRNG from the task input (the discipline both
+     parallel backends document), so the float streams must round-trip
+     the Marshal pipe bit for bit. *)
+  let f seed =
+    let rng = Rr_util.Prng.create ~seed in
+    List.init 20 (fun _ -> Int64.bits_of_float (Rr_util.Prng.exponential rng ~rate:1.3))
+  in
+  let xs = List.init 30 (fun i -> 9000 + i) in
+  let seq = List.map f xs in
+  List.iter
+    (fun procs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "procs %d" procs)
+        true
+        (List.equal ( = ) seq (Procs.map ~procs f xs)))
+    procs_counts
+
+let test_stateful_policy_bit_identical () =
+  (* Quantum-RR closures own per-run mutable state; each child builds its
+     own policy value inside the fork, and the measured aggregates must
+     equal the sequential run's bit for bit. *)
+  let insts =
+    List.init 24 (fun i ->
+        let rng = Rr_util.Prng.create ~seed:(7100 + i) in
+        Rr_workload.Instance.generate_load ~rng
+          ~sizes:(Rr_workload.Distribution.Exponential { mean = 1. })
+          ~load:0.85 ~machines:1 ~n:(30 + (i mod 5 * 10)) ())
+  in
+  let cfg = Run.config ~speed:2. ~cache:false () in
+  let f inst =
+    let r = Run.measure cfg (Rr_policies.Quantum_rr.policy ~quantum:0.7 ()) inst in
+    (Int64.bits_of_float r.Run.norm, Int64.bits_of_float r.Run.power_sum, r.Run.events)
+  in
+  let seq = List.map f insts in
+  List.iter
+    (fun procs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "procs %d" procs)
+        true
+        (List.equal ( = ) seq (Procs.map ~procs f insts)))
+    [ 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Failure semantics across the pipe                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_task_error_index_through_marshal () =
+  (* Only task 37 fails; every procs count and chunking must attribute
+     the failure to index 37 and carry the original exception's text
+     (identity cannot survive Marshal, the message must). *)
+  let xs = List.init 60 (fun i -> i) in
+  let f x = if x = 37 then failwith "boom at 37" else x * 2 in
+  List.iter
+    (fun procs ->
+      List.iter
+        (fun (name, chunk) ->
+          let label = Printf.sprintf "procs %d, %s" procs name in
+          match Procs.map ~chunk ~procs f xs with
+          | _ -> Alcotest.failf "%s: expected Task_error" label
+          | exception Pool.Task_error (i, e) ->
+              Alcotest.(check int) (label ^ ": index") 37 i;
+              let msg =
+                match (e, procs) with
+                | Procs.Remote_error m, _ -> m
+                | Failure m, 1 -> m (* procs = 1 runs in-process: original exn *)
+                | e, _ -> Alcotest.failf "%s: unexpected payload %s" label (Printexc.to_string e)
+              in
+              Alcotest.(check bool)
+                (label ^ ": message survives")
+                true
+                (contains ~needle:"boom at 37" msg))
+        (chunkings (List.length xs)))
+    procs_counts
+
+let test_lowest_failing_index_wins () =
+  (* Two failures in different chunks: the earlier index must win no
+     matter which child finishes first. *)
+  let xs = List.init 40 (fun i -> i) in
+  let f x = if x = 31 || x = 8 then failwith "double" else x in
+  match Procs.map ~chunk:(`Fixed 4) ~procs:3 f xs with
+  | _ -> Alcotest.fail "expected Task_error"
+  | exception Pool.Task_error (i, _) -> Alcotest.(check int) "lowest index" 8 i
+
+let test_child_death_surfaces () =
+  (* A child that dies without delivering its payload (here: _exit before
+     writing) must surface as Task_error on the chunk's first task with
+     the wait status in the message — not hang, not Option.get. *)
+  if Procs.available () then
+    let xs = List.init 12 (fun i -> i) in
+    let f x = if x = 7 then Unix._exit 9 else x in
+    match Procs.map ~chunk:(`Fixed 1) ~procs:3 f xs with
+    | _ -> Alcotest.fail "expected Task_error"
+    | exception Pool.Task_error (i, Procs.Remote_error msg) ->
+        Alcotest.(check int) "charged to the dead chunk's first task" 7 i;
+        Alcotest.(check bool)
+          "message names the death" true
+          (contains ~needle:"died before delivering" msg)
+    | exception e -> Alcotest.failf "unexpected exception %s" (Printexc.to_string e)
+
+let test_procs_validation () =
+  match Procs.map ~procs:0 (fun x -> x) [ 1 ] with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Executor heuristic                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let backend_t =
+  Alcotest.testable
+    (fun ppf b -> Format.pp_print_string ppf (Run.backend_name b))
+    (fun (a : Run.backend) b -> a = b)
+
+let test_choose_backend () =
+  let choose ~cpus ~tasks ~total_cost_us =
+    Run.choose_backend ~cpus ~tasks ~total_cost_us ()
+  in
+  (* one CPU, one task, or a trivially cheap batch: never spawn anything *)
+  Alcotest.check backend_t "1 cpu" `Sequential
+    (choose ~cpus:1 ~tasks:100 ~total_cost_us:1e9);
+  Alcotest.check backend_t "1 task" `Sequential
+    (choose ~cpus:8 ~tasks:1 ~total_cost_us:1e9);
+  Alcotest.check backend_t "cheap batch" `Sequential
+    (choose ~cpus:8 ~tasks:100 ~total_cost_us:5_000.);
+  (* cheap-per-task parallel work: domains, clamped to min(cpus, tasks) *)
+  Alcotest.check backend_t "domains" (`Domains 4)
+    (choose ~cpus:4 ~tasks:100 ~total_cost_us:1e6);
+  Alcotest.check backend_t "domains clamped by tasks" (`Domains 3)
+    (choose ~cpus:8 ~tasks:3 ~total_cost_us:1e6);
+  (* expensive tasks, at least one per CPU: processes (when fork exists) *)
+  let expect_heavy = if Procs.available () then `Procs 4 else `Domains 4 in
+  Alcotest.check backend_t "procs for heavy tasks" expect_heavy
+    (choose ~cpus:4 ~tasks:8 ~total_cost_us:800_000.);
+  (* expensive tasks but fewer than cpus: domains still (fork would idle) *)
+  Alcotest.check backend_t "few heavy tasks stay on domains" (`Domains 2)
+    (choose ~cpus:8 ~tasks:2 ~total_cost_us:400_000.)
+
+let test_batch_auto_backends_agree () =
+  (* Every forced backend must hand back the very same measurements. *)
+  let insts =
+    List.init 12 (fun i ->
+        let rng = Rr_util.Prng.create ~seed:(8200 + i) in
+        Rr_workload.Instance.generate_load ~rng
+          ~sizes:(Rr_workload.Distribution.Exponential { mean = 1. })
+          ~load:0.9 ~machines:1 ~n:80 ())
+  in
+  let policies =
+    [ Rr_policies.Round_robin.policy; Rr_policies.Srpt.policy; Rr_policies.Fcfs.policy ]
+  in
+  let tasks = List.concat_map (fun i -> List.map (fun p -> (p, i)) policies) insts in
+  let cfg = Run.config ~speed:1. ~cache:false ~engine:`General () in
+  let seq = List.map (fun (p, i) -> Run.measure cfg p i) tasks in
+  let key (r : Run.result) =
+    (Int64.bits_of_float r.Run.norm, Int64.bits_of_float r.Run.power_sum, r.Run.n, r.Run.events)
+  in
+  let check name executor =
+    let backend, rs = Run.batch_auto ~executor cfg tasks in
+    ignore (Run.backend_name backend : string);
+    Alcotest.(check bool) name true (List.equal ( = ) (List.map key seq) (List.map key rs))
+  in
+  check "auto" `Auto;
+  check "sequential" `Sequential;
+  (* procs before domains: the runtime refuses fork once any worker
+     domain was ever spawned in the process. *)
+  check "procs 2" (`Procs 2);
+  check "domains 2" (`Domains 2)
+
+let test_batch_auto_reports_backend () =
+  (* Forcing a backend must report that backend back. *)
+  let rng = Rr_util.Prng.create ~seed:42 in
+  let inst =
+    Rr_workload.Instance.generate_load ~rng
+      ~sizes:(Rr_workload.Distribution.Exponential { mean = 1. })
+      ~load:0.8 ~machines:1 ~n:40 ()
+  in
+  let tasks = [ (Rr_policies.Srpt.policy, inst); (Rr_policies.Fcfs.policy, inst) ] in
+  let cfg = Run.config ~cache:false () in
+  let b, _ = Run.batch_auto ~executor:`Sequential cfg tasks in
+  Alcotest.check backend_t "sequential" `Sequential b;
+  let b, _ = Run.batch_auto ~executor:(`Domains 2) cfg tasks in
+  Alcotest.check backend_t "domains" (`Domains 2) b;
+  (* Auto on a tiny batch picks the sequential loop on any machine. *)
+  let b, _ = Run.batch_auto ~executor:`Auto cfg tasks in
+  Alcotest.check backend_t "auto on tiny batch" `Sequential b
+
+let test_fork_poisoned_degrades () =
+  (* Earlier tests spawned pool domains, which bans fork for the rest of
+     the process.  The backend must know it (available = false, the
+     heuristic stops picking procs) and a forced procs map must still
+     return sequential-identical results via the in-parent path. *)
+  assert (Pool.domains_ever_spawned ());
+  Alcotest.(check bool) "available flips off" false (Procs.available ());
+  Alcotest.check backend_t "heuristic avoids procs" (`Domains 4)
+    (Run.choose_backend ~cpus:4 ~tasks:8 ~total_cost_us:800_000. ());
+  let xs = List.init 50 (fun i -> i) in
+  let f x = (x * 11) mod 17 in
+  Alcotest.(check (list int)) "forced procs still correct" (List.map f xs)
+    (Procs.map ~procs:3 f xs)
+
+let () =
+  Alcotest.run "procs"
+    [
+      ( "map",
+        [
+          Alcotest.test_case "= List.map" `Quick test_map_is_list_map;
+          Alcotest.test_case "edge sizes" `Quick test_map_edge_sizes;
+          Alcotest.test_case "seeded tasks" `Quick test_seeded_tasks_bit_identical;
+          Alcotest.test_case "stateful policy" `Quick test_stateful_policy_bit_identical;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "task error index" `Quick test_task_error_index_through_marshal;
+          Alcotest.test_case "lowest index wins" `Quick test_lowest_failing_index_wins;
+          Alcotest.test_case "child death" `Quick test_child_death_surfaces;
+          Alcotest.test_case "procs validation" `Quick test_procs_validation;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "choose_backend" `Quick test_choose_backend;
+          Alcotest.test_case "backends agree" `Quick test_batch_auto_backends_agree;
+          Alcotest.test_case "reports backend" `Quick test_batch_auto_reports_backend;
+          (* must stay last: asserts the post-domain-spawn world *)
+          Alcotest.test_case "fork poisoned degrades" `Quick test_fork_poisoned_degrades;
+        ] );
+    ]
