@@ -19,11 +19,17 @@
    the B7 certified-bound benchmark gating the sparse LP network against
    the frozen dense lp-bound-n40 baseline (>= 25x, equal value), warm
    resolves against cold solves (<= 1e-9), and the wall-clock of a
-   certified ratio curve up to n = 2000.
+   certified ratio curve up to n = 2000, and the B8 serving benchmark
+   driving a live rr_cli-serve daemon over its Unix socket with the
+   loadgen client, gating the binary framed protocol (>= 500k events/s
+   at full scale, >= 10x over the text line protocol) and requiring the
+   socket-fed STATS to match an in-process replay of the same feed to
+   <= 1e-9 (bit-identical in practice).
 
    Machine-readable results land in BENCH_simcore.json, BENCH_pool.json,
-   BENCH_stream.json, BENCH_fastpaths.json, BENCH_live.json and
-   BENCH_bound.json next to the text report.  The process exits non-zero when B3's differential
+   BENCH_stream.json, BENCH_fastpaths.json, BENCH_live.json,
+   BENCH_bound.json and
+   BENCH_serve.json next to the text report.  The process exits non-zero when B3's differential
    check — the two engines must agree on every flow time — fails, when a
    B2 parallel batch is not bit-identical to the sequential one or
    misses its speedup gate (>= 1.2x at 2 domains, >= 1.8x at 4; each
@@ -34,7 +40,8 @@
    on one CPU), when B4's
    allocation/peak-heap/agreement gates fail, or when a B5 engine or B6
    live core misses its perf floor or its <= 1e-9
-   differential-agreement gate, so CI can gate on them.
+   differential-agreement gate, or when B8 misses a throughput gate or
+   its socket-vs-in-process agreement, so CI can gate on them.
 
    Usage: dune exec bench/main.exe [-- --quick] [-- --jobs N]
    (RR_JOBS is honoured when --jobs is absent; default: all cores.)  *)
@@ -1460,6 +1467,249 @@ let write_bound_json (b7 : b7_report) =
   close_out oc;
   Printf.printf "(wrote %s)\n%!" bound_json_file
 
+(* ------------------------------------------------------------------ *)
+(* B8: wire-speed serving (BENCH_serve.json)                           *)
+(* ------------------------------------------------------------------ *)
+
+type b8_point = {
+  s_proto : string;
+  s_clients : int;
+  s_batch : int;
+  s_jobs : int;
+  s_ops : int;
+  s_wall_s : float;
+  s_events_per_s : float;
+  s_lat_p50_us : float;
+  s_lat_p90_us : float;
+  s_lat_p99_us : float;
+  s_gate_eps : float option;
+}
+
+type b8_report = {
+  b8_points : b8_point list;
+  b8_speedup : float;
+  b8_speedup_gate : float;
+  b8_stats_max_rel : float;
+  b8_stats_identical : bool;
+  b8_failures : string list;
+}
+
+(* Acceptance bars of the serving work: the binary framed path must
+   sustain half a million wire events per second end to end (client,
+   socket, server loop, engine) and beat the text line protocol — one
+   syscall round trip per event — by an order of magnitude.  Quick mode
+   halves both floors like B5/B6 (shared CI runners, smaller n); the
+   agreement gate stays exact. *)
+let b8_binary_floor = 500e3
+let b8_speedup_floor = 10.
+let b8_batch = 512
+let b8_seed = 29
+
+(* Max relative difference across the 15 STATS fields; int fields must
+   match exactly (counted as an infinite difference when they do not). *)
+let b8_stats_rel (a : Rr_engine.Live.stats) (b : Rr_engine.Live.stats) =
+  let rel x y =
+    if x = y then 0. else Float.abs (x -. y) /. Float.max 1e-12 (Float.max (Float.abs x) (Float.abs y))
+  in
+  let ints =
+    [
+      (a.submitted, b.submitted);
+      (a.completed, b.completed);
+      (a.alive, b.alive);
+      (a.pending, b.pending);
+      (a.events, b.events);
+      (a.max_alive, b.max_alive);
+    ]
+  in
+  let floats =
+    [
+      (a.now, b.now);
+      (a.makespan, b.makespan);
+      (a.mean_flow, b.mean_flow);
+      (a.max_flow, b.max_flow);
+      (a.power_sum, b.power_sum);
+      (a.norm, b.norm);
+      (a.p50, b.p50);
+      (a.p90, b.p90);
+      (a.p99, b.p99);
+    ]
+  in
+  if List.exists (fun (x, y) -> x <> y) ints then infinity
+  else List.fold_left (fun acc (x, y) -> Float.max acc (rel x y)) 0. floats
+
+(* In-process replay of exactly the feed the binary loadgen sends: same
+   stream, same batch boundaries, advance to each batch's last arrival,
+   drain.  The socket-fed engine must land on the same stats bit for
+   bit. *)
+let b8_inprocess_replay ~n =
+  let stream =
+    Rr_workload.Instance.Stream.generate_load ~seed:b8_seed
+      ~sizes:(Rr_workload.Distribution.Exponential { mean = 1. })
+      ~load:0.9 ~machines:1 ~n ()
+  in
+  let next = Rr_workload.Instance.Stream.start stream in
+  let live = Rr_engine.Live.create Rr_engine.Live.Equal_share in
+  let arrivals = Array.make b8_batch 0. and sizes = Array.make b8_batch 0. in
+  let rec fill i =
+    if i >= b8_batch then i
+    else
+      match next () with
+      | None -> i
+      | Some (j : Rr_engine.Job.t) ->
+          arrivals.(i) <- j.arrival;
+          sizes.(i) <- j.size;
+          fill (i + 1)
+  in
+  let continue = ref true in
+  while !continue do
+    let len = fill 0 in
+    if len = 0 then continue := false
+    else begin
+      ignore (Rr_engine.Live.submit_batch live ~arrivals ~sizes ~len () : int);
+      Rr_engine.Live.advance live arrivals.(len - 1)
+    end
+  done;
+  Rr_engine.Live.drain live;
+  Rr_engine.Live.query live
+
+let b8_serve_point ~proto ~clients ~n ~gate_eps =
+  let path = Printf.sprintf "/tmp/rr-bench-serve-%d-%s.sock" (Unix.getpid ())
+      (match proto with `Binary -> "bin" | `Text -> "text")
+  in
+  let engine = ref (Rr_engine.Live.create Rr_engine.Live.Equal_share) in
+  let server_proto =
+    match proto with `Binary -> Rr_serve.Server.Binary | `Text -> Rr_serve.Server.Text
+  in
+  let d =
+    Domain.spawn (fun () -> Rr_serve.Server.run ~proto:server_proto ~engine ~path ())
+  in
+  let report =
+    Fun.protect
+      ~finally:(fun () -> Domain.join d)
+      (fun () ->
+        try
+          Rr_serve.Loadgen.run ~path ~proto ~clients ~batch:b8_batch ~seed:b8_seed
+            ~shutdown:true ~n ()
+        with e ->
+          (* Best-effort server stop, so the join in the finally above
+             cannot hang on a server that never got its shutdown. *)
+          (match proto with
+          | `Binary -> (
+              try Rr_serve.Client.shutdown (Rr_serve.Client.connect ~retries:5 path)
+              with _ -> ())
+          | `Text -> (
+              try
+                let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+                Unix.connect fd (Unix.ADDR_UNIX path);
+                let oc = Unix.out_channel_of_descr fd in
+                output_string oc "QUIT\n";
+                flush oc;
+                Unix.close fd
+              with _ -> ()));
+          raise e)
+  in
+  let point =
+    {
+      s_proto = report.Rr_serve.Loadgen.proto;
+      s_clients = report.clients;
+      s_batch = report.batch;
+      s_jobs = report.jobs;
+      s_ops = report.ops;
+      s_wall_s = report.wall_s;
+      s_events_per_s = report.events_per_s;
+      s_lat_p50_us = report.lat_p50_us;
+      s_lat_p90_us = report.lat_p90_us;
+      s_lat_p99_us = report.lat_p99_us;
+      s_gate_eps = gate_eps;
+    }
+  in
+  (point, report.final_stats)
+
+let run_serve_bench () =
+  Gc.compact ();
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let gate_scale = if quick then 0.5 else 1.0 in
+  let n_binary = if quick then 100_000 else 400_000 in
+  let n_text = if quick then 4_000 else 20_000 in
+  let binary_gate = b8_binary_floor *. gate_scale in
+  let speedup_gate = b8_speedup_floor *. gate_scale in
+  (* Binary point: one feeder shipping BATCH frames plus one concurrent
+     STATS observer, so the measured rate includes real multiplexing. *)
+  let binary, wire_stats =
+    b8_serve_point ~proto:`Binary ~clients:2 ~n:n_binary ~gate_eps:(Some binary_gate)
+  in
+  if binary.s_events_per_s < binary_gate then
+    fail "B8: binary %.0f events/s below gate %.0f" binary.s_events_per_s binary_gate;
+  (* Socket-fed vs in-process: replay the identical feed locally and
+     compare all 15 STATS fields. *)
+  let local_stats = b8_inprocess_replay ~n:n_binary in
+  let stats_max_rel = b8_stats_rel wire_stats local_stats in
+  if stats_max_rel > diff_rtol then
+    fail "B8: socket-fed stats diverge from in-process replay: %.2e > %.0e" stats_max_rel
+      diff_rtol;
+  (* Text point: same server loop, one SUBMIT line per job — the
+     contrast that justifies the framed protocol. *)
+  let text, _ = b8_serve_point ~proto:`Text ~clients:1 ~n:n_text ~gate_eps:None in
+  let speedup = binary.s_events_per_s /. Float.max 1e-9 text.s_events_per_s in
+  if speedup < speedup_gate then
+    fail "B8: binary only %.1fx over text, below gate %.1fx" speedup speedup_gate;
+  Printf.printf
+    "B8: binary  n=%d clients=%d batch=%d: %8.0f kevents/s (gate >=%.0f k) | p50 %.0f us \
+     p99 %.0f us\n%!"
+    binary.s_jobs binary.s_clients binary.s_batch
+    (binary.s_events_per_s /. 1e3)
+    (binary_gate /. 1e3) binary.s_lat_p50_us binary.s_lat_p99_us;
+  Printf.printf
+    "B8: text    n=%d clients=%d: %8.0f kevents/s | binary/text %.1fx (gate >=%.1fx) | \
+     stats max rel %.2e\n%!"
+    text.s_jobs text.s_clients
+    (text.s_events_per_s /. 1e3)
+    speedup speedup_gate stats_max_rel;
+  {
+    b8_points = [ binary; text ];
+    b8_speedup = speedup;
+    b8_speedup_gate = speedup_gate;
+    b8_stats_max_rel = stats_max_rel;
+    b8_stats_identical = stats_max_rel = 0.;
+    b8_failures = List.rev !failures;
+  }
+
+let serve_json_file = "BENCH_serve.json"
+
+let write_serve_json (b8 : b8_report) =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"schema\": \"bench_serve/v1\",\n";
+  add "  \"scale\": %S,\n" (if quick then "quick" else "full");
+  add "  \"points\": [\n";
+  List.iteri
+    (fun i p ->
+      add
+        "    {\"proto\": %S, \"clients\": %d, \"batch\": %d, \"jobs\": %d, \"ops\": %d, \
+         \"wall_s\": %.6f, \"events_per_s\": %.1f, \"lat_p50_us\": %.2f, \"lat_p90_us\": \
+         %.2f, \"lat_p99_us\": %.2f, \"gate_min_events_per_s\": %s, \"gate_ok\": %b}%s\n"
+        p.s_proto p.s_clients p.s_batch p.s_jobs p.s_ops p.s_wall_s p.s_events_per_s
+        p.s_lat_p50_us p.s_lat_p90_us p.s_lat_p99_us
+        (match p.s_gate_eps with Some g -> Printf.sprintf "%.1f" g | None -> "null")
+        (match p.s_gate_eps with Some g -> p.s_events_per_s >= g | None -> true)
+        (if i = List.length b8.b8_points - 1 then "" else ","))
+    b8.b8_points;
+  add "  ],\n";
+  add "  \"binary_over_text\": %.2f, \"gate_min_speedup\": %.1f,\n" b8.b8_speedup
+    b8.b8_speedup_gate;
+  add "  \"stats_max_rel_diff\": %.3e, \"stats_rtol\": %.0e, \"stats_bit_identical\": %b,\n"
+    b8.b8_stats_max_rel diff_rtol b8.b8_stats_identical;
+  add "  \"failures\": [%s],\n"
+    (String.concat ", " (List.map (Printf.sprintf "%S") b8.b8_failures));
+  add "  \"ok\": %b\n" (b8.b8_failures = []);
+  add "}\n";
+  let oc = open_out serve_json_file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "(wrote %s)\n%!" serve_json_file
+
 let () =
   (* B5 carries the strictest perf gates (engine speedup floors), so it
      runs first, on a pristine heap — after the bechamel suites the major
@@ -1479,12 +1729,16 @@ let () =
   let b3 = run_simcore_bench () in
   let b4 = run_stream_bench () in
   let b7 = Pool.with_pool ~domains run_bound_bench in
+  (* B8 spawns a server domain per point, so it must stay after B2 (the
+     fork-based pool point) like every other domain user. *)
+  let b8 = run_serve_bench () in
   write_json b1 b3;
   write_pool_json b2;
   write_stream_json b4;
   write_fastpaths_json b5;
   write_live_json b6;
   write_bound_json b7;
+  write_serve_json b8;
   if not (b3.sim_agree && b3.sweep_same_answer) then begin
     prerr_endline
       "B3 FAILED: the equal-share engine disagrees with the general engine; see \
@@ -1514,5 +1768,10 @@ let () =
   if b7.b7_failures <> [] then begin
     List.iter (fun m -> prerr_endline ("B7 FAILED: " ^ m)) b7.b7_failures;
     prerr_endline "B7 FAILED: certified bound gate; see BENCH_bound.json";
+    exit 1
+  end;
+  if b8.b8_failures <> [] then begin
+    List.iter (fun m -> prerr_endline ("B8 FAILED: " ^ m)) b8.b8_failures;
+    prerr_endline "B8 FAILED: serving gate; see BENCH_serve.json";
     exit 1
   end

@@ -577,118 +577,42 @@ let experiments_cmd =
 (* serve                                                               *)
 (* ------------------------------------------------------------------ *)
 
-(* A long-running incremental simulation behind a line protocol: one
-   Engine.Live per process, one request per line, one reply per line.
-   Numbers print with %.17g so a client can round-trip every float. *)
+(* A long-running incremental simulation behind the serving layer
+   (lib/serve): stdio keeps the original line protocol; a Unix socket
+   gets the multiplexed event loop speaking either the binary framed
+   protocol (PROTOCOL.md, the default) or the line protocol behind
+   --proto text. *)
 module Live = Rr_engine.Live
 
-let stats_line (s : Live.stats) =
-  Printf.sprintf
-    "OK submitted=%d completed=%d alive=%d pending=%d now=%.17g events=%d makespan=%.17g \
-     max_alive=%d mean_flow=%.17g max_flow=%.17g power_sum=%.17g norm=%.17g p50=%.17g \
-     p90=%.17g p99=%.17g"
-    s.submitted s.completed s.alive s.pending s.now s.events s.makespan s.max_alive s.mean_flow
-    s.max_flow s.power_sum s.norm s.p50 s.p90 s.p99
+let proto_conv =
+  let parse = function
+    | "binary" -> Ok Rr_serve.Server.Binary
+    | "text" -> Ok Rr_serve.Server.Text
+    | s -> Error (`Msg (Printf.sprintf "unknown protocol %S; expected binary or text" s))
+  in
+  let print ppf p =
+    Format.pp_print_string ppf
+      (match p with Rr_serve.Server.Binary -> "binary" | Rr_serve.Server.Text -> "text")
+  in
+  Arg.conv (parse, print)
 
-(* One request -> `Reply / `Quit / `Silent (blank line).  Engine faults
-   (bad arguments, event budget, unreadable snapshots) become ERR replies
-   so one bad request never kills the session. *)
-let serve_handle (engine : Live.t ref) line =
-  let parts =
-    String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "")
-  in
-  match parts with
-  | [] -> `Silent
-  | verb :: args -> (
-      let reply =
-        try
-          match (String.uppercase_ascii verb, args) with
-          | "SUBMIT", [ t; size ] -> (
-              match (float_of_string_opt t, float_of_string_opt size) with
-              | Some arrival, Some size ->
-                  Printf.sprintf "OK %d" (Live.submit !engine ~arrival ~size)
-              | _ -> "ERR usage: SUBMIT <arrival> <size>")
-          | "ADVANCE", [ t ] -> (
-              match float_of_string_opt t with
-              | Some horizon ->
-                  Live.advance !engine horizon;
-                  let s = Live.query !engine in
-                  Printf.sprintf "OK now=%.17g completed=%d alive=%d" s.Live.now
-                    s.Live.completed s.Live.alive
-              | None -> "ERR usage: ADVANCE <time>")
-          | "DRAIN", [] ->
-              Live.drain !engine;
-              let s = Live.query !engine in
-              Printf.sprintf "OK now=%.17g completed=%d" s.Live.now s.Live.completed
-          | "STATS", [] -> stats_line (Live.query !engine)
-          | "SNAPSHOT", [ path ] ->
-              Live.save !engine path;
-              "OK"
-          | "RESTORE", [ path ] ->
-              engine := Live.load path;
-              "OK"
-          | "QUIT", [] -> ""
-          | verb, _ -> Printf.sprintf "ERR unknown command %s" verb
-        with
-        | Invalid_argument msg | Failure msg -> "ERR " ^ msg
-        | Sys_error msg -> "ERR " ^ msg
-        | Rr_engine.Simulator.Event_limit_exceeded { limit; now } ->
-            Printf.sprintf "ERR event budget exhausted: %d events by t = %g" limit now
-      in
-      if String.uppercase_ascii verb = "QUIT" && args = [] then `Quit else `Reply reply)
-
-(* Returns [true] when the client said QUIT (as opposed to EOF), so the
-   socket accept loop knows whether to keep listening. *)
-let serve_session engine ic oc =
-  let reply r =
-    Out_channel.output_string oc r;
-    Out_channel.output_char oc '\n';
-    Out_channel.flush oc
-  in
-  let rec loop () =
-    match In_channel.input_line ic with
-    | None -> false
-    | Some line -> (
-        match serve_handle engine line with
-        | `Silent -> loop ()
-        | `Reply r ->
-            reply r;
-            loop ()
-        | `Quit ->
-            reply "OK bye";
-            true)
-  in
-  loop ()
+let proto_arg =
+  Arg.(
+    value
+    & opt proto_conv Rr_serve.Server.Binary
+    & info [ "proto" ] ~docv:"PROTO"
+        ~doc:
+          "Socket wire protocol: $(b,binary) (the default; the length-prefixed framed \
+           protocol of PROTOCOL.md — batched submits, many concurrent clients) or \
+           $(b,text) (the human-debuggable line protocol: one client at a time, extra \
+           connections answered $(b,ERR busy)).  The stdio mode always speaks text.")
 
 let serve_cmd =
-  let run spec machines speed k max_events socket =
+  let run spec machines speed k max_events socket proto =
     let engine = ref (Live.create ~machines ~speed ~k ~max_events spec) in
     match socket with
-    | None -> ignore (serve_session engine stdin stdout)
-    | Some path ->
-        (try Unix.unlink path with Unix.Unix_error _ -> ());
-        let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-        Fun.protect
-          ~finally:(fun () ->
-            (try Unix.close sock with Unix.Unix_error _ -> ());
-            try Unix.unlink path with Unix.Unix_error _ -> ())
-          (fun () ->
-            Unix.bind sock (Unix.ADDR_UNIX path);
-            Unix.listen sock 1;
-            (* One client at a time; the daemon outlives disconnects (the
-               engine keeps its state across clients) and stops at QUIT. *)
-            let rec accept_loop () =
-              let fd, _ = Unix.accept sock in
-              let quit =
-                Fun.protect
-                  ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-                  (fun () ->
-                    serve_session engine (Unix.in_channel_of_descr fd)
-                      (Unix.out_channel_of_descr fd))
-              in
-              if not quit then accept_loop ()
-            in
-            accept_loop ())
+    | None -> ignore (Rr_serve.Session.run_channels engine stdin stdout : bool)
+    | Some path -> Rr_serve.Server.run ~proto ~engine ~path ()
   in
   let spec_conv =
     let parse s =
@@ -729,33 +653,137 @@ let serve_cmd =
       & opt (some string) None
       & info [ "socket" ] ~docv:"PATH"
           ~doc:
-            "Listen on a Unix domain socket instead of stdin/stdout.  Clients are served \
-             one at a time; the engine keeps its state across client disconnects and the \
-             daemon exits on QUIT.")
+            "Listen on a Unix domain socket instead of stdin/stdout.  The multiplexed \
+             event loop serves many concurrent binary clients (or, under \
+             $(b,--proto text), one line-protocol client at a time); the engine keeps \
+             its state across client disconnects and the daemon exits on SHUTDOWN \
+             (binary) / QUIT (text).")
   in
   let man =
     [
       `S Manpage.s_description;
       `P
-        "Run one incremental (submit-while-running) simulation as a long-lived process \
-         speaking a line protocol on stdin/stdout (or $(b,--socket)).  One request per \
-         line, one reply per line; replies start with OK or ERR.  A faulting request \
-         (bad arguments, exhausted event budget, unreadable snapshot) answers ERR and \
-         leaves the session running.";
-      `S "PROTOCOL";
+        "Run one incremental (submit-while-running) simulation as a long-lived process.  \
+         On stdin/stdout it speaks the human-debuggable line protocol below; with \
+         $(b,--socket) it runs a single-threaded multiplexed event loop that by default \
+         speaks the length-prefixed binary framed protocol specified byte-by-byte in \
+         $(b,PROTOCOL.md) at the repository root (versioned handshake, batched submits, \
+         many concurrent clients, write backpressure).  $(b,--proto text) keeps the line \
+         protocol on the socket instead.  In every mode a faulting request (bad \
+         arguments, exhausted event budget, unreadable snapshot) answers ERR and leaves \
+         the session running; only protocol corruption closes a connection.";
+      `S "TEXT PROTOCOL";
+      `P
+        "One request per line, one reply per line; replies start with OK or ERR.  \
+         Trailing carriage returns are stripped, so telnet/netcat clients work as-is.";
       `I ("SUBMIT <arrival> <size>", "Queue one job; replies $(b,OK <id>) (dense ids 0, 1, 2, ... in submission order).  Arrivals must be non-decreasing and not in the simulated past.");
       `I ("ADVANCE <time>", "Process every completion/admission at or before <time> and move the clock exactly there; replies $(b,OK now=... completed=... alive=...).  $(b,ADVANCE inf) drains.");
       `I ("DRAIN", "Run until no job is alive or pending; replies $(b,OK now=... completed=...).");
       `I ("STATS", "One-line snapshot of the live metrics: jobs submitted/completed/alive/pending, clock, events, makespan, peak alive, mean/max flow, the Lk power sum and norm, and P-squared p50/p90/p99 estimates.");
       `I ("SNAPSHOT <path>", "Serialize the whole engine (clock, alive and pending jobs, metric accumulators) to <path>; replies $(b,OK).");
       `I ("RESTORE <path>", "Replace the engine with the one serialized at <path> (same build only); replies $(b,OK).");
-      `I ("QUIT", "Reply $(b,OK bye) and exit.");
+      `I ("QUIT", "Reply $(b,OK bye) and exit the daemon.");
+      `S "BINARY PROTOCOL";
+      `P
+        "The default on $(b,--socket).  Frames are an 8-byte header (opcode + \
+         little-endian payload length) plus payload; a BATCH frame carries up to 65536 \
+         submits in one syscall, and STATS replies are bit-exact IEEE-754 floats, so a \
+         socket-fed run reproduces an in-process run byte for byte.  See \
+         $(b,PROTOCOL.md) for the full frame layout, the handshake, and error \
+         semantics, and $(b,rr_cli loadgen) for a ready-made client.";
     ]
   in
   Cmd.v
     (Cmd.info "serve" ~man
-       ~doc:"Drive an incremental simulation over a line protocol (stdin/stdout or a Unix socket).")
-    Term.(const run $ spec_arg $ machines_arg $ speed_arg $ k_arg $ max_events_arg $ socket_arg)
+       ~doc:
+         "Drive an incremental simulation as a daemon (line protocol on stdin/stdout; \
+          binary framed or line protocol on a Unix socket).")
+    Term.(
+      const run $ spec_arg $ machines_arg $ speed_arg $ k_arg $ max_events_arg $ socket_arg
+      $ proto_arg)
+
+(* ------------------------------------------------------------------- *)
+(* loadgen                                                             *)
+(* ------------------------------------------------------------------- *)
+
+let loadgen_cmd =
+  let run socket proto clients batch n rate machines seed sizes load shutdown =
+    let proto_tag =
+      match proto with Rr_serve.Server.Binary -> `Binary | Rr_serve.Server.Text -> `Text
+    in
+    match
+      Rr_serve.Loadgen.run ~path:socket ~proto:proto_tag ~clients ~batch ?rate ~machines
+        ~seed ~sizes ~load ~shutdown ~n ()
+    with
+    | r ->
+        let s = r.Rr_serve.Loadgen.final_stats in
+        Printf.printf
+          "proto=%s clients=%d batch=%d jobs=%d ops=%d replies=%d wall_s=%.3f\n" r.proto
+          r.clients r.batch r.jobs r.ops r.replies r.wall_s;
+        Printf.printf "achieved %.0f events/s\n" r.events_per_s;
+        Printf.printf "latency_us p50=%.1f p90=%.1f p99=%.1f\n" r.lat_p50_us r.lat_p90_us
+          r.lat_p99_us;
+        Printf.printf
+          "server submitted=%d completed=%d now=%.17g norm=%.17g mean_flow=%.17g\n"
+          s.Rr_engine.Live.submitted s.completed s.now s.norm s.mean_flow
+    | exception Rr_serve.Client.Server_error msg ->
+        Printf.eprintf "rr_cli loadgen: server error: %s\n" msg;
+        exit 1
+  in
+  let socket_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket of the running $(b,rr_cli serve).")
+  in
+  let clients_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "clients" ] ~docv:"N"
+          ~doc:
+            "Connections to open (binary only): 1 feeder submitting jobs plus N-1 \
+             concurrent STATS observers.  (Submissions stay on one connection because \
+             arrivals must be globally non-decreasing.)")
+  in
+  let batch_arg =
+    Arg.(
+      value
+      & opt int 512
+      & info [ "batch" ] ~docv:"B"
+          ~doc:"Jobs per BATCH frame (binary) or per ADVANCE round (text).")
+  in
+  let rate_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "rate" ] ~docv:"EV_PER_S"
+          ~doc:"Cap offered load at this many wire events per second (default: unthrottled).")
+  in
+  let shutdown_arg =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ]
+          ~doc:"Stop the server when done (SHUTDOWN frame / QUIT line) instead of \
+                leaving it running.")
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Replay a seed-replayable generated workload (same generator as $(b,rr_cli \
+         generate)) against a running $(b,rr_cli serve --socket) daemon and report the \
+         achieved wire throughput plus P-squared round-trip latency percentiles.  The \
+         binary path ships jobs in BATCH frames; $(b,--proto text) drives the line \
+         protocol one SUBMIT per line for comparison.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "loadgen" ~man
+       ~doc:"Benchmark a running serve daemon: replay a generated workload over its socket.")
+    Term.(
+      const run $ socket_arg $ proto_arg $ clients_arg $ batch_arg $ n_arg $ rate_arg
+      $ machines_arg $ seed_arg $ sizes_arg $ load_arg $ shutdown_arg)
 
 let () =
   let man =
@@ -783,6 +811,7 @@ let () =
         gantt_cmd;
         experiments_cmd;
         serve_cmd;
+        loadgen_cmd;
       ]
   in
   (* Distinguish the two simulator failure modes from generic crashes:

@@ -295,6 +295,47 @@ let submit t ~arrival ~size =
   Queue.add (id, arrival, size) st.pending;
   id
 
+(* Bulk submission: exactly the pending-queue pushes [submit] would
+   perform for the same jobs in the same order (bit-identical engine
+   state, differentially pinned by test_serve), with the validation pass
+   hoisted out in front.  The whole slice is checked before anything
+   mutates, so a rejected batch leaves the engine untouched — the
+   serving layer answers ERR off that atomicity without corrupting the
+   session ([rr_cli serve]'s BATCH frame lands here). *)
+let submit_batch t ~arrivals ~sizes ?(off = 0) ?len () =
+  let st = t.st in
+  let len = match len with Some l -> l | None -> Array.length arrivals - off in
+  if
+    off < 0 || len < 0
+    || off + len > Array.length arrivals
+    || off + len > Array.length sizes
+  then invalid_arg "Live.submit_batch: off/len out of bounds";
+  let last = ref st.last_arrival in
+  for i = off to off + len - 1 do
+    let arrival = Array.unsafe_get arrivals i and size = Array.unsafe_get sizes i in
+    if not (Rr_util.Floatx.is_finite_nonneg arrival) then
+      invalid_arg "Live.submit: arrival must be a finite non-negative float";
+    if not (Float.is_finite size && size > 0.) then
+      invalid_arg "Live.submit: size must be finite and positive";
+    if arrival < !last then
+      invalid_arg
+        (Printf.sprintf "Live.submit: arrivals must be non-decreasing (%g after %g)" arrival
+           !last);
+    if arrival < st.now then
+      invalid_arg
+        (Printf.sprintf "Live.submit: arrival %g is in the simulated past (now = %g)" arrival
+           st.now);
+    last := arrival
+  done;
+  let first = st.submitted in
+  for i = 0 to len - 1 do
+    Queue.add (first + i, Array.unsafe_get arrivals (off + i), Array.unsafe_get sizes (off + i))
+      st.pending
+  done;
+  st.submitted <- first + len;
+  if len > 0 then st.last_arrival <- arrivals.(off + len - 1);
+  first
+
 (* ------------------------------------------------------------------ *)
 (* Shared helpers                                                      *)
 (* ------------------------------------------------------------------ *)

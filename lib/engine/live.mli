@@ -110,6 +110,20 @@ val submit : t -> arrival:float -> size:float -> int
     @raise Invalid_argument on a non-finite or decreasing arrival, an
     arrival before [now], or a non-positive size. *)
 
+val submit_batch :
+  t -> arrivals:float array -> sizes:float array -> ?off:int -> ?len:int -> unit -> int
+(** [submit_batch t ~arrivals ~sizes ()] submits the [len] jobs (default:
+    all of [arrivals] from [off], default 0) in order, exactly as [len]
+    calls to {!submit} would — bit-identical engine state and metrics —
+    with the validation hoisted into one pass over the slice.  Returns
+    the first id; the batch receives ids [first .. first + len - 1]
+    ([len = 0] returns the next id with no effect).  Atomic: the whole
+    slice is validated {e before} anything is queued, so a rejected batch
+    leaves the engine untouched — which is what lets the serving layer
+    ([rr_cli serve]'s BATCH frame) answer ERR and carry on.
+    @raise Invalid_argument on a bad slice or any job {!submit} would
+    reject, with nothing submitted. *)
+
 val advance : t -> float -> unit
 (** [advance t horizon] processes every event at or before [horizon] and
     moves the clock exactly there (partially serving jobs mid-interval,

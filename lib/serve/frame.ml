@@ -1,0 +1,168 @@
+(* Binary frame codec.  See frame.mli and PROTOCOL.md.
+
+   Everything is fixed-width little-endian out of/into a Ring's backing
+   buffer: decode never allocates (floats come straight off the wire via
+   Int64.float_of_bits), encode allocates only when the write ring has
+   to grow.  The STATS field order is exactly the Live.stats record
+   order, so the layout and the record cannot drift apart silently —
+   test_serve pins the round trip bit-for-bit. *)
+
+let version = 1
+let hello_len = 8
+
+let hello =
+  let b = Bytes.create hello_len in
+  Bytes.blit_string "RRSV" 0 b 0 4;
+  Bytes.set_int32_le b 4 (Int32.of_int version);
+  Bytes.to_string b
+
+let hello_matches b off =
+  Bytes.length b - off >= hello_len && String.equal (Bytes.sub_string b off hello_len) hello
+
+let op_submit = 0x01
+let op_batch = 0x02
+let op_advance = 0x03
+let op_drain = 0x04
+let op_stats = 0x05
+let op_snapshot = 0x06
+let op_restore = 0x07
+let op_bye = 0x08
+let op_shutdown = 0x09
+let op_ok = 0x81
+let op_ok_id = 0x82
+let op_ok_now = 0x83
+let op_ok_stats = 0x84
+let op_ok_snapshot = 0x85
+let op_err = 0xFF
+
+let op_name = function
+  | 0x01 -> "SUBMIT"
+  | 0x02 -> "BATCH"
+  | 0x03 -> "ADVANCE"
+  | 0x04 -> "DRAIN"
+  | 0x05 -> "STATS"
+  | 0x06 -> "SNAPSHOT"
+  | 0x07 -> "RESTORE"
+  | 0x08 -> "BYE"
+  | 0x09 -> "SHUTDOWN"
+  | 0x81 -> "OK"
+  | 0x82 -> "OK_ID"
+  | 0x83 -> "OK_NOW"
+  | 0x84 -> "OK_STATS"
+  | 0x85 -> "OK_SNAPSHOT"
+  | 0xFF -> "ERR"
+  | op -> Printf.sprintf "op_0x%02X" op
+
+let max_batch = 65536
+let header_size = 8
+
+let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF
+let get_u64 b off = Int64.to_int (Bytes.get_int64_le b off)
+let get_f64 b off = Int64.float_of_bits (Bytes.get_int64_le b off)
+
+let parse_header b off =
+  let op = Char.code (Bytes.get b off) in
+  if Bytes.get b (off + 1) <> '\000' || Bytes.get b (off + 2) <> '\000'
+     || Bytes.get b (off + 3) <> '\000'
+  then Error "nonzero reserved header bytes"
+  else Ok (op, get_u32 b (off + 4))
+
+(* Writers: one Ring.alloc for the whole frame, fields filled in place. *)
+
+let start ring ~op ~payload_len =
+  let off = Ring.alloc ring (header_size + payload_len) in
+  let b = Ring.buf ring in
+  Bytes.set b off (Char.chr op);
+  Bytes.set b (off + 1) '\000';
+  Bytes.set b (off + 2) '\000';
+  Bytes.set b (off + 3) '\000';
+  Bytes.set_int32_le b (off + 4) (Int32.of_int payload_len);
+  off + header_size
+
+let set_f64 b off v = Bytes.set_int64_le b off (Int64.bits_of_float v)
+let set_u64 b off v = Bytes.set_int64_le b off (Int64.of_int v)
+
+let put_empty ring ~op = ignore (start ring ~op ~payload_len:0 : int)
+
+let put_submit ring ~arrival ~size =
+  let p = start ring ~op:op_submit ~payload_len:16 in
+  let b = Ring.buf ring in
+  set_f64 b p arrival;
+  set_f64 b (p + 8) size
+
+let put_batch ring ~arrivals ~sizes ~off ~len =
+  if len < 1 || len > max_batch then invalid_arg "Frame.put_batch: count out of range";
+  let p = start ring ~op:op_batch ~payload_len:(4 + (16 * len)) in
+  let b = Ring.buf ring in
+  Bytes.set_int32_le b p (Int32.of_int len);
+  for i = 0 to len - 1 do
+    set_f64 b (p + 4 + (16 * i)) arrivals.(off + i);
+    set_f64 b (p + 12 + (16 * i)) sizes.(off + i)
+  done
+
+let put_advance ring horizon =
+  let p = start ring ~op:op_advance ~payload_len:8 in
+  set_f64 (Ring.buf ring) p horizon
+
+let put_ok_id ring ~first_id ~count =
+  let p = start ring ~op:op_ok_id ~payload_len:12 in
+  let b = Ring.buf ring in
+  set_u64 b p first_id;
+  Bytes.set_int32_le b (p + 8) (Int32.of_int count)
+
+let put_ok_now ring ~now ~completed ~alive =
+  let p = start ring ~op:op_ok_now ~payload_len:24 in
+  let b = Ring.buf ring in
+  set_f64 b p now;
+  set_u64 b (p + 8) completed;
+  set_u64 b (p + 16) alive
+
+let stats_size = 120
+
+let put_stats ring (s : Rr_engine.Live.stats) =
+  let p = start ring ~op:op_ok_stats ~payload_len:stats_size in
+  let b = Ring.buf ring in
+  set_u64 b p s.submitted;
+  set_u64 b (p + 8) s.completed;
+  set_u64 b (p + 16) s.alive;
+  set_u64 b (p + 24) s.pending;
+  set_f64 b (p + 32) s.now;
+  set_u64 b (p + 40) s.events;
+  set_f64 b (p + 48) s.makespan;
+  set_u64 b (p + 56) s.max_alive;
+  set_f64 b (p + 64) s.mean_flow;
+  set_f64 b (p + 72) s.max_flow;
+  set_f64 b (p + 80) s.power_sum;
+  set_f64 b (p + 88) s.norm;
+  set_f64 b (p + 96) s.p50;
+  set_f64 b (p + 104) s.p90;
+  set_f64 b (p + 112) s.p99
+
+let stats_of_payload b p : Rr_engine.Live.stats =
+  {
+    submitted = get_u64 b p;
+    completed = get_u64 b (p + 8);
+    alive = get_u64 b (p + 16);
+    pending = get_u64 b (p + 24);
+    now = get_f64 b (p + 32);
+    events = get_u64 b (p + 40);
+    makespan = get_f64 b (p + 48);
+    max_alive = get_u64 b (p + 56);
+    mean_flow = get_f64 b (p + 64);
+    max_flow = get_f64 b (p + 72);
+    power_sum = get_f64 b (p + 80);
+    norm = get_f64 b (p + 88);
+    p50 = get_f64 b (p + 96);
+    p90 = get_f64 b (p + 104);
+    p99 = get_f64 b (p + 112);
+  }
+
+let put_payload ring ~op payload =
+  let n = Bytes.length payload in
+  let p = start ring ~op ~payload_len:n in
+  Bytes.blit payload 0 (Ring.buf ring) p n
+
+let put_err ring msg =
+  let n = String.length msg in
+  let p = start ring ~op:op_err ~payload_len:n in
+  Bytes.blit_string msg 0 (Ring.buf ring) p n

@@ -1,0 +1,106 @@
+(** The binary framed wire protocol of [rr_cli serve].
+
+    Byte-for-byte layout in PROTOCOL.md; the short version:
+
+    - a connection opens with an 8-byte hello in each direction —
+      ASCII ["RRSV"] then a little-endian u32 protocol version;
+    - every subsequent message is one frame: an 8-byte header (u8
+      opcode, three zero bytes, little-endian u32 payload length)
+      followed by the payload;
+    - all integers are little-endian fixed width, all floats are IEEE-754
+      binary64 transported as their [Int64] bit patterns, so a value
+      round-trips the wire bit-exactly (STATS replies compare
+      byte-identical against an in-process engine).
+
+    Decoding reads fixed-width fields straight out of a {!Ring}'s
+    backing buffer (no per-frame copy, no strings); encoding writes
+    replies in place into the connection's write ring via {!Ring.alloc}. *)
+
+(** {2 Handshake} *)
+
+val version : int
+
+val hello : string
+(** The 8 handshake bytes both sides exchange on connect. *)
+
+val hello_len : int
+
+val hello_matches : Bytes.t -> int -> bool
+(** Does the buffer at this offset hold exactly {!hello}? *)
+
+(** {2 Opcodes} *)
+
+val op_submit : int (** 0x01: payload f64 arrival, f64 size. *)
+
+val op_batch : int
+(** 0x02: payload u32 count (1..{!max_batch}), then count x (f64
+    arrival, f64 size).  One OK_ID reply for the whole batch. *)
+
+val op_advance : int (** 0x03: payload f64 horizon. *)
+
+val op_drain : int (** 0x04: empty payload. *)
+
+val op_stats : int (** 0x05: empty payload. *)
+
+val op_snapshot : int (** 0x06: empty payload; reply carries the engine bytes. *)
+
+val op_restore : int (** 0x07: payload = snapshot bytes from a SNAPSHOT reply. *)
+
+val op_bye : int (** 0x08: close this connection (server keeps running). *)
+
+val op_shutdown : int (** 0x09: stop the whole server after an OK. *)
+
+val op_ok : int (** 0x81: empty payload. *)
+
+val op_ok_id : int (** 0x82: u64 first id, u32 count. *)
+
+val op_ok_now : int (** 0x83: f64 now, u64 completed, u64 alive. *)
+
+val op_ok_stats : int (** 0x84: the 15 {!Rr_engine.Live.stats} fields, 120 bytes. *)
+
+val op_ok_snapshot : int (** 0x85: payload = engine snapshot bytes. *)
+
+val op_err : int (** 0xFF: payload = UTF-8 message. *)
+
+val op_name : int -> string
+(** Human name for diagnostics; ["op_0xNN"] for unknown codes. *)
+
+val max_batch : int
+(** 65536: the largest submit count one BATCH frame may carry. *)
+
+(** {2 Header} *)
+
+val header_size : int
+(** 8 bytes: u8 opcode, 3 reserved zero bytes, u32 LE payload length. *)
+
+val parse_header : Bytes.t -> int -> (int * int, string) result
+(** [(op, payload_len)] from 8 header bytes; [Error] on a nonzero
+    reserved byte (corrupt or non-protocol traffic). *)
+
+(** {2 Fixed-width field accessors (little-endian)} *)
+
+val get_u32 : Bytes.t -> int -> int
+val get_u64 : Bytes.t -> int -> int
+val get_f64 : Bytes.t -> int -> float
+
+(** {2 Frame writers (append one whole frame to a write ring)} *)
+
+val put_empty : Ring.t -> op:int -> unit
+val put_submit : Ring.t -> arrival:float -> size:float -> unit
+val put_batch : Ring.t -> arrivals:float array -> sizes:float array -> off:int -> len:int -> unit
+val put_advance : Ring.t -> float -> unit
+val put_ok_id : Ring.t -> first_id:int -> count:int -> unit
+val put_ok_now : Ring.t -> now:float -> completed:int -> alive:int -> unit
+val put_stats : Ring.t -> Rr_engine.Live.stats -> unit
+val put_payload : Ring.t -> op:int -> Bytes.t -> unit
+(** Frame whose payload is the given bytes (SNAPSHOT/RESTORE). *)
+
+val put_err : Ring.t -> string -> unit
+
+(** {2 Payload decoders} *)
+
+val stats_size : int
+(** 120: fixed STATS payload size. *)
+
+val stats_of_payload : Bytes.t -> int -> Rr_engine.Live.stats
+(** Decode a STATS payload; bit-exact inverse of {!put_stats}. *)

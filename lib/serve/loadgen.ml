@@ -1,0 +1,233 @@
+(* Load generator.  See loadgen.mli for the contract.
+
+   The feeder drives the same incremental pattern as the B6 live bench
+   (submit, advance to the arrival, repeat) but through the wire: jobs
+   come off a replayable Instance.Stream cursor into reusable float
+   arrays, go out as BATCH frames (binary) or SUBMIT lines (text), and
+   every round trip is timed into P-squared sketches.  Observers poll
+   STATS on their own connections every few rounds, so a multi-client
+   run actually exercises the server's multiplexing rather than just
+   opening idle sockets. *)
+
+module P2 = Rr_util.P2
+module Live = Rr_engine.Live
+
+type report = {
+  proto : string;
+  clients : int;
+  batch : int;
+  jobs : int;
+  ops : int;
+  replies : int;
+  wall_s : float;
+  events_per_s : float;
+  lat_p50_us : float;
+  lat_p90_us : float;
+  lat_p99_us : float;
+  final_stats : Live.stats;
+}
+
+type lat = { p50 : P2.t; p90 : P2.t; p99 : P2.t }
+
+let lat_create () =
+  { p50 = P2.create ~p:0.5 (); p90 = P2.create ~p:0.9 (); p99 = P2.create ~p:0.99 () }
+
+let lat_add l dt =
+  P2.add l.p50 dt;
+  P2.add l.p90 dt;
+  P2.add l.p99 dt
+
+(* Sleep however long keeps [ops] wire events under [rate] events/s. *)
+let pace ~rate ~t_start ~ops =
+  match rate with
+  | None -> ()
+  | Some r ->
+      let due = Float.of_int ops /. r in
+      let elapsed = Unix.gettimeofday () -. t_start in
+      if due > elapsed then Unix.sleepf (due -. elapsed)
+
+let observer_poll_every = 16
+
+(* ------------------------------------------------------------------ *)
+(* Binary path                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_binary ~path ~clients ~batch ~rate ~shutdown ~stream =
+  let feeder = Client.connect path in
+  let observers = List.init (clients - 1) (fun _ -> Client.connect path) in
+  let next = Rr_workload.Instance.Stream.start stream in
+  let arrivals = Array.make batch 0. and sizes = Array.make batch 0. in
+  let lat = lat_create () in
+  let ops = ref 0 and replies = ref 0 and jobs = ref 0 and rounds = ref 0 in
+  let t_start = Unix.gettimeofday () in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    lat_add lat (Unix.gettimeofday () -. t0);
+    incr replies;
+    r
+  in
+  let rec fill i =
+    if i >= batch then i
+    else
+      match next () with
+      | None -> i
+      | Some (j : Rr_engine.Job.t) ->
+          arrivals.(i) <- j.arrival;
+          sizes.(i) <- j.size;
+          fill (i + 1)
+  in
+  let continue = ref true in
+  while !continue do
+    let len = fill 0 in
+    if len = 0 then continue := false
+    else begin
+      ignore (timed (fun () -> Client.submit_batch feeder ~arrivals ~sizes ~len ()) : int);
+      jobs := !jobs + len;
+      ops := !ops + len;
+      ignore (timed (fun () -> Client.advance feeder arrivals.(len - 1)) : float * int * int);
+      incr ops;
+      incr rounds;
+      if !rounds mod observer_poll_every = 0 then
+        List.iter
+          (fun o ->
+            ignore (timed (fun () -> Client.stats o) : Live.stats);
+            incr ops)
+          observers;
+      pace ~rate ~t_start ~ops:!ops
+    end
+  done;
+  ignore (timed (fun () -> Client.drain feeder) : float * int * int);
+  incr ops;
+  let final_stats = timed (fun () -> Client.stats feeder) in
+  incr ops;
+  let wall_s = Unix.gettimeofday () -. t_start in
+  List.iter Client.bye observers;
+  if shutdown then Client.shutdown feeder else Client.bye feeder;
+  (lat, !jobs, !ops, !replies, wall_s, final_stats)
+
+(* ------------------------------------------------------------------ *)
+(* Text path                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let parse_stats_line line : Live.stats =
+  let tbl = Hashtbl.create 16 in
+  String.split_on_char ' ' (String.trim line)
+  |> List.iter (fun tok ->
+         match String.index_opt tok '=' with
+         | Some i ->
+             Hashtbl.replace tbl
+               (String.sub tok 0 i)
+               (String.sub tok (i + 1) (String.length tok - i - 1))
+         | None -> ());
+  let f name = match Hashtbl.find_opt tbl name with Some v -> float_of_string v | None -> 0. in
+  let i name = match Hashtbl.find_opt tbl name with Some v -> int_of_string v | None -> 0 in
+  {
+    submitted = i "submitted";
+    completed = i "completed";
+    alive = i "alive";
+    pending = i "pending";
+    now = f "now";
+    events = i "events";
+    makespan = f "makespan";
+    max_alive = i "max_alive";
+    mean_flow = f "mean_flow";
+    max_flow = f "max_flow";
+    power_sum = f "power_sum";
+    norm = f "norm";
+    p50 = f "p50";
+    p90 = f "p90";
+    p99 = f "p99";
+  }
+
+(* Same bind-race tolerance as Client.connect: a fresh socket per
+   attempt (a descriptor that failed connect is not reusable
+   everywhere), 20 ms between attempts. *)
+let rec connect_text ?(retries = 100) path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> fd
+  | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) when retries > 0 ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Unix.sleepf 0.02;
+      connect_text ~retries:(retries - 1) path
+
+let run_text ~path ~batch ~rate ~shutdown ~stream =
+  let fd = connect_text path in
+  let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+  let lat = lat_create () in
+  let ops = ref 0 and replies = ref 0 and jobs = ref 0 in
+  let t_start = Unix.gettimeofday () in
+  let exchange line =
+    let t0 = Unix.gettimeofday () in
+    Out_channel.output_string oc line;
+    Out_channel.output_char oc '\n';
+    Out_channel.flush oc;
+    let reply = match In_channel.input_line ic with Some r -> r | None -> failwith "EOF" in
+    lat_add lat (Unix.gettimeofday () -. t0);
+    incr ops;
+    incr replies;
+    if String.length reply >= 3 && String.sub reply 0 3 = "ERR" then failwith reply;
+    reply
+  in
+  let next = Rr_workload.Instance.Stream.start stream in
+  let in_round = ref 0 and last_arrival = ref 0. in
+  let continue = ref true in
+  while !continue do
+    match next () with
+    | None -> continue := false
+    | Some (j : Rr_engine.Job.t) ->
+        ignore (exchange (Printf.sprintf "SUBMIT %.17g %.17g" j.arrival j.size) : string);
+        incr jobs;
+        last_arrival := j.arrival;
+        incr in_round;
+        if !in_round >= batch then begin
+          ignore (exchange (Printf.sprintf "ADVANCE %.17g" !last_arrival) : string);
+          in_round := 0;
+          pace ~rate ~t_start ~ops:!ops
+        end
+  done;
+  ignore (exchange "DRAIN" : string);
+  let final_stats = parse_stats_line (exchange "STATS") in
+  let wall_s = Unix.gettimeofday () -. t_start in
+  if shutdown then ignore (exchange "QUIT" : string);
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  (lat, !jobs, !ops, !replies, wall_s, final_stats)
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run ~path ~proto ?(clients = 1) ?(batch = 512) ?rate ?(machines = 1) ?(seed = 1)
+    ?(sizes = Rr_workload.Distribution.Exponential { mean = 1. }) ?(load = 0.9)
+    ?(shutdown = false) ~n () =
+  if clients < 1 then invalid_arg "Loadgen.run: clients must be >= 1";
+  if batch < 1 || batch > Frame.max_batch then
+    invalid_arg (Printf.sprintf "Loadgen.run: batch must be in 1..%d" Frame.max_batch);
+  let stream =
+    Rr_workload.Instance.Stream.generate_load ~seed ~sizes ~load ~machines ~n ()
+  in
+  let lat, jobs, ops, replies, wall_s, final_stats =
+    match proto with
+    | `Binary -> run_binary ~path ~clients ~batch ~rate ~shutdown ~stream
+    | `Text ->
+        let lat, jobs, ops, replies, wall_s, final_stats =
+          run_text ~path ~batch ~rate ~shutdown ~stream
+        in
+        (lat, jobs, ops, replies, wall_s, final_stats)
+  in
+  let us p2 = 1e6 *. P2.value p2 in
+  {
+    proto = (match proto with `Binary -> "binary" | `Text -> "text");
+    clients = (match proto with `Binary -> clients | `Text -> 1);
+    batch;
+    jobs;
+    ops;
+    replies;
+    wall_s;
+    events_per_s = Float.of_int ops /. Float.max 1e-9 wall_s;
+    lat_p50_us = us lat.p50;
+    lat_p90_us = us lat.p90;
+    lat_p99_us = us lat.p99;
+    final_stats;
+  }

@@ -1,0 +1,55 @@
+(** Load generator for the serving layer: replay a seed-replayable
+    workload ({!Rr_workload.Instance.Stream}) against a running server
+    socket and report the achieved wire throughput and reply latency.
+
+    One feeder connection submits jobs — BATCH frames of [batch] jobs on
+    the binary path, one SUBMIT line per job on the text path — and
+    advances the clock to each batch's last arrival; optional extra
+    connections ([clients - 1]) poll STATS concurrently, exercising the
+    server's multiplexing.  (Submissions stay on one connection because
+    the engine requires globally non-decreasing arrivals; observers are
+    how additional clients share the socket.)
+
+    Every request/reply round trip feeds a P-squared latency sketch
+    ({!Rr_util.P2}), so the report's percentiles are O(1)-memory
+    estimates over {e all} exchanges, feeder and observers alike. *)
+
+type report = {
+  proto : string;  (** ["binary"] or ["text"]. *)
+  clients : int;  (** Connections opened (1 feeder + observers). *)
+  batch : int;  (** Submits per BATCH frame (1 on the text path). *)
+  jobs : int;  (** Jobs submitted. *)
+  ops : int;  (** Wire operations: submits + advances + stats + drain. *)
+  replies : int;  (** Replies received (one per round trip). *)
+  wall_s : float;
+  events_per_s : float;  (** [ops /. wall_s]. *)
+  lat_p50_us : float;  (** Round-trip latency sketch estimates, microseconds. *)
+  lat_p90_us : float;
+  lat_p99_us : float;
+  final_stats : Rr_engine.Live.stats;  (** Server STATS after the drain. *)
+}
+
+val run :
+  path:string ->
+  proto:[ `Binary | `Text ] ->
+  ?clients:int ->
+  ?batch:int ->
+  ?rate:float ->
+  ?machines:int ->
+  ?seed:int ->
+  ?sizes:Rr_workload.Distribution.t ->
+  ?load:float ->
+  ?shutdown:bool ->
+  n:int ->
+  unit ->
+  report
+(** Drive the server at [path] with [n] jobs from the
+    [Instance.Stream.generate_load] workload named by
+    [seed]/[sizes]/[load]/[machines] (defaults: 1 client, batch 512,
+    unthrottled, 1 machine, seed 1, Exp(1) sizes, load 0.9).  [rate]
+    caps offered load at that many wire events per second (sleeping
+    between rounds); omitted means as fast as the socket allows.
+    [shutdown] (default false) stops the whole server afterwards
+    (SHUTDOWN frame / QUIT line) — otherwise the feeder says BYE (binary)
+    or just disconnects (text) and the server keeps running.
+    @raise Client.Server_error / @raise Unix.Unix_error on wire faults. *)

@@ -1,0 +1,65 @@
+(** Multiplexed multi-client serving loop for [rr_cli serve].
+
+    One engine, one thread, many clients: a single [Unix.select] loop
+    over non-blocking descriptors accepts concurrent connections and
+    drives each through per-connection grow-on-demand read/write rings
+    ({!Ring}), so a slow or half-closed client never blocks the others.
+
+    Two protocols share the loop:
+
+    - [Binary] — the length-prefixed framed protocol ({!Frame},
+      PROTOCOL.md): zero-copy parse out of the read ring, batched
+      submits (up to {!Frame.max_batch} jobs per frame), snapshot bytes
+      over the wire, any number of concurrent clients (up to
+      [max_clients]), server shutdown via the SHUTDOWN frame.
+    - [Text] — the line protocol ({!Session}): one client at a time
+      (the engine is a single sequential simulation; interleaving text
+      clients would be order-fragile), extra connections answered with
+      an explicit [ERR busy] line and closed instead of queueing
+      silently, daemon exit on [QUIT].
+
+    Flow control: partial writes resume when [select] reports the
+    descriptor writable again; a connection whose un-drained replies
+    exceed [max_pending] bytes is shed (closed and dropped — the
+    documented policy for a consumer that stops reading).  A client
+    disconnecting mid-frame (or mid-batch) simply discards its buffered
+    partial input; other sessions and the engine are untouched.
+
+    Engine faults (bad arguments, exhausted event budget, unreadable
+    snapshots) answer an ERR frame/line and leave the connection open;
+    protocol corruption (bad hello, unknown opcode, nonzero reserved
+    bytes, oversized or malformed frame) answers ERR and closes that
+    connection. *)
+
+type proto = Binary | Text
+
+type config = {
+  backlog : int;  (** [listen] backlog (default 64). *)
+  max_clients : int;
+      (** Concurrent connections before new ones are turned away
+          (default 64; [Text] mode always serves one at a time). *)
+  max_frame_payload : int;
+      (** Largest accepted frame payload in bytes (default 64 MiB —
+          ample for a BATCH of {!Frame.max_batch} and for RESTORE
+          payloads); larger frames answer ERR and close. *)
+  max_pending : int;
+      (** Shed threshold: pending reply bytes before a non-reading
+          client is disconnected (default 64 MiB). *)
+}
+
+val default_config : config
+
+val run :
+  ?config:config ->
+  proto:proto ->
+  engine:Rr_engine.Live.t ref ->
+  path:string ->
+  unit ->
+  unit
+(** Bind a Unix domain socket at [path] (unlinking any stale one),
+    serve until a BYE-initiated shutdown ([Binary]: SHUTDOWN frame;
+    [Text]: QUIT line), then flush pending replies, close every
+    connection and unlink [path].  The engine persists across client
+    connects and disconnects; RESTORE replaces the value in the ref.
+    SIGPIPE is ignored process-wide (writes to dead peers surface as
+    [EPIPE] results instead of killing the daemon). *)
